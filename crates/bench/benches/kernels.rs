@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks for the ZKP kernels the accelerator maps:
+//! NTT variants across sizes, Poseidon permutations, Merkle construction,
+//! element-wise polynomial operations, partial products, and the HBM model
+//! probes. These back the per-kernel discussion of §7.1 and serve as the
+//! performance regression suite for the CPU baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unizk_dram::{AccessPattern, HbmConfig, MemoryModel, MemorySystem};
+use unizk_field::{batch_inverse, Field, Goldilocks, PrimeField64};
+use unizk_hash::{hash_no_pad, poseidon_permute, MerkleTree};
+use unizk_ntt::{coset_ntt_nr, decomposed_ntt_nn, intt_nn, lde_nr, ntt_nn, NttDecomposition};
+
+fn random_vec(rng: &mut StdRng, n: usize) -> Vec<Goldilocks> {
+    (0..n).map(|_| Goldilocks::random(rng)).collect()
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [10usize, 12, 14, 16] {
+        let n = 1 << log_n;
+        let data = random_vec(&mut rng, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward_nn", log_n), &data, |b, d| {
+            b.iter(|| {
+                let mut v = d.clone();
+                ntt_nn(&mut v);
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_nn", log_n), &data, |b, d| {
+            b.iter(|| {
+                let mut v = d.clone();
+                intt_nn(&mut v);
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("coset_nr", log_n), &data, |b, d| {
+            b.iter(|| {
+                let mut v = d.clone();
+                coset_ntt_nr(&mut v, Goldilocks::MULTIPLICATIVE_GENERATOR);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ntt_decomposition(c: &mut Criterion) {
+    // The hardware-style multi-dimensional decomposition vs monolithic.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("ntt_decomposition");
+    let log_n = 15;
+    let data = random_vec(&mut rng, 1 << log_n);
+    group.bench_function("monolithic_2^15", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            ntt_nn(&mut v);
+            v
+        })
+    });
+    let plan = NttDecomposition::plan(log_n, 5);
+    group.bench_function("decomposed_2^15_(32,32,32)", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            decomposed_ntt_nn(&mut v, &plan.dims);
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_lde(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("lde");
+    for (log_n, rate_bits, label) in [(12usize, 3usize, "plonky2_blowup8"), (12, 1, "starky_blowup2")] {
+        let data = random_vec(&mut rng, 1 << log_n);
+        group.bench_function(label, |b| {
+            b.iter(|| lde_nr(&data, rate_bits, Goldilocks::MULTIPLICATIVE_GENERATOR))
+        });
+    }
+    group.finish();
+}
+
+fn bench_poseidon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poseidon");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("permutation", |b| {
+        let mut state = [Goldilocks::from_u64(7); 12];
+        b.iter(|| {
+            poseidon_permute(&mut state);
+            state
+        })
+    });
+    // The paper's leaf width: 135 elements = 17 permutations.
+    let leaf: Vec<Goldilocks> = (0..135u64).map(Goldilocks::from_u64).collect();
+    group.bench_function("hash_135_elements", |b| b.iter(|| hash_no_pad(&leaf)));
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    group.sample_size(10);
+    for (leaves, width) in [(1usize << 10, 4usize), (1 << 10, 135)] {
+        let data: Vec<Vec<Goldilocks>> = (0..leaves)
+            .map(|i| (0..width).map(|j| Goldilocks::from_u64((i * width + j) as u64)).collect())
+            .collect();
+        group.bench_function(format!("build_{leaves}x{width}"), |b| {
+            b.iter(|| MerkleTree::new(data.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_poly_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("poly_ops");
+    let n = 1 << 16;
+    let a = random_vec(&mut rng, n);
+    let b_vec = random_vec(&mut rng, n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("elementwise_mul_2^16", |b| {
+        b.iter(|| {
+            a.iter()
+                .zip(&b_vec)
+                .map(|(&x, &y)| x * y)
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("elementwise_muladd_2^16", |b| {
+        b.iter(|| {
+            a.iter()
+                .zip(&b_vec)
+                .map(|(&x, &y)| x * y + x)
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("batch_inverse_2^16", |bch| bch.iter(|| batch_inverse(&a)));
+    // The §5.4 partial-product chain (Eqs. 1–2): 8-element chunk products
+    // then the running product.
+    group.bench_function("partial_products_2^16", |bch| {
+        bch.iter(|| {
+            let h: Vec<Goldilocks> = a.chunks(8).map(|c| c.iter().copied().product()).collect();
+            let mut pp = Vec::with_capacity(h.len());
+            let mut acc = Goldilocks::ONE;
+            for &x in &h {
+                acc *= x;
+                pp.push(acc);
+            }
+            pp
+        })
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_model");
+    group.sample_size(10);
+    group.bench_function("sequential_50k_bursts", |b| {
+        b.iter(|| {
+            let mut sys = MemorySystem::new(HbmConfig::hbm2e_two_stacks());
+            sys.access_stream(0, 64, 50_000, false);
+            sys.stats().cycles
+        })
+    });
+    group.bench_function("pattern_probe_memoized", |b| {
+        let model = MemoryModel::new(HbmConfig::hbm2e_two_stacks());
+        model.efficiency(AccessPattern::Sequential); // warm the cache
+        b.iter(|| model.stream_cycles(1 << 24, AccessPattern::Sequential))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ntt,
+    bench_ntt_decomposition,
+    bench_lde,
+    bench_poseidon,
+    bench_merkle,
+    bench_poly_ops,
+    bench_dram
+);
+criterion_main!(benches);

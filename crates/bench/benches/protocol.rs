@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the protocol layer: FRI commitment and opening,
+//! full Plonky2-style proving, and Starky proving — the CPU-baseline
+//! building blocks of Tables 3 and 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unizk_field::{Ext2, Field, Goldilocks, Polynomial};
+use unizk_fri::{fri_prove, FriConfig, PolynomialBatch};
+use unizk_hash::Challenger;
+use unizk_plonk::{CircuitBuilder, CircuitConfig};
+use unizk_stark::{prove as stark_prove, FibonacciAir, StarkConfig};
+
+fn bench_fri(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fri");
+    group.sample_size(10);
+    let config = FriConfig::for_testing();
+    let polys: Vec<Polynomial<Goldilocks>> = (0..8u64)
+        .map(|s| {
+            Polynomial::from_coeffs(
+                (0..256).map(|i| Goldilocks::from_u64(s * 1000 + i)).collect(),
+            )
+        })
+        .collect();
+    group.bench_function("commit_8x256", |b| {
+        b.iter(|| PolynomialBatch::from_coeffs(polys.clone(), &config))
+    });
+    let batch = PolynomialBatch::from_coeffs(polys, &config);
+    let zeta = Ext2::from(Goldilocks::from_u64(0xdead_beef));
+    group.bench_function("open_8x256", |b| {
+        b.iter(|| {
+            let mut challenger = Challenger::new();
+            challenger.observe_digest(batch.root());
+            fri_prove(&[&batch], &[zeta], &mut challenger, &config)
+        })
+    });
+    group.finish();
+}
+
+fn bench_plonk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plonk");
+    group.sample_size(10);
+    let mut b = CircuitBuilder::new(CircuitConfig::for_testing());
+    let x = b.add_input();
+    let mut acc = x;
+    for _ in 0..500 {
+        acc = b.mul(acc, x);
+    }
+    let expected = Goldilocks::from_u64(3).exp_u64(501);
+    b.assert_constant(acc, expected);
+    let circuit = b.build();
+    let inputs = [Goldilocks::from_u64(3)];
+    group.bench_function("prove_512_gates", |bch| {
+        bch.iter(|| circuit.prove(&inputs).expect("proves"))
+    });
+    let proof = circuit.prove(&inputs).expect("proves");
+    group.bench_function("verify_512_gates", |bch| {
+        bch.iter(|| circuit.verify(&proof).expect("verifies"))
+    });
+    group.finish();
+}
+
+fn bench_stark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stark");
+    group.sample_size(10);
+    let air = FibonacciAir::new(1 << 10);
+    let config = StarkConfig::for_testing();
+    group.bench_function("prove_fibonacci_2^10", |b| {
+        b.iter(|| stark_prove(&air, &config).expect("proves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fri, bench_plonk, bench_stark);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the accelerator simulator itself: graph
+//! compilation and simulation across instance sizes and chip sweeps. These
+//! demonstrate the simulator is fast enough for the Fig. 10 design-space
+//! exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+use unizk_core::{ChipConfig, Simulator};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for log_rows in [12usize, 16, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("plonky2", log_rows),
+            &log_rows,
+            |b, &lr| b.iter(|| compile_plonky2(&Plonky2Instance::new(1 << lr, 135))),
+        );
+    }
+    group.bench_function("starky_2^16", |b| {
+        b.iter(|| compile_starky(&StarkyInstance::new(1 << 16, 16, 16)))
+    });
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    let chip = ChipConfig::default_chip();
+    for log_rows in [12usize, 16, 20] {
+        let graph = compile_plonky2(&Plonky2Instance::new(1 << log_rows, 135));
+        let sim = Simulator::new(chip.clone());
+        group.bench_with_input(BenchmarkId::new("plonky2", log_rows), &graph, |b, g| {
+            b.iter(|| sim.run(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dse_point(c: &mut Criterion) {
+    // One full Fig. 10 sweep point: rebuild the memory model + simulate.
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    let graph = compile_plonky2(&Plonky2Instance::new(1 << 13, 400));
+    group.bench_function("fig10_point", |b| {
+        b.iter(|| {
+            let chip = ChipConfig::default_chip().with_scratchpad_mb(4);
+            Simulator::new(chip).run(&graph)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulate, bench_dse_point);
+criterion_main!(benches);

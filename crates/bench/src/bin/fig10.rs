@@ -1,0 +1,20 @@
+//! Reproduces Fig. 10: performance sensitivity when scaling hardware
+//! resources (MVM workload).
+
+use unizk_bench::render::table;
+use unizk_bench::{fig10, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 10: Performance sensitivity of UniZK (MVM)");
+    println!("scale: {scale:?}; normalized to the default configuration\n");
+    for series in fig10(scale) {
+        let cells: Vec<Vec<String>> = series
+            .points
+            .iter()
+            .map(|(label, perf)| vec![label.clone(), format!("{perf:.2}")])
+            .collect();
+        println!("{}", table(&[series.parameter, "Normalized perf"], &cells));
+    }
+    println!("paper shape: scratchpad/bandwidth move NTT+poly; VSAs move Merkle");
+}

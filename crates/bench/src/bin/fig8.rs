@@ -1,0 +1,25 @@
+//! Reproduces Fig. 8: UniZK execution-time breakdown by kernel type.
+
+use unizk_bench::render::{fmt_pct, table};
+use unizk_bench::{fig8, scale_from_args};
+use unizk_workloads::App;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 8: Performance breakdown by kernel types in UniZK");
+    println!("scale: {scale:?}\n");
+    let bars = fig8(scale, &App::ALL);
+    let cells: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.app.to_string(),
+                fmt_pct(b.fractions[0]),
+                fmt_pct(b.fractions[1]),
+                fmt_pct(b.fractions[2]),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["App", "NTT", "Poly", "Hash"], &cells));
+    println!("paper shape: after acceleration, polynomial kernels become the bottleneck");
+}

@@ -1,0 +1,25 @@
+//! Reproduces Fig. 9: UniZK speedups over the CPU by kernel type.
+
+use unizk_bench::render::{fmt_speedup, table};
+use unizk_bench::{fig9, scale_from_args};
+use unizk_workloads::App;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 9: Speedups by kernel types in UniZK (vs multi-threaded CPU)");
+    println!("scale: {scale:?}\n");
+    let bars = fig9(scale, &App::ALL);
+    let cells: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.app.to_string(),
+                fmt_speedup(b.speedups[0]),
+                fmt_speedup(b.speedups[1]),
+                fmt_speedup(b.speedups[2]),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["App", "NTT", "Poly", "Hash"], &cells));
+    println!("paper shape: hash > NTT > poly (poly 20–92×, NTT/hash up to 191×)");
+}

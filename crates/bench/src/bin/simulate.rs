@@ -1,0 +1,113 @@
+//! Artifact-style simulation driver, mirroring the published artifact's
+//! command line (paper appendix §A.7):
+//!
+//! ```text
+//! cargo run --release -p unizk-bench --bin simulate -- --app ecdsa -r 8 -t 32 -e 0
+//! ```
+//!
+//! * `--app NAME` — factorial | fibonacci | ecdsa | sha256 | imagecrop | mvm
+//! * `-r MB` — scratchpad capacity in MB (default 8)
+//! * `-t N` — number of VSAs (default 32)
+//! * `-e K` — target kernel: 0 = NTTs only, 1 = hash only; omit for the
+//!   entire proof generation
+//! * `--shrink N` / `--full` — workload scale (default shrink 6)
+//!
+//! Output follows the artifact's log format (`total_num_write_requests`,
+//! `total_num_read_requests`, `memory_system_cycles`).
+
+use unizk_core::compiler::compile_plonky2;
+use unizk_core::{ChipConfig, Graph, KernelClassTag, Simulator};
+use unizk_workloads::{App, Scale};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = match parse_flag(&args, "--app").as_deref() {
+        Some("factorial") | None => App::Factorial,
+        Some("fibonacci") => App::Fibonacci,
+        Some("ecdsa") => App::Ecdsa,
+        Some("sha256") => App::Sha256,
+        Some("imagecrop") => App::ImageCrop,
+        Some("mvm") => App::Mvm,
+        Some(other) => {
+            eprintln!("unknown app: {other}");
+            std::process::exit(2);
+        }
+    };
+    let scratchpad_mb: usize = parse_flag(&args, "-r")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let vsas: usize = parse_flag(&args, "-t")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let kernel_filter: Option<u32> = parse_flag(&args, "-e").and_then(|v| v.parse().ok());
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        parse_flag(&args, "--shrink")
+            .and_then(|v| v.parse().ok())
+            .map(Scale::Shrunk)
+            .unwrap_or(Scale::Shrunk(6))
+    };
+
+    let chip = ChipConfig::default_chip()
+        .with_vsas(vsas)
+        .with_scratchpad_mb(scratchpad_mb);
+    let full_graph = compile_plonky2(&app.plonky2_instance(scale));
+
+    // -e 0: NTTs only; -e 1: hash computations only (artifact semantics).
+    let graph = match kernel_filter {
+        None => full_graph,
+        Some(code) => {
+            let keep = match code {
+                0 => KernelClassTag::Ntt,
+                1 => KernelClassTag::Hash,
+                other => {
+                    eprintln!("unknown -e value: {other} (0 = NTT, 1 = hash)");
+                    std::process::exit(2);
+                }
+            };
+            let mut g = Graph::new();
+            for node in full_graph.nodes() {
+                if node.kernel.class() == keep {
+                    g.push_seq(node.kernel.clone(), node.label.clone());
+                }
+            }
+            g
+        }
+    };
+
+    let (report, trace) = Simulator::new(chip.clone()).run_with_trace(&graph);
+    println!(
+        "app: {} | scale: {scale:?} | {} kernel nodes | scratchpad {scratchpad_mb} MB | {vsas} VSAs",
+        app.name(),
+        graph.len()
+    );
+    if args.iter().any(|a| a == "--trace") {
+        println!("\nper-node schedule (paper §5.5):");
+        for t in &trace {
+            println!(
+                "  [{:>12} .. {:>12}] {:<40} {:>5?} {} ({} B, {})",
+                t.start_cycle,
+                t.end_cycle,
+                t.label,
+                t.class,
+                if t.memory_bound() { "mem-bound" } else { "compute-bound" },
+                t.bytes,
+                if t.vsas_used > 0 { format!("{} VSAs", t.vsas_used) } else { "overlapped".into() },
+            );
+        }
+        println!();
+    }
+    print!("{}", report.artifact_log());
+    println!(
+        "=> {:.3} ms at {} GHz",
+        report.seconds(&chip) * 1e3,
+        chip.freq_ghz
+    );
+}

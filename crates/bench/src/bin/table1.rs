@@ -1,0 +1,32 @@
+//! Reproduces Table 1: single-threaded CPU proving-time breakdown.
+
+use unizk_bench::render::{fmt_pct, fmt_seconds, table};
+use unizk_bench::{scale_from_args, table1};
+use unizk_workloads::App;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 1: Plonky2 proof generation time breakdown (single-threaded CPU)");
+    println!("scale: {scale:?} (paper runs at full scale; percentages are scale-stable)\n");
+    let rows = table1(scale, &App::ALL);
+    let mut cells = Vec::new();
+    for r in &rows {
+        cells.push(vec![
+            r.app.to_string(),
+            fmt_seconds(r.seconds),
+            format!("{} ({})", fmt_pct(r.fractions[0]), fmt_pct(r.paper_fractions[0])),
+            format!("{} ({})", fmt_pct(r.fractions[1]), fmt_pct(r.paper_fractions[1])),
+            format!("{} ({})", fmt_pct(r.fractions[2]), fmt_pct(r.paper_fractions[2])),
+            format!("{} ({})", fmt_pct(r.fractions[3]), fmt_pct(r.paper_fractions[3])),
+            format!("{} ({})", fmt_pct(r.fractions[4]), fmt_pct(r.paper_fractions[4])),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["App", "Time", "Polynomial (paper)", "NTT (paper)", "Merkle (paper)",
+              "Other Hash (paper)", "Layout (paper)"],
+            &cells
+        )
+    );
+}

@@ -1,0 +1,40 @@
+//! Reproduces Table 3: end-to-end CPU vs GPU vs UniZK comparison.
+
+use unizk_bench::render::{fmt_seconds, fmt_speedup, table};
+use unizk_bench::{scale_from_args, table3};
+use unizk_workloads::App;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 3: Overall performance comparison for Plonky2");
+    println!("scale: {scale:?}; paper values (full scale) in parentheses\n");
+    let rows = table3(scale, &App::ALL);
+    let mut cells = Vec::new();
+    let mut unizk_speedups = Vec::new();
+    let mut gpu_speedups = Vec::new();
+    for r in &rows {
+        unizk_speedups.push(r.unizk_speedup());
+        gpu_speedups.push(r.gpu_speedup());
+        cells.push(vec![
+            r.app.to_string(),
+            format!("{} ({:.3} s)", fmt_seconds(r.cpu_s), r.paper[0]),
+            format!("{} ({:.3} s)", fmt_seconds(r.gpu_s), r.paper[1]),
+            fmt_speedup(r.gpu_speedup()),
+            format!("{} ({:.3} s)", fmt_seconds(r.unizk_s), r.paper[2]),
+            fmt_speedup(r.unizk_speedup()),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["App", "CPU (paper)", "GPU (paper)", "GPU speedup", "UniZK (paper)", "UniZK speedup"],
+            &cells
+        )
+    );
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "geomean speedups: GPU {} | UniZK {} (paper averages: 2.4× / 97×)",
+        fmt_speedup(geo(&gpu_speedups)),
+        fmt_speedup(geo(&unizk_speedups))
+    );
+}

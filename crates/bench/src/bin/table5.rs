@@ -1,0 +1,36 @@
+//! Reproduces Table 5: Starky base proofs + Plonky2 recursive compression.
+
+use unizk_bench::render::{fmt_seconds, fmt_speedup, table};
+use unizk_bench::{scale_from_args, table5};
+use unizk_workloads::starks::StarkApp;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 5: Starky + Plonky2 performance vs the CPU");
+    println!("scale: {scale:?}\n");
+    let rows = table5(
+        scale,
+        &[StarkApp::Factorial, StarkApp::Fibonacci, StarkApp::Sha256],
+    );
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.stage.to_string(),
+                fmt_seconds(r.cpu_s),
+                fmt_seconds(r.unizk_s),
+                fmt_speedup(r.cpu_s / r.unizk_s),
+                format!("{} kB", r.proof_bytes / 1000),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["App", "Stage", "CPU", "UniZK", "Speedup", "Proof size"],
+            &cells
+        )
+    );
+    println!("paper: base speedups 67–267×, recursive 142–167×; sizes 259–778 kB base, ~155 kB recursive");
+}

@@ -1,0 +1,498 @@
+//! Generators for every table and figure of the paper's evaluation.
+//!
+//! Each generator returns plain data so the binaries can print it and the
+//! integration tests can assert the paper's qualitative claims (who wins,
+//! by roughly what factor). DESIGN.md §4 is the experiment index.
+
+use serde::Serialize;
+use unizk_core::chipmodel::AreaPowerBreakdown;
+use unizk_core::compiler::{compile_plonky2, compile_starky};
+use unizk_core::{ChipConfig, KernelClassTag, SimReport, Simulator};
+use unizk_fri::KernelClass;
+use unizk_plonk::CircuitConfig;
+use unizk_stark::{aggregate, prove as stark_prove, StarkConfig};
+use unizk_workloads::starks::{BitMixAir, FactorialAir, StarkApp};
+use unizk_workloads::{run_cpu, App, GpuModel, Groth16Model, PipeZkModel, Scale};
+
+/// Runs the UniZK simulator for an app at a scale.
+pub fn simulate_app(app: App, scale: Scale, chip: &ChipConfig) -> SimReport {
+    let graph = compile_plonky2(&app.plonky2_instance(scale));
+    Simulator::new(chip.clone()).run(&graph)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// One Table 1 row: measured single-thread CPU breakdown vs the paper's.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Measured single-thread proving time (s).
+    pub seconds: f64,
+    /// Measured fractions: `[poly, ntt, merkle, other hash, layout]`.
+    pub fractions: [f64; 5],
+    /// Paper fractions for the same columns.
+    pub paper_fractions: [f64; 5],
+}
+
+/// Paper Table 1 percentages, column order `[poly, ntt, merkle, other,
+/// layout]`.
+fn paper_table1(app: App) -> [f64; 5] {
+    match app {
+        App::Factorial => [0.134, 0.218, 0.624, 0.000, 0.024],
+        App::Fibonacci => [0.121, 0.200, 0.658, 0.001, 0.020],
+        App::Ecdsa => [0.249, 0.157, 0.572, 0.002, 0.020],
+        App::Sha256 => [0.115, 0.190, 0.670, 0.000, 0.025],
+        App::ImageCrop => [0.115, 0.171, 0.688, 0.003, 0.023],
+        App::Mvm => [0.137, 0.159, 0.657, 0.001, 0.046],
+    }
+}
+
+/// Reproduces Table 1: single-threaded CPU proving-time breakdown.
+pub fn table1(scale: Scale, apps: &[App]) -> Vec<Table1Row> {
+    apps.iter()
+        .map(|&app| {
+            let run = run_cpu(app, scale, 1);
+            let f = |c| run.fraction(c);
+            Table1Row {
+                app: app.name(),
+                seconds: run.total.as_secs_f64(),
+                fractions: [
+                    f(KernelClass::Polynomial),
+                    f(KernelClass::Ntt),
+                    f(KernelClass::MerkleTree),
+                    f(KernelClass::OtherHash),
+                    f(KernelClass::LayoutTransform),
+                ],
+                paper_fractions: paper_table1(app),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// Reproduces Table 2: the chip area/power breakdown.
+pub fn table2(chip: &ChipConfig) -> AreaPowerBreakdown {
+    AreaPowerBreakdown::for_chip(chip)
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// One Table 3 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Measured multi-threaded CPU time (s).
+    pub cpu_s: f64,
+    /// Modeled GPU time (s).
+    pub gpu_s: f64,
+    /// Simulated UniZK time (s).
+    pub unizk_s: f64,
+    /// Paper's CPU/GPU/UniZK times for reference.
+    pub paper: [f64; 3],
+}
+
+impl Table3Row {
+    /// GPU speedup over the CPU.
+    pub fn gpu_speedup(&self) -> f64 {
+        self.cpu_s / self.gpu_s
+    }
+
+    /// UniZK speedup over the CPU.
+    pub fn unizk_speedup(&self) -> f64 {
+        self.cpu_s / self.unizk_s
+    }
+}
+
+/// Reproduces Table 3: end-to-end CPU vs GPU vs UniZK.
+pub fn table3(scale: Scale, apps: &[App]) -> Vec<Table3Row> {
+    let chip = ChipConfig::default_chip();
+    let gpu = GpuModel::a100();
+    apps.iter()
+        .map(|&app| {
+            let cpu = run_cpu(app, scale, 0);
+            let inst = app.plonky2_instance(scale);
+            let gpu_s = gpu.prove_seconds(&inst);
+            let report = simulate_app(app, scale, &chip);
+            let p = app.paper();
+            Table3Row {
+                app: app.name(),
+                cpu_s: cpu.total.as_secs_f64(),
+                gpu_s,
+                unizk_s: report.seconds(&chip),
+                paper: [p.cpu_s, p.gpu_s, p.unizk_s],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// One Table 4 row: per-kernel-class utilizations on UniZK.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table4Row {
+    /// Application name.
+    pub app: &'static str,
+    /// `(memory util, VSA util)` for NTT.
+    pub ntt: (f64, f64),
+    /// `(memory util, VSA util)` for polynomial kernels.
+    pub poly: (f64, f64),
+    /// `(memory util, VSA util)` for hash kernels.
+    pub hash: (f64, f64),
+}
+
+/// Reproduces Table 4: memory-bandwidth and VSA utilization per class.
+pub fn table4(scale: Scale, apps: &[App]) -> Vec<Table4Row> {
+    let chip = ChipConfig::default_chip();
+    apps.iter()
+        .map(|&app| {
+            let r = simulate_app(app, scale, &chip);
+            let pick = |t| (r.memory_utilization(t), r.vsa_utilization(t));
+            Table4Row {
+                app: app.name(),
+                ntt: pick(KernelClassTag::Ntt),
+                poly: pick(KernelClassTag::Poly),
+                hash: pick(KernelClassTag::Hash),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 5
+
+/// One Table 5 row: a Starky base proof or its recursive compression.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table5Row {
+    /// Application name.
+    pub app: &'static str,
+    /// `"Base"` or `"Recursive"`.
+    pub stage: &'static str,
+    /// Measured CPU time (s).
+    pub cpu_s: f64,
+    /// Simulated UniZK time (s).
+    pub unizk_s: f64,
+    /// Proof size in bytes (from the real proof).
+    pub proof_bytes: usize,
+}
+
+/// The Starky base proof + CPU measurement for one app at a scale.
+fn stark_base(app: StarkApp, scale: Scale) -> (f64, unizk_stark::StarkProof, usize) {
+    let (full_log, _) = app.full_dims();
+    let log_rows = match scale {
+        Scale::Full => full_log,
+        Scale::Shrunk(bits) => full_log.saturating_sub(bits).max(10),
+    };
+    let config = StarkConfig::standard();
+    let start = std::time::Instant::now();
+    let proof = match app {
+        StarkApp::Factorial => stark_prove(&FactorialAir::new(1 << log_rows), &config),
+        StarkApp::Fibonacci => {
+            stark_prove(&unizk_stark::FibonacciAir::new(1 << log_rows), &config)
+        }
+        StarkApp::Sha256 | StarkApp::Aes128 => {
+            stark_prove(&BitMixAir::new(1 << log_rows, app.full_dims().1), &config)
+        }
+    }
+    .expect("workload AIR must prove");
+    (start.elapsed().as_secs_f64(), proof, log_rows)
+}
+
+/// Reproduces Table 5: Starky base + Plonky2 recursive stages.
+pub fn table5(scale: Scale, apps: &[StarkApp]) -> Vec<Table5Row> {
+    let chip = ChipConfig::default_chip();
+    let mut rows = Vec::new();
+    for &app in apps {
+        let (base_cpu, base_proof, log_rows) = stark_base(app, scale);
+        let base_report =
+            Simulator::new(chip.clone()).run(&compile_starky(&app.instance(log_rows)));
+        rows.push(Table5Row {
+            app: app.name(),
+            stage: "Base",
+            cpu_s: base_cpu,
+            unizk_s: base_report.seconds(&chip),
+            proof_bytes: base_proof.size_bytes(),
+        });
+
+        // Recursive aggregation: a fixed-dimension Plonky2 proof
+        // (DESIGN.md §2.3).
+        let start = std::time::Instant::now();
+        let agg = aggregate(&base_proof, CircuitConfig::standard()).expect("aggregates");
+        let rec_cpu = start.elapsed().as_secs_f64();
+        let rec_inst = unizk_core::compiler::Plonky2Instance::new(
+            1 << unizk_stark::aggregate::RECURSIVE_LOG_ROWS,
+            135,
+        );
+        let rec_report = Simulator::new(chip.clone()).run(&compile_plonky2(&rec_inst));
+        rows.push(Table5Row {
+            app: app.name(),
+            stage: "Recursive",
+            cpu_s: rec_cpu,
+            unizk_s: rec_report.seconds(&chip),
+            proof_bytes: agg.size_bytes(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Table 6
+
+/// One Table 6 row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table6Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Groth16 CPU time (modeled, s).
+    pub groth16_cpu_s: f64,
+    /// Starky+Plonky2 CPU time (measured, s).
+    pub starky_cpu_s: f64,
+    /// PipeZK end-to-end time (modeled, s).
+    pub pipezk_s: f64,
+    /// UniZK end-to-end time (simulated, s).
+    pub unizk_s: f64,
+}
+
+impl Table6Row {
+    /// PipeZK speedup over the Groth16 CPU.
+    pub fn pipezk_speedup(&self) -> f64 {
+        self.groth16_cpu_s / self.pipezk_s
+    }
+
+    /// UniZK speedup over the Starky+Plonky2 CPU.
+    pub fn unizk_speedup(&self) -> f64 {
+        self.starky_cpu_s / self.unizk_s
+    }
+}
+
+/// Single-block trace height for the Table 6 workloads.
+fn block_log_rows(app: StarkApp) -> usize {
+    match app {
+        StarkApp::Sha256 => 12,
+        StarkApp::Aes128 => 10,
+        _ => 12,
+    }
+}
+
+/// Reproduces Table 6's timing comparison (single data block).
+pub fn table6() -> Vec<Table6Row> {
+    let chip = ChipConfig::default_chip();
+    let groth16 = Groth16Model::cpu();
+    let pipezk = PipeZkModel::published();
+    [StarkApp::Sha256, StarkApp::Aes128]
+        .into_iter()
+        .map(|app| {
+            let inst = match app {
+                StarkApp::Sha256 => unizk_workloads::pipezk::Groth16Instance::sha256_block(),
+                _ => unizk_workloads::pipezk::Groth16Instance::aes128_block(),
+            };
+            let log_rows = block_log_rows(app);
+
+            // Measured Starky base (single block) + recursive stage.
+            let config = StarkConfig::standard();
+            let air = BitMixAir::new(1 << log_rows, app.full_dims().1);
+            let start = std::time::Instant::now();
+            let base = stark_prove(&air, &config).expect("proves");
+            let _agg = aggregate(&base, CircuitConfig::standard()).expect("aggregates");
+            let starky_cpu_s = start.elapsed().as_secs_f64();
+
+            // UniZK: simulated base + recursive.
+            let base_report =
+                Simulator::new(chip.clone()).run(&compile_starky(&app.instance(log_rows)));
+            let rec_inst = unizk_core::compiler::Plonky2Instance::new(
+                1 << unizk_stark::aggregate::RECURSIVE_LOG_ROWS,
+                135,
+            );
+            let rec_report = Simulator::new(chip.clone()).run(&compile_plonky2(&rec_inst));
+            let unizk_s = base_report.seconds(&chip) + rec_report.seconds(&chip);
+
+            Table6Row {
+                app: app.name(),
+                groth16_cpu_s: groth16.prove_seconds(inst),
+                starky_cpu_s,
+                pipezk_s: pipezk.prove_seconds(inst),
+                unizk_s,
+            }
+        })
+        .collect()
+}
+
+/// Table 6's throughput claim: blocks/s when amortizing the recursive
+/// stage over many blocks (the paper: UniZK >8400 SHA-256 blocks/s vs
+/// PipeZK's 10 → 840×).
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputComparison {
+    /// UniZK blocks/s with `batch_blocks` per base proof.
+    pub unizk_blocks_per_s: f64,
+    /// PipeZK blocks/s (published).
+    pub pipezk_blocks_per_s: f64,
+    /// Blocks amortized per base proof.
+    pub batch_blocks: usize,
+}
+
+impl ThroughputComparison {
+    /// The headline ratio (the paper's 840×).
+    pub fn ratio(&self) -> f64 {
+        self.unizk_blocks_per_s / self.pipezk_blocks_per_s
+    }
+}
+
+/// Reproduces the multi-block throughput comparison for SHA-256.
+pub fn table6_throughput(batch_blocks: usize) -> ThroughputComparison {
+    let chip = ChipConfig::default_chip();
+    let single = block_log_rows(StarkApp::Sha256);
+    let log_rows = single + batch_blocks.trailing_zeros() as usize;
+
+    let base = Simulator::new(chip.clone())
+        .run(&compile_starky(&StarkApp::Sha256.instance(log_rows)));
+    let rec_inst = unizk_core::compiler::Plonky2Instance::new(
+        1 << unizk_stark::aggregate::RECURSIVE_LOG_ROWS,
+        135,
+    );
+    let rec = Simulator::new(chip.clone()).run(&compile_plonky2(&rec_inst));
+    let total_s = base.seconds(&chip) + rec.seconds(&chip);
+
+    let pipezk = PipeZkModel::published();
+    ThroughputComparison {
+        unizk_blocks_per_s: batch_blocks as f64 / total_s,
+        pipezk_blocks_per_s: pipezk
+            .blocks_per_second(unizk_workloads::pipezk::Groth16Instance::sha256_block()),
+        batch_blocks,
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+/// One Fig. 8 bar: UniZK's execution-time breakdown by kernel class.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig8Bar {
+    /// Application name.
+    pub app: &'static str,
+    /// Fractions `[ntt, poly, hash]` (sum to ~1; transposes are hidden).
+    pub fractions: [f64; 3],
+}
+
+/// Reproduces Fig. 8.
+pub fn fig8(scale: Scale, apps: &[App]) -> Vec<Fig8Bar> {
+    let chip = ChipConfig::default_chip();
+    apps.iter()
+        .map(|&app| {
+            let r = simulate_app(app, scale, &chip);
+            Fig8Bar {
+                app: app.name(),
+                fractions: [
+                    r.cycle_fraction(KernelClassTag::Ntt),
+                    r.cycle_fraction(KernelClassTag::Poly),
+                    r.cycle_fraction(KernelClassTag::Hash),
+                ],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+/// One Fig. 9 bar group: UniZK speedup over the CPU per kernel class.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Bar {
+    /// Application name.
+    pub app: &'static str,
+    /// Speedups `[ntt, poly, hash]`.
+    pub speedups: [f64; 3],
+}
+
+/// Reproduces Fig. 9: per-kernel-class speedups of UniZK over the CPU.
+pub fn fig9(scale: Scale, apps: &[App]) -> Vec<Fig9Bar> {
+    let chip = ChipConfig::default_chip();
+    apps.iter()
+        .map(|&app| {
+            let cpu = run_cpu(app, scale, 0);
+            let r = simulate_app(app, scale, &chip);
+            let cpu_class = |classes: &[KernelClass]| -> f64 {
+                classes
+                    .iter()
+                    .map(|c| {
+                        cpu.breakdown
+                            .iter()
+                            .find(|(k, _)| k == c)
+                            .map(|(_, d)| d.as_secs_f64())
+                            .unwrap_or(0.0)
+                    })
+                    .sum()
+            };
+            let unizk_class =
+                |t: KernelClassTag| chip.cycles_to_seconds(r.class(t).cycles).max(1e-12);
+            Fig9Bar {
+                app: app.name(),
+                speedups: [
+                    cpu_class(&[KernelClass::Ntt]) / unizk_class(KernelClassTag::Ntt),
+                    cpu_class(&[KernelClass::Polynomial]) / unizk_class(KernelClassTag::Poly),
+                    cpu_class(&[KernelClass::MerkleTree, KernelClass::OtherHash])
+                        / unizk_class(KernelClassTag::Hash),
+                ],
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Fig. 10
+
+/// One Fig. 10 series: normalized performance across a hardware sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Series {
+    /// Swept parameter name.
+    pub parameter: &'static str,
+    /// `(setting label, normalized performance)` pairs; the default
+    /// configuration is 1.0.
+    pub points: Vec<(String, f64)>,
+}
+
+/// Reproduces Fig. 10: performance sensitivity on MVM when scaling the
+/// scratchpad, the VSA count, and the memory bandwidth.
+pub fn fig10(scale: Scale) -> Vec<Fig10Series> {
+    let inst = App::Mvm.plonky2_instance(scale);
+    let graph = compile_plonky2(&inst);
+    let baseline = {
+        let chip = ChipConfig::default_chip();
+        let r = Simulator::new(chip.clone()).run(&graph);
+        r.total_cycles as f64
+    };
+    let perf = |chip: ChipConfig| {
+        let r = Simulator::new(chip).run(&graph);
+        baseline / r.total_cycles as f64
+    };
+
+    vec![
+        Fig10Series {
+            parameter: "Scratchpad (MB)",
+            points: [1usize, 2, 4, 8, 16, 32]
+                .iter()
+                .map(|&mb| {
+                    (
+                        format!("{mb} MB"),
+                        perf(ChipConfig::default_chip().with_scratchpad_mb(mb)),
+                    )
+                })
+                .collect(),
+        },
+        Fig10Series {
+            parameter: "VSAs",
+            points: [4usize, 8, 16, 32, 64, 128]
+                .iter()
+                .map(|&n| (format!("{n}"), perf(ChipConfig::default_chip().with_vsas(n))))
+                .collect(),
+        },
+        Fig10Series {
+            parameter: "Memory bandwidth",
+            points: [(1usize, 4usize), (1, 2), (1, 1), (2, 1), (4, 1)]
+                .iter()
+                .map(|&(num, den)| {
+                    (
+                        format!("{num}/{den}×"),
+                        perf(ChipConfig::default_chip().with_bandwidth_scale(num, den)),
+                    )
+                })
+                .collect(),
+        },
+    ]
+}

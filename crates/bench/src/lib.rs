@@ -1,0 +1,41 @@
+//! Benchmark harness for the UniZK reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§7) has a generator
+//! here, exposed both as a library function (so integration tests can
+//! assert the qualitative claims) and as a binary that prints the same
+//! rows/series the paper reports:
+//!
+//! | Paper artifact | Generator | Binary |
+//! |---|---|---|
+//! | Table 1 (CPU breakdown) | [`experiments::table1`] | `table1` |
+//! | Table 2 (area/power) | [`experiments::table2`] | `table2` |
+//! | Table 3 (CPU/GPU/UniZK) | [`experiments::table3`] | `table3` |
+//! | Table 4 (utilization) | [`experiments::table4`] | `table4` |
+//! | Table 5 (Starky + recursion) | [`experiments::table5`] | `table5` |
+//! | Table 6 (PipeZK comparison) | [`experiments::table6`] | `table6` |
+//! | Fig. 8 (UniZK breakdown) | [`experiments::fig8`] | `fig8` |
+//! | Fig. 9 (per-kernel speedups) | [`experiments::fig9`] | `fig9` |
+//! | Fig. 10 (design-space sweep) | [`experiments::fig10`] | `fig10` |
+//!
+//! Binaries accept `--shrink N` (default 6) to scale `log2(rows)` down
+//! from the paper's dimensions, or `--full` for paper scale (slow; see
+//! DESIGN.md §2.7).
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::*;
+
+/// Parses the common `--shrink N` / `--full` arguments.
+pub fn scale_from_args() -> unizk_workloads::Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full") {
+        return unizk_workloads::Scale::Full;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--shrink") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            return unizk_workloads::Scale::Shrunk(n);
+        }
+    }
+    unizk_workloads::Scale::default()
+}

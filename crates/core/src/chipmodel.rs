@@ -1,0 +1,142 @@
+//! First-order area/power model reproducing Table 2.
+//!
+//! The paper synthesizes the RTL in ASAP 7 nm and models SRAMs with
+//! FN-CACTI. Without EDA tools (see DESIGN.md §2.6), we use per-component
+//! coefficients calibrated so the default configuration reproduces Table 2
+//! exactly, and scale with the configuration knobs so the Fig. 10 design
+//! points get consistent budgets.
+
+use serde::Serialize;
+
+use crate::arch::ChipConfig;
+
+/// Area and power of one component.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ComponentBudget {
+    /// Component name (Table 2 row).
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in W.
+    pub power_w: f64,
+}
+
+/// The full Table 2 breakdown.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct AreaPowerBreakdown {
+    /// Per-component rows.
+    pub components: Vec<ComponentBudget>,
+}
+
+/// Table 2 calibration constants (default chip: 32 VSAs, 8 MB, 2 PHYs).
+mod calib {
+    /// mm² per VSA (21.3 / 32).
+    pub const VSA_AREA: f64 = 21.3 / 32.0;
+    /// W per VSA (58.0 / 32).
+    pub const VSA_POWER: f64 = 58.0 / 32.0;
+    /// mm² per MB of scratchpad (5.0 / 8).
+    pub const SPAD_AREA_PER_MB: f64 = 5.0 / 8.0;
+    /// W per MB of scratchpad (1.0 / 8).
+    pub const SPAD_POWER_PER_MB: f64 = 1.0 / 8.0;
+    /// Twiddle factor generator (fixed).
+    pub const TWIDDLE_AREA: f64 = 0.8;
+    pub const TWIDDLE_POWER: f64 = 2.6;
+    /// Transpose buffer at b = 16.
+    pub const TRANSPOSE_AREA: f64 = 0.9;
+    pub const TRANSPOSE_POWER: f64 = 3.1;
+    /// Two HBM2e PHYs at full bandwidth.
+    pub const HBM_AREA: f64 = 29.8;
+    pub const HBM_POWER: f64 = 31.7;
+    /// Full-bandwidth channel count the HBM constants correspond to.
+    pub const HBM_BASE_CHANNELS: f64 = 32.0;
+}
+
+impl AreaPowerBreakdown {
+    /// Computes the breakdown for a chip configuration.
+    pub fn for_chip(chip: &ChipConfig) -> Self {
+        let mb = chip.scratchpad_bytes as f64 / (1 << 20) as f64;
+        // VSA cost scales with PE count relative to the 12×12 baseline.
+        let pe_scale = chip.pes_per_vsa() as f64 / 144.0;
+        // Transpose buffer scales with b².
+        let tb_scale = (chip.transpose_b as f64 / 16.0).powi(2);
+        // HBM PHY cost scales with channel count.
+        let hbm_scale = chip.hbm.channels as f64 / calib::HBM_BASE_CHANNELS;
+
+        Self {
+            components: vec![
+                ComponentBudget {
+                    name: "VSAs",
+                    area_mm2: chip.num_vsas as f64 * calib::VSA_AREA * pe_scale,
+                    power_w: chip.num_vsas as f64 * calib::VSA_POWER * pe_scale,
+                },
+                ComponentBudget {
+                    name: "Scratchpad",
+                    area_mm2: mb * calib::SPAD_AREA_PER_MB,
+                    power_w: mb * calib::SPAD_POWER_PER_MB,
+                },
+                ComponentBudget {
+                    name: "Twiddle factor generator",
+                    area_mm2: calib::TWIDDLE_AREA,
+                    power_w: calib::TWIDDLE_POWER,
+                },
+                ComponentBudget {
+                    name: "Transpose buffer",
+                    area_mm2: calib::TRANSPOSE_AREA * tb_scale,
+                    power_w: calib::TRANSPOSE_POWER * tb_scale,
+                },
+                ComponentBudget {
+                    name: "HBM PHYs",
+                    area_mm2: calib::HBM_AREA * hbm_scale,
+                    power_w: calib::HBM_POWER * hbm_scale,
+                },
+            ],
+        }
+    }
+
+    /// Total chip area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total power in W.
+    pub fn total_power_w(&self) -> f64 {
+        self.components.iter().map(|c| c.power_w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_chip_reproduces_table2() {
+        let b = AreaPowerBreakdown::for_chip(&ChipConfig::default_chip());
+        let expected = [
+            ("VSAs", 21.3, 58.0),
+            ("Scratchpad", 5.0, 1.0),
+            ("Twiddle factor generator", 0.8, 2.6),
+            ("Transpose buffer", 0.9, 3.1),
+            ("HBM PHYs", 29.8, 31.7),
+        ];
+        for (row, (name, area, power)) in b.components.iter().zip(expected) {
+            assert_eq!(row.name, name);
+            assert!((row.area_mm2 - area).abs() < 0.05, "{name} area");
+            assert!((row.power_w - power).abs() < 0.05, "{name} power");
+        }
+        assert!((b.total_area_mm2() - 57.8).abs() < 0.1);
+        assert!((b.total_power_w() - 96.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn scaling_vsas_scales_their_budget() {
+        let half = AreaPowerBreakdown::for_chip(&ChipConfig::default_chip().with_vsas(16));
+        assert!((half.components[0].area_mm2 - 21.3 / 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn scaling_bandwidth_scales_phy_budget() {
+        let half =
+            AreaPowerBreakdown::for_chip(&ChipConfig::default_chip().with_bandwidth_scale(1, 2));
+        assert!((half.components[4].power_w - 31.7 / 2.0).abs() < 0.05);
+    }
+}

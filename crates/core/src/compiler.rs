@@ -1,0 +1,434 @@
+//! The compiler front-end (paper §5.5): expands a protocol instance into
+//! the static computation graph of Fig. 7.
+//!
+//! The node sequences mirror the software provers in `unizk-plonk` and
+//! `unizk-stark` one-to-one — the same commitments, the same permutation
+//! and quotient phases, the same FRI rounds — so the simulated kernel mix
+//! matches what the CPU baseline executes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::kernels::{Kernel, Layout, NttVariant, Reuse};
+
+/// A Plonky2 proving instance's dimensions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plonky2Instance {
+    /// Trace rows `n` (a power of two).
+    pub rows: usize,
+    /// Wire columns `W`.
+    pub width: usize,
+    /// Permutation-argument repetitions.
+    pub num_challenges: usize,
+    /// `log2` of the LDE blowup (Plonky2: 3).
+    pub rate_bits: usize,
+    /// FRI query count.
+    pub num_queries: usize,
+    /// Grinding bits.
+    pub pow_bits: usize,
+    /// Partial-product chunk size.
+    pub chunk_size: usize,
+}
+
+impl Plonky2Instance {
+    /// The standard configuration for a `rows × width` circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not a power of two.
+    pub fn new(rows: usize, width: usize) -> Self {
+        assert!(rows.is_power_of_two(), "rows must be a power of two");
+        Self {
+            rows,
+            width,
+            num_challenges: 2,
+            rate_bits: 3,
+            num_queries: 28,
+            pow_bits: 16,
+            chunk_size: 7,
+        }
+    }
+
+    /// Permutation chunks `c`.
+    pub fn num_chunks(&self) -> usize {
+        self.width.div_ceil(self.chunk_size)
+    }
+
+    /// Committed polynomials per batch: `[constants, wires, perm, quotient]`.
+    pub fn batch_widths(&self) -> [usize; 4] {
+        [
+            5 + self.width,
+            self.width,
+            self.num_challenges * self.num_chunks(),
+            self.num_challenges << self.rate_bits,
+        ]
+    }
+
+    /// Total committed polynomials.
+    pub fn total_polys(&self) -> usize {
+        self.batch_widths().iter().sum()
+    }
+
+    fn log_rows(&self) -> usize {
+        self.rows.trailing_zeros() as usize
+    }
+}
+
+/// A Starky proving instance's dimensions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StarkyInstance {
+    /// Trace rows.
+    pub rows: usize,
+    /// Trace columns.
+    pub width: usize,
+    /// Transition constraints.
+    pub num_constraints: usize,
+    /// Challenge repetitions.
+    pub num_challenges: usize,
+    /// `log2` of the blowup (Starky: 1).
+    pub rate_bits: usize,
+    /// FRI query count.
+    pub num_queries: usize,
+    /// Grinding bits.
+    pub pow_bits: usize,
+}
+
+impl StarkyInstance {
+    /// The standard Starky configuration for a `rows × width` AET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not a power of two.
+    pub fn new(rows: usize, width: usize, num_constraints: usize) -> Self {
+        assert!(rows.is_power_of_two(), "rows must be a power of two");
+        Self {
+            rows,
+            width,
+            num_constraints,
+            num_challenges: 2,
+            rate_bits: 1,
+            num_queries: 84,
+            pow_bits: 16,
+        }
+    }
+}
+
+/// Emits the commitment pipeline for a batch of `batch` columns of length
+/// `rows`: `iNTT → coset LDE NTT^NR → leaf gather → Merkle` (Fig. 1 / the
+/// "Wires Commitment" node of Fig. 7).
+fn push_commit(g: &mut Graph, rows: usize, batch: usize, rate_bits: usize, what: &str) {
+    push_commit_inner(g, rows, batch, rate_bits, what, true)
+}
+
+/// Like [`push_commit`] but for batches already in coefficient form (the
+/// quotient chunks), which skip the leading `iNTT`.
+fn push_commit_coeffs(g: &mut Graph, rows: usize, batch: usize, rate_bits: usize, what: &str) {
+    push_commit_inner(g, rows, batch, rate_bits, what, false)
+}
+
+fn push_commit_inner(
+    g: &mut Graph,
+    rows: usize,
+    batch: usize,
+    rate_bits: usize,
+    what: &str,
+    from_values: bool,
+) {
+    let log_n = rows.trailing_zeros() as usize;
+    if from_values {
+        g.push_seq(
+            Kernel::Ntt {
+                log_n,
+                batch,
+                variant: NttVariant::InverseNn,
+                layout: Layout::IndexMajor,
+            },
+            format!("{what}: iNTT"),
+        );
+    }
+    g.push_seq(
+        Kernel::Ntt {
+            log_n: log_n + rate_bits,
+            batch,
+            variant: NttVariant::CosetForwardNr,
+            layout: Layout::PolyMajor,
+        },
+        format!("{what}: LDE NTT^NR"),
+    );
+    g.push_seq(
+        Kernel::Transpose {
+            rows: batch,
+            cols: rows << rate_bits,
+        },
+        format!("{what}: leaf gather"),
+    );
+    g.push_seq(
+        Kernel::MerkleTree {
+            num_leaves: rows << rate_bits,
+            leaf_len: batch,
+        },
+        format!("{what}: Merkle tree"),
+    );
+}
+
+/// Emits the FRI commit/fold/query phase over `lde_size` extension-field
+/// values with `total_polys` committed polynomials feeding the combination.
+fn push_fri(
+    g: &mut Graph,
+    lde_size: usize,
+    rows: usize,
+    total_polys: usize,
+    num_queries: usize,
+    pow_bits: usize,
+) {
+    // Initial combination: one pass over every committed LDE value.
+    let combine_bytes = lde_size as u64 * total_polys as u64 * 8 + lde_size as u64 * 16;
+    g.push_seq(
+        Kernel::PolyOp {
+            ops: lde_size as u64 * (total_polys as u64 * 3 + 16),
+            reuse: Reuse {
+                streaming_bytes: combine_bytes,
+                ideal_bytes: combine_bytes,
+                working_set_bytes: lde_size as u64 * 16,
+            },
+            },
+        "FRI: combine",
+    );
+
+    // Fold rounds until the final polynomial (length 8) remains.
+    let final_len = 8usize.min(rows);
+    let rounds = (rows / final_len).trailing_zeros() as usize;
+    let mut layer = lde_size;
+    for r in 0..rounds {
+        let layer_bytes = layer as u64 * 16;
+        g.push_seq(
+            Kernel::MerkleTree {
+                num_leaves: layer / 2,
+                leaf_len: 4,
+            },
+            format!("FRI: fold-layer {r} Merkle"),
+        );
+        g.push_seq(
+            Kernel::PolyOp {
+                ops: layer as u64 * 6,
+                reuse: Reuse {
+                    streaming_bytes: layer_bytes + layer_bytes / 2,
+                    ideal_bytes: layer_bytes + layer_bytes / 2,
+                    working_set_bytes: layer_bytes,
+                },
+            },
+            format!("FRI: fold {r}"),
+        );
+        layer /= 2;
+    }
+
+    // Grinding: expected 2^(bits-1) duplex permutations.
+    g.push_seq(
+        Kernel::Sponge {
+            num_perms: 1 << pow_bits.saturating_sub(1),
+            parallel: true,
+        },
+        "FRI: proof-of-work grind",
+    );
+
+    // Query phase: pseudo-random leaf + path gathering.
+    let path_bytes = (total_polys as u64 * 8 + 32 * (lde_size.trailing_zeros() as u64 + 1))
+        * num_queries as u64
+        * 2;
+    g.push_seq(
+        Kernel::GateEval {
+            ops: num_queries as u64 * 64,
+            bytes: path_bytes,
+            run_bytes: 64,
+        },
+        "FRI: queries",
+    );
+}
+
+/// Compiles a full Plonky2 proof generation into its kernel graph.
+pub fn compile_plonky2(inst: &Plonky2Instance) -> Graph {
+    let mut g = Graph::new();
+    let n = inst.rows;
+    let w = inst.width;
+    let s = inst.num_challenges;
+    let lde = n << inst.rate_bits;
+    let [_, _, perm_polys, quotient_polys] = inst.batch_widths();
+
+    // Witness generation arithmetic (small next to everything else).
+    let wires_bytes = (n * w * 8) as u64;
+    g.push_seq(
+        Kernel::PolyOp {
+            ops: (n * w) as u64,
+            reuse: Reuse {
+                streaming_bytes: wires_bytes,
+                ideal_bytes: wires_bytes,
+                working_set_bytes: wires_bytes.min(1 << 22),
+            },
+        },
+        "Witness generation",
+    );
+
+    push_commit(&mut g, n, w, inst.rate_bits, "Wires commitment");
+    g.push_seq(Kernel::Sponge { num_perms: 2 * s, parallel: false }, "Get challenges (β, γ)");
+
+    // Permutation columns: numerators, denominators (batch-inverted), and
+    // the chunked running products of §5.4.
+    let perm_ops = (s * n * w * 6) as u64;
+    let perm_streaming = (2 * s * n * w * 8) as u64;
+    g.push_seq(
+        Kernel::PolyOp {
+            ops: perm_ops,
+            reuse: Reuse {
+                streaming_bytes: perm_streaming,
+                ideal_bytes: (2 * n * w * 8) as u64,
+                working_set_bytes: (n * w * 8) as u64,
+            },
+        },
+        "Permutation: factors",
+    );
+    g.push_seq(
+        Kernel::PartialProducts {
+            len: (s * n * w) as u64,
+        },
+        "Permutation: partial products",
+    );
+    push_commit(&mut g, n, perm_polys, inst.rate_bits, "Permutation commitment");
+    g.push_seq(Kernel::Sponge { num_perms: s, parallel: false }, "Get challenges (α)");
+
+    // Quotient: constraint evaluation over the 8× LDE with the §7.1
+    // pseudo-random access pattern, then iNTT + commitment of the chunks.
+    let leaf_width = inst.total_polys() - quotient_polys;
+    g.push_seq(
+        Kernel::GateEval {
+            ops: (s * lde * (4 * w + 20)) as u64,
+            bytes: (lde * leaf_width * 8) as u64,
+            run_bytes: (w * 8) as u32,
+        },
+        "Quotient: constraint evaluation",
+    );
+    g.push_seq(
+        Kernel::Ntt {
+            log_n: inst.log_rows() + inst.rate_bits,
+            batch: s,
+            variant: NttVariant::CosetInverseNn,
+            layout: Layout::PolyMajor,
+        },
+        "Quotient: iNTT",
+    );
+    push_commit_coeffs(&mut g, n, quotient_polys, inst.rate_bits, "Quotient commitment");
+    g.push_seq(Kernel::Sponge { num_perms: 2, parallel: false }, "Get challenges (ζ)");
+
+    push_fri(
+        &mut g,
+        lde,
+        n,
+        inst.total_polys(),
+        inst.num_queries,
+        inst.pow_bits,
+    );
+    g
+}
+
+/// Compiles a full Starky proof generation into its kernel graph.
+pub fn compile_starky(inst: &StarkyInstance) -> Graph {
+    let mut g = Graph::new();
+    let n = inst.rows;
+    let w = inst.width;
+    let s = inst.num_challenges;
+    let lde = n << inst.rate_bits;
+
+    // Trace generation.
+    let trace_bytes = (n * w * 8) as u64;
+    g.push_seq(
+        Kernel::PolyOp {
+            ops: (n * w) as u64,
+            reuse: Reuse {
+                streaming_bytes: trace_bytes,
+                ideal_bytes: trace_bytes,
+                working_set_bytes: trace_bytes.min(1 << 22),
+            },
+        },
+        "Trace generation",
+    );
+    push_commit(&mut g, n, w, inst.rate_bits, "Trace commitment");
+    g.push_seq(Kernel::Sponge { num_perms: s, parallel: false }, "Get challenges (α)");
+
+    // Quotient: transition + boundary constraint evaluation on the 2× LDE.
+    g.push_seq(
+        Kernel::GateEval {
+            ops: (s * lde * (3 * inst.num_constraints + 8)) as u64,
+            bytes: (lde * 2 * w * 8) as u64, // local + next rows
+            run_bytes: (w * 8) as u32,
+        },
+        "Quotient: constraint evaluation",
+    );
+    g.push_seq(
+        Kernel::Ntt {
+            log_n: inst.rows.trailing_zeros() as usize + inst.rate_bits,
+            batch: s,
+            variant: NttVariant::CosetInverseNn,
+            layout: Layout::PolyMajor,
+        },
+        "Quotient: iNTT",
+    );
+    push_commit_coeffs(&mut g, n, s, inst.rate_bits, "Quotient commitment");
+    g.push_seq(Kernel::Sponge { num_perms: 2, parallel: false }, "Get challenges (ζ)");
+
+    push_fri(&mut g, lde, n, w + s, inst.num_queries, inst.pow_bits);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelClassTag;
+
+    #[test]
+    fn plonky2_graph_contains_all_kernel_classes() {
+        let g = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let mut seen = std::collections::HashSet::new();
+        for node in g.nodes() {
+            seen.insert(node.kernel.class());
+        }
+        assert!(seen.contains(&KernelClassTag::Ntt));
+        assert!(seen.contains(&KernelClassTag::Hash));
+        assert!(seen.contains(&KernelClassTag::Poly));
+        assert!(seen.contains(&KernelClassTag::Transpose));
+    }
+
+    #[test]
+    fn plonky2_batch_widths() {
+        let inst = Plonky2Instance::new(1 << 10, 135);
+        assert_eq!(inst.batch_widths(), [140, 135, 40, 16]);
+        assert_eq!(inst.total_polys(), 331);
+        assert_eq!(inst.num_chunks(), 20);
+    }
+
+    #[test]
+    fn graph_scales_with_rows() {
+        let small = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let large = compile_plonky2(&Plonky2Instance::new(1 << 14, 135));
+        // More FRI fold rounds at larger sizes.
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn starky_graph_compiles() {
+        let g = compile_starky(&StarkyInstance::new(1 << 12, 16, 10));
+        assert!(g.len() > 10);
+        // Starky commits fewer, narrower batches: total Merkle leaves per
+        // level are cheaper than Plonky2's at the same rows.
+        let merkles = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kernel, Kernel::MerkleTree { .. }))
+            .count();
+        assert!(merkles >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rows_rejected() {
+        let _ = Plonky2Instance::new(1000, 135);
+    }
+}

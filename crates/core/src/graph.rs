@@ -1,0 +1,130 @@
+//! The static computation graph the compiler emits (paper §5.5, Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::Kernel;
+
+/// Index of a node in its graph.
+pub type NodeId = usize;
+
+/// One kernel instance with its dependencies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// The kernel to execute.
+    pub kernel: Kernel,
+    /// Nodes that must complete first.
+    pub deps: Vec<NodeId>,
+    /// Human-readable label ("Wires Commitment / LDE", …) for reports.
+    pub label: String,
+}
+
+/// A static computation graph. UniZK schedules statically: the kernels to
+/// execute are all known before execution (§5).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a kernel with dependencies; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is not yet in the graph (insertion order
+    /// must be topological).
+    pub fn push(&mut self, kernel: Kernel, deps: Vec<NodeId>, label: impl Into<String>) -> NodeId {
+        let id = self.nodes.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} not yet inserted (node {id})");
+        }
+        self.nodes.push(Node {
+            kernel,
+            deps,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Appends a kernel depending on the previous node (chain style).
+    pub fn push_seq(&mut self, kernel: Kernel, label: impl Into<String>) -> NodeId {
+        let deps = if self.nodes.is_empty() {
+            vec![]
+        } else {
+            vec![self.nodes.len() - 1]
+        };
+        self.push(kernel, deps, label)
+    }
+
+    /// The nodes in insertion (topological) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Merges another graph after this one, chaining its first node to this
+    /// graph's last node and offsetting its internal dependencies.
+    pub fn append(&mut self, other: Graph) {
+        let offset = self.nodes.len();
+        for (i, mut node) in other.nodes.into_iter().enumerate() {
+            for d in node.deps.iter_mut() {
+                *d += offset;
+            }
+            if i == 0 && offset > 0 && node.deps.is_empty() {
+                node.deps.push(offset - 1);
+            }
+            self.nodes.push(node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sponge(n: usize) -> Kernel {
+        Kernel::Sponge { num_perms: n, parallel: false }
+    }
+
+    #[test]
+    fn push_and_chain() {
+        let mut g = Graph::new();
+        let a = g.push(sponge(1), vec![], "a");
+        let b = g.push_seq(sponge(2), "b");
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.nodes()[b].deps, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet inserted")]
+    fn forward_deps_rejected() {
+        let mut g = Graph::new();
+        g.push(sponge(1), vec![5], "bad");
+    }
+
+    #[test]
+    fn append_offsets_deps() {
+        let mut g1 = Graph::new();
+        g1.push(sponge(1), vec![], "a");
+        let mut g2 = Graph::new();
+        g2.push(sponge(2), vec![], "b");
+        g2.push_seq(sponge(3), "c");
+        g1.append(g2);
+        assert_eq!(g1.len(), 3);
+        assert_eq!(g1.nodes()[1].deps, vec![0]); // chained across graphs
+        assert_eq!(g1.nodes()[2].deps, vec![1]);
+    }
+}

@@ -1,0 +1,175 @@
+//! The kernel IR: what the compiler emits and the mapping layer costs.
+
+use serde::{Deserialize, Serialize};
+
+/// NTT direction/order variants (§5.1). All variants map to the same MDC
+/// pipelines; coset and inverse variants reuse the otherwise-idle
+/// inter-dimension twiddle PEs for their extra constant multiplications, so
+/// they share one cost model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NttVariant {
+    /// Forward, natural → natural.
+    ForwardNn,
+    /// Forward, natural → bit-reversed (the LDE commitment transform).
+    ForwardNr,
+    /// Inverse, natural → natural (value → coefficient).
+    InverseNn,
+    /// Coset forward (LDE evaluation domain).
+    CosetForwardNr,
+    /// Coset inverse.
+    CosetInverseNn,
+}
+
+/// Memory layout of an NTT's operand (§5.1 "Data layouts").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Each polynomial contiguous.
+    PolyMajor,
+    /// Same position of all polynomials contiguous (transposed on the fly
+    /// by the transpose buffer).
+    IndexMajor,
+}
+
+/// How much on-chip reuse an element-wise kernel gets (decided by the
+/// compiler's tiling analysis, §5.4).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Reuse {
+    /// Bytes that must move from/to DRAM if nothing is reused.
+    pub streaming_bytes: u64,
+    /// Bytes that move if the tile working set fits on chip.
+    pub ideal_bytes: u64,
+    /// Working-set bytes a tile needs resident for ideal reuse.
+    pub working_set_bytes: u64,
+}
+
+/// A single schedulable kernel instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// A batch of same-size NTTs.
+    Ntt {
+        /// `log2` of each transform's length.
+        log_n: usize,
+        /// Number of transforms in the batch.
+        batch: usize,
+        /// Variant (cost-equivalent; recorded for fidelity/debugging).
+        variant: NttVariant,
+        /// Operand layout in DRAM.
+        layout: Layout,
+    },
+    /// Merkle-tree construction (§5.3).
+    MerkleTree {
+        /// Number of leaves.
+        num_leaves: usize,
+        /// Field elements per leaf.
+        leaf_len: usize,
+    },
+    /// Standalone sponge hashing (Fiat–Shamir, grinding).
+    Sponge {
+        /// Poseidon permutations to run.
+        num_perms: usize,
+        /// Whether the permutations are independent (grinding nonce search)
+        /// or a serial duplex chain (Fiat–Shamir transcript).
+        parallel: bool,
+    },
+    /// Element-wise polynomial computation in vector mode (§5.4).
+    PolyOp {
+        /// Total modular operations (mul-add pairs count as one chained op).
+        ops: u64,
+        /// Memory behaviour.
+        reuse: Reuse,
+    },
+    /// Gate-constraint evaluation: element-wise math with pseudo-random
+    /// short-run accesses bounded by the circuit width (§7.1).
+    GateEval {
+        /// Total modular operations.
+        ops: u64,
+        /// Bytes accessed (short runs).
+        bytes: u64,
+        /// Contiguous run length in bytes (≈ circuit width × 8).
+        run_bytes: u32,
+    },
+    /// Quotient-chunk partial products (§5.4, Eqs. 1–2 and Fig. 6).
+    PartialProducts {
+        /// Length of the quotient vector.
+        len: u64,
+    },
+    /// An explicit layout transform. Hidden by the transpose buffer: costs
+    /// no dedicated time (§7.1) but is tracked for fidelity.
+    Transpose {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+    },
+}
+
+/// The three kernel classes of the paper's Fig. 8/9 breakdowns (plus the
+/// hidden transpose class).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClassTag {
+    /// NTT-family kernels.
+    Ntt,
+    /// Hash-family kernels (Merkle + other hashes).
+    Hash,
+    /// Polynomial computation (element-wise, gate eval, partial products).
+    Poly,
+    /// Layout transforms (overlapped; zero time in UniZK).
+    Transpose,
+}
+
+impl KernelClassTag {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Ntt => "NTT",
+            Self::Hash => "Hash",
+            Self::Poly => "Poly",
+            Self::Transpose => "Transpose",
+        }
+    }
+}
+
+impl Kernel {
+    /// The kernel's class for breakdown statistics.
+    pub fn class(&self) -> KernelClassTag {
+        match self {
+            Kernel::Ntt { .. } => KernelClassTag::Ntt,
+            Kernel::MerkleTree { .. } | Kernel::Sponge { .. } => KernelClassTag::Hash,
+            Kernel::PolyOp { .. } | Kernel::GateEval { .. } | Kernel::PartialProducts { .. } => {
+                KernelClassTag::Poly
+            }
+            Kernel::Transpose { .. } => KernelClassTag::Transpose,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(
+            Kernel::Ntt {
+                log_n: 10,
+                batch: 1,
+                variant: NttVariant::ForwardNr,
+                layout: Layout::PolyMajor
+            }
+            .class(),
+            KernelClassTag::Ntt
+        );
+        assert_eq!(
+            Kernel::MerkleTree { num_leaves: 8, leaf_len: 4 }.class(),
+            KernelClassTag::Hash
+        );
+        assert_eq!(
+            Kernel::PartialProducts { len: 100 }.class(),
+            KernelClassTag::Poly
+        );
+        assert_eq!(
+            Kernel::Transpose { rows: 4, cols: 4 }.class(),
+            KernelClassTag::Transpose
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! The UniZK accelerator model — the paper's primary contribution.
+//!
+//! UniZK (ASPLOS'25) is a unified ZKP accelerator: homogeneous
+//! vector-systolic arrays (VSAs) of modular-arithmetic PEs, a double-
+//! buffered scratchpad, a transpose buffer, a twiddle factor generator, and
+//! two HBM2e PHYs (Fig. 3). Rather than dedicated per-kernel units, *kernel
+//! mapping strategies* (§5) realize NTTs, Poseidon hashing, Merkle trees,
+//! element-wise polynomial ops, and partial products on the same hardware.
+//!
+//! This crate reproduces the paper's evaluation vehicle — a cycle-level
+//! simulator in the style of the published artifact:
+//!
+//! * [`arch`] — the hardware configuration ([`ChipConfig`]) and structural
+//!   constants of the VSA.
+//! * [`mapping`] — one cost model per kernel mapping strategy, each
+//!   producing compute cycles, memory traffic, and an access pattern from
+//!   the §5 pipeline structures.
+//! * [`graph`] / [`compiler`] — the static computation graph (Fig. 7) and
+//!   the front-end that expands a protocol instance into kernel nodes.
+//! * [`sim`] — the static scheduler: double-buffered compute/memory
+//!   overlap, per-kernel-class cycle and utilization statistics (the
+//!   numbers behind Tables 3–4 and Figs. 8–10).
+//! * [`chipmodel`] — the first-order area/power model reproducing Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_core::arch::ChipConfig;
+//! use unizk_core::compiler::{compile_plonky2, Plonky2Instance};
+//! use unizk_core::sim::Simulator;
+//!
+//! let chip = ChipConfig::default_chip();
+//! let instance = Plonky2Instance::new(1 << 10, 135);
+//! let graph = compile_plonky2(&instance);
+//! let report = Simulator::new(chip).run(&graph);
+//! assert!(report.total_cycles > 0);
+//! ```
+
+pub mod arch;
+pub mod chipmodel;
+pub mod compiler;
+pub mod graph;
+pub mod kernels;
+pub mod mapping;
+pub mod scratchpad;
+pub mod sim;
+pub mod sumcheck;
+pub mod vsa;
+
+pub use arch::ChipConfig;
+pub use chipmodel::{AreaPowerBreakdown, ComponentBudget};
+pub use compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+pub use graph::{Graph, Node, NodeId};
+pub use kernels::{Kernel, KernelClassTag};
+pub use sim::{ClassStats, NodeTrace, SimReport, Simulator};

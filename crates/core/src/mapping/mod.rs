@@ -1,0 +1,114 @@
+//! Kernel mapping strategies (paper §5): each maps one [`Kernel`] onto the
+//! VSA hardware and derives its cost — compute cycles, memory traffic, and
+//! access pattern — from the pipeline structure the paper describes.
+
+pub mod hash;
+pub mod ntt;
+pub mod poly;
+
+use serde::{Deserialize, Serialize};
+use unizk_dram::AccessPattern;
+
+use crate::arch::ChipConfig;
+use crate::kernels::Kernel;
+
+/// The cost of one kernel instance on the chip.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Cycles the allocated VSAs are busy (excluding memory stalls).
+    pub compute_cycles: u64,
+    /// Bytes read from DRAM.
+    pub read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub write_bytes: u64,
+    /// DRAM access pattern (drives achieved bandwidth).
+    #[serde(skip, default = "default_pattern")]
+    pub pattern: AccessPattern,
+    /// VSAs the mapping occupies.
+    pub vsas_used: usize,
+    /// One-time pipeline fill/drain overhead in cycles.
+    pub fill_cycles: u64,
+}
+
+fn default_pattern() -> AccessPattern {
+    AccessPattern::Sequential
+}
+
+impl KernelCost {
+    /// Total DRAM traffic.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// Maps a kernel onto the chip, returning its cost.
+pub fn map_kernel(kernel: &Kernel, chip: &ChipConfig) -> KernelCost {
+    match kernel {
+        Kernel::Ntt { log_n, batch, layout, .. } => ntt::map_ntt(*log_n, *batch, *layout, chip),
+        Kernel::MerkleTree { num_leaves, leaf_len } => {
+            hash::map_merkle(*num_leaves, *leaf_len, chip)
+        }
+        Kernel::Sponge { num_perms, parallel } => hash::map_sponge(*num_perms, *parallel, chip),
+        Kernel::PolyOp { ops, reuse } => poly::map_poly_op(*ops, reuse, chip),
+        Kernel::GateEval { ops, bytes, run_bytes } => {
+            poly::map_gate_eval(*ops, *bytes, *run_bytes, chip)
+        }
+        Kernel::PartialProducts { len } => poly::map_partial_products(*len, chip),
+        Kernel::Transpose { .. } => KernelCost {
+            // Handled by the transpose buffer in parallel with a
+            // neighbouring kernel (paper §7.1): no dedicated time.
+            compute_cycles: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+            pattern: AccessPattern::Sequential,
+            vsas_used: 0,
+            fill_cycles: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Layout, NttVariant};
+
+    #[test]
+    fn transpose_is_free() {
+        let cost = map_kernel(
+            &Kernel::Transpose { rows: 1024, cols: 135 },
+            &ChipConfig::default_chip(),
+        );
+        assert_eq!(cost.compute_cycles, 0);
+        assert_eq!(cost.total_bytes(), 0);
+    }
+
+    #[test]
+    fn every_kernel_maps() {
+        let chip = ChipConfig::default_chip();
+        let kernels = [
+            Kernel::Ntt {
+                log_n: 13,
+                batch: 4,
+                variant: NttVariant::ForwardNr,
+                layout: Layout::PolyMajor,
+            },
+            Kernel::MerkleTree { num_leaves: 1 << 13, leaf_len: 135 },
+            Kernel::Sponge { num_perms: 100, parallel: false },
+            Kernel::PolyOp {
+                ops: 1 << 20,
+                reuse: crate::kernels::Reuse {
+                    streaming_bytes: 1 << 23,
+                    ideal_bytes: 1 << 21,
+                    working_set_bytes: 1 << 20,
+                },
+            },
+            Kernel::GateEval { ops: 1 << 20, bytes: 1 << 23, run_bytes: 1080 },
+            Kernel::PartialProducts { len: 1 << 16 },
+        ];
+        for k in kernels {
+            let c = map_kernel(&k, &chip);
+            assert!(c.compute_cycles > 0, "{k:?}");
+            assert!(c.vsas_used > 0, "{k:?}");
+        }
+    }
+}

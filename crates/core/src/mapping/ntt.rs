@@ -1,0 +1,124 @@
+//! NTT mapping (paper §5.1 and Fig. 4).
+//!
+//! A variable-size NTT is decomposed into `k = ⌈log2(N)/5⌉` dimensions of
+//! fixed size-2^5 transforms (SAM-style). Each 12-PE VSA row is split into
+//! two 6-PE MDC pipelines; a pass chains the two pipelines through the
+//! transpose buffer to cover two decomposed dimensions (Fig. 4b), so a
+//! size-N NTT needs `⌈k/2⌉` passes over the data. Each pipeline ingests 2
+//! elements per cycle.
+
+use unizk_dram::AccessPattern;
+use unizk_ntt::NttDecomposition;
+
+use crate::arch::ChipConfig;
+use crate::kernels::Layout;
+use crate::mapping::KernelCost;
+
+/// Cost of a batch of `batch` size-`2^log_n` NTTs.
+pub fn map_ntt(log_n: usize, batch: usize, layout: Layout, chip: &ChipConfig) -> KernelCost {
+    let n = 1u64 << log_n;
+    let total_elems = n * batch as u64;
+    let plan = NttDecomposition::plan(log_n, chip.ntt_pipeline_log2);
+    let dims = plan.num_dims();
+    // Two chained pipelines per row cover two dimensions per pass.
+    let passes = dims.div_ceil(2) as u64;
+
+    // Ingest rate: one pipeline chain per row, 2 elements/cycle each.
+    let rows_total = (chip.num_vsas * chip.vsa_dim) as u64;
+    let elems_per_cycle = rows_total * ChipConfig::NTT_PIPELINE_THROUGHPUT as u64;
+    let compute_cycles = (passes * total_elems).div_ceil(elems_per_cycle);
+
+    // Pipeline fill: ~2 pipelines × (log(small) + 1) stages × small-NTT
+    // buffering, per pass.
+    let small = 1u64 << chip.ntt_pipeline_log2;
+    let fill_cycles = passes * 2 * (chip.ntt_pipeline_log2 as u64 + 1) * small;
+
+    // Memory traffic: if a whole transform (×8 B, double-buffered) fits in
+    // the scratchpad, intermediate passes stay on chip and the data makes
+    // one DRAM round trip; otherwise every pass round-trips.
+    let elem_bytes = 8u64;
+    let poly_bytes = n * elem_bytes;
+    let round_trips = if poly_bytes * 2 <= chip.scratchpad_bytes as u64 {
+        1
+    } else {
+        passes
+    };
+    let moved = total_elems * elem_bytes * round_trips;
+
+    // Poly-major operands stream sequentially; index-major operands go
+    // through the b×b transpose buffer, producing runs of b elements
+    // (§5.1: b = 16 keeps accesses "sufficiently consecutive").
+    let pattern = match layout {
+        Layout::PolyMajor => AccessPattern::Sequential,
+        Layout::IndexMajor => AccessPattern::ShortRuns {
+            run: ((chip.transpose_b as u64 * elem_bytes) / 64).max(1) as u32,
+        },
+    };
+
+    KernelCost {
+        compute_cycles,
+        read_bytes: moved,
+        write_bytes: moved,
+        pattern,
+        vsas_used: chip.num_vsas,
+        fill_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_matches_structure() {
+        let chip = ChipConfig::default_chip();
+        // 2^20 elements, k = 4 dims, 2 passes; 32 VSAs × 12 rows × 2/cycle
+        // = 768 elems/cycle.
+        let cost = map_ntt(20, 1, Layout::PolyMajor, &chip);
+        let expect = (2 * (1u64 << 20)).div_ceil(768);
+        assert_eq!(cost.compute_cycles, expect);
+    }
+
+    #[test]
+    fn small_ntts_fit_on_chip() {
+        let chip = ChipConfig::default_chip();
+        // 2^13 × 8 B = 64 KB << 8 MB: one round trip.
+        let cost = map_ntt(13, 1, Layout::PolyMajor, &chip);
+        assert_eq!(cost.read_bytes, (1 << 13) * 8);
+    }
+
+    #[test]
+    fn huge_ntts_round_trip_per_pass() {
+        let chip = ChipConfig::default_chip().with_scratchpad_mb(1);
+        // 2^20 × 8 B = 8 MB > 1 MB/2: passes× traffic.
+        let cost = map_ntt(20, 1, Layout::PolyMajor, &chip);
+        assert_eq!(cost.read_bytes, 2 * (1u64 << 20) * 8);
+    }
+
+    #[test]
+    fn batch_scales_linearly() {
+        let chip = ChipConfig::default_chip();
+        let one = map_ntt(12, 1, Layout::PolyMajor, &chip);
+        let many = map_ntt(12, 135, Layout::PolyMajor, &chip);
+        assert!(many.compute_cycles >= 100 * one.compute_cycles);
+    }
+
+    #[test]
+    fn index_major_uses_short_runs() {
+        let chip = ChipConfig::default_chip();
+        let cost = map_ntt(13, 4, Layout::IndexMajor, &chip);
+        assert_eq!(cost.pattern, AccessPattern::ShortRuns { run: 2 });
+    }
+
+    #[test]
+    fn more_vsas_speed_up_compute() {
+        let full = map_ntt(18, 8, Layout::PolyMajor, &ChipConfig::default_chip());
+        let half = map_ntt(
+            18,
+            8,
+            Layout::PolyMajor,
+            &ChipConfig::default_chip().with_vsas(16),
+        );
+        assert!(half.compute_cycles > full.compute_cycles);
+    }
+}

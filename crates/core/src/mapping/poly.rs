@@ -1,0 +1,146 @@
+//! Polynomial-computation mappings (paper §5.4 and Fig. 6).
+//!
+//! Element-wise kernels run in the VSA's vector mode: every PE is a vector
+//! lane executing one chained modular operation per cycle. Memory traffic
+//! depends on the compiler's tiling/replacement analysis: when the working
+//! set fits in the scratchpad the ideal traffic applies; otherwise traffic
+//! degrades toward full streaming.
+
+use unizk_dram::AccessPattern;
+
+use crate::arch::ChipConfig;
+use crate::kernels::Reuse;
+use crate::mapping::KernelCost;
+
+fn lanes(chip: &ChipConfig) -> u64 {
+    (chip.num_vsas * chip.pes_per_vsa()) as u64
+}
+
+/// Element-wise vector computation with compiler-managed reuse.
+pub fn map_poly_op(ops: u64, reuse: &Reuse, chip: &ChipConfig) -> KernelCost {
+    let compute_cycles = ops.div_ceil(lanes(chip)).max(1);
+    // Tiling analysis: scale traffic between ideal and streaming by how
+    // badly the working set overflows the (half, due to double buffering)
+    // scratchpad.
+    let capacity = (chip.scratchpad_bytes / 2) as f64;
+    let overflow = (reuse.working_set_bytes as f64 / capacity).max(1.0);
+    let bytes = ((reuse.ideal_bytes as f64 * overflow) as u64).min(reuse.streaming_bytes);
+    // Reads dominate element-wise chains; outputs are usually consumed by
+    // the next kernel. Attribute 3/4 to reads.
+    KernelCost {
+        compute_cycles,
+        read_bytes: bytes * 3 / 4,
+        write_bytes: bytes / 4,
+        pattern: AccessPattern::Sequential,
+        vsas_used: chip.num_vsas,
+        fill_cycles: chip.vsa_dim as u64 * 2,
+    }
+}
+
+/// Gate-constraint evaluation: vector math plus pseudo-random short-run
+/// accesses whose extent is bounded by the circuit width (§7.1 explains
+/// why this underutilizes bandwidth).
+pub fn map_gate_eval(ops: u64, bytes: u64, run_bytes: u32, chip: &ChipConfig) -> KernelCost {
+    let compute_cycles = ops.div_ceil(lanes(chip)).max(1);
+    KernelCost {
+        compute_cycles,
+        read_bytes: bytes * 3 / 4,
+        write_bytes: bytes / 4,
+        pattern: AccessPattern::ShortRuns {
+            run: (run_bytes / 64).max(1),
+        },
+        vsas_used: chip.num_vsas,
+        fill_cycles: chip.vsa_dim as u64 * 2,
+    }
+}
+
+/// Quotient-chunk partial products (Fig. 6): chunk products are fully
+/// parallel (each PE accumulates 16 quotients into 2 chunks); the running
+/// product chain is pipelined across neighbor PEs in three steps, adding a
+/// propagation latency proportional to the PE-group count.
+pub fn map_partial_products(len: u64, chip: &ChipConfig) -> KernelCost {
+    // ~3 passes over the data: quotient chunk products, local partials,
+    // neighbor propagation + final multiply.
+    let compute_cycles = (3 * len).div_ceil(lanes(chip)).max(1);
+    // Neighbor-chain propagation: one hop per PE in a VSA column path.
+    let chain_latency = (chip.vsa_dim * chip.vsa_dim) as u64;
+    KernelCost {
+        compute_cycles,
+        read_bytes: 2 * len * 8, // f and g streams
+        write_bytes: len,        // PP outputs (len/8 values × 8 B)
+        pattern: AccessPattern::Sequential,
+        vsas_used: chip.num_vsas,
+        fill_cycles: chain_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_reuse() -> Reuse {
+        Reuse {
+            streaming_bytes: 1 << 24,
+            ideal_bytes: 1 << 21,
+            working_set_bytes: 1 << 20, // 1 MB, fits in 4 MB half-pad
+        }
+    }
+
+    #[test]
+    fn fitting_working_set_gets_ideal_traffic() {
+        let chip = ChipConfig::default_chip();
+        let cost = map_poly_op(1 << 20, &small_reuse(), &chip);
+        assert_eq!(cost.total_bytes(), 1 << 21);
+    }
+
+    #[test]
+    fn overflowing_working_set_degrades_toward_streaming() {
+        let chip = ChipConfig::default_chip().with_scratchpad_mb(1);
+        let reuse = Reuse {
+            streaming_bytes: 1 << 24,
+            ideal_bytes: 1 << 21,
+            working_set_bytes: 4 << 20, // 4 MB >> 0.5 MB half-pad
+        };
+        let cost = map_poly_op(1 << 20, &reuse, &chip);
+        assert!(cost.total_bytes() > 1 << 21);
+        assert!(cost.total_bytes() <= 1 << 24);
+    }
+
+    #[test]
+    fn traffic_never_exceeds_streaming() {
+        let chip = ChipConfig::default_chip().with_scratchpad_mb(1);
+        let reuse = Reuse {
+            streaming_bytes: 1 << 22,
+            ideal_bytes: 1 << 21,
+            working_set_bytes: 1 << 30,
+        };
+        let cost = map_poly_op(1 << 20, &reuse, &chip);
+        assert_eq!(cost.total_bytes(), (1u64 << 22) / 4 * 3 + (1u64 << 22) / 4);
+    }
+
+    #[test]
+    fn compute_uses_all_lanes() {
+        let chip = ChipConfig::default_chip();
+        let cost = map_poly_op(4608 * 100, &small_reuse(), &chip);
+        assert_eq!(cost.compute_cycles, 100);
+    }
+
+    #[test]
+    fn gate_eval_pattern_tracks_width() {
+        let chip = ChipConfig::default_chip();
+        // 135-wide rows: 1080 B runs = 16 bursts.
+        let cost = map_gate_eval(1 << 20, 1 << 24, 1080, &chip);
+        assert_eq!(cost.pattern, AccessPattern::ShortRuns { run: 16 });
+        // Narrow parameter (paper: "could be as low as 2" elements).
+        let narrow = map_gate_eval(1 << 20, 1 << 24, 16, &chip);
+        assert_eq!(narrow.pattern, AccessPattern::ShortRuns { run: 1 });
+    }
+
+    #[test]
+    fn partial_products_pay_chain_latency() {
+        let chip = ChipConfig::default_chip();
+        let cost = map_partial_products(1 << 16, &chip);
+        assert_eq!(cost.fill_cycles, 144);
+        assert!(cost.compute_cycles > 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The sum-check primitive (paper §8.1, Algorithm 2) — the "generality"
+//! extension.
+//!
+//! Newer hash-based protocols (Spartan, Binius, Basefold) rest on the
+//! sum-check protocol, whose main loop alternates a vector reduction with
+//! an element-wise vector update. The paper argues a UniZK-style chip
+//! handles both: the update maps to the vector mode like element-wise
+//! polynomial ops, and the reduction rides the systolic accumulation links
+//! used for matrix-multiply partial sums. This module provides the
+//! functional reference, the mapping cost model, and a compiler helper so
+//! the extension can be simulated and benchmarked like the core kernels.
+
+use unizk_dram::AccessPattern;
+use unizk_field::{Field, Goldilocks};
+
+use crate::arch::ChipConfig;
+use crate::graph::Graph;
+use crate::kernels::{Kernel, Reuse};
+use crate::mapping::KernelCost;
+
+/// One round's pair `(y[i][0], y[i][1])`: the sums of the even- and
+/// odd-indexed entries before folding with `r[i]`.
+pub type RoundSums = [Goldilocks; 2];
+
+/// Reference implementation of the paper's Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `a.len() != 2^r.len()`.
+pub fn sumcheck_reference(a: &[Goldilocks], r: &[Goldilocks]) -> Vec<RoundSums> {
+    assert_eq!(a.len(), 1usize << r.len(), "|A| must be 2^|r|");
+    let mut vec = a.to_vec();
+    let mut out = Vec::with_capacity(r.len());
+    for &ri in r {
+        let half = vec.len() / 2;
+        let mut y0 = Goldilocks::ZERO;
+        let mut y1 = Goldilocks::ZERO;
+        for j in 0..half {
+            y0 += vec[2 * j];
+            y1 += vec[2 * j + 1];
+        }
+        out.push([y0, y1]);
+        // A'[j] = A[2j] + r_i · (A[2j+1] − A[2j]).
+        let mut next = Vec::with_capacity(half);
+        for j in 0..half {
+            next.push(vec[2 * j] + ri * (vec[2 * j + 1] - vec[2 * j]));
+        }
+        vec = next;
+    }
+    out
+}
+
+/// The claimed total sum `Σ_j A[j]` a verifier starts from.
+pub fn total_sum(a: &[Goldilocks]) -> Goldilocks {
+    a.iter().copied().sum()
+}
+
+/// Maps one full sum-check (all `log_n` rounds) onto the chip.
+///
+/// Per round over a length-`m` vector: `m` additions for the two sums
+/// (accumulated along the systolic links, adding a `vsa_dim` drain
+/// latency per round) and `m/2` chained mul-adds for the update, in vector
+/// mode across all lanes. The vector streams from DRAM when it exceeds the
+/// scratchpad and stays resident afterwards.
+pub fn map_sumcheck(log_n: usize, chip: &ChipConfig) -> KernelCost {
+    let lanes = (chip.num_vsas * chip.pes_per_vsa()) as u64;
+    let mut compute = 0u64;
+    let mut traffic = 0u64;
+    let resident = chip.scratchpad_bytes as u64 / 2;
+    for round in 0..log_n {
+        let m = 1u64 << (log_n - round);
+        // Reduction (m adds) + update (m/2 chained ops).
+        compute += (m + m / 2).div_ceil(lanes);
+        let bytes = m * 8;
+        if bytes > resident {
+            // Read this round's vector and write the folded half.
+            traffic += bytes + bytes / 2;
+        }
+    }
+    // Systolic drain for the per-round scalar sums.
+    let fill = (log_n as u64) * (2 * chip.vsa_dim as u64);
+    KernelCost {
+        compute_cycles: compute.max(1),
+        read_bytes: traffic * 2 / 3,
+        write_bytes: traffic / 3,
+        pattern: AccessPattern::Sequential,
+        vsas_used: chip.num_vsas,
+        fill_cycles: fill,
+    }
+}
+
+/// Compiles a standalone sum-check of size `2^log_n` into a kernel graph
+/// (expressed with the existing vector-mode kernels, as §8.1 suggests).
+pub fn compile_sumcheck(log_n: usize) -> Graph {
+    let mut g = Graph::new();
+    for round in 0..log_n {
+        let m = 1u64 << (log_n - round);
+        let bytes = m * 8;
+        g.push_seq(
+            Kernel::PolyOp {
+                ops: m + m / 2,
+                reuse: Reuse {
+                    streaming_bytes: bytes + bytes / 2,
+                    ideal_bytes: if round == 0 { bytes } else { 0 },
+                    working_set_bytes: bytes,
+                },
+            },
+            format!("sum-check round {round}"),
+        );
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unizk_field::PrimeField64;
+
+    fn random_instance(log_n: usize, seed: u64) -> (Vec<Goldilocks>, Vec<Goldilocks>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..1 << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        let r = (0..log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        (a, r)
+    }
+
+    #[test]
+    fn round_zero_sums_to_total() {
+        let (a, r) = random_instance(10, 1);
+        let ys = sumcheck_reference(&a, &r);
+        assert_eq!(ys[0][0] + ys[0][1], total_sum(&a));
+    }
+
+    #[test]
+    fn verifier_recurrence_holds() {
+        // The sum-check soundness identity: each round's claimed sum must
+        // equal the previous round's linear polynomial evaluated at r_i:
+        // y_{i+1}[0] + y_{i+1}[1] = y_i[0] + r_i·(y_i[1] − y_i[0]).
+        let (a, r) = random_instance(12, 2);
+        let ys = sumcheck_reference(&a, &r);
+        for i in 0..r.len() - 1 {
+            let folded = ys[i][0] + r[i] * (ys[i][1] - ys[i][0]);
+            assert_eq!(ys[i + 1][0] + ys[i + 1][1], folded, "round {i}");
+        }
+    }
+
+    #[test]
+    fn tampered_vector_breaks_recurrence() {
+        let (mut a, r) = random_instance(8, 3);
+        let honest = sumcheck_reference(&a, &r);
+        a[5] += Goldilocks::ONE;
+        let tampered = sumcheck_reference(&a, &r);
+        assert_ne!(honest, tampered);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^|r|")]
+    fn mismatched_sizes_rejected() {
+        let _ = sumcheck_reference(&[Goldilocks::ZERO; 8], &[Goldilocks::ZERO; 2]);
+    }
+
+    #[test]
+    fn mapping_costs_scale_with_size() {
+        let chip = ChipConfig::default_chip();
+        let small = map_sumcheck(16, &chip);
+        let large = map_sumcheck(20, &chip);
+        assert!(large.compute_cycles > 8 * small.compute_cycles);
+    }
+
+    #[test]
+    fn large_instances_generate_traffic_small_stay_resident() {
+        let chip = ChipConfig::default_chip();
+        // 2^18 × 8 B = 2 MB < 4 MB: fully resident.
+        assert_eq!(map_sumcheck(18, &chip).total_bytes(), 0);
+        // 2^24 × 8 B = 128 MB: streams.
+        assert!(map_sumcheck(24, &chip).total_bytes() > 0);
+    }
+
+    #[test]
+    fn compiled_graph_simulates() {
+        let chip = ChipConfig::default_chip();
+        let report = crate::sim::Simulator::new(chip).run(&compile_sumcheck(20));
+        assert!(report.total_cycles > 0);
+        assert_eq!(report.classes.len(), 1); // all vector-mode poly kernels
+    }
+}

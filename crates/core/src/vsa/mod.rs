@@ -1,0 +1,26 @@
+//! Functional models of the vector-systolic array's mapping dataflows.
+//!
+//! The paper's methodology (§6) rests on RTL implementations of the VSA,
+//! transpose unit, and twiddle generator that were "extensively verified"
+//! for functional correctness, with the performance simulator validated
+//! against them. This module is the reproduction's analogue: cycle-
+//! structured functional models of each §5 mapping — the MDC NTT pipeline
+//! (Fig. 4a), the Poseidon round dataflows (Fig. 5), the partial-product
+//! schedule (Fig. 6), and the vector mode — each validated against the
+//! golden software kernels in `unizk-ntt` and `unizk-hash`, and each
+//! reporting the pipeline constants (initiation interval, fill latency)
+//! that the [`crate::mapping`] cost models assume.
+
+pub mod ntt_pipeline;
+pub mod partial_products;
+pub mod poseidon_dataflow;
+pub mod transpose_buffer;
+pub mod twiddle_generator;
+pub mod vector_unit;
+
+pub use ntt_pipeline::MdcPipeline;
+pub use partial_products::PartialProductArray;
+pub use poseidon_dataflow::PoseidonDataflow;
+pub use transpose_buffer::TransposeBuffer;
+pub use twiddle_generator::TwiddleGenerator;
+pub use vector_unit::{VectorOp, VectorUnit};

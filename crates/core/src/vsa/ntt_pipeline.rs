@@ -1,0 +1,270 @@
+//! The MDC (multi-path delay commutator) NTT pipeline of Fig. 4a.
+//!
+//! A size-`n` DIF NTT maps to a linear sequence of `log2(n)` PEs, each
+//! implementing one butterfly stage with its twiddles in the PE register
+//! file and a delay buffer that pairs elements at the stage's stride. Two
+//! extra PEs at the tail perform the inter-dimension / constant
+//! multiplications (`N^{-1}·g^{-i}` for a coset-iNTT round).
+//!
+//! This functional model validates the mapping against the golden
+//! `unizk-ntt` kernels and derives the timing constants the cost model
+//! uses: throughput 2 elements/cycle, register buffering bounded by the
+//! stage stride.
+
+use unizk_field::{Field, Goldilocks, PrimeField64};
+
+/// Pipeline timing derived from the stage structure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PipelineTiming {
+    /// Cycles before the first output emerges (delay-buffer fills).
+    pub fill_latency: u64,
+    /// Cycles between transforms at steady state (`n / 2`: two elements
+    /// per cycle).
+    pub initiation_interval: u64,
+    /// Peak 64-bit words of delay buffering across all PEs.
+    pub buffer_words: usize,
+}
+
+/// One butterfly stage: half-size, per-pair twiddles.
+struct Stage {
+    half: usize,
+    twiddles: Vec<Goldilocks>,
+}
+
+/// A size-`2^log_n` DIF pipeline (natural input → bit-reversed output),
+/// optionally inverse, with an optional element-wise post-scale stage.
+pub struct MdcPipeline {
+    log_n: usize,
+    stages: Vec<Stage>,
+    post_scale: Option<Vec<Goldilocks>>,
+}
+
+impl MdcPipeline {
+    /// A forward DIF pipeline for size `2^log_n`.
+    pub fn forward(log_n: usize) -> Self {
+        Self::build(log_n, false)
+    }
+
+    /// An inverse DIF pipeline (inverse twiddles; no `1/N` scaling —
+    /// attach it with [`MdcPipeline::with_post_scale`], as the hardware
+    /// reuses the idle twiddle PE for it).
+    pub fn inverse(log_n: usize) -> Self {
+        Self::build(log_n, true)
+    }
+
+    fn build(log_n: usize, inverse: bool) -> Self {
+        let n = 1usize << log_n;
+        let mut root = Goldilocks::primitive_root_of_unity(log_n);
+        if inverse {
+            root = root.inverse();
+        }
+        let mut stages = Vec::with_capacity(log_n);
+        let mut half = n / 2;
+        let mut w_m = root;
+        while half >= 1 {
+            let mut tw = Vec::with_capacity(half);
+            let mut w = Goldilocks::ONE;
+            for _ in 0..half {
+                tw.push(w);
+                w *= w_m;
+            }
+            stages.push(Stage { half, twiddles: tw });
+            half /= 2;
+            w_m = w_m.square();
+        }
+        Self {
+            log_n,
+            stages,
+            post_scale: None,
+        }
+    }
+
+    /// Attaches the tail constant-multiplication PE (e.g. `N^{-1}·g^{-i}`
+    /// for the last round of a coset-iNTT). `factors[i]` multiplies the
+    /// element whose **natural** index is `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != 2^log_n`.
+    pub fn with_post_scale(mut self, factors: Vec<Goldilocks>) -> Self {
+        assert_eq!(factors.len(), 1 << self.log_n, "one factor per element");
+        self.post_scale = Some(factors);
+        self
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// Streams one transform through the pipeline: natural-order input,
+    /// bit-reversed-order output (`NTT^NR` dataflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 2^log_n`.
+    pub fn process(&self, input: &[Goldilocks]) -> Vec<Goldilocks> {
+        assert_eq!(input.len(), self.size(), "wrong input length");
+        let mut values = input.to_vec();
+        for stage in &self.stages {
+            let m = stage.half;
+            for block in (0..values.len()).step_by(2 * m) {
+                for j in 0..m {
+                    let a = values[block + j];
+                    let b = values[block + j + m];
+                    values[block + j] = a + b;
+                    values[block + j + m] = (a - b) * stage.twiddles[j];
+                }
+            }
+        }
+        if let Some(scale) = &self.post_scale {
+            // The tail PE sees elements in bit-reversed order; index its
+            // factor by the natural position.
+            for (pos, v) in values.iter_mut().enumerate() {
+                let natural = unizk_field::bit_reverse(pos, self.log_n);
+                *v *= scale[natural];
+            }
+        }
+        values
+    }
+
+    /// The timing constants of this pipeline (paper §5.1: each stage's
+    /// delay buffer is bounded by its stride; total register usage is
+    /// bounded by the fixed NTT size `n`).
+    pub fn timing(&self) -> PipelineTiming {
+        let n = self.size() as u64;
+        // Each stage delays by its half-size at 2 elements/cycle, plus one
+        // cycle of PE latency per stage (including the tail PE).
+        let fill: u64 = self
+            .stages
+            .iter()
+            .map(|s| s.half as u64 / 2 + 1)
+            .sum::<u64>()
+            + self.post_scale.is_some() as u64;
+        let buffer_words = self.stages.iter().map(|s| s.half).sum::<usize>()
+            + self.stages.iter().map(|s| s.twiddles.len()).sum::<usize>();
+        PipelineTiming {
+            fill_latency: fill,
+            initiation_interval: n / 2,
+            buffer_words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unizk_field::reverse_index_bits;
+    use unizk_ntt::{coset_intt_nn, intt_nn, ntt_nr};
+
+    fn random_vec(rng: &mut StdRng, n: usize) -> Vec<Goldilocks> {
+        (0..n).map(|_| Goldilocks::random(rng)).collect()
+    }
+
+    #[test]
+    fn forward_pipeline_matches_golden_ntt_nr() {
+        let mut rng = StdRng::seed_from_u64(600);
+        for log_n in [3usize, 5, 8] {
+            let input = random_vec(&mut rng, 1 << log_n);
+            let pipeline = MdcPipeline::forward(log_n);
+            let hw = pipeline.process(&input);
+            let mut golden = input.clone();
+            ntt_nr(&mut golden);
+            assert_eq!(hw, golden, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn inverse_pipeline_with_scale_pe_matches_intt() {
+        // The hardware iNTT: inverse DIF pipeline + the tail PE multiplying
+        // by N^{-1}, then the bit-reversal absorbed by the writeback.
+        let mut rng = StdRng::seed_from_u64(601);
+        let log_n = 5;
+        let n = 1usize << log_n;
+        let n_inv = Goldilocks::from_u64(n as u64).inverse();
+        let input = random_vec(&mut rng, n);
+
+        let pipeline = MdcPipeline::inverse(log_n).with_post_scale(vec![n_inv; n]);
+        let mut hw = pipeline.process(&input);
+        reverse_index_bits(&mut hw);
+
+        let mut golden = input.clone();
+        intt_nn(&mut golden);
+        assert_eq!(hw, golden);
+    }
+
+    #[test]
+    fn coset_intt_tail_factors_match_golden() {
+        // Coset-iNTT last round: tail factors N^{-1}·g^{-i} (paper Fig. 4a).
+        let mut rng = StdRng::seed_from_u64(602);
+        let log_n = 5;
+        let n = 1usize << log_n;
+        let g = Goldilocks::MULTIPLICATIVE_GENERATOR;
+        let n_inv = Goldilocks::from_u64(n as u64).inverse();
+        let g_inv = g.inverse();
+        let factors: Vec<Goldilocks> = (0..n as u64)
+            .map(|i| n_inv * g_inv.exp_u64(i))
+            .collect();
+        let input = random_vec(&mut rng, n);
+
+        let pipeline = MdcPipeline::inverse(log_n).with_post_scale(factors);
+        let mut hw = pipeline.process(&input);
+        reverse_index_bits(&mut hw);
+
+        let mut golden = input.clone();
+        coset_intt_nn(&mut golden, g);
+        assert_eq!(hw, golden);
+    }
+
+    #[test]
+    fn pipeline_length_matches_paper() {
+        // "we map a size-n NTT to a sequence of log n + 1 PEs" (§5.1).
+        let p = MdcPipeline::forward(5);
+        assert_eq!(p.stages.len(), 5); // + 1 tail PE when post-scale is attached
+        let with_tail = MdcPipeline::inverse(5).with_post_scale(vec![Goldilocks::ONE; 32]);
+        assert_eq!(with_tail.stages.len() + 1, 5 + 1);
+    }
+
+    #[test]
+    fn throughput_is_two_elements_per_cycle() {
+        let timing = MdcPipeline::forward(5).timing();
+        assert_eq!(timing.initiation_interval, 16); // 32 elements / 2 per cycle
+        assert!(timing.fill_latency > 0);
+    }
+
+    #[test]
+    fn buffering_is_bounded_by_n() {
+        // The paper: "the required register capacity is bound by the fixed
+        // NTT size n" — delay buffers sum to n−1 and twiddles to n−1.
+        let p = MdcPipeline::forward(5);
+        let t = p.timing();
+        assert_eq!(t.buffer_words, (32 - 1) + (32 - 1));
+        assert!(t.buffer_words < 2 * 32);
+    }
+
+    #[test]
+    fn pipelined_transforms_share_the_structure() {
+        // Several back-to-back transforms produce independent results
+        // (stateless stages: the commutator interleaves streams).
+        let mut rng = StdRng::seed_from_u64(603);
+        let p = MdcPipeline::forward(4);
+        let a = random_vec(&mut rng, 16);
+        let b = random_vec(&mut rng, 16);
+        let ra = p.process(&a);
+        let rb = p.process(&b);
+        let mut ga = a.clone();
+        ntt_nr(&mut ga);
+        let mut gb = b.clone();
+        ntt_nr(&mut gb);
+        assert_eq!(ra, ga);
+        assert_eq!(rb, gb);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input length")]
+    fn wrong_length_rejected() {
+        let _ = MdcPipeline::forward(4).process(&[Goldilocks::ZERO; 8]);
+    }
+}

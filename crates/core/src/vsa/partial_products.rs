@@ -1,0 +1,197 @@
+//! The partial-product schedule of Fig. 6 (paper §5.4, Eqs. 1–2),
+//! executed in the three PE-array steps the paper describes.
+//!
+//! Step A (Fig. 6a): each PE consumes 16 quotient values `q[j]` and
+//! accumulates them into 2 chunk products `h[i]` (8-element chunks,
+//! bounded by the PE register file).
+//!
+//! Steps 1–3 (Fig. 6b): chunks are regrouped through the scratchpad into
+//! per-PE groups `z_k` of `n = 32` chunks; each PE computes its local
+//! prefix products, propagates its last product to the next neighbor PE,
+//! and finally multiplies the received carry into its local prefixes.
+
+use unizk_field::{Field, Goldilocks};
+
+/// Functional model of the Fig. 6 schedule on a chain of PEs.
+#[derive(Clone, Copy, Debug)]
+pub struct PartialProductArray {
+    /// Chunk size for Eq. 1 (8 in the paper).
+    pub chunk: usize,
+    /// Chunks per PE group for Fig. 6b (32 in the paper — bounded by the
+    /// register file).
+    pub group: usize,
+}
+
+impl Default for PartialProductArray {
+    fn default() -> Self {
+        Self { chunk: 8, group: 32 }
+    }
+}
+
+/// The step-count breakdown of one execution (for the timing model).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PartialProductTrace {
+    /// Multiplications in the chunk-product step (Eq. 1).
+    pub chunk_muls: u64,
+    /// Multiplications in the local-prefix step.
+    pub local_muls: u64,
+    /// Sequential neighbor-propagation hops (the Eq. 2 dependency chain —
+    /// the only serial part).
+    pub propagate_hops: u64,
+    /// Multiplications in the final carry-apply step.
+    pub final_muls: u64,
+}
+
+impl PartialProductArray {
+    /// Computes the chunk products `h[i] = Π q[8i..8i+8]` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` is not a multiple of the chunk size.
+    pub fn chunk_products(&self, q: &[Goldilocks]) -> Vec<Goldilocks> {
+        assert_eq!(q.len() % self.chunk, 0, "length must be chunk-aligned");
+        q.chunks(self.chunk)
+            .map(|c| c.iter().copied().product())
+            .collect()
+    }
+
+    /// Runs the full Fig. 6 schedule: returns `PP[i] = Π_{j≤i} h[j]`
+    /// (Eq. 2) plus the step trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` is not a multiple of the chunk size.
+    pub fn run(&self, q: &[Goldilocks]) -> (Vec<Goldilocks>, PartialProductTrace) {
+        let h = self.chunk_products(q);
+        let chunk_muls = q.len() as u64; // one MAC-equivalent per element
+
+        // Regroup into per-PE groups z_k (through the scratchpad).
+        let mut pp = vec![Goldilocks::ZERO; h.len()];
+        let mut carries = Vec::new();
+
+        // Step 1: local prefix products inside each PE.
+        let mut local_muls = 0u64;
+        for (k, group) in h.chunks(self.group).enumerate() {
+            let base = k * self.group;
+            let mut acc = Goldilocks::ONE;
+            for (j, &z) in group.iter().enumerate() {
+                acc *= z;
+                local_muls += 1;
+                pp[base + j] = acc;
+            }
+            carries.push(acc); // Z_k[n−1], to be propagated
+        }
+
+        // Step 2: sequential neighbor propagation of the carries
+        // (PE k+1 receives Π of all previous groups).
+        let mut received = vec![Goldilocks::ONE; carries.len()];
+        let mut propagate_hops = 0u64;
+        let mut running = Goldilocks::ONE;
+        for (k, &c) in carries.iter().enumerate() {
+            received[k] = running;
+            running *= c;
+            propagate_hops += 1;
+        }
+
+        // Step 3: each PE multiplies the received carry into its locals.
+        let mut final_muls = 0u64;
+        for (k, chunk) in pp.chunks_mut(self.group).enumerate() {
+            for v in chunk.iter_mut() {
+                *v *= received[k];
+                final_muls += 1;
+            }
+        }
+
+        (
+            pp,
+            PartialProductTrace {
+                chunk_muls,
+                local_muls,
+                propagate_hops,
+                final_muls,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unizk_field::PrimeField64;
+
+    fn random_q(rng: &mut StdRng, len: usize) -> Vec<Goldilocks> {
+        (0..len).map(|_| Goldilocks::random(rng)).collect()
+    }
+
+    fn direct_pp(q: &[Goldilocks], chunk: usize) -> Vec<Goldilocks> {
+        // Eqs. 1–2 computed directly.
+        let h: Vec<Goldilocks> = q.chunks(chunk).map(|c| c.iter().copied().product()).collect();
+        let mut acc = Goldilocks::ONE;
+        h.iter()
+            .map(|&x| {
+                acc *= x;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_matches_direct_computation() {
+        let mut rng = StdRng::seed_from_u64(800);
+        let array = PartialProductArray::default();
+        for len in [64usize, 256, 8 * 32 * 5, 4096] {
+            let q = random_q(&mut rng, len);
+            let (pp, _) = array.run(&q);
+            assert_eq!(pp, direct_pp(&q, 8), "len={len}");
+        }
+    }
+
+    #[test]
+    fn partial_group_at_the_tail() {
+        // Lengths that do not fill the last PE group still work.
+        let mut rng = StdRng::seed_from_u64(801);
+        let array = PartialProductArray::default();
+        let q = random_q(&mut rng, 8 * 33); // 33 chunks: one full group + 1
+        let (pp, _) = array.run(&q);
+        assert_eq!(pp, direct_pp(&q, 8));
+    }
+
+    #[test]
+    fn serial_chain_is_only_the_propagation() {
+        // The whole point of Fig. 6: Eq. 2's long dependency chain shrinks
+        // to one hop per PE group.
+        let array = PartialProductArray::default();
+        let mut rng = StdRng::seed_from_u64(802);
+        let len = 8 * 32 * 16; // 16 PE groups
+        let q = random_q(&mut rng, len);
+        let (_, trace) = array.run(&q);
+        assert_eq!(trace.propagate_hops, 16);
+        // Naive sequential Eq. 2 would need one dependent multiply per
+        // chunk: 512 serial steps vs our 16 + local work.
+        assert!(trace.propagate_hops < (len / 8) as u64 / 8);
+        assert_eq!(trace.chunk_muls, len as u64);
+        assert_eq!(trace.local_muls, (len / 8) as u64);
+        assert_eq!(trace.final_muls, (len / 8) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk-aligned")]
+    fn unaligned_rejected() {
+        let _ = PartialProductArray::default().run(&[Goldilocks::ONE; 13]);
+    }
+
+    #[test]
+    fn matches_plonk_permutation_semantics() {
+        // The same computation the Plonk prover performs per challenge
+        // round: PP over 8-element chunk products of the quotient vector.
+        let mut rng = StdRng::seed_from_u64(803);
+        let q = random_q(&mut rng, 8 * 64);
+        let array = PartialProductArray::default();
+        let (pp, _) = array.run(&q);
+        // Final PP equals the grand product of all q.
+        let grand: Goldilocks = q.iter().copied().product();
+        assert_eq!(*pp.last().expect("nonempty"), grand);
+    }
+}

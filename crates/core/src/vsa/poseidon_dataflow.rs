@@ -1,0 +1,207 @@
+//! The Poseidon round dataflows of Fig. 5, executed PE-step by PE-step.
+//!
+//! * **Full round** (Fig. 5a): a row of 4 folded PEs computes the constant
+//!   addition and the `x^7` S-box as a 4-step pipeline, then the dense MDS
+//!   matrix–vector product runs on the 12×12 array in weight-stationary
+//!   systolic order (partial sums accumulate hop by hop).
+//! * **Partial round** (Fig. 5b): the first PE column computes the scalar
+//!   S-box chain on `state[0]`; the second column's *reverse links*
+//!   broadcast the result to all rows and accumulate the `u·state` dot
+//!   product bottom-up; the third column computes `state[0]·v + E·state`.
+//!
+//! Composing these dataflows for the full 8-full/22-partial schedule must
+//! (and does — see the tests) reproduce `unizk_hash::poseidon_permute`
+//! bit for bit.
+
+use unizk_field::{Field, Goldilocks};
+use unizk_hash::poseidon::{constants, FULL_ROUNDS, PARTIAL_ROUNDS, WIDTH};
+
+/// Functional model of the Poseidon mapping on one VSA.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoseidonDataflow;
+
+impl PoseidonDataflow {
+    /// A fresh dataflow model.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The 4-PE folded S-box row: `((x+c)²)²·(x+c)²·(x+c)` computed in
+    /// pipeline steps (PE1: add+square; PE2: square; PE3/4: two multiplies
+    /// folded onto two PEs).
+    fn sbox_row(x: Goldilocks, c: Goldilocks) -> Goldilocks {
+        let t = x + c; // PE 1: constant add
+        let t2 = t.square(); // PE 1 (folded second op)
+        let t4 = t2.square(); // PE 2
+        let t6 = t4 * t2; // PE 3
+        t6 * t // PE 4
+    }
+
+    /// Weight-stationary systolic matrix–vector product: `out = M · s`,
+    /// with partial sums accumulated hop by hop down each column.
+    fn systolic_matvec(m: &[[Goldilocks; WIDTH]; WIDTH], s: &[Goldilocks; WIDTH]) -> [Goldilocks; WIDTH] {
+        let mut out = [Goldilocks::ZERO; WIDTH];
+        // Hop t: every output row accumulates its t-th term — the same
+        // MACs a systolic wavefront performs, in wavefront order.
+        for t in 0..WIDTH {
+            for (row, acc) in out.iter_mut().enumerate() {
+                *acc += m[row][t] * s[t];
+            }
+        }
+        out
+    }
+
+    /// One full round on the 12×8 folded region (Fig. 5a).
+    pub fn full_round(&self, state: &[Goldilocks; WIDTH], r: usize) -> [Goldilocks; WIDTH] {
+        let cs = constants();
+        let mut sboxed = [Goldilocks::ZERO; WIDTH];
+        for (i, out) in sboxed.iter_mut().enumerate() {
+            *out = Self::sbox_row(state[i], cs.round_constants[r][i]);
+        }
+        Self::systolic_matvec(&cs.mds, &sboxed)
+    }
+
+    /// The pre-partial round on the full 12×12 array (constant add merged
+    /// into the first matmul column, §5.2).
+    pub fn pre_partial_round(&self, state: &[Goldilocks; WIDTH]) -> [Goldilocks; WIDTH] {
+        let cs = constants();
+        let mut added = *state;
+        for (x, c) in added.iter_mut().zip(cs.pre_partial_constants.iter()) {
+            *x += *c;
+        }
+        Self::systolic_matvec(&cs.pre_mds, &added)
+    }
+
+    /// One partial round on a 12×3 region (Fig. 5b).
+    pub fn partial_round(&self, state: &[Goldilocks; WIDTH], r: usize) -> [Goldilocks; WIDTH] {
+        let cs = constants();
+
+        // Column 1: scalar pipeline on state[0] (S-box then constant add),
+        // flowing top to bottom.
+        let t = state[0];
+        let t2 = t.square();
+        let t4 = t2.square();
+        let s0 = t4 * t2 * t + cs.partial_round_constants[r];
+
+        // Column 2, downward pass: the reverse links distribute s0 to all
+        // rows while each row forms its u[j]·state[j] term; the terms then
+        // accumulate bottom-up along the reverse links into the top PE.
+        let mut partial_terms = [Goldilocks::ZERO; WIDTH];
+        partial_terms[0] = cs.sparse_u[r][0] * s0;
+        for j in 1..WIDTH {
+            partial_terms[j] = cs.sparse_u[r][j] * state[j];
+        }
+        let mut dot = Goldilocks::ZERO;
+        for j in (0..WIDTH).rev() {
+            // bottom-up accumulation hop
+            dot += partial_terms[j];
+        }
+
+        // Column 3: scalar–vector multiply-add `s0·v + E·state`, row-wise,
+        // with the broadcast s0 from column 2.
+        let mut out = [Goldilocks::ZERO; WIDTH];
+        out[0] = dot;
+        for j in 1..WIDTH {
+            out[j] = cs.sparse_v[r][j] * s0 + cs.sparse_diag[r][j] * state[j];
+        }
+        out
+    }
+
+    /// The complete permutation, scheduled as the mapping executes it:
+    /// 4 full rounds, the pre-partial round, 22 partial rounds in groups
+    /// of four (the 12×3 × 4 arrangement), 4 full rounds.
+    pub fn permute(&self, state: &[Goldilocks; WIDTH]) -> [Goldilocks; WIDTH] {
+        let mut s = *state;
+        for r in 0..FULL_ROUNDS / 2 {
+            s = self.full_round(&s, r);
+        }
+        s = self.pre_partial_round(&s);
+        // Groups of four consecutive partial rounds share one array pass.
+        let mut r = 0;
+        while r < PARTIAL_ROUNDS {
+            let group_end = (r + 4).min(PARTIAL_ROUNDS);
+            for round in r..group_end {
+                s = self.partial_round(&s, round);
+            }
+            r = group_end;
+        }
+        for r in FULL_ROUNDS / 2..FULL_ROUNDS {
+            s = self.full_round(&s, r);
+        }
+        s
+    }
+
+    /// PEs a full round occupies after folding (12 rows × 8 columns,
+    /// §5.2).
+    pub const FULL_ROUND_PES: (usize, usize) = (12, 8);
+    /// PEs one partial round occupies (12 × 3); four rounds fill the VSA.
+    pub const PARTIAL_ROUND_PES: (usize, usize) = (12, 3);
+    /// Latency of four chained partial rounds (paper: 145 cycles).
+    pub const FOUR_PARTIAL_ROUNDS_LATENCY: u64 = 145;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unizk_field::PrimeField64;
+    use unizk_hash::poseidon_permute;
+
+    fn random_state(rng: &mut StdRng) -> [Goldilocks; WIDTH] {
+        let mut s = [Goldilocks::ZERO; WIDTH];
+        for x in s.iter_mut() {
+            *x = Goldilocks::random(rng);
+        }
+        s
+    }
+
+    #[test]
+    fn dataflow_permutation_matches_golden() {
+        let mut rng = StdRng::seed_from_u64(700);
+        let dataflow = PoseidonDataflow::new();
+        for _ in 0..50 {
+            let state = random_state(&mut rng);
+            let mut golden = state;
+            poseidon_permute(&mut golden);
+            assert_eq!(dataflow.permute(&state), golden);
+        }
+    }
+
+    #[test]
+    fn zero_state_matches_golden() {
+        let dataflow = PoseidonDataflow::new();
+        let mut golden = [Goldilocks::ZERO; WIDTH];
+        poseidon_permute(&mut golden);
+        assert_eq!(dataflow.permute(&[Goldilocks::ZERO; WIDTH]), golden);
+    }
+
+    #[test]
+    fn region_sizes_match_paper() {
+        // 12×8 full-round region, 12×3 partial-round region, four partial
+        // rounds per 12×12 array, 145-cycle group latency.
+        assert_eq!(PoseidonDataflow::FULL_ROUND_PES, (12, 8));
+        assert_eq!(PoseidonDataflow::PARTIAL_ROUND_PES, (12, 3));
+        assert_eq!(PoseidonDataflow::PARTIAL_ROUND_PES.1 * 4, 12);
+        assert_eq!(PoseidonDataflow::FOUR_PARTIAL_ROUNDS_LATENCY, 145);
+    }
+
+    #[test]
+    fn sbox_row_is_x_to_the_seventh() {
+        let x = Goldilocks::from_u64(12345);
+        let c = Goldilocks::from_u64(678);
+        assert_eq!(PoseidonDataflow::sbox_row(x, c), (x + c).exp_u64(7));
+    }
+
+    #[test]
+    fn systolic_matvec_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(701);
+        let cs = constants();
+        let s = random_state(&mut rng);
+        let hw = PoseidonDataflow::systolic_matvec(&cs.mds, &s);
+        for i in 0..WIDTH {
+            let direct: Goldilocks = (0..WIDTH).map(|j| cs.mds[i][j] * s[j]).sum();
+            assert_eq!(hw[i], direct, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The VSA vector mode (paper §4): each column of the array acts as an
+//! independent vector lane, executing chained modular operations on
+//! register-file-resident tiles.
+//!
+//! This functional model executes small vector programs with the PE's
+//! real resource constraints — one multiplier and two adders per PE
+//! (chaining a multiply with up to two additive ops into one cycle), and
+//! a 64-word register file — and reports the cycle count the mapping
+//! layer's 1-chained-op/lane/cycle assumption rests on.
+
+use unizk_field::Goldilocks;
+
+/// Register-file capacity per PE in 64-bit words (paper §4: 64×64 bits).
+pub const REGISTERS_PER_PE: usize = 64;
+
+/// One chained vector operation over register-resident tiles. Registers
+/// are identified by index; each holds one tile element per lane.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VectorOp {
+    /// `dst ← a + b`.
+    Add { a: usize, b: usize, dst: usize },
+    /// `dst ← a − b`.
+    Sub { a: usize, b: usize, dst: usize },
+    /// `dst ← a · b`.
+    Mul { a: usize, b: usize, dst: usize },
+    /// `dst ← a · b + c` — one cycle, exercising the chained multiplier +
+    /// adder datapath (§5.4 "chained operations to reduce register access
+    /// pressure").
+    MulAdd { a: usize, b: usize, c: usize, dst: usize },
+    /// `dst ← a · b − c`.
+    MulSub { a: usize, b: usize, c: usize, dst: usize },
+}
+
+impl VectorOp {
+    fn registers(&self) -> [usize; 4] {
+        match *self {
+            VectorOp::Add { a, b, dst } | VectorOp::Sub { a, b, dst } | VectorOp::Mul { a, b, dst } => {
+                [a, b, dst, dst]
+            }
+            VectorOp::MulAdd { a, b, c, dst } | VectorOp::MulSub { a, b, c, dst } => [a, b, c, dst],
+        }
+    }
+}
+
+/// A bank of vector lanes (one per PE column across the chip's VSAs).
+#[derive(Clone, Debug)]
+pub struct VectorUnit {
+    lanes: usize,
+}
+
+impl VectorUnit {
+    /// A vector unit with `lanes` parallel lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        Self { lanes }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Executes `program` over `registers` (register-major: each register
+    /// holds one vector of equal length), returning the cycle count:
+    /// `ops · ⌈len / lanes⌉` — one chained op per lane per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register index exceeds [`REGISTERS_PER_PE`], registers
+    /// have unequal lengths, or the program touches a register that was
+    /// never written or preloaded.
+    pub fn execute(
+        &self,
+        program: &[VectorOp],
+        registers: &mut Vec<Option<Vec<Goldilocks>>>,
+    ) -> u64 {
+        registers.resize(REGISTERS_PER_PE, None);
+        let len = registers
+            .iter()
+            .flatten()
+            .map(|v| v.len())
+            .next()
+            .unwrap_or(0);
+        for v in registers.iter().flatten() {
+            assert_eq!(v.len(), len, "register tiles must have equal length");
+        }
+
+        for op in program {
+            let regs = op.registers();
+            for &r in &regs {
+                assert!(r < REGISTERS_PER_PE, "register {r} out of range");
+            }
+            let fetch = |registers: &Vec<Option<Vec<Goldilocks>>>, r: usize| -> Vec<Goldilocks> {
+                registers[r]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("register {r} read before write"))
+                    .clone()
+            };
+            let out: Vec<Goldilocks> = match *op {
+                VectorOp::Add { a, b, .. } => {
+                    let (va, vb) = (fetch(registers, a), fetch(registers, b));
+                    va.iter().zip(&vb).map(|(&x, &y)| x + y).collect()
+                }
+                VectorOp::Sub { a, b, .. } => {
+                    let (va, vb) = (fetch(registers, a), fetch(registers, b));
+                    va.iter().zip(&vb).map(|(&x, &y)| x - y).collect()
+                }
+                VectorOp::Mul { a, b, .. } => {
+                    let (va, vb) = (fetch(registers, a), fetch(registers, b));
+                    va.iter().zip(&vb).map(|(&x, &y)| x * y).collect()
+                }
+                VectorOp::MulAdd { a, b, c, .. } => {
+                    let (va, vb, vc) = (fetch(registers, a), fetch(registers, b), fetch(registers, c));
+                    va.iter()
+                        .zip(&vb)
+                        .zip(&vc)
+                        .map(|((&x, &y), &z)| x * y + z)
+                        .collect()
+                }
+                VectorOp::MulSub { a, b, c, .. } => {
+                    let (va, vb, vc) = (fetch(registers, a), fetch(registers, b), fetch(registers, c));
+                    va.iter()
+                        .zip(&vb)
+                        .zip(&vc)
+                        .map(|((&x, &y), &z)| x * y - z)
+                        .collect()
+                }
+            };
+            let dst = regs[3];
+            registers[dst] = Some(out);
+        }
+
+        program.len() as u64 * (len as u64).div_ceil(self.lanes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unizk_field::{Field, PrimeField64};
+
+    fn preload(values: &[Vec<Goldilocks>]) -> Vec<Option<Vec<Goldilocks>>> {
+        values.iter().cloned().map(Some).collect()
+    }
+
+    fn random_tile(rng: &mut StdRng, len: usize) -> Vec<Goldilocks> {
+        (0..len).map(|_| Goldilocks::random(rng)).collect()
+    }
+
+    #[test]
+    fn chained_mul_add_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(900);
+        let len = 1000;
+        let (a, b, c) = (
+            random_tile(&mut rng, len),
+            random_tile(&mut rng, len),
+            random_tile(&mut rng, len),
+        );
+        let mut regs = preload(&[a.clone(), b.clone(), c.clone()]);
+        let unit = VectorUnit::new(144);
+        let cycles = unit.execute(
+            &[VectorOp::MulAdd { a: 0, b: 1, c: 2, dst: 3 }],
+            &mut regs,
+        );
+        let got = regs[3].as_ref().expect("written");
+        for i in 0..len {
+            assert_eq!(got[i], a[i] * b[i] + c[i]);
+        }
+        // One chained op: ceil(1000/144) = 7 cycles.
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn gate_constraint_program() {
+        // The Plonk gate q_L·a + q_R·b + q_M·a·b + q_O·c + q_C as a chained
+        // vector program — the §5.4 element-wise workload.
+        let mut rng = StdRng::seed_from_u64(901);
+        let len = 256;
+        let tiles: Vec<Vec<Goldilocks>> = (0..8).map(|_| random_tile(&mut rng, len)).collect();
+        // regs: 0=a 1=b 2=c 3=qL 4=qR 5=qM 6=qO 7=qC
+        let mut regs = preload(&tiles);
+        let program = [
+            VectorOp::Mul { a: 0, b: 1, dst: 8 },               // ab
+            VectorOp::Mul { a: 5, b: 8, dst: 9 },               // qM·ab
+            VectorOp::MulAdd { a: 3, b: 0, c: 9, dst: 10 },     // qL·a + ...
+            VectorOp::MulAdd { a: 4, b: 1, c: 10, dst: 11 },    // qR·b + ...
+            VectorOp::MulAdd { a: 6, b: 2, c: 11, dst: 12 },    // qO·c + ...
+            VectorOp::Add { a: 12, b: 7, dst: 13 },             // + qC
+        ];
+        let unit = VectorUnit::new(4608);
+        let cycles = unit.execute(&program, &mut regs);
+        let got = regs[13].as_ref().expect("written");
+        for i in 0..len {
+            let expect = tiles[3][i] * tiles[0][i]
+                + tiles[4][i] * tiles[1][i]
+                + tiles[5][i] * tiles[0][i] * tiles[1][i]
+                + tiles[6][i] * tiles[2][i]
+                + tiles[7][i];
+            assert_eq!(got[i], expect, "i={i}");
+        }
+        // 6 chained ops, one pass each.
+        assert_eq!(cycles, 6);
+    }
+
+    #[test]
+    fn cycles_scale_with_lanes() {
+        let mut rng = StdRng::seed_from_u64(902);
+        let len = 4608 * 4;
+        let a = random_tile(&mut rng, len);
+        let program = [VectorOp::Add { a: 0, b: 0, dst: 1 }];
+        let mut regs = preload(&[a.clone()]);
+        let full = VectorUnit::new(4608).execute(&program, &mut regs);
+        let mut regs = preload(&[a]);
+        let quarter = VectorUnit::new(1152).execute(&program, &mut regs);
+        assert_eq!(full, 4);
+        assert_eq!(quarter, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_capacity_enforced() {
+        let unit = VectorUnit::new(4);
+        let mut regs = preload(&[vec![Goldilocks::ONE; 4]]);
+        unit.execute(&[VectorOp::Add { a: 0, b: 0, dst: 64 }], &mut regs);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before write")]
+    fn uninitialized_register_rejected() {
+        let unit = VectorUnit::new(4);
+        let mut regs = preload(&[vec![Goldilocks::ONE; 4]]);
+        unit.execute(&[VectorOp::Add { a: 0, b: 9, dst: 1 }], &mut regs);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the accelerator model: compiled graphs are
+//! well-formed for arbitrary instances, costs are monotone in the obvious
+//! directions, and the sum-check reference satisfies its invariants for
+//! arbitrary inputs.
+
+use proptest::prelude::*;
+use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+use unizk_core::sumcheck::{sumcheck_reference, total_sum};
+use unizk_core::{ChipConfig, Simulator};
+use unizk_field::Goldilocks;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn plonky2_graphs_are_well_formed(log_rows in 10usize..18, width in 3usize..200) {
+        let inst = Plonky2Instance::new(1 << log_rows, width);
+        let graph = compile_plonky2(&inst);
+        // Dependencies always reference earlier nodes (topological order).
+        for (id, node) in graph.nodes().iter().enumerate() {
+            for &d in &node.deps {
+                prop_assert!(d < id);
+            }
+            prop_assert!(!node.label.is_empty());
+        }
+        // Every graph simulates to a positive cycle count.
+        let report = Simulator::new(ChipConfig::default_chip()).run(&graph);
+        prop_assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn more_rows_never_get_cheaper(log_rows in 10usize..16, width in 3usize..200) {
+        let chip = ChipConfig::default_chip();
+        let small = Simulator::new(chip.clone())
+            .run(&compile_plonky2(&Plonky2Instance::new(1 << log_rows, width)));
+        let large = Simulator::new(chip)
+            .run(&compile_plonky2(&Plonky2Instance::new(1 << (log_rows + 1), width)));
+        prop_assert!(large.total_cycles >= small.total_cycles);
+    }
+
+    #[test]
+    fn wider_traces_never_get_cheaper(log_rows in 10usize..14, width in 3usize..100) {
+        let chip = ChipConfig::default_chip();
+        let narrow = Simulator::new(chip.clone())
+            .run(&compile_starky(&StarkyInstance::new(1 << log_rows, width, width)));
+        let wide = Simulator::new(chip)
+            .run(&compile_starky(&StarkyInstance::new(1 << log_rows, width * 2, width)));
+        prop_assert!(wide.total_cycles >= narrow.total_cycles);
+    }
+
+    #[test]
+    fn sumcheck_invariants_hold_for_random_vectors(
+        log_n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use unizk_field::PrimeField64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<Goldilocks> = (0..1 << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        let r: Vec<Goldilocks> = (0..log_n).map(|_| Goldilocks::random(&mut rng)).collect();
+        let ys = sumcheck_reference(&a, &r);
+        prop_assert_eq!(ys.len(), log_n);
+        // Round 0 sums to the total.
+        prop_assert_eq!(ys[0][0] + ys[0][1], total_sum(&a));
+        // Each round's claim folds consistently into the next.
+        for i in 0..log_n.saturating_sub(1) {
+            let folded = ys[i][0] + r[i] * (ys[i][1] - ys[i][0]);
+            prop_assert_eq!(ys[i + 1][0] + ys[i + 1][1], folded);
+        }
+    }
+
+    #[test]
+    fn chip_budget_scales_sanely(vsas in 1usize..128, mb in 1usize..64) {
+        use unizk_core::chipmodel::AreaPowerBreakdown;
+        let chip = ChipConfig::default_chip().with_vsas(vsas).with_scratchpad_mb(mb);
+        let b = AreaPowerBreakdown::for_chip(&chip);
+        prop_assert!(b.total_area_mm2() > 0.0);
+        prop_assert!(b.total_power_w() > 0.0);
+        // VSA area is linear in count.
+        let base = AreaPowerBreakdown::for_chip(&ChipConfig::default_chip());
+        let ratio = b.components[0].area_mm2 / base.components[0].area_mm2;
+        prop_assert!((ratio - vsas as f64 / 32.0).abs() < 1e-9);
+    }
+}

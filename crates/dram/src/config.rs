@@ -1,0 +1,129 @@
+//! HBM geometry and timing configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// HBM2e configuration. All timings are in accelerator core cycles (1 GHz
+/// in the paper, so 1 cycle = 1 ns).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Independent pseudo-channels.
+    pub channels: usize,
+    /// Banks per pseudo-channel.
+    pub banks_per_channel: usize,
+    /// Row (page) size in bytes.
+    pub row_bytes: usize,
+    /// Transaction granularity in bytes (the artifact uses 64 B requests).
+    pub burst_bytes: usize,
+    /// Data-bus occupancy of one burst, in cycles.
+    pub burst_cycles: u64,
+    /// Activate-to-access latency (tRCD).
+    pub t_rcd: u64,
+    /// Precharge latency (tRP).
+    pub t_rp: u64,
+    /// Column-to-column delay within a bank (tCCD).
+    pub t_ccd: u64,
+    /// Activate-to-activate delay per channel (tRRD; also captures the
+    /// tFAW activation-rate limit, which is what caps random-access
+    /// bandwidth on real HBM).
+    pub t_rrd: u64,
+    /// Refresh interval per channel (tREFI); `0` disables refresh.
+    pub t_refi: u64,
+    /// Refresh duration (tRFC): the channel is blocked this long at every
+    /// tREFI boundary.
+    pub t_rfc: u64,
+}
+
+impl HbmConfig {
+    /// The paper's configuration: two HBM2e stacks, ~1 TB/s peak at a
+    /// 1 GHz core clock (32 pseudo-channels × 32 B/cycle).
+    pub fn hbm2e_two_stacks() -> Self {
+        Self {
+            channels: 32,
+            banks_per_channel: 16,
+            row_bytes: 1024,
+            burst_bytes: 64,
+            burst_cycles: 2, // 64 B over a 32 B/cycle pseudo-channel
+            t_rcd: 14,
+            t_rp: 14,
+            t_ccd: 2,
+            t_rrd: 6,
+            t_refi: 3900,
+            t_rfc: 260,
+        }
+    }
+
+    /// A configuration with bandwidth scaled by `num/den` relative to the
+    /// paper's, by scaling the pseudo-channel count (Fig. 10's memory
+    /// bandwidth axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled channel count would be zero.
+    pub fn scaled_bandwidth(num: usize, den: usize) -> Self {
+        let base = Self::hbm2e_two_stacks();
+        let channels = (base.channels * num) / den;
+        assert!(channels > 0, "scaled bandwidth too low");
+        Self { channels, ..base }
+    }
+
+    /// Peak bandwidth in bytes per core cycle.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * self.burst_bytes as f64 / self.burst_cycles as f64
+    }
+
+    /// Peak bandwidth in GB/s assuming a 1 GHz core clock.
+    pub fn peak_gb_per_s(&self) -> f64 {
+        self.peak_bytes_per_cycle()
+    }
+
+    /// Bursts per row (row-buffer hits available per activation).
+    pub fn bursts_per_row(&self) -> usize {
+        self.row_bytes / self.burst_bytes
+    }
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        Self::hbm2e_two_stacks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_peak_bandwidth_is_one_tb_per_s() {
+        let cfg = HbmConfig::hbm2e_two_stacks();
+        // 32 channels × 32 B/cycle × 1 GHz = 1024 GB/s ≈ 1 TB/s.
+        assert!((cfg.peak_gb_per_s() - 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn scaling_changes_peak() {
+        let half = HbmConfig::scaled_bandwidth(1, 2);
+        let double = HbmConfig::scaled_bandwidth(2, 1);
+        let base = HbmConfig::hbm2e_two_stacks();
+        assert!((half.peak_bytes_per_cycle() - base.peak_bytes_per_cycle() / 2.0).abs() < 1e-9);
+        assert!((double.peak_bytes_per_cycle() - base.peak_bytes_per_cycle() * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "too low")]
+    fn zero_bandwidth_rejected() {
+        let _ = HbmConfig::scaled_bandwidth(1, 64);
+    }
+
+    #[test]
+    fn geometry() {
+        let cfg = HbmConfig::hbm2e_two_stacks();
+        assert_eq!(cfg.bursts_per_row(), 16);
+    }
+
+    #[test]
+    fn refresh_overhead_is_single_digit_percent() {
+        let cfg = HbmConfig::hbm2e_two_stacks();
+        let overhead = cfg.t_rfc as f64 / cfg.t_refi as f64;
+        assert!(overhead > 0.02 && overhead < 0.10, "overhead {overhead}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the HBM timing model: conservation, causality,
+//! and monotonicity properties that any memory model must satisfy.
+
+use proptest::prelude::*;
+use unizk_dram::{AccessPattern, HbmConfig, MemoryModel, MemorySystem, Transaction};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_transactions_are_counted(addrs in prop::collection::vec(any::<u64>(), 1..500)) {
+        let mut sys = MemorySystem::new(HbmConfig::hbm2e_two_stacks());
+        for (i, &addr) in addrs.iter().enumerate() {
+            sys.access(Transaction { addr, is_write: i % 3 == 0 });
+        }
+        prop_assert_eq!(sys.stats().total(), addrs.len() as u64);
+        prop_assert_eq!(
+            sys.stats().row_hits + sys.stats().row_misses,
+            addrs.len() as u64
+        );
+    }
+
+    #[test]
+    fn completion_is_causal(addrs in prop::collection::vec(any::<u64>(), 1..200)) {
+        // Completion cycles are positive and the final stats cycle equals
+        // the max completion seen.
+        let mut sys = MemorySystem::new(HbmConfig::hbm2e_two_stacks());
+        let mut max_done = 0;
+        for &addr in &addrs {
+            let done = sys.access(Transaction { addr, is_write: false });
+            prop_assert!(done > 0);
+            max_done = max_done.max(done);
+        }
+        prop_assert_eq!(sys.stats().cycles, max_done);
+    }
+
+    #[test]
+    fn bandwidth_never_exceeds_peak(
+        start in any::<u64>(),
+        stride_sel in 0usize..4,
+        count in 100u64..5000,
+    ) {
+        let cfg = HbmConfig::hbm2e_two_stacks();
+        let stride = [64u64, 128, 1024, 64 * 33][stride_sel];
+        let mut sys = MemorySystem::new(cfg.clone());
+        sys.access_stream(start & !63, stride, count, false);
+        let bw = sys.stats().achieved_bytes_per_cycle(cfg.burst_bytes);
+        prop_assert!(bw <= cfg.peak_bytes_per_cycle() + 1e-9, "bw {bw}");
+    }
+
+    #[test]
+    fn model_cycles_monotone_in_bytes(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let model = MemoryModel::new(HbmConfig::hbm2e_two_stacks());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(
+            model.stream_cycles(lo, AccessPattern::Sequential)
+                <= model.stream_cycles(hi, AccessPattern::Sequential)
+        );
+    }
+
+    #[test]
+    fn scaled_bandwidth_is_proportional(num in 1usize..5) {
+        let base = MemoryModel::new(HbmConfig::hbm2e_two_stacks());
+        let scaled = MemoryModel::new(HbmConfig::scaled_bandwidth(num, 1));
+        let bytes = 1u64 << 24;
+        let base_cycles = base.stream_cycles(bytes, AccessPattern::Sequential) as f64;
+        let scaled_cycles = scaled.stream_cycles(bytes, AccessPattern::Sequential) as f64;
+        let ratio = base_cycles / scaled_cycles;
+        prop_assert!(
+            (ratio - num as f64).abs() / (num as f64) < 0.15,
+            "ratio {ratio} for scale {num}"
+        );
+    }
+}

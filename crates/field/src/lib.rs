@@ -1,0 +1,41 @@
+//! Finite-field arithmetic for the UniZK reproduction.
+//!
+//! This crate implements the algebra that every other layer of the system is
+//! built on:
+//!
+//! * [`Goldilocks`] — the 64-bit prime field `p = 2^64 - 2^32 + 1` used by
+//!   Plonky2 and Starky. All accelerator datapaths in the paper operate on
+//!   64-bit Goldilocks elements (§4 of the paper).
+//! * [`Ext2`] — the quadratic extension field (`D = 2`) used for soundness
+//!   in the protocol's random challenges.
+//! * [`Polynomial`] — a dense univariate polynomial over any [`Field`].
+//! * [`batch_inverse`] — Montgomery's batch-inversion trick, used heavily by
+//!   the quotient computation in the Plonk phase.
+//! * [`bit_reverse`] / [`reverse_index_bits`] — the bit-reversal permutations
+//!   that the NTT variants (`NN`, `NR`, …) are defined in terms of.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_field::{Field, Goldilocks};
+//!
+//! let a = Goldilocks::from_u64(5);
+//! let b = Goldilocks::from_u64(7);
+//! assert_eq!((a * b).as_u64(), 35);
+//! let inv = b.inverse();
+//! assert_eq!(b * inv, Goldilocks::ONE);
+//! ```
+
+pub mod extension;
+pub mod goldilocks;
+pub mod par;
+pub mod poly;
+pub mod traits;
+pub mod util;
+
+pub use extension::Ext2;
+pub use goldilocks::Goldilocks;
+pub use par::{current_parallelism, parallel_map, parallel_ranges, set_parallelism};
+pub use poly::Polynomial;
+pub use traits::{ExtensionOf, Field, PrimeField64};
+pub use util::{batch_inverse, bit_reverse, log2_strict, reverse_index_bits};

@@ -1,0 +1,141 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The CPU-baseline prover uses these to mirror the paper's multi-threaded
+//! Plonky2 baseline (§6 uses 80 threads). A process-wide override supports
+//! the single-threaded runs Table 1's breakdown methodology requires.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces all [`parallel_map`] calls to use exactly `n` threads
+/// (`0` restores the default of one thread per available core).
+///
+/// Used by the Table 1 harness, which reproduces the paper's
+/// single-threaded breakdown measurement.
+pub fn set_parallelism(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads [`parallel_map`] will use.
+pub fn current_parallelism() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        forced
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Falls back to a plain serial map when one thread is configured or the
+/// input is small.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_parallelism().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into owned chunks, one per worker, preserving order.
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f(start, end)` over disjoint subranges of `0..n` in parallel.
+pub fn parallel_ranges<F>(n: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = current_parallelism();
+    if threads <= 1 || n < 2 {
+        f(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            scope.spawn(move || f(start, end));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(items, |x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_allocations() {
+        // Non-Copy payloads exercise the move-out path.
+        let items: Vec<Vec<u64>> = (0..64).map(|i| vec![i; 10]).collect();
+        let out = parallel_map(items, |v| v.iter().sum::<u64>());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 10);
+        }
+    }
+
+    #[test]
+    fn serial_override() {
+        set_parallelism(1);
+        assert_eq!(current_parallelism(), 1);
+        let out = parallel_map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        set_parallelism(0);
+    }
+
+    #[test]
+    fn parallel_ranges_covers_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        parallel_ranges(1001, |s, e| {
+            hits.fetch_add((e - s) as u64, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1001);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

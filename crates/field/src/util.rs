@@ -1,0 +1,181 @@
+//! Small utilities shared by the NTT and protocol layers: bit-reversal
+//! permutations, strict log2, and batch inversion.
+
+use crate::traits::Field;
+
+/// Reverses the lowest `bits` bits of `index`.
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::bit_reverse;
+/// assert_eq!(bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(bit_reverse(0b110, 3), 0b011);
+/// ```
+#[inline]
+pub fn bit_reverse(index: usize, bits: usize) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    index.reverse_bits() >> (usize::BITS as usize - bits)
+}
+
+/// Permutes `values` in place into bit-reversed index order.
+///
+/// This is the `N`↔`R` order change that the paper's `NTT^NR` / `iNTT^NN`
+/// variants are defined by (§5.1).
+///
+/// # Panics
+///
+/// Panics if `values.len()` is not a power of two.
+pub fn reverse_index_bits<T>(values: &mut [T]) {
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    let bits = log2_strict(n);
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+}
+
+/// `log2(n)` for exact powers of two.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or not a power of two.
+#[inline]
+pub fn log2_strict(n: usize) -> usize {
+    assert!(n.is_power_of_two(), "{n} is not a power of two");
+    n.trailing_zeros() as usize
+}
+
+/// Computes the multiplicative inverse of every element using Montgomery's
+/// trick: one field inversion plus `3(n-1)` multiplications.
+///
+/// Used by the Plonk quotient computation, where millions of per-row
+/// divisions would otherwise dominate (paper §5.4, Eq. 1).
+///
+/// # Panics
+///
+/// Panics if any element is zero.
+pub fn batch_inverse<F: Field>(values: &[F]) -> Vec<F> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    // Prefix products.
+    let mut prefix = Vec::with_capacity(values.len());
+    let mut acc = F::ONE;
+    for &v in values {
+        assert!(!v.is_zero(), "batch_inverse of zero element");
+        acc *= v;
+        prefix.push(acc);
+    }
+    // Invert the total product once, then sweep backwards.
+    let mut inv = acc.inverse();
+    let mut out = vec![F::ZERO; values.len()];
+    for i in (1..values.len()).rev() {
+        out[i] = inv * prefix[i - 1];
+        inv *= values[i];
+    }
+    out[0] = inv;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goldilocks::Goldilocks;
+    use crate::traits::PrimeField64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_reverse_small() {
+        assert_eq!(bit_reverse(0, 0), 0);
+        assert_eq!(bit_reverse(0, 4), 0);
+        assert_eq!(bit_reverse(1, 4), 8);
+        assert_eq!(bit_reverse(0b1011, 4), 0b1101);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for bits in 1..10 {
+            for i in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(i, bits), bits), i);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_index_bits_size8() {
+        let mut v: Vec<usize> = (0..8).collect();
+        reverse_index_bits(&mut v);
+        assert_eq!(v, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn reverse_index_bits_is_involution() {
+        let mut v: Vec<usize> = (0..64).collect();
+        let orig = v.clone();
+        reverse_index_bits(&mut v);
+        reverse_index_bits(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn reverse_index_bits_rejects_non_power_of_two() {
+        let mut v = vec![1, 2, 3];
+        reverse_index_bits(&mut v);
+    }
+
+    #[test]
+    fn log2_strict_values() {
+        assert_eq!(log2_strict(1), 0);
+        assert_eq!(log2_strict(2), 1);
+        assert_eq!(log2_strict(1 << 20), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_strict_rejects_zero() {
+        let _ = log2_strict(0);
+    }
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        use crate::traits::Field;
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs: Vec<Goldilocks> = (0..100)
+            .map(|_| loop {
+                let x = Goldilocks::random(&mut rng);
+                if !x.is_zero() {
+                    break x;
+                }
+            })
+            .collect();
+        let invs = batch_inverse(&xs);
+        for (x, inv) in xs.iter().zip(&invs) {
+            assert_eq!(*x * *inv, Goldilocks::ONE);
+        }
+    }
+
+    #[test]
+    fn batch_inverse_empty_and_single() {
+        use crate::traits::Field;
+        assert!(batch_inverse::<Goldilocks>(&[]).is_empty());
+        let one = batch_inverse(&[Goldilocks::from_u64(4)]);
+        assert_eq!(one[0] * Goldilocks::from_u64(4), Goldilocks::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero element")]
+    fn batch_inverse_rejects_zero() {
+        use crate::traits::Field;
+        let _ = batch_inverse(&[Goldilocks::ONE, Goldilocks::ZERO]);
+    }
+}

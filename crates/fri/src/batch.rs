@@ -1,0 +1,240 @@
+//! Batched polynomial commitments — the "Wires Commitment"-style nodes in
+//! the paper's computation graph (Fig. 7): `iNTT` → `LDE` → `NTT^NR` →
+//! Merkle tree.
+
+use unizk_field::{bit_reverse, log2_strict, Ext2, Field, Goldilocks, Polynomial, PrimeField64};
+use unizk_ntt::{intt_nn, lde_nr};
+use unizk_hash::{Digest, MerkleTree};
+
+use crate::config::FriConfig;
+use crate::timing::KernelClass;
+
+/// The coset shift `g` every LDE in the protocol uses.
+pub fn coset_shift() -> Goldilocks {
+    Goldilocks::MULTIPLICATIVE_GENERATOR
+}
+
+/// A batch of equal-length polynomials committed in one Merkle tree.
+///
+/// Leaf `i` of the tree concatenates the values of all polynomials at LDE
+/// point `i` (bit-reversed order) — "taking values from the same position
+/// of all the polynomials and concatenating them" (paper Fig. 1 step ③).
+#[derive(Clone, Debug)]
+pub struct PolynomialBatch {
+    polys: Vec<Polynomial<Goldilocks>>,
+    tree: MerkleTree,
+    degree: usize,
+    rate_bits: usize,
+}
+
+impl PolynomialBatch {
+    /// Commits to polynomials given in coefficient form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or lengths differ / are not powers of
+    /// two.
+    pub fn from_coeffs(polys: Vec<Polynomial<Goldilocks>>, config: &FriConfig) -> Self {
+        assert!(!polys.is_empty(), "cannot commit to an empty batch");
+        let degree = polys[0].len();
+        assert!(degree.is_power_of_two(), "degree must be a power of two");
+        for p in &polys {
+            assert_eq!(p.len(), degree, "all polynomials must have equal length");
+        }
+
+        // LDE of every polynomial (NTT kernel), then gather the values at
+        // each domain position into Merkle leaves (a layout transform — the
+        // index-major view of §5.1), then hash the tree.
+        let shift = coset_shift();
+        let ldes: Vec<Vec<Goldilocks>> = crate::timing::time_kernel(KernelClass::Ntt, || {
+            let coeff_refs: Vec<&[Goldilocks]> = polys.iter().map(|p| p.coeffs()).collect();
+            unizk_field::parallel_map(coeff_refs, |c| lde_nr(c, config.rate_bits, shift))
+        });
+
+        let lde_size = degree << config.rate_bits;
+        let leaves: Vec<Vec<Goldilocks>> =
+            crate::timing::time_kernel(KernelClass::LayoutTransform, || {
+                let indices: Vec<usize> = (0..lde_size).collect();
+                unizk_field::parallel_map(indices, |i| ldes.iter().map(|l| l[i]).collect())
+            });
+
+        let tree =
+            crate::timing::time_kernel(KernelClass::MerkleTree, || MerkleTree::new(leaves));
+        Self {
+            polys,
+            tree,
+            degree,
+            rate_bits: config.rate_bits,
+        }
+    }
+
+    /// Commits to polynomials given as values over the size-`N` subgroup
+    /// (the trace representation): applies `iNTT^NN` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PolynomialBatch::from_coeffs`].
+    pub fn from_values(columns: Vec<Vec<Goldilocks>>, config: &FriConfig) -> Self {
+        let polys = crate::timing::time_kernel(KernelClass::Ntt, || {
+            unizk_field::parallel_map(columns, |mut v| {
+                intt_nn(&mut v);
+                Polynomial::from_coeffs(v)
+            })
+        });
+        Self::from_coeffs(polys, config)
+    }
+
+    /// The Merkle root (the commitment).
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Number of committed polynomials.
+    pub fn num_polys(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// The degree bound `N` (coefficient count per polynomial).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The LDE domain size `N · 2^rate_bits`.
+    pub fn lde_size(&self) -> usize {
+        self.degree << self.rate_bits
+    }
+
+    /// The committed polynomials (coefficient form).
+    pub fn polys(&self) -> &[Polynomial<Goldilocks>] {
+        &self.polys
+    }
+
+    /// The values of all polynomials at LDE position `index` (bit-reversed
+    /// order), i.e. the contents of leaf `index`.
+    pub fn leaf(&self, index: usize) -> &[Goldilocks] {
+        self.tree.leaf(index)
+    }
+
+    /// Merkle authentication path for leaf `index`.
+    pub fn prove_leaf(&self, index: usize) -> unizk_hash::MerkleProof {
+        self.tree.prove(index)
+    }
+
+    /// Evaluates every polynomial at an out-of-domain extension point.
+    pub fn eval_all_ext(&self, zeta: Ext2) -> Vec<Ext2> {
+        self.polys.iter().map(|p| p.eval_ext(zeta)).collect()
+    }
+
+    /// The LDE domain point (in the base field) at bit-reversed position
+    /// `index`: `g · ω^{rev(index)}`.
+    pub fn domain_point(&self, index: usize) -> Goldilocks {
+        domain_point(self.lde_size(), index)
+    }
+}
+
+/// The point of the standard coset LDE domain of size `lde_size` stored at
+/// bit-reversed position `index`.
+pub fn domain_point(lde_size: usize, index: usize) -> Goldilocks {
+    let bits = log2_strict(lde_size);
+    let omega = Goldilocks::primitive_root_of_unity(bits);
+    coset_shift() * omega.exp_u64(bit_reverse(index, bits) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_polys(rng: &mut StdRng, count: usize, degree: usize) -> Vec<Polynomial<Goldilocks>> {
+        (0..count)
+            .map(|_| {
+                Polynomial::from_coeffs((0..degree).map(|_| Goldilocks::random(rng)).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn leaf_values_match_polynomial_evaluation() {
+        let mut rng = StdRng::seed_from_u64(400);
+        let config = FriConfig::for_testing();
+        let polys = random_polys(&mut rng, 3, 8);
+        let batch = PolynomialBatch::from_coeffs(polys.clone(), &config);
+
+        for index in [0usize, 1, 17, 63] {
+            let x = batch.domain_point(index);
+            let leaf = batch.leaf(index);
+            assert_eq!(leaf.len(), 3);
+            for (j, p) in polys.iter().enumerate() {
+                assert_eq!(leaf[j], p.eval(x), "poly {j} at index {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_values_interpolates() {
+        let mut rng = StdRng::seed_from_u64(401);
+        let config = FriConfig::for_testing();
+        let polys = random_polys(&mut rng, 2, 16);
+        // Evaluate on H, then recommit from values.
+        let mut columns = Vec::new();
+        for p in &polys {
+            let mut v = p.coeffs().to_vec();
+            unizk_ntt::ntt_nn(&mut v);
+            columns.push(v);
+        }
+        let from_vals = PolynomialBatch::from_values(columns, &config);
+        let from_coeffs = PolynomialBatch::from_coeffs(polys, &config);
+        assert_eq!(from_vals.root(), from_coeffs.root());
+    }
+
+    #[test]
+    fn commitment_binds_contents() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let config = FriConfig::for_testing();
+        let polys = random_polys(&mut rng, 2, 8);
+        let mut tweaked = polys.clone();
+        let mut coeffs = tweaked[1].coeffs().to_vec();
+        coeffs[3] += Goldilocks::ONE;
+        tweaked[1] = Polynomial::from_coeffs(coeffs);
+        let a = PolynomialBatch::from_coeffs(polys, &config);
+        let b = PolynomialBatch::from_coeffs(tweaked, &config);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn eval_all_ext_matches_base_eval_on_base_points() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let config = FriConfig::for_testing();
+        let polys = random_polys(&mut rng, 4, 8);
+        let batch = PolynomialBatch::from_coeffs(polys.clone(), &config);
+        let x = Goldilocks::from_u64(999);
+        let evals = batch.eval_all_ext(Ext2::from(x));
+        for (e, p) in evals.iter().zip(&polys) {
+            assert_eq!(*e, Ext2::from(p.eval(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let _ = PolynomialBatch::from_coeffs(vec![], &FriConfig::for_testing());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let p1 = Polynomial::from_coeffs(vec![Goldilocks::ONE; 8]);
+        let p2 = Polynomial::from_coeffs(vec![Goldilocks::ONE; 16]);
+        let _ = PolynomialBatch::from_coeffs(vec![p1, p2], &FriConfig::for_testing());
+    }
+
+    #[test]
+    fn lde_size_accounts_for_blowup() {
+        let config = FriConfig::plonky2();
+        let polys = vec![Polynomial::from_coeffs(vec![Goldilocks::ONE; 16])];
+        let batch = PolynomialBatch::from_coeffs(polys, &config);
+        assert_eq!(batch.lde_size(), 16 * 8);
+        assert_eq!(batch.degree(), 16);
+    }
+}

@@ -1,0 +1,97 @@
+//! FRI parameter sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a FRI instance.
+///
+/// The two presets mirror the paper's protocols: Plonky2 uses a blowup of at
+/// least 8 (`rate_bits = 3`); Starky uses a blowup of 2 (`rate_bits = 1`).
+/// Both target ~100 bits of conjectured security via
+/// `num_queries · rate_bits + proof_of_work_bits`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FriConfig {
+    /// `log2` of the LDE blowup factor `k`.
+    pub rate_bits: usize,
+    /// Number of query rounds.
+    pub num_queries: usize,
+    /// Leading-zero bits required of the grinding challenge.
+    pub proof_of_work_bits: usize,
+    /// Stop folding once the claimed polynomial degree is at most this.
+    pub final_poly_len: usize,
+}
+
+impl FriConfig {
+    /// Plonky2's standard configuration (blowup 8).
+    pub fn plonky2() -> Self {
+        Self {
+            rate_bits: 3,
+            num_queries: 28,
+            proof_of_work_bits: 16,
+            final_poly_len: 8,
+        }
+    }
+
+    /// Starky's standard configuration (blowup 2). More queries compensate
+    /// for the lower rate; this is why Starky proofs are large (Table 5).
+    pub fn starky() -> Self {
+        Self {
+            rate_bits: 1,
+            num_queries: 84,
+            proof_of_work_bits: 16,
+            final_poly_len: 8,
+        }
+    }
+
+    /// A cheap configuration for unit tests (few queries, tiny grind).
+    pub fn for_testing() -> Self {
+        Self {
+            rate_bits: 3,
+            num_queries: 6,
+            proof_of_work_bits: 4,
+            final_poly_len: 4,
+        }
+    }
+
+    /// Conjectured security level in bits (the heuristic Plonky2 quotes:
+    /// one `rate_bits` per query plus the grinding bits).
+    pub fn conjectured_security_bits(&self) -> usize {
+        self.num_queries * self.rate_bits + self.proof_of_work_bits
+    }
+
+    /// Number of arity-2 folding rounds for an initial degree bound
+    /// `degree` (a power of two).
+    pub fn num_reduction_rounds(&self, degree: usize) -> usize {
+        let mut rounds = 0;
+        let mut d = degree;
+        while d > self.final_poly_len {
+            d /= 2;
+            rounds += 1;
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_hit_security_targets() {
+        assert!(FriConfig::plonky2().conjectured_security_bits() >= 100);
+        assert!(FriConfig::starky().conjectured_security_bits() >= 100);
+    }
+
+    #[test]
+    fn reduction_round_count() {
+        let c = FriConfig::plonky2();
+        assert_eq!(c.num_reduction_rounds(8), 0);
+        assert_eq!(c.num_reduction_rounds(16), 1);
+        assert_eq!(c.num_reduction_rounds(1 << 13), 10);
+    }
+
+    #[test]
+    fn starky_blowup_is_two() {
+        assert_eq!(1 << FriConfig::starky().rate_bits, 2);
+        assert_eq!(1 << FriConfig::plonky2().rate_bits, 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! FRI proof structures and size accounting.
+//!
+//! Proof size matters in the evaluation: Table 5 reports Starky base proofs
+//! of hundreds of kB compressed to ~155 kB by a recursive Plonky2 proof;
+//! [`FriProof::size_bytes`] reproduces that accounting.
+
+use serde::{Deserialize, Serialize};
+use unizk_field::{Ext2, Goldilocks};
+use unizk_hash::{Digest, MerkleProof};
+
+/// One batch opening at one query position: the leaf contents plus the
+/// authentication path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FriInitialOpening {
+    /// Values of every polynomial in the batch at the queried LDE point.
+    pub leaf: Vec<Goldilocks>,
+    /// Merkle path in the batch's commitment tree.
+    pub proof: MerkleProof,
+}
+
+/// One commit-phase opening at one query position: the fold pair plus path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FriFoldOpening {
+    /// The two sibling values `v(x)`, `v(-x)` that fold together.
+    pub pair: [Ext2; 2],
+    /// Merkle path in this round's tree.
+    pub proof: MerkleProof,
+}
+
+/// All openings for a single query index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FriQueryRound {
+    /// One opening per committed batch.
+    pub initial: Vec<FriInitialOpening>,
+    /// One opening per folding round.
+    pub folds: Vec<FriFoldOpening>,
+}
+
+/// A complete FRI opening proof.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FriProof {
+    /// Claimed evaluations: `openings[t][b][j]` is polynomial `j` of batch
+    /// `b` evaluated at out-of-domain point `t`.
+    pub openings: Vec<Vec<Vec<Ext2>>>,
+    /// Merkle roots of the commit-phase (fold) trees.
+    pub commit_roots: Vec<Digest>,
+    /// Coefficients of the final low-degree polynomial.
+    pub final_poly: Vec<Ext2>,
+    /// The grinding witness nonce.
+    pub pow_witness: Goldilocks,
+    /// Per-query openings.
+    pub queries: Vec<FriQueryRound>,
+}
+
+impl FriProof {
+    /// Serialized proof size in bytes (8 bytes per base element, 16 per
+    /// extension element, 32 per digest).
+    pub fn size_bytes(&self) -> usize {
+        let ext = 16;
+        let base = 8;
+        let mut total = 0;
+        for per_point in &self.openings {
+            for per_batch in per_point {
+                total += per_batch.len() * ext;
+            }
+        }
+        total += self.commit_roots.len() * Digest::BYTES;
+        total += self.final_poly.len() * ext;
+        total += base; // pow witness
+        for q in &self.queries {
+            for init in &q.initial {
+                total += init.leaf.len() * base + init.proof.size_bytes();
+            }
+            for fold in &q.folds {
+                total += 2 * ext + fold.proof.size_bytes();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_field::Field;
+
+    #[test]
+    fn size_accounting() {
+        let proof = FriProof {
+            openings: vec![vec![vec![Ext2::ONE; 3]]],
+            commit_roots: vec![Digest::ZERO; 2],
+            final_poly: vec![Ext2::ONE; 4],
+            pow_witness: Goldilocks::ZERO,
+            queries: vec![FriQueryRound {
+                initial: vec![FriInitialOpening {
+                    leaf: vec![Goldilocks::ONE; 5],
+                    proof: MerkleProof { siblings: vec![Digest::ZERO; 3] },
+                }],
+                folds: vec![FriFoldOpening {
+                    pair: [Ext2::ONE; 2],
+                    proof: MerkleProof { siblings: vec![Digest::ZERO; 2] },
+                }],
+            }],
+        };
+        let expect = 3 * 16 + 2 * 32 + 4 * 16 + 8 + (5 * 8 + 3 * 32) + (2 * 16 + 2 * 32);
+        assert_eq!(proof.size_bytes(), expect);
+    }
+}

@@ -1,0 +1,374 @@
+//! The FRI prover: batch combination, commit phase (folding), grinding, and
+//! query phase.
+
+use unizk_field::{
+    batch_inverse, bit_reverse, log2_strict, Ext2, ExtensionOf, Field, Goldilocks, Polynomial,
+    PrimeField64,
+};
+use unizk_hash::{Challenger, MerkleTree};
+
+use crate::batch::{coset_shift, domain_point, PolynomialBatch};
+use crate::config::FriConfig;
+use crate::proof::{FriFoldOpening, FriInitialOpening, FriProof, FriQueryRound};
+use crate::timing::{time_kernel, KernelClass};
+
+/// A fold-layer evaluation domain: a multiplicative coset `shift·H` of size
+/// `size`, with values stored in bit-reversed order. Folding squares the
+/// domain: `shift → shift²`, `size → size/2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct FoldDomain {
+    pub size: usize,
+    pub shift: Goldilocks,
+}
+
+impl FoldDomain {
+    /// The initial LDE domain of size `lde_size`.
+    pub fn initial(lde_size: usize) -> Self {
+        Self {
+            size: lde_size,
+            shift: coset_shift(),
+        }
+    }
+
+    /// The point stored at bit-reversed position `pos`.
+    pub fn point(&self, pos: usize) -> Goldilocks {
+        let bits = log2_strict(self.size);
+        let omega = Goldilocks::primitive_root_of_unity(bits);
+        self.shift * omega.exp_u64(bit_reverse(pos, bits) as u64)
+    }
+
+    /// The domain after one arity-2 fold.
+    pub fn fold(&self) -> Self {
+        Self {
+            size: self.size / 2,
+            shift: self.shift.square(),
+        }
+    }
+}
+
+/// Produces a FRI opening proof for `batches`, all opened at every point in
+/// `points`.
+///
+/// The caller must already have observed the batch commitments into
+/// `challenger` (as the enclosing protocol dictates); this function then
+/// owns the rest of the transcript: opened values, fold commitments, final
+/// polynomial, grinding, and query sampling.
+///
+/// # Panics
+///
+/// Panics if the batches have differing degrees or LDE sizes, or if
+/// `points` is empty.
+pub fn fri_prove(
+    batches: &[&PolynomialBatch],
+    points: &[Ext2],
+    challenger: &mut Challenger,
+    config: &FriConfig,
+) -> FriProof {
+    assert!(!batches.is_empty(), "need at least one batch");
+    assert!(!points.is_empty(), "need at least one opening point");
+    let degree = batches[0].degree();
+    let lde_size = batches[0].lde_size();
+    for b in batches {
+        assert_eq!(b.degree(), degree, "all batches must share a degree");
+        assert_eq!(b.lde_size(), lde_size, "all batches must share an LDE size");
+    }
+
+    // 1. Open every polynomial at every point; observing the claimed values
+    //    binds them into the transcript.
+    let openings: Vec<Vec<Vec<Ext2>>> = time_kernel(KernelClass::Polynomial, || {
+        points
+            .iter()
+            .map(|&z| batches.iter().map(|b| b.eval_all_ext(z)).collect())
+            .collect()
+    });
+    for per_point in &openings {
+        for per_batch in per_point {
+            for &y in per_batch {
+                challenger.observe_ext(y);
+            }
+        }
+    }
+
+    // 2. Combination challenges: α across polynomials, β across points.
+    let alpha = challenger.challenge_ext();
+    let beta = challenger.challenge_ext();
+
+    // 3. Build the combined low-degree witness over the LDE domain:
+    //    v0(x) = Σ_t β^t · (S(x) − Y_t) / (x − z_t),
+    //    with S(x) = Σ_j α^j p_j(x) over the global polynomial index.
+    let mut values = time_kernel(KernelClass::Polynomial, || {
+        combine_initial(batches, points, &openings, alpha, beta, lde_size)
+    });
+
+    // 4. Commit phase: arity-2 folds, one Merkle tree per round.
+    let num_rounds = config.num_reduction_rounds(degree);
+    let mut fold_trees: Vec<MerkleTree> = Vec::with_capacity(num_rounds);
+    let mut commit_roots = Vec::with_capacity(num_rounds);
+    let mut layers: Vec<Vec<Ext2>> = Vec::with_capacity(num_rounds);
+    let mut domain = FoldDomain::initial(lde_size);
+    for _ in 0..num_rounds {
+        let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer(&values));
+        challenger.observe_digest(tree.root());
+        commit_roots.push(tree.root());
+        fold_trees.push(tree);
+
+        let fold_beta = challenger.challenge_ext();
+        let folded = time_kernel(KernelClass::Polynomial, || {
+            fold_layer(&values, domain, fold_beta)
+        });
+        layers.push(std::mem::replace(&mut values, folded));
+        domain = domain.fold();
+    }
+
+    // 5. Final polynomial: interpolate the remaining layer and send the
+    //    coefficients in the clear.
+    let final_poly = interpolate_final(&values, domain, config.final_poly_len);
+    for &c in &final_poly {
+        challenger.observe_ext(c);
+    }
+
+    // 6. Proof-of-work grind.
+    let pow_witness =
+        time_kernel(KernelClass::OtherHash, || grind(challenger, config.proof_of_work_bits));
+    challenger.observe(pow_witness);
+    let pow_response = challenger.challenge();
+    debug_assert!(pow_ok(pow_response, config.proof_of_work_bits));
+
+    // 7. Query phase.
+    let index_bits = log2_strict(lde_size);
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for _ in 0..config.num_queries {
+        let mut idx = challenger.challenge_bits(index_bits);
+        let initial = batches
+            .iter()
+            .map(|b| FriInitialOpening {
+                leaf: b.leaf(idx).to_vec(),
+                proof: b.prove_leaf(idx),
+            })
+            .collect();
+        let mut folds = Vec::with_capacity(num_rounds);
+        for (round, tree) in fold_trees.iter().enumerate() {
+            let pair_index = idx >> 1;
+            let layer = &layers[round];
+            folds.push(FriFoldOpening {
+                pair: [layer[pair_index * 2], layer[pair_index * 2 + 1]],
+                proof: tree.prove(pair_index),
+            });
+            idx = pair_index;
+        }
+        queries.push(FriQueryRound { initial, folds });
+    }
+
+    FriProof {
+        openings,
+        commit_roots,
+        final_poly,
+        pow_witness,
+        queries,
+    }
+}
+
+/// Evaluates the combined witness over the whole LDE domain.
+fn combine_initial(
+    batches: &[&PolynomialBatch],
+    points: &[Ext2],
+    openings: &[Vec<Vec<Ext2>>],
+    alpha: Ext2,
+    beta: Ext2,
+    lde_size: usize,
+) -> Vec<Ext2> {
+    // S(x_i) for every domain position i.
+    let mut s_values = vec![Ext2::ZERO; lde_size];
+    let mut alpha_pow = Ext2::ONE;
+    for batch in batches {
+        for j in 0..batch.num_polys() {
+            for (i, s) in s_values.iter_mut().enumerate() {
+                *s += alpha_pow.scale(batch.leaf(i)[j]);
+            }
+            alpha_pow *= alpha;
+        }
+    }
+
+    // Y_t = Σ_j α^j y_{j,t} with the same global α powers.
+    let mut y_combined = vec![Ext2::ZERO; points.len()];
+    for (t, per_point) in openings.iter().enumerate() {
+        let mut alpha_pow = Ext2::ONE;
+        for per_batch in per_point {
+            for &y in per_batch {
+                y_combined[t] += alpha_pow * y;
+                alpha_pow *= alpha;
+            }
+        }
+    }
+
+    // Denominators (x_i − z_t), batch-inverted per point.
+    let mut values = vec![Ext2::ZERO; lde_size];
+    let mut beta_pow = Ext2::ONE;
+    for (t, &z) in points.iter().enumerate() {
+        let denoms: Vec<Ext2> = (0..lde_size)
+            .map(|i| Ext2::from(domain_point(lde_size, i)) - z)
+            .collect();
+        let inv = batch_inverse(&denoms);
+        for i in 0..lde_size {
+            values[i] += beta_pow * (s_values[i] - y_combined[t]) * inv[i];
+        }
+        beta_pow *= beta;
+    }
+    values
+}
+
+/// Builds the Merkle tree over fold pairs of a layer: leaf `k` holds the
+/// four base limbs of `(v[2k], v[2k+1])`.
+fn commit_fold_layer(values: &[Ext2]) -> MerkleTree {
+    let leaves: Vec<Vec<Goldilocks>> = values
+        .chunks(2)
+        .map(|pair| {
+            let mut leaf = pair[0].to_base_slice();
+            leaf.extend(pair[1].to_base_slice());
+            leaf
+        })
+        .collect();
+    MerkleTree::new(leaves)
+}
+
+/// Performs one arity-2 fold of a bit-reversed layer over `domain`.
+///
+/// With `p(x) = p_e(x²) + x·p_o(x²)` and the sibling pair `(v(x), v(−x))`
+/// adjacent in bit-reversed order, the folded value at `y = x²` is
+/// `p_e(y) + β·p_o(y)`.
+pub(crate) fn fold_layer(values: &[Ext2], domain: FoldDomain, fold_beta: Ext2) -> Vec<Ext2> {
+    debug_assert_eq!(values.len(), domain.size);
+    let two_inv = Goldilocks::TWO.inverse();
+    // Batch-invert the pair points.
+    let xs: Vec<Goldilocks> = (0..domain.size / 2).map(|k| domain.point(2 * k)).collect();
+    let x_invs = batch_inverse(&xs);
+    (0..domain.size / 2)
+        .map(|k| {
+            let a = values[2 * k];
+            let b = values[2 * k + 1];
+            let even = (a + b).scale(two_inv);
+            let odd = (a - b).scale(two_inv * x_invs[k]);
+            even + fold_beta * odd
+        })
+        .collect()
+}
+
+/// Evaluates the fold-consistency step the verifier performs for a single
+/// pair, shared with [`crate::verifier`].
+pub(crate) fn fold_pair(
+    pair: [Ext2; 2],
+    x: Goldilocks,
+    fold_beta: Ext2,
+) -> Ext2 {
+    let two_inv = Goldilocks::TWO.inverse();
+    let even = (pair[0] + pair[1]).scale(two_inv);
+    let odd = (pair[0] - pair[1]).scale(two_inv * x.inverse());
+    even + fold_beta * odd
+}
+
+/// Interpolates the final layer (bit-reversed values over `domain`) into
+/// exactly `max_len` coefficients.
+///
+/// # Panics
+///
+/// Panics if the layer does not actually have degree `< max_len` — an
+/// honest prover never hits this.
+fn interpolate_final(values: &[Ext2], domain: FoldDomain, max_len: usize) -> Vec<Ext2> {
+    debug_assert_eq!(values.len(), domain.size);
+    let xs: Vec<Ext2> = (0..domain.size)
+        .map(|i| Ext2::from(domain.point(i)))
+        .collect();
+    let poly = Polynomial::interpolate(&xs, values);
+    let coeffs = poly.into_coeffs();
+    for (i, c) in coeffs.iter().enumerate() {
+        assert!(
+            i < max_len || c.is_zero(),
+            "final polynomial exceeds the degree bound (prover bug)"
+        );
+    }
+    let mut out: Vec<Ext2> = coeffs.into_iter().take(max_len).collect();
+    out.resize(max_len, Ext2::ZERO);
+    out
+}
+
+/// Searches for a grinding witness.
+pub(crate) fn grind(challenger: &Challenger, bits: usize) -> Goldilocks {
+    let mut nonce = 0u64;
+    loop {
+        let mut trial = challenger.clone();
+        let candidate = Goldilocks::from_u64(nonce);
+        trial.observe(candidate);
+        if pow_ok(trial.challenge(), bits) {
+            return candidate;
+        }
+        nonce += 1;
+    }
+}
+
+/// The grinding condition: the response's low `bits` bits are zero.
+pub(crate) fn pow_ok(response: Goldilocks, bits: usize) -> bool {
+    response.as_u64() & ((1u64 << bits) - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_domain_squares() {
+        let d = FoldDomain::initial(64);
+        let f = d.fold();
+        assert_eq!(f.size, 32);
+        assert_eq!(f.shift, coset_shift().square());
+        // The folded point at position k is the square of the parent pair's
+        // point.
+        for k in 0..32 {
+            assert_eq!(f.point(k), d.point(2 * k).square());
+        }
+    }
+
+    #[test]
+    fn pair_points_are_negatives() {
+        let d = FoldDomain::initial(64);
+        for k in 0..32 {
+            assert_eq!(d.point(2 * k + 1), -d.point(2 * k));
+        }
+    }
+
+    #[test]
+    fn fold_layer_preserves_low_degree() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Take a random degree-<16 polynomial over a size-64 domain, fold,
+        // and check the result matches p_e + β·p_o evaluated on the squared
+        // domain.
+        let mut rng = StdRng::seed_from_u64(500);
+        let coeffs: Vec<Ext2> = (0..16)
+            .map(|_| Ext2::from(Goldilocks::random(&mut rng)))
+            .collect();
+        let poly = Polynomial::from_coeffs(coeffs.clone());
+        let domain = FoldDomain::initial(64);
+        let values: Vec<Ext2> = (0..64)
+            .map(|i| poly.eval(Ext2::from(domain.point(i))))
+            .collect();
+        let beta = Ext2::new(Goldilocks::from_u64(3), Goldilocks::from_u64(5));
+        let folded = fold_layer(&values, domain, beta);
+
+        let even = Polynomial::from_coeffs(coeffs.iter().copied().step_by(2).collect::<Vec<_>>());
+        let odd = Polynomial::from_coeffs(coeffs.iter().copied().skip(1).step_by(2).collect::<Vec<_>>());
+        let next = domain.fold();
+        for k in 0..32 {
+            let y = Ext2::from(next.point(k));
+            assert_eq!(folded[k], even.eval(y) + beta * odd.eval(y), "k={k}");
+        }
+    }
+
+    #[test]
+    fn grinding_finds_valid_witness() {
+        let challenger = Challenger::new();
+        let w = grind(&challenger, 6);
+        let mut c = challenger.clone();
+        c.observe(w);
+        assert!(pow_ok(c.challenge(), 6));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-kernel wall-clock accounting for the CPU baseline.
+//!
+//! Table 1 of the paper breaks single-threaded Plonky2 proving time into
+//! five kernel classes; the prover stack wraps each code region in a
+//! [`time_kernel`] guard so the same breakdown can be reproduced here.
+//! Timers are process-global and explicitly reset around a measured run.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The kernel classes of Table 1 (and Figs. 8–9).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Element-wise and miscellaneous polynomial computation.
+    Polynomial,
+    /// Forward/inverse NTTs, including LDE transforms.
+    Ntt,
+    /// Merkle tree construction (leaf + interior hashing).
+    MerkleTree,
+    /// Hashing outside Merkle trees: Fiat–Shamir duplexing, grinding.
+    OtherHash,
+    /// Data layout transformations (transposes, leaf gathering).
+    LayoutTransform,
+}
+
+impl KernelClass {
+    /// All classes, in Table 1's column order.
+    pub const ALL: [KernelClass; 5] = [
+        KernelClass::Polynomial,
+        KernelClass::Ntt,
+        KernelClass::MerkleTree,
+        KernelClass::OtherHash,
+        KernelClass::LayoutTransform,
+    ];
+
+    /// The Table 1 column header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelClass::Polynomial => "Polynomial",
+            KernelClass::Ntt => "NTT",
+            KernelClass::MerkleTree => "Merkle Tree",
+            KernelClass::OtherHash => "Other Hash",
+            KernelClass::LayoutTransform => "Layout Transform",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            KernelClass::Polynomial => 0,
+            KernelClass::Ntt => 1,
+            KernelClass::MerkleTree => 2,
+            KernelClass::OtherHash => 3,
+            KernelClass::LayoutTransform => 4,
+        }
+    }
+}
+
+static TOTALS: Mutex<[Duration; 5]> = Mutex::new([Duration::ZERO; 5]);
+
+/// Zeroes all kernel totals. Call before a measured proving run.
+pub fn reset_kernel_timers() {
+    *TOTALS.lock().expect("timer mutex") = [Duration::ZERO; 5];
+}
+
+/// A snapshot of accumulated time per kernel class, in Table 1 order.
+pub fn kernel_totals() -> [(KernelClass, Duration); 5] {
+    let totals = *TOTALS.lock().expect("timer mutex");
+    let mut out = [(KernelClass::Polynomial, Duration::ZERO); 5];
+    for (slot, class) in out.iter_mut().zip(KernelClass::ALL) {
+        *slot = (class, totals[class.index()]);
+    }
+    out
+}
+
+/// Times `f`, charging its wall-clock duration to `class`.
+///
+/// Nested calls charge the inner region to the inner class only is *not*
+/// attempted — regions are expected to be disjoint, as they are in the
+/// prover (outer regions subtract nothing; keep regions leaf-level).
+pub fn time_kernel<T>(class: KernelClass, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let elapsed = start.elapsed();
+    TOTALS.lock().expect("timer mutex")[class.index()] += elapsed;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        reset_kernel_timers();
+        time_kernel(KernelClass::Ntt, || std::thread::sleep(Duration::from_millis(2)));
+        time_kernel(KernelClass::Ntt, || std::thread::sleep(Duration::from_millis(2)));
+        let totals = kernel_totals();
+        let ntt = totals
+            .iter()
+            .find(|(c, _)| *c == KernelClass::Ntt)
+            .expect("ntt row")
+            .1;
+        assert!(ntt >= Duration::from_millis(4));
+        reset_kernel_timers();
+        assert!(kernel_totals().iter().all(|(_, d)| d.is_zero()));
+    }
+
+    #[test]
+    fn returns_closure_value() {
+        assert_eq!(time_kernel(KernelClass::Polynomial, || 7), 7);
+    }
+
+    #[test]
+    fn class_names_match_table1() {
+        assert_eq!(KernelClass::ALL.len(), 5);
+        assert_eq!(KernelClass::MerkleTree.name(), "Merkle Tree");
+    }
+}

@@ -1,0 +1,276 @@
+//! End-to-end FRI tests: honest proofs verify across configurations, and
+//! every class of tampering is rejected.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use unizk_field::{Ext2, Field, Goldilocks, Polynomial, PrimeField64};
+use unizk_fri::{fri_prove, fri_verify, FriConfig, FriError, PolynomialBatch};
+use unizk_hash::{Challenger, Digest};
+
+fn random_polys(rng: &mut StdRng, count: usize, degree: usize) -> Vec<Polynomial<Goldilocks>> {
+    (0..count)
+        .map(|_| Polynomial::from_coeffs((0..degree).map(|_| Goldilocks::random(rng)).collect()))
+        .collect()
+}
+
+struct Instance {
+    batches: Vec<PolynomialBatch>,
+    points: Vec<Ext2>,
+    config: FriConfig,
+    degree: usize,
+}
+
+impl Instance {
+    fn new(seed: u64, config: FriConfig, batch_sizes: &[usize], degree: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches: Vec<PolynomialBatch> = batch_sizes
+            .iter()
+            .map(|&m| PolynomialBatch::from_coeffs(random_polys(&mut rng, m, degree), &config))
+            .collect();
+        let points = vec![
+            Ext2::random(&mut rng),
+            Ext2::random(&mut rng),
+        ];
+        Self {
+            batches,
+            points,
+            config,
+            degree,
+        }
+    }
+
+    fn prove(&self) -> (unizk_fri::FriProof, Vec<Digest>, Vec<usize>) {
+        let mut challenger = Challenger::new();
+        let roots: Vec<Digest> = self.batches.iter().map(|b| b.root()).collect();
+        for &r in &roots {
+            challenger.observe_digest(r);
+        }
+        let refs: Vec<&PolynomialBatch> = self.batches.iter().collect();
+        let proof = fri_prove(&refs, &self.points, &mut challenger, &self.config);
+        let sizes = self.batches.iter().map(|b| b.num_polys()).collect();
+        (proof, roots, sizes)
+    }
+
+    fn verify(
+        &self,
+        proof: &unizk_fri::FriProof,
+        roots: &[Digest],
+        sizes: &[usize],
+    ) -> Result<(), FriError> {
+        let mut challenger = Challenger::new();
+        for &r in roots {
+            challenger.observe_digest(r);
+        }
+        fri_verify(
+            roots,
+            sizes,
+            self.degree,
+            &self.points,
+            proof,
+            &mut challenger,
+            &self.config,
+        )
+    }
+}
+
+#[test]
+fn honest_proof_verifies_single_batch() {
+    let inst = Instance::new(1, FriConfig::for_testing(), &[4], 32);
+    let (proof, roots, sizes) = inst.prove();
+    inst.verify(&proof, &roots, &sizes).expect("should verify");
+}
+
+#[test]
+fn honest_proof_verifies_multiple_batches() {
+    let inst = Instance::new(2, FriConfig::for_testing(), &[3, 5, 2], 64);
+    let (proof, roots, sizes) = inst.prove();
+    inst.verify(&proof, &roots, &sizes).expect("should verify");
+}
+
+#[test]
+fn honest_proof_verifies_starky_rate() {
+    let mut config = FriConfig::starky();
+    config.num_queries = 8; // keep the test fast
+    config.proof_of_work_bits = 4;
+    let inst = Instance::new(3, config, &[4], 64);
+    let (proof, roots, sizes) = inst.prove();
+    inst.verify(&proof, &roots, &sizes).expect("should verify");
+}
+
+#[test]
+fn honest_proof_verifies_no_fold_rounds() {
+    // Degree equal to final_poly_len: zero reduction rounds.
+    let config = FriConfig::for_testing(); // final_poly_len = 4
+    let inst = Instance::new(4, config, &[2], 4);
+    let (proof, roots, sizes) = inst.prove();
+    assert!(proof.commit_roots.is_empty());
+    inst.verify(&proof, &roots, &sizes).expect("should verify");
+}
+
+#[test]
+fn tampered_opening_value_rejected() {
+    let inst = Instance::new(5, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.openings[0][0][1] += Ext2::ONE;
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn tampered_final_poly_rejected() {
+    let inst = Instance::new(6, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.final_poly[0] += Ext2::ONE;
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn tampered_query_leaf_rejected() {
+    let inst = Instance::new(7, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.queries[0].initial[0].leaf[0] += Goldilocks::ONE;
+    let err = inst.verify(&proof, &roots, &sizes).unwrap_err();
+    assert!(matches!(err, FriError::BadMerkleProof { .. }), "{err:?}");
+}
+
+#[test]
+fn tampered_fold_pair_rejected() {
+    let inst = Instance::new(8, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.queries[2].folds[0].pair[0] += Ext2::ONE;
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn tampered_commit_root_rejected() {
+    let inst = Instance::new(9, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.commit_roots[0] = Digest::ZERO;
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn wrong_batch_root_rejected() {
+    let inst = Instance::new(10, FriConfig::for_testing(), &[3], 32);
+    let (proof, mut roots, sizes) = inst.prove();
+    roots[0] = Digest::ZERO;
+    // The wrong root diverges the transcript before the Merkle checks, so
+    // any of several checks may fire; rejection is what matters.
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn bad_pow_witness_rejected() {
+    let inst = Instance::new(11, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.pow_witness += Goldilocks::ONE;
+    // Either the PoW check fires, or (with tiny probability for 4 bits) the
+    // transcript diverges and a later check fires.
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn truncated_queries_rejected() {
+    let inst = Instance::new(12, FriConfig::for_testing(), &[3], 32);
+    let (mut proof, roots, sizes) = inst.prove();
+    proof.queries.pop();
+    assert_eq!(
+        inst.verify(&proof, &roots, &sizes),
+        Err(FriError::Malformed("wrong number of queries"))
+    );
+}
+
+#[test]
+fn proof_for_different_points_rejected() {
+    let mut inst = Instance::new(13, FriConfig::for_testing(), &[3], 32);
+    let (proof, roots, sizes) = inst.prove();
+    inst.points[0] += Ext2::ONE;
+    assert!(inst.verify(&proof, &roots, &sizes).is_err());
+}
+
+#[test]
+fn proof_sizes_scale_with_queries() {
+    let small = Instance::new(14, FriConfig::for_testing(), &[3], 32);
+    let (proof_small, ..) = small.prove();
+    let mut big_config = FriConfig::for_testing();
+    big_config.num_queries *= 2;
+    let big = Instance::new(14, big_config, &[3], 32);
+    let (proof_big, ..) = big.prove();
+    assert!(proof_big.size_bytes() > proof_small.size_bytes());
+}
+
+#[test]
+fn high_degree_witness_cannot_be_proven() {
+    // A cheating "batch" would need to survive folding; here we check the
+    // honest prover asserts if handed a polynomial over the degree bound
+    // relative to its own final layer — i.e. the degree check is real. We
+    // emulate by committing degree-64 polys but claiming degree 32 at
+    // verification: shapes no longer match.
+    let inst = Instance::new(15, FriConfig::for_testing(), &[2], 64);
+    let (proof, roots, sizes) = inst.prove();
+    let mut challenger = Challenger::new();
+    for &r in &roots {
+        challenger.observe_digest(r);
+    }
+    let result = fri_verify(
+        &roots,
+        &sizes,
+        32, // wrong degree claim
+        &inst.points,
+        &proof,
+        &mut challenger,
+        &inst.config,
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn malformed_shapes_rejected() {
+    // Table-driven shape checks: every structural field of the proof is
+    // validated before any cryptography runs.
+    let inst = Instance::new(20, FriConfig::for_testing(), &[3], 32);
+    let (proof, roots, sizes) = inst.prove();
+
+    // Wrong number of fold commitments.
+    let mut p = proof.clone();
+    p.commit_roots.pop();
+    assert!(matches!(inst.verify(&p, &roots, &sizes), Err(FriError::Malformed(_))));
+
+    // Wrong final polynomial length.
+    let mut p = proof.clone();
+    p.final_poly.push(Ext2::ZERO);
+    assert!(matches!(inst.verify(&p, &roots, &sizes), Err(FriError::Malformed(_))));
+
+    // Openings for the wrong number of points.
+    let mut p = proof.clone();
+    p.openings.pop();
+    assert!(matches!(inst.verify(&p, &roots, &sizes), Err(FriError::Malformed(_))));
+
+    // A query with a missing fold round.
+    let mut p = proof.clone();
+    p.queries[0].folds.pop();
+    assert!(inst.verify(&p, &roots, &sizes).is_err());
+
+    // A query leaf with the wrong width.
+    let mut p = proof.clone();
+    p.queries[0].initial[0].leaf.push(Goldilocks::ZERO);
+    assert!(inst.verify(&p, &roots, &sizes).is_err());
+
+    // Batch descriptor length mismatch at the API boundary.
+    let mut challenger = Challenger::new();
+    for &r in &roots {
+        challenger.observe_digest(r);
+    }
+    assert_eq!(
+        fri_verify(&roots, &[3, 5], 32, &inst.points, &proof, &mut challenger, &inst.config),
+        Err(FriError::Malformed("batch descriptor length mismatch"))
+    );
+}
+
+#[test]
+fn serialized_proof_verifies_after_roundtrip() {
+    let inst = Instance::new(21, FriConfig::for_testing(), &[2, 3], 64);
+    let (proof, roots, sizes) = inst.prove();
+    let bytes = proof.to_bytes();
+    let back = unizk_fri::FriProof::from_bytes(&bytes).expect("decodes");
+    inst.verify(&back, &roots, &sizes).expect("verifies after roundtrip");
+}

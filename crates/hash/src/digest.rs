@@ -1,0 +1,76 @@
+//! The 4-element hash digest type (256 bits of Goldilocks elements).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use unizk_field::{Field, Goldilocks};
+
+/// A hash output: four Goldilocks elements (~256 bits), the digest width
+/// Plonky2 uses for Merkle nodes and Fiat–Shamir observations.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Digest(pub [Goldilocks; 4]);
+
+impl Digest {
+    /// The all-zero digest (used as padding, never produced by hashing).
+    pub const ZERO: Self = Self([Goldilocks::new(0); 4]);
+
+    /// Builds a digest from exactly four elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems.len() != 4`.
+    pub fn from_slice(elems: &[Goldilocks]) -> Self {
+        assert_eq!(elems.len(), 4, "digest needs exactly 4 elements");
+        Self([elems[0], elems[1], elems[2], elems[3]])
+    }
+
+    /// The digest's elements.
+    pub fn elements(&self) -> [Goldilocks; 4] {
+        self.0
+    }
+
+    /// Serialized size in bytes (4 × 8).
+    pub const BYTES: usize = 32;
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Digest({:016x}{:016x}{:016x}{:016x})",
+            self.0[0].as_u64(),
+            self.0[1].as_u64(),
+            self.0[2].as_u64(),
+            self.0[3].as_u64()
+        )
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let elems: Vec<Goldilocks> = (1..=4u64).map(Goldilocks::from_u64).collect();
+        let d = Digest::from_slice(&elems);
+        assert_eq!(d.elements().to_vec(), elems);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 4")]
+    fn from_slice_wrong_len() {
+        let _ = Digest::from_slice(&[Goldilocks::ZERO; 3]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Digest::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Cryptographic hashing for the UniZK reproduction.
+//!
+//! Implements the hash substrate of Plonky2/Starky that the paper's
+//! accelerator spends most of its cycles on (Table 1: Merkle tree
+//! construction alone is ~60% of CPU proving time):
+//!
+//! * [`poseidon`] — the Poseidon permutation over 12 Goldilocks elements,
+//!   with the exact round structure of the paper's Algorithm 1 (4 full
+//!   rounds, a pre-partial round, 22 partial rounds with a sparse MDS
+//!   matrix, 4 full rounds; `x^7` S-box).
+//! * [`sponge`] — sponge hashing (`rate = 8`) and the duplex
+//!   [`sponge::Challenger`] used for Fiat–Shamir transforms.
+//! * [`merkle`] — Merkle tree construction with the paper's leaf-absorb and
+//!   4+4+zero-pad interior-node rule (§5.3), plus opening proofs.
+//!
+//! **Substitution note (see DESIGN.md):** round constants and matrix entries
+//! are generated deterministically from a seed rather than copied from
+//! Plonky2's Grain-LFSR output. The computational *structure* — what the
+//! accelerator maps and what the simulator costs — is identical.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_field::{Field, Goldilocks};
+//! use unizk_hash::sponge::hash_no_pad;
+//!
+//! let input: Vec<Goldilocks> = (0..20u64).map(Goldilocks::from_u64).collect();
+//! let digest = hash_no_pad(&input);
+//! assert_ne!(digest.0[0], Goldilocks::ZERO);
+//! ```
+
+pub mod digest;
+pub mod merkle;
+pub mod poseidon;
+pub mod sponge;
+
+pub use digest::Digest;
+pub use merkle::{MerkleProof, MerkleTree};
+pub use poseidon::{poseidon_permute, PoseidonCost, SPONGE_CAPACITY, SPONGE_RATE, WIDTH};
+pub use sponge::{hash_no_pad, two_to_one, Challenger};

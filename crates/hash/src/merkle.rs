@@ -1,0 +1,277 @@
+//! Merkle tree construction and opening proofs (paper §5.3).
+//!
+//! Leaves hold arbitrary-length element vectors (in FRI, the concatenated
+//! values of all polynomials at one LDE point) hashed via the absorb method.
+//! Interior nodes hash the concatenation of the two child digests (4 + 4
+//! elements, zero padded). Nodes are stored in level order — the layout the
+//! paper chooses so that tree construction streams sequentially through
+//! memory and subtrees can be processed scratchpad-resident.
+
+use serde::{Deserialize, Serialize};
+use unizk_field::{log2_strict, Goldilocks};
+
+use crate::digest::Digest;
+use crate::sponge::{hash_no_pad, two_to_one};
+
+/// A binary Merkle tree over element-vector leaves.
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::{Field, Goldilocks};
+/// use unizk_hash::MerkleTree;
+///
+/// let leaves: Vec<Vec<Goldilocks>> = (0..8u64)
+///     .map(|i| vec![Goldilocks::from_u64(i)])
+///     .collect();
+/// let tree = MerkleTree::new(leaves.clone());
+/// let proof = tree.prove(3);
+/// assert!(MerkleTree::verify(tree.root(), 3, &leaves[3], &proof));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// The original leaf data, kept so openings can return leaf contents.
+    leaves: Vec<Vec<Goldilocks>>,
+    /// `levels[0]` = leaf digests, `levels.last()` = `[root]`.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An authentication path from a leaf to the root.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Sibling digests, leaf level first.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleProof {
+    /// Serialized size in bytes (each digest is 32 bytes).
+    pub fn size_bytes(&self) -> usize {
+        self.siblings.len() * Digest::BYTES
+    }
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len()` is not a power of two (the protocol always
+    /// commits to power-of-two LDE domains).
+    pub fn new(leaves: Vec<Vec<Goldilocks>>) -> Self {
+        assert!(
+            leaves.len().is_power_of_two(),
+            "leaf count must be a power of two, got {}",
+            leaves.len()
+        );
+        // Hashes at one level are independent (paper §5.3), so both the leaf
+        // digests and each interior level parallelize trivially.
+        const PAR_THRESHOLD: usize = 1024;
+        let mut levels = Vec::with_capacity(log2_strict(leaves.len()) + 1);
+        let leaf_digests: Vec<Digest> = if leaves.len() >= PAR_THRESHOLD {
+            let refs: Vec<&[Goldilocks]> = leaves.iter().map(|l| l.as_slice()).collect();
+            unizk_field::parallel_map(refs, hash_no_pad)
+        } else {
+            leaves.iter().map(|l| hash_no_pad(l)).collect()
+        };
+        levels.push(leaf_digests);
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let next: Vec<Digest> = if prev.len() >= PAR_THRESHOLD {
+                let pairs: Vec<(Digest, Digest)> =
+                    prev.chunks(2).map(|p| (p[0], p[1])).collect();
+                unizk_field::parallel_map(pairs, |(l, r)| two_to_one(l, r))
+            } else {
+                prev.chunks(2)
+                    .map(|pair| two_to_one(pair[0], pair[1]))
+                    .collect()
+            };
+            levels.push(next);
+        }
+        Self { leaves, levels }
+    }
+
+    /// The root digest (the commitment sent to the verifier).
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Tree height (number of sibling digests in a proof).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The raw contents of leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn leaf(&self, index: usize) -> &[Goldilocks] {
+        &self.leaves[index]
+    }
+
+    /// Produces the authentication path for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaves.len(), "leaf index out of bounds");
+        let mut siblings = Vec::with_capacity(self.height());
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            siblings.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        MerkleProof { siblings }
+    }
+
+    /// Verifies that `leaf_data` is the content of leaf `index` under
+    /// `root`.
+    pub fn verify(root: Digest, index: usize, leaf_data: &[Goldilocks], proof: &MerkleProof) -> bool {
+        let mut digest = hash_no_pad(leaf_data);
+        let mut idx = index;
+        for &sibling in &proof.siblings {
+            digest = if idx & 1 == 0 {
+                two_to_one(digest, sibling)
+            } else {
+                two_to_one(sibling, digest)
+            };
+            idx >>= 1;
+        }
+        idx == 0 && digest == root
+    }
+
+    /// Total Poseidon permutations needed to build a tree with these leaf
+    /// lengths — the simulator's hash-kernel work unit (§5.3).
+    pub fn permutation_cost(leaf_lens: &[usize]) -> usize {
+        let leaf_perms: usize = leaf_lens
+            .iter()
+            .map(|&l| crate::sponge::permutation_count(l))
+            .sum();
+        // Interior nodes: one permutation each; a full binary tree with L
+        // leaves has L - 1 interior nodes.
+        leaf_perms + leaf_lens.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_field::Field;
+
+    fn leaves(n: usize, width: usize) -> Vec<Vec<Goldilocks>> {
+        (0..n)
+            .map(|i| {
+                (0..width)
+                    .map(|j| Goldilocks::from_u64((i * width + j) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_proofs_verify() {
+        let data = leaves(16, 5);
+        let tree = MerkleTree::new(data.clone());
+        for i in 0..16 {
+            let proof = tree.prove(i);
+            assert!(MerkleTree::verify(tree.root(), i, &data[i], &proof), "leaf {i}");
+            assert_eq!(proof.siblings.len(), 4);
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_data_rejected() {
+        let data = leaves(8, 3);
+        let tree = MerkleTree::new(data.clone());
+        let proof = tree.prove(2);
+        let mut bad = data[2].clone();
+        bad[0] += Goldilocks::ONE;
+        assert!(!MerkleTree::verify(tree.root(), 2, &bad, &proof));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let data = leaves(8, 3);
+        let tree = MerkleTree::new(data.clone());
+        let proof = tree.prove(2);
+        assert!(!MerkleTree::verify(tree.root(), 3, &data[2], &proof));
+        // Out-of-range index (beyond tree size) must also fail, not panic.
+        assert!(!MerkleTree::verify(tree.root(), 8 + 2, &data[2], &proof));
+    }
+
+    #[test]
+    fn tampered_sibling_rejected() {
+        let data = leaves(8, 3);
+        let tree = MerkleTree::new(data.clone());
+        let mut proof = tree.prove(5);
+        proof.siblings[1] = Digest::ZERO;
+        assert!(!MerkleTree::verify(tree.root(), 5, &data[5], &proof));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let data = leaves(8, 3);
+        let tree = MerkleTree::new(data.clone());
+        let proof = tree.prove(0);
+        assert!(!MerkleTree::verify(Digest::ZERO, 0, &data[0], &proof));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let data = leaves(1, 4);
+        let tree = MerkleTree::new(data.clone());
+        assert_eq!(tree.height(), 0);
+        let proof = tree.prove(0);
+        assert!(proof.siblings.is_empty());
+        assert!(MerkleTree::verify(tree.root(), 0, &data[0], &proof));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = MerkleTree::new(leaves(3, 2));
+    }
+
+    #[test]
+    fn root_depends_on_every_leaf() {
+        let data = leaves(16, 2);
+        let tree = MerkleTree::new(data.clone());
+        for i in 0..16 {
+            let mut tweaked = data.clone();
+            tweaked[i][0] += Goldilocks::ONE;
+            let other = MerkleTree::new(tweaked);
+            assert_ne!(other.root(), tree.root(), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn variable_length_leaves() {
+        // The paper's leaf example: length-135 leaves (circuit width).
+        let data: Vec<Vec<Goldilocks>> = (0..4u64)
+            .map(|i| (0..135).map(|j| Goldilocks::from_u64(i * 1000 + j)).collect())
+            .collect();
+        let tree = MerkleTree::new(data.clone());
+        let proof = tree.prove(1);
+        assert!(MerkleTree::verify(tree.root(), 1, &data[1], &proof));
+    }
+
+    #[test]
+    fn permutation_cost_formula() {
+        // 4 leaves of length 135: 4*17 leaf perms + 3 interior = 71.
+        assert_eq!(MerkleTree::permutation_cost(&[135; 4]), 4 * 17 + 3);
+        assert_eq!(MerkleTree::permutation_cost(&[8]), 1);
+    }
+
+    #[test]
+    fn proof_size_bytes() {
+        let data = leaves(16, 1);
+        let tree = MerkleTree::new(data);
+        assert_eq!(tree.prove(0).size_bytes(), 4 * 32);
+    }
+}

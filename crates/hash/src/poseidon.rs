@@ -1,0 +1,384 @@
+//! The Poseidon permutation over 12 Goldilocks elements (paper Algorithm 1).
+//!
+//! Round structure (identical to Plonky2's):
+//!
+//! ```text
+//! for r in 0..4  { FullRound(r) }        // add const, x^7, × MDS
+//! PrePartialRound                        // add const vector, × pre-MDS
+//! for r in 0..22 { PartialRound(r) }     // x^7 on state[0], add const, × sparse MDS
+//! for r in 4..8  { FullRound(r) }
+//! ```
+//!
+//! The sparse MDS matrix of the partial rounds decomposes into a first row
+//! `u`, a first column `v`, and a diagonal `E` (paper Fig. 5b) — exactly the
+//! structure UniZK's 12×3-PE partial-round mapping exploits.
+
+use unizk_field::{Field, Goldilocks};
+
+/// Poseidon state width in field elements.
+pub const WIDTH: usize = 12;
+/// Sponge rate: elements absorbed/squeezed per permutation.
+pub const SPONGE_RATE: usize = 8;
+/// Sponge capacity (`WIDTH - SPONGE_RATE`).
+pub const SPONGE_CAPACITY: usize = WIDTH - SPONGE_RATE;
+/// Number of full rounds (split 4 + 4 around the partial rounds).
+pub const FULL_ROUNDS: usize = 8;
+/// Number of partial rounds.
+pub const PARTIAL_ROUNDS: usize = 22;
+
+/// Deterministic constant generator (splitmix64). See the crate-level
+/// substitution note: these replace Plonky2's Grain-LFSR constants while
+/// preserving the permutation's structure.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn gen_field(state: &mut u64) -> Goldilocks {
+    Goldilocks::from_u64(splitmix64(state))
+}
+
+/// Small nonzero matrix entry (< 2^7), enabling lazy-reduction
+/// matrix–vector products — the structure real optimized Poseidon
+/// instances (including Plonky2's "fast" partial rounds) rely on.
+fn gen_small(state: &mut u64) -> Goldilocks {
+    Goldilocks::from_u64(splitmix64(state) % 96 + 1)
+}
+
+/// All constants the permutation needs, generated once.
+#[derive(Clone, Debug)]
+pub struct PoseidonConstants {
+    /// `RoundConst[r][i]` for the 8 full rounds.
+    pub round_constants: [[Goldilocks; WIDTH]; FULL_ROUNDS],
+    /// `PartialRoundConst[r]` for the 22 partial rounds.
+    pub partial_round_constants: [Goldilocks; PARTIAL_ROUNDS],
+    /// The constant vector added by the pre-partial round.
+    pub pre_partial_constants: [Goldilocks; WIDTH],
+    /// Dense MDS matrix (row-major) for full rounds.
+    pub mds: [[Goldilocks; WIDTH]; WIDTH],
+    /// Dense matrix for the pre-partial round.
+    pub pre_mds: [[Goldilocks; WIDTH]; WIDTH],
+    /// Sparse-MDS first rows `u` per partial round.
+    pub sparse_u: [[Goldilocks; WIDTH]; PARTIAL_ROUNDS],
+    /// Sparse-MDS first columns `v` (index 0 unused) per partial round.
+    pub sparse_v: [[Goldilocks; WIDTH]; PARTIAL_ROUNDS],
+    /// Sparse-MDS diagonals `E` (index 0 unused) per partial round.
+    pub sparse_diag: [[Goldilocks; WIDTH]; PARTIAL_ROUNDS],
+}
+
+impl PoseidonConstants {
+    fn generate() -> Self {
+        let mut s: u64 = 0x556E_695A_4B32_3032; // "UniZK2025"-ish seed
+
+        let mut round_constants = [[Goldilocks::ZERO; WIDTH]; FULL_ROUNDS];
+        for row in round_constants.iter_mut() {
+            for c in row.iter_mut() {
+                *c = gen_field(&mut s);
+            }
+        }
+
+        let mut partial_round_constants = [Goldilocks::ZERO; PARTIAL_ROUNDS];
+        for c in partial_round_constants.iter_mut() {
+            *c = gen_field(&mut s);
+        }
+
+        let mut pre_partial_constants = [Goldilocks::ZERO; WIDTH];
+        for c in pre_partial_constants.iter_mut() {
+            *c = gen_field(&mut s);
+        }
+
+        // Circulant MDS from a row of small nonzero entries, mirroring the
+        // circulant structure real Poseidon instances use.
+        let mut first_row = [Goldilocks::ZERO; WIDTH];
+        for c in first_row.iter_mut() {
+            *c = Goldilocks::from_u64(splitmix64(&mut s) % 61 + 1);
+        }
+        let mut mds = [[Goldilocks::ZERO; WIDTH]; WIDTH];
+        for (i, row) in mds.iter_mut().enumerate() {
+            for (j, c) in row.iter_mut().enumerate() {
+                *c = first_row[(j + WIDTH - i) % WIDTH];
+            }
+        }
+
+        let mut pre_mds = [[Goldilocks::ZERO; WIDTH]; WIDTH];
+        for row in pre_mds.iter_mut() {
+            for c in row.iter_mut() {
+                *c = gen_small(&mut s);
+            }
+        }
+
+        let mut sparse_u = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
+        let mut sparse_v = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
+        let mut sparse_diag = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
+        for r in 0..PARTIAL_ROUNDS {
+            for i in 0..WIDTH {
+                sparse_u[r][i] = gen_small(&mut s);
+            }
+            for i in 1..WIDTH {
+                sparse_v[r][i] = gen_small(&mut s);
+                sparse_diag[r][i] = gen_small(&mut s);
+            }
+        }
+
+        Self {
+            round_constants,
+            partial_round_constants,
+            pre_partial_constants,
+            mds,
+            pre_mds,
+            sparse_u,
+            sparse_v,
+            sparse_diag,
+        }
+    }
+}
+
+/// The process-wide constant set.
+pub fn constants() -> &'static PoseidonConstants {
+    use std::sync::OnceLock;
+    static CONSTANTS: OnceLock<PoseidonConstants> = OnceLock::new();
+    CONSTANTS.get_or_init(PoseidonConstants::generate)
+}
+
+#[inline]
+fn sbox(x: Goldilocks) -> Goldilocks {
+    // x^7 = x^4 · x^2 · x  (3 squarings/multiplies, as in hardware).
+    let x2 = x.square();
+    let x4 = x2.square();
+    x4 * x2 * x
+}
+
+#[cfg(test)]
+fn mat_mul(m: &[[Goldilocks; WIDTH]; WIDTH], state: &[Goldilocks; WIDTH]) -> [Goldilocks; WIDTH] {
+    let mut out = [Goldilocks::ZERO; WIDTH];
+    for (o, row) in out.iter_mut().zip(m.iter()) {
+        let mut acc = Goldilocks::ZERO;
+        for (c, x) in row.iter().zip(state.iter()) {
+            acc += *c * *x;
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// MDS matrix–vector product exploiting the small circulant entries
+/// (< 2^7): twelve `u128` partial products sum to < 2^75, so one lazy
+/// reduction per output row replaces twelve modular multiplies. This is
+/// the software analogue of the cheap constant multipliers the hardware
+/// MDS step enjoys.
+fn mds_mat_mul(m: &[[Goldilocks; WIDTH]; WIDTH], state: &[Goldilocks; WIDTH]) -> [Goldilocks; WIDTH] {
+    let mut out = [Goldilocks::ZERO; WIDTH];
+    for (o, row) in out.iter_mut().zip(m.iter()) {
+        let mut acc: u128 = 0;
+        for (c, x) in row.iter().zip(state.iter()) {
+            acc += (c.as_canonical_u64() as u128) * (x.as_canonical_u64() as u128);
+        }
+        *o = Goldilocks::reduce128(acc);
+    }
+    out
+}
+
+fn full_round(state: &mut [Goldilocks; WIDTH], r: usize) {
+    let cs = constants();
+    for (x, c) in state.iter_mut().zip(cs.round_constants[r].iter()) {
+        *x = sbox(*x + *c);
+    }
+    *state = mds_mat_mul(&cs.mds, state);
+}
+
+fn pre_partial_round(state: &mut [Goldilocks; WIDTH]) {
+    let cs = constants();
+    for (x, c) in state.iter_mut().zip(cs.pre_partial_constants.iter()) {
+        *x += *c;
+    }
+    *state = mds_mat_mul(&cs.pre_mds, state);
+}
+
+fn partial_round(state: &mut [Goldilocks; WIDTH], r: usize) {
+    let cs = constants();
+    state[0] = sbox(state[0]);
+    state[0] += cs.partial_round_constants[r];
+
+    // Sparse MDS: out[0] = u·state; out[i] = v[i]·state[0] + E[i]·state[i].
+    let u = &cs.sparse_u[r];
+    let v = &cs.sparse_v[r];
+    let e = &cs.sparse_diag[r];
+    let mut dot: u128 = 0;
+    for (c, x) in u.iter().zip(state.iter()) {
+        dot += (c.as_canonical_u64() as u128) * (x.as_canonical_u64() as u128);
+    }
+    let s0 = state[0];
+    for i in 1..WIDTH {
+        // Both entries are small: one lazy reduction covers the pair.
+        let acc = (v[i].as_canonical_u64() as u128) * (s0.as_canonical_u64() as u128)
+            + (e[i].as_canonical_u64() as u128) * (state[i].as_canonical_u64() as u128);
+        state[i] = Goldilocks::reduce128(acc);
+    }
+    state[0] = Goldilocks::reduce128(dot);
+}
+
+/// Applies the full Poseidon permutation in place.
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::{Field, Goldilocks};
+/// use unizk_hash::poseidon_permute;
+///
+/// let mut state = [Goldilocks::ZERO; 12];
+/// poseidon_permute(&mut state);
+/// assert_ne!(state[0], Goldilocks::ZERO); // zero state does not stay zero
+/// ```
+pub fn poseidon_permute(state: &mut [Goldilocks; WIDTH]) {
+    for r in 0..FULL_ROUNDS / 2 {
+        full_round(state, r);
+    }
+    pre_partial_round(state);
+    for r in 0..PARTIAL_ROUNDS {
+        partial_round(state, r);
+    }
+    for r in FULL_ROUNDS / 2..FULL_ROUNDS {
+        full_round(state, r);
+    }
+}
+
+/// Static operation counts of one permutation, used by the accelerator cost
+/// model (`unizk-core`) and the CPU-baseline roofline estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoseidonCost {
+    /// Modular multiplications per permutation.
+    pub muls: usize,
+    /// Modular additions per permutation.
+    pub adds: usize,
+}
+
+impl PoseidonCost {
+    /// Derives the counts from the round structure.
+    pub const fn of_permutation() -> Self {
+        // Full round: WIDTH s-boxes (4 muls each: sq, sq, mul, mul) + dense
+        // mat-vec (WIDTH^2 muls, WIDTH*(WIDTH-1) adds) + WIDTH const adds.
+        let full_muls = WIDTH * 4 + WIDTH * WIDTH;
+        let full_adds = WIDTH + WIDTH * (WIDTH - 1);
+        // Pre-partial: dense mat-vec + const adds.
+        let pre_muls = WIDTH * WIDTH;
+        let pre_adds = WIDTH + WIDTH * (WIDTH - 1);
+        // Partial round: 1 s-box (4 muls) + 1 const add + sparse mat-vec
+        // (u-dot: WIDTH muls + WIDTH-1 adds; rows: 2(WIDTH-1) muls +
+        // (WIDTH-1) adds).
+        let partial_muls = 4 + WIDTH + 2 * (WIDTH - 1);
+        let partial_adds = 1 + (WIDTH - 1) + (WIDTH - 1);
+        Self {
+            muls: FULL_ROUNDS * full_muls + pre_muls + PARTIAL_ROUNDS * partial_muls,
+            adds: FULL_ROUNDS * full_adds + pre_adds + PARTIAL_ROUNDS * partial_adds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let mut a = [Goldilocks::from_u64(3); WIDTH];
+        let mut b = [Goldilocks::from_u64(3); WIDTH];
+        poseidon_permute(&mut a);
+        poseidon_permute(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutation_differs_on_different_inputs() {
+        let mut a = [Goldilocks::ZERO; WIDTH];
+        let mut b = [Goldilocks::ZERO; WIDTH];
+        b[0] = Goldilocks::ONE;
+        poseidon_permute(&mut a);
+        poseidon_permute(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_bit_diffusion() {
+        // After the permutation, flipping one input element should change
+        // every output element (full diffusion).
+        let mut base = [Goldilocks::from_u64(42); WIDTH];
+        let mut flipped = base;
+        flipped[7] += Goldilocks::ONE;
+        poseidon_permute(&mut base);
+        poseidon_permute(&mut flipped);
+        for i in 0..WIDTH {
+            assert_ne!(base[i], flipped[i], "lane {i} did not diffuse");
+        }
+    }
+
+    #[test]
+    fn sbox_is_x_to_the_7() {
+        let x = Goldilocks::from_u64(5);
+        assert_eq!(sbox(x), x.exp_u64(7));
+        assert_eq!(sbox(Goldilocks::ZERO), Goldilocks::ZERO);
+        assert_eq!(sbox(Goldilocks::ONE), Goldilocks::ONE);
+    }
+
+    #[test]
+    fn sparse_round_matches_dense_equivalent() {
+        // Build the dense matrix from (u, v, E) and check partial_round's
+        // sparse evaluation agrees with a dense mat-vec.
+        let cs = constants();
+        let r = 5;
+        let mut dense = [[Goldilocks::ZERO; WIDTH]; WIDTH];
+        dense[0] = cs.sparse_u[r];
+        for i in 1..WIDTH {
+            dense[i][0] = cs.sparse_v[r][i];
+            dense[i][i] = cs.sparse_diag[r][i];
+        }
+
+        let mut state = [Goldilocks::ZERO; WIDTH];
+        for (i, x) in state.iter_mut().enumerate() {
+            *x = Goldilocks::from_u64(i as u64 + 1);
+        }
+
+        // Expected: apply s-box + const, then dense multiply.
+        let mut expected = state;
+        expected[0] = sbox(expected[0]) + cs.partial_round_constants[r];
+        let expected = mat_mul(&dense, &expected);
+
+        let mut got = state;
+        partial_round(&mut got, r);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mds_fast_path_matches_generic() {
+        let cs = constants();
+        let mut state = [Goldilocks::ZERO; WIDTH];
+        for (i, x) in state.iter_mut().enumerate() {
+            *x = Goldilocks::from_u64(u64::MAX - i as u64); // near-p values
+        }
+        assert_eq!(mds_mat_mul(&cs.mds, &state), mat_mul(&cs.mds, &state));
+    }
+
+    #[test]
+    fn mds_is_circulant() {
+        let cs = constants();
+        for i in 0..WIDTH {
+            for j in 0..WIDTH {
+                assert_eq!(cs.mds[i][j], cs.mds[(i + 1) % WIDTH][(j + 1) % WIDTH]);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_counts_are_sane() {
+        let cost = PoseidonCost::of_permutation();
+        // 8 full rounds dominate: 8 * (48 + 144) = 1536 muls, plus pre and
+        // partial contributions.
+        assert_eq!(
+            cost.muls,
+            8 * (12 * 4 + 144) + 144 + 22 * (4 + 12 + 22)
+        );
+        assert!(cost.adds > 1000);
+    }
+}

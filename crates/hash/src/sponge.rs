@@ -1,0 +1,284 @@
+//! Sponge hashing and the duplex challenger for Fiat–Shamir transforms.
+//!
+//! Plonky2 hashes arbitrary-length inputs with the "absorb" method (paper
+//! §5.3): chunks of `SPONGE_RATE = 8` elements overwrite the state prefix,
+//! followed by a permutation. The challenger is a duplex construction that
+//! alternately absorbs protocol messages and squeezes verifier randomness —
+//! the "Get Challenges" nodes in the paper's Fig. 7 computation graph.
+
+use unizk_field::{Ext2, Field, Goldilocks};
+
+use crate::digest::Digest;
+use crate::poseidon::{poseidon_permute, SPONGE_RATE, WIDTH};
+
+/// Hashes a slice of field elements to a [`Digest`] with the absorb method,
+/// no padding (lengths are fixed by the protocol, as in Plonky2).
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::{Field, Goldilocks};
+/// use unizk_hash::hash_no_pad;
+///
+/// let a = hash_no_pad(&[Goldilocks::ONE]);
+/// let b = hash_no_pad(&[Goldilocks::TWO]);
+/// assert_ne!(a, b);
+/// ```
+pub fn hash_no_pad(input: &[Goldilocks]) -> Digest {
+    let mut state = [Goldilocks::ZERO; WIDTH];
+    for chunk in input.chunks(SPONGE_RATE) {
+        state[..chunk.len()].copy_from_slice(chunk);
+        poseidon_permute(&mut state);
+    }
+    Digest([state[0], state[1], state[2], state[3]])
+}
+
+/// Number of Poseidon permutations [`hash_no_pad`] performs for an input of
+/// `len` elements — the unit the simulator's Merkle cost model charges.
+pub fn permutation_count(len: usize) -> usize {
+    len.div_ceil(SPONGE_RATE).max(1)
+}
+
+/// Hashes two child digests into a parent digest: 4 + 4 elements, zero
+/// padded to a full state (paper §5.3).
+pub fn two_to_one(left: Digest, right: Digest) -> Digest {
+    let mut state = [Goldilocks::ZERO; WIDTH];
+    state[..4].copy_from_slice(&left.0);
+    state[4..8].copy_from_slice(&right.0);
+    poseidon_permute(&mut state);
+    Digest([state[0], state[1], state[2], state[3]])
+}
+
+/// A duplex-sponge transcript for the Fiat–Shamir transform.
+///
+/// Both prover and verifier drive an identical `Challenger` with the same
+/// observations; the squeezed challenges then agree, making the protocol
+/// non-interactive.
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::{Field, Goldilocks};
+/// use unizk_hash::Challenger;
+///
+/// let mut prover = Challenger::new();
+/// prover.observe(Goldilocks::from_u64(99));
+/// let c1 = prover.challenge();
+///
+/// let mut verifier = Challenger::new();
+/// verifier.observe(Goldilocks::from_u64(99));
+/// assert_eq!(c1, verifier.challenge());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Challenger {
+    state: [Goldilocks; WIDTH],
+    input_buffer: Vec<Goldilocks>,
+    output_buffer: Vec<Goldilocks>,
+}
+
+impl Default for Challenger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Challenger {
+    /// A fresh transcript with zero state.
+    pub fn new() -> Self {
+        Self {
+            state: [Goldilocks::ZERO; WIDTH],
+            input_buffer: Vec::new(),
+            output_buffer: Vec::new(),
+        }
+    }
+
+    /// Absorbs one field element.
+    pub fn observe(&mut self, x: Goldilocks) {
+        // New inputs invalidate any cached outputs.
+        self.output_buffer.clear();
+        self.input_buffer.push(x);
+        if self.input_buffer.len() == SPONGE_RATE {
+            self.duplex();
+        }
+    }
+
+    /// Absorbs a slice of elements.
+    pub fn observe_slice(&mut self, xs: &[Goldilocks]) {
+        for &x in xs {
+            self.observe(x);
+        }
+    }
+
+    /// Absorbs a digest (e.g. a Merkle cap entry).
+    pub fn observe_digest(&mut self, d: Digest) {
+        self.observe_slice(&d.0);
+    }
+
+    /// Absorbs an extension-field element limb by limb.
+    pub fn observe_ext(&mut self, x: Ext2) {
+        self.observe(x.real());
+        self.observe(x.imag());
+    }
+
+    /// Squeezes one base-field challenge.
+    pub fn challenge(&mut self) -> Goldilocks {
+        if !self.input_buffer.is_empty() || self.output_buffer.is_empty() {
+            self.duplex();
+        }
+        self.output_buffer
+            .pop()
+            .expect("duplex always refills the output buffer")
+    }
+
+    /// Squeezes `n` base-field challenges.
+    pub fn challenges(&mut self, n: usize) -> Vec<Goldilocks> {
+        (0..n).map(|_| self.challenge()).collect()
+    }
+
+    /// Squeezes one extension-field challenge (two base challenges).
+    pub fn challenge_ext(&mut self) -> Ext2 {
+        let a = self.challenge();
+        let b = self.challenge();
+        Ext2::new(a, b)
+    }
+
+    /// Squeezes challenge bits for query-index sampling: a base challenge
+    /// reduced to `bits` low bits.
+    pub fn challenge_bits(&mut self, bits: usize) -> usize {
+        assert!(bits < 64, "at most 63 challenge bits");
+        (self.challenge().as_u64() & ((1 << bits) - 1)) as usize
+    }
+
+    fn duplex(&mut self) {
+        for (i, x) in self.input_buffer.drain(..).enumerate() {
+            debug_assert!(i < SPONGE_RATE);
+            self.state[i] = x;
+        }
+        poseidon_permute(&mut self.state);
+        self.output_buffer.clear();
+        self.output_buffer.extend_from_slice(&self.state[..SPONGE_RATE]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u64) -> Goldilocks {
+        Goldilocks::from_u64(n)
+    }
+
+    #[test]
+    fn hash_no_pad_is_deterministic_and_sensitive() {
+        let input: Vec<Goldilocks> = (0..135u64).map(g).collect();
+        let d1 = hash_no_pad(&input);
+        let d2 = hash_no_pad(&input);
+        assert_eq!(d1, d2);
+
+        let mut tweaked = input.clone();
+        tweaked[134] += Goldilocks::ONE;
+        assert_ne!(hash_no_pad(&tweaked), d1);
+
+        // Length sensitivity within the same rate block.
+        assert_ne!(hash_no_pad(&input[..8]), hash_no_pad(&input[..9]));
+    }
+
+    #[test]
+    fn permutation_count_matches_absorb_rule() {
+        assert_eq!(permutation_count(0), 1);
+        assert_eq!(permutation_count(1), 1);
+        assert_eq!(permutation_count(8), 1);
+        assert_eq!(permutation_count(9), 2);
+        // The paper's leaf example: 135 elements -> ceil(135/8) = 17.
+        assert_eq!(permutation_count(135), 17);
+    }
+
+    #[test]
+    fn two_to_one_is_order_sensitive() {
+        let a = hash_no_pad(&[g(1)]);
+        let b = hash_no_pad(&[g(2)]);
+        assert_ne!(two_to_one(a, b), two_to_one(b, a));
+    }
+
+    #[test]
+    fn challenger_reproducible_across_instances() {
+        let mut c1 = Challenger::new();
+        let mut c2 = Challenger::new();
+        for i in 0..20u64 {
+            c1.observe(g(i));
+            c2.observe(g(i));
+        }
+        assert_eq!(c1.challenges(5), c2.challenges(5));
+    }
+
+    #[test]
+    fn challenger_diverges_on_different_transcripts() {
+        let mut c1 = Challenger::new();
+        let mut c2 = Challenger::new();
+        c1.observe(g(1));
+        c2.observe(g(2));
+        assert_ne!(c1.challenge(), c2.challenge());
+    }
+
+    #[test]
+    fn challenger_observation_order_matters() {
+        let mut c1 = Challenger::new();
+        c1.observe(g(1));
+        c1.observe(g(2));
+        let mut c2 = Challenger::new();
+        c2.observe(g(2));
+        c2.observe(g(1));
+        assert_ne!(c1.challenge(), c2.challenge());
+    }
+
+    #[test]
+    fn challenge_then_observe_then_challenge() {
+        // Interleaved duplexing: later challenges must depend on the new
+        // observation.
+        let mut c1 = Challenger::new();
+        c1.observe(g(7));
+        let first = c1.challenge();
+        c1.observe(g(8));
+        let second = c1.challenge();
+        assert_ne!(first, second);
+
+        let mut c2 = Challenger::new();
+        c2.observe(g(7));
+        assert_eq!(c2.challenge(), first);
+        c2.observe(g(9));
+        assert_ne!(c2.challenge(), second);
+    }
+
+    #[test]
+    fn challenge_bits_in_range() {
+        let mut c = Challenger::new();
+        c.observe(g(3));
+        for bits in 1..20 {
+            let idx = c.challenge_bits(bits);
+            assert!(idx < (1 << bits));
+        }
+    }
+
+    #[test]
+    fn ext_challenge_consumes_two() {
+        let mut c1 = Challenger::new();
+        c1.observe(g(5));
+        let e = c1.challenge_ext();
+        let mut c2 = Challenger::new();
+        c2.observe(g(5));
+        let a = c2.challenge();
+        let b = c2.challenge();
+        assert_eq!(e, Ext2::new(a, b));
+    }
+
+    #[test]
+    fn many_observations_spanning_blocks() {
+        // More than one rate block absorbed before squeezing.
+        let mut c = Challenger::new();
+        for i in 0..100u64 {
+            c.observe(g(i));
+        }
+        let ch = c.challenge();
+        assert_ne!(ch, Goldilocks::ZERO);
+    }
+}

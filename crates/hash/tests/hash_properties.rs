@@ -1,0 +1,87 @@
+//! Property-based tests for the hash layer: Merkle trees over arbitrary
+//! shapes, challenger determinism, and sponge collision resistance
+//! smoke checks.
+
+use proptest::prelude::*;
+use unizk_field::{Field, Goldilocks};
+use unizk_hash::{hash_no_pad, Challenger, MerkleTree};
+
+fn arb_leaf() -> impl Strategy<Value = Vec<Goldilocks>> {
+    prop::collection::vec(any::<u64>().prop_map(Goldilocks::from_u64), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merkle_all_openings_verify(
+        log_leaves in 0usize..6,
+        seed_leaves in prop::collection::vec(arb_leaf(), 32),
+        query in any::<prop::sample::Index>(),
+    ) {
+        let n = 1 << log_leaves;
+        let leaves: Vec<Vec<Goldilocks>> = seed_leaves.into_iter().take(n).collect();
+        prop_assume!(leaves.len() == n);
+        let tree = MerkleTree::new(leaves.clone());
+        let idx = query.index(n);
+        let proof = tree.prove(idx);
+        prop_assert!(MerkleTree::verify(tree.root(), idx, &leaves[idx], &proof));
+        // Wrong index fails (when there is another index).
+        if n > 1 {
+            prop_assert!(!MerkleTree::verify(tree.root(), (idx + 1) % n, &leaves[idx], &proof));
+        }
+    }
+
+    #[test]
+    fn merkle_root_changes_with_any_leaf(
+        log_leaves in 1usize..5,
+        seed_leaves in prop::collection::vec(arb_leaf(), 16),
+        victim in any::<prop::sample::Index>(),
+    ) {
+        let n = 1 << log_leaves;
+        let leaves: Vec<Vec<Goldilocks>> = seed_leaves.into_iter().take(n).collect();
+        prop_assume!(leaves.len() == n);
+        let tree = MerkleTree::new(leaves.clone());
+        let mut tweaked = leaves;
+        let i = victim.index(n);
+        tweaked[i][0] += Goldilocks::ONE;
+        prop_assert_ne!(MerkleTree::new(tweaked).root(), tree.root());
+    }
+
+    #[test]
+    fn hash_distinguishes_inputs(a in arb_leaf(), b in arb_leaf()) {
+        if a != b {
+            prop_assert_ne!(hash_no_pad(&a), hash_no_pad(&b));
+        }
+    }
+
+    #[test]
+    fn challenger_transcript_determinism(
+        observations in prop::collection::vec(any::<u64>(), 0..40),
+        draws in 1usize..10,
+    ) {
+        let mut c1 = Challenger::new();
+        let mut c2 = Challenger::new();
+        for &o in &observations {
+            c1.observe(Goldilocks::from_u64(o));
+            c2.observe(Goldilocks::from_u64(o));
+        }
+        prop_assert_eq!(c1.challenges(draws), c2.challenges(draws));
+    }
+
+    #[test]
+    fn challenger_sensitive_to_any_observation(
+        observations in prop::collection::vec(any::<u64>(), 1..20),
+        victim in any::<prop::sample::Index>(),
+    ) {
+        let mut honest = Challenger::new();
+        let mut tampered = Challenger::new();
+        let i = victim.index(observations.len());
+        for (j, &o) in observations.iter().enumerate() {
+            honest.observe(Goldilocks::from_u64(o));
+            let v = if j == i { o.wrapping_add(1) } else { o };
+            tampered.observe(Goldilocks::from_u64(v));
+        }
+        prop_assert_ne!(honest.challenge(), tampered.challenge());
+    }
+}

@@ -1,0 +1,85 @@
+//! Quadratic-time reference transforms used as golden models in tests.
+
+use unizk_field::{log2_strict, PrimeField64};
+
+/// Evaluates the polynomial with coefficients `coeffs` at all `N` powers of
+/// the primitive root: `out[j] = Σ_i coeffs[i]·ω^{ij}`. `O(N^2)`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn naive_dft<F: PrimeField64>(coeffs: &[F]) -> Vec<F> {
+    naive_coset_dft(coeffs, F::ONE)
+}
+
+/// Evaluates on the coset `shift·H`: `out[j] = Σ_i coeffs[i]·(shift·ω^j)^i`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn naive_coset_dft<F: PrimeField64>(coeffs: &[F], shift: F) -> Vec<F> {
+    let n = coeffs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let log_n = log2_strict(n);
+    let omega = F::primitive_root_of_unity(log_n);
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        let x = shift * omega.exp_u64(j as u64);
+        let mut acc = F::ZERO;
+        let mut pow = F::ONE;
+        for &c in coeffs {
+            acc += c * pow;
+            pow *= x;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Recovers coefficients from evaluations on the subgroup. `O(N^2)`.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn naive_idft<F: PrimeField64>(values: &[F]) -> Vec<F> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let log_n = log2_strict(n);
+    let omega_inv = F::primitive_root_of_unity(log_n).inverse();
+    let n_inv = F::from_u64(n as u64).inverse();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = omega_inv.exp_u64(i as u64);
+        let mut acc = F::ZERO;
+        let mut pow = F::ONE;
+        for &v in values {
+            acc += v * pow;
+            pow *= x;
+        }
+        out.push(acc * n_inv);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_field::{Field, Goldilocks};
+
+    #[test]
+    fn naive_roundtrip() {
+        let coeffs: Vec<Goldilocks> = (1..=8u64).map(Goldilocks::from_u64).collect();
+        let values = naive_dft(&coeffs);
+        assert_eq!(naive_idft(&values), coeffs);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(naive_dft::<Goldilocks>(&[]).is_empty());
+        assert!(naive_idft::<Goldilocks>(&[]).is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! In-place radix-2 NTT kernels (DIF and DIT dataflows) and their coset /
+//! bit-reverse-order variants.
+//!
+//! The paper's hardware supports both DIT and DIF dataflows (§5.1); here DIF
+//! produces bit-reversed output from natural input (`NTT^NR`) and DIT
+//! consumes bit-reversed input producing natural output (`NTT^RN`), exactly
+//! the combinations the FRI pipeline needs.
+
+use unizk_field::{log2_strict, reverse_index_bits, PrimeField64};
+
+/// Precomputed twiddle tables for a size-`n` transform.
+///
+/// The accelerator generates these on the fly with its twiddle factor
+/// generator; in software we build the per-stage tables once per call. Table
+/// layout: for stage with half-size `m`, twiddles `ω_{2m}^j` for `j < m`.
+fn stage_twiddles<F: PrimeField64>(n: usize, inverse: bool) -> Vec<Vec<F>> {
+    let log_n = log2_strict(n);
+    let mut root = F::primitive_root_of_unity(log_n);
+    if inverse {
+        root = root.inverse();
+    }
+    // For each stage half-size m = n/2, n/4, ..., 1 the generator is
+    // root^(n/(2m)).
+    let mut tables = Vec::with_capacity(log_n);
+    let mut m = n / 2;
+    let mut w_m = root;
+    while m >= 1 {
+        let mut tw = Vec::with_capacity(m);
+        let mut w = F::ONE;
+        for _ in 0..m {
+            tw.push(w);
+            w *= w_m;
+        }
+        tables.push(tw);
+        m /= 2;
+        w_m = w_m.square();
+    }
+    tables
+}
+
+/// DIF butterfly network: natural input → bit-reversed output.
+fn dif_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    let tables = stage_twiddles::<F>(n, inverse);
+    let mut m = n / 2;
+    let mut stage = 0;
+    while m >= 1 {
+        let tw = &tables[stage];
+        for block in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                let a = values[block + j];
+                let b = values[block + j + m];
+                values[block + j] = a + b;
+                values[block + j + m] = (a - b) * tw[j];
+            }
+        }
+        m /= 2;
+        stage += 1;
+    }
+}
+
+/// DIT butterfly network: bit-reversed input → natural output.
+fn dit_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    let tables = stage_twiddles::<F>(n, inverse);
+    let log_n = log2_strict(n);
+    let mut m = 1;
+    let mut stage = log_n;
+    while m < n {
+        stage -= 1;
+        let tw = &tables[stage];
+        for block in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                let a = values[block + j];
+                let b = values[block + j + m] * tw[j];
+                values[block + j] = a + b;
+                values[block + j + m] = a - b;
+            }
+        }
+        m *= 2;
+    }
+}
+
+fn scale_by_n_inv<F: PrimeField64>(values: &mut [F]) {
+    let n_inv = F::from_u64(values.len() as u64).inverse();
+    for v in values.iter_mut() {
+        *v *= n_inv;
+    }
+}
+
+/// Forward NTT, natural input, bit-reversed output (`NTT^NR`).
+///
+/// This is the transform FRI applies after zero-padding in the LDE step
+/// (paper Fig. 1, step ②).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or exceeds `2^32`.
+pub fn ntt_nr<F: PrimeField64>(values: &mut [F]) {
+    dif_in_place(values, false);
+}
+
+/// Forward NTT, bit-reversed input, natural output (`NTT^RN`).
+pub fn ntt_rn<F: PrimeField64>(values: &mut [F]) {
+    dit_in_place(values, false);
+}
+
+/// Forward NTT, natural input and output (`NTT^NN`).
+pub fn ntt_nn<F: PrimeField64>(values: &mut [F]) {
+    dif_in_place(values, false);
+    reverse_index_bits(values);
+}
+
+/// Inverse NTT, natural input and output (`iNTT^NN`).
+///
+/// This is the transform FRI applies first to move polynomials from value
+/// to coefficient representation (paper Fig. 1, step ①).
+pub fn intt_nn<F: PrimeField64>(values: &mut [F]) {
+    dif_in_place(values, true);
+    reverse_index_bits(values);
+    scale_by_n_inv(values);
+}
+
+/// Inverse NTT, bit-reversed input, natural output (`iNTT^RN`).
+pub fn intt_rn<F: PrimeField64>(values: &mut [F]) {
+    dit_in_place(values, true);
+    scale_by_n_inv(values);
+}
+
+/// Coset forward NTT: evaluates the polynomial on the coset `shift·H`,
+/// natural order in and out.
+///
+/// Implemented as the paper describes: element-wise pre-multiplication by
+/// `shift^i` (mapped to the idle PE of the first DIT round in hardware)
+/// followed by a standard NTT.
+pub fn coset_ntt_nn<F: PrimeField64>(values: &mut [F], shift: F) {
+    apply_coset_powers(values, shift);
+    ntt_nn(values);
+}
+
+/// Coset forward NTT with bit-reversed output (`coset-NTT^NR`).
+pub fn coset_ntt_nr<F: PrimeField64>(values: &mut [F], shift: F) {
+    apply_coset_powers(values, shift);
+    ntt_nr(values);
+}
+
+/// Coset inverse NTT: recovers coefficients from evaluations on `shift·H`.
+///
+/// The trailing `N^{-1}·shift^{-i}` multiplications are the ones the paper
+/// folds into the reserved inter-dimension twiddle PEs (§5.1).
+pub fn coset_intt_nn<F: PrimeField64>(values: &mut [F], shift: F) {
+    intt_nn(values);
+    apply_coset_powers(values, shift.inverse());
+}
+
+fn apply_coset_powers<F: PrimeField64>(values: &mut [F], shift: F) {
+    let mut power = F::ONE;
+    for v in values.iter_mut() {
+        *v *= power;
+        power *= shift;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{naive_coset_dft, naive_dft};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use unizk_field::{bit_reverse, Goldilocks};
+
+    fn random_vec(rng: &mut StdRng, n: usize) -> Vec<Goldilocks> {
+        (0..n).map(|_| Goldilocks::random(rng)).collect()
+    }
+
+    #[test]
+    fn ntt_nn_matches_naive_dft() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for log_n in 0..9 {
+            let n = 1 << log_n;
+            let coeffs = random_vec(&mut rng, n);
+            let mut fast = coeffs.clone();
+            ntt_nn(&mut fast);
+            assert_eq!(fast, naive_dft(&coeffs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ntt_nr_is_bit_reversed_nn() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let n = 64;
+        let coeffs = random_vec(&mut rng, n);
+        let mut nn = coeffs.clone();
+        ntt_nn(&mut nn);
+        let mut nr = coeffs.clone();
+        ntt_nr(&mut nr);
+        for i in 0..n {
+            assert_eq!(nr[i], nn[bit_reverse(i, 6)]);
+        }
+    }
+
+    #[test]
+    fn ntt_rn_consumes_bit_reversed_input() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let n = 32;
+        let coeffs = random_vec(&mut rng, n);
+        let mut rev = coeffs.clone();
+        unizk_field::reverse_index_bits(&mut rev);
+        ntt_rn(&mut rev);
+        assert_eq!(rev, naive_dft(&coeffs));
+    }
+
+    #[test]
+    fn intt_nn_inverts_ntt_nn() {
+        let mut rng = StdRng::seed_from_u64(103);
+        for log_n in 0..10 {
+            let n = 1 << log_n;
+            let coeffs = random_vec(&mut rng, n);
+            let mut v = coeffs.clone();
+            ntt_nn(&mut v);
+            intt_nn(&mut v);
+            assert_eq!(v, coeffs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn intt_rn_inverts_ntt_nr() {
+        // The FRI pipeline pairing: NTT^NR then iNTT^RN round-trips without
+        // any explicit reordering.
+        let mut rng = StdRng::seed_from_u64(104);
+        let n = 128;
+        let coeffs = random_vec(&mut rng, n);
+        let mut v = coeffs.clone();
+        ntt_nr(&mut v);
+        intt_rn(&mut v);
+        assert_eq!(v, coeffs);
+    }
+
+    #[test]
+    fn coset_ntt_matches_naive_coset_dft() {
+        use unizk_field::PrimeField64;
+        let mut rng = StdRng::seed_from_u64(105);
+        let n = 64;
+        let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;
+        let coeffs = random_vec(&mut rng, n);
+        let mut v = coeffs.clone();
+        coset_ntt_nn(&mut v, shift);
+        assert_eq!(v, naive_coset_dft(&coeffs, shift));
+    }
+
+    #[test]
+    fn coset_intt_inverts_coset_ntt() {
+        use unizk_field::PrimeField64;
+        let mut rng = StdRng::seed_from_u64(106);
+        let n = 256;
+        let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;
+        let coeffs = random_vec(&mut rng, n);
+        let mut v = coeffs.clone();
+        coset_ntt_nn(&mut v, shift);
+        coset_intt_nn(&mut v, shift);
+        assert_eq!(v, coeffs);
+    }
+
+    #[test]
+    fn ntt_of_delta_is_all_ones() {
+        use unizk_field::Field;
+        let n = 16;
+        let mut v = vec![Goldilocks::ZERO; n];
+        v[0] = Goldilocks::ONE;
+        ntt_nn(&mut v);
+        assert!(v.iter().all(|&x| x == Goldilocks::ONE));
+    }
+
+    #[test]
+    fn ntt_of_constant_is_scaled_delta() {
+        use unizk_field::Field;
+        let n = 16;
+        let c = Goldilocks::from_u64(5);
+        let mut v = vec![c; n];
+        intt_nn(&mut v);
+        assert_eq!(v[0], c);
+        assert!(v[1..].iter().all(|x| x.is_zero()));
+    }
+
+    #[test]
+    fn size_one_and_two() {
+        use unizk_field::Field;
+        let mut one = vec![Goldilocks::from_u64(9)];
+        ntt_nn(&mut one);
+        assert_eq!(one[0].as_u64(), 9);
+
+        let mut two = vec![Goldilocks::from_u64(3), Goldilocks::from_u64(4)];
+        ntt_nn(&mut two);
+        assert_eq!(two[0].as_u64(), 7);
+        // ω_2 = -1, so second eval is 3 - 4 = -1.
+        assert_eq!(two[1], -Goldilocks::ONE);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let n = 32;
+        let a = random_vec(&mut rng, n);
+        let b = random_vec(&mut rng, n);
+        let mut sum: Vec<Goldilocks> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        ntt_nn(&mut sum);
+        let mut fa = a.clone();
+        ntt_nn(&mut fa);
+        let mut fb = b.clone();
+        ntt_nn(&mut fb);
+        let expect: Vec<Goldilocks> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn convolution_theorem() {
+        // Pointwise product in value domain == cyclic convolution of coeffs.
+        let mut rng = StdRng::seed_from_u64(108);
+        let n = 16;
+        let a = random_vec(&mut rng, n);
+        let b = random_vec(&mut rng, n);
+        let mut fa = a.clone();
+        ntt_nn(&mut fa);
+        let mut fb = b.clone();
+        ntt_nn(&mut fb);
+        let mut prod: Vec<Goldilocks> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+        intt_nn(&mut prod);
+        // Reference cyclic convolution.
+        use unizk_field::Field;
+        for k in 0..n {
+            let mut acc = Goldilocks::ZERO;
+            for i in 0..n {
+                acc += a[i] * b[(k + n - i) % n];
+            }
+            assert_eq!(prod[k], acc, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the NTT layer: roundtrips, equivalence of all
+//! variants against the naive DFT, and decomposition correctness for
+//! arbitrary dimension splits.
+
+use proptest::prelude::*;
+use unizk_field::{Field, Goldilocks};
+use unizk_ntt::{
+    coset_intt_nn, coset_ntt_nn, decomposed_ntt_nn, intt_nn, intt_rn, lde, naive_dft, ntt_nn,
+    ntt_nr, NttDecomposition,
+};
+
+fn arb_fields(log_n: usize) -> impl Strategy<Value = Vec<Goldilocks>> {
+    prop::collection::vec(any::<u64>().prop_map(Goldilocks::from_u64), 1 << log_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_nn(log_n in 0usize..9, seed_vec in arb_fields(8)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        ntt_nn(&mut x);
+        intt_nn(&mut x);
+        prop_assert_eq!(x.as_slice(), v);
+    }
+
+    #[test]
+    fn roundtrip_nr_rn(log_n in 0usize..9, seed_vec in arb_fields(8)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        ntt_nr(&mut x);
+        intt_rn(&mut x);
+        prop_assert_eq!(x.as_slice(), v);
+    }
+
+    #[test]
+    fn matches_naive(log_n in 0usize..7, seed_vec in arb_fields(6)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        ntt_nn(&mut x);
+        prop_assert_eq!(x, naive_dft(v));
+    }
+
+    #[test]
+    fn coset_roundtrip(log_n in 0usize..8, seed_vec in arb_fields(7), s in 1u64..1000) {
+        let shift = Goldilocks::from_u64(s);
+        prop_assume!(!shift.is_zero());
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        coset_ntt_nn(&mut x, shift);
+        coset_intt_nn(&mut x, shift);
+        prop_assert_eq!(x.as_slice(), v);
+    }
+
+    #[test]
+    fn decomposition_invariant_to_split(seed_vec in arb_fields(8), split in 1usize..8) {
+        // Any 2-way split of 2^8 computes the same transform.
+        let mut mono = seed_vec.clone();
+        ntt_nn(&mut mono);
+        let mut dec = seed_vec.clone();
+        decomposed_ntt_nn(&mut dec, &[1 << split, 1 << (8 - split)]);
+        prop_assert_eq!(dec, mono);
+    }
+
+    #[test]
+    fn planned_decomposition_correct(log_small in 1usize..6, seed_vec in arb_fields(8)) {
+        let plan = NttDecomposition::plan(8, log_small);
+        let mut mono = seed_vec.clone();
+        ntt_nn(&mut mono);
+        let mut dec = seed_vec.clone();
+        decomposed_ntt_nn(&mut dec, &plan.dims);
+        prop_assert_eq!(dec, mono);
+    }
+
+    #[test]
+    fn lde_prefix_property(seed_vec in arb_fields(4), rate in 1usize..4) {
+        // An LDE with shift 1 restricted to stride-k points equals the
+        // original evaluations on H.
+        let coeffs = seed_vec;
+        let ext = lde(&coeffs, rate, Goldilocks::ONE);
+        let mut base = coeffs.clone();
+        ntt_nn(&mut base);
+        let k = 1 << rate;
+        for (i, &b) in base.iter().enumerate() {
+            prop_assert_eq!(ext[i * k], b);
+        }
+    }
+
+    #[test]
+    fn parseval_like_energy_preservation(seed_vec in arb_fields(5)) {
+        // NTT is a bijection: distinct inputs give distinct outputs (checked
+        // indirectly: transform then inverse is identity even after
+        // perturbation).
+        let mut x = seed_vec.clone();
+        ntt_nn(&mut x);
+        let mut y = x.clone();
+        y[0] += Goldilocks::ONE;
+        intt_nn(&mut x);
+        intt_rn(&mut {
+            let mut t = y.clone();
+            unizk_field::reverse_index_bits(&mut t);
+            t
+        });
+        prop_assert_eq!(x, seed_vec);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for proving and verification.
+
+use core::fmt;
+
+use unizk_fri::FriError;
+
+/// Everything that can go wrong proving or verifying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlonkError {
+    /// Wrong number of prover inputs.
+    WrongInputCount { expected: usize, got: usize },
+    /// Two copy-constrained slots were assigned conflicting values.
+    CopyConflict { row: usize, col: usize },
+    /// A gate constraint is unsatisfied at witness-generation time.
+    UnsatisfiedGate { row: usize },
+    /// A commitment in the proof does not match the circuit (verification
+    /// key mismatch).
+    ConstantsMismatch,
+    /// The recombined constraint identity failed at `ζ`.
+    QuotientMismatch { challenge_round: usize },
+    /// The random opening point landed on the domain (negligible; retry).
+    DegenerateChallenge,
+    /// The FRI opening proof failed.
+    Fri(FriError),
+}
+
+impl fmt::Display for PlonkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WrongInputCount { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            Self::CopyConflict { row, col } => {
+                write!(f, "conflicting copy-constrained values at row {row}, wire {col}")
+            }
+            Self::UnsatisfiedGate { row } => write!(f, "gate constraint unsatisfied at row {row}"),
+            Self::ConstantsMismatch => write!(f, "constants commitment mismatch"),
+            Self::QuotientMismatch { challenge_round } => {
+                write!(f, "quotient identity failed for challenge round {challenge_round}")
+            }
+            Self::DegenerateChallenge => write!(f, "opening point lies on the evaluation domain"),
+            Self::Fri(e) => write!(f, "fri: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlonkError {}
+
+impl From<FriError> for PlonkError {
+    fn from(e: FriError) -> Self {
+        Self::Fri(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! A Plonky2-style Plonk prover and verifier over the Goldilocks field.
+//!
+//! This is the protocol whose proof generation the UniZK accelerator targets
+//! (paper §2.2, Fig. 1). The pipeline:
+//!
+//! 1. **Circuit** ([`builder::CircuitBuilder`]) — rows of arithmetic gates
+//!    with selector columns `q_L, q_R, q_M, q_O, q_C` and wire columns
+//!    `w_0..w_{W-1}`; copy constraints connect gates through wires.
+//! 2. **Witness** — generators fill the wire matrix `W` from the prover's
+//!    inputs.
+//! 3. **Permutation argument** ([`permutation`]) — the copy constraints
+//!    become a running-product polynomial `Z` plus partial-product columns
+//!    in 7-factor chunks, the exact computation the paper maps in §5.4
+//!    (Eqs. 1–2).
+//! 4. **Quotient** ([`quotient`]) — all constraints are combined and divided
+//!    by the vanishing polynomial on an 8× coset LDE.
+//! 5. **FRI openings** — everything is committed in Merkle trees and opened
+//!    at a random extension point `ζ` (and `ζ·ω` for `Z`).
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_field::{Field, Goldilocks};
+//! use unizk_plonk::{CircuitBuilder, CircuitConfig};
+//!
+//! // Prove knowledge of (x0..x3) with (x0 + x1) * (x2 * x3) = 99 — the
+//! // paper's running example (Fig. 1).
+//! let mut builder = CircuitBuilder::new(CircuitConfig::for_testing());
+//! let x0 = builder.add_input();
+//! let x1 = builder.add_input();
+//! let x2 = builder.add_input();
+//! let x3 = builder.add_input();
+//! let sum = builder.add(x0, x1);
+//! let prod = builder.mul(x2, x3);
+//! let out = builder.mul(sum, prod);
+//! builder.assert_constant(out, Goldilocks::from_u64(99));
+//! let circuit = builder.build();
+//!
+//! let inputs: Vec<Goldilocks> = [2u64, 7, 3, 11] // (2+7)*(3*11) = 297? no:
+//!     .iter().map(|&x| Goldilocks::from_u64(x)).collect();
+//! // pick a satisfying witness: (4+5) * (1*11) = 99
+//! let inputs: Vec<Goldilocks> = [4u64, 5, 1, 11]
+//!     .iter().map(|&x| Goldilocks::from_u64(x)).collect();
+//! let proof = circuit.prove(&inputs).expect("satisfiable witness");
+//! circuit.verify(&proof).expect("proof verifies");
+//! ```
+
+pub mod builder;
+pub mod circuit;
+pub mod error;
+pub mod gadgets;
+pub mod permutation;
+pub mod proof;
+pub mod prover;
+pub mod quotient;
+pub mod verifier;
+
+pub use builder::{CircuitBuilder, Target};
+pub use circuit::{CircuitConfig, CircuitData};
+pub use error::PlonkError;
+pub use proof::Proof;

@@ -1,0 +1,107 @@
+//! The permutation argument: running product `Z` and partial products.
+//!
+//! This is the computation the paper singles out in §5.4 (Eqs. 1–2): per
+//! row, the quotients `f_j/g_j` are accumulated in chunks (`h` in Eq. 1),
+//! and the chunk products are chained into running partial products (`PP`
+//! in Eq. 2). The divisions are batched with Montgomery inversion — the
+//! same restructuring that lets UniZK parallelize Eq. 1 while pipelining
+//! Eq. 2's sequential chain across PEs.
+
+use unizk_field::{batch_inverse, Field, Goldilocks};
+
+use crate::circuit::{CircuitData, CHUNK_SIZE};
+
+/// The committed columns of one challenge round: `Z` first, then the
+/// `c − 1` intermediate partial products.
+#[derive(Clone, Debug)]
+pub struct PermutationColumns {
+    /// `columns[0] = Z`, `columns[1..] = P_0..P_{c-2}`; each of length `n`.
+    pub columns: Vec<Vec<Goldilocks>>,
+}
+
+/// Computes `Z` and the partial-product columns for one `(β, γ)` round.
+///
+/// `wires[j][i]` is wire column `j` at row `i`.
+pub fn compute_permutation(
+    data: &CircuitData,
+    wires: &[Vec<Goldilocks>],
+    beta: Goldilocks,
+    gamma: Goldilocks,
+) -> PermutationColumns {
+    let n = data.rows;
+    let w = data.config.num_wires;
+    let num_chunks = data.config.num_chunks();
+    let omega = data.omega();
+
+    // Precompute ω^i.
+    let mut omega_pows = Vec::with_capacity(n);
+    let mut acc = Goldilocks::ONE;
+    for _ in 0..n {
+        omega_pows.push(acc);
+        acc *= omega;
+    }
+
+    // All denominators g_j(i) = w_j(i) + β·σ_j(i) + γ, batch-inverted at
+    // once (Eq. 1's divisions).
+    let mut denoms = Vec::with_capacity(n * w);
+    for i in 0..n {
+        for j in 0..w {
+            denoms.push(wires[j][i] + beta * data.sigmas[j][i] + gamma);
+        }
+    }
+    let denom_invs = batch_inverse(&denoms);
+
+    // Chunked quotient products per row (the h values), then the global
+    // running product (the PP chain).
+    let mut z = Vec::with_capacity(n);
+    let mut partials = vec![Vec::with_capacity(n); num_chunks.saturating_sub(1)];
+    let mut running = Goldilocks::ONE;
+    for i in 0..n {
+        z.push(running);
+        let mut row_acc = running;
+        for m in 0..num_chunks {
+            let lo = m * CHUNK_SIZE;
+            let hi = ((m + 1) * CHUNK_SIZE).min(w);
+            let mut chunk = Goldilocks::ONE;
+            for j in lo..hi {
+                let num = wires[j][i] + beta * data.ks[j] * omega_pows[i] + gamma;
+                chunk *= num * denom_invs[i * w + j];
+            }
+            row_acc *= chunk;
+            if m + 1 < num_chunks {
+                partials[m].push(row_acc);
+            }
+        }
+        running = row_acc;
+    }
+
+    let mut columns = Vec::with_capacity(num_chunks);
+    columns.push(z);
+    columns.extend(partials);
+    PermutationColumns { columns }
+}
+
+impl PermutationColumns {
+    /// The final running product after the last row; `1` iff the copy
+    /// constraints hold (the grand product telescopes).
+    pub fn final_product(
+        &self,
+        data: &CircuitData,
+        wires: &[Vec<Goldilocks>],
+        beta: Goldilocks,
+        gamma: Goldilocks,
+    ) -> Goldilocks {
+        // Recompute the last row's full quotient product on top of Z[n-1].
+        let n = data.rows;
+        let w = data.config.num_wires;
+        let omega = data.omega();
+        let x = omega.exp_u64((n - 1) as u64);
+        let mut acc = self.columns[0][n - 1];
+        for j in 0..w {
+            let num = wires[j][n - 1] + beta * data.ks[j] * x + gamma;
+            let den = wires[j][n - 1] + beta * data.sigmas[j][n - 1] + gamma;
+            acc *= num * den.inverse();
+        }
+        acc
+    }
+}

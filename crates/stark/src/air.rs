@@ -1,0 +1,45 @@
+//! The AIR (algebraic intermediate representation) abstraction — the
+//! paper's Algebraic Execution Trace with transition and boundary
+//! constraints (Fig. 2).
+
+use unizk_field::{Field, Goldilocks};
+
+/// A boundary (input/output) constraint: trace column `col` must equal
+/// `value` at row `row`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Boundary {
+    /// Trace row.
+    pub row: usize,
+    /// Trace column.
+    pub col: usize,
+    /// Required value.
+    pub value: Goldilocks,
+}
+
+/// An algebraic execution trace plus its constraint system.
+///
+/// Transition constraints are evaluated on `(local, next)` row pairs and
+/// must vanish on every row except the last. With Starky's blowup of 2,
+/// constraints may have algebraic degree at most 2 in the trace cells.
+pub trait Air {
+    /// Number of trace columns.
+    fn width(&self) -> usize;
+
+    /// Number of trace rows (a power of two).
+    fn rows(&self) -> usize;
+
+    /// Generates the trace, column-major: `trace[col][row]`.
+    fn generate_trace(&self) -> Vec<Vec<Goldilocks>>;
+
+    /// Evaluates the transition constraints on one `(local, next)` row
+    /// pair. Generic so the prover evaluates over the base field on the
+    /// LDE and the verifier over the extension at `ζ`.
+    fn eval_transition<E: Field + From<Goldilocks>>(&self, local: &[E], next: &[E]) -> Vec<E>;
+
+    /// Number of transition constraints (must match
+    /// [`Air::eval_transition`]'s output length).
+    fn num_transition_constraints(&self) -> usize;
+
+    /// The boundary constraints.
+    fn boundaries(&self) -> Vec<Boundary>;
+}

@@ -1,0 +1,47 @@
+//! Stark proving configuration.
+
+use unizk_fri::FriConfig;
+
+/// Parameters of a Starky-style proof.
+#[derive(Clone, Debug)]
+pub struct StarkConfig {
+    /// Independent constraint-combination challenge rounds (2 lifts the
+    /// 64-bit base challenges to ~100-bit soundness, as in Plonky2).
+    pub num_challenges: usize,
+    /// FRI parameters; Starky uses blowup 2 (`rate_bits = 1`).
+    pub fri: FriConfig,
+}
+
+impl StarkConfig {
+    /// The paper's Starky configuration: blowup 2, ~100-bit conjectured
+    /// security.
+    pub fn standard() -> Self {
+        Self {
+            num_challenges: 2,
+            fri: FriConfig::starky(),
+        }
+    }
+
+    /// Cheap parameters for unit tests.
+    pub fn for_testing() -> Self {
+        Self {
+            num_challenges: 2,
+            fri: FriConfig {
+                rate_bits: 1,
+                num_queries: 8,
+                proof_of_work_bits: 4,
+                final_poly_len: 4,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_is_blowup_two() {
+        assert_eq!(1 << StarkConfig::standard().fri.rate_bits, 2);
+    }
+}

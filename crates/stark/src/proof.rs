@@ -1,0 +1,59 @@
+//! Stark proof object.
+
+use serde::{Deserialize, Serialize};
+use unizk_fri::FriProof;
+use unizk_hash::Digest;
+
+/// A Starky-style proof: trace and quotient commitments plus the FRI
+/// opening proof. Base proofs with blowup 2 are large — several hundred kB
+/// at paper scale (Table 5) — which is why they get recursively compressed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StarkProof {
+    /// Commitment to the execution trace columns.
+    pub trace_root: Digest,
+    /// Commitment to the quotient polynomials.
+    pub quotient_root: Digest,
+    /// FRI opening proof (carries openings at `ζ` and `ζ·ω`).
+    pub fri: FriProof,
+    /// Trace height, needed by the verifier for domain sizing.
+    pub rows: usize,
+}
+
+impl StarkProof {
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        2 * Digest::BYTES + 8 + self.fri.size_bytes()
+    }
+}
+
+impl StarkProof {
+    /// Encodes the proof to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = unizk_fri::Writer::new();
+        w.digest(self.trace_root);
+        w.digest(self.quotient_root);
+        w.u64(self.rows as u64);
+        let mut bytes = w.into_bytes();
+        bytes.extend(self.fri.to_bytes());
+        bytes
+    }
+
+    /// Decodes a proof from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`unizk_fri::WireError`] on truncation or corruption.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, unizk_fri::WireError> {
+        let mut r = unizk_fri::Reader::new(bytes);
+        let trace_root = r.digest()?;
+        let quotient_root = r.digest()?;
+        let rows = r.u64()? as usize;
+        let fri = FriProof::from_bytes(&bytes[2 * 32 + 8..])?;
+        Ok(Self {
+            trace_root,
+            quotient_root,
+            fri,
+            rows,
+        })
+    }
+}

@@ -1,0 +1,148 @@
+//! The Stark prover: trace commitment, quotient computation over the
+//! blowup-2 LDE, and FRI openings.
+
+use unizk_field::{
+    batch_inverse, bit_reverse, log2_strict, parallel_map, reverse_index_bits, Ext2, Field,
+    Goldilocks, Polynomial, PrimeField64,
+};
+use unizk_fri::batch::domain_point;
+use unizk_fri::{fri_prove, time_kernel, KernelClass, PolynomialBatch};
+use unizk_hash::Challenger;
+
+use crate::air::Air;
+use crate::config::StarkConfig;
+use crate::proof::StarkProof;
+use crate::verifier::StarkError;
+
+/// Proves that the AIR's trace satisfies its constraints.
+///
+/// # Errors
+///
+/// Returns [`StarkError::UnsatisfiedConstraints`] if the generated trace
+/// does not satisfy the AIR (the quotient fails its degree check).
+pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof, StarkError> {
+    let n = air.rows();
+    assert!(n.is_power_of_two(), "trace height must be a power of two");
+    let mut challenger = Challenger::new();
+
+    // 1. Trace generation and commitment.
+    let trace = time_kernel(KernelClass::Polynomial, || air.generate_trace());
+    assert_eq!(trace.len(), air.width(), "trace width mismatch");
+    let trace_batch = PolynomialBatch::from_values(trace, &config.fri);
+    challenger.observe_digest(trace_batch.root());
+
+    // 2. Constraint-combination challenges.
+    let alphas: Vec<Goldilocks> = challenger.challenges(config.num_challenges);
+
+    // 3. Quotient per challenge round.
+    let quotient_polys = time_kernel(KernelClass::Polynomial, || {
+        compute_quotients(air, &trace_batch, &alphas, n)
+    })?;
+    let quotient_batch = PolynomialBatch::from_coeffs(quotient_polys, &config.fri);
+    challenger.observe_digest(quotient_batch.root());
+
+    // 4. Openings.
+    let zeta = challenger.challenge_ext();
+    let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
+    let points = [zeta, zeta * Ext2::from(omega)];
+    let fri = fri_prove(
+        &[&trace_batch, &quotient_batch],
+        &points,
+        &mut challenger,
+        &config.fri,
+    );
+
+    Ok(StarkProof {
+        trace_root: trace_batch.root(),
+        quotient_root: quotient_batch.root(),
+        fri,
+        rows: n,
+    })
+}
+
+fn compute_quotients<A: Air + Sync>(
+    air: &A,
+    trace: &PolynomialBatch,
+    alphas: &[Goldilocks],
+    n: usize,
+) -> Result<Vec<Polynomial<Goldilocks>>, StarkError> {
+    let lde_size = trace.lde_size();
+    let bits = log2_strict(lde_size);
+    let blowup = lde_size / n;
+    let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
+    let last = omega.exp_u64((n - 1) as u64);
+    let boundaries = air.boundaries();
+
+    // Shared per-position quantities.
+    let xs: Vec<Goldilocks> = (0..lde_size).map(|i| domain_point(lde_size, i)).collect();
+    let zh: Vec<Goldilocks> = xs
+        .iter()
+        .map(|&x| x.exp_u64(n as u64) - Goldilocks::ONE)
+        .collect();
+    let zh_inv = batch_inverse(&zh);
+    // (x − ω^row_b) denominators for each boundary, flattened.
+    let mut boundary_denoms = Vec::with_capacity(lde_size * boundaries.len());
+    for &x in &xs {
+        for b in &boundaries {
+            boundary_denoms.push(x - omega.exp_u64(b.row as u64));
+        }
+    }
+    let boundary_inv = batch_inverse(&boundary_denoms);
+
+    let threads = unizk_field::current_parallelism();
+    let chunk_len = lde_size.div_ceil(threads.max(1)).max(1);
+    let ranges: Vec<(usize, usize)> = (0..lde_size)
+        .step_by(chunk_len)
+        .map(|s| (s, (s + chunk_len).min(lde_size)))
+        .collect();
+
+    let s_rounds = alphas.len();
+    let per_range: Vec<Vec<Vec<Goldilocks>>> = parallel_map(ranges, |(start, end)| {
+        let mut out = vec![Vec::with_capacity(end - start); s_rounds];
+        for i in start..end {
+            let local = trace.leaf(i);
+            let t = bit_reverse(i, bits);
+            let i_next = bit_reverse((t + blowup) % lde_size, bits);
+            let next = trace.leaf(i_next);
+
+            let transitions = air.eval_transition(local, next);
+            // Transition constraints vanish on all rows but the last:
+            // multiply by (x − ω^{n−1}) and divide by Z_H.
+            let trans_factor = (xs[i] - last) * zh_inv[i];
+
+            for (s, alpha) in alphas.iter().enumerate() {
+                let mut acc = Goldilocks::ZERO;
+                let mut alpha_pow = Goldilocks::ONE;
+                for &c in &transitions {
+                    acc += alpha_pow * c * trans_factor;
+                    alpha_pow *= *alpha;
+                }
+                for (bi, b) in boundaries.iter().enumerate() {
+                    let num = local[b.col] - b.value;
+                    acc += alpha_pow * num * boundary_inv[i * boundaries.len() + bi];
+                    alpha_pow *= *alpha;
+                }
+                out[s].push(acc);
+            }
+        }
+        out
+    });
+
+    let mut quotients = Vec::with_capacity(s_rounds);
+    for s in 0..s_rounds {
+        let mut values = Vec::with_capacity(lde_size);
+        for r in &per_range {
+            values.extend_from_slice(&r[s]);
+        }
+        reverse_index_bits(&mut values);
+        unizk_ntt::coset_intt_nn(&mut values, unizk_fri::batch::coset_shift());
+        // Degree check: a satisfying trace yields degree < n; the upper
+        // coefficients must vanish.
+        if values[n..].iter().any(|c| !c.is_zero()) {
+            return Err(StarkError::UnsatisfiedConstraints);
+        }
+        values.truncate(n);
+        quotients.push(Polynomial::from_coeffs(values));
+    }
+    Ok(quotients)
+}

@@ -1,0 +1,113 @@
+//! The Stark verifier.
+
+use core::fmt;
+
+use unizk_field::{log2_strict, Ext2, Field, Goldilocks, PrimeField64};
+use unizk_fri::{fri_verify, FriError};
+use unizk_hash::Challenger;
+
+use crate::air::Air;
+use crate::config::StarkConfig;
+use crate::proof::StarkProof;
+
+/// Stark proving/verification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StarkError {
+    /// The trace does not satisfy the AIR (prover-side degree check).
+    UnsatisfiedConstraints,
+    /// Proof shape mismatch.
+    Malformed(&'static str),
+    /// The constraint identity failed at `ζ`.
+    QuotientMismatch { challenge_round: usize },
+    /// FRI rejected the openings.
+    Fri(FriError),
+}
+
+impl fmt::Display for StarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsatisfiedConstraints => write!(f, "trace does not satisfy the constraints"),
+            Self::Malformed(what) => write!(f, "malformed proof: {what}"),
+            Self::QuotientMismatch { challenge_round } => {
+                write!(f, "quotient identity failed in round {challenge_round}")
+            }
+            Self::Fri(e) => write!(f, "fri: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StarkError {}
+
+impl From<FriError> for StarkError {
+    fn from(e: FriError) -> Self {
+        Self::Fri(e)
+    }
+}
+
+/// Verifies a Stark proof against its AIR.
+///
+/// # Errors
+///
+/// Returns [`StarkError`] describing the first failed check.
+pub fn verify<A: Air>(air: &A, proof: &StarkProof, config: &StarkConfig) -> Result<(), StarkError> {
+    let n = proof.rows;
+    if n != air.rows() || !n.is_power_of_two() {
+        return Err(StarkError::Malformed("row count mismatch"));
+    }
+    let mut challenger = Challenger::new();
+    challenger.observe_digest(proof.trace_root);
+    let alphas: Vec<Goldilocks> = challenger.challenges(config.num_challenges);
+    challenger.observe_digest(proof.quotient_root);
+    let zeta = challenger.challenge_ext();
+    let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
+    let points = [zeta, zeta * Ext2::from(omega)];
+
+    fri_verify(
+        &[proof.trace_root, proof.quotient_root],
+        &[air.width(), config.num_challenges],
+        n,
+        &points,
+        &proof.fri,
+        &mut challenger,
+        &config.fri,
+    )?;
+
+    // Recombine the identity at ζ.
+    let local = &proof.fri.openings[0][0];
+    let next = &proof.fri.openings[1][0];
+    let quotient_at_zeta = &proof.fri.openings[0][1];
+    if local.len() != air.width() || quotient_at_zeta.len() != config.num_challenges {
+        return Err(StarkError::Malformed("opening widths"));
+    }
+
+    let zh = zeta.exp_u64(n as u64) - Ext2::ONE;
+    let zh_inv = zh
+        .try_inverse()
+        .ok_or(StarkError::Malformed("zeta on domain"))?;
+    let last = omega.exp_u64((n - 1) as u64);
+    let trans_factor = (zeta - Ext2::from(last)) * zh_inv;
+    let transitions = air.eval_transition(local, next);
+    let boundaries = air.boundaries();
+
+    for (s, alpha) in alphas.iter().enumerate() {
+        let alpha_e = Ext2::from(*alpha);
+        let mut acc = Ext2::ZERO;
+        let mut alpha_pow = Ext2::ONE;
+        for &c in &transitions {
+            acc += alpha_pow * c * trans_factor;
+            alpha_pow *= alpha_e;
+        }
+        for b in &boundaries {
+            let denom = zeta - Ext2::from(omega.exp_u64(b.row as u64));
+            let inv = denom
+                .try_inverse()
+                .ok_or(StarkError::Malformed("zeta hits a boundary row"))?;
+            acc += alpha_pow * (local[b.col] - Ext2::from(b.value)) * inv;
+            alpha_pow *= alpha_e;
+        }
+        if acc != quotient_at_zeta[s] {
+            return Err(StarkError::QuotientMismatch { challenge_round: s });
+        }
+    }
+    Ok(())
+}

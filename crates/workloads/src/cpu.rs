@@ -1,0 +1,108 @@
+//! The instrumented CPU baseline runner.
+//!
+//! Runs the real software prover on this machine, with the Table 1 kernel
+//! timers. Single-threaded mode reproduces the paper's breakdown
+//! methodology ("we use a single thread to simplify time breakdown"); the
+//! multi-threaded mode is the Table 3 baseline.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use unizk_fri::{kernel_totals, reset_kernel_timers, KernelClass};
+use unizk_plonk::Proof;
+
+use crate::apps::{App, Scale};
+
+/// The result of one instrumented CPU proving run.
+#[derive(Clone, Debug, Serialize)]
+pub struct CpuRun {
+    /// End-to-end proving wall time.
+    pub total: Duration,
+    /// Per-kernel-class times (Table 1 columns).
+    #[serde(skip)]
+    pub breakdown: [(KernelClass, Duration); 5],
+    /// Proof size in bytes.
+    pub proof_bytes: usize,
+    /// Rows actually proven.
+    pub rows: usize,
+}
+
+impl CpuRun {
+    /// The fraction of total time in one class.
+    pub fn fraction(&self, class: KernelClass) -> f64 {
+        let t = self
+            .breakdown
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, d)| d.as_secs_f64())
+            .unwrap_or(0.0);
+        if self.total.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            t / self.total.as_secs_f64()
+        }
+    }
+}
+
+/// Proves `app` at `scale` on the CPU with the given thread count
+/// (`1` for Table 1 breakdowns, `0` = all cores for Table 3).
+///
+/// # Panics
+///
+/// Panics if the generated circuit fails to prove or verify — that would
+/// be a bug, not a measurement.
+pub fn run_cpu(app: App, scale: Scale, threads: usize) -> CpuRun {
+    let (circuit, inputs) = app.build_circuit(scale);
+    run_circuit(&circuit, &inputs, threads)
+}
+
+/// Proves a prebuilt circuit with kernel instrumentation.
+///
+/// # Panics
+///
+/// Panics if proving or verification fails.
+pub fn run_circuit(
+    circuit: &unizk_plonk::CircuitData,
+    inputs: &[unizk_field::Goldilocks],
+    threads: usize,
+) -> CpuRun {
+    unizk_field::set_parallelism(threads);
+    reset_kernel_timers();
+    let start = Instant::now();
+    let proof: Proof = circuit.prove(inputs).expect("workload circuit must prove");
+    let total = start.elapsed();
+    unizk_field::set_parallelism(0);
+
+    circuit.verify(&proof).expect("workload proof must verify");
+    CpuRun {
+        total,
+        breakdown: kernel_totals(),
+        proof_bytes: proof.size_bytes(),
+        rows: circuit.rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accounts_for_most_of_the_time() {
+        // Small instance; single thread, as in Table 1.
+        let run = run_cpu(App::Fibonacci, Scale::Shrunk(60), 1);
+        assert!(run.total > Duration::ZERO);
+        let covered: f64 = KernelClass::ALL.iter().map(|&c| run.fraction(c)).sum();
+        assert!(covered > 0.80, "timers cover {covered}");
+        assert!(covered <= 1.05);
+    }
+
+    #[test]
+    fn merkle_dominates_like_table1() {
+        let run = run_cpu(App::Fibonacci, Scale::Shrunk(60), 1);
+        let merkle = run.fraction(KernelClass::MerkleTree);
+        let ntt = run.fraction(KernelClass::Ntt);
+        // Table 1: Merkle ≈ 60–70%, NTT ≈ 15–22%.
+        assert!(merkle > 0.3, "merkle fraction {merkle}");
+        assert!(merkle > ntt, "merkle {merkle} vs ntt {ntt}");
+    }
+}

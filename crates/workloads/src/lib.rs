@@ -1,0 +1,26 @@
+//! The paper's evaluation workloads and baselines (§6).
+//!
+//! * [`apps`] — the six applications of Tables 1/3/4 plus AES-128
+//!   (Table 6), each with its circuit dimensions, a real or
+//!   dimension-matched circuit builder for the CPU baseline, and a
+//!   simulator instance for UniZK. See DESIGN.md §2–3 for which apps are
+//!   real circuits and which are dimension-matched substitutes.
+//! * [`cpu`] — the instrumented CPU baseline runner (single-threaded for
+//!   Table 1's breakdown, multi-threaded for Table 3).
+//! * [`gpu`] — the analytical A100 roofline model standing in for the
+//!   plonky2-gpu baseline (no GPU in this environment; DESIGN.md §2.4).
+//! * [`pipezk`] — the analytical Groth16/PipeZK comparator calibrated to
+//!   PipeZK's published numbers (DESIGN.md §2.5).
+//! * [`starks`] — Starky AIRs for the Table 5/6 workloads.
+
+pub mod apps;
+pub mod cpu;
+pub mod gpu;
+pub mod pipezk;
+pub mod starks;
+pub mod synthetic;
+
+pub use apps::{App, Scale};
+pub use cpu::{run_cpu, CpuRun};
+pub use gpu::GpuModel;
+pub use pipezk::{Groth16Model, PipeZkModel};

@@ -1,0 +1,152 @@
+//! Dimension-matched synthetic circuits.
+//!
+//! For applications whose original gadget libraries are out of scope
+//! (ECDSA, SHA-256, Image Crop — see DESIGN.md §2.2), these builders emit
+//! circuits with the same row count, wire width, and gate-type mix, so the
+//! prover's kernel profile matches the paper's workload.
+
+use unizk_field::{Field, Goldilocks};
+use unizk_plonk::{CircuitBuilder, CircuitConfig, CircuitData, Target};
+
+/// Builds a satisfiable chain circuit with `target_rows` gates (before
+/// power-of-two padding): a rotating mix of `mul`, `add`, and affine gates
+/// over a small state, the arithmetic texture of hash/signature gadgets.
+///
+/// # Panics
+///
+/// Panics if `target_rows < 16`.
+pub fn chain_circuit(config: CircuitConfig, target_rows: usize) -> CircuitData {
+    assert!(target_rows >= 16, "synthetic circuits need at least 16 rows");
+    let mut b = CircuitBuilder::new(config);
+    let mut s0 = b.constant(Goldilocks::from_u64(3));
+    let mut s1 = b.constant(Goldilocks::from_u64(5));
+    let mut s2 = b.constant(Goldilocks::from_u64(7));
+    // Each iteration emits 3 gates.
+    while b.num_gates() + 4 <= target_rows {
+        let step = b.num_gates() as u64;
+        let p = b.mul(s0, s1);
+        let q = b.add(p, s2);
+        let r = b.affine(q, Goldilocks::from_u64(step | 1), Goldilocks::from_u64(step));
+        s0 = s1;
+        s1 = s2;
+        s2 = r;
+    }
+    b.build()
+}
+
+/// Builds the inputs for [`chain_circuit`] (it has none — the chain runs
+/// from constants).
+pub fn chain_inputs() -> Vec<Goldilocks> {
+    Vec::new()
+}
+
+/// A real matrix–vector multiplication circuit: `y = A·x` with an `m × m`
+/// matrix of small constants (the paper's MVM workload uses 16-bit
+/// entries). Emits `m·(2m − 1)` gates.
+pub fn mvm_circuit(config: CircuitConfig, m: usize) -> (CircuitData, Vec<Goldilocks>) {
+    let mut b = CircuitBuilder::new(config);
+    let xs: Vec<Target> = (0..m).map(|_| b.add_input()).collect();
+    for i in 0..m {
+        let mut acc: Option<Target> = None;
+        for (j, &xj) in xs.iter().enumerate() {
+            // Deterministic 16-bit matrix entry.
+            let a = Goldilocks::from_u64(((i * 31 + j * 17 + 7) % 65_536) as u64);
+            let term = b.mul_const(xj, a);
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => b.add(prev, term),
+            });
+        }
+        let _y_i = acc.expect("m > 0");
+    }
+    let circuit = b.build();
+    // 16-bit input vector.
+    let inputs = (0..m)
+        .map(|j| Goldilocks::from_u64(((j * 2_654_435_761) % 65_536) as u64))
+        .collect();
+    (circuit, inputs)
+}
+
+/// A real factorial circuit: running product `1·2·…·k` with the result
+/// pinned, `target_rows` gates total.
+pub fn factorial_circuit(config: CircuitConfig, target_rows: usize) -> CircuitData {
+    let mut b = CircuitBuilder::new(config);
+    let mut acc = b.constant(Goldilocks::ONE);
+    let mut expected = Goldilocks::ONE;
+    let mut k = 2u64;
+    while b.num_gates() + 2 <= target_rows {
+        acc = b.mul_const(acc, Goldilocks::from_u64(k));
+        expected *= Goldilocks::from_u64(k);
+        k += 1;
+    }
+    b.assert_constant(acc, expected);
+    b.build()
+}
+
+/// A real Fibonacci circuit: `x_{n+1} = x_n + x_{n-1}` with the result
+/// pinned, `target_rows` gates total.
+pub fn fibonacci_circuit(config: CircuitConfig, target_rows: usize) -> CircuitData {
+    let mut b = CircuitBuilder::new(config);
+    let mut a = b.constant(Goldilocks::ONE);
+    let mut c = b.constant(Goldilocks::ONE);
+    let (mut fa, mut fc) = (Goldilocks::ONE, Goldilocks::ONE);
+    while b.num_gates() + 2 <= target_rows {
+        let next = b.add(a, c);
+        a = c;
+        c = next;
+        let fnext = fa + fc;
+        fa = fc;
+        fc = fnext;
+    }
+    b.assert_constant(c, fc);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(width: usize) -> CircuitConfig {
+        let mut c = CircuitConfig::for_testing();
+        c.num_wires = width;
+        c
+    }
+
+    #[test]
+    fn chain_circuit_proves() {
+        let circuit = chain_circuit(fast_config(3), 200);
+        assert!(circuit.rows >= 200);
+        let proof = circuit.prove(&chain_inputs()).expect("satisfiable");
+        circuit.verify(&proof).expect("verifies");
+    }
+
+    #[test]
+    fn factorial_circuit_proves() {
+        let circuit = factorial_circuit(fast_config(3), 100);
+        let proof = circuit.prove(&[]).expect("satisfiable");
+        circuit.verify(&proof).expect("verifies");
+    }
+
+    #[test]
+    fn fibonacci_circuit_proves() {
+        let circuit = fibonacci_circuit(fast_config(3), 100);
+        let proof = circuit.prove(&[]).expect("satisfiable");
+        circuit.verify(&proof).expect("verifies");
+    }
+
+    #[test]
+    fn mvm_circuit_proves() {
+        let (circuit, inputs) = mvm_circuit(fast_config(3), 8);
+        // 8×15 = 120 gates plus inputs.
+        assert!(circuit.rows >= 120);
+        let proof = circuit.prove(&inputs).expect("satisfiable");
+        circuit.verify(&proof).expect("verifies");
+    }
+
+    #[test]
+    fn gate_counts_scale() {
+        let small = chain_circuit(fast_config(3), 64);
+        let large = chain_circuit(fast_config(3), 1024);
+        assert!(large.rows > small.rows);
+    }
+}

@@ -1,0 +1,48 @@
+//! Design-space exploration with the UniZK simulator (the Fig. 10
+//! methodology), including the chip area/power budget of each point.
+//!
+//! Sweeps the VSA count, scratchpad size, and memory bandwidth on the MVM
+//! workload, printing normalized performance next to the modeled chip area
+//! — the kind of perf/mm² analysis the paper's Table 2 + Fig. 10 support.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use unizk_core::chipmodel::AreaPowerBreakdown;
+use unizk_core::compiler::{compile_plonky2, Plonky2Instance};
+use unizk_core::{ChipConfig, Simulator};
+
+fn main() {
+    let instance = Plonky2Instance::new(1 << 13, 400); // MVM-shaped
+    let graph = compile_plonky2(&instance);
+    let base_chip = ChipConfig::default_chip();
+    let base = Simulator::new(base_chip.clone()).run(&graph).total_cycles as f64;
+
+    println!("MVM workload, {} kernel nodes; normalized to the default chip\n", graph.len());
+    println!("{:<26} {:>10} {:>12} {:>10}", "configuration", "perf", "area (mm²)", "power (W)");
+
+    let show = |label: String, chip: ChipConfig| {
+        let cycles = Simulator::new(chip.clone()).run(&graph).total_cycles as f64;
+        let budget = AreaPowerBreakdown::for_chip(&chip);
+        println!(
+            "{:<26} {:>9.2}x {:>12.1} {:>10.1}",
+            label,
+            base / cycles,
+            budget.total_area_mm2(),
+            budget.total_power_w()
+        );
+    };
+
+    show("default (32 VSA/8MB/1x)".into(), base_chip.clone());
+    for n in [8usize, 16, 64] {
+        show(format!("{n} VSAs"), ChipConfig::default_chip().with_vsas(n));
+    }
+    for mb in [2usize, 4, 16] {
+        show(format!("{mb} MB scratchpad"), ChipConfig::default_chip().with_scratchpad_mb(mb));
+    }
+    for (num, den) in [(1usize, 2usize), (2, 1)] {
+        show(
+            format!("{num}/{den}x bandwidth"),
+            ChipConfig::default_chip().with_bandwidth_scale(num, den),
+        );
+    }
+}

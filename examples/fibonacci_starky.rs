@@ -1,0 +1,63 @@
+//! The Starky → Plonky2 pipeline on the paper's Fig. 2 workload.
+//!
+//! Proves a Fibonacci execution trace with Starky (blowup 2, large proof),
+//! compresses it with a recursive Plonky2-style stage (small proof), and
+//! simulates both stages on the UniZK chip — the Table 5 flow end to end.
+//!
+//! Run with: `cargo run --release --example fibonacci_starky`
+
+use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+use unizk_core::{ChipConfig, Simulator};
+use unizk_plonk::CircuitConfig;
+use unizk_stark::{aggregate, prove, verify, FibonacciAir, StarkConfig};
+
+fn main() {
+    let log_rows = 12;
+    let air = FibonacciAir::new(1 << log_rows);
+    println!(
+        "Fibonacci AET: {} rows x {} columns; claimed output fib(2^{log_rows}) = {}",
+        1 << log_rows,
+        2,
+        air.expected_output()
+    );
+
+    // 1. Starky base proof (cheap to make, large on the wire).
+    let config = StarkConfig::standard();
+    let start = std::time::Instant::now();
+    let base = prove(&air, &config).expect("trace satisfies the AIR");
+    let base_time = start.elapsed();
+    verify(&air, &base, &config).expect("base proof verifies");
+    println!(
+        "base proof: {:?}, {} kB ({} FRI queries at blowup 2)",
+        base_time,
+        base.size_bytes() / 1000,
+        config.fri.num_queries
+    );
+
+    // 2. Recursive compression (Table 5's second stage).
+    let start = std::time::Instant::now();
+    let compressed = aggregate(&base, CircuitConfig::standard()).expect("aggregation proves");
+    println!(
+        "recursive proof: {:?}, {} kB ({:.1}x compression; grows with base trace size)",
+        start.elapsed(),
+        compressed.size_bytes() / 1000,
+        base.size_bytes() as f64 / compressed.size_bytes() as f64
+    );
+
+    // 3. Simulate both stages on UniZK.
+    let chip = ChipConfig::default_chip();
+    let base_sim = Simulator::new(chip.clone()).run(&compile_starky(&StarkyInstance::new(
+        1 << log_rows,
+        2,
+        2,
+    )));
+    let rec_sim = Simulator::new(chip.clone()).run(&compile_plonky2(&Plonky2Instance::new(
+        1 << unizk_stark::aggregate::RECURSIVE_LOG_ROWS,
+        135,
+    )));
+    println!(
+        "UniZK simulation: base {:.3} ms + recursive {:.3} ms",
+        base_sim.seconds(&chip) * 1e3,
+        rec_sim.seconds(&chip) * 1e3
+    );
+}

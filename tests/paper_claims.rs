@@ -1,0 +1,161 @@
+//! The paper's qualitative evaluation claims, asserted at reduced scale.
+//!
+//! We do not assert absolute numbers (our substrate is a simulator plus a
+//! different CPU); we assert the *shape*: who wins, in what direction each
+//! knob moves performance, and which kernel is the bottleneck where. These
+//! are the claims EXPERIMENTS.md reports quantitatively.
+
+use unizk_bench::{fig10, fig8, table4, table6_throughput};
+use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+use unizk_core::{ChipConfig, Simulator};
+use unizk_workloads::{App, GpuModel, Scale};
+
+const SCALE: Scale = Scale::Shrunk(8);
+
+fn unizk_seconds(app: App, scale: Scale) -> f64 {
+    let chip = ChipConfig::default_chip();
+    let report = Simulator::new(chip.clone()).run(&compile_plonky2(&app.plonky2_instance(scale)));
+    report.seconds(&chip)
+}
+
+#[test]
+fn claim_unizk_beats_gpu_beats_cpu() {
+    // Table 3's ordering, with the CPU measured live on this machine.
+    let gpu_model = GpuModel::a100();
+    for app in [App::Fibonacci, App::Factorial] {
+        let cpu = unizk_workloads::run_cpu(app, SCALE, 0).total.as_secs_f64();
+        let gpu = gpu_model.prove_seconds(&app.plonky2_instance(SCALE));
+        let unizk = unizk_seconds(app, SCALE);
+        assert!(unizk < gpu, "{}: unizk {unizk} vs gpu {gpu}", app.name());
+        assert!(unizk * 10.0 < cpu, "{}: unizk {unizk} vs cpu {cpu}", app.name());
+    }
+}
+
+#[test]
+fn claim_table1_merkle_dominates_cpu_time() {
+    // Table 1: Merkle tree construction is the majority of single-threaded
+    // CPU proving time (~60% in the paper), with NTT second.
+    let run = unizk_workloads::run_cpu(App::Fibonacci, SCALE, 1);
+    let merkle = run.fraction(unizk_fri::KernelClass::MerkleTree);
+    assert!(merkle > 0.35, "merkle fraction {merkle}");
+}
+
+#[test]
+fn claim_fig8_poly_becomes_bottleneck_on_unizk() {
+    // Fig. 8: after accelerating NTT and hash, polynomial kernels account
+    // for the largest share of UniZK's time on most apps.
+    let bars = fig8(Scale::Full, &[App::Factorial, App::Sha256, App::Mvm]);
+    for bar in &bars {
+        let [ntt, poly, hash] = bar.fractions;
+        assert!(
+            poly > ntt || poly > hash,
+            "{}: poly {poly} ntt {ntt} hash {hash}",
+            bar.app
+        );
+    }
+}
+
+#[test]
+fn claim_table4_utilization_pattern() {
+    // Table 4: NTT is memory-bound (high mem util, low VSA util); hash is
+    // compute-bound (VSA util ≈ 96%); poly is low on both.
+    let rows = table4(Scale::Shrunk(4), &[App::Factorial]);
+    let r = &rows[0];
+    assert!(r.ntt.0 > 0.4, "NTT mem util {}", r.ntt.0);
+    assert!(r.ntt.1 < 0.3, "NTT VSA util {}", r.ntt.1);
+    assert!(r.hash.1 > 0.8, "hash VSA util {}", r.hash.1);
+    assert!(r.poly.1 < 0.3, "poly VSA util {}", r.poly.1);
+}
+
+#[test]
+fn claim_fig10_sensitivity_directions() {
+    // Fig. 10: performance degrades when shrinking the scratchpad, the VSA
+    // count, or the bandwidth, and (sub-linearly) improves when growing
+    // them.
+    // Large enough that the LDE working sets exceed the small scratchpad
+    // settings (simulation only, so paper-adjacent scale is cheap).
+    let series = fig10(Scale::Shrunk(2));
+    for s in &series {
+        let perfs: Vec<f64> = s.points.iter().map(|(_, p)| p).copied().collect();
+        for w in perfs.windows(2) {
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "{}: non-monotonic {:?}",
+                s.parameter,
+                perfs
+            );
+        }
+        assert!(
+            perfs[0] < *perfs.last().expect("points"),
+            "{}: flat series {perfs:?}",
+            s.parameter
+        );
+    }
+}
+
+#[test]
+fn claim_starky_base_much_cheaper_than_plonky2() {
+    // Table 5: running with Starky yields a large improvement over Plonky2
+    // at the same trace size (the paper: ~61×).
+    let chip = ChipConfig::default_chip();
+    let rows = 1 << 14;
+    let plonky2 = Simulator::new(chip.clone())
+        .run(&compile_plonky2(&Plonky2Instance::new(rows, 135)))
+        .seconds(&chip);
+    let starky = Simulator::new(chip.clone())
+        .run(&compile_starky(&StarkyInstance::new(rows, 2, 2)))
+        .seconds(&chip);
+    assert!(
+        plonky2 > 10.0 * starky,
+        "plonky2 {plonky2} vs starky {starky}"
+    );
+}
+
+#[test]
+fn claim_table6_throughput_ratio_order_of_hundreds() {
+    // Table 6's headline: amortized multi-block SHA-256 throughput on
+    // UniZK is orders of magnitude above PipeZK's 10 blocks/s (840× in the
+    // paper).
+    let tp = table6_throughput(256);
+    assert!(
+        tp.ratio() > 50.0,
+        "throughput ratio {} (unizk {} b/s vs pipezk {} b/s)",
+        tp.ratio(),
+        tp.unizk_blocks_per_s,
+        tp.pipezk_blocks_per_s
+    );
+    assert!(tp.unizk_blocks_per_s > 1000.0);
+}
+
+#[test]
+fn claim_gpu_speedup_band() {
+    // Table 3: GPU speedups over the CPU are modest (1.2–4.6×). The GPU
+    // model is calibrated against the paper's 80-thread CPU, so assert the
+    // calibration at full scale against the paper's own CPU numbers
+    // (this machine's CPU is not comparable to the paper's server).
+    let gpu_model = GpuModel::a100();
+    for app in App::ALL {
+        let gpu = gpu_model.prove_seconds(&app.plonky2_instance(Scale::Full));
+        let ratio = app.paper().cpu_s / gpu;
+        assert!(
+            (0.8..12.0).contains(&ratio),
+            "{}: modeled GPU speedup {ratio:.1}x vs paper band 1.2-4.6x",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn claim_amdahl_motivation() {
+    // §3: accelerating only the top-2 kernels (Merkle + NTT) caps the
+    // speedup by Amdahl's law because the remaining work — polynomial
+    // computation and other hashing — is a non-negligible slice of CPU
+    // time (11–25% in the paper's Table 1).
+    let run = unizk_workloads::run_cpu(App::Factorial, SCALE, 1);
+    let residual = run.fraction(unizk_fri::KernelClass::Polynomial)
+        + run.fraction(unizk_fri::KernelClass::OtherHash)
+        + run.fraction(unizk_fri::KernelClass::LayoutTransform);
+    assert!(residual > 0.05, "residual fraction {residual}");
+    let amdahl_cap = 1.0 / residual;
+    assert!(amdahl_cap < 25.0, "cap {amdahl_cap}");
+}
