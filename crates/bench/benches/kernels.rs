@@ -4,9 +4,8 @@
 //! probes. These back the per-kernel discussion of §7.1 and serve as the
 //! performance regression suite for the CPU baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use unizk_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unizk_testkit::rng::TestRng as StdRng;
 use unizk_dram::{AccessPattern, HbmConfig, MemoryModel, MemorySystem};
 use unizk_field::{batch_inverse, Field, Goldilocks, PrimeField64};
 use unizk_hash::{hash_no_pad, poseidon_permute, MerkleTree};

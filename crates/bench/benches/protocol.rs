@@ -2,7 +2,7 @@
 //! full Plonky2-style proving, and Starky proving — the CPU-baseline
 //! building blocks of Tables 3 and 5.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use unizk_testkit::bench::{criterion_group, criterion_main, Criterion};
 use unizk_field::{Ext2, Field, Goldilocks, Polynomial};
 use unizk_fri::{fri_prove, FriConfig, PolynomialBatch};
 use unizk_hash::Challenger;

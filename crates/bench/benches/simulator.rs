@@ -3,7 +3,7 @@
 //! demonstrate the simulator is fast enough for the Fig. 10 design-space
 //! exploration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unizk_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
 use unizk_core::{ChipConfig, Simulator};
 

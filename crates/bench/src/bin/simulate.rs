@@ -11,12 +11,16 @@
 //! * `-e K` — target kernel: 0 = NTTs only, 1 = hash only; omit for the
 //!   entire proof generation
 //! * `--shrink N` / `--full` — workload scale (default shrink 6)
+//! * `--json [PATH]` — also emit the report as JSON: pretty-printed to
+//!   `PATH` if given (e.g. `results/ecdsa.json`), compact to stdout
+//!   otherwise
 //!
 //! Output follows the artifact's log format (`total_num_write_requests`,
 //! `total_num_read_requests`, `memory_system_cycles`).
 
 use unizk_core::compiler::compile_plonky2;
 use unizk_core::{ChipConfig, Graph, KernelClassTag, Simulator};
+use unizk_testkit::json::{Json, ToJson};
 use unizk_workloads::{App, Scale};
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
@@ -110,4 +114,28 @@ fn main() {
         report.seconds(&chip) * 1e3,
         chip.freq_ghz
     );
+
+    if let Some(json_pos) = args.iter().position(|a| a == "--json") {
+        let doc = Json::obj([
+            ("app", Json::str(app.name())),
+            ("scale", Json::str(format!("{scale:?}"))),
+            ("scratchpad_mb", Json::from(scratchpad_mb)),
+            ("vsas", Json::from(vsas)),
+            ("milliseconds", Json::from(report.seconds(&chip) * 1e3)),
+            ("report", report.to_json()),
+        ]);
+        // A bare `--json` (or one followed by another flag) prints to stdout;
+        // `--json PATH` writes a pretty-printed file.
+        match args.get(json_pos + 1).filter(|p| !p.starts_with('-')) {
+            Some(path) => {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                std::fs::write(path, doc.to_string_pretty() + "\n")
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("wrote {path}");
+            }
+            None => println!("{doc}"),
+        }
+    }
 }

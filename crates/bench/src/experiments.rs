@@ -4,7 +4,6 @@
 //! integration tests can assert the paper's qualitative claims (who wins,
 //! by roughly what factor). DESIGN.md §4 is the experiment index.
 
-use serde::Serialize;
 use unizk_core::chipmodel::AreaPowerBreakdown;
 use unizk_core::compiler::{compile_plonky2, compile_starky};
 use unizk_core::{ChipConfig, KernelClassTag, SimReport, Simulator};
@@ -23,7 +22,7 @@ pub fn simulate_app(app: App, scale: Scale, chip: &ChipConfig) -> SimReport {
 // ---------------------------------------------------------------- Table 1
 
 /// One Table 1 row: measured single-thread CPU breakdown vs the paper's.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Application name.
     pub app: &'static str,
@@ -80,7 +79,7 @@ pub fn table2(chip: &ChipConfig) -> AreaPowerBreakdown {
 // ---------------------------------------------------------------- Table 3
 
 /// One Table 3 row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table3Row {
     /// Application name.
     pub app: &'static str,
@@ -131,7 +130,7 @@ pub fn table3(scale: Scale, apps: &[App]) -> Vec<Table3Row> {
 // ---------------------------------------------------------------- Table 4
 
 /// One Table 4 row: per-kernel-class utilizations on UniZK.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table4Row {
     /// Application name.
     pub app: &'static str,
@@ -163,7 +162,7 @@ pub fn table4(scale: Scale, apps: &[App]) -> Vec<Table4Row> {
 // ---------------------------------------------------------------- Table 5
 
 /// One Table 5 row: a Starky base proof or its recursive compression.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table5Row {
     /// Application name.
     pub app: &'static str,
@@ -239,7 +238,7 @@ pub fn table5(scale: Scale, apps: &[StarkApp]) -> Vec<Table5Row> {
 // ---------------------------------------------------------------- Table 6
 
 /// One Table 6 row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table6Row {
     /// Application name.
     pub app: &'static str,
@@ -320,7 +319,7 @@ pub fn table6() -> Vec<Table6Row> {
 /// Table 6's throughput claim: blocks/s when amortizing the recursive
 /// stage over many blocks (the paper: UniZK >8400 SHA-256 blocks/s vs
 /// PipeZK's 10 → 840×).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputComparison {
     /// UniZK blocks/s with `batch_blocks` per base proof.
     pub unizk_blocks_per_s: f64,
@@ -364,7 +363,7 @@ pub fn table6_throughput(batch_blocks: usize) -> ThroughputComparison {
 // ---------------------------------------------------------------- Fig. 8
 
 /// One Fig. 8 bar: UniZK's execution-time breakdown by kernel class.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig8Bar {
     /// Application name.
     pub app: &'static str,
@@ -393,7 +392,7 @@ pub fn fig8(scale: Scale, apps: &[App]) -> Vec<Fig8Bar> {
 // ---------------------------------------------------------------- Fig. 9
 
 /// One Fig. 9 bar group: UniZK speedup over the CPU per kernel class.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig9Bar {
     /// Application name.
     pub app: &'static str,
@@ -438,7 +437,7 @@ pub fn fig9(scale: Scale, apps: &[App]) -> Vec<Fig9Bar> {
 // --------------------------------------------------------------- Fig. 10
 
 /// One Fig. 10 series: normalized performance across a hardware sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig10Series {
     /// Swept parameter name.
     pub parameter: &'static str,

@@ -1,13 +1,12 @@
 //! Hardware configuration of the UniZK chip (paper §4 and §6).
 
-use serde::{Deserialize, Serialize};
 use unizk_dram::HbmConfig;
 
 /// The chip configuration. Defaults reproduce the paper's evaluation
 /// platform: 32 VSAs of 12×12 PEs, an 8 MB double-buffered scratchpad, a
 /// 16×16 transpose buffer, an on-chip twiddle factor generator, and two
 /// HBM2e PHYs (~1 TB/s) at 1 GHz.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChipConfig {
     /// Number of vector-systolic arrays.
     pub num_vsas: usize,

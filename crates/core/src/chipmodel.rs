@@ -6,12 +6,11 @@
 //! exactly, and scale with the configuration knobs so the Fig. 10 design
 //! points get consistent budgets.
 
-use serde::Serialize;
 
 use crate::arch::ChipConfig;
 
 /// Area and power of one component.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ComponentBudget {
     /// Component name (Table 2 row).
     pub name: &'static str,
@@ -22,7 +21,7 @@ pub struct ComponentBudget {
 }
 
 /// The full Table 2 breakdown.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AreaPowerBreakdown {
     /// Per-component rows.
     pub components: Vec<ComponentBudget>,

@@ -6,13 +6,12 @@
 //! and quotient phases, the same FRI rounds — so the simulated kernel mix
 //! matches what the CPU baseline executes.
 
-use serde::{Deserialize, Serialize};
 
 use crate::graph::Graph;
 use crate::kernels::{Kernel, Layout, NttVariant, Reuse};
 
 /// A Plonky2 proving instance's dimensions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Plonky2Instance {
     /// Trace rows `n` (a power of two).
     pub rows: usize,
@@ -75,7 +74,7 @@ impl Plonky2Instance {
 }
 
 /// A Starky proving instance's dimensions.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StarkyInstance {
     /// Trace rows.
     pub rows: usize,

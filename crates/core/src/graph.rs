@@ -1,6 +1,5 @@
 //! The static computation graph the compiler emits (paper §5.5, Fig. 7).
 
-use serde::{Deserialize, Serialize};
 
 use crate::kernels::Kernel;
 
@@ -8,7 +7,7 @@ use crate::kernels::Kernel;
 pub type NodeId = usize;
 
 /// One kernel instance with its dependencies.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// The kernel to execute.
     pub kernel: Kernel,
@@ -20,7 +19,7 @@ pub struct Node {
 
 /// A static computation graph. UniZK schedules statically: the kernels to
 /// execute are all known before execution (§5).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
 }

@@ -1,12 +1,11 @@
 //! The kernel IR: what the compiler emits and the mapping layer costs.
 
-use serde::{Deserialize, Serialize};
 
 /// NTT direction/order variants (§5.1). All variants map to the same MDC
 /// pipelines; coset and inverse variants reuse the otherwise-idle
 /// inter-dimension twiddle PEs for their extra constant multiplications, so
 /// they share one cost model.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum NttVariant {
     /// Forward, natural → natural.
     ForwardNn,
@@ -21,7 +20,7 @@ pub enum NttVariant {
 }
 
 /// Memory layout of an NTT's operand (§5.1 "Data layouts").
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Layout {
     /// Each polynomial contiguous.
     PolyMajor,
@@ -32,7 +31,7 @@ pub enum Layout {
 
 /// How much on-chip reuse an element-wise kernel gets (decided by the
 /// compiler's tiling analysis, §5.4).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Reuse {
     /// Bytes that must move from/to DRAM if nothing is reused.
     pub streaming_bytes: u64,
@@ -43,7 +42,7 @@ pub struct Reuse {
 }
 
 /// A single schedulable kernel instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Kernel {
     /// A batch of same-size NTTs.
     Ntt {
@@ -105,7 +104,7 @@ pub enum Kernel {
 
 /// The three kernel classes of the paper's Fig. 8/9 breakdowns (plus the
 /// hidden transpose class).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum KernelClassTag {
     /// NTT-family kernels.
     Ntt,

@@ -6,14 +6,13 @@ pub mod hash;
 pub mod ntt;
 pub mod poly;
 
-use serde::{Deserialize, Serialize};
 use unizk_dram::AccessPattern;
 
 use crate::arch::ChipConfig;
 use crate::kernels::Kernel;
 
 /// The cost of one kernel instance on the chip.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct KernelCost {
     /// Cycles the allocated VSAs are busy (excluding memory stalls).
     pub compute_cycles: u64,
@@ -22,16 +21,11 @@ pub struct KernelCost {
     /// Bytes written to DRAM.
     pub write_bytes: u64,
     /// DRAM access pattern (drives achieved bandwidth).
-    #[serde(skip, default = "default_pattern")]
     pub pattern: AccessPattern,
     /// VSAs the mapping occupies.
     pub vsas_used: usize,
     /// One-time pipeline fill/drain overhead in cycles.
     pub fill_cycles: u64,
-}
-
-fn default_pattern() -> AccessPattern {
-    AccessPattern::Sequential
 }
 
 impl KernelCost {

@@ -15,7 +15,6 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use serde::Serialize;
 
 /// A vector operand identifier.
 pub type VecId = usize;
@@ -88,7 +87,7 @@ pub enum Policy {
 }
 
 /// Result of simulating a program against the scratchpad.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Bytes fetched from DRAM (read misses).
     pub read_bytes: u64,
@@ -149,7 +148,7 @@ impl ScratchpadModel {
         };
 
         for step in &program.steps {
-            for &(ref ids, is_write) in &[(&step.reads, false), (&step.writes, true)] {
+            for (ids, is_write) in [(&step.reads, false), (&step.writes, true)] {
                 for &id in ids.iter() {
                     let size = program.sizes[id];
                     if size > self.capacity {
@@ -162,9 +161,9 @@ impl ScratchpadModel {
                         }
                         continue;
                     }
-                    if resident.contains_key(&id) {
+                    if let Some(dirty) = resident.get_mut(&id) {
                         if is_write {
-                            resident.insert(id, true);
+                            *dirty = true;
                         } else {
                             report.hits += 1;
                         }

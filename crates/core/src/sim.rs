@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use unizk_dram::MemoryModel;
+use unizk_testkit::json::{Json, ToJson};
 
 use crate::arch::ChipConfig;
 use crate::graph::Graph;
@@ -18,7 +18,7 @@ use crate::kernels::KernelClassTag;
 use crate::mapping::map_kernel;
 
 /// Per-kernel-class accumulated statistics.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClassStats {
     /// Wall-clock cycles attributed to this class.
     pub cycles: u64,
@@ -31,7 +31,7 @@ pub struct ClassStats {
 }
 
 /// The simulation report — the numbers behind Tables 3–4 and Figs. 8–10.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// End-to-end cycles (the artifact's `memory_system_cycles` analogue).
     pub total_cycles: u64,
@@ -95,9 +95,43 @@ impl SimReport {
     }
 }
 
+impl ToJson for ClassStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("vsa_busy_cycles", Json::from(self.vsa_busy_cycles)),
+            ("bytes", Json::from(self.bytes)),
+            ("nodes", Json::from(self.nodes)),
+        ])
+    }
+}
+
+impl ToJson for SimReport {
+    fn to_json(&self) -> Json {
+        // HashMap iteration order is nondeterministic; emit classes in the
+        // paper's fixed order so reports are byte-stable across runs.
+        let classes = [
+            KernelClassTag::Ntt,
+            KernelClassTag::Hash,
+            KernelClassTag::Poly,
+            KernelClassTag::Transpose,
+        ]
+        .into_iter()
+        .map(|tag| (tag.name(), self.class(tag).to_json()));
+        Json::obj([
+            ("total_cycles", Json::from(self.total_cycles)),
+            ("read_requests", Json::from(self.read_requests)),
+            ("write_requests", Json::from(self.write_requests)),
+            ("num_vsas", Json::from(self.num_vsas)),
+            ("peak_bytes_per_cycle", Json::from(self.peak_bytes_per_cycle)),
+            ("classes", Json::obj(classes)),
+        ])
+    }
+}
+
 /// One scheduled kernel node's execution record — the "detailed schedule"
 /// output of the compiler backend (paper §5.5).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct NodeTrace {
     /// The node's label from the computation graph.
     pub label: String,

@@ -114,8 +114,7 @@ pub fn compile_sumcheck(log_n: usize) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::PrimeField64;
 
     fn random_instance(log_n: usize, seed: u64) -> (Vec<Goldilocks>, Vec<Goldilocks>) {

@@ -154,8 +154,7 @@ impl MdcPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::reverse_index_bits;
     use unizk_ntt::{coset_intt_nn, intt_nn, ntt_nr};
 

@@ -117,8 +117,7 @@ impl PartialProductArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::PrimeField64;
 
     fn random_q(rng: &mut StdRng, len: usize) -> Vec<Goldilocks> {

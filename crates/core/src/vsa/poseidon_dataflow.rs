@@ -143,8 +143,7 @@ impl PoseidonDataflow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::PrimeField64;
     use unizk_hash::poseidon_permute;
 
@@ -199,9 +198,9 @@ mod tests {
         let cs = constants();
         let s = random_state(&mut rng);
         let hw = PoseidonDataflow::systolic_matvec(&cs.mds, &s);
-        for i in 0..WIDTH {
+        for (i, h) in hw.iter().enumerate() {
             let direct: Goldilocks = (0..WIDTH).map(|j| cs.mds[i][j] * s[j]).sum();
-            assert_eq!(hw[i], direct, "row {i}");
+            assert_eq!(*h, direct, "row {i}");
         }
     }
 }

@@ -106,8 +106,7 @@ impl TransposeBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::PrimeField64;
     use unizk_ntt::{transpose, transpose_tile_count};
 

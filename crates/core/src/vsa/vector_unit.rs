@@ -141,8 +141,7 @@ impl VectorUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::{Field, PrimeField64};
 
     fn preload(values: &[Vec<Goldilocks>]) -> Vec<Option<Vec<Goldilocks>>> {
@@ -214,7 +213,7 @@ mod tests {
         let len = 4608 * 4;
         let a = random_tile(&mut rng, len);
         let program = [VectorOp::Add { a: 0, b: 0, dst: 1 }];
-        let mut regs = preload(&[a.clone()]);
+        let mut regs = preload(std::slice::from_ref(&a));
         let full = VectorUnit::new(4608).execute(&program, &mut regs);
         let mut regs = preload(&[a]);
         let quarter = VectorUnit::new(1152).execute(&program, &mut regs);

@@ -3,16 +3,15 @@
 //! directions, and the sum-check reference satisfies its invariants for
 //! arbitrary inputs.
 
-use proptest::prelude::*;
+use unizk_testkit::prop::prelude::*;
 use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
 use unizk_core::sumcheck::{sumcheck_reference, total_sum};
 use unizk_core::{ChipConfig, Simulator};
 use unizk_field::Goldilocks;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+prop! {
+    #![cases(16)]
 
-    #[test]
     fn plonky2_graphs_are_well_formed(log_rows in 10usize..18, width in 3usize..200) {
         let inst = Plonky2Instance::new(1 << log_rows, width);
         let graph = compile_plonky2(&inst);
@@ -28,7 +27,6 @@ proptest! {
         prop_assert!(report.total_cycles > 0);
     }
 
-    #[test]
     fn more_rows_never_get_cheaper(log_rows in 10usize..16, width in 3usize..200) {
         let chip = ChipConfig::default_chip();
         let small = Simulator::new(chip.clone())
@@ -38,7 +36,6 @@ proptest! {
         prop_assert!(large.total_cycles >= small.total_cycles);
     }
 
-    #[test]
     fn wider_traces_never_get_cheaper(log_rows in 10usize..14, width in 3usize..100) {
         let chip = ChipConfig::default_chip();
         let narrow = Simulator::new(chip.clone())
@@ -48,13 +45,11 @@ proptest! {
         prop_assert!(wide.total_cycles >= narrow.total_cycles);
     }
 
-    #[test]
     fn sumcheck_invariants_hold_for_random_vectors(
         log_n in 1usize..10,
         seed in any::<u64>(),
     ) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use unizk_testkit::rng::TestRng as StdRng;
         use unizk_field::PrimeField64;
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<Goldilocks> = (0..1 << log_n).map(|_| Goldilocks::random(&mut rng)).collect();
@@ -70,7 +65,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn chip_budget_scales_sanely(vsas in 1usize..128, mb in 1usize..64) {
         use unizk_core::chipmodel::AreaPowerBreakdown;
         let chip = ChipConfig::default_chip().with_vsas(vsas).with_scratchpad_mb(mb);

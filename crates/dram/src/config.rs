@@ -1,10 +1,9 @@
 //! HBM geometry and timing configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// HBM2e configuration. All timings are in accelerator core cycles (1 GHz
 /// in the paper, so 1 cycle = 1 ns).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HbmConfig {
     /// Independent pseudo-channels.
     pub channels: usize,

@@ -1,6 +1,5 @@
 //! Transaction-level memory simulation with row-buffer and bus modeling.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::HbmConfig;
 
@@ -18,7 +17,7 @@ pub struct Transaction {
 /// Aggregate statistics, mirroring the artifact's log output
 /// (`total_num_read_requests`, `total_num_write_requests`,
 /// `memory_system_cycles`).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Completed read transactions.
     pub reads: u64,
@@ -135,9 +134,8 @@ impl MemorySystem {
         let mut ready = self.now.max(bank_state.free_at);
         // Refresh (tREFI/tRFC): the channel stalls at each refresh
         // boundary, and refresh closes all rows.
-        if cfg.t_refi > 0 {
-            // The channel's data-bus time is the furthest-advanced clock.
-            let epoch = ready.max(channel.bus_free_at) / cfg.t_refi;
+        // `checked_div` skips the refresh model when tREFI is disabled (0).
+        if let Some(epoch) = ready.max(channel.bus_free_at).checked_div(cfg.t_refi) {
             if epoch > channel.refresh_epoch {
                 channel.refresh_epoch = epoch;
                 let refresh_done = epoch * cfg.t_refi + cfg.t_rfc;
@@ -204,8 +202,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use unizk_testkit::rng::TestRng as StdRng;
 
     fn sequential_bw(cfg: HbmConfig, bursts: u64) -> f64 {
         let burst = cfg.burst_bytes as u64;

@@ -1,13 +1,12 @@
 //! Property-based tests for the HBM timing model: conservation, causality,
 //! and monotonicity properties that any memory model must satisfy.
 
-use proptest::prelude::*;
+use unizk_testkit::prop::prelude::*;
 use unizk_dram::{AccessPattern, HbmConfig, MemoryModel, MemorySystem, Transaction};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![cases(24)]
 
-    #[test]
     fn all_transactions_are_counted(addrs in prop::collection::vec(any::<u64>(), 1..500)) {
         let mut sys = MemorySystem::new(HbmConfig::hbm2e_two_stacks());
         for (i, &addr) in addrs.iter().enumerate() {
@@ -20,7 +19,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn completion_is_causal(addrs in prop::collection::vec(any::<u64>(), 1..200)) {
         // Completion cycles are positive and the final stats cycle equals
         // the max completion seen.
@@ -34,7 +32,6 @@ proptest! {
         prop_assert_eq!(sys.stats().cycles, max_done);
     }
 
-    #[test]
     fn bandwidth_never_exceeds_peak(
         start in any::<u64>(),
         stride_sel in 0usize..4,
@@ -48,7 +45,6 @@ proptest! {
         prop_assert!(bw <= cfg.peak_bytes_per_cycle() + 1e-9, "bw {bw}");
     }
 
-    #[test]
     fn model_cycles_monotone_in_bytes(a in 1u64..1_000_000, b in 1u64..1_000_000) {
         let model = MemoryModel::new(HbmConfig::hbm2e_two_stacks());
         let (lo, hi) = (a.min(b), a.max(b));
@@ -58,7 +54,6 @@ proptest! {
         );
     }
 
-    #[test]
     fn scaled_bandwidth_is_proportional(num in 1usize..5) {
         let base = MemoryModel::new(HbmConfig::hbm2e_two_stacks());
         let scaled = MemoryModel::new(HbmConfig::scaled_bandwidth(num, 1));

@@ -12,7 +12,6 @@ use core::fmt;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 use crate::goldilocks::Goldilocks;
 use crate::traits::{ExtensionOf, Field, PrimeField64};
@@ -31,7 +30,7 @@ pub const W: Goldilocks = Goldilocks::new(7);
 /// // x^2 = W = 7 in the base field.
 /// assert_eq!(x * x, Ext2::from(Goldilocks::from_u64(7)));
 /// ```
-#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Ext2(pub [Goldilocks; 2]);
 
 impl Ext2 {
@@ -59,7 +58,7 @@ impl Ext2 {
     }
 
     /// Samples a uniform element.
-    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn random<R: unizk_testkit::rng::Rng + ?Sized>(rng: &mut R) -> Self {
         Self([Goldilocks::random(rng), Goldilocks::random(rng)])
     }
 }
@@ -139,6 +138,7 @@ impl Div for Ext2 {
     /// # Panics
     ///
     /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inverse()
     }
@@ -197,8 +197,7 @@ impl fmt::Display for Ext2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
 
     #[test]
     fn w_is_a_non_residue() {

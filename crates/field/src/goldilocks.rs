@@ -11,7 +11,6 @@ use core::fmt;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 use crate::traits::{Field, PrimeField64};
 
@@ -33,8 +32,7 @@ const EPSILON: u64 = 0xFFFF_FFFF;
 /// assert_eq!(Goldilocks::from_u64(2) + Goldilocks::NEG_ONE + Goldilocks::ONE,
 ///            Goldilocks::from_u64(2));
 /// ```
-#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Goldilocks(u64);
 
 impl Goldilocks {
@@ -173,10 +171,10 @@ impl PrimeField64 for Goldilocks {
         root
     }
 
-    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+    fn random<R: unizk_testkit::rng::Rng + ?Sized>(rng: &mut R) -> Self {
         // Rejection sampling keeps the distribution uniform.
         loop {
-            let v: u64 = rng.gen();
+            let v: u64 = rng.next_u64();
             if v < P {
                 return Self(v);
             }
@@ -227,6 +225,7 @@ impl Div for Goldilocks {
     /// # Panics
     ///
     /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inverse()
@@ -324,8 +323,7 @@ impl fmt::UpperHex for Goldilocks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use unizk_testkit::rng::TestRng as StdRng;
 
     fn ref_mul(a: u64, b: u64) -> u64 {
         (((a as u128) * (b as u128)) % (P as u128)) as u64

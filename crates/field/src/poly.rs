@@ -269,8 +269,7 @@ mod tests {
     use super::*;
     use crate::goldilocks::Goldilocks;
     use crate::traits::PrimeField64;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
 
     type P = Polynomial<Goldilocks>;
 

@@ -126,7 +126,7 @@ pub trait PrimeField64: Field + Ord + PartialOrd {
     fn primitive_root_of_unity(bits: usize) -> Self;
 
     /// Samples a uniform field element.
-    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self;
+    fn random<R: unizk_testkit::rng::Rng + ?Sized>(rng: &mut R) -> Self;
 }
 
 /// An extension field over a [`PrimeField64`] base.

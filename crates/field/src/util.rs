@@ -90,8 +90,7 @@ mod tests {
     use super::*;
     use crate::goldilocks::Goldilocks;
     use crate::traits::PrimeField64;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
 
     #[test]
     fn bit_reverse_small() {

@@ -1,7 +1,7 @@
 //! Property-based tests for the field layer: ring/field axioms for
 //! Goldilocks and Ext2, and algebraic identities for the polynomial type.
 
-use proptest::prelude::*;
+use unizk_testkit::prop::prelude::*;
 use unizk_field::{batch_inverse, Ext2, Field, Goldilocks, Polynomial};
 
 fn arb_goldilocks() -> impl Strategy<Value = Goldilocks> {
@@ -16,56 +16,47 @@ fn arb_poly(max_len: usize) -> impl Strategy<Value = Polynomial<Goldilocks>> {
     prop::collection::vec(arb_goldilocks(), 0..max_len).prop_map(Polynomial::from_coeffs)
 }
 
-proptest! {
-    #[test]
+prop! {
     fn goldilocks_add_commutes(a in arb_goldilocks(), b in arb_goldilocks()) {
         prop_assert_eq!(a + b, b + a);
     }
 
-    #[test]
     fn goldilocks_mul_commutes(a in arb_goldilocks(), b in arb_goldilocks()) {
         prop_assert_eq!(a * b, b * a);
     }
 
-    #[test]
     fn goldilocks_mul_associates(
         a in arb_goldilocks(), b in arb_goldilocks(), c in arb_goldilocks()
     ) {
         prop_assert_eq!((a * b) * c, a * (b * c));
     }
 
-    #[test]
     fn goldilocks_distributes(
         a in arb_goldilocks(), b in arb_goldilocks(), c in arb_goldilocks()
     ) {
         prop_assert_eq!(a * (b + c), a * b + a * c);
     }
 
-    #[test]
     fn goldilocks_add_inverse(a in arb_goldilocks()) {
         prop_assert_eq!(a + (-a), Goldilocks::ZERO);
         prop_assert_eq!(a - a, Goldilocks::ZERO);
     }
 
-    #[test]
     fn goldilocks_mul_inverse(a in arb_goldilocks()) {
         if !a.is_zero() {
             prop_assert_eq!(a * a.inverse(), Goldilocks::ONE);
         }
     }
 
-    #[test]
     fn goldilocks_square_matches_mul(a in arb_goldilocks()) {
         prop_assert_eq!(a.square(), a * a);
         prop_assert_eq!(a.double(), a + a);
     }
 
-    #[test]
     fn goldilocks_exp_is_homomorphic(a in arb_goldilocks(), e1 in 0u64..64, e2 in 0u64..64) {
         prop_assert_eq!(a.exp_u64(e1) * a.exp_u64(e2), a.exp_u64(e1 + e2));
     }
 
-    #[test]
     fn ext2_field_axioms(a in arb_ext2(), b in arb_ext2(), c in arb_ext2()) {
         prop_assert_eq!(a + b, b + a);
         prop_assert_eq!(a * b, b * a);
@@ -73,14 +64,12 @@ proptest! {
         prop_assert_eq!(a * (b + c), a * b + a * c);
     }
 
-    #[test]
     fn ext2_inverse(a in arb_ext2()) {
         if a != Ext2::ZERO {
             prop_assert_eq!(a * a.inverse(), Ext2::ONE);
         }
     }
 
-    #[test]
     fn batch_inverse_agrees(xs in prop::collection::vec(arb_goldilocks(), 1..50)) {
         let xs: Vec<Goldilocks> = xs.into_iter().filter(|x| !x.is_zero()).collect();
         let invs = batch_inverse(&xs);
@@ -89,7 +78,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn poly_mul_eval_homomorphism(
         a in arb_poly(12), b in arb_poly(12), x in arb_goldilocks()
     ) {
@@ -97,7 +85,6 @@ proptest! {
         prop_assert_eq!(prod.eval(x), a.eval(x) * b.eval(x));
     }
 
-    #[test]
     fn poly_add_eval_homomorphism(
         a in arb_poly(12), b in arb_poly(12), x in arb_goldilocks()
     ) {
@@ -105,7 +92,6 @@ proptest! {
         prop_assert_eq!(sum.eval(x), a.eval(x) + b.eval(x));
     }
 
-    #[test]
     fn poly_divide_by_linear_roundtrip(q in arb_poly(10), a in arb_goldilocks()) {
         let p = q.mul_naive(&Polynomial::x_minus(a));
         let q2 = p.divide_by_linear(a);

@@ -143,8 +143,7 @@ pub fn domain_point(lde_size: usize, index: usize) -> Goldilocks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
 
     fn random_polys(rng: &mut StdRng, count: usize, degree: usize) -> Vec<Polynomial<Goldilocks>> {
         (0..count)

@@ -1,6 +1,5 @@
 //! FRI parameter sets.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a FRI instance.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// least 8 (`rate_bits = 3`); Starky uses a blowup of 2 (`rate_bits = 1`).
 /// Both target ~100 bits of conjectured security via
 /// `num_queries · rate_bits + proof_of_work_bits`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FriConfig {
     /// `log2` of the LDE blowup factor `k`.
     pub rate_bits: usize,

@@ -4,13 +4,12 @@
 //! of hundreds of kB compressed to ~155 kB by a recursive Plonky2 proof;
 //! [`FriProof::size_bytes`] reproduces that accounting.
 
-use serde::{Deserialize, Serialize};
 use unizk_field::{Ext2, Goldilocks};
 use unizk_hash::{Digest, MerkleProof};
 
 /// One batch opening at one query position: the leaf contents plus the
 /// authentication path.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FriInitialOpening {
     /// Values of every polynomial in the batch at the queried LDE point.
     pub leaf: Vec<Goldilocks>,
@@ -19,7 +18,7 @@ pub struct FriInitialOpening {
 }
 
 /// One commit-phase opening at one query position: the fold pair plus path.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FriFoldOpening {
     /// The two sibling values `v(x)`, `v(-x)` that fold together.
     pub pair: [Ext2; 2],
@@ -28,7 +27,7 @@ pub struct FriFoldOpening {
 }
 
 /// All openings for a single query index.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FriQueryRound {
     /// One opening per committed batch.
     pub initial: Vec<FriInitialOpening>,
@@ -37,7 +36,7 @@ pub struct FriQueryRound {
 }
 
 /// A complete FRI opening proof.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FriProof {
     /// Claimed evaluations: `openings[t][b][j]` is polynomial `j` of batch
     /// `b` evaluated at out-of-domain point `t`.

@@ -337,8 +337,7 @@ mod tests {
 
     #[test]
     fn fold_layer_preserves_low_degree() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use unizk_testkit::rng::TestRng as StdRng;
         // Take a random degree-<16 polynomial over a size-64 domain, fold,
         // and check the result matches p_e + β·p_o evaluated on the squared
         // domain.
@@ -357,9 +356,9 @@ mod tests {
         let even = Polynomial::from_coeffs(coeffs.iter().copied().step_by(2).collect::<Vec<_>>());
         let odd = Polynomial::from_coeffs(coeffs.iter().copied().skip(1).step_by(2).collect::<Vec<_>>());
         let next = domain.fold();
-        for k in 0..32 {
+        for (k, f) in folded.iter().enumerate().take(32) {
             let y = Ext2::from(next.point(k));
-            assert_eq!(folded[k], even.eval(y) + beta * odd.eval(y), "k={k}");
+            assert_eq!(*f, even.eval(y) + beta * odd.eval(y), "k={k}");
         }
     }
 

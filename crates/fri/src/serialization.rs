@@ -296,8 +296,7 @@ mod tests {
     use unizk_hash::Challenger;
 
     fn sample_proof() -> FriProof {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use unizk_testkit::rng::TestRng as StdRng;
         let mut rng = StdRng::seed_from_u64(1200);
         let config = crate::FriConfig::for_testing();
         let polys: Vec<Polynomial<Goldilocks>> = (0..3)

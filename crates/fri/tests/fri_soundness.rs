@@ -1,8 +1,7 @@
 //! End-to-end FRI tests: honest proofs verify across configurations, and
 //! every class of tampering is rejected.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use unizk_testkit::rng::TestRng as StdRng;
 use unizk_field::{Ext2, Field, Goldilocks, Polynomial, PrimeField64};
 use unizk_fri::{fri_prove, fri_verify, FriConfig, FriError, PolynomialBatch};
 use unizk_hash::{Challenger, Digest};

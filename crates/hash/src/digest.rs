@@ -2,12 +2,11 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 use unizk_field::{Field, Goldilocks};
 
 /// A hash output: four Goldilocks elements (~256 bits), the digest width
 /// Plonky2 uses for Merkle nodes and Fiat–Shamir observations.
-#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Digest(pub [Goldilocks; 4]);
 
 impl Digest {

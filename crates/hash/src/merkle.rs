@@ -7,7 +7,6 @@
 //! paper chooses so that tree construction streams sequentially through
 //! memory and subtrees can be processed scratchpad-resident.
 
-use serde::{Deserialize, Serialize};
 use unizk_field::{log2_strict, Goldilocks};
 
 use crate::digest::Digest;
@@ -37,7 +36,7 @@ pub struct MerkleTree {
 }
 
 /// An authentication path from a leaf to the root.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MerkleProof {
     /// Sibling digests, leaf level first.
     pub siblings: Vec<Digest>,
@@ -178,9 +177,9 @@ mod tests {
     fn all_proofs_verify() {
         let data = leaves(16, 5);
         let tree = MerkleTree::new(data.clone());
-        for i in 0..16 {
+        for (i, leaf) in data.iter().enumerate() {
             let proof = tree.prove(i);
-            assert!(MerkleTree::verify(tree.root(), i, &data[i], &proof), "leaf {i}");
+            assert!(MerkleTree::verify(tree.root(), i, leaf, &proof), "leaf {i}");
             assert_eq!(proof.siblings.len(), 4);
         }
     }

@@ -114,8 +114,8 @@ impl PoseidonConstants {
         let mut sparse_v = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
         let mut sparse_diag = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
         for r in 0..PARTIAL_ROUNDS {
-            for i in 0..WIDTH {
-                sparse_u[r][i] = gen_small(&mut s);
+            for u in sparse_u[r].iter_mut() {
+                *u = gen_small(&mut s);
             }
             for i in 1..WIDTH {
                 sparse_v[r][i] = gen_small(&mut s);
@@ -330,9 +330,9 @@ mod tests {
         let r = 5;
         let mut dense = [[Goldilocks::ZERO; WIDTH]; WIDTH];
         dense[0] = cs.sparse_u[r];
-        for i in 1..WIDTH {
-            dense[i][0] = cs.sparse_v[r][i];
-            dense[i][i] = cs.sparse_diag[r][i];
+        for (i, row) in dense.iter_mut().enumerate().skip(1) {
+            row[0] = cs.sparse_v[r][i];
+            row[i] = cs.sparse_diag[r][i];
         }
 
         let mut state = [Goldilocks::ZERO; WIDTH];

@@ -2,7 +2,7 @@
 //! shapes, challenger determinism, and sponge collision resistance
 //! smoke checks.
 
-use proptest::prelude::*;
+use unizk_testkit::prop::prelude::*;
 use unizk_field::{Field, Goldilocks};
 use unizk_hash::{hash_no_pad, Challenger, MerkleTree};
 
@@ -10,10 +10,9 @@ fn arb_leaf() -> impl Strategy<Value = Vec<Goldilocks>> {
     prop::collection::vec(any::<u64>().prop_map(Goldilocks::from_u64), 1..20)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![cases(24)]
 
-    #[test]
     fn merkle_all_openings_verify(
         log_leaves in 0usize..6,
         seed_leaves in prop::collection::vec(arb_leaf(), 32),
@@ -32,7 +31,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn merkle_root_changes_with_any_leaf(
         log_leaves in 1usize..5,
         seed_leaves in prop::collection::vec(arb_leaf(), 16),
@@ -48,14 +46,12 @@ proptest! {
         prop_assert_ne!(MerkleTree::new(tweaked).root(), tree.root());
     }
 
-    #[test]
     fn hash_distinguishes_inputs(a in arb_leaf(), b in arb_leaf()) {
         if a != b {
             prop_assert_ne!(hash_no_pad(&a), hash_no_pad(&b));
         }
     }
 
-    #[test]
     fn challenger_transcript_determinism(
         observations in prop::collection::vec(any::<u64>(), 0..40),
         draws in 1usize..10,
@@ -69,7 +65,6 @@ proptest! {
         prop_assert_eq!(c1.challenges(draws), c2.challenges(draws));
     }
 
-    #[test]
     fn challenger_sensitive_to_any_observation(
         observations in prop::collection::vec(any::<u64>(), 1..20),
         victim in any::<prop::sample::Index>(),

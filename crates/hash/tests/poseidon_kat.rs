@@ -1,0 +1,94 @@
+//! Known-answer tests for the width-12 Poseidon permutation (8 full + 22
+//! partial rounds over Goldilocks).
+//!
+//! The reference outputs were produced by this repository's own
+//! implementation and committed as constants, pinning the permutation —
+//! round constants, MDS matrix, sparse partial-round matrices, and the
+//! x^7 S-box schedule — against accidental change. Any future edit to the
+//! hash stack that alters these outputs is a compatibility break and must
+//! be flagged, not silently absorbed.
+
+use unizk_field::{Field, Goldilocks};
+use unizk_hash::poseidon::{poseidon_permute, FULL_ROUNDS, PARTIAL_ROUNDS, WIDTH};
+
+/// (input description, input state, expected permutation output).
+const KAT: [(&str, [u64; WIDTH], [u64; WIDTH]); 3] = [
+    (
+        "all-zero state",
+        [0; WIDTH],
+        [
+            0x3ccd24594289f9fc, 0x50d2f5d990940c17, 0x41db33842788ffeb, 0xa64f5928a8ace7d5,
+            0xd424466c4e966c56, 0xaf0a88e8ad36ae31, 0xbdfcf40d7a3fdd9f, 0xc6961d24244e6eed,
+            0x6c7a77ceca1537da, 0x80c6a53ba2d3a972, 0x29a09b900aaf2a37, 0xec9eeaa20b0582bf,
+        ],
+    ),
+    (
+        "counting state 0..11",
+        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        [
+            0x847b77ecddcef749, 0x957f5e3e763a33db, 0x61533bb1d7f78dde, 0x13ab4c99ca7b6d9b,
+            0x804222554e0588d5, 0x99b3bb45368f0f56, 0x42d1c13885d43b95, 0xb52174b6aa3e3749,
+            0x6bdd20265062eeaf, 0xe542e5c7ba8b11cf, 0x12ac313f77c57f15, 0xafc0808c9b428af3,
+        ],
+    ),
+    (
+        "high canonical values u64::MAX - i (reduced mod p)",
+        [
+            u64::MAX,
+            u64::MAX - 1,
+            u64::MAX - 2,
+            u64::MAX - 3,
+            u64::MAX - 4,
+            u64::MAX - 5,
+            u64::MAX - 6,
+            u64::MAX - 7,
+            u64::MAX - 8,
+            u64::MAX - 9,
+            u64::MAX - 10,
+            u64::MAX - 11,
+        ],
+        [
+            0x52afb6394d481369, 0x313dc4a367d8b86d, 0x62fce2382e1794a9, 0x08f6c31fa49790c6,
+            0xee7cb90d07f4d7a0, 0x34fac6a5d8517197, 0xb7b7f57181379359, 0xf71930e87e5a3032,
+            0x2f43ef58ad177545, 0x05b861a311c65153, 0x5d91b3636b1a3d61, 0xab47250a047cfa41,
+        ],
+    ),
+];
+
+#[test]
+fn round_structure_matches_paper() {
+    assert_eq!(WIDTH, 12);
+    assert_eq!(FULL_ROUNDS, 8);
+    assert_eq!(PARTIAL_ROUNDS, 22);
+}
+
+#[test]
+fn permutation_matches_golden_vectors() {
+    for (desc, input, expected) in KAT {
+        let mut state: [Goldilocks; WIDTH] = input.map(Goldilocks::from_u64);
+        poseidon_permute(&mut state);
+        let got: [u64; WIDTH] = state.map(|x| x.as_u64());
+        assert_eq!(got, expected, "KAT mismatch for {desc}");
+    }
+}
+
+#[test]
+fn outputs_are_canonical() {
+    const P: u64 = 0xffff_ffff_0000_0001;
+    for (desc, _, expected) in KAT {
+        for limb in expected {
+            assert!(limb < P, "non-canonical golden limb in {desc}");
+        }
+    }
+}
+
+#[test]
+fn permutation_is_not_identity_or_constant() {
+    // Sanity on the KAT table itself: distinct inputs map to distinct
+    // outputs, and no output equals its input.
+    for (desc, input, expected) in KAT {
+        assert_ne!(input, expected, "{desc}");
+    }
+    assert_ne!(KAT[0].2, KAT[1].2);
+    assert_ne!(KAT[1].2, KAT[2].2);
+}

@@ -155,8 +155,7 @@ impl NttDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::{Field, Goldilocks};
 
     fn random_vec(rng: &mut StdRng, n: usize) -> Vec<Goldilocks> {

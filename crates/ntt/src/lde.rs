@@ -59,8 +59,7 @@ fn zero_pad<F: Field>(coeffs: &[F], rate_bits: usize) -> Vec<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::{bit_reverse, log2_strict, Goldilocks, Polynomial, PrimeField64};
 
     type F = Goldilocks;

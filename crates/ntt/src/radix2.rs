@@ -171,8 +171,7 @@ fn apply_coset_powers<F: PrimeField64>(values: &mut [F], shift: F) {
 mod tests {
     use super::*;
     use crate::naive::{naive_coset_dft, naive_dft};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::{bit_reverse, Goldilocks};
 
     fn random_vec(rng: &mut StdRng, n: usize) -> Vec<Goldilocks> {

@@ -2,7 +2,7 @@
 //! variants against the naive DFT, and decomposition correctness for
 //! arbitrary dimension splits.
 
-use proptest::prelude::*;
+use unizk_testkit::prop::prelude::*;
 use unizk_field::{Field, Goldilocks};
 use unizk_ntt::{
     coset_intt_nn, coset_ntt_nn, decomposed_ntt_nn, intt_nn, intt_rn, lde, naive_dft, ntt_nn,
@@ -13,10 +13,9 @@ fn arb_fields(log_n: usize) -> impl Strategy<Value = Vec<Goldilocks>> {
     prop::collection::vec(any::<u64>().prop_map(Goldilocks::from_u64), 1 << log_n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+prop! {
+    #![cases(32)]
 
-    #[test]
     fn roundtrip_nn(log_n in 0usize..9, seed_vec in arb_fields(8)) {
         let v = &seed_vec[..1 << log_n];
         let mut x = v.to_vec();
@@ -25,7 +24,6 @@ proptest! {
         prop_assert_eq!(x.as_slice(), v);
     }
 
-    #[test]
     fn roundtrip_nr_rn(log_n in 0usize..9, seed_vec in arb_fields(8)) {
         let v = &seed_vec[..1 << log_n];
         let mut x = v.to_vec();
@@ -34,7 +32,6 @@ proptest! {
         prop_assert_eq!(x.as_slice(), v);
     }
 
-    #[test]
     fn matches_naive(log_n in 0usize..7, seed_vec in arb_fields(6)) {
         let v = &seed_vec[..1 << log_n];
         let mut x = v.to_vec();
@@ -42,7 +39,6 @@ proptest! {
         prop_assert_eq!(x, naive_dft(v));
     }
 
-    #[test]
     fn coset_roundtrip(log_n in 0usize..8, seed_vec in arb_fields(7), s in 1u64..1000) {
         let shift = Goldilocks::from_u64(s);
         prop_assume!(!shift.is_zero());
@@ -53,7 +49,6 @@ proptest! {
         prop_assert_eq!(x.as_slice(), v);
     }
 
-    #[test]
     fn decomposition_invariant_to_split(seed_vec in arb_fields(8), split in 1usize..8) {
         // Any 2-way split of 2^8 computes the same transform.
         let mut mono = seed_vec.clone();
@@ -63,7 +58,6 @@ proptest! {
         prop_assert_eq!(dec, mono);
     }
 
-    #[test]
     fn planned_decomposition_correct(log_small in 1usize..6, seed_vec in arb_fields(8)) {
         let plan = NttDecomposition::plan(8, log_small);
         let mut mono = seed_vec.clone();
@@ -73,7 +67,6 @@ proptest! {
         prop_assert_eq!(dec, mono);
     }
 
-    #[test]
     fn lde_prefix_property(seed_vec in arb_fields(4), rate in 1usize..4) {
         // An LDE with shift 1 restricted to stride-k points equals the
         // original evaluations on H.
@@ -87,7 +80,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn parseval_like_energy_preservation(seed_vec in arb_fields(5)) {
         // NTT is a bijection: distinct inputs give distinct outputs (checked
         // indirectly: transform then inverse is identity even after

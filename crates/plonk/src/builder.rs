@@ -271,7 +271,7 @@ impl CircuitBuilder {
         // Resolve copy sets with a dense union-find over col·rows + row.
         let num_slots = w * rows;
         let mut parent: Vec<usize> = (0..num_slots).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -192,6 +192,7 @@ pub struct ConstraintInputs<E> {
 /// This single implementation serves both the prover (over `Goldilocks`,
 /// across the whole LDE domain) and the verifier (over `Ext2`, at `ζ`),
 /// guaranteeing they agree.
+#[allow(clippy::needless_range_loop)]
 pub fn eval_constraints<E: Field + From<Goldilocks>>(
     ks: &[Goldilocks],
     inputs: &ConstraintInputs<E>,

@@ -40,6 +40,7 @@ fn mat_mul_gadget(
 
 /// The full Poseidon permutation as circuit gates, mirroring
 /// [`unizk_hash::poseidon_permute`].
+#[allow(clippy::needless_range_loop)]
 pub fn poseidon_permutation_gadget(
     b: &mut CircuitBuilder,
     state: [Target; WIDTH],

@@ -22,6 +22,7 @@ pub struct PermutationColumns {
 /// Computes `Z` and the partial-product columns for one `(β, γ)` round.
 ///
 /// `wires[j][i]` is wire column `j` at row `i`.
+#[allow(clippy::needless_range_loop)]
 pub fn compute_permutation(
     data: &CircuitData,
     wires: &[Vec<Goldilocks>],
@@ -84,6 +85,7 @@ pub fn compute_permutation(
 impl PermutationColumns {
     /// The final running product after the last row; `1` iff the copy
     /// constraints hold (the grand product telescopes).
+    #[allow(clippy::needless_range_loop)]
     pub fn final_product(
         &self,
         data: &CircuitData,

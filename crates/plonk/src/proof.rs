@@ -1,13 +1,12 @@
 //! The proof object.
 
-use serde::{Deserialize, Serialize};
 use unizk_field::Goldilocks;
 use unizk_fri::FriProof;
 use unizk_hash::Digest;
 
 /// A complete Plonk proof: three commitments plus the FRI opening proof
 /// (which carries the claimed evaluations at `ζ` and `ζ·ω`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Proof {
     /// The claimed public-input values, in registration order.
     pub public_inputs: Vec<Goldilocks>,

@@ -21,6 +21,7 @@ use crate::quotient::compute_quotients;
 /// detected. Wire columns beyond those touched by gates are filled with
 /// deterministic filler values (they are unconstrained but still committed,
 /// matching the cost profile of wide Plonky2 circuits).
+#[allow(clippy::needless_range_loop)]
 pub fn generate_witness(
     data: &CircuitData,
     inputs: &[Goldilocks],

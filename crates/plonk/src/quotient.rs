@@ -20,6 +20,7 @@ use crate::circuit::{eval_constraints, CircuitData, ConstraintInputs, NUM_SELECT
 ///
 /// Returns `num_challenges · blowup` polynomials of length `n`, ordered
 /// round-major.
+#[allow(clippy::too_many_arguments)]
 pub fn compute_quotients(
     data: &CircuitData,
     constants: &PolynomialBatch,

@@ -2,7 +2,7 @@
 //! prove and verify, and witness generation is consistent with direct
 //! evaluation.
 
-use proptest::prelude::*;
+use unizk_testkit::prop::prelude::*;
 use unizk_field::{Field, Goldilocks};
 use unizk_plonk::{CircuitBuilder, CircuitConfig, Target};
 
@@ -64,10 +64,9 @@ fn run_program(
     (b.build(), vec![x, y], expected)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+prop! {
+    #![cases(8)]
 
-    #[test]
     fn random_circuits_prove_and_verify(
         steps in prop::collection::vec(arb_step(), 1..24),
         x in any::<u64>(),
@@ -79,7 +78,6 @@ proptest! {
         circuit.verify(&proof).expect("verifies");
     }
 
-    #[test]
     fn wrong_final_assertion_rejected(
         steps in prop::collection::vec(arb_step(), 1..16),
         x in any::<u64>(),

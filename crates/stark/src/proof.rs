@@ -1,13 +1,12 @@
 //! Stark proof object.
 
-use serde::{Deserialize, Serialize};
 use unizk_fri::FriProof;
 use unizk_hash::Digest;
 
 /// A Starky-style proof: trace and quotient commitments plus the FRI
 /// opening proof. Base proofs with blowup 2 are large — several hundred kB
 /// at paper scale (Table 5) — which is why they get recursively compressed.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StarkProof {
     /// Commitment to the execution trace columns.
     pub trace_root: Digest,

@@ -1,0 +1,305 @@
+//! A wall-clock micro-benchmark timer with warmup and median reporting —
+//! enough of the Criterion surface for `crates/bench` to compile and run
+//! without the registry dependency.
+//!
+//! Each benchmark warms up briefly, then times a fixed number of samples
+//! (batches of iterations sized so one sample takes ~`SAMPLE_TARGET`), and
+//! reports the median, minimum, and maximum per-iteration time. Medians are
+//! robust to scheduler noise, which is what a regression suite needs; for
+//! statistically rigorous confidence intervals, use a real bench harness on
+//! a machine with network access.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use unizk_testkit::bench::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_sum(c: &mut Criterion) {
+//!     let mut g = c.benchmark_group("sums");
+//!     g.bench_function("first_1000", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+//!     g.finish();
+//! }
+//!
+//! criterion_group!(benches, bench_sum);
+//! criterion_main!(benches);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Warmup time before sampling.
+const WARMUP: Duration = Duration::from_millis(50);
+/// Default number of timed samples.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level harness handle, passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup {
+            group: name,
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            group: String::new(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        };
+        g.bench_function(name, f);
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark id (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `forward_nn/10`.
+    pub fn new(function: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup {
+    group: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            stats: None,
+            samples: self.samples,
+        };
+        f(&mut bencher);
+        self.report(&name.into(), bencher.stats);
+        self
+    }
+
+    /// Runs one parameterized benchmark ([`BenchmarkId`] + input).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            stats: None,
+            samples: self.samples,
+        };
+        f(&mut bencher, input);
+        self.report(&id.id, bencher.stats);
+        self
+    }
+
+    /// Ends the group (for API parity; groups need no teardown).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, name: &str, stats: Option<Stats>) {
+        let Some(stats) = stats else {
+            println!("  {name}: no measurement (b.iter never called)");
+            return;
+        };
+        let mut line = format!(
+            "  {name}: median {} (min {}, max {}, {} samples)",
+            fmt_duration(stats.median),
+            fmt_duration(stats.min),
+            fmt_duration(stats.max),
+            stats.samples,
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / stats.median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(", {:.3} Melem/s", per_sec(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(", {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                }
+            }
+        }
+        println!("{line}");
+        let _ = &self.group;
+    }
+}
+
+/// Median/min/max per-iteration times over the timed samples.
+#[derive(Copy, Clone, Debug)]
+pub struct Stats {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    stats: Option<Stats>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: warmup, then `samples` timed batches; the
+    /// result of each call is passed through [`black_box`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup, and calibrate the batch size to roughly SAMPLE_TARGET.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+        let batch = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u32::MAX as u128) as u32;
+
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        times.sort_unstable();
+        self.stats = Some(Stats {
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+            samples: times.len(),
+        });
+    }
+}
+
+/// Formats a duration with adaptive units.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Builds a `fn main()`-callable group runner, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Builds `fn main()` from one or more groups, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` arguments are accepted and ignored:
+            // this lightweight harness always runs everything.
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_ordered_stats() {
+        let mut b = Bencher {
+            stats: None,
+            samples: 5,
+        };
+        b.iter(|| black_box(17u64).wrapping_mul(31));
+        let s = b.stats.expect("stats recorded");
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

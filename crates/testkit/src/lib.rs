@@ -1,0 +1,34 @@
+//! # unizk-testkit — hermetic test & bench infrastructure
+//!
+//! The UniZK reproduction builds in environments with **no network and no
+//! registry access**, so every crate that used to pull `rand`, `proptest`,
+//! `serde`, or `criterion` from crates.io depends on this kit instead. It
+//! is a leaf crate (no dependencies whatsoever) providing:
+//!
+//! * [`rng`] — seedable SplitMix64 / xoshiro256** PRNGs with `rand`-style
+//!   `gen` / `gen_range` methods and a [`rng::Sample`] trait the field
+//!   crates implement for Goldilocks and extension elements.
+//! * [`prop`] — a proptest-like property harness: the
+//!   [`prop!`](crate::prop!) macro, strategies (`any`, ranges, tuples,
+//!   `prop_map`, `collection::vec`, [`prop_oneof!`](crate::prop_oneof!)),
+//!   bisection shrinking, and failure-seed reporting (reproduce any
+//!   failure with `UNIZK_PROP_SEED=<seed> cargo test <name>`).
+//! * [`json`] — a minimal ordered JSON writer for the `results/` emitters
+//!   and simulator stats.
+//! * [`bench`] — a wall-clock micro-bench timer with warmup and median
+//!   reporting, mirroring the slice of the Criterion API the bench crate
+//!   uses.
+//!
+//! Determinism is the design constraint throughout: all randomness flows
+//! from explicit `u64` seeds through portable integer-only generators, so
+//! any test failure reproduces bit-for-bit on any machine.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use json::{Json, ToJson};
+pub use rng::{Rng, Sample, TestRng};

@@ -1,0 +1,989 @@
+//! A proptest-like property harness with deterministic seeding and
+//! bisection shrinking, in ~500 lines with no dependencies.
+//!
+//! The surface mirrors the subset of `proptest` this repository uses:
+//!
+//! * [`prop!`](crate::prop!) — declares property tests (`fn f(x in 0u64..10) { .. }`).
+//! * [`any`] — full-domain strategies for primitive types and [`sample::Index`].
+//! * Integer ranges (`0usize..9`), tuples, [`Strategy::prop_map`],
+//!   [`collection::vec`], and [`prop_oneof!`](crate::prop_oneof!).
+//! * [`prop_assert!`](crate::prop_assert!), [`prop_assert_eq!`](crate::prop_assert_eq!),
+//!   [`prop_assert_ne!`](crate::prop_assert_ne!), [`prop_assume!`](crate::prop_assume!).
+//!
+//! Every case is generated from a master seed (default fixed, override with
+//! `UNIZK_PROP_SEED`) and a case index, so runs are deterministic and any
+//! failure is reproducible from the seed printed in the panic message.
+//! On failure the harness shrinks each input by binary search toward its
+//! minimum before reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_testkit::prop::prelude::*;
+//!
+//! prop! {
+//!     #![cases(64)]
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+use core::fmt::Debug;
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// Default number of cases per property when `#![cases(n)]` is absent.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Fixed default master seed: runs are deterministic unless overridden.
+pub const DEFAULT_SEED: u64 = 0x05EE_D0A5_ED15_EA5E;
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::prop::{any, collection, sample, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof};
+}
+
+// ------------------------------------------------------------------ errors
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum CaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject,
+    /// An assertion failed (or the body panicked).
+    Fail(String),
+}
+
+impl CaseError {
+    /// A failure with a source location.
+    pub fn fail(msg: &str, file: &str, line: u32) -> Self {
+        CaseError::Fail(format!("{msg} at {file}:{line}"))
+    }
+
+    /// A failure with a formatted message and a source location.
+    pub fn fail_msg(msg: String, file: &str, line: u32) -> Self {
+        CaseError::Fail(format!("{msg} at {file}:{line}"))
+    }
+}
+
+/// What a property body returns (via the assertion macros).
+pub type CaseResult = Result<(), CaseError>;
+
+// -------------------------------------------------------------- value tree
+
+/// A generated value plus the state needed to shrink it.
+///
+/// The shrink protocol follows proptest: after a failing run the harness
+/// calls [`simplify`](ValueTree::simplify) (propose something smaller);
+/// after a passing run during shrinking it calls
+/// [`complicate`](ValueTree::complicate) (back off toward the last failing
+/// value). Either returns `false` when it has converged.
+pub trait ValueTree {
+    /// The value type produced.
+    type Value;
+
+    /// The current candidate value.
+    fn current(&self) -> Self::Value;
+
+    /// Proposes a simpler candidate after a failure. Returns `false` when
+    /// no simpler candidate exists.
+    fn simplify(&mut self) -> bool;
+
+    /// Backs off toward the last failing candidate after a pass. Returns
+    /// `false` when the search has converged.
+    fn complicate(&mut self) -> bool;
+}
+
+impl<T: ValueTree + ?Sized> ValueTree for Box<T> {
+    type Value = T::Value;
+
+    fn current(&self) -> T::Value {
+        (**self).current()
+    }
+
+    fn simplify(&mut self) -> bool {
+        (**self).simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        (**self).complicate()
+    }
+}
+
+/// A source of [`ValueTree`]s — the strategy for generating one input.
+pub trait Strategy {
+    /// The value type this strategy generates.
+    type Value: Clone + Debug + 'static;
+
+    /// Samples a fresh value tree.
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self::Value>>;
+
+    /// Maps generated values through `f` (shrinking still happens on the
+    /// pre-image).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof!)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: Clone + Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = V>> {
+        (**self).new_tree(rng)
+    }
+}
+
+// ---------------------------------------------------------- integer ranges
+
+macro_rules! int_strategies {
+    ($($t:ty => $tree:ident),*) => {$(
+        /// Bisection shrink state for an integer: binary search between the
+        /// smallest known-passing bound and the smallest known-failing value.
+        #[derive(Debug)]
+        pub struct $tree {
+            lo: $t,
+            hi: $t,
+            curr: $t,
+        }
+
+        impl $tree {
+            fn new(min: $t, sampled: $t) -> Self {
+                Self { lo: min, hi: sampled, curr: sampled }
+            }
+        }
+
+        impl ValueTree for $tree {
+            type Value = $t;
+
+            fn current(&self) -> $t {
+                self.curr
+            }
+
+            fn simplify(&mut self) -> bool {
+                // `curr` failed: it is the new known-failing upper bound.
+                self.hi = self.curr;
+                let cand = self.lo + (self.curr - self.lo) / 2;
+                if cand == self.curr {
+                    return false;
+                }
+                self.curr = cand;
+                true
+            }
+
+            fn complicate(&mut self) -> bool {
+                // `curr` passed: the minimal failing value is above it.
+                match self.curr.checked_add(1) {
+                    Some(next) if next <= self.hi => self.lo = next,
+                    _ => return false,
+                }
+                let cand = self.lo + (self.hi - self.lo) / 2;
+                if cand == self.curr {
+                    return false;
+                }
+                self.curr = cand;
+                true
+            }
+        }
+
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = rng.gen_range(self.clone());
+                Box::new($tree::new(self.start, v))
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let v = rng.gen_range(self.clone());
+                Box::new($tree::new(*self.start(), v))
+            }
+        }
+    )*};
+}
+
+int_strategies!(
+    u8 => U8Tree,
+    u16 => U16Tree,
+    u32 => U32Tree,
+    u64 => U64Tree,
+    usize => UsizeTree
+);
+
+// ------------------------------------------------------------------- any
+
+/// Full-domain strategy for a primitive type; see [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The full-domain strategy for `T` (`any::<u64>()`, `any::<sample::Index>()`).
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! any_uint {
+    ($($t:ty => $tree:ident),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                let v = rng.gen::<$t>();
+                Box::new($tree::new(0, v))
+            }
+        }
+    )*};
+}
+
+any_uint!(
+    u8 => U8Tree,
+    u16 => U16Tree,
+    u32 => U32Tree,
+    u64 => U64Tree,
+    usize => UsizeTree
+);
+
+/// Bool tree: `true` shrinks to `false` once.
+struct BoolTree {
+    curr: bool,
+    hi: bool,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+
+    fn current(&self) -> bool {
+        self.curr
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.curr {
+            self.hi = true;
+            self.curr = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complicate(&mut self) -> bool {
+        if !self.curr && self.hi {
+            self.curr = true;
+            self.hi = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = bool>> {
+        Box::new(BoolTree {
+            curr: rng.gen(),
+            hi: false,
+        })
+    }
+}
+
+// ----------------------------------------------------------------- sample
+
+/// `prop::sample`-style helpers.
+pub mod sample {
+    use super::*;
+
+    /// An index into a collection of as-yet-unknown size
+    /// (`any::<sample::Index>()` then [`Index::index`]).
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub struct Index(pub usize);
+
+    impl Index {
+        /// Projects onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    struct IndexTree(UsizeTree);
+
+    impl ValueTree for IndexTree {
+        type Value = Index;
+
+        fn current(&self) -> Index {
+            Index(self.0.current())
+        }
+
+        fn simplify(&mut self) -> bool {
+            self.0.simplify()
+        }
+
+        fn complicate(&mut self) -> bool {
+            self.0.complicate()
+        }
+    }
+
+    impl Strategy for Any<Index> {
+        type Value = Index;
+
+        fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Index>> {
+            let v = rng.gen::<usize>();
+            Box::new(IndexTree(UsizeTree::new(0, v)))
+        }
+    }
+}
+
+// -------------------------------------------------------------------- map
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: Rc<F>,
+}
+
+struct MapTree<T, F> {
+    inner: T,
+    f: Rc<F>,
+}
+
+impl<T, U, F> ValueTree for MapTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> U,
+{
+    type Value = U;
+
+    fn current(&self) -> U {
+        (self.f)(self.inner.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug + 'static,
+    F: Fn(S::Value) -> U + 'static,
+{
+    type Value = U;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = U>> {
+        Box::new(MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Rc::clone(&self.f),
+        })
+    }
+}
+
+// ----------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$T:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self::Value>> {
+                Box::new(TupleTree {
+                    trees: ($(self.$idx.new_tree(rng),)+),
+                    ix: 0,
+                })
+            }
+        }
+
+        impl<$($T: ValueTree),+> ValueTree for TupleTree<($($T,)+)> {
+            type Value = ($($T::Value,)+);
+
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+
+            fn simplify(&mut self) -> bool {
+                let arity = [$($idx),+].len();
+                while self.ix < arity {
+                    let moved = match self.ix {
+                        $($idx => self.trees.$idx.simplify(),)+
+                        _ => unreachable!(),
+                    };
+                    if moved {
+                        return true;
+                    }
+                    self.ix += 1;
+                }
+                false
+            }
+
+            fn complicate(&mut self) -> bool {
+                match self.ix {
+                    $($idx => self.trees.$idx.complicate(),)+
+                    _ => false,
+                }
+            }
+        }
+    };
+}
+
+/// Shrinks components left to right.
+struct TupleTree<T> {
+    trees: T,
+    ix: usize,
+}
+
+tuple_strategy!(S0/T0/0);
+tuple_strategy!(S0/T0/0, S1/T1/1);
+tuple_strategy!(S0/T0/0, S1/T1/1, S2/T2/2);
+tuple_strategy!(S0/T0/0, S1/T1/1, S2/T2/2, S3/T3/3);
+tuple_strategy!(S0/T0/0, S1/T1/1, S2/T2/2, S3/T3/3, S4/T4/4);
+tuple_strategy!(S0/T0/0, S1/T1/1, S2/T2/2, S3/T3/3, S4/T4/4, S5/T5/5);
+
+// ------------------------------------------------------------- collection
+
+/// `prop::collection`-style combinators.
+pub mod collection {
+    use super::*;
+
+    /// Element count for [`vec`]: an exact size or a half-open range.
+    #[derive(Copy, Clone, Debug)]
+    pub struct SizeRange {
+        pub(crate) min: usize,
+        pub(crate) max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with the given size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Vec<S::Value>>> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            let elems = (0..len.max(self.size.min))
+                .map(|_| self.element.new_tree(rng))
+                .collect();
+            Box::new(VecTree {
+                elems,
+                len: UsizeTree::new(self.size.min, len),
+                shrinking_len: true,
+                elem_ix: 0,
+            })
+        }
+    }
+
+    /// Shrinks the length first (dropping the tail), then the elements.
+    struct VecTree<V> {
+        elems: Vec<Box<dyn ValueTree<Value = V>>>,
+        len: UsizeTree,
+        shrinking_len: bool,
+        elem_ix: usize,
+    }
+
+    impl<V> ValueTree for VecTree<V> {
+        type Value = Vec<V>;
+
+        fn current(&self) -> Vec<V> {
+            self.elems[..self.len.current()]
+                .iter()
+                .map(|t| t.current())
+                .collect()
+        }
+
+        fn simplify(&mut self) -> bool {
+            if self.shrinking_len {
+                if self.len.simplify() {
+                    return true;
+                }
+                self.shrinking_len = false;
+            }
+            while self.elem_ix < self.len.current() {
+                if self.elems[self.elem_ix].simplify() {
+                    return true;
+                }
+                self.elem_ix += 1;
+            }
+            false
+        }
+
+        fn complicate(&mut self) -> bool {
+            if self.shrinking_len {
+                self.len.complicate()
+            } else if self.elem_ix < self.len.current() {
+                self.elems[self.elem_ix].complicate()
+            } else {
+                false
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ union
+
+/// The strategy built by [`prop_oneof!`](crate::prop_oneof!): samples one
+/// of several same-valued strategies uniformly.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug + 'static> Union<V> {
+    /// A union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V: Clone + Debug + 'static> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = V>> {
+        let ix = rng.gen_range(0..self.options.len());
+        self.options[ix].new_tree(rng)
+    }
+}
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop::Union::new(vec![$($crate::prop::Strategy::boxed($strat)),+])
+    };
+}
+
+// ----------------------------------------------------------------- runner
+
+/// Per-property configuration (the `#![cases(n)]` header).
+#[derive(Copy, Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Overrides the case count.
+    pub fn with_cases(self, cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// The master seed: `UNIZK_PROP_SEED` (decimal or `0x`-hex) or the fixed
+/// default.
+pub fn master_seed() -> u64 {
+    match std::env::var("UNIZK_PROP_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            };
+            parsed.unwrap_or_else(|| panic!("unparseable UNIZK_PROP_SEED: {s:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Maximum shrink iterations before reporting the best-so-far failure.
+const MAX_SHRINK_ITERS: u32 = 1024;
+
+/// Runs `cases` random cases of `test` against `strategy`, shrinking and
+/// reporting the minimal failure. Called by the [`prop!`](crate::prop!)
+/// macro; use that instead.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first shrunk failing
+/// case, or when `prop_assume!` rejects too many inputs.
+pub fn run_prop<S, F>(name: &str, cases: u32, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    let seed = master_seed();
+    let max_rejects = cases as u64 * 16;
+    let mut rejects = 0u64;
+    let mut case = 0u32;
+    let mut stream = 0u64;
+    while case < cases {
+        let mut rng = TestRng::from_seed_and_stream(seed, stream);
+        stream += 1;
+        let mut tree = strategy.new_tree(&mut rng);
+        match run_case(&test, tree.current()) {
+            Ok(()) => {
+                case += 1;
+            }
+            Err(CaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "[{name}] too many prop_assume! rejections ({rejects}); \
+                     loosen the generator or the assumption"
+                );
+            }
+            Err(CaseError::Fail(first_msg)) => {
+                let (value, msg) = shrink(&test, tree.as_mut(), first_msg);
+                panic!(
+                    "[{name}] property failed.\n  \
+                     minimal failing input (after shrinking): {value:?}\n  \
+                     error: {msg}\n  \
+                     case {case} of {cases}, master seed {seed:#x}\n  \
+                     reproduce with: UNIZK_PROP_SEED={seed:#x} cargo test {name}"
+                );
+            }
+        }
+    }
+}
+
+/// Runs one case, converting panics inside the body into failures.
+fn run_case<V, F>(test: &F, value: V) -> CaseResult
+where
+    F: Fn(V) -> CaseResult,
+{
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".into());
+            Err(CaseError::Fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Bisection shrink loop: alternate simplify (after failures) and
+/// complicate (after passes) until the tree converges, tracking the
+/// smallest failing value seen.
+fn shrink<V, F>(
+    test: &F,
+    tree: &mut dyn ValueTree<Value = V>,
+    first_msg: String,
+) -> (V, String)
+where
+    V: Clone,
+    F: Fn(V) -> CaseResult,
+{
+    let mut best = tree.current();
+    let mut best_msg = first_msg;
+    let mut last_failed = true;
+    for _ in 0..MAX_SHRINK_ITERS {
+        let moved = if last_failed {
+            tree.simplify()
+        } else {
+            tree.complicate()
+        };
+        if !moved {
+            break;
+        }
+        match run_case(test, tree.current()) {
+            Err(CaseError::Fail(msg)) => {
+                last_failed = true;
+                best = tree.current();
+                best_msg = msg;
+            }
+            // Passes and rejections both mean "not a failure here": back off.
+            _ => last_failed = false,
+        }
+    }
+    (best, best_msg)
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use unizk_testkit::prop::prelude::*;
+///
+/// prop! {
+///     #![cases(32)]                      // optional, defaults to 64
+///     fn halving_shrinks(x in 2u64..1_000_000) {
+///         prop_assert!(x / 2 < x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop {
+    // Internal: `$cases` is bound outside any repetition here, so it can be
+    // referenced freely inside the per-function expansion below.
+    (@cases ($cases:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                #[allow(unused_variables, unused_mut)]
+                {
+                    let config = $crate::prop::Config::default().with_cases($cases);
+                    let strategy = ($($strat,)*);
+                    $crate::prop::run_prop(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        config.cases,
+                        strategy,
+                        |($($arg,)*)| -> $crate::prop::CaseResult {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        },
+                    );
+                }
+            }
+        )*
+    };
+    // Entry with an explicit case count.
+    (
+        #![cases($cases:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::prop!(@cases ($cases) $($rest)*);
+    };
+    // Entry with the default case count.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::prop!(@cases ($crate::prop::DEFAULT_CASES) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the property (with shrinking) instead of panicking
+/// straight out.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::fail_msg(format!($($fmt)+), file!(), line!()));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::prop::CaseError::fail_msg(
+                format!("assertion failed: {:?} == {:?}", l, r),
+                file!(),
+                line!(),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::prop::CaseError::fail_msg(
+                format!("assertion failed: {:?} != {:?}", l, r),
+                file!(),
+                line!(),
+            ));
+        }
+    }};
+}
+
+/// Rejects the case (retried with fresh inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    prop! {
+        #![cases(32)]
+
+        fn ranges_respect_bounds(x in 5u64..50, y in 0usize..=7, z in 1u8..9) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(y <= 7);
+            prop_assert!((1..9).contains(&z));
+        }
+
+        fn map_and_tuples_compose(p in (0u64..100, 0u64..100).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 199);
+        }
+
+        fn vecs_respect_size(v in collection::vec(any::<u8>(), 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+        }
+
+        fn exact_vec_size(v in collection::vec(any::<u64>(), 5usize)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        fn assume_rejects_cleanly(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        fn oneof_picks_all_branches(x in prop_oneof![0u64..10, 100u64..110]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+
+        fn index_projects(ix in any::<sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // x >= 1000 fails for x in 0..10_000; bisection must land on 1000.
+        let result = std::panic::catch_unwind(|| {
+            run_prop("shrink_test", 256, 0u64..10_000, |x| {
+                prop_assert!(x < 1000);
+                Ok(())
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("minimal failing input (after shrinking): 1000"), "{msg}");
+        assert!(msg.contains("UNIZK_PROP_SEED"), "{msg}");
+    }
+
+    #[test]
+    fn panics_in_body_are_failures_and_shrink() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("panic_test", 256, 0u64..1_000, |x| {
+                assert!(x < 500, "boom at {x}");
+                Ok(())
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("minimal failing input (after shrinking): 500"), "{msg}");
+    }
+
+    #[test]
+    fn tuple_shrinks_component_wise() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("tuple_shrink", 256, (0u64..100, 0u64..100), |(a, b)| {
+                prop_assert!(a < 30 || b < 10);
+                Ok(())
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("(30, 10)"), "{msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_across_invocations() {
+        fn collect(seed_env: u64) -> Vec<u64> {
+            let mut out = Vec::new();
+            for stream in 0..8 {
+                let mut rng = TestRng::from_seed_and_stream(seed_env, stream);
+                out.push((0u64..1_000_000).new_tree(&mut rng).current());
+            }
+            out
+        }
+        assert_eq!(collect(DEFAULT_SEED), collect(DEFAULT_SEED));
+    }
+
+    #[test]
+    fn too_many_rejects_reported() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("reject_test", 8, 0u64..10, |_| Err(CaseError::Reject));
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("too many prop_assume! rejections"), "{msg}");
+    }
+}

@@ -1,6 +1,5 @@
 //! The six evaluation applications of §6, plus AES-128 (Table 6).
 
-use serde::{Deserialize, Serialize};
 use unizk_core::compiler::Plonky2Instance;
 use unizk_fri::FriConfig;
 use unizk_plonk::{CircuitConfig, CircuitData};
@@ -9,7 +8,7 @@ use unizk_field::Goldilocks;
 use crate::synthetic;
 
 /// The paper's workloads.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum App {
     /// Factorial of 2^20 (plonky2 example).
     Factorial,
@@ -28,7 +27,7 @@ pub enum App {
 /// Run scale: the paper's full dimensions, or shrunk for CI-time runs.
 /// Shrinking reduces `log2(rows)` while keeping the width and therefore the
 /// kernel mix (DESIGN.md §2.7).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// The paper's dimensions.
     Full,
@@ -45,7 +44,7 @@ impl Default for Scale {
 }
 
 /// Table 3 reference numbers (seconds).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct PaperNumbers {
     /// 80-thread CPU time.
     pub cpu_s: f64,

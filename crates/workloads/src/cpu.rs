@@ -7,19 +7,17 @@
 
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
 use unizk_fri::{kernel_totals, reset_kernel_timers, KernelClass};
 use unizk_plonk::Proof;
 
 use crate::apps::{App, Scale};
 
 /// The result of one instrumented CPU proving run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CpuRun {
     /// End-to-end proving wall time.
     pub total: Duration,
     /// Per-kernel-class times (Table 1 columns).
-    #[serde(skip)]
     pub breakdown: [(KernelClass, Duration); 5],
     /// Proof size in bytes.
     pub proof_bytes: usize,

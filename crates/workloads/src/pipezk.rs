@@ -9,10 +9,9 @@
 //! in ~102 ms end-to-end (10 blocks/s), with the ASIC-resident part
 //! 1/4–1/3 of that.
 
-use serde::Serialize;
 
 /// A Groth16 proving instance: R1CS constraint count.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Groth16Instance {
     /// Number of R1CS constraints.
     pub constraints: usize,

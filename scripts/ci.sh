@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the UniZK reproduction.
+#
+# The workspace is hermetic (no registry dependencies — see DESIGN.md §6),
+# so everything runs with --offline: if a build reaches for the network,
+# that is itself a policy violation and the gate fails.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --all-targets --offline -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> OK: tier-1 gate passed"

@@ -1,0 +1,117 @@
+//! End-to-end proof roundtrip over the whole protocol stack: a Fibonacci
+//! Starky trace (the paper's Fig. 2 running example) is committed with
+//! FRI, opened, and verified — then systematically corrupted to show the
+//! verifier rejects tampered commitments, Merkle openings, fold layers,
+//! and proof-of-work witnesses.
+//!
+//! Every mutation below must flip verification from `Ok` to `Err`; a
+//! corruption the verifier accepts is a soundness hole, so these tests may
+//! never be weakened to `#[ignore]` or partial checks.
+
+use unizk_field::{Field, Goldilocks};
+use unizk_stark::{prove, verify, FibonacciAir, StarkConfig};
+
+const ROWS: usize = 256;
+
+fn proven_fibonacci() -> (FibonacciAir, unizk_stark::StarkProof, StarkConfig) {
+    let air = FibonacciAir::new(ROWS);
+    let config = StarkConfig::for_testing();
+    let proof = prove(&air, &config).expect("Fibonacci trace satisfies its AIR");
+    (air, proof, config)
+}
+
+#[test]
+fn fibonacci_proof_verifies() {
+    let (air, proof, config) = proven_fibonacci();
+    assert_eq!(proof.rows, ROWS);
+    verify(&air, &proof, &config).expect("honest proof verifies");
+    // The AIR's claimed output is the actual Fibonacci number.
+    let mut a = Goldilocks::ZERO;
+    let mut b = Goldilocks::ONE;
+    for _ in 0..ROWS {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    assert_eq!(air.expected_output(), a);
+}
+
+#[test]
+fn proof_survives_serialization() {
+    let (air, proof, config) = proven_fibonacci();
+    let bytes = proof.to_bytes();
+    let decoded = unizk_stark::StarkProof::from_bytes(&bytes).expect("decodes");
+    verify(&air, &decoded, &config).expect("decoded proof verifies");
+    assert_eq!(bytes, decoded.to_bytes(), "byte roundtrip is stable");
+}
+
+#[test]
+fn corrupted_merkle_sibling_rejected() {
+    let (air, mut proof, config) = proven_fibonacci();
+    // Flip one element of one sibling digest in the first query's first
+    // initial-tree opening: the recomputed Merkle root can no longer match
+    // the commitment.
+    let sibling = &mut proof.fri.queries[0].initial[0].proof.siblings[0];
+    sibling.0[0] += Goldilocks::ONE;
+    verify(&air, &proof, &config).expect_err("tampered Merkle path must be rejected");
+}
+
+#[test]
+fn corrupted_merkle_leaf_rejected() {
+    let (air, mut proof, config) = proven_fibonacci();
+    proof.fri.queries[0].initial[0].leaf[0] += Goldilocks::ONE;
+    verify(&air, &proof, &config).expect_err("tampered leaf values must be rejected");
+}
+
+#[test]
+fn corrupted_fold_opening_rejected() {
+    let (air, mut proof, config) = proven_fibonacci();
+    let pair = &mut proof.fri.queries[0].folds[0].pair;
+    pair[0] += unizk_field::Ext2::ONE;
+    verify(&air, &proof, &config).expect_err("tampered fold opening must be rejected");
+}
+
+#[test]
+fn corrupted_trace_commitment_rejected() {
+    let (air, mut proof, config) = proven_fibonacci();
+    proof.trace_root.0[0] += Goldilocks::ONE;
+    verify(&air, &proof, &config).expect_err("tampered trace root must be rejected");
+}
+
+#[test]
+fn corrupted_quotient_commitment_rejected() {
+    let (air, mut proof, config) = proven_fibonacci();
+    proof.quotient_root.0[3] += Goldilocks::ONE;
+    verify(&air, &proof, &config).expect_err("tampered quotient root must be rejected");
+}
+
+#[test]
+fn corrupted_final_polynomial_rejected() {
+    let (air, mut proof, config) = proven_fibonacci();
+    if proof.fri.final_poly.is_empty() {
+        proof.fri.final_poly.push(unizk_field::Ext2::ONE);
+    } else {
+        proof.fri.final_poly[0] += unizk_field::Ext2::ONE;
+    }
+    verify(&air, &proof, &config).expect_err("tampered final polynomial must be rejected");
+}
+
+#[test]
+fn wrong_air_instance_rejected() {
+    // A valid proof for fib(256) must not verify a different claim.
+    let (_, proof, config) = proven_fibonacci();
+    let other = FibonacciAir::new(2 * ROWS);
+    verify(&other, &proof, &config).expect_err("proof must be bound to its instance");
+}
+
+#[test]
+fn truncated_encoding_rejected() {
+    let (_, proof, _) = proven_fibonacci();
+    let bytes = proof.to_bytes();
+    for cut in [0, 1, 32, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            unizk_stark::StarkProof::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must not decode"
+        );
+    }
+}
