@@ -1,0 +1,337 @@
+//! The perf-trajectory baseline: a fixed prover workload and a fixed
+//! simulator configuration, exported as machine-readable JSON.
+//!
+//! Every future PR is compared against the `BENCH_PROVER.json` /
+//! `BENCH_SIM.json` this binary emits (see EXPERIMENTS.md for the schema
+//! and `scripts/bench.sh` for the canonical invocation). Two self-checks
+//! gate the artifacts:
+//!
+//! * the five Table 1 kernel classes must sum to within 5% of the total
+//!   measured prove time (the trace layer covers the prover), and
+//! * two back-to-back simulator runs must be cycle-identical (the
+//!   simulator is deterministic).
+//!
+//! `baseline --compare OLD NEW` diffs two artifacts of the same schema.
+
+use std::time::Instant;
+
+use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+use unizk_core::kernels::KernelClassTag;
+use unizk_core::sim::SimReport;
+use unizk_core::{ChipConfig, Simulator};
+use unizk_fri::{kernel_totals_from, KernelClass};
+use unizk_stark::{prove, verify, Air, FibonacciAir, StarkConfig};
+use unizk_testkit::json::{parse, Json, ToJson};
+use unizk_testkit::trace;
+
+/// Schema identifiers embedded in (and required of) the artifacts.
+const PROVER_SCHEMA: &str = "unizk-bench-prover/1";
+const SIM_SCHEMA: &str = "unizk-bench-sim/1";
+
+/// The fixed prover workload: Fibonacci Starky, 2^12 rows, single thread
+/// (the paper's Table 1 breakdown methodology).
+const LOG_ROWS: usize = 12;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        if args.len() != 3 {
+            eprintln!("usage: baseline --compare OLD.json NEW.json");
+            std::process::exit(2);
+        }
+        compare(&args[1], &args[2]);
+        return;
+    }
+
+    let out_dir = match args.as_slice() {
+        [] => ".".to_string(),
+        [flag, dir] if flag == "--out-dir" => dir.clone(),
+        _ => {
+            eprintln!("usage: baseline [--out-dir DIR] | baseline --compare OLD.json NEW.json");
+            std::process::exit(2);
+        }
+    };
+
+    let prover = bench_prover();
+    let prover_path = format!("{out_dir}/BENCH_PROVER.json");
+    std::fs::write(&prover_path, prover.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {prover_path}: {e}"));
+    println!("wrote {prover_path}");
+
+    let sim = bench_sim();
+    let sim_path = format!("{out_dir}/BENCH_SIM.json");
+    std::fs::write(&sim_path, sim.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {sim_path}: {e}"));
+    println!("wrote {sim_path}");
+}
+
+/// Proves the fixed Starky instance single-threaded and reports the
+/// Table 1 kernel breakdown plus the full span tree.
+fn bench_prover() -> Json {
+    let rows = 1 << LOG_ROWS;
+    let air = FibonacciAir::new(rows);
+    let config = StarkConfig::standard();
+
+    unizk_field::set_parallelism(1);
+    trace::reset();
+    let start = Instant::now();
+    let proof = prove(&air, &config).expect("baseline trace satisfies the AIR");
+    let total_ns = start.elapsed().as_nanos() as u64;
+    let report = trace::snapshot();
+    unizk_field::set_parallelism(0);
+    verify(&air, &proof, &config).expect("baseline proof verifies");
+
+    let totals = kernel_totals_from(&report);
+    let covered_ns: u64 = totals.iter().map(|(_, d)| d.as_nanos() as u64).sum();
+    let coverage = covered_ns as f64 / total_ns as f64;
+    println!(
+        "prover: {} rows in {:.1} ms, proof {} bytes, kernel coverage {:.1}%",
+        rows,
+        total_ns as f64 / 1e6,
+        proof.size_bytes(),
+        coverage * 100.0
+    );
+    for (class, d) in &totals {
+        println!(
+            "  {:<16} {:>10.2} ms  ({:>5.1}%)",
+            class.name(),
+            d.as_secs_f64() * 1e3,
+            d.as_nanos() as f64 / total_ns as f64 * 100.0
+        );
+    }
+    assert!(
+        (0.95..=1.05).contains(&coverage),
+        "kernel classes must sum to within 5% of total prove time, got {coverage:.3}"
+    );
+
+    let classes = totals.iter().map(|(class, d)| {
+        let ns = d.as_nanos() as u64;
+        (
+            class.name(),
+            Json::obj([
+                ("ns", Json::from(ns)),
+                ("fraction", Json::from(ns as f64 / total_ns as f64)),
+            ]),
+        )
+    });
+    Json::obj([
+        ("schema", Json::str(PROVER_SCHEMA)),
+        (
+            "workload",
+            Json::obj([
+                ("app", Json::str("fibonacci_starky")),
+                ("rows", Json::from(rows)),
+                ("width", Json::from(air.width())),
+                ("threads", Json::from(1u64)),
+                (
+                    "fri",
+                    Json::obj([
+                        ("rate_bits", Json::from(config.fri.rate_bits)),
+                        ("num_queries", Json::from(config.fri.num_queries)),
+                        ("proof_of_work_bits", Json::from(config.fri.proof_of_work_bits)),
+                        ("final_poly_len", Json::from(config.fri.final_poly_len)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("total_ns", Json::from(total_ns)),
+        ("proof_bytes", Json::from(proof.size_bytes())),
+        ("coverage", Json::from(coverage)),
+        ("kernel_classes", Json::obj(classes)),
+        ("trace", report.to_json()),
+    ])
+}
+
+/// Runs the fixed simulator config on two fixed workloads, twice, and
+/// reports the (verified cycle-identical) statistics.
+fn bench_sim() -> Json {
+    let chip = ChipConfig::default_chip();
+    let starky = compile_starky(&StarkyInstance::new(1 << LOG_ROWS, 2, 2));
+    let plonky2 = compile_plonky2(&Plonky2Instance::new(1 << LOG_ROWS, 135));
+    let workloads = [("starky_fib_4096", &starky), ("plonky2_4096x135", &plonky2)];
+
+    // One simulator for the measured pass: DRAM probe patterns memoize, so
+    // each pattern's efficiency counter records exactly one measurement.
+    trace::reset();
+    let sim = Simulator::new(chip.clone());
+    let reports: Vec<SimReport> = workloads.iter().map(|(_, g)| sim.run(g)).collect();
+    let counters = trace::snapshot().counters;
+
+    // Determinism gate: a fresh simulator must reproduce every statistic.
+    let sim2 = Simulator::new(chip.clone());
+    for ((name, graph), first) in workloads.iter().zip(&reports) {
+        let second = sim2.run(graph);
+        assert_eq!(
+            (first.total_cycles, first.read_requests, first.write_requests),
+            (second.total_cycles, second.read_requests, second.write_requests),
+            "simulator must be cycle-identical across runs ({name})"
+        );
+        for tag in CLASS_TAGS {
+            assert_eq!(first.class(tag), second.class(tag), "{name}/{}", tag.name());
+        }
+        println!(
+            "sim: {name}: {} cycles ({:.3} ms at 1 GHz), deterministic",
+            first.total_cycles,
+            first.seconds(&chip) * 1e3
+        );
+    }
+
+    let workloads_json = workloads.iter().zip(&reports).map(|((name, _), r)| {
+        let utilization = CLASS_TAGS.into_iter().map(|tag| {
+            (
+                tag.name(),
+                Json::obj([
+                    ("vsa", Json::from(r.vsa_utilization(tag))),
+                    ("memory", Json::from(r.memory_utilization(tag))),
+                    ("cycle_fraction", Json::from(r.cycle_fraction(tag))),
+                ]),
+            )
+        });
+        let mut obj = vec![("name".to_string(), Json::str(*name))];
+        if let Json::Obj(fields) = r.to_json() {
+            obj.extend(fields);
+        }
+        obj.push(("utilization".to_string(), Json::obj(utilization)));
+        Json::Obj(obj)
+    });
+
+    Json::obj([
+        ("schema", Json::str(SIM_SCHEMA)),
+        (
+            "chip",
+            Json::obj([
+                ("num_vsas", Json::from(chip.num_vsas)),
+                ("peak_bytes_per_cycle", Json::from(chip.hbm.peak_bytes_per_cycle())),
+            ]),
+        ),
+        ("deterministic", Json::from(true)),
+        ("workloads", Json::arr(workloads_json)),
+        (
+            "trace_counters",
+            Json::obj(counters.into_iter().map(|(k, v)| (k, Json::from(v)))),
+        ),
+    ])
+}
+
+const CLASS_TAGS: [KernelClassTag; 4] = [
+    KernelClassTag::Ntt,
+    KernelClassTag::Hash,
+    KernelClassTag::Poly,
+    KernelClassTag::Transpose,
+];
+
+/// Diffs two artifacts of the same schema, printing the headline total and
+/// per-class changes.
+fn compare(old_path: &str, new_path: &str) {
+    let old = load(old_path);
+    let new = load(new_path);
+    let old_schema = str_field(&old, "schema", old_path);
+    let new_schema = str_field(&new, "schema", new_path);
+    assert_eq!(
+        old_schema, new_schema,
+        "cannot compare different schemas ({old_schema} vs {new_schema})"
+    );
+
+    match old_schema.as_str() {
+        PROVER_SCHEMA => {
+            let t_old = u64_field(&old, "total_ns", old_path);
+            let t_new = u64_field(&new, "total_ns", new_path);
+            println!(
+                "total: {:.1} ms -> {:.1} ms ({})",
+                t_old as f64 / 1e6,
+                t_new as f64 / 1e6,
+                delta(t_old, t_new)
+            );
+            let classes_old = obj_field(&old, "kernel_classes", old_path);
+            let classes_new = obj_field(&new, "kernel_classes", new_path);
+            for class in KernelClass::ALL {
+                let ns = |classes: &[(String, Json)], path: &str| {
+                    let entry = classes
+                        .iter()
+                        .find(|(k, _)| k == class.name())
+                        .unwrap_or_else(|| panic!("{path}: missing class {}", class.name()));
+                    u64_field(&entry.1, "ns", path)
+                };
+                let a = ns(&classes_old, old_path);
+                let b = ns(&classes_new, new_path);
+                println!(
+                    "  {:<16} {:>10.2} ms -> {:>10.2} ms ({})",
+                    class.name(),
+                    a as f64 / 1e6,
+                    b as f64 / 1e6,
+                    delta(a, b)
+                );
+            }
+        }
+        SIM_SCHEMA => {
+            let olds = arr_field(&old, "workloads", old_path);
+            let news = arr_field(&new, "workloads", new_path);
+            for w_old in &olds {
+                let name = str_field(w_old, "name", old_path);
+                let Some(w_new) = news
+                    .iter()
+                    .find(|w| str_field(w, "name", new_path) == name)
+                else {
+                    println!("{name}: removed");
+                    continue;
+                };
+                let a = u64_field(w_old, "total_cycles", old_path);
+                let b = u64_field(w_new, "total_cycles", new_path);
+                println!("{name}: {a} -> {b} cycles ({})", delta(a, b));
+            }
+        }
+        other => panic!("unknown schema {other:?}"),
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn obj_field(v: &Json, key: &str, path: &str) -> Vec<(String, Json)> {
+    match field(v, key, path) {
+        Json::Obj(pairs) => pairs.clone(),
+        other => panic!("{path}: {key:?} is not an object: {other}"),
+    }
+}
+
+fn arr_field(v: &Json, key: &str, path: &str) -> Vec<Json> {
+    match field(v, key, path) {
+        Json::Arr(items) => items.clone(),
+        other => panic!("{path}: {key:?} is not an array: {other}"),
+    }
+}
+
+fn str_field(v: &Json, key: &str, path: &str) -> String {
+    match field(v, key, path) {
+        Json::Str(s) => s.clone(),
+        other => panic!("{path}: {key:?} is not a string: {other}"),
+    }
+}
+
+fn u64_field(v: &Json, key: &str, path: &str) -> u64 {
+    match field(v, key, path) {
+        Json::UInt(n) => *n,
+        other => panic!("{path}: {key:?} is not a u64: {other}"),
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str, path: &str) -> &'a Json {
+    let Json::Obj(pairs) = v else {
+        panic!("{path}: expected an object");
+    };
+    &pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("{path}: missing field {key:?}"))
+        .1
+}
+
+fn delta(old: u64, new: u64) -> String {
+    if old == 0 {
+        return "n/a".to_string();
+    }
+    let pct = (new as f64 - old as f64) / old as f64 * 100.0;
+    format!("{pct:+.1}%")
+}

@@ -188,6 +188,9 @@ impl Simulator {
     /// Like [`Simulator::run`] but also returns the per-node schedule —
     /// the compiler backend's "detailed schedules" (paper §5.5).
     pub fn run_with_trace(&self, graph: &Graph) -> (SimReport, Vec<NodeTrace>) {
+        let _sim_span = unizk_testkit::trace::span("sim.run");
+        unizk_testkit::trace::counter("sim.runs", 1);
+        unizk_testkit::trace::counter("sim.nodes", graph.len() as u64);
         let mut report = SimReport {
             num_vsas: self.chip.num_vsas,
             peak_bytes_per_cycle: self.chip.hbm.peak_bytes_per_cycle(),
@@ -223,6 +226,32 @@ impl Simulator {
             report.total_cycles += node_cycles;
             report.read_requests += cost.read_bytes.div_ceil(64);
             report.write_requests += cost.write_bytes.div_ceil(64);
+        }
+
+        // Publish the run's headline stats to the trace layer so bench
+        // artifacts capture simulator activity alongside prover timing.
+        unizk_testkit::trace::counter("sim.cycles", report.total_cycles);
+        for tag in [
+            KernelClassTag::Ntt,
+            KernelClassTag::Hash,
+            KernelClassTag::Poly,
+            KernelClassTag::Transpose,
+        ] {
+            let class = report.class(tag);
+            if class.nodes > 0 {
+                unizk_testkit::trace::counter_string(
+                    format!("sim.class.{}.cycles", tag.name()),
+                    class.cycles,
+                );
+                unizk_testkit::trace::counter_string(
+                    format!("sim.class.{}.vsa_busy_cycles", tag.name()),
+                    class.vsa_busy_cycles,
+                );
+                unizk_testkit::trace::counter_string(
+                    format!("sim.class.{}.bytes", tag.name()),
+                    class.bytes,
+                );
+            }
         }
         (report, trace)
     }

@@ -37,6 +37,17 @@ impl AccessPattern {
     pub fn random_blocks() -> Self {
         AccessPattern::Random { log2_working_set: 24 }
     }
+
+    /// A stable human-readable label (used as a trace-counter suffix and in
+    /// bench artifacts).
+    pub fn label(&self) -> String {
+        match self {
+            AccessPattern::Sequential => "sequential".to_string(),
+            AccessPattern::Strided { bursts } => format!("strided_{bursts}"),
+            AccessPattern::Random { log2_working_set } => format!("random_{log2_working_set}"),
+            AccessPattern::ShortRuns { run } => format!("short_runs_{run}"),
+        }
+    }
 }
 
 /// Memoized pattern-efficiency model over a fixed [`HbmConfig`].
@@ -92,7 +103,11 @@ impl MemoryModel {
     }
 
     fn measure(&self, pattern: AccessPattern) -> f64 {
+        use unizk_testkit::trace;
         const PROBE: u64 = 50_000;
+        let _probe_span = trace::span("dram.measure");
+        trace::counter("dram.probes", 1);
+        trace::counter("dram.probe_bursts", PROBE);
         let burst = self.config.burst_bytes as u64;
         let mut sys = MemorySystem::new(self.config.clone());
         match pattern {
@@ -131,7 +146,18 @@ impl MemoryModel {
             }
         }
         let achieved = sys.stats().achieved_bytes_per_cycle(self.config.burst_bytes);
-        (achieved / self.config.peak_bytes_per_cycle()).clamp(0.0, 1.0)
+        let efficiency = (achieved / self.config.peak_bytes_per_cycle()).clamp(0.0, 1.0);
+        // Publish the measured efficiency and mean channel occupancy in
+        // parts-per-million (counters are integral).
+        trace::counter_string(
+            format!("dram.efficiency_ppm.{}", pattern.label()),
+            (efficiency * 1e6) as u64,
+        );
+        trace::counter_string(
+            format!("dram.channel_occupancy_ppm.{}", pattern.label()),
+            (sys.channel_occupancy() * 1e6) as u64,
+        );
+        efficiency
     }
 }
 

@@ -68,6 +68,9 @@ struct Channel {
     bus_free_at: u64,
     next_act_at: u64,
     refresh_epoch: u64,
+    /// Cycles this channel's data bus spent transferring bursts — the
+    /// numerator of the per-channel occupancy statistic.
+    busy_cycles: u64,
     banks: Vec<Bank>,
 }
 
@@ -91,6 +94,7 @@ impl MemorySystem {
                 bus_free_at: 0,
                 next_act_at: 0,
                 refresh_epoch: 0,
+                busy_cycles: 0,
                 banks: vec![Bank::default(); config.banks_per_channel],
             })
             .collect();
@@ -163,6 +167,7 @@ impl MemorySystem {
         let bus_start = access_done.max(channel.bus_free_at);
         let done = bus_start + cfg.burst_cycles;
         channel.bus_free_at = done;
+        channel.busy_cycles += cfg.burst_cycles;
         bank_state.open_row = Some(row);
         bank_state.free_at = access_done;
 
@@ -178,6 +183,22 @@ impl MemorySystem {
         }
         self.stats.cycles = self.stats.cycles.max(done);
         done
+    }
+
+    /// Data-bus busy cycles per channel, in channel order — the raw
+    /// occupancy numbers behind the Table 4 bandwidth-utilization rows.
+    pub fn channel_busy_cycles(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.busy_cycles).collect()
+    }
+
+    /// Mean fraction of elapsed cycles the channel data buses were
+    /// transferring bursts (0 when nothing has been issued).
+    pub fn channel_occupancy(&self) -> f64 {
+        if self.stats.cycles == 0 || self.channels.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.channels.iter().map(|c| c.busy_cycles).sum();
+        busy as f64 / (self.stats.cycles * self.channels.len() as u64) as f64
     }
 
     /// Issues a strided stream of `count` bursts starting at `start`;
@@ -304,5 +325,47 @@ mod tests {
         let sys = MemorySystem::new(HbmConfig::hbm2e_two_stacks());
         assert_eq!(sys.stats().total(), 0);
         assert_eq!(sys.stats().achieved_bytes_per_cycle(64), 0.0);
+        assert_eq!(sys.channel_occupancy(), 0.0);
+        assert!(sys.channel_busy_cycles().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn channel_occupancy_tracks_bandwidth() {
+        let cfg = HbmConfig::hbm2e_two_stacks();
+        let mut sys = MemorySystem::new(cfg.clone());
+        sys.access_stream(0, cfg.burst_bytes as u64, 100_000, false);
+        // Unit-stride streams interleave across channels, so every channel
+        // is busy and overall occupancy approaches the achieved fraction
+        // of peak bandwidth.
+        let busy = sys.channel_busy_cycles();
+        assert_eq!(busy.len(), cfg.channels);
+        assert!(busy.iter().all(|&b| b > 0), "{busy:?}");
+        let occ = sys.channel_occupancy();
+        let eff = sys.stats().achieved_bytes_per_cycle(cfg.burst_bytes)
+            / cfg.peak_bytes_per_cycle();
+        assert!((occ - eff).abs() < 0.05, "occupancy {occ} vs efficiency {eff}");
+
+        // Busy cycles are exact: burst_cycles per access, split evenly.
+        let total_busy: u64 = busy.iter().sum();
+        assert_eq!(total_busy, 100_000 * cfg.burst_cycles);
+    }
+
+    #[test]
+    fn random_access_lowers_occupancy() {
+        let cfg = HbmConfig::hbm2e_two_stacks();
+        let mut seq = MemorySystem::new(cfg.clone());
+        seq.access_stream(0, cfg.burst_bytes as u64, 20_000, false);
+        let mut rnd = MemorySystem::new(cfg);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let addr: u64 = rng.gen_range(0..(1u64 << 33)) & !63;
+            rnd.access(Transaction { addr, is_write: false });
+        }
+        assert!(
+            rnd.channel_occupancy() < seq.channel_occupancy(),
+            "random {} vs sequential {}",
+            rnd.channel_occupancy(),
+            seq.channel_occupancy()
+        );
     }
 }

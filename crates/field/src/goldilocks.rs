@@ -22,6 +22,15 @@ const EPSILON: u64 = 0xFFFF_FFFF;
 
 /// An element of the Goldilocks field, stored in canonical form `0 <= x < p`.
 ///
+/// # Invariant
+///
+/// The inner `u64` is always reduced: constructors reduce on entry
+/// ([`Field::from_u64`], [`Goldilocks::from_canonical`]) or
+/// debug-assert canonicity ([`Goldilocks::new`]), and every arithmetic
+/// result is reduced before it is stored. Because representatives are
+/// unique, the derived `PartialEq`/`Ord`/`Hash` agree with field equality
+/// and [`Field::as_u64`] round-trips losslessly.
+///
 /// # Example
 ///
 /// ```

@@ -13,6 +13,21 @@
 //!   the quotient computation in the Plonk phase.
 //! * [`bit_reverse`] / [`reverse_index_bits`] — the bit-reversal permutations
 //!   that the NTT variants (`NN`, `NR`, …) are defined in terms of.
+//! * [`parallel_map`] / [`parallel_ranges`] — the fork/join primitives the
+//!   prover's hot loops run on, governed by the process-global
+//!   [`set_parallelism`] override (`1` = single-threaded measurement mode).
+//!   Workers inherit the caller's open `unizk_testkit::trace` span, so
+//!   timings recorded inside parallel regions aggregate under the right
+//!   parent instead of double-counting.
+//!
+//! # Invariants
+//!
+//! * Every [`Goldilocks`] value is kept in **canonical form** `0 <= x < p`
+//!   at all times — constructors reduce on entry, and all arithmetic
+//!   returns reduced results, so `==`/`Ord`/`Hash` agree with field
+//!   equality and serialized bytes are unique per element.
+//! * [`set_parallelism`] is a process-global override latched at the entry
+//!   of each parallel call; it caps, never raises, the worker count.
 //!
 //! # Example
 //!

@@ -3,16 +3,45 @@
 //! The CPU-baseline prover uses these to mirror the paper's multi-threaded
 //! Plonky2 baseline (§6 uses 80 threads). A process-wide override supports
 //! the single-threaded runs Table 1's breakdown methodology requires.
+//!
+//! Both helpers are **trace-aware**: they capture the calling thread's
+//! open [`unizk_testkit::trace`] span path and re-attach it inside each
+//! worker, so spans and counters recorded by workers aggregate under the
+//! caller's spans (one merged total, no double counting) instead of
+//! appearing as orphaned top-level entries.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use unizk_testkit::trace::SpanHandle;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Forces all [`parallel_map`] calls to use exactly `n` threads
 /// (`0` restores the default of one thread per available core).
 ///
-/// Used by the Table 1 harness, which reproduces the paper's
-/// single-threaded breakdown measurement.
+/// # Semantics
+///
+/// * The override is **process-global** and takes effect for calls that
+///   *start* after the store; helpers already running keep the thread
+///   count they latched at entry.
+/// * `set_parallelism(1)` is the measurement mode: helpers run their
+///   closure serially on the calling thread, so wall time equals CPU time
+///   and kernel spans nest exactly as the call tree does. The Table 1
+///   harness and `bench/baseline` both use it, matching the paper's
+///   single-threaded breakdown methodology.
+/// * The value is a worker-thread *cap*, not a floor — small inputs use
+///   fewer threads (at most one item per worker).
+///
+/// # Examples
+///
+/// ```
+/// use unizk_field::par::{current_parallelism, set_parallelism};
+///
+/// set_parallelism(2);
+/// assert_eq!(current_parallelism(), 2);
+/// set_parallelism(0); // back to one thread per available core
+/// assert!(current_parallelism() >= 1);
+/// ```
 pub fn set_parallelism(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::SeqCst);
 }
@@ -32,7 +61,34 @@ pub fn current_parallelism() -> usize {
 /// Maps `f` over `items` in parallel, preserving order.
 ///
 /// Falls back to a plain serial map when one thread is configured or the
-/// input is small.
+/// input is small. Worker threads inherit the caller's open trace-span
+/// path (see the module docs), and their collectors merge into the global
+/// trace store when the scope joins — so a snapshot taken after
+/// `parallel_map` returns always includes the workers' spans and counters.
+///
+/// # Examples
+///
+/// ```
+/// use unizk_field::par::parallel_map;
+///
+/// let squares = parallel_map((0u64..100).collect(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+///
+/// Trace counters bumped inside workers sum deterministically:
+///
+/// ```
+/// use unizk_field::par::parallel_map;
+/// use unizk_testkit::trace;
+///
+/// trace::reset();
+/// let _ = parallel_map((0..32).collect::<Vec<u32>>(), |x| {
+///     trace::counter("items", 1);
+///     x
+/// });
+/// assert_eq!(trace::snapshot().counter("items"), 32);
+/// ```
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -56,11 +112,18 @@ where
         chunks.push(c);
     }
 
+    let span = SpanHandle::current();
     std::thread::scope(|scope| {
         let f = &f;
+        let span = &span;
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .map(|c| {
+                scope.spawn(move || {
+                    let _trace_ctx = span.attach();
+                    c.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -70,6 +133,9 @@ where
 }
 
 /// Runs `f(start, end)` over disjoint subranges of `0..n` in parallel.
+///
+/// Workers inherit the caller's trace-span path, exactly as in
+/// [`parallel_map`].
 pub fn parallel_ranges<F>(n: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -80,12 +146,17 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
+    let span = SpanHandle::current();
     std::thread::scope(|scope| {
         let f = &f;
+        let span = &span;
         let mut start = 0;
         while start < n {
             let end = (start + chunk).min(n);
-            scope.spawn(move || f(start, end));
+            scope.spawn(move || {
+                let _trace_ctx = span.attach();
+                f(start, end);
+            });
             start = end;
         }
     });

@@ -1,0 +1,78 @@
+//! Trace-layer integration with the fork/join primitives: spans opened by
+//! `parallel_map` workers must aggregate under the caller's open span, and
+//! counters must merge deterministically regardless of thread count.
+
+use unizk_field::{parallel_map, parallel_ranges, set_parallelism};
+use unizk_testkit::trace;
+
+/// Runs `f` under a uniquely-named wrapper span and returns that span's
+/// subtree from a fresh snapshot. Assertions go through the subtree so
+/// concurrently-running tests (which share the process-global trace store)
+/// cannot interfere.
+fn under_span<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, trace::TraceNode) {
+    let out = {
+        let _s = trace::span(name);
+        f()
+    };
+    trace::flush();
+    let report = trace::snapshot();
+    let node = report
+        .node(&[name])
+        .unwrap_or_else(|| panic!("wrapper span {name} missing from snapshot"))
+        .clone();
+    (out, node)
+}
+
+#[test]
+fn worker_spans_nest_under_caller() {
+    let items: Vec<u64> = (0..64).collect();
+    let (_, node) = under_span("field_test.nest", || {
+        parallel_map(items.clone(), |x| {
+            let _inner = trace::span("field_test.worker");
+            x * 2
+        })
+    });
+    let worker = node
+        .child("field_test.worker")
+        .expect("worker spans must merge under the caller's span");
+    assert_eq!(worker.count, 64, "one span entry per item");
+    assert!(worker.ns <= node.ns, "children cannot exceed the parent");
+}
+
+#[test]
+fn counters_merge_deterministically_across_thread_counts() {
+    let items: Vec<u64> = (0..97).collect();
+    let count_under = |threads: usize, tag: &'static str| {
+        set_parallelism(threads);
+        let ((), _node) = under_span(tag, || {
+            parallel_map(items.clone(), |x| {
+                trace::counter("field_test.items", 1);
+                trace::counter("field_test.sum", x);
+            });
+        });
+        set_parallelism(0);
+    };
+    let baseline = trace::snapshot();
+    count_under(1, "field_test.counters_seq");
+    count_under(4, "field_test.counters_par");
+    let after = trace::snapshot();
+    // Counters are global and monotonic; the two runs added identical
+    // amounts, so the delta is exactly twice one run's contribution.
+    let delta = |name: &str| after.counter(name) - baseline.counter(name);
+    assert_eq!(delta("field_test.items"), 2 * 97);
+    assert_eq!(delta("field_test.sum"), 2 * (0..97).sum::<u64>());
+}
+
+#[test]
+fn parallel_ranges_inherits_span_context() {
+    let (_, node) = under_span("field_test.ranges", || {
+        parallel_ranges(256, |start, end| {
+            trace::counter("field_test.range_len", (end - start) as u64);
+            let _chunk = trace::span("field_test.chunk");
+        });
+    });
+    let chunk = node
+        .child("field_test.chunk")
+        .expect("chunk spans must attach to the caller's span");
+    assert!(chunk.count >= 1);
+}

@@ -6,6 +6,7 @@ use unizk_field::{
     PrimeField64,
 };
 use unizk_hash::{Challenger, MerkleTree};
+use unizk_testkit::trace;
 
 use crate::batch::{coset_shift, domain_point, PolynomialBatch};
 use crate::config::FriConfig;
@@ -75,19 +76,24 @@ pub fn fri_prove(
 
     // 1. Open every polynomial at every point; observing the claimed values
     //    binds them into the transcript.
-    let openings: Vec<Vec<Vec<Ext2>>> = time_kernel(KernelClass::Polynomial, || {
-        points
-            .iter()
-            .map(|&z| batches.iter().map(|b| b.eval_all_ext(z)).collect())
-            .collect()
+    let _fri_span = trace::span("fri.prove");
+    let openings: Vec<Vec<Vec<Ext2>>> = trace::with_span("fri.open", || {
+        time_kernel(KernelClass::Polynomial, || {
+            points
+                .iter()
+                .map(|&z| batches.iter().map(|b| b.eval_all_ext(z)).collect())
+                .collect()
+        })
     });
-    for per_point in &openings {
-        for per_batch in per_point {
-            for &y in per_batch {
-                challenger.observe_ext(y);
+    time_kernel(KernelClass::OtherHash, || {
+        for per_point in &openings {
+            for per_batch in per_point {
+                for &y in per_batch {
+                    challenger.observe_ext(y);
+                }
             }
         }
-    }
+    });
 
     // 2. Combination challenges: α across polynomials, β across points.
     let alpha = challenger.challenge_ext();
@@ -96,68 +102,86 @@ pub fn fri_prove(
     // 3. Build the combined low-degree witness over the LDE domain:
     //    v0(x) = Σ_t β^t · (S(x) − Y_t) / (x − z_t),
     //    with S(x) = Σ_j α^j p_j(x) over the global polynomial index.
-    let mut values = time_kernel(KernelClass::Polynomial, || {
-        combine_initial(batches, points, &openings, alpha, beta, lde_size)
+    let mut values = trace::with_span("fri.combine", || {
+        time_kernel(KernelClass::Polynomial, || {
+            combine_initial(batches, points, &openings, alpha, beta, lde_size)
+        })
     });
 
     // 4. Commit phase: arity-2 folds, one Merkle tree per round.
     let num_rounds = config.num_reduction_rounds(degree);
+    trace::counter("fri.reduction_rounds", num_rounds as u64);
     let mut fold_trees: Vec<MerkleTree> = Vec::with_capacity(num_rounds);
     let mut commit_roots = Vec::with_capacity(num_rounds);
     let mut layers: Vec<Vec<Ext2>> = Vec::with_capacity(num_rounds);
     let mut domain = FoldDomain::initial(lde_size);
-    for _ in 0..num_rounds {
-        let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer(&values));
-        challenger.observe_digest(tree.root());
-        commit_roots.push(tree.root());
-        fold_trees.push(tree);
+    {
+        let _commit_span = trace::span("fri.commit_fold");
+        for _ in 0..num_rounds {
+            let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer(&values));
+            challenger.observe_digest(tree.root());
+            commit_roots.push(tree.root());
+            fold_trees.push(tree);
 
-        let fold_beta = challenger.challenge_ext();
-        let folded = time_kernel(KernelClass::Polynomial, || {
-            fold_layer(&values, domain, fold_beta)
-        });
-        layers.push(std::mem::replace(&mut values, folded));
-        domain = domain.fold();
+            let fold_beta = challenger.challenge_ext();
+            let folded = time_kernel(KernelClass::Polynomial, || {
+                fold_layer(&values, domain, fold_beta)
+            });
+            layers.push(std::mem::replace(&mut values, folded));
+            domain = domain.fold();
+        }
     }
 
     // 5. Final polynomial: interpolate the remaining layer and send the
     //    coefficients in the clear.
-    let final_poly = interpolate_final(&values, domain, config.final_poly_len);
+    let final_poly = trace::with_span("fri.final_poly", || {
+        time_kernel(KernelClass::Polynomial, || {
+            interpolate_final(&values, domain, config.final_poly_len)
+        })
+    });
     for &c in &final_poly {
         challenger.observe_ext(c);
     }
 
     // 6. Proof-of-work grind.
-    let pow_witness =
-        time_kernel(KernelClass::OtherHash, || grind(challenger, config.proof_of_work_bits));
+    let pow_witness = trace::with_span("fri.grind", || {
+        time_kernel(KernelClass::OtherHash, || grind(challenger, config.proof_of_work_bits))
+    });
     challenger.observe(pow_witness);
     let pow_response = challenger.challenge();
     debug_assert!(pow_ok(pow_response, config.proof_of_work_bits));
 
-    // 7. Query phase.
+    // 7. Query phase: sampling indices hashes (Other Hash); assembling the
+    //    openings is pure data movement (Layout Transform).
+    let _query_span = trace::span("fri.query");
+    trace::counter("fri.queries", config.num_queries as u64);
     let index_bits = log2_strict(lde_size);
     let mut queries = Vec::with_capacity(config.num_queries);
     for _ in 0..config.num_queries {
-        let mut idx = challenger.challenge_bits(index_bits);
-        let initial = batches
-            .iter()
-            .map(|b| FriInitialOpening {
-                leaf: b.leaf(idx).to_vec(),
-                proof: b.prove_leaf(idx),
-            })
-            .collect();
-        let mut folds = Vec::with_capacity(num_rounds);
-        for (round, tree) in fold_trees.iter().enumerate() {
-            let pair_index = idx >> 1;
-            let layer = &layers[round];
-            folds.push(FriFoldOpening {
-                pair: [layer[pair_index * 2], layer[pair_index * 2 + 1]],
-                proof: tree.prove(pair_index),
-            });
-            idx = pair_index;
-        }
-        queries.push(FriQueryRound { initial, folds });
+        let mut idx = time_kernel(KernelClass::OtherHash, || challenger.challenge_bits(index_bits));
+        let round = time_kernel(KernelClass::LayoutTransform, || {
+            let initial = batches
+                .iter()
+                .map(|b| FriInitialOpening {
+                    leaf: b.leaf(idx).to_vec(),
+                    proof: b.prove_leaf(idx),
+                })
+                .collect();
+            let mut folds = Vec::with_capacity(num_rounds);
+            for (round, tree) in fold_trees.iter().enumerate() {
+                let pair_index = idx >> 1;
+                let layer = &layers[round];
+                folds.push(FriFoldOpening {
+                    pair: [layer[pair_index * 2], layer[pair_index * 2 + 1]],
+                    proof: tree.prove(pair_index),
+                });
+                idx = pair_index;
+            }
+            FriQueryRound { initial, folds }
+        });
+        queries.push(round);
     }
+    drop(_query_span);
 
     FriProof {
         openings,

@@ -62,6 +62,9 @@ impl MerkleTree {
             "leaf count must be a power of two, got {}",
             leaves.len()
         );
+        let _build_span = unizk_testkit::trace::span("merkle.build");
+        unizk_testkit::trace::counter("merkle.trees", 1);
+        unizk_testkit::trace::counter("merkle.leaves", leaves.len() as u64);
         // Hashes at one level are independent (paper §5.3), so both the leaf
         // digests and each interior level parallelize trivially.
         const PAR_THRESHOLD: usize = 1024;

@@ -25,6 +25,10 @@ use crate::poseidon::{poseidon_permute, SPONGE_RATE, WIDTH};
 /// assert_ne!(a, b);
 /// ```
 pub fn hash_no_pad(input: &[Goldilocks]) -> Digest {
+    unizk_testkit::trace::counter(
+        "poseidon.permutations",
+        input.len().div_ceil(SPONGE_RATE) as u64,
+    );
     let mut state = [Goldilocks::ZERO; WIDTH];
     for chunk in input.chunks(SPONGE_RATE) {
         state[..chunk.len()].copy_from_slice(chunk);
@@ -42,6 +46,7 @@ pub fn permutation_count(len: usize) -> usize {
 /// Hashes two child digests into a parent digest: 4 + 4 elements, zero
 /// padded to a full state (paper §5.3).
 pub fn two_to_one(left: Digest, right: Digest) -> Digest {
+    unizk_testkit::trace::counter("poseidon.permutations", 1);
     let mut state = [Goldilocks::ZERO; WIDTH];
     state[..4].copy_from_slice(&left.0);
     state[4..8].copy_from_slice(&right.0);
@@ -150,6 +155,7 @@ impl Challenger {
     }
 
     fn duplex(&mut self) {
+        unizk_testkit::trace::counter("poseidon.permutations", 1);
         for (i, x) in self.input_buffer.drain(..).enumerate() {
             debug_assert!(i < SPONGE_RATE);
             self.state[i] = x;

@@ -38,12 +38,24 @@ fn stage_twiddles<F: PrimeField64>(n: usize, inverse: bool) -> Vec<Vec<F>> {
     tables
 }
 
+/// Records one transform in the trace layer: total count, element volume,
+/// and butterfly volume (`n/2·log₂ n`, the unit Fig. 9's NTT speedups are
+/// normalized over). One bump per transform, so the cost is negligible
+/// even for the smallest sizes.
+fn count_transform(n: usize) {
+    use unizk_testkit::trace;
+    trace::counter("ntt.transforms", 1);
+    trace::counter("ntt.elements", n as u64);
+    trace::counter("ntt.butterflies", (n as u64 / 2) * log2_strict(n) as u64);
+}
+
 /// DIF butterfly network: natural input → bit-reversed output.
 fn dif_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
     let n = values.len();
     if n <= 1 {
         return;
     }
+    count_transform(n);
     let tables = stage_twiddles::<F>(n, inverse);
     let mut m = n / 2;
     let mut stage = 0;
@@ -68,6 +80,7 @@ fn dit_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
     if n <= 1 {
         return;
     }
+    count_transform(n);
     let tables = stage_twiddles::<F>(n, inverse);
     let log_n = log2_strict(n);
     let mut m = 1;

@@ -8,6 +8,7 @@ use unizk_field::{
 use unizk_fri::batch::domain_point;
 use unizk_fri::{fri_prove, time_kernel, KernelClass, PolynomialBatch};
 use unizk_hash::Challenger;
+use unizk_testkit::trace;
 
 use crate::air::Air;
 use crate::config::StarkConfig;
@@ -21,36 +22,49 @@ use crate::verifier::StarkError;
 /// Returns [`StarkError::UnsatisfiedConstraints`] if the generated trace
 /// does not satisfy the AIR (the quotient fails its degree check).
 pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof, StarkError> {
+    let _prove_span = trace::span("stark.prove");
     let n = air.rows();
     assert!(n.is_power_of_two(), "trace height must be a power of two");
+    trace::counter("stark.rows", n as u64);
+    trace::counter("stark.columns", air.width() as u64);
     let mut challenger = Challenger::new();
 
     // 1. Trace generation and commitment.
-    let trace = time_kernel(KernelClass::Polynomial, || air.generate_trace());
+    let trace = trace::with_span("stark.trace_gen", || {
+        time_kernel(KernelClass::Polynomial, || air.generate_trace())
+    });
     assert_eq!(trace.len(), air.width(), "trace width mismatch");
-    let trace_batch = PolynomialBatch::from_values(trace, &config.fri);
+    let trace_batch = trace::with_span("stark.trace_commit", || {
+        PolynomialBatch::from_values(trace, &config.fri)
+    });
     challenger.observe_digest(trace_batch.root());
 
     // 2. Constraint-combination challenges.
     let alphas: Vec<Goldilocks> = challenger.challenges(config.num_challenges);
 
     // 3. Quotient per challenge round.
-    let quotient_polys = time_kernel(KernelClass::Polynomial, || {
-        compute_quotients(air, &trace_batch, &alphas, n)
+    let quotient_polys = trace::with_span("stark.quotient", || {
+        time_kernel(KernelClass::Polynomial, || {
+            compute_quotients(air, &trace_batch, &alphas, n)
+        })
     })?;
-    let quotient_batch = PolynomialBatch::from_coeffs(quotient_polys, &config.fri);
+    let quotient_batch = trace::with_span("stark.quotient_commit", || {
+        PolynomialBatch::from_coeffs(quotient_polys, &config.fri)
+    });
     challenger.observe_digest(quotient_batch.root());
 
     // 4. Openings.
     let zeta = challenger.challenge_ext();
     let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
     let points = [zeta, zeta * Ext2::from(omega)];
-    let fri = fri_prove(
-        &[&trace_batch, &quotient_batch],
-        &points,
-        &mut challenger,
-        &config.fri,
-    );
+    let fri = trace::with_span("stark.fri", || {
+        fri_prove(
+            &[&trace_batch, &quotient_batch],
+            &points,
+            &mut challenger,
+            &config.fri,
+        )
+    });
 
     Ok(StarkProof {
         trace_root: trace_batch.root(),

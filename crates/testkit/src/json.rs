@@ -1,10 +1,13 @@
-//! A minimal JSON writer, replacing `serde` for the `results/` emitters
-//! and simulator stats.
+//! A minimal JSON reader/writer, replacing `serde` for the `results/` and
+//! `BENCH_*.json` emitters and the bench `--compare` mode.
 //!
-//! Only serialization is provided (nothing in the repository deserializes
-//! JSON), and only the value model the emitters need: null, bool, finite
-//! numbers, strings, arrays, objects. Objects preserve insertion order so
-//! emitted files are stable across runs.
+//! The value model is exactly what those artifacts need: null, bool,
+//! finite numbers, strings, arrays, objects. Objects preserve insertion
+//! order so emitted files are stable across runs. [`parse`] is a strict
+//! recursive-descent reader for the same model; non-negative integers that
+//! fit in `u64` parse as [`Json::UInt`] (exact), everything else numeric
+//! as [`Json::Num`] — so serialize → parse round-trips cycle counts above
+//! 2^53 without precision loss.
 //!
 //! # Example
 //!
@@ -224,6 +227,266 @@ impl<T: ToJson> ToJson for [T] {
     }
 }
 
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Examples
+///
+/// ```
+/// use unizk_testkit::json::{parse, Json};
+///
+/// let v = parse(r#"{"cycles": 18446744073709551615, "ok": true}"#).unwrap();
+/// assert_eq!(v, Json::obj([
+///     ("cycles", Json::UInt(u64::MAX)),
+///     ("ok", Json::Bool(true)),
+/// ]));
+/// // Round-trip: everything this module writes, it can read back.
+/// assert_eq!(parse(&v.to_string_pretty()).unwrap(), v);
+/// ```
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // opening '"'
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.err(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("unescaped control character")),
+                _ => {
+                    // Re-take the full UTF-8 character starting here.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().expect("non-empty checked above");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let mut code = self.hex4()?;
+        // Surrogate pair: a high surrogate must be followed by \uDC00..=\uDFFF.
+        if (0xD800..0xDC00).contains(&code) {
+            self.eat("\\u")
+                .map_err(|_| self.err("high surrogate not followed by low surrogate"))?;
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        }
+        char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(d) = self.peek().and_then(|c| (c as char).to_digit(16)) else {
+                return Err(self.err("expected four hex digits after \\u"));
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("invalid number {text:?}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +531,75 @@ mod tests {
         assert!(pretty.contains("\"empty\": []"), "{pretty}");
         // Key order is preserved.
         assert!(pretty.find("\"a\"").unwrap() < pretty.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX),
+            "u64::MAX stays exact"
+        );
+        assert_eq!(parse("-3").unwrap(), Json::Num(-3.0));
+        assert_eq!(parse("0.5").unwrap(), Json::Num(0.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(parse("-1.25E-2").unwrap(), Json::Num(-0.0125));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parse_strings_with_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\nd\te\u0001/\u00e9""#).unwrap(),
+            Json::str("a\"b\\c\nd\te\u{1}/é")
+        );
+        assert_eq!(parse(r#""snowman \u2603""#).unwrap(), Json::str("snowman ☃"));
+        // Surrogate pair → astral character.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::str("😀"));
+        // Raw (unescaped) UTF-8 passes through.
+        assert_eq!(parse("\"héllo ☃\"").unwrap(), Json::str("héllo ☃"));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse(r#"{ "xs": [1, 2.5, null], "o": {"k": "v"}, "e": [] }"#).unwrap();
+        assert_eq!(
+            v,
+            Json::obj([
+                ("xs", Json::arr([Json::UInt(1), Json::Num(2.5), Json::Null])),
+                ("o", Json::obj([("k", Json::str("v"))])),
+                ("e", Json::arr([])),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "[1]]", "\"unterminated",
+            "{'a':1}", "[,]", "\"\\q\"", "\"\\u12\"", "nul", "--1", "+1",
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.to_string().contains("JSON parse error"));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj([
+            ("app", Json::str("fib\n\"quoted\"")),
+            ("total_ns", Json::UInt(u64::MAX)),
+            ("fraction", Json::Num(0.3333333333333333)),
+            ("flags", Json::arr([Json::Bool(true), Json::Null])),
+            ("nested", Json::obj([("empty", Json::obj::<String>([]))])),
+        ]);
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        assert_eq!(parse(&v.to_string_pretty()).unwrap(), v);
     }
 
     #[test]

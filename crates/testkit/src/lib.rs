@@ -8,16 +8,20 @@
 //! * [`rng`] — seedable SplitMix64 / xoshiro256** PRNGs with `rand`-style
 //!   `gen` / `gen_range` methods and a [`rng::Sample`] trait the field
 //!   crates implement for Goldilocks and extension elements.
-//! * [`prop`] — a proptest-like property harness: the
+//! * [`mod@prop`] — a proptest-like property harness: the
 //!   [`prop!`](crate::prop!) macro, strategies (`any`, ranges, tuples,
 //!   `prop_map`, `collection::vec`, [`prop_oneof!`](crate::prop_oneof!)),
 //!   bisection shrinking, and failure-seed reporting (reproduce any
 //!   failure with `UNIZK_PROP_SEED=<seed> cargo test <name>`).
-//! * [`json`] — a minimal ordered JSON writer for the `results/` emitters
-//!   and simulator stats.
-//! * [`bench`] — a wall-clock micro-bench timer with warmup and median
+//! * [`json`] — a minimal ordered JSON writer **and parser** for the
+//!   `results/` / `BENCH_*.json` emitters and the bench `--compare` mode.
+//! * [`mod@bench`] — a wall-clock micro-bench timer with warmup and median
 //!   reporting, mirroring the slice of the Criterion API the bench crate
 //!   uses.
+//! * [`trace`] — the hierarchical span/counter tracing layer behind the
+//!   prover and simulator perf breakdowns: scoped [`trace::Span`] guards,
+//!   per-thread collectors merged monotonically across fork/join workers,
+//!   named `u64` counters, and JSON / folded-flamegraph export.
 //!
 //! Determinism is the design constraint throughout: all randomness flows
 //! from explicit `u64` seeds through portable integer-only generators, so
@@ -29,6 +33,8 @@ pub mod bench;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use json::{Json, ToJson};
 pub use rng::{Rng, Sample, TestRng};
+pub use trace::{Span, SpanHandle, TraceNode, TraceReport};

@@ -480,7 +480,7 @@ tuple_strategy!(S0/T0/0, S1/T1/1, S2/T2/2, S3/T3/3, S4/T4/4, S5/T5/5);
 pub mod collection {
     use super::*;
 
-    /// Element count for [`vec`]: an exact size or a half-open range.
+    /// Element count for [`vec()`]: an exact size or a half-open range.
     #[derive(Copy, Clone, Debug)]
     pub struct SizeRange {
         pub(crate) min: usize,
@@ -514,7 +514,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

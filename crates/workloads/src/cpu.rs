@@ -5,12 +5,25 @@
 //! methodology ("we use a single thread to simplify time breakdown"); the
 //! multi-threaded mode is the Table 3 baseline.
 
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use unizk_fri::{kernel_totals, reset_kernel_timers, KernelClass};
 use unizk_plonk::Proof;
 
 use crate::apps::{App, Scale};
+
+/// Kernel timers and the parallelism override are process-global, so two
+/// concurrent instrumented runs would corrupt each other's measurements
+/// (a real hazard under `cargo test`'s default parallelism). Every
+/// [`run_circuit`] serializes on this lock.
+static MEASUREMENT: Mutex<()> = Mutex::new(());
+
+/// Takes the process-wide measurement lock (recovering from a poisoned
+/// lock — a panicked run leaves no state worth protecting).
+pub fn measurement_lock() -> MutexGuard<'static, ()> {
+    MEASUREMENT.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The result of one instrumented CPU proving run.
 #[derive(Clone, Debug)]
@@ -64,6 +77,7 @@ pub fn run_circuit(
     inputs: &[unizk_field::Goldilocks],
     threads: usize,
 ) -> CpuRun {
+    let _measurement = measurement_lock();
     unizk_field::set_parallelism(threads);
     reset_kernel_timers();
     let start = Instant::now();

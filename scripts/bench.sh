@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory baseline and writes BENCH_PROVER.json /
+# BENCH_SIM.json at the repo root (or at $1 if given).
+#
+# The binary self-checks the two acceptance invariants: the five kernel
+# classes must cover >= 95% of the measured prove time, and repeated
+# simulator runs must be cycle-identical. See EXPERIMENTS.md for the
+# artifact schema and how to compare runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-.}"
+
+echo "== build (release, offline) =="
+cargo build --release --offline -p unizk-bench --bin baseline
+
+echo "== baseline =="
+./target/release/baseline --out-dir "$OUT_DIR"
+
+echo "OK: wrote $OUT_DIR/BENCH_PROVER.json and $OUT_DIR/BENCH_SIM.json"

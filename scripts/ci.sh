@@ -18,4 +18,7 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --all-targets --offline -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps --offline (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "==> OK: tier-1 gate passed"
