@@ -6,13 +6,24 @@
 //! Run with: `cargo run --release -p unizk-bench --bin ablation`
 
 use unizk_bench::render::table;
-use unizk_core::compiler::{compile_plonky2, Plonky2Instance};
-use unizk_core::kernels::{Kernel, KernelClassTag, Layout, NttVariant};
+use unizk_core::compiler::Plonky2Instance;
+use unizk_core::kernels::{Kernel, Layout, NttVariant};
 use unizk_core::mapping::map_kernel;
-use unizk_core::{ChipConfig, Simulator};
+use unizk_core::ChipConfig;
+use unizk_explore::{run_sweep, SweepOptions, SweepSpec};
+use unizk_workloads::{App, Scale};
+
+/// Runs one single-axis ablation sweep through the exploration engine
+/// (serial, uncached — these grids are a handful of points each).
+fn sweep(spec: SweepSpec) -> unizk_explore::SweepResult {
+    run_sweep(&spec, &SweepOptions::default()).unwrap_or_else(|e| panic!("ablation sweep: {e}"))
+}
 
 fn main() {
     let rows = 1 << 14;
+    // Ablations 2 and 4 simulate Fibonacci-shaped Plonky2 instances
+    // (135 wires) at 2^14 rows = two bits below paper scale.
+    let scale = Scale::Shrunk(App::Fibonacci.full_log_rows() - 14);
 
     // 1. NTT pipeline size: larger fixed pipelines need fewer decomposed
     //    dimensions (fewer passes) but more register space per PE; the
@@ -47,18 +58,23 @@ fn main() {
     // 2. Transpose buffer tile b: bigger tiles make index-major NTT
     //    accesses longer runs (better DRAM efficiency) at b² buffer cost.
     println!("Ablation 2: transpose buffer tile size (index-major NTT)\n");
-    let mut cells = Vec::new();
-    for b in [4usize, 8, 16, 32] {
-        let mut chip = ChipConfig::default_chip();
-        chip.transpose_b = b;
-        let graph = compile_plonky2(&Plonky2Instance::new(rows, 135));
-        let report = Simulator::new(chip).run(&graph);
-        cells.push(vec![
-            format!("{b}x{b}"),
-            format!("{}", report.class(KernelClassTag::Ntt).cycles),
-            format!("{} B", b * b * 8),
-        ]);
-    }
+    let transpose = sweep(
+        SweepSpec::new("ablation-transpose")
+            .transpose_b([4, 8, 16, 32])
+            .workload(App::Fibonacci, scale),
+    );
+    let cells: Vec<Vec<String>> = transpose
+        .points
+        .iter()
+        .map(|p| {
+            let b = p.chip.transpose_b;
+            vec![
+                format!("{b}x{b}"),
+                format!("{}", p.class_cycles("NTT").unwrap()),
+                format!("{} B", b * b * 8),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         table(&["tile", "NTT cycles", "buffer capacity"], &cells)
@@ -87,21 +103,31 @@ fn main() {
     //    committed partial-product polynomials but a higher constraint
     //    degree (and therefore a larger LDE blowup requirement).
     println!("Ablation 4: permutation-argument chunk size (135 wires)\n");
-    let mut cells = Vec::new();
-    for chunk in [3usize, 7, 15] {
-        let mut inst = Plonky2Instance::new(rows, 135);
-        inst.chunk_size = chunk;
-        let perm_polys = inst.num_chunks() * inst.num_challenges;
-        let degree = chunk + 1;
-        let blowup_needed = degree.next_power_of_two();
-        let report = Simulator::new(ChipConfig::default_chip()).run(&compile_plonky2(&inst));
-        cells.push(vec![
-            format!("{chunk}"),
-            format!("{perm_polys}"),
-            format!("{degree} (blowup ≥ {blowup_needed})"),
-            format!("{}", report.total_cycles),
-        ]);
-    }
+    let chunks = sweep(
+        [3usize, 7, 15]
+            .into_iter()
+            .fold(SweepSpec::new("ablation-chunk"), |s, chunk| {
+                s.workload_with_chunk(App::Fibonacci, scale, chunk)
+            }),
+    );
+    let cells: Vec<Vec<String>> = chunks
+        .points
+        .iter()
+        .map(|p| {
+            let chunk = p.workload.chunk_size.unwrap();
+            let mut inst = Plonky2Instance::new(rows, 135);
+            inst.chunk_size = chunk;
+            let perm_polys = inst.num_chunks() * inst.num_challenges;
+            let degree = chunk + 1;
+            let blowup_needed = degree.next_power_of_two();
+            vec![
+                format!("{chunk}"),
+                format!("{perm_polys}"),
+                format!("{degree} (blowup ≥ {blowup_needed})"),
+                format!("{}", p.total_cycles),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         table(

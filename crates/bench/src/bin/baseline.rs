@@ -21,6 +21,7 @@ use unizk_core::sim::SimReport;
 use unizk_core::{ChipConfig, Simulator};
 use unizk_fri::{kernel_totals_from, KernelClass};
 use unizk_stark::{prove, verify, Air, FibonacciAir, StarkConfig};
+use unizk_testkit::json::access::{arr_field, obj_field, str_field, u64_field};
 use unizk_testkit::json::{parse, Json, ToJson};
 use unizk_testkit::trace;
 
@@ -287,45 +288,6 @@ fn compare(old_path: &str, new_path: &str) {
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
     parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
-}
-
-fn obj_field(v: &Json, key: &str, path: &str) -> Vec<(String, Json)> {
-    match field(v, key, path) {
-        Json::Obj(pairs) => pairs.clone(),
-        other => panic!("{path}: {key:?} is not an object: {other}"),
-    }
-}
-
-fn arr_field(v: &Json, key: &str, path: &str) -> Vec<Json> {
-    match field(v, key, path) {
-        Json::Arr(items) => items.clone(),
-        other => panic!("{path}: {key:?} is not an array: {other}"),
-    }
-}
-
-fn str_field(v: &Json, key: &str, path: &str) -> String {
-    match field(v, key, path) {
-        Json::Str(s) => s.clone(),
-        other => panic!("{path}: {key:?} is not a string: {other}"),
-    }
-}
-
-fn u64_field(v: &Json, key: &str, path: &str) -> u64 {
-    match field(v, key, path) {
-        Json::UInt(n) => *n,
-        other => panic!("{path}: {key:?} is not a u64: {other}"),
-    }
-}
-
-fn field<'a>(v: &'a Json, key: &str, path: &str) -> &'a Json {
-    let Json::Obj(pairs) = v else {
-        panic!("{path}: expected an object");
-    };
-    &pairs
-        .iter()
-        .find(|(k, _)| k == key)
-        .unwrap_or_else(|| panic!("{path}: missing field {key:?}"))
-        .1
 }
 
 fn delta(old: u64, new: u64) -> String {

@@ -61,6 +61,48 @@ impl ChipConfig {
         self
     }
 
+    /// Checks the configuration for values the mapping layer and VSA
+    /// models cannot handle, naming the offending axis in the error.
+    ///
+    /// Called by [`Simulator::new`](crate::sim::Simulator::new) and by the
+    /// explore crate's sweep-point construction, so an invalid design
+    /// point fails with `chip.scratchpad_bytes: must be a nonzero power of
+    /// two` instead of a deep panic inside a kernel model (e.g. the vector
+    /// unit's zero-lane assertion).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_vsas == 0 {
+            return Err("chip.num_vsas: need at least one VSA".into());
+        }
+        if self.vsa_dim == 0 {
+            return Err("chip.vsa_dim: need at least one PE row/vector lane".into());
+        }
+        if !self.scratchpad_bytes.is_power_of_two() {
+            return Err(format!(
+                "chip.scratchpad_bytes: must be a nonzero power of two, got {}",
+                self.scratchpad_bytes
+            ));
+        }
+        if self.ntt_pipeline_log2 == 0 || self.ntt_pipeline_log2 > 16 {
+            return Err(format!(
+                "chip.ntt_pipeline_log2: must be in 1..=16 (pipeline size 2..=65536), got {}",
+                self.ntt_pipeline_log2
+            ));
+        }
+        if !self.transpose_b.is_power_of_two() {
+            return Err(format!(
+                "chip.transpose_b: must be a nonzero power of two, got {}",
+                self.transpose_b
+            ));
+        }
+        if !(self.freq_ghz.is_finite() && self.freq_ghz > 0.0) {
+            return Err(format!(
+                "chip.freq_ghz: must be finite and positive, got {}",
+                self.freq_ghz
+            ));
+        }
+        self.hbm.validate()
+    }
+
     /// PEs per VSA.
     pub fn pes_per_vsa(&self) -> usize {
         self.vsa_dim * self.vsa_dim
@@ -119,6 +161,50 @@ mod tests {
         assert_eq!(c.num_vsas, 16);
         assert_eq!(c.scratchpad_bytes, 4 << 20);
         assert!((c.hbm.peak_gb_per_s() - 512.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_sweep_points() {
+        assert_eq!(ChipConfig::default_chip().validate(), Ok(()));
+        assert_eq!(
+            ChipConfig::default_chip()
+                .with_vsas(64)
+                .with_scratchpad_mb(1)
+                .with_bandwidth_scale(1, 4)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_names_the_bad_axis() {
+        let mut c = ChipConfig::default_chip();
+        c.num_vsas = 0;
+        assert!(c.validate().unwrap_err().contains("chip.num_vsas"));
+
+        let mut c = ChipConfig::default_chip();
+        c.vsa_dim = 0;
+        assert!(c.validate().unwrap_err().contains("chip.vsa_dim"));
+
+        let mut c = ChipConfig::default_chip();
+        c.scratchpad_bytes = 3 << 20;
+        assert!(c.validate().unwrap_err().contains("chip.scratchpad_bytes"));
+
+        let mut c = ChipConfig::default_chip();
+        c.ntt_pipeline_log2 = 0;
+        assert!(c.validate().unwrap_err().contains("chip.ntt_pipeline_log2"));
+
+        let mut c = ChipConfig::default_chip();
+        c.transpose_b = 12;
+        assert!(c.validate().unwrap_err().contains("chip.transpose_b"));
+
+        let mut c = ChipConfig::default_chip();
+        c.freq_ghz = 0.0;
+        assert!(c.validate().unwrap_err().contains("chip.freq_ghz"));
+
+        let mut c = ChipConfig::default_chip();
+        c.hbm.channels = 0;
+        assert!(c.validate().unwrap_err().contains("hbm.channels"));
     }
 
     #[test]

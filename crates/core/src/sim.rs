@@ -166,7 +166,15 @@ pub struct Simulator {
 
 impl Simulator {
     /// A simulator for a chip configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the named axis if the configuration fails
+    /// [`ChipConfig::validate`] — a zero-lane or non-power-of-two design
+    /// point is rejected here rather than deep inside a kernel model.
     pub fn new(chip: ChipConfig) -> Self {
+        chip.validate()
+            .unwrap_or_else(|e| panic!("invalid ChipConfig: {e}"));
         let memory = MemoryModel::new(chip.hbm.clone());
         Self { chip, memory }
     }
@@ -366,6 +374,14 @@ mod tests {
             .find(|t| t.label.contains("Wires commitment: Merkle"))
             .expect("merkle node");
         assert!(!merkle.memory_bound(), "{merkle:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chip.scratchpad_bytes")]
+    fn invalid_config_fails_at_construction_with_named_axis() {
+        let mut chip = ChipConfig::default_chip();
+        chip.scratchpad_bytes = 3 << 20;
+        let _ = Simulator::new(chip);
     }
 
     #[test]

@@ -65,6 +65,34 @@ impl HbmConfig {
         Self { channels, ..base }
     }
 
+    /// Checks the geometry for values the channel model cannot handle,
+    /// naming the offending field in the error (see
+    /// `ChipConfig::validate` in `unizk-core` for the caller side).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("hbm.channels: need at least one pseudo-channel".into());
+        }
+        if self.banks_per_channel == 0 {
+            return Err("hbm.banks_per_channel: need at least one bank".into());
+        }
+        if !self.burst_bytes.is_power_of_two() {
+            return Err(format!(
+                "hbm.burst_bytes: must be a nonzero power of two, got {}",
+                self.burst_bytes
+            ));
+        }
+        if self.row_bytes == 0 || !self.row_bytes.is_multiple_of(self.burst_bytes) {
+            return Err(format!(
+                "hbm.row_bytes: must be a nonzero multiple of burst_bytes ({}), got {}",
+                self.burst_bytes, self.row_bytes
+            ));
+        }
+        if self.burst_cycles == 0 {
+            return Err("hbm.burst_cycles: must be nonzero".into());
+        }
+        Ok(())
+    }
+
     /// Peak bandwidth in bytes per core cycle.
     pub fn peak_bytes_per_cycle(&self) -> f64 {
         self.channels as f64 * self.burst_bytes as f64 / self.burst_cycles as f64
@@ -111,6 +139,31 @@ mod tests {
     #[should_panic(expected = "too low")]
     fn zero_bandwidth_rejected() {
         let _ = HbmConfig::scaled_bandwidth(1, 64);
+    }
+
+    #[test]
+    fn validate_accepts_stock_configs() {
+        assert_eq!(HbmConfig::hbm2e_two_stacks().validate(), Ok(()));
+        assert_eq!(HbmConfig::scaled_bandwidth(1, 4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_the_bad_field() {
+        let mut c = HbmConfig::hbm2e_two_stacks();
+        c.channels = 0;
+        assert!(c.validate().unwrap_err().contains("hbm.channels"));
+
+        let mut c = HbmConfig::hbm2e_two_stacks();
+        c.burst_bytes = 48;
+        assert!(c.validate().unwrap_err().contains("hbm.burst_bytes"));
+
+        let mut c = HbmConfig::hbm2e_two_stacks();
+        c.row_bytes = 96;
+        assert!(c.validate().unwrap_err().contains("hbm.row_bytes"));
+
+        let mut c = HbmConfig::hbm2e_two_stacks();
+        c.burst_cycles = 0;
+        assert!(c.validate().unwrap_err().contains("hbm.burst_cycles"));
     }
 
     #[test]

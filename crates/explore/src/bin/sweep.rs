@@ -1,0 +1,130 @@
+//! Design-space sweep driver.
+//!
+//! ```text
+//! cargo run --release -p unizk-explore --bin sweep -- \
+//!     --spec crates/explore/specs/smoke.json --jobs 4
+//! ```
+//!
+//! Flags:
+//!
+//! - `--spec FILE` (required) — JSON sweep specification (format in
+//!   EXPERIMENTS.md).
+//! - `--jobs N` — worker threads; `0` (default) uses all cores.
+//! - `--cache-dir DIR` — point cache location (default
+//!   `target/sweep-cache`). Completed points are always reused from here
+//!   unless `--fresh` is given.
+//! - `--resume` — explicit no-op alias for the default reuse behavior,
+//!   for scripts that want to state their intent.
+//! - `--fresh` — ignore existing cache entries (recompute everything;
+//!   still refills the cache).
+//! - `--out FILE` — JSON artifact path (default `SWEEP.json`).
+//! - `--markdown FILE` — also write the markdown report here.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use unizk_explore::{run_sweep, SweepOptions, SweepSpec};
+
+struct Args {
+    spec: PathBuf,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    fresh: bool,
+    out: PathBuf,
+    markdown: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = None;
+    let mut jobs = 0usize;
+    let mut cache_dir = Some(PathBuf::from("target/sweep-cache"));
+    let mut fresh = false;
+    let mut out = PathBuf::from("SWEEP.json");
+    let mut markdown = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => spec = Some(PathBuf::from(value("--spec")?)),
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-cache" => cache_dir = None,
+            "--resume" => fresh = false,
+            "--fresh" => fresh = true,
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--markdown" => markdown = Some(PathBuf::from(value("--markdown")?)),
+            "--help" | "-h" => {
+                return Err("usage: sweep --spec FILE [--jobs N] [--cache-dir DIR] \
+                            [--resume | --fresh] [--no-cache] [--out FILE] [--markdown FILE]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(Args {
+        spec: spec.ok_or("--spec FILE is required (try --help)")?,
+        jobs,
+        cache_dir,
+        fresh,
+        out,
+        markdown,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read {}: {e}", args.spec.display()))?;
+    let spec = SweepSpec::from_json_text(&text)?;
+    let opts = SweepOptions {
+        jobs: args.jobs,
+        cache_dir: args.cache_dir,
+        fresh: args.fresh,
+    };
+
+    eprintln!(
+        "sweep {:?}: {} points, jobs={}",
+        spec.name,
+        spec.num_points(),
+        if args.jobs == 0 { "auto".to_string() } else { args.jobs.to_string() }
+    );
+    let result = run_sweep(&spec, &opts)?;
+
+    let artifact = result.to_json().to_string_pretty() + "\n";
+    std::fs::write(&args.out, &artifact)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    if let Some(md_path) = &args.markdown {
+        std::fs::write(md_path, result.markdown())
+            .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
+    }
+
+    println!(
+        "cache hits: {}/{}",
+        result.cache_hits,
+        result.points.len()
+    );
+    println!(
+        "pareto frontier: {} of {} points -> {}",
+        result.pareto.len(),
+        result.points.len(),
+        args.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

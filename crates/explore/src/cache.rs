@@ -1,0 +1,138 @@
+//! On-disk memoization of completed sweep points.
+//!
+//! Each point lands in its own file, `point-<key>.json`, where `<key>` is
+//! the FNV-1a 64 hash of the point's canonical (config, workload, schema
+//! version) serialization — see [`crate::point::SweepPoint::canonical_key`].
+//! One file per point keeps concurrent sweeps trivially safe: writers
+//! write a uniquely-named temp file and `rename` it into place (atomic on
+//! POSIX), and the worst race outcome is both writers storing the same
+//! deterministic bytes.
+//!
+//! Reads are defensive: a missing file, unparseable JSON, schema
+//! mismatch, or key mismatch is a *miss*, never an error — a stale or
+//! corrupted cache degrades to recomputation.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use unizk_testkit::json::{parse, Json};
+
+use crate::point::{PointResult, POINT_SCHEMA};
+
+/// Distinguishes temp files from concurrent writers in the same process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A point-result cache rooted at one directory.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (creating if needed) a cache directory.
+    pub fn new(dir: &Path) -> Result<Cache, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cache: cannot create {}: {e}", dir.display()))?;
+        Ok(Cache { dir: dir.to_path_buf() })
+    }
+
+    /// The file path a key maps to.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("point-{key}.json"))
+    }
+
+    /// Looks a key up. Any defect in the stored entry is a miss.
+    pub fn load(&self, key: &str) -> Option<PointResult> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let v = parse(&text).ok()?;
+        if v.get("schema").and_then(Json::as_str) != Some(POINT_SCHEMA) {
+            return None;
+        }
+        let result = PointResult::from_json(v.get("result")?).ok()?;
+        // The key is part of the result row; a mismatch means the file was
+        // renamed or the entry was written by an incompatible hasher.
+        (result.key == key).then_some(result)
+    }
+
+    /// Stores a result under its own key, atomically.
+    pub fn store(&self, result: &PointResult) -> Result<(), String> {
+        let entry = Json::obj([
+            ("schema", Json::str(POINT_SCHEMA)),
+            ("result", result.to_json()),
+        ]);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+            result.key
+        ));
+        std::fs::write(&tmp, entry.to_string_pretty() + "\n")
+            .map_err(|e| format!("cache: cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, self.path_for(&result.key))
+            .map_err(|e| format!("cache: cannot publish {}: {e}", result.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::SweepPoint;
+    use unizk_core::ChipConfig;
+    use unizk_workloads::App;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "unizk-explore-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_result() -> PointResult {
+        SweepPoint {
+            chip: ChipConfig::default_chip(),
+            app: App::Fibonacci,
+            log_rows: 9,
+            chunk_size: None,
+        }
+        .run()
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("round");
+        let cache = Cache::new(&dir).unwrap();
+        let r = small_result();
+        assert!(cache.load(&r.key).is_none(), "cold cache misses");
+        cache.store(&r).unwrap();
+        assert_eq!(cache.load(&r.key), Some(r));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_and_mismatch_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = Cache::new(&dir).unwrap();
+        let r = small_result();
+        cache.store(&r).unwrap();
+
+        // Truncated file: miss.
+        std::fs::write(cache.path_for(&r.key), "{\"schema\":").unwrap();
+        assert!(cache.load(&r.key).is_none());
+
+        // Valid entry filed under the wrong key: miss.
+        cache.store(&r).unwrap();
+        std::fs::rename(cache.path_for(&r.key), cache.path_for("0000000000000000")).unwrap();
+        assert!(cache.load("0000000000000000").is_none());
+
+        // Wrong schema version: miss.
+        let bogus = Json::obj([
+            ("schema", Json::str("unizk-explore-point/999")),
+            ("result", r.to_json()),
+        ]);
+        std::fs::write(cache.path_for(&r.key), bogus.to_string()).unwrap();
+        assert!(cache.load(&r.key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,71 @@
+//! Pareto-frontier extraction over (cycles, area, power).
+//!
+//! The paper's evaluation picks one chip point; SZKP-style design-space
+//! exploration instead asks which points are *non-dominated*: no other
+//! point is at least as good on every objective and strictly better on
+//! one. All objectives are minimized.
+
+/// Indices of the non-dominated points of `costs`, in ascending index
+/// order.
+///
+/// Exact ties (identical cost triples) keep only the lowest index, so the
+/// *set of cost triples* returned is invariant to input permutation — the
+/// property the `prop!` suite pins down. Costs must be finite (no NaN);
+/// simulator outputs always are.
+pub fn frontier(costs: &[[f64; 3]]) -> Vec<usize> {
+    let mut out = Vec::new();
+    'candidate: for (i, a) in costs.iter().enumerate() {
+        for (j, b) in costs.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if dominates(b, a) {
+                continue 'candidate;
+            }
+            if b == a && j < i {
+                continue 'candidate; // exact duplicate: keep the first
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// Whether `b` dominates `a`: `b` is no worse on every objective and
+/// strictly better on at least one.
+pub fn dominates(b: &[f64; 3], a: &[f64; 3]) -> bool {
+    b.iter().zip(a).all(|(x, y)| x <= y) && b.iter().zip(a).any(|(x, y)| x < y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_the_frontier() {
+        assert_eq!(frontier(&[[1.0, 1.0, 1.0]]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_drop_out() {
+        let costs = [
+            [10.0, 5.0, 5.0],  // frontier (cheapest area+power among fast)
+            [20.0, 5.0, 5.0],  // dominated by 0
+            [5.0, 10.0, 10.0], // frontier (fastest)
+            [5.0, 10.0, 20.0], // dominated by 2
+        ];
+        assert_eq!(frontier(&costs), vec![0, 2]);
+    }
+
+    #[test]
+    fn exact_duplicates_keep_first_index() {
+        let costs = [[1.0, 2.0, 3.0], [1.0, 2.0, 3.0]];
+        assert_eq!(frontier(&costs), vec![0]);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let costs = [[1.0, 3.0, 2.0], [2.0, 1.0, 3.0], [3.0, 2.0, 1.0]];
+        assert_eq!(frontier(&costs), vec![0, 1, 2]);
+    }
+}

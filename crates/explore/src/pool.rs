@@ -1,0 +1,132 @@
+//! A self-scheduling (work-stealing) worker pool for sweep points.
+//!
+//! Sweep points have wildly unequal costs — a 2^10-row Starky point is
+//! hundreds of times cheaper than a 2^16-row Plonky2 point — so the
+//! static chunking of `unizk_field::par::parallel_map` would leave
+//! workers idle behind the one that drew the expensive chunk. Here every
+//! worker pulls the next unclaimed index from a shared atomic counter, so
+//! load balances at point granularity.
+//!
+//! Like the `field::par` helpers, workers re-attach the caller's open
+//! [`unizk_testkit::trace`] span path, so per-point spans and counters
+//! aggregate under the sweep's span instead of appearing orphaned.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use unizk_testkit::trace::SpanHandle;
+
+/// Runs `f(index, item)` over all items on up to `jobs` workers,
+/// returning results in input order.
+///
+/// Results are slotted by index, so the output is identical whatever
+/// order workers claim points in — the engine's determinism guarantee
+/// rests on this. `jobs == 0` or `1` runs serially on the calling thread.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all workers join.
+pub fn run_indexed<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.min(n).max(1);
+    if jobs <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let span = SpanHandle::current();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let (slots, results, next, f, span) = (&slots, &results, &next, &f, &span);
+            scope.spawn(move || {
+                let _trace_ctx = span.attach();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("pool slot poisoned")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let out = f(i, item);
+                    *results[i].lock().expect("pool result slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool result slot poisoned")
+                .expect("every slot filled before scope join")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_under_parallelism() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = run_indexed(8, items, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(1, (0u64..64).collect(), |_, x| x * x);
+        let parallel = run_indexed(6, (0u64..64).collect(), |_, x| x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn unbalanced_work_completes() {
+        // One expensive item plus many cheap ones: all must finish.
+        let out = run_indexed(4, (0u64..32).collect(), |_, x| {
+            if x == 0 {
+                (0..200_000u64).sum::<u64>() + x
+            } else {
+                x
+            }
+        });
+        assert_eq!(out[0], (0..200_000u64).sum::<u64>());
+        assert_eq!(out[31], 31);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_indexed(4, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trace_counters_flow_through_workers() {
+        use unizk_testkit::trace;
+        trace::reset();
+        let _ = run_indexed(4, (0..16).collect::<Vec<u32>>(), |_, x| {
+            trace::counter("pool.test_items", 1);
+            x
+        });
+        assert_eq!(trace::snapshot().counter("pool.test_items"), 16);
+    }
+}

@@ -1,0 +1,445 @@
+//! Declarative sweep specifications: the config grid a sweep enumerates.
+//!
+//! A [`SweepSpec`] is the cartesian product of chip axes ([`ChipConfig`]
+//! knobs), a DRAM axis (pseudo-channel count, i.e. bandwidth), and a
+//! workload list (app × scale from `unizk-workloads`, with an optional
+//! permutation-chunk-size override). Specs are built either from the
+//! fluent builder API or parsed from a JSON file (see
+//! `crates/explore/specs/` and EXPERIMENTS.md for the format).
+
+use unizk_core::ChipConfig;
+use unizk_dram::HbmConfig;
+use unizk_testkit::json::{parse, Json};
+use unizk_workloads::{App, Scale};
+
+use crate::point::SweepPoint;
+
+/// Schema identifier embedded in spec files.
+pub const SPEC_SCHEMA: &str = "unizk-explore-spec/1";
+
+/// One workload entry: an application at a scale, optionally overriding
+/// the permutation-argument chunk size (the ablation-4 axis).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The application (fixes the wire width and full-scale rows).
+    pub app: App,
+    /// Run scale ([`Scale::Full`] or shrunk for CI-time grids).
+    pub scale: Scale,
+    /// Optional `Plonky2Instance::chunk_size` override.
+    pub chunk_size: Option<usize>,
+}
+
+/// A declarative sweep over chip, DRAM, and workload axes.
+///
+/// Every chip/DRAM axis defaults to the paper's single default value, so
+/// a spec only names the axes it actually sweeps. Points enumerate in a
+/// fixed nested order (workloads outermost, channels innermost), which
+/// the artifact's point indices and determinism tests rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Human-readable sweep name (echoed into artifacts).
+    pub name: String,
+    /// VSA-count axis (`ChipConfig::num_vsas`).
+    pub num_vsas: Vec<usize>,
+    /// PE-array-dimension axis (`ChipConfig::vsa_dim` — the vector-lane
+    /// count per VSA column group).
+    pub vsa_dim: Vec<usize>,
+    /// Scratchpad-capacity axis in MiB.
+    pub scratchpad_mb: Vec<usize>,
+    /// Transpose-buffer tile axis (`ChipConfig::transpose_b`).
+    pub transpose_b: Vec<usize>,
+    /// Fixed-NTT-pipeline-size axis (`ChipConfig::ntt_pipeline_log2`).
+    pub ntt_pipeline_log2: Vec<usize>,
+    /// HBM pseudo-channel axis (`HbmConfig::channels`; 32 = the paper's
+    /// ~1 TB/s, so 16 = half bandwidth).
+    pub channels: Vec<usize>,
+    /// Workload entries (the outermost axis).
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl SweepSpec {
+    /// A spec with every chip/DRAM axis pinned to the paper's default
+    /// chip and no workloads yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        let chip = ChipConfig::default_chip();
+        Self {
+            name: name.into(),
+            num_vsas: vec![chip.num_vsas],
+            vsa_dim: vec![chip.vsa_dim],
+            scratchpad_mb: vec![chip.scratchpad_bytes >> 20],
+            transpose_b: vec![chip.transpose_b],
+            ntt_pipeline_log2: vec![chip.ntt_pipeline_log2],
+            channels: vec![chip.hbm.channels],
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Sets the VSA-count axis.
+    pub fn num_vsas(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.num_vsas = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the PE-array-dimension (vector lanes) axis.
+    pub fn vsa_dim(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.vsa_dim = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the scratchpad axis in MiB.
+    pub fn scratchpad_mb(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.scratchpad_mb = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the transpose-buffer tile axis.
+    pub fn transpose_b(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.transpose_b = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the NTT-pipeline-size axis.
+    pub fn ntt_pipeline_log2(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.ntt_pipeline_log2 = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the HBM pseudo-channel axis directly.
+    pub fn channels(mut self, axis: impl IntoIterator<Item = usize>) -> Self {
+        self.channels = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the bandwidth axis as `num/den` scales of the paper's 1 TB/s
+    /// (resolved to pseudo-channel counts, the Fig. 10 methodology).
+    pub fn bandwidth_scales(mut self, scales: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.channels = scales
+            .into_iter()
+            .map(|(num, den)| HbmConfig::scaled_bandwidth(num, den).channels)
+            .collect();
+        self
+    }
+
+    /// Appends a workload entry.
+    pub fn workload(mut self, app: App, scale: Scale) -> Self {
+        self.workloads.push(WorkloadSpec { app, scale, chunk_size: None });
+        self
+    }
+
+    /// Appends a workload entry with a permutation-chunk-size override.
+    pub fn workload_with_chunk(mut self, app: App, scale: Scale, chunk_size: usize) -> Self {
+        self.workloads.push(WorkloadSpec { app, scale, chunk_size: Some(chunk_size) });
+        self
+    }
+
+    /// The number of grid points this spec enumerates.
+    pub fn num_points(&self) -> usize {
+        self.workloads.len()
+            * self.num_vsas.len()
+            * self.vsa_dim.len()
+            * self.scratchpad_mb.len()
+            * self.transpose_b.len()
+            * self.ntt_pipeline_log2.len()
+            * self.channels.len()
+    }
+
+    /// Enumerates the full grid in the canonical nested order, validating
+    /// every chip configuration up front so a bad axis value fails with
+    /// its name before any simulation starts.
+    pub fn enumerate(&self) -> Result<Vec<SweepPoint>, String> {
+        if self.workloads.is_empty() {
+            return Err(format!("spec {:?}: no workloads given", self.name));
+        }
+        let mut points = Vec::with_capacity(self.num_points());
+        for w in &self.workloads {
+            for &num_vsas in &self.num_vsas {
+                for &vsa_dim in &self.vsa_dim {
+                    for &mb in &self.scratchpad_mb {
+                        for &transpose_b in &self.transpose_b {
+                            for &pipe in &self.ntt_pipeline_log2 {
+                                for &channels in &self.channels {
+                                    let chip = ChipConfig {
+                                        num_vsas,
+                                        vsa_dim,
+                                        scratchpad_bytes: mb << 20,
+                                        transpose_b,
+                                        ntt_pipeline_log2: pipe,
+                                        freq_ghz: 1.0,
+                                        hbm: HbmConfig {
+                                            channels,
+                                            ..HbmConfig::hbm2e_two_stacks()
+                                        },
+                                    };
+                                    chip.validate().map_err(|e| {
+                                        format!("spec {:?}, point {}: {e}", self.name, points.len())
+                                    })?;
+                                    points.push(SweepPoint {
+                                        chip,
+                                        app: w.app,
+                                        log_rows: w.app.log_rows(w.scale),
+                                        chunk_size: w.chunk_size,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+
+    /// Canonical JSON form (all axes explicit, bandwidth resolved to
+    /// channel counts). Embedded verbatim into sweep artifacts.
+    pub fn to_json(&self) -> Json {
+        let axis = |v: &[usize]| Json::arr(v.iter().map(|&x| Json::from(x)));
+        let workloads = self.workloads.iter().map(|w| {
+            let mut obj = vec![("app".to_string(), Json::str(w.app.id()))];
+            if let Scale::Shrunk(bits) = w.scale {
+                obj.push(("shrink_bits".to_string(), Json::from(bits)));
+            }
+            if let Some(c) = w.chunk_size {
+                obj.push(("chunk_size".to_string(), Json::from(c)));
+            }
+            Json::Obj(obj)
+        });
+        Json::obj([
+            ("schema", Json::str(SPEC_SCHEMA)),
+            ("name", Json::str(self.name.clone())),
+            (
+                "chip",
+                Json::obj([
+                    ("num_vsas", axis(&self.num_vsas)),
+                    ("vsa_dim", axis(&self.vsa_dim)),
+                    ("scratchpad_mb", axis(&self.scratchpad_mb)),
+                    ("transpose_b", axis(&self.transpose_b)),
+                    ("ntt_pipeline_log2", axis(&self.ntt_pipeline_log2)),
+                ]),
+            ),
+            ("dram", Json::obj([("channels", axis(&self.channels))])),
+            ("workloads", Json::arr(workloads)),
+        ])
+    }
+
+    /// Parses a spec from its JSON form. Unknown keys are rejected so a
+    /// typoed axis name fails loudly instead of silently sweeping nothing.
+    pub fn from_json(v: &Json) -> Result<SweepSpec, String> {
+        let pairs = v.as_obj().ok_or("spec: expected a JSON object")?;
+        let mut spec = SweepSpec::new("");
+        for (key, val) in pairs {
+            match key.as_str() {
+                "schema" => {
+                    let s = val.as_str().ok_or("spec: schema must be a string")?;
+                    if s != SPEC_SCHEMA {
+                        return Err(format!("spec: unknown schema {s:?} (want {SPEC_SCHEMA:?})"));
+                    }
+                }
+                "name" => {
+                    spec.name = val.as_str().ok_or("spec: name must be a string")?.to_string();
+                }
+                "chip" => parse_chip_axes(val, &mut spec)?,
+                "dram" => parse_dram_axes(val, &mut spec)?,
+                "workloads" => {
+                    let items = val.as_arr().ok_or("spec: workloads must be an array")?;
+                    for item in items {
+                        spec.workloads.push(parse_workload(item)?);
+                    }
+                }
+                other => return Err(format!("spec: unknown key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text (the `--spec` file contents).
+    pub fn from_json_text(text: &str) -> Result<SweepSpec, String> {
+        let v = parse(text).map_err(|e| format!("spec: {e}"))?;
+        SweepSpec::from_json(&v)
+    }
+}
+
+fn usize_axis(val: &Json, what: &str) -> Result<Vec<usize>, String> {
+    let items = val.as_arr().ok_or_else(|| format!("spec: {what} must be an array"))?;
+    if items.is_empty() {
+        return Err(format!("spec: {what} axis is empty"));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("spec: {what} entries must be unsigned integers"))
+        })
+        .collect()
+}
+
+fn parse_chip_axes(val: &Json, spec: &mut SweepSpec) -> Result<(), String> {
+    let pairs = val.as_obj().ok_or("spec: chip must be an object")?;
+    for (key, axis) in pairs {
+        match key.as_str() {
+            "num_vsas" => spec.num_vsas = usize_axis(axis, "chip.num_vsas")?,
+            "vsa_dim" => spec.vsa_dim = usize_axis(axis, "chip.vsa_dim")?,
+            "scratchpad_mb" => spec.scratchpad_mb = usize_axis(axis, "chip.scratchpad_mb")?,
+            "transpose_b" => spec.transpose_b = usize_axis(axis, "chip.transpose_b")?,
+            "ntt_pipeline_log2" => {
+                spec.ntt_pipeline_log2 = usize_axis(axis, "chip.ntt_pipeline_log2")?
+            }
+            other => return Err(format!("spec: unknown chip axis {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_dram_axes(val: &Json, spec: &mut SweepSpec) -> Result<(), String> {
+    let pairs = val.as_obj().ok_or("spec: dram must be an object")?;
+    for (key, axis) in pairs {
+        match key.as_str() {
+            "channels" => spec.channels = usize_axis(axis, "dram.channels")?,
+            "bandwidth_scale" => {
+                let items = axis
+                    .as_arr()
+                    .ok_or("spec: dram.bandwidth_scale must be an array of [num, den] pairs")?;
+                let mut channels = Vec::with_capacity(items.len());
+                for item in items {
+                    let pair = item
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("spec: dram.bandwidth_scale entries must be [num, den] pairs")?;
+                    let num = pair[0].as_u64().ok_or("spec: bandwidth numerator")? as usize;
+                    let den = pair[1].as_u64().ok_or("spec: bandwidth denominator")? as usize;
+                    if den == 0 {
+                        return Err("spec: bandwidth denominator must be nonzero".into());
+                    }
+                    let base = HbmConfig::hbm2e_two_stacks();
+                    let scaled = (base.channels * num) / den;
+                    if scaled == 0 {
+                        return Err(format!(
+                            "spec: bandwidth scale {num}/{den} leaves zero channels"
+                        ));
+                    }
+                    channels.push(scaled);
+                }
+                if channels.is_empty() {
+                    return Err("spec: dram.bandwidth_scale axis is empty".into());
+                }
+                spec.channels = channels;
+            }
+            other => return Err(format!("spec: unknown dram axis {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_workload(item: &Json) -> Result<WorkloadSpec, String> {
+    let pairs = item.as_obj().ok_or("spec: workload entries must be objects")?;
+    let mut app = None;
+    let mut scale = Scale::Full;
+    let mut chunk_size = None;
+    for (key, val) in pairs {
+        match key.as_str() {
+            "app" => {
+                let id = val.as_str().ok_or("spec: workload app must be a string")?;
+                app = Some(App::from_id(id).ok_or_else(|| {
+                    let known: Vec<&str> = App::ALL.iter().map(|a| a.id()).collect();
+                    format!("spec: unknown app {id:?} (known: {})", known.join(", "))
+                })?);
+            }
+            "shrink_bits" => {
+                let bits = val.as_u64().ok_or("spec: shrink_bits must be an unsigned integer")?;
+                scale = Scale::Shrunk(bits as usize);
+            }
+            "chunk_size" => {
+                let c = val.as_u64().ok_or("spec: chunk_size must be an unsigned integer")?;
+                if c == 0 {
+                    return Err("spec: chunk_size must be nonzero".into());
+                }
+                chunk_size = Some(c as usize);
+            }
+            other => return Err(format!("spec: unknown workload key {other:?}")),
+        }
+    }
+    Ok(WorkloadSpec {
+        app: app.ok_or("spec: workload entry missing \"app\"")?,
+        scale,
+        chunk_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> SweepSpec {
+        SweepSpec::new("demo")
+            .num_vsas([8, 32])
+            .scratchpad_mb([4, 8])
+            .bandwidth_scales([(1, 2), (1, 1)])
+            .workload(App::Fibonacci, Scale::Shrunk(6))
+            .workload_with_chunk(App::Fibonacci, Scale::Shrunk(6), 3)
+    }
+
+    #[test]
+    fn builder_counts_points() {
+        let spec = demo_spec();
+        assert_eq!(spec.num_points(), 2 * 2 * 2 * 2);
+        assert_eq!(spec.enumerate().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn enumeration_order_is_stable() {
+        let points = demo_spec().enumerate().unwrap();
+        // Workloads outermost: first half plain, second half chunk=3.
+        assert_eq!(points[0].chunk_size, None);
+        assert_eq!(points[8].chunk_size, Some(3));
+        // Channels innermost: alternates 16, 32.
+        assert_eq!(points[0].chip.hbm.channels, 16);
+        assert_eq!(points[1].chip.hbm.channels, 32);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = demo_spec();
+        let text = spec.to_json().to_string_pretty();
+        let back = SweepSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn bandwidth_scales_resolve_to_channels() {
+        let spec = SweepSpec::from_json_text(
+            r#"{"schema":"unizk-explore-spec/1","name":"bw",
+                "dram":{"bandwidth_scale":[[1,4],[2,1]]},
+                "workloads":[{"app":"fibonacci","shrink_bits":6}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.channels, vec![8, 64]);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        for bad in [
+            r#"{"name":"x","chip":{"num_vsa":[1]},"workloads":[{"app":"mvm"}]}"#,
+            r#"{"name":"x","typo":1,"workloads":[{"app":"mvm"}]}"#,
+            r#"{"name":"x","workloads":[{"app":"mvm","rows":12}]}"#,
+            r#"{"name":"x","workloads":[{"app":"nope"}]}"#,
+        ] {
+            assert!(SweepSpec::from_json_text(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_workloads_fail_at_enumeration() {
+        let err = SweepSpec::new("empty").enumerate().unwrap_err();
+        assert!(err.contains("no workloads"));
+    }
+
+    #[test]
+    fn invalid_axis_fails_with_named_axis() {
+        let err = SweepSpec::new("bad")
+            .scratchpad_mb([3])
+            .workload(App::Fibonacci, Scale::Shrunk(6))
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("chip.scratchpad_bytes"), "{err}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the Pareto-frontier extractor: for any cost set,
+//! the frontier contains exactly the non-dominated points, and the
+//! *selected cost triples* do not depend on input order.
+
+use unizk_explore::pareto::{dominates, frontier};
+use unizk_testkit::prop::prelude::*;
+
+/// Small integer coordinates force plenty of domination and exact ties.
+fn arb_costs() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    prop::collection::vec((0u64..6, 0u64..6, 0u64..6), 1..24)
+        .prop_map(|v| v.into_iter().map(|(a, b, c)| [a as f64, b as f64, c as f64]).collect())
+}
+
+prop! {
+    #![cases(128)]
+
+    fn frontier_is_exactly_the_non_dominated_set(costs in arb_costs()) {
+        let front = frontier(&costs);
+
+        // Every selected point is non-dominated.
+        for &i in &front {
+            for (j, b) in costs.iter().enumerate() {
+                prop_assert!(
+                    j == i || !dominates(b, &costs[i]),
+                    "frontier point {i} is dominated by {j}"
+                );
+            }
+        }
+
+        // Every omitted point is dominated, or an exact duplicate of an
+        // earlier (selected) point.
+        for (i, a) in costs.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            let excluded_for_cause = costs
+                .iter()
+                .enumerate()
+                .any(|(j, b)| (j != i && dominates(b, a)) || (j < i && b == a));
+            prop_assert!(excluded_for_cause, "point {i} omitted without a dominator");
+        }
+
+        // Indices come back ascending and unique.
+        for w in front.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    fn selected_costs_are_order_invariant(costs in arb_costs(), rot in 0usize..24) {
+        // Rotate + reverse is enough to scramble every relative order.
+        let rot = rot % costs.len();
+        let mut shuffled: Vec<[f64; 3]> = costs[rot..]
+            .iter()
+            .chain(&costs[..rot])
+            .copied()
+            .collect();
+        shuffled.reverse();
+
+        let sorted_selection = |cs: &[[f64; 3]]| {
+            let mut picked: Vec<[u64; 3]> = frontier(cs)
+                .into_iter()
+                .map(|i| [cs[i][0] as u64, cs[i][1] as u64, cs[i][2] as u64])
+                .collect();
+            picked.sort_unstable();
+            picked.dedup();
+            picked
+        };
+        prop_assert_eq!(sorted_selection(&costs), sorted_selection(&shuffled));
+    }
+}

@@ -64,6 +64,73 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
+    /// Looks up a key in an object (`None` for missing keys and
+    /// non-objects).
+    ///
+    /// ```
+    /// use unizk_testkit::json::Json;
+    /// let v = Json::obj([("a", Json::from(1u64))]);
+    /// assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+    /// assert_eq!(v.get("missing"), None);
+    /// ```
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The exact integer payload, if this is a [`Json::UInt`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` ([`Json::Num`] or [`Json::UInt`] —
+    /// the writer emits integral floats like `3.0` as `3`, which the
+    /// parser reads back as `UInt`, so float fields must accept both).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is a [`Json::Arr`].
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is a [`Json::Obj`].
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Pretty-prints with two-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -224,6 +291,67 @@ impl<T: ToJson> ToJson for Vec<T> {
 impl<T: ToJson> ToJson for [T] {
     fn to_json(&self) -> Json {
         Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Panicking object-field accessors for harness binaries that read
+/// artifacts they themselves emitted: a missing or mistyped field is a
+/// schema violation worth a loud failure, and `ctx` (typically the file
+/// path) names the offending artifact in the panic message.
+///
+/// Library code that must tolerate malformed input (e.g. the explore
+/// crate's sweep cache, which treats corruption as a cache miss) should
+/// use the `Option`-returning [`Json::get`] / `as_*` accessors instead.
+pub mod access {
+    use super::Json;
+
+    /// The value at `key`, panicking with `ctx` if absent.
+    pub fn field<'a>(v: &'a Json, key: &str, ctx: &str) -> &'a Json {
+        if !matches!(v, Json::Obj(_)) {
+            panic!("{ctx}: expected an object");
+        }
+        v.get(key)
+            .unwrap_or_else(|| panic!("{ctx}: missing field {key:?}"))
+    }
+
+    /// The object entries at `key`.
+    pub fn obj_field(v: &Json, key: &str, ctx: &str) -> Vec<(String, Json)> {
+        match field(v, key, ctx) {
+            Json::Obj(pairs) => pairs.clone(),
+            other => panic!("{ctx}: {key:?} is not an object: {other}"),
+        }
+    }
+
+    /// The array items at `key`.
+    pub fn arr_field(v: &Json, key: &str, ctx: &str) -> Vec<Json> {
+        match field(v, key, ctx) {
+            Json::Arr(items) => items.clone(),
+            other => panic!("{ctx}: {key:?} is not an array: {other}"),
+        }
+    }
+
+    /// The string at `key`.
+    pub fn str_field(v: &Json, key: &str, ctx: &str) -> String {
+        match field(v, key, ctx) {
+            Json::Str(s) => s.clone(),
+            other => panic!("{ctx}: {key:?} is not a string: {other}"),
+        }
+    }
+
+    /// The exact integer at `key`.
+    pub fn u64_field(v: &Json, key: &str, ctx: &str) -> u64 {
+        match field(v, key, ctx) {
+            Json::UInt(n) => *n,
+            other => panic!("{ctx}: {key:?} is not a u64: {other}"),
+        }
+    }
+
+    /// The number at `key` (accepts both `Num` and `UInt`, matching the
+    /// writer's integral-float normalization).
+    pub fn f64_field(v: &Json, key: &str, ctx: &str) -> f64 {
+        field(v, key, ctx)
+            .as_f64()
+            .unwrap_or_else(|| panic!("{ctx}: {key:?} is not a number"))
     }
 }
 

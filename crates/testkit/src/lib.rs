@@ -14,7 +14,11 @@
 //!   bisection shrinking, and failure-seed reporting (reproduce any
 //!   failure with `UNIZK_PROP_SEED=<seed> cargo test <name>`).
 //! * [`json`] — a minimal ordered JSON writer **and parser** for the
-//!   `results/` / `BENCH_*.json` emitters and the bench `--compare` mode.
+//!   `results/` / `BENCH_*.json` / `SWEEP.json` emitters and the bench
+//!   `--compare` mode, plus shared typed field accessors
+//!   ([`json::access`]).
+//! * [`render`] — aligned text/markdown table rendering shared by the
+//!   bench binaries and the explore crate's sweep reports.
 //! * [`mod@bench`] — a wall-clock micro-bench timer with warmup and median
 //!   reporting, mirroring the slice of the Criterion API the bench crate
 //!   uses.
@@ -32,6 +36,7 @@
 pub mod bench;
 pub mod json;
 pub mod prop;
+pub mod render;
 pub mod rng;
 pub mod trace;
 

@@ -1,0 +1,103 @@
+//! Plain-text / markdown table rendering for harness binaries and report
+//! emitters.
+//!
+//! Lives in the testkit (rather than `unizk-bench`) so that library crates
+//! such as `unizk-explore` can render reports without depending on the
+//! bench harness; `unizk_bench::render` re-exports everything here.
+
+/// Renders an aligned text table (also valid GitHub-flavored markdown).
+///
+/// # Example
+///
+/// ```
+/// let out = unizk_testkit::render::table(
+///     &["App", "Time"],
+///     &[vec!["Factorial".into(), "0.8".into()]],
+/// );
+/// assert!(out.contains("Factorial"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a duration in seconds with adaptive units.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a ratio as `N×`.
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}×")
+    } else {
+        format!("{x:.1}×")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["A", "Long header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(0.0025), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 µs");
+        assert_eq!(fmt_speedup(840.0), "840×");
+        assert_eq!(fmt_speedup(4.6), "4.6×");
+        assert_eq!(fmt_pct(0.624), "62.4%");
+    }
+}

@@ -79,6 +79,25 @@ impl App {
         }
     }
 
+    /// Stable machine-readable identifier, used by the explore crate's
+    /// sweep specs and cache keys. Must never change for an existing app:
+    /// cached sweep points are keyed on it.
+    pub fn id(&self) -> &'static str {
+        match self {
+            App::Factorial => "factorial",
+            App::Fibonacci => "fibonacci",
+            App::Ecdsa => "ecdsa",
+            App::Sha256 => "sha256",
+            App::ImageCrop => "image_crop",
+            App::Mvm => "mvm",
+        }
+    }
+
+    /// The inverse of [`App::id`].
+    pub fn from_id(id: &str) -> Option<App> {
+        App::ALL.into_iter().find(|a| a.id() == id)
+    }
+
     /// Whether this repo builds the real circuit or a dimension-matched
     /// substitute (DESIGN.md §3).
     pub fn is_real_circuit(&self) -> bool {
@@ -178,6 +197,14 @@ mod tests {
     #[test]
     fn shrink_floors_at_1024_rows() {
         assert_eq!(App::Fibonacci.log_rows(Scale::Shrunk(60)), 10);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        for app in App::ALL {
+            assert_eq!(App::from_id(app.id()), Some(app));
+        }
+        assert_eq!(App::from_id("unknown"), None);
     }
 
     #[test]

@@ -18,3 +18,14 @@ echo "== baseline =="
 ./target/release/baseline --out-dir "$OUT_DIR"
 
 echo "OK: wrote $OUT_DIR/BENCH_PROVER.json and $OUT_DIR/BENCH_SIM.json"
+
+# Optional: BENCH_SWEEP=1 also records the smoke design-space sweep
+# (deterministic, so the artifact is diffable across PRs like the
+# baselines above).
+if [[ "${BENCH_SWEEP:-0}" == "1" ]]; then
+    echo "== smoke sweep =="
+    cargo build --release --offline -p unizk-explore --bin sweep
+    ./target/release/sweep --spec crates/explore/specs/smoke.json --jobs 0 \
+        --out "$OUT_DIR/BENCH_SWEEP.json"
+    echo "OK: wrote $OUT_DIR/BENCH_SWEEP.json"
+fi

@@ -21,4 +21,20 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo doc --workspace --no-deps --offline (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
+echo "==> smoke sweep (cold, then fully cached)"
+SWEEP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+./target/release/sweep --spec crates/explore/specs/ci.json --jobs 4 \
+    --cache-dir "$SWEEP_TMP/cache" --out "$SWEEP_TMP/cold.json" \
+    | tee "$SWEEP_TMP/cold.log"
+./target/release/sweep --spec crates/explore/specs/ci.json --jobs 4 \
+    --cache-dir "$SWEEP_TMP/cache" --resume --out "$SWEEP_TMP/warm.json" \
+    | tee "$SWEEP_TMP/warm.log"
+grep -q "cache hits: 0/4" "$SWEEP_TMP/cold.log" \
+    || { echo "FAIL: cold sweep should have zero cache hits"; exit 1; }
+grep -q "cache hits: 4/4" "$SWEEP_TMP/warm.log" \
+    || { echo "FAIL: cached re-run should hit on every point"; exit 1; }
+diff "$SWEEP_TMP/cold.json" "$SWEEP_TMP/warm.json" \
+    || { echo "FAIL: cached sweep artifact differs from cold run"; exit 1; }
+
 echo "==> OK: tier-1 gate passed"
