@@ -1,0 +1,127 @@
+//! Static schedule verifier CLI.
+//!
+//! ```text
+//! cargo run --release -p unizk-analyze --bin lint
+//! ```
+//!
+//! Checks every built-in workload (all six Table 3 applications at CI and
+//! paper scale, plus the Starky pipeline) and every enumerated point of
+//! every spec file under the specs directory, then exits nonzero if any
+//! target produced an error-severity diagnostic. Warnings are reported
+//! but do not fail the run.
+//!
+//! Flags:
+//!
+//! - `--specs-dir DIR` — sweep-spec directory (default
+//!   `crates/explore/specs`; pass an empty string to skip specs).
+//! - `--json FILE` — also write the machine-readable summary here.
+//! - `--quiet` — only print findings and the totals line.
+//! - `--rules` — print the rule catalog and exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use unizk_analyze::lint::{lint_all, spec_targets, workload_targets, LintTarget};
+use unizk_analyze::Rule;
+
+struct Args {
+    specs_dir: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+    rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut specs_dir = Some(PathBuf::from("crates/explore/specs"));
+    let mut json = None;
+    let mut quiet = false;
+    let mut rules = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--specs-dir" => {
+                let dir = value("--specs-dir")?;
+                specs_dir = (!dir.is_empty()).then(|| PathBuf::from(dir));
+            }
+            "--json" => json = Some(PathBuf::from(value("--json")?)),
+            "--quiet" => quiet = true,
+            "--rules" => rules = true,
+            "--help" | "-h" => {
+                return Err("usage: lint [--specs-dir DIR] [--json FILE] [--quiet] [--rules]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(Args { specs_dir, json, quiet, rules })
+}
+
+fn print_rule_catalog() {
+    for rule in Rule::ALL {
+        println!(
+            "{} {:28} {:8} {}",
+            rule.id(),
+            rule.name(),
+            format!("{:?}", rule.severity()).to_lowercase(),
+            rule.description()
+        );
+    }
+}
+
+fn collect_targets(args: &Args) -> Result<Vec<LintTarget>, String> {
+    let mut targets = workload_targets();
+    if let Some(dir) = &args.specs_dir {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let mut spec_files: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        spec_files.sort();
+        if spec_files.is_empty() {
+            return Err(format!("no spec files in {}", dir.display()));
+        }
+        for path in spec_files {
+            targets.extend(spec_targets(&path)?);
+        }
+    }
+    Ok(targets)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.rules {
+        print_rule_catalog();
+        return Ok(true);
+    }
+
+    let targets = collect_targets(&args)?;
+    let summary = lint_all(&targets);
+    print!("{}", summary.render(!args.quiet));
+
+    if let Some(path) = &args.json {
+        let text = summary.to_json().to_string_pretty() + "\n";
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(summary.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("lint: error-severity diagnostics found");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

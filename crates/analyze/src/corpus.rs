@@ -1,0 +1,186 @@
+//! Mutation corpus: known-good graphs, corrupted in named ways.
+//!
+//! Each [`MutationCase`] starts from a clean compiled schedule (the
+//! Plonky2 pipeline of paper Fig. 7) and applies exactly one corruption —
+//! the kind of bug a kernel-mapping or compiler change could plausibly
+//! introduce — then records the rule id the analyzer is required to fire.
+//! The `tests/mutations.rs` suite asserts every case is caught with its
+//! expected rule and that the unmutated baseline stays error-free.
+
+use unizk_core::analyze::Rule;
+use unizk_core::compiler::{compile_plonky2, Plonky2Instance};
+use unizk_core::graph::{Graph, Node};
+use unizk_core::kernels::{Kernel, NttVariant};
+use unizk_core::ChipConfig;
+
+/// One corrupted schedule plus the rule that must catch it.
+pub struct MutationCase {
+    /// Short corruption name (used in test output).
+    pub name: &'static str,
+    /// The rule id the analyzer must report, at error severity.
+    pub expected: Rule,
+    /// The corrupted graph.
+    pub graph: Graph,
+    /// The chip to verify against (usually the default; the
+    /// resource-feasibility cases corrupt this instead of the graph).
+    pub chip: ChipConfig,
+}
+
+/// The clean schedule every mutation starts from.
+pub fn baseline_graph() -> Graph {
+    compile_plonky2(&Plonky2Instance::new(1 << 10, 135))
+}
+
+/// The chip the corpus verifies against.
+pub fn baseline_chip() -> ChipConfig {
+    ChipConfig::default_chip()
+}
+
+fn nodes() -> Vec<Node> {
+    baseline_graph().nodes().to_vec()
+}
+
+/// Index of the first node matching a predicate.
+fn find(nodes: &[Node], pred: impl Fn(&Node) -> bool) -> usize {
+    nodes
+        .iter()
+        .position(pred)
+        .expect("corpus baseline no longer contains the expected node shape")
+}
+
+fn is_intt_feeding_ntt(nodes: &[Node], i: usize) -> bool {
+    matches!(
+        nodes[i].kernel,
+        Kernel::Ntt { variant: NttVariant::InverseNn, .. }
+    ) && matches!(nodes.get(i + 1).map(|n| &n.kernel), Some(Kernel::Ntt { .. }))
+}
+
+/// Builds the full corpus. Every case's `expected` rule is error severity,
+/// and the case names are unique.
+pub fn mutation_corpus() -> Vec<MutationCase> {
+    let chip = baseline_chip();
+    let mut cases = Vec::new();
+    let mut case = |name: &'static str, expected: Rule, graph: Graph, chip: ChipConfig| {
+        cases.push(MutationCase { name, expected, graph, chip });
+    };
+
+    // S01: a dependency pointing past the end of the graph.
+    let mut n = nodes();
+    let last = n.len() - 1;
+    n[last].deps = vec![n.len() + 4];
+    case("dangling-dep", Rule::DepOutOfRange, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // S02: cycle insertion — an early node made to depend on a later one.
+    let mut n = nodes();
+    n[2].deps = vec![5];
+    case("cycle-insertion", Rule::DepNotTopological, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // S02 (self-edge flavour): a node depending on itself.
+    let mut n = nodes();
+    n[3].deps = vec![3];
+    case("self-dep", Rule::DepNotTopological, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // S03: the same dependency listed twice.
+    let mut n = nodes();
+    n[4].deps = vec![3, 3];
+    case("duplicate-dep", Rule::DepDuplicate, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // S04: dep deletion — node 5 no longer consumes node 4, orphaning it.
+    let mut n = nodes();
+    n[5].deps.clear();
+    case("dep-deletion", Rule::OrphanNode, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // D01: order corruption — an iNTT that feeds another NTT flipped to a
+    // bit-reversed-output variant, so its consumer sees the wrong order.
+    let mut n = nodes();
+    let i = {
+        let idx = (0..n.len()).find(|&i| is_intt_feeding_ntt(&n, i));
+        idx.expect("baseline has an iNTT -> LDE NTT edge")
+    };
+    if let Kernel::Ntt { variant, .. } = &mut n[i].kernel {
+        *variant = NttVariant::ForwardNr;
+    }
+    case("order-flip", Rule::NttOrderMismatch, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // D02: LDE shrink — the consumer of that same edge covers fewer
+    // elements than its producer made.
+    let mut n = nodes();
+    let consumer = i + 1;
+    if let Kernel::Ntt { log_n, batch, .. } = &mut n[consumer].kernel {
+        *log_n = 4;
+        *batch = 1;
+    }
+    case("lde-shrink", Rule::LdeShrinks, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // D03: Merkle shape — a non-power-of-two leaf count.
+    let mut n = nodes();
+    let m = find(&n, |node| matches!(node.kernel, Kernel::MerkleTree { .. }));
+    if let Kernel::MerkleTree { num_leaves, .. } = &mut n[m].kernel {
+        *num_leaves += 1;
+    }
+    case("merkle-odd-leaves", Rule::MerkleShape, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // D04: leaf-gather mismatch — the Merkle node disagrees with its
+    // transpose about the leaf length.
+    let mut n = nodes();
+    if let Kernel::MerkleTree { leaf_len, .. } = &mut n[m].kernel {
+        *leaf_len += 7;
+    }
+    case("leaf-len-skew", Rule::LeafGatherMismatch, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // D05: reuse inflation — claimed ideal traffic above streaming.
+    let mut n = nodes();
+    let p = find(&n, |node| matches!(node.kernel, Kernel::PolyOp { .. }));
+    if let Kernel::PolyOp { reuse, .. } = &mut n[p].kernel {
+        reuse.ideal_bytes = reuse.streaming_bytes + 1;
+    }
+    case("reuse-inflation", Rule::ReuseInconsistent, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // D06: bytes conservation — the leaf-gather transpose grows a column
+    // it never received from its NTT producer.
+    let mut n = nodes();
+    let t = find(&n, |node| matches!(node.kernel, Kernel::Transpose { .. }));
+    if let Kernel::Transpose { cols, .. } = &mut n[t].kernel {
+        *cols += 1;
+    }
+    case("transpose-grows", Rule::BytesConservation, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // R04: an NTT past the Goldilocks two-adicity.
+    let mut n = nodes();
+    let ntt = find(&n, |node| matches!(node.kernel, Kernel::Ntt { .. }));
+    if let Kernel::Ntt { log_n, .. } = &mut n[ntt].kernel {
+        *log_n = 40;
+    }
+    case("ntt-too-large", Rule::NttExceedsTwoAdicity, Graph::from_nodes_unchecked(n), chip.clone());
+
+    // R02: capacity inflation on the chip side — a deep fixed-NTT pipeline
+    // whose double-buffered stage buffers dwarf a 1 MiB scratchpad. The
+    // configuration passes `ChipConfig::validate` (each axis is locally
+    // sane); only the cross-axis analysis catches it.
+    let mut small = chip;
+    small.ntt_pipeline_log2 = 14;
+    small.scratchpad_bytes = 1 << 20;
+    small.validate().expect("axes are individually valid");
+    case("staging-overflow", Rule::InfeasibleStaging, baseline_graph(), small);
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_cover_many_rules() {
+        let corpus = mutation_corpus();
+        let mut names: Vec<&str> = corpus.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len(), "duplicate case name");
+
+        let mut rules: Vec<&str> = corpus.iter().map(|c| c.expected.id()).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        assert!(rules.len() >= 8, "corpus covers {} distinct rules, need >= 8", rules.len());
+    }
+}

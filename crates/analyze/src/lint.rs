@@ -1,0 +1,205 @@
+//! Target enumeration and reporting for the `lint` binary.
+//!
+//! A [`LintTarget`] is one (graph, chip) pair to verify: either a built-in
+//! workload compiled at a fixed scale, or one enumerated point of a sweep
+//! spec file. [`lint_all`] runs the analyzer over a batch and folds the
+//! results into a [`LintSummary`] that renders as text or JSON.
+
+use std::path::Path;
+
+use unizk_core::analyze::{check, Diagnostic, Severity};
+use unizk_core::compiler::{compile_starky, StarkyInstance};
+use unizk_core::{ChipConfig, Graph};
+use unizk_explore::SweepSpec;
+use unizk_testkit::json::Json;
+use unizk_workloads::{App, Scale};
+
+/// One schedule to verify.
+pub struct LintTarget {
+    /// Human-readable target name (workload id or spec point).
+    pub name: String,
+    /// The compiled graph.
+    pub graph: Graph,
+    /// The chip it is scheduled for.
+    pub chip: ChipConfig,
+}
+
+/// Every built-in workload: the six Table 3 applications at both the CI
+/// scale ([`Scale::default`]) and the paper's full scale, plus the Starky
+/// pipeline (Fig. 7b).
+pub fn workload_targets() -> Vec<LintTarget> {
+    let chip = ChipConfig::default_chip();
+    let mut targets = Vec::new();
+    for app in App::ALL {
+        for (tag, scale) in [("ci", Scale::default()), ("full", Scale::Full)] {
+            targets.push(LintTarget {
+                name: format!("workload/{}@{tag}", app.id()),
+                graph: unizk_core::compile_plonky2(&app.plonky2_instance(scale)),
+                chip: chip.clone(),
+            });
+        }
+    }
+    targets.push(LintTarget {
+        name: "workload/starky".to_string(),
+        graph: compile_starky(&StarkyInstance::new(1 << 12, 16, 8)),
+        chip,
+    });
+    targets
+}
+
+/// Every enumerated point of one sweep spec file. Each point compiles with
+/// its own chunk-size override and verifies against its own chip axis.
+pub fn spec_targets(path: &Path) -> Result<Vec<LintTarget>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let spec = SweepSpec::from_json_text(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let stem = path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+    Ok(spec
+        .enumerate()
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .into_iter()
+        .enumerate()
+        .map(|(i, point)| LintTarget {
+            name: format!("spec/{stem}#{i}/{}@2^{}", point.app.id(), point.log_rows),
+            graph: unizk_core::compile_plonky2(&point.instance()),
+            chip: point.chip,
+        })
+        .collect())
+}
+
+/// The analyzer's verdict on one target.
+pub struct TargetReport {
+    /// The target's name.
+    pub name: String,
+    /// Graph size, for the report header.
+    pub nodes: usize,
+    /// Every diagnostic the analyzer produced.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl TargetReport {
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// Warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+}
+
+/// The fold of a whole lint run.
+pub struct LintSummary {
+    /// One report per target, in check order.
+    pub reports: Vec<TargetReport>,
+}
+
+impl LintSummary {
+    /// Total error-severity diagnostics across all targets.
+    pub fn errors(&self) -> usize {
+        self.reports.iter().map(TargetReport::errors).sum()
+    }
+
+    /// Total warning-severity diagnostics across all targets.
+    pub fn warnings(&self) -> usize {
+        self.reports.iter().map(TargetReport::warnings).sum()
+    }
+
+    /// Whether the run gates green (no errors; warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Human-readable report: one line per finding plus a totals line.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            if verbose || !r.diagnostics.is_empty() {
+                out.push_str(&format!("{} ({} nodes)\n", r.name, r.nodes));
+            }
+            for d in &r.diagnostics {
+                out.push_str(&format!("  {}\n", d.render()));
+            }
+        }
+        out.push_str(&format!(
+            "{} targets, {} errors, {} warnings\n",
+            self.reports.len(),
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Machine-readable form for `lint --json`.
+    pub fn to_json(&self) -> Json {
+        let targets = self.reports.iter().map(|r| {
+            let diags = r.diagnostics.iter().map(|d| {
+                Json::obj([
+                    ("rule", Json::str(d.rule.id())),
+                    ("name", Json::str(d.rule.name())),
+                    (
+                        "severity",
+                        Json::str(if d.is_error() { "error" } else { "warning" }),
+                    ),
+                    (
+                        "node",
+                        match d.node {
+                            Some(n) => Json::from(n),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            });
+            Json::obj([
+                ("target", Json::str(r.name.clone())),
+                ("nodes", Json::from(r.nodes)),
+                ("diagnostics", Json::arr(diags)),
+            ])
+        });
+        Json::obj([
+            ("schema", Json::str("unizk-lint/1")),
+            ("errors", Json::from(self.errors())),
+            ("warnings", Json::from(self.warnings())),
+            ("targets", Json::arr(targets)),
+        ])
+    }
+}
+
+/// Runs the analyzer over a batch of targets.
+pub fn lint_all(targets: &[LintTarget]) -> LintSummary {
+    LintSummary {
+        reports: targets
+            .iter()
+            .map(|t| TargetReport {
+                name: t.name.clone(),
+                nodes: t.graph.len(),
+                diagnostics: check(&t.graph, &t.chip),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_targets_cover_both_scales_and_starky() {
+        let targets = workload_targets();
+        assert_eq!(targets.len(), App::ALL.len() * 2 + 1);
+        assert!(targets.iter().any(|t| t.name == "workload/starky"));
+        assert!(targets.iter().any(|t| t.name == "workload/mvm@full"));
+    }
+
+    #[test]
+    fn summary_json_has_totals() {
+        let targets = workload_targets();
+        let summary = lint_all(&targets[..2]);
+        let v = summary.to_json();
+        assert_eq!(v.get("errors").and_then(Json::as_u64), Some(0));
+        assert!(summary.render(true).contains("2 targets"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: the analyzer accepts every structurally valid random
+//! DAG and rejects every schedule with a forward (cyclic) dependency.
+
+use unizk_analyze::{check, error_count, render_all};
+use unizk_core::graph::Graph;
+use unizk_core::kernels::{Kernel, Reuse};
+use unizk_core::ChipConfig;
+use unizk_testkit::prop::prelude::*;
+use unizk_testkit::rng::TestRng;
+
+/// A random well-formed schedule: a dependency chain (so no node is
+/// orphaned and insertion order is topological) with extra distinct
+/// backward edges, over kernels whose parameters satisfy every dataflow
+/// invariant the analyzer checks.
+fn random_valid_graph(seed: u64, len: usize) -> Graph {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    for id in 0..len {
+        let kernel = match rng.gen_range(0u32..4) {
+            0 => Kernel::Sponge {
+                num_perms: rng.gen_range(1usize..256),
+                parallel: rng.gen(),
+            },
+            1 => {
+                let streaming = rng.gen_range(8u64..4_000_000);
+                Kernel::PolyOp {
+                    ops: rng.gen_range(1u64..500_000),
+                    reuse: Reuse {
+                        streaming_bytes: streaming,
+                        ideal_bytes: rng.gen_range(1..=streaming),
+                        working_set_bytes: rng.gen_range(1..=streaming),
+                    },
+                }
+            }
+            2 => {
+                let bytes = rng.gen_range(64u64..4_000_000);
+                Kernel::GateEval {
+                    ops: rng.gen_range(1u64..500_000),
+                    bytes,
+                    run_bytes: u32::try_from(rng.gen_range(8u64..=bytes.min(4096))).unwrap(),
+                }
+            }
+            _ => Kernel::PartialProducts {
+                len: rng.gen_range(1u64..100_000),
+            },
+        };
+        let mut deps = if id == 0 { vec![] } else { vec![id - 1] };
+        // Extra backward edges: distinct, already-inserted targets.
+        if id >= 2 {
+            for _ in 0..rng.gen_range(0usize..3) {
+                let d = rng.gen_range(0..id - 1);
+                if !deps.contains(&d) {
+                    deps.push(d);
+                }
+            }
+        }
+        g.push(kernel, deps, format!("node-{id}"));
+    }
+    g
+}
+
+prop! {
+    #![cases(48)]
+
+    fn random_valid_dags_are_error_free(seed in any::<u64>(), len in 2usize..24) {
+        let g = random_valid_graph(seed, len);
+        let diags = check(&g, &ChipConfig::default_chip());
+        prop_assert!(
+            error_count(&diags) == 0,
+            "valid DAG rejected (seed {seed}, len {len}):\n{}",
+            render_all(&diags)
+        );
+    }
+
+    fn forward_dep_mutation_is_always_rejected(
+        seed in any::<u64>(),
+        len in 3usize..24,
+        at in any::<sample::Index>(),
+    ) {
+        let g = random_valid_graph(seed, len);
+        let mut nodes = g.nodes().to_vec();
+        // Point one non-final node at a strictly later node: a cycle under
+        // the static schedule.
+        let victim = at.index(len - 1);
+        nodes[victim].deps = vec![victim + 1];
+        let g = Graph::from_nodes_unchecked(nodes);
+        prop_assert!(
+            error_count(&check(&g, &ChipConfig::default_chip())) >= 1,
+            "forward dep at node {victim} passed (seed {seed}, len {len})"
+        );
+    }
+
+    fn duplicate_dep_mutation_is_always_rejected(
+        seed in any::<u64>(),
+        len in 3usize..24,
+        at in any::<sample::Index>(),
+    ) {
+        let g = random_valid_graph(seed, len);
+        let mut nodes = g.nodes().to_vec();
+        // Duplicate the chain edge of a non-root node.
+        let victim = 1 + at.index(len - 1);
+        nodes[victim].deps = vec![victim - 1, victim - 1];
+        let g = Graph::from_nodes_unchecked(nodes);
+        prop_assert!(
+            error_count(&check(&g, &ChipConfig::default_chip())) >= 1,
+            "duplicate dep at node {victim} passed (seed {seed}, len {len})"
+        );
+    }
+}

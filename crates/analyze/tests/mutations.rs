@@ -1,0 +1,54 @@
+//! Mutation testing of the analyzer: every corpus corruption must be
+//! caught with its expected rule id, at error severity, while the
+//! unmutated baseline stays error-free.
+
+use unizk_analyze::corpus::{baseline_chip, baseline_graph, mutation_corpus};
+use unizk_analyze::{check, error_count, render_all, Severity};
+
+#[test]
+fn baseline_is_error_free() {
+    let diags = check(&baseline_graph(), &baseline_chip());
+    assert_eq!(error_count(&diags), 0, "baseline:\n{}", render_all(&diags));
+}
+
+#[test]
+fn every_mutation_is_caught_with_its_expected_rule() {
+    for case in mutation_corpus() {
+        let diags = check(&case.graph, &case.chip);
+        let hit = diags.iter().find(|d| d.rule == case.expected);
+        let hit = hit.unwrap_or_else(|| {
+            panic!(
+                "case {:?}: expected {} {} to fire, got:\n{}",
+                case.name,
+                case.expected.id(),
+                case.expected.name(),
+                render_all(&diags)
+            )
+        });
+        assert_eq!(
+            hit.severity,
+            Severity::Error,
+            "case {:?}: {} must report at error severity",
+            case.name,
+            case.expected.id()
+        );
+        assert!(error_count(&diags) >= 1, "case {:?} must fail the gate", case.name);
+    }
+}
+
+#[test]
+fn corpus_spans_at_least_eight_rules() {
+    let mut ids: Vec<&str> = mutation_corpus().iter().map(|c| c.expected.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert!(ids.len() >= 8, "only {} distinct rules covered: {ids:?}", ids.len());
+}
+
+#[test]
+fn no_false_negatives_hide_behind_warnings() {
+    // A mutated graph must not pass `is_error`-based gating: the expected
+    // rule is an error in the catalog for every corpus case.
+    for case in mutation_corpus() {
+        assert_eq!(case.expected.severity(), Severity::Error, "case {:?}", case.name);
+    }
+}

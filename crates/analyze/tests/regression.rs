@@ -1,0 +1,36 @@
+//! Regression gate: every shipped workload and every sweep spec in
+//! `crates/explore/specs/` must analyze with zero error-severity
+//! diagnostics — the same property `scripts/ci.sh` enforces via the
+//! `lint` binary, kept here so `cargo test` alone catches a regression.
+
+use std::path::PathBuf;
+
+use unizk_analyze::lint::{lint_all, spec_targets, workload_targets};
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../explore/specs")
+}
+
+#[test]
+fn all_shipped_workloads_analyze_clean() {
+    let summary = lint_all(&workload_targets());
+    assert!(summary.is_clean(), "{}", summary.render(true));
+}
+
+#[test]
+fn all_explore_specs_analyze_clean() {
+    let mut specs: Vec<PathBuf> = std::fs::read_dir(specs_dir())
+        .expect("crates/explore/specs exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    specs.sort();
+    assert!(!specs.is_empty(), "no spec files found");
+    for path in specs {
+        let targets = spec_targets(&path).unwrap_or_else(|e| panic!("{e}"));
+        assert!(!targets.is_empty(), "{} enumerated no points", path.display());
+        let summary = lint_all(&targets);
+        assert!(summary.is_clean(), "{}:\n{}", path.display(), summary.render(false));
+    }
+}

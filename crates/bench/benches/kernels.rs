@@ -27,21 +27,21 @@ fn bench_ntt(c: &mut Criterion) {
                 let mut v = d.clone();
                 ntt_nn(&mut v);
                 v
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("inverse_nn", log_n), &data, |b, d| {
             b.iter(|| {
                 let mut v = d.clone();
                 intt_nn(&mut v);
                 v
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("coset_nr", log_n), &data, |b, d| {
             b.iter(|| {
                 let mut v = d.clone();
                 coset_ntt_nr(&mut v, Goldilocks::MULTIPLICATIVE_GENERATOR);
                 v
-            })
+            });
         });
     }
     group.finish();
@@ -58,7 +58,7 @@ fn bench_ntt_decomposition(c: &mut Criterion) {
             let mut v = data.clone();
             ntt_nn(&mut v);
             v
-        })
+        });
     });
     let plan = NttDecomposition::plan(log_n, 5);
     group.bench_function("decomposed_2^15_(32,32,32)", |b| {
@@ -66,7 +66,7 @@ fn bench_ntt_decomposition(c: &mut Criterion) {
             let mut v = data.clone();
             decomposed_ntt_nn(&mut v, &plan.dims);
             v
-        })
+        });
     });
     group.finish();
 }
@@ -77,7 +77,7 @@ fn bench_lde(c: &mut Criterion) {
     for (log_n, rate_bits, label) in [(12usize, 3usize, "plonky2_blowup8"), (12, 1, "starky_blowup2")] {
         let data = random_vec(&mut rng, 1 << log_n);
         group.bench_function(label, |b| {
-            b.iter(|| lde_nr(&data, rate_bits, Goldilocks::MULTIPLICATIVE_GENERATOR))
+            b.iter(|| lde_nr(&data, rate_bits, Goldilocks::MULTIPLICATIVE_GENERATOR));
         });
     }
     group.finish();
@@ -91,7 +91,7 @@ fn bench_poseidon(c: &mut Criterion) {
         b.iter(|| {
             poseidon_permute(&mut state);
             state
-        })
+        });
     });
     // The paper's leaf width: 135 elements = 17 permutations.
     let leaf: Vec<Goldilocks> = (0..135u64).map(Goldilocks::from_u64).collect();
@@ -107,7 +107,7 @@ fn bench_merkle(c: &mut Criterion) {
             .map(|i| (0..width).map(|j| Goldilocks::from_u64((i * width + j) as u64)).collect())
             .collect();
         group.bench_function(format!("build_{leaves}x{width}"), |b| {
-            b.iter(|| MerkleTree::new(data.clone()))
+            b.iter(|| MerkleTree::new(data.clone()));
         });
     }
     group.finish();
@@ -126,7 +126,7 @@ fn bench_poly_ops(c: &mut Criterion) {
                 .zip(&b_vec)
                 .map(|(&x, &y)| x * y)
                 .collect::<Vec<_>>()
-        })
+        });
     });
     group.bench_function("elementwise_muladd_2^16", |b| {
         b.iter(|| {
@@ -134,7 +134,7 @@ fn bench_poly_ops(c: &mut Criterion) {
                 .zip(&b_vec)
                 .map(|(&x, &y)| x * y + x)
                 .collect::<Vec<_>>()
-        })
+        });
     });
     group.bench_function("batch_inverse_2^16", |bch| bch.iter(|| batch_inverse(&a)));
     // The §5.4 partial-product chain (Eqs. 1–2): 8-element chunk products
@@ -149,7 +149,7 @@ fn bench_poly_ops(c: &mut Criterion) {
                 pp.push(acc);
             }
             pp
-        })
+        });
     });
     group.finish();
 }
@@ -162,12 +162,12 @@ fn bench_dram(c: &mut Criterion) {
             let mut sys = MemorySystem::new(HbmConfig::hbm2e_two_stacks());
             sys.access_stream(0, 64, 50_000, false);
             sys.stats().cycles
-        })
+        });
     });
     group.bench_function("pattern_probe_memoized", |b| {
         let model = MemoryModel::new(HbmConfig::hbm2e_two_stacks());
         model.efficiency(AccessPattern::Sequential); // warm the cache
-        b.iter(|| model.stream_cycles(1 << 24, AccessPattern::Sequential))
+        b.iter(|| model.stream_cycles(1 << 24, AccessPattern::Sequential));
     });
     group.finish();
 }

@@ -21,7 +21,7 @@ fn bench_fri(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("commit_8x256", |b| {
-        b.iter(|| PolynomialBatch::from_coeffs(polys.clone(), &config))
+        b.iter(|| PolynomialBatch::from_coeffs(polys.clone(), &config));
     });
     let batch = PolynomialBatch::from_coeffs(polys, &config);
     let zeta = Ext2::from(Goldilocks::from_u64(0xdead_beef));
@@ -30,7 +30,7 @@ fn bench_fri(c: &mut Criterion) {
             let mut challenger = Challenger::new();
             challenger.observe_digest(batch.root());
             fri_prove(&[&batch], &[zeta], &mut challenger, &config)
-        })
+        });
     });
     group.finish();
 }
@@ -49,11 +49,11 @@ fn bench_plonk(c: &mut Criterion) {
     let circuit = b.build();
     let inputs = [Goldilocks::from_u64(3)];
     group.bench_function("prove_512_gates", |bch| {
-        bch.iter(|| circuit.prove(&inputs).expect("proves"))
+        bch.iter(|| circuit.prove(&inputs).expect("proves"));
     });
     let proof = circuit.prove(&inputs).expect("proves");
     group.bench_function("verify_512_gates", |bch| {
-        bch.iter(|| circuit.verify(&proof).expect("verifies"))
+        bch.iter(|| circuit.verify(&proof).expect("verifies"));
     });
     group.finish();
 }
@@ -64,7 +64,7 @@ fn bench_stark(c: &mut Criterion) {
     let air = FibonacciAir::new(1 << 10);
     let config = StarkConfig::for_testing();
     group.bench_function("prove_fibonacci_2^10", |b| {
-        b.iter(|| stark_prove(&air, &config).expect("proves"))
+        b.iter(|| stark_prove(&air, &config).expect("proves"));
     });
     group.finish();
 }

@@ -17,7 +17,7 @@ fn bench_compile(c: &mut Criterion) {
         );
     }
     group.bench_function("starky_2^16", |b| {
-        b.iter(|| compile_starky(&StarkyInstance::new(1 << 16, 16, 16)))
+        b.iter(|| compile_starky(&StarkyInstance::new(1 << 16, 16, 16)));
     });
     group.finish();
 }
@@ -29,7 +29,7 @@ fn bench_simulate(c: &mut Criterion) {
         let graph = compile_plonky2(&Plonky2Instance::new(1 << log_rows, 135));
         let sim = Simulator::new(chip.clone());
         group.bench_with_input(BenchmarkId::new("plonky2", log_rows), &graph, |b, g| {
-            b.iter(|| sim.run(g))
+            b.iter(|| sim.run(g));
         });
     }
     group.finish();
@@ -44,7 +44,7 @@ fn bench_dse_point(c: &mut Criterion) {
         b.iter(|| {
             let chip = ChipConfig::default_chip().with_scratchpad_mb(4);
             Simulator::new(chip).run(&graph)
-        })
+        });
     });
     group.finish();
 }

@@ -15,8 +15,8 @@ use unizk_workloads::{App, Scale};
 
 /// Runs one single-axis ablation sweep through the exploration engine
 /// (serial, uncached — these grids are a handful of points each).
-fn sweep(spec: SweepSpec) -> unizk_explore::SweepResult {
-    run_sweep(&spec, &SweepOptions::default()).unwrap_or_else(|e| panic!("ablation sweep: {e}"))
+fn sweep(spec: &SweepSpec) -> unizk_explore::SweepResult {
+    run_sweep(spec, &SweepOptions::default()).unwrap_or_else(|e| panic!("ablation sweep: {e}"))
 }
 
 fn main() {
@@ -59,7 +59,7 @@ fn main() {
     //    accesses longer runs (better DRAM efficiency) at b² buffer cost.
     println!("Ablation 2: transpose buffer tile size (index-major NTT)\n");
     let transpose = sweep(
-        SweepSpec::new("ablation-transpose")
+        &SweepSpec::new("ablation-transpose")
             .transpose_b([4, 8, 16, 32])
             .workload(App::Fibonacci, scale),
     );
@@ -104,7 +104,7 @@ fn main() {
     //    degree (and therefore a larger LDE blowup requirement).
     println!("Ablation 4: permutation-argument chunk size (135 wires)\n");
     let chunks = sweep(
-        [3usize, 7, 15]
+        &[3usize, 7, 15]
             .into_iter()
             .fold(SweepSpec::new("ablation-chunk"), |s, chunk| {
                 s.workload_with_chunk(App::Fibonacci, scale, chunk)

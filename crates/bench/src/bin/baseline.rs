@@ -13,6 +13,9 @@
 //!
 //! `baseline --compare OLD NEW` diffs two artifacts of the same schema.
 
+// Wall-clock nanoseconds fit u64 for any realistic run length.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::Instant;
 
 use unizk_core::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};

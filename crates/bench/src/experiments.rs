@@ -453,7 +453,7 @@ pub fn fig10(scale: Scale) -> Vec<Fig10Series> {
     let graph = compile_plonky2(&inst);
     let baseline = {
         let chip = ChipConfig::default_chip();
-        let r = Simulator::new(chip.clone()).run(&graph);
+        let r = Simulator::new(chip).run(&graph);
         r.total_cycles as f64
     };
     let perf = |chip: ChipConfig| {

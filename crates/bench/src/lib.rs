@@ -21,6 +21,8 @@
 //! from the paper's dimensions, or `--full` for paper scale (slow; see
 //! DESIGN.md §2.7).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod render;
 

@@ -1,0 +1,687 @@
+//! Static verification of compiled kernel graphs.
+//!
+//! UniZK's core artifact is a *static* scheduler (paper §5, Fig. 7): the
+//! compiler expands a protocol instance into a kernel DAG that the
+//! simulator executes with double-buffered compute/memory overlap. Nothing
+//! about that execution re-checks the schedule — a malformed mapping (a
+//! dangling dependency, an element-order mismatch between producer and
+//! consumer, a scratchpad overcommit) would still produce plausible-looking
+//! cycle counts. This module is the lint pass that runs *before*
+//! simulation and rejects ill-formed schedules with named, machine-readable
+//! diagnostics.
+//!
+//! The rule catalog (stable ids, used by the mutation tests and the `lint`
+//! binary of `unizk-analyze`):
+//!
+//! | id  | rule | severity | paper invariant |
+//! |-----|------|----------|-----------------|
+//! | S01 | `dep-out-of-range` | error | every dependency names a compiled node |
+//! | S02 | `dep-not-topological` | error | insertion order is the topological (static) schedule — a forward/self edge is a cycle |
+//! | S03 | `dep-duplicate` | error | dependency lists are sets |
+//! | S04 | `orphan-node` | error | every kernel's output is consumed (single-sink proof pipelines, Fig. 7) |
+//! | D01 | `ntt-order-mismatch` | error | §5.1 data layouts: an `NR` NTT emits bit-reversed order, which no NTT variant accepts as input |
+//! | D02 | `lde-shrinks` | error | §5.1/§5.5: an NTT→NTT edge only ever *expands* data (LDE blowup), never discards it |
+//! | D03 | `merkle-shape` | error | §5.3: Merkle construction assumes a full binary tree (power-of-two leaves, nonempty leaves) |
+//! | D04 | `leaf-gather-mismatch` | error | §5.3: the leaf-gather transpose's matrix must match the Merkle node's (leaves × leaf length) |
+//! | D05 | `reuse-inconsistent` | error | §5.4 tiling analysis: ideal traffic and working set never exceed streaming traffic |
+//! | D06 | `bytes-conservation` | error | a transpose moves exactly the bytes its NTT producer made |
+//! | D07 | `empty-kernel` | warning | zero-work nodes are schedule noise |
+//! | R01 | `scratchpad-overcommit` | warning | §5.4: a reuse-claiming working set larger than the half-pad degrades to streaming |
+//! | R02 | `infeasible-staging` | error | §5.1: the decomposed-NTT stage buffers must fit the scratchpad under double buffering |
+//! | R03 | `transpose-not-hidden` | warning | §7.1: the zero-cost transpose assumption needs a neighbouring kernel at least as long |
+//! | R04 | `ntt-exceeds-two-adicity` | error | §5.1: the twiddle generator cannot synthesize ω for `2^log_n` beyond the Goldilocks two-adicity (32) |
+//! | L01 | `buffer-held-past-last-read` | warning | a value read ≫ later than it is produced parks an HBM-resident vector across many phases |
+//!
+//! Entry point: [`check`]. The simulator calls it under
+//! `debug_assertions`, so every test run verifies every graph it executes
+//! for free; the `unizk-analyze` crate wraps it in a `lint` CLI that gates
+//! CI and bench artifacts.
+
+use unizk_dram::MemoryModel;
+
+use crate::arch::ChipConfig;
+use crate::graph::{Graph, NodeId};
+use crate::kernels::{Kernel, NttVariant};
+use crate::mapping::map_kernel;
+
+/// Goldilocks two-adicity: the largest `log_n` for which a primitive
+/// `2^log_n`-th root of unity — and therefore an NTT — exists. Mirrors
+/// `unizk_field::PrimeField64::TWO_ADICITY` for Goldilocks; the analyzer
+/// keeps its own copy so linting a graph does not pull in field
+/// arithmetic.
+pub const MAX_NTT_LOG2: usize = 32;
+
+/// Live-range length (in schedule positions) beyond which rule L01 flags a
+/// producer: its output must stay resident across that many intervening
+/// kernel phases before its final read.
+pub const LIVENESS_WINDOW: usize = 16;
+
+/// How serious a diagnostic is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The schedule is degraded or suspicious but executable.
+    Warning,
+    /// The schedule is ill-formed; simulated numbers would be meaningless.
+    Error,
+}
+
+/// The verification rules, with stable machine-readable identifiers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// S01: a dependency names a node the graph does not contain.
+    DepOutOfRange,
+    /// S02: a dependency points forward (or at the node itself) — a cycle
+    /// under the static insertion-order schedule.
+    DepNotTopological,
+    /// S03: the same dependency is listed more than once.
+    DepDuplicate,
+    /// S04: a non-final node's output is never consumed.
+    OrphanNode,
+    /// D01: an NTT consumes another NTT's bit-reversed output, but every
+    /// NTT variant expects natural input order.
+    NttOrderMismatch,
+    /// D02: an NTT→NTT edge shrinks the data (consumer elements fewer than
+    /// producer elements) — an LDE only ever expands.
+    LdeShrinks,
+    /// D03: a Merkle node's shape breaks the full-binary-tree mapping.
+    MerkleShape,
+    /// D04: a Merkle node disagrees with its leaf-gather transpose about
+    /// the committed matrix shape.
+    LeafGatherMismatch,
+    /// D05: a `Reuse` declaration is internally inconsistent.
+    ReuseInconsistent,
+    /// D06: a transpose does not move exactly what its NTT producer made.
+    BytesConservation,
+    /// D07: a node performs no work.
+    EmptyKernel,
+    /// R01: a reuse-claiming working set exceeds the double-buffered
+    /// half-scratchpad, so the claimed ideal traffic degrades.
+    ScratchpadOvercommit,
+    /// R02: the decomposed-NTT stage buffers do not fit the scratchpad.
+    InfeasibleStaging,
+    /// R03: a transpose is too large to hide behind its neighbours.
+    TransposeNotHidden,
+    /// R04: an NTT size exceeds the field's two-adicity.
+    NttExceedsTwoAdicity,
+    /// L01: a producer's output is held far past the rest of its uses.
+    BufferHeldPastLastRead,
+}
+
+impl Rule {
+    /// Every rule, in catalog (and diagnostic-emission) order.
+    pub const ALL: [Rule; 16] = [
+        Rule::DepOutOfRange,
+        Rule::DepNotTopological,
+        Rule::DepDuplicate,
+        Rule::OrphanNode,
+        Rule::NttOrderMismatch,
+        Rule::LdeShrinks,
+        Rule::MerkleShape,
+        Rule::LeafGatherMismatch,
+        Rule::ReuseInconsistent,
+        Rule::BytesConservation,
+        Rule::EmptyKernel,
+        Rule::ScratchpadOvercommit,
+        Rule::InfeasibleStaging,
+        Rule::TransposeNotHidden,
+        Rule::NttExceedsTwoAdicity,
+        Rule::BufferHeldPastLastRead,
+    ];
+
+    /// Stable short identifier (`S01`, `D03`, …).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::DepOutOfRange => "S01",
+            Rule::DepNotTopological => "S02",
+            Rule::DepDuplicate => "S03",
+            Rule::OrphanNode => "S04",
+            Rule::NttOrderMismatch => "D01",
+            Rule::LdeShrinks => "D02",
+            Rule::MerkleShape => "D03",
+            Rule::LeafGatherMismatch => "D04",
+            Rule::ReuseInconsistent => "D05",
+            Rule::BytesConservation => "D06",
+            Rule::EmptyKernel => "D07",
+            Rule::ScratchpadOvercommit => "R01",
+            Rule::InfeasibleStaging => "R02",
+            Rule::TransposeNotHidden => "R03",
+            Rule::NttExceedsTwoAdicity => "R04",
+            Rule::BufferHeldPastLastRead => "L01",
+        }
+    }
+
+    /// Kebab-case rule name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::DepOutOfRange => "dep-out-of-range",
+            Rule::DepNotTopological => "dep-not-topological",
+            Rule::DepDuplicate => "dep-duplicate",
+            Rule::OrphanNode => "orphan-node",
+            Rule::NttOrderMismatch => "ntt-order-mismatch",
+            Rule::LdeShrinks => "lde-shrinks",
+            Rule::MerkleShape => "merkle-shape",
+            Rule::LeafGatherMismatch => "leaf-gather-mismatch",
+            Rule::ReuseInconsistent => "reuse-inconsistent",
+            Rule::BytesConservation => "bytes-conservation",
+            Rule::EmptyKernel => "empty-kernel",
+            Rule::ScratchpadOvercommit => "scratchpad-overcommit",
+            Rule::InfeasibleStaging => "infeasible-staging",
+            Rule::TransposeNotHidden => "transpose-not-hidden",
+            Rule::NttExceedsTwoAdicity => "ntt-exceeds-two-adicity",
+            Rule::BufferHeldPastLastRead => "buffer-held-past-last-read",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Rule::EmptyKernel
+            | Rule::ScratchpadOvercommit
+            | Rule::TransposeNotHidden
+            | Rule::BufferHeldPastLastRead => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description of the invariant the rule encodes.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Rule::DepOutOfRange => "every dependency must name a node present in the graph",
+            Rule::DepNotTopological => {
+                "insertion order is the static schedule; forward/self deps are cycles"
+            }
+            Rule::DepDuplicate => "a node's dependency list must be a set",
+            Rule::OrphanNode => "every non-final node's output must be consumed",
+            Rule::NttOrderMismatch => {
+                "NTT variants consume natural order; NR producers emit bit-reversed order"
+            }
+            Rule::LdeShrinks => "an NTT feeding an NTT only expands data (LDE blowup)",
+            Rule::MerkleShape => "Merkle trees need a power-of-two leaf count and nonempty leaves",
+            Rule::LeafGatherMismatch => {
+                "a Merkle node must agree with its leaf-gather transpose on the matrix shape"
+            }
+            Rule::ReuseInconsistent => {
+                "ideal traffic and working set can never exceed streaming traffic"
+            }
+            Rule::BytesConservation => {
+                "a transpose moves exactly the bytes its NTT producer wrote"
+            }
+            Rule::EmptyKernel => "zero-work nodes are schedule noise",
+            Rule::ScratchpadOvercommit => {
+                "a reuse-claiming working set must fit the double-buffered half-scratchpad"
+            }
+            Rule::InfeasibleStaging => {
+                "decomposed-NTT stage buffers must fit the scratchpad under double buffering"
+            }
+            Rule::TransposeNotHidden => {
+                "the zero-cost transpose needs a neighbouring kernel at least as long"
+            }
+            Rule::NttExceedsTwoAdicity => {
+                "no primitive 2^log_n-th root of unity exists past the field's two-adicity"
+            }
+            Rule::BufferHeldPastLastRead => {
+                "a long producer-to-last-consumer range parks an HBM vector across many phases"
+            }
+        }
+    }
+}
+
+/// One verification finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// `rule.severity()`, denormalized for filtering.
+    pub severity: Severity,
+    /// The node the finding anchors to (`None` for graph-level findings).
+    pub node: Option<NodeId>,
+    /// Human-readable detail, including the node label where available.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Whether this diagnostic is error severity.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// `S02 dep-not-topological @ node 3 (label): message` rendering.
+    pub fn render(&self) -> String {
+        let at = match self.node {
+            Some(n) => format!(" @ node {n}"),
+            None => String::new(),
+        };
+        format!("{} {}{at}: {}", self.rule.id(), self.rule.name(), self.message)
+    }
+}
+
+/// Number of error-severity diagnostics in a finding list.
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags.iter().filter(|d| d.is_error()).count()
+}
+
+/// Multi-line rendering of a finding list (for panics and CLI output).
+pub fn render_all(diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| d.render() + "\n").collect()
+}
+
+/// Verifies a compiled kernel graph against a chip configuration.
+///
+/// Returns every finding, errors and warnings, in deterministic order
+/// (nodes in schedule order, rules in catalog order within a node). An
+/// empty result — or one with only warnings — means the schedule is
+/// well-formed and its simulated cycle counts can be trusted.
+pub fn check(graph: &Graph, chip: &ChipConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let nodes = graph.nodes();
+    let len = nodes.len();
+
+    // Last consumer of each node, for S04 (orphans) and L01 (liveness).
+    let mut last_consumer: Vec<Option<NodeId>> = vec![None; len];
+    for (id, node) in nodes.iter().enumerate() {
+        for &d in &node.deps {
+            if d < id {
+                last_consumer[d] = Some(id);
+            }
+        }
+    }
+
+    let memory = MemoryModel::new(chip.hbm.clone());
+    let node_cycles = |id: NodeId| -> u64 {
+        let cost = map_kernel(&nodes[id].kernel, chip);
+        let mem = memory.stream_cycles(cost.total_bytes(), cost.pattern);
+        cost.compute_cycles.max(mem) + cost.fill_cycles
+    };
+
+    for (id, node) in nodes.iter().enumerate() {
+        let label = &node.label;
+        let mut push = |rule: Rule, node_id: NodeId, message: String| {
+            diags.push(Diagnostic {
+                rule,
+                severity: rule.severity(),
+                node: Some(node_id),
+                message,
+            });
+        };
+
+        // ---- structural -------------------------------------------------
+        for (i, &d) in node.deps.iter().enumerate() {
+            if d >= len {
+                push(
+                    Rule::DepOutOfRange,
+                    id,
+                    format!("({label}) depends on node {d}, but the graph has {len} nodes"),
+                );
+            } else if d >= id {
+                push(
+                    Rule::DepNotTopological,
+                    id,
+                    format!(
+                        "({label}) depends on node {d}, which is not scheduled before it \
+                         (cycle under the static schedule)"
+                    ),
+                );
+            }
+            if node.deps[..i].contains(&d) {
+                push(
+                    Rule::DepDuplicate,
+                    id,
+                    format!("({label}) lists dependency {d} more than once"),
+                );
+            }
+        }
+        if id + 1 < len && last_consumer[id].is_none() {
+            push(
+                Rule::OrphanNode,
+                id,
+                format!("({label}) output is never consumed and it is not the final node"),
+            );
+        }
+
+        // Valid backward dependencies only, for the dataflow rules.
+        let back_deps = || node.deps.iter().copied().filter(|&d| d < id);
+
+        // ---- dataflow & resources, per kernel ---------------------------
+        match &node.kernel {
+            Kernel::Ntt { log_n, batch, variant, .. } => {
+                if *log_n > MAX_NTT_LOG2 {
+                    push(
+                        Rule::NttExceedsTwoAdicity,
+                        id,
+                        format!(
+                            "({label}) size 2^{log_n} exceeds the Goldilocks two-adicity \
+                             2^{MAX_NTT_LOG2}; the twiddle generator cannot form its root of unity"
+                        ),
+                    );
+                }
+                if *batch == 0 || *log_n == 0 {
+                    push(
+                        Rule::EmptyKernel,
+                        id,
+                        format!("({label}) log_n={log_n}, batch={batch}: no work"),
+                    );
+                }
+                // Double-buffered stage buffers of the decomposed NTT: two
+                // small-transform tiles (fill + drain) per pipeline chain.
+                let chains = (chip.num_vsas * chip.vsa_dim) as u64;
+                let staging = chains * 2 * (1u64 << chip.ntt_pipeline_log2) * 8;
+                if staging > chip.scratchpad_bytes as u64 {
+                    push(
+                        Rule::InfeasibleStaging,
+                        id,
+                        format!(
+                            "({label}) decomposed-NTT staging needs {staging} B \
+                             ({chains} chains x 2 x 2^{} x 8 B) but the scratchpad holds {} B",
+                            chip.ntt_pipeline_log2, chip.scratchpad_bytes
+                        ),
+                    );
+                }
+                for d in back_deps() {
+                    if let Kernel::Ntt {
+                        log_n: p_log_n,
+                        batch: p_batch,
+                        variant: p_variant,
+                        ..
+                    } = &nodes[d].kernel
+                    {
+                        if p_variant.output_bit_reversed() {
+                            push(
+                                Rule::NttOrderMismatch,
+                                id,
+                                format!(
+                                    "({label}) consumes node {d}'s {p_variant:?} output, which is \
+                                     bit-reversed; {variant:?} expects natural input order"
+                                ),
+                            );
+                        }
+                        let consumer_elems = (*batch as u64) << (*log_n).min(63);
+                        let producer_elems = (*p_batch as u64) << (*p_log_n).min(63);
+                        if consumer_elems < producer_elems {
+                            push(
+                                Rule::LdeShrinks,
+                                id,
+                                format!(
+                                    "({label}) covers {consumer_elems} elements but its NTT \
+                                     producer (node {d}) made {producer_elems}: an LDE edge \
+                                     never discards data"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Kernel::MerkleTree { num_leaves, leaf_len } => {
+                if !num_leaves.is_power_of_two() || *num_leaves < 2 || *leaf_len == 0 {
+                    push(
+                        Rule::MerkleShape,
+                        id,
+                        format!(
+                            "({label}) num_leaves={num_leaves}, leaf_len={leaf_len}: the §5.3 \
+                             mapping needs a full binary tree over nonempty leaves"
+                        ),
+                    );
+                }
+                for d in back_deps() {
+                    if let Kernel::Transpose { rows, cols } = &nodes[d].kernel {
+                        if num_leaves != cols || leaf_len != rows {
+                            push(
+                                Rule::LeafGatherMismatch,
+                                id,
+                                format!(
+                                    "({label}) commits {num_leaves} leaves of {leaf_len} elements \
+                                     but its leaf-gather transpose (node {d}) produced a \
+                                     {cols}x{rows} layout"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Kernel::Sponge { num_perms, .. } => {
+                if *num_perms == 0 {
+                    push(Rule::EmptyKernel, id, format!("({label}) runs zero permutations"));
+                }
+            }
+            Kernel::PolyOp { ops, reuse } => {
+                if *ops == 0 {
+                    push(Rule::EmptyKernel, id, format!("({label}) performs zero operations"));
+                }
+                if reuse.ideal_bytes > reuse.streaming_bytes
+                    || reuse.working_set_bytes > reuse.streaming_bytes
+                {
+                    push(
+                        Rule::ReuseInconsistent,
+                        id,
+                        format!(
+                            "({label}) reuse declares ideal={} working_set={} beyond \
+                             streaming={} bytes: the tiling analysis can only reduce traffic",
+                            reuse.ideal_bytes, reuse.working_set_bytes, reuse.streaming_bytes
+                        ),
+                    );
+                } else if reuse.ideal_bytes < reuse.streaming_bytes
+                    && reuse.working_set_bytes > (chip.scratchpad_bytes / 2) as u64
+                {
+                    push(
+                        Rule::ScratchpadOvercommit,
+                        id,
+                        format!(
+                            "({label}) claims reuse with a {} B working set, but the \
+                             double-buffered half-scratchpad holds {} B: traffic degrades \
+                             toward streaming",
+                            reuse.working_set_bytes,
+                            chip.scratchpad_bytes / 2
+                        ),
+                    );
+                }
+            }
+            Kernel::GateEval { ops, bytes, run_bytes } => {
+                if *ops == 0 || *bytes == 0 {
+                    push(
+                        Rule::EmptyKernel,
+                        id,
+                        format!("({label}) ops={ops}, bytes={bytes}: no work"),
+                    );
+                }
+                if u64::from(*run_bytes) > *bytes && *bytes > 0 {
+                    push(
+                        Rule::ReuseInconsistent,
+                        id,
+                        format!(
+                            "({label}) run length {run_bytes} B exceeds total traffic {bytes} B"
+                        ),
+                    );
+                }
+            }
+            Kernel::PartialProducts { len } => {
+                if *len == 0 {
+                    push(Rule::EmptyKernel, id, format!("({label}) empty quotient vector"));
+                }
+            }
+            Kernel::Transpose { rows, cols } => {
+                if rows.saturating_mul(*cols) == 0 {
+                    push(Rule::EmptyKernel, id, format!("({label}) {rows}x{cols} matrix"));
+                }
+                for d in back_deps() {
+                    if let Kernel::Ntt { log_n, batch, .. } = &nodes[d].kernel {
+                        let moved = rows.saturating_mul(*cols) as u64;
+                        let produced = (*batch as u64) << (*log_n).min(63);
+                        if moved != produced {
+                            push(
+                                Rule::BytesConservation,
+                                id,
+                                format!(
+                                    "({label}) streams {moved} elements but its NTT producer \
+                                     (node {d}) wrote {produced}: the transpose must move \
+                                     exactly what was made"
+                                ),
+                            );
+                        }
+                    }
+                }
+                // Zero-cost assumption (§7.1): the transpose must hide
+                // behind an adjacent costed kernel. Compare its buffer
+                // busy time against the best neighbour at peak bandwidth.
+                let b = chip.transpose_b as u64;
+                let tiles =
+                    (rows.div_ceil(chip.transpose_b) * cols.div_ceil(chip.transpose_b)) as u64;
+                // Fill/drain double-buffered across the banks (the
+                // functional model in `vsa::transpose_buffer` uses 8).
+                let busy = tiles * b / 8 + b;
+                let best_neighbour = back_deps()
+                    .map(node_cycles)
+                    .chain(last_consumer[id].map(node_cycles))
+                    .max()
+                    .unwrap_or(0);
+                if busy > best_neighbour {
+                    push(
+                        Rule::TransposeNotHidden,
+                        id,
+                        format!(
+                            "({label}) needs {busy} buffer cycles but its longest neighbour \
+                             runs {best_neighbour}: the zero-cost transpose assumption fails"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ---- liveness ---------------------------------------------------
+        if let Some(last) = last_consumer[id] {
+            let held = last - id;
+            if held > LIVENESS_WINDOW {
+                push(
+                    Rule::BufferHeldPastLastRead,
+                    id,
+                    format!(
+                        "({label}) output is last read by node {last}, {held} schedule positions \
+                         later: the vector stays HBM-resident across {held} kernel phases"
+                    ),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Panics with the rendered error list if `graph` fails verification
+/// against `chip`. The simulator calls this under `debug_assertions`.
+pub fn assert_verified(graph: &Graph, chip: &ChipConfig) {
+    let diags = check(graph, chip);
+    let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+    assert!(
+        errors.is_empty(),
+        "schedule failed static verification with {} error(s):\n{}",
+        errors.len(),
+        errors.iter().map(|d| d.render() + "\n").collect::<String>()
+    );
+}
+
+impl NttVariant {
+    /// Whether this variant emits its output in bit-reversed order (the
+    /// `NR` transforms of §5.1). Every variant consumes natural order.
+    pub fn output_bit_reversed(&self) -> bool {
+        matches!(self, NttVariant::ForwardNr | NttVariant::CosetForwardNr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};
+    use crate::graph::Node;
+    use crate::kernels::Layout;
+
+    fn chip() -> ChipConfig {
+        ChipConfig::default_chip()
+    }
+
+    #[test]
+    fn compiled_graphs_are_error_free() {
+        for rows in [10usize, 12, 14] {
+            let g = compile_plonky2(&Plonky2Instance::new(1 << rows, 135));
+            let diags = check(&g, &chip());
+            assert_eq!(error_count(&diags), 0, "plonky2 2^{rows}:\n{}", render_all(&diags));
+        }
+        let g = compile_starky(&StarkyInstance::new(1 << 12, 16, 8));
+        let diags = check(&g, &chip());
+        assert_eq!(error_count(&diags), 0, "starky:\n{}", render_all(&diags));
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let mut ids: Vec<&str> = Rule::ALL.iter().map(Rule::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Rule::ALL.len(), "duplicate rule id");
+        assert_eq!(Rule::DepOutOfRange.id(), "S01");
+        assert_eq!(Rule::BufferHeldPastLastRead.id(), "L01");
+    }
+
+    #[test]
+    fn forward_dep_is_a_cycle() {
+        let g = Graph::from_nodes_unchecked(vec![
+            Node {
+                kernel: Kernel::Sponge { num_perms: 1, parallel: false },
+                deps: vec![1],
+                label: "a".into(),
+            },
+            Node {
+                kernel: Kernel::Sponge { num_perms: 1, parallel: false },
+                deps: vec![0],
+                label: "b".into(),
+            },
+        ]);
+        let diags = check(&g, &chip());
+        assert!(diags.iter().any(|d| d.rule == Rule::DepNotTopological), "{}", render_all(&diags));
+    }
+
+    #[test]
+    fn dangling_dep_is_out_of_range() {
+        let g = Graph::from_nodes_unchecked(vec![Node {
+            kernel: Kernel::Sponge { num_perms: 1, parallel: false },
+            deps: vec![9],
+            label: "a".into(),
+        }]);
+        let diags = check(&g, &chip());
+        assert!(diags.iter().any(|d| d.rule == Rule::DepOutOfRange));
+    }
+
+    #[test]
+    fn assert_verified_panics_on_errors() {
+        let g = Graph::from_nodes_unchecked(vec![Node {
+            kernel: Kernel::Sponge { num_perms: 1, parallel: false },
+            deps: vec![9],
+            label: "a".into(),
+        }]);
+        let result = std::panic::catch_unwind(|| assert_verified(&g, &chip()));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("S01"), "{msg}");
+    }
+
+    #[test]
+    fn warnings_do_not_trip_the_assertion() {
+        let mut g = Graph::new();
+        g.push(Kernel::Sponge { num_perms: 0, parallel: false }, vec![], "empty");
+        assert_verified(&g, &chip()); // D07 is a warning
+        assert_eq!(error_count(&check(&g, &chip())), 0);
+        assert!(check(&g, &chip()).iter().any(|d| d.rule == Rule::EmptyKernel));
+    }
+
+    #[test]
+    fn oversized_ntt_is_rejected() {
+        let mut g = Graph::new();
+        g.push(
+            Kernel::Ntt {
+                log_n: MAX_NTT_LOG2 + 1,
+                batch: 1,
+                variant: NttVariant::ForwardNn,
+                layout: Layout::PolyMajor,
+            },
+            vec![],
+            "huge",
+        );
+        let diags = check(&g, &chip());
+        assert!(diags.iter().any(|d| d.rule == Rule::NttExceedsTwoAdicity));
+    }
+}

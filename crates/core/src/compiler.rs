@@ -116,13 +116,13 @@ impl StarkyInstance {
 /// `rows`: `iNTT → coset LDE NTT^NR → leaf gather → Merkle` (Fig. 1 / the
 /// "Wires Commitment" node of Fig. 7).
 fn push_commit(g: &mut Graph, rows: usize, batch: usize, rate_bits: usize, what: &str) {
-    push_commit_inner(g, rows, batch, rate_bits, what, true)
+    push_commit_inner(g, rows, batch, rate_bits, what, true);
 }
 
 /// Like [`push_commit`] but for batches already in coefficient form (the
 /// quotient chunks), which skip the leading `iNTT`.
 fn push_commit_coeffs(g: &mut Graph, rows: usize, batch: usize, rate_bits: usize, what: &str) {
-    push_commit_inner(g, rows, batch, rate_bits, what, false)
+    push_commit_inner(g, rows, batch, rate_bits, what, false);
 }
 
 fn push_commit_inner(
@@ -301,7 +301,7 @@ pub fn compile_plonky2(inst: &Plonky2Instance) -> Graph {
         Kernel::GateEval {
             ops: (s * lde * (4 * w + 20)) as u64,
             bytes: (lde * leaf_width * 8) as u64,
-            run_bytes: (w * 8) as u32,
+            run_bytes: u32::try_from(w * 8).expect("circuit width fits u32"),
         },
         "Quotient: constraint evaluation",
     );
@@ -357,7 +357,7 @@ pub fn compile_starky(inst: &StarkyInstance) -> Graph {
         Kernel::GateEval {
             ops: (s * lde * (3 * inst.num_constraints + 8)) as u64,
             bytes: (lde * 2 * w * 8) as u64, // local + next rows
-            run_bytes: (w * 8) as u32,
+            run_bytes: u32::try_from(w * 8).expect("circuit width fits u32"),
         },
         "Quotient: constraint evaluation",
     );

@@ -1,10 +1,53 @@
 //! The static computation graph the compiler emits (paper §5.5, Fig. 7).
 
+use std::fmt;
 
 use crate::kernels::Kernel;
 
 /// Index of a node in its graph.
 pub type NodeId = usize;
+
+/// Why a node could not be inserted into a [`Graph`].
+///
+/// UniZK schedules statically, so a graph is built in topological
+/// (insertion) order: every dependency must name an already-inserted node,
+/// exactly once. Violations are construction bugs in the compiler
+/// front-end, not runtime conditions — [`Graph::push`] panics on them,
+/// while [`Graph::try_push`] surfaces them to callers that assemble graphs
+/// from untrusted descriptions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A dependency names a node at or beyond the inserting node's id —
+    /// it is not yet inserted (forward or self reference).
+    DepOutOfRange {
+        /// The id the offending node would receive.
+        node: NodeId,
+        /// The out-of-range dependency.
+        dep: NodeId,
+    },
+    /// The same dependency appears more than once in one node's dep list.
+    DepDuplicate {
+        /// The id the offending node would receive.
+        node: NodeId,
+        /// The repeated dependency.
+        dep: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DepOutOfRange { node, dep } => {
+                write!(f, "dependency {dep} not yet inserted (node {node})")
+            }
+            GraphError::DepDuplicate { node, dep } => {
+                write!(f, "dependency {dep} listed twice (node {node})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// One kernel instance with its dependencies.
 #[derive(Clone, Debug)]
@@ -30,23 +73,40 @@ impl Graph {
         Self::default()
     }
 
-    /// Appends a kernel with dependencies; returns its id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a dependency id is not yet in the graph (insertion order
-    /// must be topological).
-    pub fn push(&mut self, kernel: Kernel, deps: Vec<NodeId>, label: impl Into<String>) -> NodeId {
+    /// Appends a kernel with dependencies; returns its id or why the
+    /// dependency list is ill-formed (out of range or duplicated).
+    pub fn try_push(
+        &mut self,
+        kernel: Kernel,
+        deps: Vec<NodeId>,
+        label: impl Into<String>,
+    ) -> Result<NodeId, GraphError> {
         let id = self.nodes.len();
-        for &d in &deps {
-            assert!(d < id, "dependency {d} not yet inserted (node {id})");
+        for (i, &d) in deps.iter().enumerate() {
+            if d >= id {
+                return Err(GraphError::DepOutOfRange { node: id, dep: d });
+            }
+            if deps[..i].contains(&d) {
+                return Err(GraphError::DepDuplicate { node: id, dep: d });
+            }
         }
         self.nodes.push(Node {
             kernel,
             deps,
             label: label.into(),
         });
-        id
+        Ok(id)
+    }
+
+    /// Appends a kernel with dependencies; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is not yet in the graph (insertion order
+    /// must be topological) or is listed twice.
+    pub fn push(&mut self, kernel: Kernel, deps: Vec<NodeId>, label: impl Into<String>) -> NodeId {
+        self.try_push(kernel, deps, label)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Appends a kernel depending on the previous node (chain style).
@@ -74,13 +134,28 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Builds a graph from raw nodes **without** validating dependency
+    /// lists. Exists so analysis tooling (the `unizk-analyze` mutation
+    /// corpus) can construct deliberately ill-formed graphs that
+    /// [`Graph::push`] would reject; everything else should go through
+    /// [`Graph::push`]/[`Graph::try_push`].
+    pub fn from_nodes_unchecked(nodes: Vec<Node>) -> Self {
+        Self { nodes }
+    }
+
     /// Merges another graph after this one, chaining its first node to this
     /// graph's last node and offsetting its internal dependencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if re-indexing a dependency would overflow [`NodeId`].
     pub fn append(&mut self, other: Graph) {
         let offset = self.nodes.len();
         for (i, mut node) in other.nodes.into_iter().enumerate() {
             for d in node.deps.iter_mut() {
-                *d += offset;
+                *d = d
+                    .checked_add(offset)
+                    .unwrap_or_else(|| panic!("dependency {d} + offset {offset} overflows NodeId"));
             }
             if i == 0 && offset > 0 && node.deps.is_empty() {
                 node.deps.push(offset - 1);
@@ -115,6 +190,32 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_deps_rejected() {
+        let mut g = Graph::new();
+        g.push(sponge(1), vec![], "a");
+        g.push(sponge(2), vec![], "b");
+        g.push(sponge(3), vec![0, 1, 0], "bad");
+    }
+
+    #[test]
+    fn try_push_reports_the_offense() {
+        let mut g = Graph::new();
+        g.push(sponge(1), vec![], "a");
+        assert_eq!(
+            g.try_push(sponge(2), vec![1], "forward"),
+            Err(GraphError::DepOutOfRange { node: 1, dep: 1 })
+        );
+        assert_eq!(
+            g.try_push(sponge(2), vec![0, 0], "dup"),
+            Err(GraphError::DepDuplicate { node: 1, dep: 0 })
+        );
+        // Failed pushes leave the graph untouched.
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.try_push(sponge(2), vec![0], "ok"), Ok(1));
+    }
+
+    #[test]
     fn append_offsets_deps() {
         let mut g1 = Graph::new();
         g1.push(sponge(1), vec![], "a");
@@ -125,5 +226,16 @@ mod tests {
         assert_eq!(g1.len(), 3);
         assert_eq!(g1.nodes()[1].deps, vec![0]); // chained across graphs
         assert_eq!(g1.nodes()[2].deps, vec![1]);
+    }
+
+    #[test]
+    fn unchecked_construction_bypasses_validation() {
+        let node = Node {
+            kernel: sponge(1),
+            deps: vec![7],
+            label: "dangling".into(),
+        };
+        let g = Graph::from_nodes_unchecked(vec![node]);
+        assert_eq!(g.nodes()[0].deps, vec![7]);
     }
 }

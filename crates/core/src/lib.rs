@@ -20,6 +20,9 @@
 //! * [`sim`] — the static scheduler: double-buffered compute/memory
 //!   overlap, per-kernel-class cycle and utilization statistics (the
 //!   numbers behind Tables 3–4 and Figs. 8–10).
+//! * [`analyze`] — the static schedule verifier: a lint pass over compiled
+//!   kernel graphs that rejects ill-formed schedules (dangling deps,
+//!   order mismatches, resource overcommit) before they are simulated.
 //! * [`chipmodel`] — the first-order area/power model reproducing Table 2.
 //!
 //! # Example
@@ -36,6 +39,9 @@
 //! assert!(report.total_cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod arch;
 pub mod chipmodel;
 pub mod compiler;
@@ -47,6 +53,7 @@ pub mod sim;
 pub mod sumcheck;
 pub mod vsa;
 
+pub use analyze::{Diagnostic, Rule, Severity};
 pub use arch::ChipConfig;
 pub use chipmodel::{AreaPowerBreakdown, ComponentBudget};
 pub use compiler::{compile_plonky2, compile_starky, Plonky2Instance, StarkyInstance};

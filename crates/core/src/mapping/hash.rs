@@ -109,6 +109,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::cast_possible_truncation)] // cycle counts are non-negative
     fn merkle_is_compute_bound_at_paper_scale() {
         // The paper's Table 4: hash kernels are compute-bound (~96% VSA
         // util, ~21% memory util).

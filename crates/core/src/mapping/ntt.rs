@@ -51,7 +51,8 @@ pub fn map_ntt(log_n: usize, batch: usize, layout: Layout, chip: &ChipConfig) ->
     let pattern = match layout {
         Layout::PolyMajor => AccessPattern::Sequential,
         Layout::IndexMajor => AccessPattern::ShortRuns {
-            run: ((chip.transpose_b as u64 * elem_bytes) / 64).max(1) as u32,
+            run: u32::try_from(((chip.transpose_b as u64 * elem_bytes) / 64).max(1))
+                .expect("transpose run length fits u32"),
         },
     };
 

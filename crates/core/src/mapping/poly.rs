@@ -17,6 +17,7 @@ fn lanes(chip: &ChipConfig) -> u64 {
 }
 
 /// Element-wise vector computation with compiler-managed reuse.
+#[allow(clippy::cast_possible_truncation)] // traffic is capped at streaming_bytes
 pub fn map_poly_op(ops: u64, reuse: &Reuse, chip: &ChipConfig) -> KernelCost {
     let compute_cycles = ops.div_ceil(lanes(chip)).max(1);
     // Tiling analysis: scale traffic between ideal and streaming by how

@@ -196,6 +196,13 @@ impl Simulator {
     /// Like [`Simulator::run`] but also returns the per-node schedule —
     /// the compiler backend's "detailed schedules" (paper §5.5).
     pub fn run_with_trace(&self, graph: &Graph) -> (SimReport, Vec<NodeTrace>) {
+        // Debug builds verify every schedule before simulating it, so the
+        // whole test suite exercises the static analyzer for free. Release
+        // builds skip the pass; run the `lint` binary (unizk-analyze) to
+        // verify explicitly.
+        #[cfg(debug_assertions)]
+        crate::analyze::assert_verified(graph, &self.chip);
+
         let _sim_span = unizk_testkit::trace::span("sim.run");
         unizk_testkit::trace::counter("sim.runs", 1);
         unizk_testkit::trace::counter("sim.nodes", graph.len() as u64);

@@ -189,7 +189,7 @@ mod tests {
         let mut hw = pipeline.process(&input);
         reverse_index_bits(&mut hw);
 
-        let mut golden = input.clone();
+        let mut golden = input;
         intt_nn(&mut golden);
         assert_eq!(hw, golden);
     }
@@ -212,7 +212,7 @@ mod tests {
         let mut hw = pipeline.process(&input);
         reverse_index_bits(&mut hw);
 
-        let mut golden = input.clone();
+        let mut golden = input;
         coset_intt_nn(&mut golden, g);
         assert_eq!(hw, golden);
     }
@@ -253,9 +253,9 @@ mod tests {
         let b = random_vec(&mut rng, 16);
         let ra = p.process(&a);
         let rb = p.process(&b);
-        let mut ga = a.clone();
+        let mut ga = a;
         ntt_nr(&mut ga);
-        let mut gb = b.clone();
+        let mut gb = b;
         ntt_nr(&mut gb);
         assert_eq!(ra, ga);
         assert_eq!(rb, gb);

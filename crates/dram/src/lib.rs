@@ -25,6 +25,8 @@
 //! assert!(rnd > seq, "random access must cost more cycles");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod model;
 pub mod system;

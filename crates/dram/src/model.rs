@@ -88,6 +88,7 @@ impl MemoryModel {
     }
 
     /// Cycles to move `bytes` under `pattern`, at measured efficiency.
+    #[allow(clippy::cast_possible_truncation)] // non-negative cycle count
     pub fn stream_cycles(&self, bytes: u64, pattern: AccessPattern) -> u64 {
         if bytes == 0 {
             return 0;
@@ -149,14 +150,17 @@ impl MemoryModel {
         let efficiency = (achieved / self.config.peak_bytes_per_cycle()).clamp(0.0, 1.0);
         // Publish the measured efficiency and mean channel occupancy in
         // parts-per-million (counters are integral).
-        trace::counter_string(
-            format!("dram.efficiency_ppm.{}", pattern.label()),
-            (efficiency * 1e6) as u64,
-        );
-        trace::counter_string(
-            format!("dram.channel_occupancy_ppm.{}", pattern.label()),
-            (sys.channel_occupancy() * 1e6) as u64,
-        );
+        #[allow(clippy::cast_possible_truncation)] // ppm of a [0, 1] ratio
+        {
+            trace::counter_string(
+                format!("dram.efficiency_ppm.{}", pattern.label()),
+                (efficiency * 1e6) as u64,
+            );
+            trace::counter_string(
+                format!("dram.channel_occupancy_ppm.{}", pattern.label()),
+                (sys.channel_occupancy() * 1e6) as u64,
+            );
+        }
         efficiency
     }
 }

@@ -124,6 +124,7 @@ impl MemorySystem {
     }
 
     /// Issues one transaction; returns its completion cycle.
+    #[allow(clippy::cast_possible_truncation)] // indices are mod usize-valued config
     pub fn access(&mut self, t: Transaction) -> u64 {
         let cfg = &self.config;
         let block = t.addr / cfg.burst_bytes as u64;
@@ -225,7 +226,7 @@ mod tests {
     use super::*;
     use unizk_testkit::rng::TestRng as StdRng;
 
-    fn sequential_bw(cfg: HbmConfig, bursts: u64) -> f64 {
+    fn sequential_bw(cfg: &HbmConfig, bursts: u64) -> f64 {
         let burst = cfg.burst_bytes as u64;
         let mut sys = MemorySystem::new(cfg.clone());
         sys.access_stream(0, burst, bursts, false);
@@ -235,7 +236,7 @@ mod tests {
     #[test]
     fn sequential_stream_approaches_peak() {
         let cfg = HbmConfig::hbm2e_two_stacks();
-        let bw = sequential_bw(cfg.clone(), 100_000);
+        let bw = sequential_bw(&cfg, 100_000);
         let peak = cfg.peak_bytes_per_cycle();
         assert!(bw > 0.8 * peak, "bw {bw} vs peak {peak}");
         assert!(bw <= peak + 1e-9);
@@ -244,7 +245,7 @@ mod tests {
     #[test]
     fn random_access_is_much_slower() {
         let cfg = HbmConfig::hbm2e_two_stacks();
-        let seq = sequential_bw(cfg.clone(), 50_000);
+        let seq = sequential_bw(&cfg, 50_000);
         let mut sys = MemorySystem::new(cfg.clone());
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..50_000 {
@@ -258,7 +259,7 @@ mod tests {
     #[test]
     fn row_hits_dominate_sequential_streams() {
         let cfg = HbmConfig::hbm2e_two_stacks();
-        let mut sys = MemorySystem::new(cfg.clone());
+        let mut sys = MemorySystem::new(cfg);
         sys.access_stream(0, 64, 100_000, false);
         assert!(sys.stats().hit_rate() > 0.9, "hit rate {}", sys.stats().hit_rate());
     }
@@ -275,8 +276,8 @@ mod tests {
 
     #[test]
     fn more_channels_more_bandwidth() {
-        let full = sequential_bw(HbmConfig::hbm2e_two_stacks(), 100_000);
-        let half = sequential_bw(HbmConfig::scaled_bandwidth(1, 2), 100_000);
+        let full = sequential_bw(&HbmConfig::hbm2e_two_stacks(), 100_000);
+        let half = sequential_bw(&HbmConfig::scaled_bandwidth(1, 2), 100_000);
         assert!(full > 1.7 * half, "full {full} half {half}");
     }
 
@@ -296,8 +297,8 @@ mod tests {
         let with = HbmConfig::hbm2e_two_stacks();
         let mut without = HbmConfig::hbm2e_two_stacks();
         without.t_refi = 0;
-        let bw_with = sequential_bw(with, 200_000);
-        let bw_without = sequential_bw(without, 200_000);
+        let bw_with = sequential_bw(&with, 200_000);
+        let bw_without = sequential_bw(&without, 200_000);
         assert!(bw_with < bw_without, "with {bw_with} without {bw_without}");
         // But only by single-digit percent.
         assert!(bw_with > 0.85 * bw_without);

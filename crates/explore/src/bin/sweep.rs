@@ -52,7 +52,7 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => {
                 jobs = value("--jobs")?
                     .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?
+                    .map_err(|e| format!("--jobs: {e}"))?;
             }
             "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--no-cache" => cache_dir = None,

@@ -35,6 +35,8 @@
 //! assert!(!result.pareto.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod engine;
 pub mod hash;

@@ -334,7 +334,7 @@ impl PointResult {
             chip_v
                 .get(key)
                 .and_then(Json::as_u64)
-                .map(|n| n as usize)
+                .and_then(|n| usize::try_from(n).ok())
                 .ok_or_else(|| format!("point: chip.{key} is not a u64"))
         };
         let chip = ChipSummary {
@@ -360,14 +360,19 @@ impl PointResult {
             log_rows: wl_v
                 .get("log_rows")
                 .and_then(Json::as_u64)
-                .ok_or("point: workload.log_rows is not a u64")? as usize,
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or("point: workload.log_rows is not a u64")?,
             width: wl_v
                 .get("width")
                 .and_then(Json::as_u64)
-                .ok_or("point: workload.width is not a u64")? as usize,
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or("point: workload.width is not a u64")?,
             chunk_size: match wl_v.get("chunk_size") {
                 Some(Json::Null) | None => None,
-                Some(val) => Some(u64_of(val, "workload.chunk_size")? as usize),
+                Some(val) => Some(
+                    usize::try_from(u64_of(val, "workload.chunk_size")?)
+                        .expect("chunk size fits usize"),
+                ),
             },
         };
 

@@ -267,7 +267,7 @@ fn usize_axis(val: &Json, what: &str) -> Result<Vec<usize>, String> {
         .iter()
         .map(|v| {
             v.as_u64()
-                .map(|n| n as usize)
+                .and_then(|n| usize::try_from(n).ok())
                 .ok_or_else(|| format!("spec: {what} entries must be unsigned integers"))
         })
         .collect()
@@ -282,7 +282,7 @@ fn parse_chip_axes(val: &Json, spec: &mut SweepSpec) -> Result<(), String> {
             "scratchpad_mb" => spec.scratchpad_mb = usize_axis(axis, "chip.scratchpad_mb")?,
             "transpose_b" => spec.transpose_b = usize_axis(axis, "chip.transpose_b")?,
             "ntt_pipeline_log2" => {
-                spec.ntt_pipeline_log2 = usize_axis(axis, "chip.ntt_pipeline_log2")?
+                spec.ntt_pipeline_log2 = usize_axis(axis, "chip.ntt_pipeline_log2")?;
             }
             other => return Err(format!("spec: unknown chip axis {other:?}")),
         }
@@ -305,8 +305,14 @@ fn parse_dram_axes(val: &Json, spec: &mut SweepSpec) -> Result<(), String> {
                         .as_arr()
                         .filter(|p| p.len() == 2)
                         .ok_or("spec: dram.bandwidth_scale entries must be [num, den] pairs")?;
-                    let num = pair[0].as_u64().ok_or("spec: bandwidth numerator")? as usize;
-                    let den = pair[1].as_u64().ok_or("spec: bandwidth denominator")? as usize;
+                    let num = pair[0]
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or("spec: bandwidth numerator")?;
+                    let den = pair[1]
+                        .as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or("spec: bandwidth denominator")?;
                     if den == 0 {
                         return Err("spec: bandwidth denominator must be nonzero".into());
                     }
@@ -345,15 +351,21 @@ fn parse_workload(item: &Json) -> Result<WorkloadSpec, String> {
                 })?);
             }
             "shrink_bits" => {
-                let bits = val.as_u64().ok_or("spec: shrink_bits must be an unsigned integer")?;
-                scale = Scale::Shrunk(bits as usize);
+                let bits = val
+                    .as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or("spec: shrink_bits must be an unsigned integer")?;
+                scale = Scale::Shrunk(bits);
             }
             "chunk_size" => {
-                let c = val.as_u64().ok_or("spec: chunk_size must be an unsigned integer")?;
+                let c = val
+                    .as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or("spec: chunk_size must be an unsigned integer")?;
                 if c == 0 {
                     return Err("spec: chunk_size must be nonzero".into());
                 }
-                chunk_size = Some(c as usize);
+                chunk_size = Some(c);
             }
             other => return Err(format!("spec: unknown workload key {other:?}")),
         }

@@ -2,6 +2,9 @@
 //! the frontier contains exactly the non-dominated points, and the
 //! *selected cost triples* do not depend on input order.
 
+// Costs are exact small integers, so f64 <-> u64 round trips are lossless.
+#![allow(clippy::cast_possible_truncation)]
+
 use unizk_explore::pareto::{dominates, frontier};
 use unizk_testkit::prop::prelude::*;
 

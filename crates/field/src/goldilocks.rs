@@ -75,6 +75,7 @@ impl Goldilocks {
     /// Writes `n = lo + mid * 2^64 + hi * 2^96` with `mid` the bits 64..96
     /// and `hi` the bits 96..128; then `n ≡ lo + mid * (2^32 - 1) - hi`.
     #[inline]
+    #[allow(clippy::cast_possible_truncation)] // word splitting is the reduction
     pub fn reduce128(n: u128) -> Self {
         let lo = n as u64;
         let high = (n >> 64) as u64;
@@ -330,6 +331,7 @@ impl fmt::UpperHex for Goldilocks {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // reference results are < p, which fits u64
 mod tests {
     use super::*;
     use unizk_testkit::rng::TestRng as StdRng;

@@ -41,6 +41,8 @@
 //! assert_eq!(b * inv, Goldilocks::ONE);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod extension;
 pub mod goldilocks;
 pub mod par;

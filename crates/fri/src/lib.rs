@@ -40,6 +40,8 @@
 //!     .expect("honest proof verifies");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod proof;

@@ -390,7 +390,7 @@ mod tests {
     fn grinding_finds_valid_witness() {
         let challenger = Challenger::new();
         let w = grind(&challenger, 6);
-        let mut c = challenger.clone();
+        let mut c = challenger;
         c.observe(w);
         assert!(pow_ok(c.challenge(), 6));
     }

@@ -67,7 +67,8 @@ impl Writer {
     /// Writes a length prefix (stored as `u32`, counted separately from the
     /// payload in size accounting).
     pub fn len_prefix(&mut self, n: usize) {
-        self.buf.extend_from_slice(&(n as u32).to_le_bytes());
+        let n = u32::try_from(n).expect("length prefix fits u32");
+        self.buf.extend_from_slice(&n.to_le_bytes());
     }
 
     /// Writes a field element (8 bytes).
@@ -123,7 +124,7 @@ impl<'a> Reader<'a> {
         if n > (1 << 30) {
             return Err(WireError::LengthOutOfRange(n));
         }
-        Ok(n as usize)
+        Ok(usize::try_from(n).expect("bounded length fits usize"))
     }
 
     /// Reads a field element.

@@ -29,6 +29,8 @@
 //! assert_ne!(digest.0[0], Goldilocks::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod digest;
 pub mod merkle;
 pub mod poseidon;

@@ -151,7 +151,8 @@ impl Challenger {
     /// reduced to `bits` low bits.
     pub fn challenge_bits(&mut self, bits: usize) -> usize {
         assert!(bits < 64, "at most 63 challenge bits");
-        (self.challenge().as_u64() & ((1 << bits) - 1)) as usize
+        usize::try_from(self.challenge().as_u64() & ((1 << bits) - 1))
+            .expect("query-index bits fit usize")
     }
 
     fn duplex(&mut self) {

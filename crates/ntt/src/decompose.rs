@@ -168,7 +168,7 @@ mod tests {
         let v = random_vec(&mut rng, 64);
         let mut mono = v.clone();
         ntt_nn(&mut mono);
-        let mut dec = v.clone();
+        let mut dec = v;
         decomposed_ntt_nn(&mut dec, &[8, 8]);
         assert_eq!(dec, mono);
     }
@@ -180,7 +180,7 @@ mod tests {
         let v = random_vec(&mut rng, 512);
         let mut mono = v.clone();
         ntt_nn(&mut mono);
-        let mut dec = v.clone();
+        let mut dec = v;
         decomposed_ntt_nn(&mut dec, &[8, 8, 8]);
         assert_eq!(dec, mono);
     }
@@ -204,7 +204,7 @@ mod tests {
         let v = random_vec(&mut rng, 128);
         let mut mono = v.clone();
         crate::radix2::ntt_nr(&mut mono);
-        let mut dec = v.clone();
+        let mut dec = v;
         decomposed_ntt_nr(&mut dec, &[16, 8]);
         assert_eq!(dec, mono);
     }
@@ -257,7 +257,7 @@ mod tests {
         let v = random_vec(&mut rng, 1 << 10);
         let mut mono = v.clone();
         ntt_nn(&mut mono);
-        let mut dec = v.clone();
+        let mut dec = v;
         decomposed_ntt_nn(&mut dec, &plan.dims);
         assert_eq!(dec, mono);
     }

@@ -104,7 +104,7 @@ mod tests {
         let n = 8usize;
         let shift = F::MULTIPLICATIVE_GENERATOR;
         let coeffs: Vec<F> = (0..n).map(|_| F::random(&mut rng)).collect();
-        let poly = Polynomial::from_coeffs(coeffs.clone());
+        let poly = Polynomial::from_coeffs(coeffs);
         // Values on H.
         let omega = F::primitive_root_of_unity(log2_strict(n));
         let values: Vec<F> = (0..n)
@@ -123,7 +123,7 @@ mod tests {
     fn blowup_factor_one_is_just_coset_eval() {
         let coeffs: Vec<F> = (1..=4u64).map(F::from_u64).collect();
         let ext = lde(&coeffs, 0, F::ONE);
-        let mut direct = coeffs.clone();
+        let mut direct = coeffs;
         crate::radix2::ntt_nn(&mut direct);
         assert_eq!(ext, direct);
     }

@@ -210,7 +210,7 @@ mod tests {
         let coeffs = random_vec(&mut rng, n);
         let mut nn = coeffs.clone();
         ntt_nn(&mut nn);
-        let mut nr = coeffs.clone();
+        let mut nr = coeffs;
         ntt_nr(&mut nr);
         for i in 0..n {
             assert_eq!(nr[i], nn[bit_reverse(i, 6)]);
@@ -322,9 +322,9 @@ mod tests {
         let b = random_vec(&mut rng, n);
         let mut sum: Vec<Goldilocks> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         ntt_nn(&mut sum);
-        let mut fa = a.clone();
+        let mut fa = a;
         ntt_nn(&mut fa);
-        let mut fb = b.clone();
+        let mut fb = b;
         ntt_nn(&mut fb);
         let expect: Vec<Goldilocks> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
         assert_eq!(sum, expect);

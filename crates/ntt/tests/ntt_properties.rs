@@ -53,7 +53,7 @@ prop! {
         // Any 2-way split of 2^8 computes the same transform.
         let mut mono = seed_vec.clone();
         ntt_nn(&mut mono);
-        let mut dec = seed_vec.clone();
+        let mut dec = seed_vec;
         decomposed_ntt_nn(&mut dec, &[1 << split, 1 << (8 - split)]);
         prop_assert_eq!(dec, mono);
     }
@@ -62,7 +62,7 @@ prop! {
         let plan = NttDecomposition::plan(8, log_small);
         let mut mono = seed_vec.clone();
         ntt_nn(&mut mono);
-        let mut dec = seed_vec.clone();
+        let mut dec = seed_vec;
         decomposed_ntt_nn(&mut dec, &plan.dims);
         prop_assert_eq!(dec, mono);
     }
@@ -72,7 +72,7 @@ prop! {
         // original evaluations on H.
         let coeffs = seed_vec;
         let ext = lde(&coeffs, rate, Goldilocks::ONE);
-        let mut base = coeffs.clone();
+        let mut base = coeffs;
         ntt_nn(&mut base);
         let k = 1 << rate;
         for (i, &b) in base.iter().enumerate() {

@@ -45,6 +45,8 @@
 //! circuit.verify(&proof).expect("proof verifies");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod circuit;
 pub mod error;

@@ -20,6 +20,8 @@
 //! verify(&air, &proof, &config).expect("proof verifies");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod air;
 pub mod aggregate;
 pub mod airs;

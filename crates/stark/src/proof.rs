@@ -46,7 +46,7 @@ impl StarkProof {
         let mut r = unizk_fri::Reader::new(bytes);
         let trace_root = r.digest()?;
         let quotient_root = r.digest()?;
-        let rows = r.u64()? as usize;
+        let rows = usize::try_from(r.u64()?).expect("row count fits usize");
         let fri = FriProof::from_bytes(&bytes[2 * 32 + 8..])?;
         Ok(Self {
             trace_root,

@@ -128,6 +128,8 @@ impl BenchmarkGroup {
     }
 
     /// Runs one parameterized benchmark ([`BenchmarkId`] + input).
+    // By-value `id` mirrors criterion's signature, which call sites copy.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
@@ -206,9 +208,12 @@ impl Bencher {
             black_box(routine());
             warmup_iters += 1;
         }
-        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
-        let batch = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1))
-            .clamp(1, u32::MAX as u128) as u32;
+        let per_iter =
+            warmup_start.elapsed() / u32::try_from(warmup_iters.max(1)).unwrap_or(u32::MAX);
+        let batch = u32::try_from(
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u128::from(u32::MAX)),
+        )
+        .expect("clamped to u32 range");
 
         let mut times: Vec<Duration> = (0..self.samples)
             .map(|_| {
@@ -291,7 +296,7 @@ mod tests {
         g.sample_size(3).throughput(Throughput::Elements(10));
         g.bench_function("add", |b| b.iter(|| 1u64 + 1));
         g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
-            b.iter(|| x.wrapping_mul(x))
+            b.iter(|| x.wrapping_mul(x));
         });
         g.finish();
     }

@@ -31,6 +31,8 @@
 //! from explicit `u64` seeds through portable integer-only generators, so
 //! any test failure reproduces bit-for-bit on any machine.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bench;

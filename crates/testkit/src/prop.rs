@@ -65,8 +65,10 @@ impl CaseError {
     }
 
     /// A failure with a formatted message and a source location.
-    pub fn fail_msg(msg: String, file: &str, line: u32) -> Self {
-        CaseError::Fail(format!("{msg} at {file}:{line}"))
+    pub fn fail_msg(mut msg: String, file: &str, line: u32) -> Self {
+        use core::fmt::Write;
+        let _ = write!(msg, " at {file}:{line}");
+        CaseError::Fail(msg)
     }
 }
 
@@ -672,6 +674,9 @@ const MAX_SHRINK_ITERS: u32 = 1024;
 ///
 /// Panics (failing the enclosing `#[test]`) on the first shrunk failing
 /// case, or when `prop_assume!` rejects too many inputs.
+// The prop! macro hands over a freshly built tuple strategy; taking it by
+// value mirrors proptest's runner.
+#[allow(clippy::needless_pass_by_value)]
 pub fn run_prop<S, F>(name: &str, cases: u32, strategy: S, test: F)
 where
     S: Strategy,

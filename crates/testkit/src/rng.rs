@@ -156,6 +156,9 @@ pub trait Sample: Sized {
 macro_rules! impl_sample_uint {
     ($($t:ty),*) => {$(
         impl Sample for $t {
+            // Truncating the 64-bit draw is the uniform sampler for
+            // narrower integer types.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
                 rng.next_u64() as $t
             }
@@ -213,6 +216,8 @@ fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
 macro_rules! impl_sample_range_uint {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
+            // `uniform_below(span)` is < span, which fits $t by construction.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample from empty range");
                 let span = (self.end - self.start) as u64;
@@ -221,6 +226,7 @@ macro_rules! impl_sample_range_uint {
         }
 
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample from empty range");

@@ -237,7 +237,7 @@ pub fn span(name: &'static str) -> Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let ns = self.start.elapsed().as_nanos() as u64;
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         with_local(|l| {
             // A reset between open and close discards the measurement.
             if self.epoch != l.epoch || l.stack.len() <= self.depth {
@@ -347,6 +347,10 @@ impl Drop for AttachGuard {
             if self.epoch == l.epoch && l.stack.len() >= self.restore {
                 l.stack.truncate(self.restore);
             }
+            // Merge eagerly: a joiner (e.g. `thread::scope`) can observe the
+            // worker as finished before its thread-local destructors run, so
+            // waiting for the TLS flush would race a subsequent `snapshot`.
+            l.flush_into_global();
         });
     }
 }

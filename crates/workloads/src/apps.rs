@@ -169,6 +169,7 @@ impl App {
             App::Fibonacci => (synthetic::fibonacci_circuit(config, target), vec![]),
             App::Mvm => {
                 // m·(2m − 1) + m gates ≈ rows: m ≈ sqrt(rows / 2).
+                #[allow(clippy::cast_possible_truncation)] // rows <= 2^20, sqrt is exact enough
                 let m = ((rows / 2) as f64).sqrt() as usize;
                 synthetic::mvm_circuit(config, m.max(4))
             }

@@ -13,6 +13,8 @@
 //!   PipeZK's published numbers (DESIGN.md §2.5).
 //! * [`starks`] — Starky AIRs for the Table 5/6 workloads.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod cpu;
 pub mod gpu;

@@ -32,7 +32,7 @@ fn main() {
         );
     };
 
-    show("default (32 VSA/8MB/1x)".into(), base_chip.clone());
+    show("default (32 VSA/8MB/1x)".into(), base_chip);
     for n in [8usize, 16, 64] {
         show(format!("{n} VSAs"), ChipConfig::default_chip().with_vsas(n));
     }

@@ -10,9 +10,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT_DIR="${1:-.}"
+mkdir -p "$OUT_DIR"
 
 echo "== build (release, offline) =="
 cargo build --release --offline -p unizk-bench --bin baseline
+cargo build --release --offline -p unizk-analyze --bin lint
+
+# Never record a perf artifact for a schedule the static verifier rejects:
+# a broken mapping would produce numbers that look comparable but aren't.
+echo "== schedule lint gate =="
+./target/release/lint --quiet \
+    || { echo "FAIL: schedule lint found errors; refusing to write BENCH_*.json"; exit 1; }
 
 echo "== baseline =="
 ./target/release/baseline --out-dir "$OUT_DIR"

@@ -15,11 +15,18 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> cargo clippy --all-targets --offline -- -D warnings"
-cargo clippy --all-targets --offline -- -D warnings
+echo "==> cargo clippy --all-targets --offline (-D warnings + pedantic subset)"
+cargo clippy --all-targets --offline -- -D warnings \
+    -D clippy::needless_pass_by_value \
+    -D clippy::cast_possible_truncation \
+    -D clippy::redundant_clone \
+    -D clippy::semicolon_if_nothing_returned
 
 echo "==> cargo doc --workspace --no-deps --offline (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> schedule lint (all workloads + explore specs)"
+./target/release/lint --quiet
 
 echo "==> smoke sweep (cold, then fully cached)"
 SWEEP_TMP="$(mktemp -d)"

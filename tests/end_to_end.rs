@@ -58,7 +58,7 @@ fn starky_pipeline_end_to_end() {
     );
 
     let chip = ChipConfig::default_chip();
-    let base_sim = Simulator::new(chip.clone()).run(&compile_starky(&StarkApp::Factorial.instance(10)));
+    let base_sim = Simulator::new(chip).run(&compile_starky(&StarkApp::Factorial.instance(10)));
     assert!(base_sim.total_cycles > 0);
 }
 
