@@ -266,6 +266,42 @@ fn compare(old_path: &str, new_path: &str) {
                     delta(a, b)
                 );
             }
+            // Deterministic work counters are an *invariant*, not a metric:
+            // the time deltas above are informational, counter drift is an
+            // error. Report the two separately and fail on any drift.
+            let counters_old = trace_counters(&old, old_path);
+            let counters_new = trace_counters(&new, new_path);
+            let mut drift = false;
+            let mut names: Vec<&String> =
+                counters_old.keys().chain(counters_new.keys()).collect();
+            names.sort();
+            names.dedup();
+            for name in names {
+                match (counters_old.get(name), counters_new.get(name)) {
+                    (Some(a), Some(b)) if a == b => {}
+                    (a, b) => {
+                        let show = |v: Option<&u64>| {
+                            v.map_or_else(|| "absent".to_string(), u64::to_string)
+                        };
+                        println!("counter drift: {name} {} -> {}", show(a), show(b));
+                        drift = true;
+                    }
+                }
+            }
+            let p_old = u64_field(&old, "proof_bytes", old_path);
+            let p_new = u64_field(&new, "proof_bytes", new_path);
+            if p_old != p_new {
+                println!("counter drift: proof_bytes {p_old} -> {p_new}");
+                drift = true;
+            }
+            if drift {
+                eprintln!("error: deterministic counters drifted (see above)");
+                std::process::exit(1);
+            }
+            println!(
+                "counters: identical ({} tracked, proof {p_new} bytes)",
+                counters_old.len()
+            );
         }
         SIM_SCHEMA => {
             let olds = arr_field(&old, "workloads", old_path);
@@ -285,6 +321,26 @@ fn compare(old_path: &str, new_path: &str) {
             }
         }
         other => panic!("unknown schema {other:?}"),
+    }
+}
+
+/// Extracts the deterministic work counters (`trace.counters`) from a
+/// prover artifact as a name → value map.
+fn trace_counters(artifact: &Json, path: &str) -> std::collections::BTreeMap<String, u64> {
+    let trace = obj_field(artifact, "trace", path);
+    let (_, counters) = trace
+        .iter()
+        .find(|(k, _)| k == "counters")
+        .unwrap_or_else(|| panic!("{path}: missing trace.counters"));
+    match counters {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .map(|(name, v)| match v {
+                Json::UInt(n) => (name.clone(), *n),
+                other => panic!("{path}: counter {name:?} is not a u64: {other}"),
+            })
+            .collect(),
+        other => panic!("{path}: trace.counters is not an object: {other}"),
     }
 }
 

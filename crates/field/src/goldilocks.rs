@@ -75,8 +75,21 @@ impl Goldilocks {
     /// Writes `n = lo + mid * 2^64 + hi * 2^96` with `mid` the bits 64..96
     /// and `hi` the bits 96..128; then `n ≡ lo + mid * (2^32 - 1) - hi`.
     #[inline]
-    #[allow(clippy::cast_possible_truncation)] // word splitting is the reduction
     pub fn reduce128(n: u128) -> Self {
+        Self::from_residue(Self::reduce128_residue(n))
+    }
+
+    /// Reduces a 128-bit integer to a *residue*: a value `< 2^64` congruent
+    /// to `n` mod `p`, but not necessarily canonical (it may lie in
+    /// `[p, 2^64)`).
+    ///
+    /// Residues are the lazy-reduction currency of the Poseidon hot path:
+    /// chains of multiplies and small-constant dot products stay in residue
+    /// form and pay the final `r >= p` correction once, via
+    /// [`Goldilocks::from_residue`], when a canonical element is needed.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // word splitting is the reduction
+    pub fn reduce128_residue(n: u128) -> u64 {
         let lo = n as u64;
         let high = (n >> 64) as u64;
         let mid = high & EPSILON; // bits 64..96
@@ -92,16 +105,72 @@ impl Goldilocks {
         // so a single conditional correction suffices after a wrapping add.
         let addend = (mid << 32) - mid;
         let (res, carry) = t.overflowing_add(addend);
-        let mut r = res;
         if carry {
             // 2^64 ≡ 2^32 - 1: fold the carry back in. Cannot carry again
-            // because res < 2^32 after an overflowing add of < 2^64 operands.
-            r = r.wrapping_add(EPSILON);
+            // because res < 2^64 - 2^32 after an overflowing add whose addend
+            // is < 2^64 - 2^32.
+            res.wrapping_add(EPSILON)
+        } else {
+            res
         }
-        if r >= P {
-            r -= P;
+    }
+
+    /// Reduces an integer `n < 2^96` to a residue `< 2^64` (see
+    /// [`Goldilocks::reduce128_residue`] for the residue contract).
+    ///
+    /// Skipping the `hi * 2^96` limb drops the borrow-correction step of the
+    /// full reduction, which is what makes small-constant dot products (MDS
+    /// rows, sparse partial-round updates) cheaper than generic products.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `n < 2^96`.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // word splitting is the reduction
+    pub fn reduce96_residue(n: u128) -> u64 {
+        let lo = n as u64;
+        let mid = (n >> 64) as u64; // bits 64..96
+        debug_assert!(mid <= EPSILON, "reduce96_residue input has bits above 2^96");
+        let addend = (mid << 32) - mid;
+        let (res, carry) = lo.overflowing_add(addend);
+        if carry {
+            res.wrapping_add(EPSILON)
+        } else {
+            res
         }
-        Self(r)
+    }
+
+    /// Multiplies two residues (`< 2^64`, not necessarily canonical) into a
+    /// residue `< 2^64`.
+    #[inline]
+    pub fn mul_residue(a: u64, b: u64) -> u64 {
+        Self::reduce128_residue(u128::from(a) * u128::from(b))
+    }
+
+    /// Adds a **canonical** constant `c < p` to a residue `a < 2^64`,
+    /// yielding a residue `< 2^64`.
+    ///
+    /// One overflow fold suffices: the wrapped sum is `< p < 2^64 - 2^32`,
+    /// so folding `2^32 - 1` back in cannot overflow again. The bound does
+    /// *not* hold for two arbitrary residues — that is why `c` must be
+    /// canonical (debug-asserted).
+    #[inline]
+    pub fn add_residue(a: u64, c: u64) -> u64 {
+        debug_assert!(c < P, "add_residue constant must be canonical");
+        let (sum, over) = a.overflowing_add(c);
+        if over {
+            sum.wrapping_add(EPSILON)
+        } else {
+            sum
+        }
+    }
+
+    /// Canonicalizes a residue `r < 2^64` into a field element.
+    ///
+    /// A single conditional subtraction suffices because `2^64 < 2p`.
+    #[inline]
+    pub fn from_residue(r: u64) -> Self {
+        Self(if r >= P { r - P } else { r })
     }
 
     /// The canonical representative in `[0, p)`.
@@ -334,7 +403,7 @@ impl fmt::UpperHex for Goldilocks {
 #[allow(clippy::cast_possible_truncation)] // reference results are < p, which fits u64
 mod tests {
     use super::*;
-    use unizk_testkit::rng::TestRng as StdRng;
+    use unizk_testkit::rng::{Rng, TestRng as StdRng};
 
     fn ref_mul(a: u64, b: u64) -> u64 {
         (((a as u128) * (b as u128)) % (P as u128)) as u64
@@ -406,6 +475,49 @@ mod tests {
                 "n={n}"
             );
         }
+    }
+
+    #[test]
+    fn residue_ops_match_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            // Residue inputs may be anywhere in [0, 2^64), not just [0, p).
+            let a: u64 = rng.next_u64();
+            let b: u64 = rng.next_u64();
+            let want = ((a as u128) * (b as u128) % (P as u128)) as u64;
+            let r = Goldilocks::mul_residue(a, b);
+            assert_eq!(r % P, want, "a={a} b={b}");
+            assert_eq!(Goldilocks::from_residue(r).0, want);
+
+            let c: u64 = rng.gen_range(0..P);
+            let s = Goldilocks::add_residue(a, c);
+            assert_eq!(s % P, ((a as u128 + c as u128) % (P as u128)) as u64);
+        }
+    }
+
+    #[test]
+    fn reduce96_residue_matches_full_reduction() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            // Any value below 2^96 is in contract; bias toward the top.
+            let n = (rng.next_u64() as u128) | ((rng.gen_range(0..=u32::MAX as u64) as u128) << 64);
+            assert_eq!(
+                Goldilocks::reduce96_residue(n) % P,
+                (n % (P as u128)) as u64,
+                "n={n}"
+            );
+        }
+        for n in [0u128, 1, (1 << 96) - 1, P as u128, u64::MAX as u128 + 1] {
+            assert_eq!(Goldilocks::reduce96_residue(n) % P, (n % (P as u128)) as u64);
+        }
+    }
+
+    #[test]
+    fn from_residue_canonicalizes() {
+        assert_eq!(Goldilocks::from_residue(0).0, 0);
+        assert_eq!(Goldilocks::from_residue(P - 1).0, P - 1);
+        assert_eq!(Goldilocks::from_residue(P).0, 0);
+        assert_eq!(Goldilocks::from_residue(u64::MAX).0, u64::MAX - P);
     }
 
     #[test]

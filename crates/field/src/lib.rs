@@ -52,7 +52,10 @@ pub mod util;
 
 pub use extension::Ext2;
 pub use goldilocks::Goldilocks;
-pub use par::{current_parallelism, parallel_map, parallel_ranges, set_parallelism};
+pub use par::{
+    current_parallelism, parallel_chunks_mut, parallel_map, parallel_ranges, parallel_zip_mut,
+    set_parallelism,
+};
 pub use poly::Polynomial;
 pub use traits::{ExtensionOf, Field, PrimeField64};
 pub use util::{batch_inverse, bit_reverse, log2_strict, reverse_index_bits};

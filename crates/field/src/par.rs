@@ -132,6 +132,135 @@ where
     })
 }
 
+/// Applies `f` to disjoint consecutive chunks of `values` in parallel.
+///
+/// `values` is cut into `chunk`-sized pieces (the last may be shorter); each
+/// invocation receives the chunk's starting offset within `values` and a
+/// mutable view of the chunk. Chunks are distributed contiguously over the
+/// configured worker threads, and workers inherit the caller's trace-span
+/// path exactly as in [`parallel_map`]. With one thread configured the
+/// chunks are processed in order on the calling thread with zero dispatch
+/// overhead — the property the in-place parallel NTT stages rely on to make
+/// `set_parallelism(1)` a true serial-measurement mode.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use unizk_field::par::parallel_chunks_mut;
+///
+/// let mut v: Vec<u64> = (0..100).collect();
+/// parallel_chunks_mut(&mut v, 16, |offset, chunk| {
+///     for (i, x) in chunk.iter_mut().enumerate() {
+///         *x += (offset + i) as u64; // every element doubled
+///     }
+/// });
+/// assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+/// ```
+pub fn parallel_chunks_mut<T, F>(values: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let threads = current_parallelism();
+    if threads <= 1 || values.len() <= chunk {
+        let mut start = 0;
+        for c in values.chunks_mut(chunk) {
+            let len = c.len();
+            f(start, c);
+            start += len;
+        }
+        return;
+    }
+
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::new();
+    let mut start = 0;
+    for c in values.chunks_mut(chunk) {
+        let len = c.len();
+        chunks.push((start, c));
+        start += len;
+    }
+    let per_worker = chunks.len().div_ceil(threads);
+    let span = SpanHandle::current();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let span = &span;
+        let mut it = chunks.into_iter();
+        loop {
+            let group: Vec<(usize, &mut [T])> = it.by_ref().take(per_worker).collect();
+            if group.is_empty() {
+                break;
+            }
+            scope.spawn(move || {
+                let _trace_ctx = span.attach();
+                for (offset, c) in group {
+                    f(offset, c);
+                }
+            });
+        }
+    });
+}
+
+/// Processes two equal-length slices as aligned chunk pairs in parallel:
+/// `f(offset, a_chunk, b_chunk)` where both chunks cover
+/// `offset..offset + chunk` of their slice.
+///
+/// This is the safe decomposition of a butterfly stage whose blocks straddle
+/// worker segments: the caller splits the block into its low and high
+/// halves, and each worker owns one aligned window of both halves. Same
+/// dispatch, trace-propagation, and serial-fallback behavior as
+/// [`parallel_chunks_mut`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `chunk` is zero.
+pub fn parallel_zip_mut<T, F>(a: &mut [T], b: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "parallel_zip_mut slices must match");
+    assert!(chunk > 0, "chunk size must be positive");
+    let threads = current_parallelism();
+    if threads <= 1 || a.len() <= chunk {
+        f(0, a, b);
+        return;
+    }
+
+    let pairs: Vec<(usize, &mut [T], &mut [T])> = a
+        .chunks_mut(chunk)
+        .zip(b.chunks_mut(chunk))
+        .scan(0, |start, (ca, cb)| {
+            let offset = *start;
+            *start += ca.len();
+            Some((offset, ca, cb))
+        })
+        .collect();
+    let per_worker = pairs.len().div_ceil(threads);
+    let span = SpanHandle::current();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let span = &span;
+        let mut it = pairs.into_iter();
+        loop {
+            let group: Vec<(usize, &mut [T], &mut [T])> = it.by_ref().take(per_worker).collect();
+            if group.is_empty() {
+                break;
+            }
+            scope.spawn(move || {
+                let _trace_ctx = span.attach();
+                for (offset, ca, cb) in group {
+                    f(offset, ca, cb);
+                }
+            });
+        }
+    });
+}
+
 /// Runs `f(start, end)` over disjoint subranges of `0..n` in parallel.
 ///
 /// Workers inherit the caller's trace-span path, exactly as in
@@ -208,5 +337,43 @@ mod tests {
     fn empty_input() {
         let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunks_mut_covers_all_offsets() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            let mut v = vec![0u64; n];
+            parallel_chunks_mut(&mut v, 13, |offset, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = (offset + i) as u64;
+                }
+            });
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, i as u64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zip_mut_windows_stay_aligned() {
+        let mut a: Vec<u64> = (0..500).collect();
+        let mut b: Vec<u64> = (1000..1500).collect();
+        parallel_zip_mut(&mut a, &mut b, 37, |offset, ca, cb| {
+            assert_eq!(ca.len(), cb.len());
+            for (i, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                assert_eq!(*y - *x, 1000, "offset={offset} i={i}");
+                core::mem::swap(x, y);
+            }
+        });
+        assert_eq!(a[0], 1000);
+        assert_eq!(b[499], 499);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn zip_mut_rejects_length_mismatch() {
+        let mut a = [0u8; 3];
+        let mut b = [0u8; 4];
+        parallel_zip_mut(&mut a, &mut b, 1, |_, _, _| {});
     }
 }

@@ -315,14 +315,18 @@ fn interpolate_final(values: &[Ext2], domain: FoldDomain, max_len: usize) -> Vec
     out
 }
 
-/// Searches for a grinding witness.
+/// Searches for a grinding witness: the smallest nonce whose speculative
+/// challenge passes [`pow_ok`]. The speculative challenger replays the
+/// clone → observe → challenge sequence on the stack with the transcript's
+/// static first-round work hoisted out of the loop, so each attempt costs
+/// one Poseidon permutation minus the shared prefix (and bumps the
+/// permutation counter once, exactly as the cloning loop did).
 pub(crate) fn grind(challenger: &Challenger, bits: usize) -> Goldilocks {
+    let speculative = challenger.speculative_challenger();
     let mut nonce = 0u64;
     loop {
-        let mut trial = challenger.clone();
         let candidate = Goldilocks::from_u64(nonce);
-        trial.observe(candidate);
-        if pow_ok(trial.challenge(), bits) {
+        if pow_ok(speculative.challenge(candidate), bits) {
             return candidate;
         }
         nonce += 1;

@@ -38,5 +38,7 @@ pub mod sponge;
 
 pub use digest::Digest;
 pub use merkle::{MerkleProof, MerkleTree};
-pub use poseidon::{poseidon_permute, PoseidonCost, SPONGE_CAPACITY, SPONGE_RATE, WIDTH};
-pub use sponge::{hash_no_pad, two_to_one, Challenger};
+pub use poseidon::{
+    poseidon_permute, NoncePermutation, PoseidonCost, SPONGE_CAPACITY, SPONGE_RATE, WIDTH,
+};
+pub use sponge::{hash_no_pad, two_to_one, Challenger, SpeculativeChallenger};

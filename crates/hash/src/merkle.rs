@@ -12,6 +12,62 @@ use unizk_field::{log2_strict, Goldilocks};
 use crate::digest::Digest;
 use crate::sponge::{hash_no_pad, two_to_one};
 
+/// Leaves (or interior pairs) hashed per parallel work item. Chunking
+/// amortizes worker dispatch over many hashes instead of paying it per
+/// leaf; the value is a throughput knob, not a correctness parameter
+/// (any chunk size yields identical digests and counters).
+const HASH_CHUNK: usize = 128;
+
+/// Hashes every leaf with chunked work distribution: workers receive
+/// `chunk_size` leaves at a time and hash them serially, so per-item
+/// dispatch overhead is paid once per chunk rather than once per leaf.
+///
+/// Equivalent to `leaves.iter().map(|l| hash_no_pad(l))` for every chunk
+/// size (the per-leaf `poseidon.permutations` accounting is preserved
+/// exactly), which the edge-case suite pins down.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn hash_leaves(leaves: &[Vec<Goldilocks>], chunk_size: usize) -> Vec<Digest> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if unizk_field::par::current_parallelism() == 1 || leaves.len() <= chunk_size {
+        return leaves.iter().map(|l| hash_no_pad(l)).collect();
+    }
+    let ranges: Vec<(usize, usize)> = (0..leaves.len())
+        .step_by(chunk_size)
+        .map(|s| (s, (s + chunk_size).min(leaves.len())))
+        .collect();
+    unizk_field::parallel_map(ranges, |(s, e)| {
+        leaves[s..e].iter().map(|l| hash_no_pad(l)).collect::<Vec<Digest>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// One interior Merkle level: hashes adjacent digest pairs of `prev`,
+/// chunked exactly like [`hash_leaves`].
+fn hash_pairs(prev: &[Digest], chunk_size: usize) -> Vec<Digest> {
+    debug_assert!(prev.len().is_multiple_of(2));
+    let n = prev.len() / 2;
+    if unizk_field::par::current_parallelism() == 1 || n <= chunk_size {
+        return (0..n).map(|i| two_to_one(prev[2 * i], prev[2 * i + 1])).collect();
+    }
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk_size)
+        .map(|s| (s, (s + chunk_size).min(n)))
+        .collect();
+    unizk_field::parallel_map(ranges, |(s, e)| {
+        (s..e)
+            .map(|i| two_to_one(prev[2 * i], prev[2 * i + 1]))
+            .collect::<Vec<Digest>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// A binary Merkle tree over element-vector leaves.
 ///
 /// # Example
@@ -66,27 +122,12 @@ impl MerkleTree {
         unizk_testkit::trace::counter("merkle.trees", 1);
         unizk_testkit::trace::counter("merkle.leaves", leaves.len() as u64);
         // Hashes at one level are independent (paper §5.3), so both the leaf
-        // digests and each interior level parallelize trivially.
-        const PAR_THRESHOLD: usize = 1024;
+        // digests and each interior level parallelize trivially; work is
+        // distributed in chunks of HASH_CHUNK hashes per worker item.
         let mut levels = Vec::with_capacity(log2_strict(leaves.len()) + 1);
-        let leaf_digests: Vec<Digest> = if leaves.len() >= PAR_THRESHOLD {
-            let refs: Vec<&[Goldilocks]> = leaves.iter().map(|l| l.as_slice()).collect();
-            unizk_field::parallel_map(refs, hash_no_pad)
-        } else {
-            leaves.iter().map(|l| hash_no_pad(l)).collect()
-        };
-        levels.push(leaf_digests);
+        levels.push(hash_leaves(&leaves, HASH_CHUNK));
         while levels.last().expect("nonempty").len() > 1 {
-            let prev = levels.last().expect("nonempty");
-            let next: Vec<Digest> = if prev.len() >= PAR_THRESHOLD {
-                let pairs: Vec<(Digest, Digest)> =
-                    prev.chunks(2).map(|p| (p[0], p[1])).collect();
-                unizk_field::parallel_map(pairs, |(l, r)| two_to_one(l, r))
-            } else {
-                prev.chunks(2)
-                    .map(|pair| two_to_one(pair[0], pair[1]))
-                    .collect()
-            };
+            let next = hash_pairs(levels.last().expect("nonempty"), HASH_CHUNK);
             levels.push(next);
         }
         Self { leaves, levels }

@@ -143,12 +143,16 @@ pub fn constants() -> &'static PoseidonConstants {
     CONSTANTS.get_or_init(PoseidonConstants::generate)
 }
 
+/// `x^7` over lazy residues (see [`Goldilocks::reduce128_residue`]): the
+/// three intermediate products stay in `[0, 2^64)` without the final
+/// canonicalizing subtraction, which every multiply in the chain would
+/// otherwise pay.
 #[inline]
-fn sbox(x: Goldilocks) -> Goldilocks {
+fn sbox_residue(x: u64) -> u64 {
     // x^7 = x^4 · x^2 · x  (3 squarings/multiplies, as in hardware).
-    let x2 = x.square();
-    let x4 = x2.square();
-    x4 * x2 * x
+    let x2 = Goldilocks::mul_residue(x, x);
+    let x4 = Goldilocks::mul_residue(x2, x2);
+    Goldilocks::mul_residue(Goldilocks::mul_residue(x4, x2), x)
 }
 
 #[cfg(test)]
@@ -164,60 +168,61 @@ fn mat_mul(m: &[[Goldilocks; WIDTH]; WIDTH], state: &[Goldilocks; WIDTH]) -> [Go
     out
 }
 
-/// MDS matrix–vector product exploiting the small circulant entries
-/// (< 2^7): twelve `u128` partial products sum to < 2^75, so one lazy
-/// reduction per output row replaces twelve modular multiplies. This is
-/// the software analogue of the cheap constant multipliers the hardware
-/// MDS step enjoys.
-fn mds_mat_mul(m: &[[Goldilocks; WIDTH]; WIDTH], state: &[Goldilocks; WIDTH]) -> [Goldilocks; WIDTH] {
-    let mut out = [Goldilocks::ZERO; WIDTH];
+/// MDS matrix–vector product over residue lanes, exploiting the small
+/// matrix entries (< 2^7): twelve `u128` partial products of a `< 2^7`
+/// constant and a `< 2^64` residue sum to under `2^75 < 2^96`, so each
+/// output row pays one [`Goldilocks::reduce96_residue`] instead of twelve
+/// modular multiplies plus a full 128-bit reduction. This is the software
+/// analogue of the cheap constant multipliers the hardware MDS step enjoys.
+fn mds_residue(m: &[[Goldilocks; WIDTH]; WIDTH], state: &[u64; WIDTH]) -> [u64; WIDTH] {
+    let mut out = [0u64; WIDTH];
     for (o, row) in out.iter_mut().zip(m.iter()) {
         let mut acc: u128 = 0;
         for (c, x) in row.iter().zip(state.iter()) {
-            acc += (c.as_canonical_u64() as u128) * (x.as_canonical_u64() as u128);
+            acc += u128::from(c.as_canonical_u64()) * u128::from(*x);
         }
-        *o = Goldilocks::reduce128(acc);
+        *o = Goldilocks::reduce96_residue(acc);
     }
     out
 }
 
-fn full_round(state: &mut [Goldilocks; WIDTH], r: usize) {
-    let cs = constants();
+fn full_round(cs: &PoseidonConstants, state: &mut [u64; WIDTH], r: usize) {
     for (x, c) in state.iter_mut().zip(cs.round_constants[r].iter()) {
-        *x = sbox(*x + *c);
+        *x = sbox_residue(Goldilocks::add_residue(*x, c.as_canonical_u64()));
     }
-    *state = mds_mat_mul(&cs.mds, state);
+    *state = mds_residue(&cs.mds, state);
 }
 
-fn pre_partial_round(state: &mut [Goldilocks; WIDTH]) {
-    let cs = constants();
+fn pre_partial_round(cs: &PoseidonConstants, state: &mut [u64; WIDTH]) {
     for (x, c) in state.iter_mut().zip(cs.pre_partial_constants.iter()) {
-        *x += *c;
+        *x = Goldilocks::add_residue(*x, c.as_canonical_u64());
     }
-    *state = mds_mat_mul(&cs.pre_mds, state);
+    *state = mds_residue(&cs.pre_mds, state);
 }
 
-fn partial_round(state: &mut [Goldilocks; WIDTH], r: usize) {
-    let cs = constants();
-    state[0] = sbox(state[0]);
-    state[0] += cs.partial_round_constants[r];
+fn partial_round(cs: &PoseidonConstants, state: &mut [u64; WIDTH], r: usize) {
+    state[0] = Goldilocks::add_residue(
+        sbox_residue(state[0]),
+        cs.partial_round_constants[r].as_canonical_u64(),
+    );
 
     // Sparse MDS: out[0] = u·state; out[i] = v[i]·state[0] + E[i]·state[i].
+    // All entries are < 2^7, so both the 12-term dot and each two-term row
+    // update stay below 2^96 and take the short reduction.
     let u = &cs.sparse_u[r];
     let v = &cs.sparse_v[r];
     let e = &cs.sparse_diag[r];
     let mut dot: u128 = 0;
     for (c, x) in u.iter().zip(state.iter()) {
-        dot += (c.as_canonical_u64() as u128) * (x.as_canonical_u64() as u128);
+        dot += u128::from(c.as_canonical_u64()) * u128::from(*x);
     }
     let s0 = state[0];
     for i in 1..WIDTH {
-        // Both entries are small: one lazy reduction covers the pair.
-        let acc = (v[i].as_canonical_u64() as u128) * (s0.as_canonical_u64() as u128)
-            + (e[i].as_canonical_u64() as u128) * (state[i].as_canonical_u64() as u128);
-        state[i] = Goldilocks::reduce128(acc);
+        let acc = u128::from(v[i].as_canonical_u64()) * u128::from(s0)
+            + u128::from(e[i].as_canonical_u64()) * u128::from(state[i]);
+        state[i] = Goldilocks::reduce96_residue(acc);
     }
-    state[0] = Goldilocks::reduce128(dot);
+    state[0] = Goldilocks::reduce96_residue(dot);
 }
 
 /// Applies the full Poseidon permutation in place.
@@ -233,15 +238,124 @@ fn partial_round(state: &mut [Goldilocks; WIDTH], r: usize) {
 /// assert_ne!(state[0], Goldilocks::ZERO); // zero state does not stay zero
 /// ```
 pub fn poseidon_permute(state: &mut [Goldilocks; WIDTH]) {
-    for r in 0..FULL_ROUNDS / 2 {
-        full_round(state, r);
+    let cs = constants();
+    // Rounds run over lazy residues (< 2^64, possibly non-canonical) and the
+    // canonicalizing subtraction is paid exactly once per lane on exit; the
+    // outputs are bit-identical to a fully-reduced evaluation (pinned by the
+    // KAT suite).
+    let mut lanes = [0u64; WIDTH];
+    for (l, x) in lanes.iter_mut().zip(state.iter()) {
+        *l = x.as_canonical_u64();
     }
-    pre_partial_round(state);
+    for r in 0..FULL_ROUNDS / 2 {
+        full_round(cs, &mut lanes, r);
+    }
+    pre_partial_round(cs, &mut lanes);
     for r in 0..PARTIAL_ROUNDS {
-        partial_round(state, r);
+        partial_round(cs, &mut lanes, r);
     }
     for r in FULL_ROUNDS / 2..FULL_ROUNDS {
-        full_round(state, r);
+        full_round(cs, &mut lanes, r);
+    }
+    for (x, l) in state.iter_mut().zip(lanes.iter()) {
+        *x = Goldilocks::from_residue(*l);
+    }
+}
+
+/// A permutation with every input lane fixed except one, with the static
+/// lanes' first-round work precomputed.
+///
+/// This is the shape of the FRI grind (proof-of-work) loop: thousands of
+/// permutations whose inputs differ only in the nonce lane. Round 0 applies
+/// the round constants and s-box to each lane independently before the MDS
+/// mix, so for the 11 static lanes both steps — and their contributions to
+/// every MDS output accumulator — are attempt-invariant. [`Self::new`]
+/// hoists them; [`Self::permute_with`] then pays one s-box, `WIDTH`
+/// constant-by-residue products, and the remaining rounds per attempt.
+///
+/// Output is bit-identical to [`poseidon_permute`] on the same full input
+/// (pinned by `nonce_permutation_matches_full_permutation`); this is purely
+/// a common-subexpression hoist, not an approximation.
+#[derive(Clone, Debug)]
+pub struct NoncePermutation {
+    /// Per-output-row MDS accumulators over the 11 static sboxed lanes.
+    /// Bound: 11 terms of `< 2^7 · 2^64`, comfortably below the `2^96`
+    /// budget even after the nonce term joins.
+    static_acc: [u128; WIDTH],
+    /// `mds[i][lane]` for each output row `i` (canonical, `< 2^7`).
+    nonce_col: [u64; WIDTH],
+    /// Round-0 constant for the nonce lane.
+    nonce_rc: u64,
+}
+
+impl NoncePermutation {
+    /// Precomputes the static round-0 work for a permutation whose input
+    /// equals `state` everywhere except index `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= WIDTH`.
+    pub fn new(state: &[Goldilocks; WIDTH], lane: usize) -> Self {
+        assert!(lane < WIDTH, "nonce lane out of range");
+        let cs = constants();
+        let mut sboxed = [0u64; WIDTH];
+        for (i, (x, c)) in state.iter().zip(cs.round_constants[0].iter()).enumerate() {
+            if i != lane {
+                sboxed[i] = sbox_residue(Goldilocks::add_residue(
+                    x.as_canonical_u64(),
+                    c.as_canonical_u64(),
+                ));
+            }
+        }
+        let mut static_acc = [0u128; WIDTH];
+        let mut nonce_col = [0u64; WIDTH];
+        for ((acc, col), row) in static_acc
+            .iter_mut()
+            .zip(nonce_col.iter_mut())
+            .zip(cs.mds.iter())
+        {
+            for (j, (c, x)) in row.iter().zip(sboxed.iter()).enumerate() {
+                if j != lane {
+                    *acc += u128::from(c.as_canonical_u64()) * u128::from(*x);
+                }
+            }
+            *col = row[lane].as_canonical_u64();
+        }
+        Self {
+            static_acc,
+            nonce_col,
+            nonce_rc: cs.round_constants[0][lane].as_canonical_u64(),
+        }
+    }
+
+    /// Runs the permutation with `x` in the nonce lane, returning the full
+    /// output state.
+    pub fn permute_with(&self, x: Goldilocks) -> [Goldilocks; WIDTH] {
+        let cs = constants();
+        let sx = sbox_residue(Goldilocks::add_residue(x.as_canonical_u64(), self.nonce_rc));
+        let mut lanes = [0u64; WIDTH];
+        for ((l, acc), c) in lanes
+            .iter_mut()
+            .zip(self.static_acc.iter())
+            .zip(self.nonce_col.iter())
+        {
+            *l = Goldilocks::reduce96_residue(*acc + u128::from(*c) * u128::from(sx));
+        }
+        for r in 1..FULL_ROUNDS / 2 {
+            full_round(cs, &mut lanes, r);
+        }
+        pre_partial_round(cs, &mut lanes);
+        for r in 0..PARTIAL_ROUNDS {
+            partial_round(cs, &mut lanes, r);
+        }
+        for r in FULL_ROUNDS / 2..FULL_ROUNDS {
+            full_round(cs, &mut lanes, r);
+        }
+        let mut out = [Goldilocks::ZERO; WIDTH];
+        for (o, l) in out.iter_mut().zip(lanes.iter()) {
+            *o = Goldilocks::from_residue(*l);
+        }
+        out
     }
 }
 
@@ -280,6 +394,27 @@ impl PoseidonCost {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Canonical-domain s-box wrapper over the residue kernel.
+    fn sbox(x: Goldilocks) -> Goldilocks {
+        Goldilocks::from_residue(sbox_residue(x.as_canonical_u64()))
+    }
+
+    fn to_residues(state: &[Goldilocks; WIDTH]) -> [u64; WIDTH] {
+        let mut out = [0u64; WIDTH];
+        for (o, x) in out.iter_mut().zip(state.iter()) {
+            *o = x.as_canonical_u64();
+        }
+        out
+    }
+
+    fn from_residues(lanes: &[u64; WIDTH]) -> [Goldilocks; WIDTH] {
+        let mut out = [Goldilocks::ZERO; WIDTH];
+        for (o, l) in out.iter_mut().zip(lanes.iter()) {
+            *o = Goldilocks::from_residue(*l);
+        }
+        out
+    }
 
     #[test]
     fn permutation_is_deterministic() {
@@ -345,9 +480,9 @@ mod tests {
         expected[0] = sbox(expected[0]) + cs.partial_round_constants[r];
         let expected = mat_mul(&dense, &expected);
 
-        let mut got = state;
-        partial_round(&mut got, r);
-        assert_eq!(got, expected);
+        let mut got = to_residues(&state);
+        partial_round(cs, &mut got, r);
+        assert_eq!(from_residues(&got), expected);
     }
 
     #[test]
@@ -357,7 +492,58 @@ mod tests {
         for (i, x) in state.iter_mut().enumerate() {
             *x = Goldilocks::from_u64(u64::MAX - i as u64); // near-p values
         }
-        assert_eq!(mds_mat_mul(&cs.mds, &state), mat_mul(&cs.mds, &state));
+        let fast = mds_residue(&cs.mds, &to_residues(&state));
+        assert_eq!(from_residues(&fast), mat_mul(&cs.mds, &state));
+    }
+
+    #[test]
+    fn residue_rounds_accept_noncanonical_lanes() {
+        // Feed each round kernel a lane pinned at u64::MAX (the worst legal
+        // residue) next to its canonical equivalent and check congruence.
+        let cs = constants();
+        let mut canonical = [Goldilocks::ZERO; WIDTH];
+        for (i, x) in canonical.iter_mut().enumerate() {
+            *x = Goldilocks::from_u64(u64::MAX).mul_pow2(i); // u64::MAX ≡ MAX - p
+        }
+        let mut lazy = to_residues(&canonical);
+        lazy[0] = u64::MAX; // ≡ canonical[0], but non-canonical form
+
+        let mut a = to_residues(&canonical);
+        let mut b = lazy;
+        full_round(cs, &mut a, 0);
+        full_round(cs, &mut b, 0);
+        assert_eq!(from_residues(&a), from_residues(&b));
+
+        let mut a = to_residues(&canonical);
+        let mut b = lazy;
+        partial_round(cs, &mut a, 3);
+        partial_round(cs, &mut b, 3);
+        assert_eq!(from_residues(&a), from_residues(&b));
+    }
+
+    #[test]
+    fn nonce_permutation_matches_full_permutation() {
+        let mut s = 0xBEEF;
+        let mut base = [Goldilocks::ZERO; WIDTH];
+        for x in base.iter_mut() {
+            *x = gen_field(&mut s);
+        }
+        for lane in 0..WIDTH {
+            let hoisted = NoncePermutation::new(&base, lane);
+            for nonce in [0u64, 1, 42, u64::MAX] {
+                let x = Goldilocks::from_u64(nonce);
+                let mut full = base;
+                full[lane] = x;
+                poseidon_permute(&mut full);
+                assert_eq!(hoisted.permute_with(x), full, "lane={lane} nonce={nonce}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonce lane out of range")]
+    fn nonce_permutation_rejects_bad_lane() {
+        let _ = NoncePermutation::new(&[Goldilocks::ZERO; WIDTH], WIDTH);
     }
 
     #[test]

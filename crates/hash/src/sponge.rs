@@ -9,7 +9,7 @@
 use unizk_field::{Ext2, Field, Goldilocks};
 
 use crate::digest::Digest;
-use crate::poseidon::{poseidon_permute, SPONGE_RATE, WIDTH};
+use crate::poseidon::{poseidon_permute, NoncePermutation, SPONGE_RATE, WIDTH};
 
 /// Hashes a slice of field elements to a [`Digest`] with the absorb method,
 /// no padding (lengths are fixed by the protocol, as in Plonky2).
@@ -155,6 +155,45 @@ impl Challenger {
             .expect("query-index bits fit usize")
     }
 
+    /// The challenge that `{ let mut t = self.clone(); t.observe(x);
+    /// t.challenge() }` would produce, computed without cloning the
+    /// transcript or touching the heap.
+    ///
+    /// The proof-of-work grind evaluates this once per candidate nonce, so
+    /// the per-attempt cost must be one permutation and nothing else.
+    /// Correctness: after any public-API call the input buffer holds
+    /// `k <= 7` pending elements, so observing one more element followed by
+    /// a squeeze performs exactly one duplex — either inside `observe`
+    /// (`k == 7` fills the rate) or inside `challenge` (`k < 7` leaves the
+    /// input buffer non-empty) — absorbing `pending ++ [x]` over the state
+    /// prefix and popping the last rate element. Counter parity matches:
+    /// one `poseidon.permutations` bump per call.
+    pub fn speculative_challenge(&self, x: Goldilocks) -> Goldilocks {
+        unizk_testkit::trace::counter("poseidon.permutations", 1);
+        let mut state = self.state;
+        state[..self.input_buffer.len()].copy_from_slice(&self.input_buffer);
+        state[self.input_buffer.len()] = x;
+        poseidon_permute(&mut state);
+        state[SPONGE_RATE - 1]
+    }
+
+    /// A reusable form of [`Self::speculative_challenge`] for loops that
+    /// probe many candidates against one transcript state — the FRI grind.
+    ///
+    /// Every candidate sees the identical permutation input except the one
+    /// lane holding the candidate itself, so the static lanes' first-round
+    /// work is hoisted once into a [`NoncePermutation`]; each
+    /// [`SpeculativeChallenger::challenge`] then costs one (logical)
+    /// permutation, bit-identical to `speculative_challenge` and with the
+    /// same one-bump counter parity.
+    pub fn speculative_challenger(&self) -> SpeculativeChallenger {
+        let mut state = self.state;
+        state[..self.input_buffer.len()].copy_from_slice(&self.input_buffer);
+        SpeculativeChallenger {
+            permutation: NoncePermutation::new(&state, self.input_buffer.len()),
+        }
+    }
+
     fn duplex(&mut self) {
         unizk_testkit::trace::counter("poseidon.permutations", 1);
         for (i, x) in self.input_buffer.drain(..).enumerate() {
@@ -164,6 +203,27 @@ impl Challenger {
         poseidon_permute(&mut self.state);
         self.output_buffer.clear();
         self.output_buffer.extend_from_slice(&self.state[..SPONGE_RATE]);
+    }
+}
+
+/// A frozen transcript state that can answer "what challenge would `x`
+/// produce?" for many candidate `x` — see
+/// [`Challenger::speculative_challenger`]. Holds no reference to the
+/// challenger it came from; it captures the transcript state by value.
+#[derive(Clone, Debug)]
+pub struct SpeculativeChallenger {
+    permutation: NoncePermutation,
+}
+
+impl SpeculativeChallenger {
+    /// The challenge the source transcript would emit after observing `x`.
+    ///
+    /// Equals `Challenger::speculative_challenge(x)` bit-for-bit, at the
+    /// cost of one logical permutation (minus the hoisted static round-0
+    /// work), with the same single `poseidon.permutations` bump.
+    pub fn challenge(&self, x: Goldilocks) -> Goldilocks {
+        unizk_testkit::trace::counter("poseidon.permutations", 1);
+        self.permutation.permute_with(x)[SPONGE_RATE - 1]
     }
 }
 
@@ -287,5 +347,42 @@ mod tests {
         }
         let ch = c.challenge();
         assert_ne!(ch, Goldilocks::ZERO);
+    }
+
+    #[test]
+    fn speculative_challenge_matches_clone_observe_challenge() {
+        // Every possible pending-buffer fill (0..=7 after a public call).
+        for pending in 0..8u64 {
+            let mut c = Challenger::new();
+            c.observe(g(99));
+            let _ = c.challenge(); // drain the buffer
+            for i in 0..pending {
+                c.observe(g(i));
+            }
+            for x in [0u64, 1, 17, u64::MAX] {
+                let mut reference = c.clone();
+                reference.observe(g(x));
+                let expect = reference.challenge();
+                assert_eq!(c.speculative_challenge(g(x)), expect, "pending={pending} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_challenger_matches_speculative_challenge() {
+        for pending in 0..8u64 {
+            let mut c = Challenger::new();
+            for i in 0..pending {
+                c.observe(g(1000 + i));
+            }
+            let spec = c.speculative_challenger();
+            for x in [0u64, 5, 1 << 40, u64::MAX] {
+                assert_eq!(
+                    spec.challenge(g(x)),
+                    c.speculative_challenge(g(x)),
+                    "pending={pending} x={x}"
+                );
+            }
+        }
     }
 }

@@ -5,58 +5,98 @@
 //! produces bit-reversed output from natural input (`NTT^NR`) and DIT
 //! consumes bit-reversed input producing natural output (`NTT^RN`), exactly
 //! the combinations the FRI pipeline needs.
+//!
+//! # Twiddles and parallelism
+//!
+//! Twiddle tables come from the process-global [`crate::twiddle`] cache, so
+//! repeated transforms of one size pay the table build exactly once. Large
+//! transforms additionally split their butterfly work across the worker
+//! threads configured by [`unizk_field::set_parallelism`]:
+//!
+//! * at or above [`stage_parallel_threshold`] (log₂ size), the in-place
+//!   kernels run their straddling early/late stages as parallel half-block
+//!   windows and the remaining stages as independent per-segment serial
+//!   transforms;
+//! * at or above [`decompose_parallel_threshold`], the forward natural-order
+//!   entry points route through the multi-dimensional split in
+//!   [`crate::decompose`], which runs whole rows/columns per work item.
+//!
+//! Both thresholds are throughput knobs, not correctness parameters: every
+//! path performs the identical field operations in the identical order per
+//! element, so results — and the `ntt.*` trace counters, which are bumped
+//! once per logical transform before any path choice — are bit-identical
+//! for every thread count. The determinism suite pins this down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use unizk_field::{log2_strict, reverse_index_bits, PrimeField64};
 
-/// Precomputed twiddle tables for a size-`n` transform.
-///
-/// The accelerator generates these on the fly with its twiddle factor
-/// generator; in software we build the per-stage tables once per call. Table
-/// layout: for stage with half-size `m`, twiddles `ω_{2m}^j` for `j < m`.
-fn stage_twiddles<F: PrimeField64>(n: usize, inverse: bool) -> Vec<Vec<F>> {
-    let log_n = log2_strict(n);
-    let mut root = F::primitive_root_of_unity(log_n);
-    if inverse {
-        root = root.inverse();
-    }
-    // For each stage half-size m = n/2, n/4, ..., 1 the generator is
-    // root^(n/(2m)).
-    let mut tables = Vec::with_capacity(log_n);
-    let mut m = n / 2;
-    let mut w_m = root;
-    while m >= 1 {
-        let mut tw = Vec::with_capacity(m);
-        let mut w = F::ONE;
-        for _ in 0..m {
-            tw.push(w);
-            w *= w_m;
-        }
-        tables.push(tw);
-        m /= 2;
-        w_m = w_m.square();
-    }
-    tables
+use crate::twiddle;
+
+/// Default log₂ size at which in-place kernels split stages across workers.
+const DEFAULT_STAGE_PARALLEL_LOG2: usize = 12;
+/// Default log₂ size at which forward transforms use the k-dimensional
+/// decomposition instead of stage splitting.
+const DEFAULT_DECOMPOSE_PARALLEL_LOG2: usize = 16;
+
+static STAGE_PARALLEL_MIN_LOG2: AtomicUsize = AtomicUsize::new(DEFAULT_STAGE_PARALLEL_LOG2);
+static DECOMPOSE_PARALLEL_MIN_LOG2: AtomicUsize =
+    AtomicUsize::new(DEFAULT_DECOMPOSE_PARALLEL_LOG2);
+
+/// Sets the minimum log₂ transform size for intra-transform stage
+/// parallelism (`usize::MAX` disables it). Process-global; latched at the
+/// entry of each transform.
+pub fn set_stage_parallel_threshold(log_n: usize) {
+    STAGE_PARALLEL_MIN_LOG2.store(log_n, Ordering::SeqCst);
+}
+
+/// The current stage-parallelism threshold (log₂ size).
+pub fn stage_parallel_threshold() -> usize {
+    STAGE_PARALLEL_MIN_LOG2.load(Ordering::SeqCst)
+}
+
+/// Sets the minimum log₂ transform size at which forward natural-order
+/// transforms route through the k-dimensional decomposition
+/// (`usize::MAX` disables the route). Process-global.
+pub fn set_decompose_parallel_threshold(log_n: usize) {
+    DECOMPOSE_PARALLEL_MIN_LOG2.store(log_n, Ordering::SeqCst);
+}
+
+/// The current decomposition-routing threshold (log₂ size).
+pub fn decompose_parallel_threshold() -> usize {
+    DECOMPOSE_PARALLEL_MIN_LOG2.load(Ordering::SeqCst)
+}
+
+/// True when a size-`n` transform should split work across workers at all.
+fn wants_stage_parallel(n: usize, threads: usize) -> bool {
+    threads > 1 && log2_strict(n) >= stage_parallel_threshold()
+}
+
+/// True when a forward size-`n` transform should take the decomposed route.
+fn wants_decompose(n: usize, threads: usize) -> bool {
+    threads > 1 && log2_strict(n) >= decompose_parallel_threshold()
 }
 
 /// Records one transform in the trace layer: total count, element volume,
 /// and butterfly volume (`n/2·log₂ n`, the unit Fig. 9's NTT speedups are
 /// normalized over). One bump per transform, so the cost is negligible
 /// even for the smallest sizes.
-fn count_transform(n: usize) {
+pub(crate) fn count_transform(n: usize) {
     use unizk_testkit::trace;
     trace::counter("ntt.transforms", 1);
     trace::counter("ntt.elements", n as u64);
     trace::counter("ntt.butterflies", (n as u64 / 2) * log2_strict(n) as u64);
 }
 
-/// DIF butterfly network: natural input → bit-reversed output.
-fn dif_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
+/// Serial DIF stage loop over `values`, using `tables[s]` for the stage
+/// with half-size `values.len() / 2^(s+1)`.
+///
+/// Because a stage's twiddles depend only on the butterfly index `j` within
+/// a block (never on the block), a length-`L` *segment* of a larger
+/// transform runs its remaining stages with exactly the tail `&tables[s..]`
+/// of the full table set — the property the parallel split relies on.
+fn dif_stages<F: PrimeField64>(values: &mut [F], tables: &[Vec<F>]) {
     let n = values.len();
-    if n <= 1 {
-        return;
-    }
-    count_transform(n);
-    let tables = stage_twiddles::<F>(n, inverse);
     let mut m = n / 2;
     let mut stage = 0;
     while m >= 1 {
@@ -74,14 +114,9 @@ fn dif_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
     }
 }
 
-/// DIT butterfly network: bit-reversed input → natural output.
-fn dit_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
+/// Serial DIT stage loop over `values` (mirror of [`dif_stages`]).
+fn dit_stages<F: PrimeField64>(values: &mut [F], tables: &[Vec<F>]) {
     let n = values.len();
-    if n <= 1 {
-        return;
-    }
-    count_transform(n);
-    let tables = stage_twiddles::<F>(n, inverse);
     let log_n = log2_strict(n);
     let mut m = 1;
     let mut stage = log_n;
@@ -100,6 +135,113 @@ fn dit_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
     }
 }
 
+/// Parallel DIF: the first `log₂(segments)` stages have blocks straddling
+/// worker segments, so each block parallelizes over aligned windows of its
+/// low/high halves; every later stage is local to one of the independent
+/// segments, which then run as whole serial sub-transforms in parallel.
+fn dif_stages_parallel<F: PrimeField64>(values: &mut [F], tables: &[Vec<F>], threads: usize) {
+    let n = values.len();
+    let log_n = log2_strict(n);
+    let log_segs = (threads.next_power_of_two().trailing_zeros() as usize).min(log_n - 1);
+    let segs = 1usize << log_segs;
+
+    let mut m = n / 2;
+    for tw in &tables[..log_segs] {
+        let chunk = m.div_ceil(threads).max(1);
+        for block in (0..n).step_by(2 * m) {
+            let (lo, hi) = values[block..block + 2 * m].split_at_mut(m);
+            unizk_field::parallel_zip_mut(lo, hi, chunk, |off, a, b| {
+                for j in 0..a.len() {
+                    let x = a[j];
+                    let y = b[j];
+                    a[j] = x + y;
+                    b[j] = (x - y) * tw[off + j];
+                }
+            });
+        }
+        m /= 2;
+    }
+
+    unizk_field::parallel_chunks_mut(values, n / segs, |_, seg| {
+        dif_stages(seg, &tables[log_segs..]);
+    });
+}
+
+/// Parallel DIT (mirror of [`dif_stages_parallel`]): independent segments
+/// run first, then the straddling late stages parallelize within blocks.
+fn dit_stages_parallel<F: PrimeField64>(values: &mut [F], tables: &[Vec<F>], threads: usize) {
+    let n = values.len();
+    let log_n = log2_strict(n);
+    let log_segs = (threads.next_power_of_two().trailing_zeros() as usize).min(log_n - 1);
+    let segs = 1usize << log_segs;
+
+    unizk_field::parallel_chunks_mut(values, n / segs, |_, seg| {
+        dit_stages(seg, &tables[log_segs..]);
+    });
+
+    let mut m = n >> log_segs;
+    for tw in tables[..log_segs].iter().rev() {
+        let chunk = m.div_ceil(threads).max(1);
+        for block in (0..n).step_by(2 * m) {
+            let (lo, hi) = values[block..block + 2 * m].split_at_mut(m);
+            unizk_field::parallel_zip_mut(lo, hi, chunk, |off, a, b| {
+                for j in 0..a.len() {
+                    let x = a[j];
+                    let y = b[j] * tw[off + j];
+                    a[j] = x + y;
+                    b[j] = x - y;
+                }
+            });
+        }
+        m *= 2;
+    }
+}
+
+/// DIF butterfly network: natural input → bit-reversed output.
+fn dif_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    count_transform(n);
+    let tables = twiddle::stage_tables::<F>(n, inverse);
+    let threads = unizk_field::current_parallelism();
+    if wants_stage_parallel(n, threads) {
+        dif_stages_parallel(values, &tables, threads);
+    } else {
+        dif_stages(values, &tables);
+    }
+}
+
+/// DIT butterfly network: bit-reversed input → natural output.
+fn dit_in_place<F: PrimeField64>(values: &mut [F], inverse: bool) {
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    count_transform(n);
+    let tables = twiddle::stage_tables::<F>(n, inverse);
+    let threads = unizk_field::current_parallelism();
+    if wants_stage_parallel(n, threads) {
+        dit_stages_parallel(values, &tables, threads);
+    } else {
+        dit_stages(values, &tables);
+    }
+}
+
+/// Serial `NTT^NN` kernel with no counter bump and no routing — the worker
+/// primitive the decomposed paths build their small row/column transforms
+/// out of (the enclosing decomposition accounts the whole transform once).
+pub(crate) fn ntt_nn_uncounted<F: PrimeField64>(values: &mut [F]) {
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    let tables = twiddle::stage_tables::<F>(n, false);
+    dif_stages(values, &tables);
+    reverse_index_bits(values);
+}
+
 fn scale_by_n_inv<F: PrimeField64>(values: &mut [F]) {
     let n_inv = F::from_u64(values.len() as u64).inverse();
     for v in values.iter_mut() {
@@ -116,6 +258,12 @@ fn scale_by_n_inv<F: PrimeField64>(values: &mut [F]) {
 ///
 /// Panics if the length is not a power of two or exceeds `2^32`.
 pub fn ntt_nr<F: PrimeField64>(values: &mut [F]) {
+    let n = values.len();
+    if n > 1 && wants_decompose(n, unizk_field::current_parallelism()) {
+        crate::decompose::parallel_decomposed_ntt_nn(values, &balanced_dims(n));
+        reverse_index_bits(values);
+        return;
+    }
     dif_in_place(values, false);
 }
 
@@ -126,8 +274,23 @@ pub fn ntt_rn<F: PrimeField64>(values: &mut [F]) {
 
 /// Forward NTT, natural input and output (`NTT^NN`).
 pub fn ntt_nn<F: PrimeField64>(values: &mut [F]) {
+    let n = values.len();
+    if n > 1 && wants_decompose(n, unizk_field::current_parallelism()) {
+        crate::decompose::parallel_decomposed_ntt_nn(values, &balanced_dims(n));
+        return;
+    }
     dif_in_place(values, false);
     reverse_index_bits(values);
+}
+
+/// The balanced two-dimensional split `n = n1 · n2` with `n1 ≤ n2`, the
+/// shape that maximizes both the column-round work grain and the row sizes
+/// when the decomposed route is taken for parallelism (rather than to model
+/// a fixed hardware pipeline width).
+fn balanced_dims(n: usize) -> [usize; 2] {
+    let log_n = log2_strict(n);
+    let log_n1 = log_n / 2;
+    [1 << log_n1, 1 << (log_n - log_n1)]
 }
 
 /// Inverse NTT, natural input and output (`iNTT^NN`).
@@ -173,10 +336,23 @@ pub fn coset_intt_nn<F: PrimeField64>(values: &mut [F], shift: F) {
 }
 
 fn apply_coset_powers<F: PrimeField64>(values: &mut [F], shift: F) {
-    let mut power = F::ONE;
-    for v in values.iter_mut() {
-        *v *= power;
-        power *= shift;
+    let n = values.len();
+    if n <= 1 {
+        return;
+    }
+    let powers = twiddle::coset_powers::<F>(n, shift);
+    let threads = unizk_field::current_parallelism();
+    if wants_stage_parallel(n, threads) {
+        let chunk = n.div_ceil(threads).max(1);
+        unizk_field::parallel_chunks_mut(values, chunk, |off, seg| {
+            for (j, v) in seg.iter_mut().enumerate() {
+                *v *= powers[off + j];
+            }
+        });
+    } else {
+        for (v, &p) in values.iter_mut().zip(powers.iter()) {
+            *v *= p;
+        }
     }
 }
 
@@ -184,8 +360,8 @@ fn apply_coset_powers<F: PrimeField64>(values: &mut [F], shift: F) {
 mod tests {
     use super::*;
     use crate::naive::{naive_coset_dft, naive_dft};
-    use unizk_testkit::rng::TestRng as StdRng;
     use unizk_field::{bit_reverse, Goldilocks};
+    use unizk_testkit::rng::TestRng as StdRng;
 
     fn random_vec(rng: &mut StdRng, n: usize) -> Vec<Goldilocks> {
         (0..n).map(|_| Goldilocks::random(rng)).collect()
@@ -352,5 +528,78 @@ mod tests {
             }
             assert_eq!(prod[k], acc, "k={k}");
         }
+    }
+
+    // -- Parallel stage kernels, exercised directly with explicit worker
+    // counts so the tests neither depend on nor mutate the process-global
+    // parallelism override.
+
+    #[test]
+    fn dif_stage_split_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(109);
+        for log_n in [2usize, 5, 8, 11] {
+            let n = 1 << log_n;
+            let tables = twiddle::stage_tables::<Goldilocks>(n, false);
+            for threads in [2usize, 3, 4, 7] {
+                let input = random_vec(&mut rng, n);
+                let mut serial = input.clone();
+                dif_stages(&mut serial, &tables);
+                let mut par = input;
+                dif_stages_parallel(&mut par, &tables, threads);
+                assert_eq!(par, serial, "log_n={log_n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn dit_stage_split_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(110);
+        for log_n in [2usize, 5, 8, 11] {
+            let n = 1 << log_n;
+            for inverse in [false, true] {
+                let tables = twiddle::stage_tables::<Goldilocks>(n, inverse);
+                for threads in [2usize, 4, 5] {
+                    let input = random_vec(&mut rng, n);
+                    let mut serial = input.clone();
+                    dit_stages(&mut serial, &tables);
+                    let mut par = input;
+                    dit_stages_parallel(&mut par, &tables, threads);
+                    assert_eq!(par, serial, "log_n={log_n} threads={threads} inv={inverse}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_tail_tables_match_fresh_small_tables() {
+        // The invariant the split rests on: a segment of length L = n/2^s
+        // sees the same twiddles through &tables[s..] as a standalone
+        // size-L transform builds for itself.
+        let full = twiddle::stage_tables::<Goldilocks>(256, false);
+        let small = twiddle::stage_tables::<Goldilocks>(32, false);
+        assert_eq!(full[3..], small[..]);
+    }
+
+    #[test]
+    fn uncounted_kernel_matches_public_entry() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let input = random_vec(&mut rng, 128);
+        let mut a = input.clone();
+        ntt_nn(&mut a);
+        let mut b = input;
+        ntt_nn_uncounted(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_knobs_round_trip() {
+        let stage = stage_parallel_threshold();
+        let dec = decompose_parallel_threshold();
+        set_stage_parallel_threshold(20);
+        set_decompose_parallel_threshold(25);
+        assert_eq!(stage_parallel_threshold(), 20);
+        assert_eq!(decompose_parallel_threshold(), 25);
+        set_stage_parallel_threshold(stage);
+        set_decompose_parallel_threshold(dec);
     }
 }

@@ -1,0 +1,189 @@
+//! Process-global twiddle cache.
+//!
+//! The accelerator generates twiddle factors on the fly with a dedicated
+//! hardware generator (paper §5.1); software has no such luxury, and before
+//! this cache existed every NTT invocation rebuilt its per-stage tables from
+//! scratch — `n - 1` field multiplications per transform that SZKP and
+//! zkPHIRE both identify as the first-order software overhead. The cache
+//! memoizes stage tables per `(field, log_n, direction)` and coset-power
+//! tables per `(field, log_n, shift)`, built lazily on first use and shared
+//! by `Arc` reference afterwards.
+//!
+//! # Lifetime and concurrency
+//!
+//! Entries live for the remainder of the process once built (they are pure
+//! functions of the field and the key, so they never invalidate) and the
+//! maps are guarded by plain mutexes: the lock is held only for the lookup
+//! or the insert, never while a table is being built, so concurrent misses
+//! on the same key may build the table twice but always publish identical
+//! values. Reads are one lock + one `Arc` clone — negligible next to even
+//! the smallest transform. Interaction with
+//! [`unizk_field::par::set_parallelism`] is documented in ARCHITECTURE.md:
+//! the cache is shared across whatever thread count is configured, and a
+//! table built under one setting is byte-identical to one built under any
+//! other, so measurement modes can be switched freely mid-process.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use unizk_field::{log2_strict, PrimeField64};
+
+/// Key for per-stage butterfly tables: field type, `log2` of the transform
+/// size, and direction (`true` = inverse).
+type StageKey = (TypeId, usize, bool);
+
+/// Key for coset-power tables: field type, `log2` of the vector length, and
+/// the canonical representative of the shift.
+type CosetKey = (TypeId, usize, u64);
+
+type ErasedMap<K> = Mutex<HashMap<K, Arc<dyn Any + Send + Sync>>>;
+
+fn stage_cache() -> &'static ErasedMap<StageKey> {
+    static CACHE: OnceLock<ErasedMap<StageKey>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn coset_cache() -> &'static ErasedMap<CosetKey> {
+    static CACHE: OnceLock<ErasedMap<CosetKey>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Builds the per-stage twiddle tables for a size-`n` transform.
+///
+/// Table layout (shared by the DIF and DIT dataflows): entry `s` of the
+/// result serves the stage with butterfly half-size `m = n / 2^(s+1)` and
+/// holds `ω_{2m}^j` for `j < m`, where `ω` is the forward (or inverse)
+/// primitive `n`-th root of unity.
+fn build_stage_tables<F: PrimeField64>(n: usize, inverse: bool) -> Vec<Vec<F>> {
+    let log_n = log2_strict(n);
+    let mut root = F::primitive_root_of_unity(log_n);
+    if inverse {
+        root = root.inverse();
+    }
+    // For each stage half-size m = n/2, n/4, ..., 1 the generator is
+    // root^(n/(2m)).
+    let mut tables = Vec::with_capacity(log_n);
+    let mut m = n / 2;
+    let mut w_m = root;
+    while m >= 1 {
+        let mut tw = Vec::with_capacity(m);
+        let mut w = F::ONE;
+        for _ in 0..m {
+            tw.push(w);
+            w *= w_m;
+        }
+        tables.push(tw);
+        m /= 2;
+        w_m = w_m.square();
+    }
+    tables
+}
+
+/// The cached per-stage twiddle tables for a size-`n` transform (see
+/// `build_stage_tables` for the layout), built on first use.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or exceeds the field's two-adicity.
+pub fn stage_tables<F: PrimeField64>(n: usize, inverse: bool) -> Arc<Vec<Vec<F>>> {
+    let key: StageKey = (TypeId::of::<F>(), log2_strict(n), inverse);
+    if let Some(hit) = stage_cache().lock().expect("twiddle cache poisoned").get(&key) {
+        return Arc::clone(hit)
+            .downcast::<Vec<Vec<F>>>()
+            .expect("stage table type matches its key");
+    }
+    // Build outside the lock; a racing builder publishes identical data.
+    let built: Arc<Vec<Vec<F>>> = Arc::new(build_stage_tables(n, inverse));
+    let mut map = stage_cache().lock().expect("twiddle cache poisoned");
+    let entry = map
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
+    Arc::clone(entry)
+        .downcast::<Vec<Vec<F>>>()
+        .expect("stage table type matches its key")
+}
+
+/// The cached coset-power table `[1, shift, shift^2, …, shift^(n-1)]`,
+/// built on first use.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn coset_powers<F: PrimeField64>(n: usize, shift: F) -> Arc<Vec<F>> {
+    let key: CosetKey = (TypeId::of::<F>(), log2_strict(n), shift.as_u64());
+    if let Some(hit) = coset_cache().lock().expect("twiddle cache poisoned").get(&key) {
+        return Arc::clone(hit)
+            .downcast::<Vec<F>>()
+            .expect("coset table type matches its key");
+    }
+    let mut powers = Vec::with_capacity(n);
+    let mut p = F::ONE;
+    for _ in 0..n {
+        powers.push(p);
+        p *= shift;
+    }
+    let built: Arc<Vec<F>> = Arc::new(powers);
+    let mut map = coset_cache().lock().expect("twiddle cache poisoned");
+    let entry = map
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&built) as Arc<dyn Any + Send + Sync>);
+    Arc::clone(entry)
+        .downcast::<Vec<F>>()
+        .expect("coset table type matches its key")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_field::{Field, Goldilocks};
+
+    #[test]
+    fn repeated_lookups_share_one_table() {
+        let a = stage_tables::<Goldilocks>(64, false);
+        let b = stage_tables::<Goldilocks>(64, false);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(a.len(), 6);
+        for (s, tw) in a.iter().enumerate() {
+            assert_eq!(tw.len(), 64 >> (s + 1), "stage {s}");
+        }
+    }
+
+    #[test]
+    fn directions_and_sizes_are_distinct_entries() {
+        let fwd = stage_tables::<Goldilocks>(32, false);
+        let inv = stage_tables::<Goldilocks>(32, true);
+        assert!(!Arc::ptr_eq(&fwd, &inv));
+        // Forward and inverse generators are mutual inverses at every stage.
+        for (f, i) in fwd.iter().zip(inv.iter()) {
+            for (wf, wi) in f.iter().zip(i.iter()) {
+                assert_eq!(*wf * *wi, Goldilocks::ONE);
+            }
+        }
+        let other = stage_tables::<Goldilocks>(64, false);
+        assert_ne!(fwd.len(), other.len());
+    }
+
+    #[test]
+    fn cached_tables_match_a_fresh_build() {
+        let cached = stage_tables::<Goldilocks>(128, true);
+        assert_eq!(*cached, build_stage_tables::<Goldilocks>(128, true));
+    }
+
+    #[test]
+    fn coset_powers_are_the_geometric_series() {
+        use unizk_field::PrimeField64;
+        let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;
+        let tbl = coset_powers::<Goldilocks>(16, shift);
+        let again = coset_powers::<Goldilocks>(16, shift);
+        assert!(Arc::ptr_eq(&tbl, &again));
+        let mut p = Goldilocks::ONE;
+        for (i, &v) in tbl.iter().enumerate() {
+            assert_eq!(v, p, "power {i}");
+            p *= shift;
+        }
+        // A different shift is a distinct entry.
+        let other = coset_powers::<Goldilocks>(16, shift.inverse());
+        assert!(!Arc::ptr_eq(&tbl, &other));
+    }
+}

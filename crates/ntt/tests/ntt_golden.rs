@@ -91,3 +91,68 @@ fn golden_input_is_reproducible() {
     let mut rng = SplitMix64::seed_from_u64(SEED);
     assert_eq!(a[0], Goldilocks::random(&mut rng));
 }
+
+// --------------------------------------------------------------------------
+// Size-2^12 golden vectors, derived from the quadratic-time reference in
+// `naive.rs` (NOT from the fast kernel, so a twiddle-schedule bug in the
+// radix-2 path cannot re-certify itself). They lock the cached-twiddle
+// serial kernel and the decomposed parallel path to the same schedule.
+
+const LOG_N_12: usize = 12;
+const N_12: usize = 1 << LOG_N_12;
+const SEED_12: u64 = 0xD1CE_2A12;
+
+/// Spot values of `naive_dft(input_12)` at fixed indices.
+const NTT12_SPOTS: [(usize, u64); 10] = [
+    (0, 0xa7c5440fdaeb151c),
+    (1, 0x32e58df317618d8c),
+    (2, 0x11aad68c08e6948e),
+    (63, 0x7baacb0f7e376adb),
+    (1025, 0xc7bbbf96af79051d),
+    (2047, 0xd7f8e773a965c0d9),
+    (2048, 0xf55d9d93ff9bd36a),
+    (3333, 0x2bf8e7c641b0f432),
+    (4094, 0x53a14539beb9c23e),
+    (4095, 0x62eea0f0e4748367),
+];
+
+/// Field sum of all 2^12 forward-transform outputs.
+const NTT12_SUM: u64 = 0xee7f1c271a71485b;
+
+fn golden_input_12() -> Vec<Goldilocks> {
+    let mut rng = SplitMix64::seed_from_u64(SEED_12);
+    (0..N_12).map(|_| Goldilocks::random(&mut rng)).collect()
+}
+
+fn check_against_golden_12(out: &[Goldilocks], what: &str) {
+    for (i, expected) in NTT12_SPOTS {
+        assert_eq!(out[i].as_u64(), expected, "{what} output at index {i}");
+    }
+    let sum: Goldilocks = out.iter().copied().sum();
+    assert_eq!(sum.as_u64(), NTT12_SUM, "{what} output checksum");
+}
+
+#[test]
+fn forward_ntt_2_12_matches_naive_derived_golden() {
+    let mut v = golden_input_12();
+    ntt_nn(&mut v);
+    check_against_golden_12(&v, "radix-2 kernel");
+}
+
+#[test]
+fn decomposed_parallel_2_12_matches_naive_derived_golden() {
+    for dims in [[64usize, 64], [16, 256], [256, 16]] {
+        let mut v = golden_input_12();
+        unizk_ntt::parallel_decomposed_ntt_nn(&mut v, &dims);
+        check_against_golden_12(&v, "decomposed parallel path");
+    }
+}
+
+#[test]
+fn intt_roundtrip_2_12_is_exact() {
+    let input = golden_input_12();
+    let mut v = input.clone();
+    ntt_nn(&mut v);
+    intt_nn(&mut v);
+    assert_eq!(v, input, "iNTT(NTT(x)) must reproduce x bit-for-bit at 2^12");
+}

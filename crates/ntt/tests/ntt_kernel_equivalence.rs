@@ -1,0 +1,161 @@
+//! Kernel-equivalence wall for the accelerated NTT paths.
+//!
+//! The cached-twiddle serial kernel, the decomposed parallel route, and
+//! the order/coset/direction variants must all compute the same transform.
+//! Sizes sweep `2^1..=2^14` (the full range the prover uses, crossing both
+//! routing thresholds); comparisons against the quadratic-time reference
+//! are capped at `2^10` to keep the suite fast, with the larger sizes
+//! covered by cross-kernel equality and exact roundtrips.
+//!
+//! Nothing here mutates process-global knobs: the decomposed path is
+//! exercised through its explicit entry point
+//! ([`unizk_ntt::parallel_decomposed_ntt_nn`]), so this binary can share a
+//! process with any other test.
+
+use unizk_testkit::prop::prelude::*;
+use unizk_field::{bit_reverse, reverse_index_bits, Field, Goldilocks, PrimeField64};
+use unizk_ntt::{
+    coset_intt_nn, coset_ntt_nn, coset_ntt_nr, decomposed_ntt_nn, intt_nn, intt_rn, naive_dft,
+    naive_idft, ntt_nn, ntt_nr, ntt_rn, parallel_decomposed_ntt_nn,
+};
+
+fn arb_fields(n: usize) -> impl Strategy<Value = Vec<Goldilocks>> {
+    prop::collection::vec(any::<u64>().prop_map(Goldilocks::from_u64), n)
+}
+
+/// A balanced-ish split of `2^log_n` into two power-of-two dimensions.
+fn dims_for(log_n: usize, split: usize) -> [usize; 2] {
+    let lo = split % (log_n + 1);
+    [1 << lo, 1 << (log_n - lo)]
+}
+
+prop! {
+    #![cases(12)]
+
+    // ---- cached-twiddle serial kernel vs the quadratic reference ----
+
+    fn forward_matches_naive_small(log_n in 1usize..=10, seed_vec in arb_fields(1 << 10)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut fast = v.to_vec();
+        ntt_nn(&mut fast);
+        prop_assert_eq!(fast, naive_dft(v));
+    }
+
+    fn inverse_matches_naive_small(log_n in 1usize..=10, seed_vec in arb_fields(1 << 10)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut fast = v.to_vec();
+        intt_nn(&mut fast);
+        prop_assert_eq!(fast, naive_idft(v));
+    }
+
+    // ---- order variants agree at every size up to 2^14 ----
+
+    fn nr_is_bit_reversed_nn(log_n in 1usize..=14, seed_vec in arb_fields(1 << 14)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut nn = v.to_vec();
+        ntt_nn(&mut nn);
+        let mut nr = v.to_vec();
+        ntt_nr(&mut nr);
+        for (i, x) in nr.iter().enumerate() {
+            prop_assert_eq!(*x, nn[bit_reverse(i, log_n)]);
+        }
+    }
+
+    fn rn_undoes_input_bit_reversal(log_n in 1usize..=14, seed_vec in arb_fields(1 << 14)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut nn = v.to_vec();
+        ntt_nn(&mut nn);
+        let mut rn = v.to_vec();
+        reverse_index_bits(&mut rn);
+        ntt_rn(&mut rn);
+        prop_assert_eq!(rn, nn);
+    }
+
+    // ---- both directions roundtrip exactly at every size ----
+
+    fn nn_roundtrip(log_n in 1usize..=14, seed_vec in arb_fields(1 << 14)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        ntt_nn(&mut x);
+        intt_nn(&mut x);
+        prop_assert_eq!(x.as_slice(), v);
+    }
+
+    fn nr_rn_roundtrip(log_n in 1usize..=14, seed_vec in arb_fields(1 << 14)) {
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        ntt_nr(&mut x);
+        intt_rn(&mut x);
+        prop_assert_eq!(x.as_slice(), v);
+    }
+
+    // ---- coset variants, both shifts and directions ----
+
+    fn coset_forward_matches_shifted_naive(
+        log_n in 1usize..=8,
+        seed_vec in arb_fields(1 << 8),
+        s in 1u64..10_000,
+    ) {
+        let shift = Goldilocks::from_u64(s);
+        prop_assume!(!shift.is_zero());
+        let v = &seed_vec[..1 << log_n];
+        // coset-NTT(x) == NTT of coefficients pre-scaled by shift^i.
+        let scaled: Vec<Goldilocks> = v
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c * shift.exp_u64(i as u64))
+            .collect();
+        let mut fast = v.to_vec();
+        coset_ntt_nn(&mut fast, shift);
+        prop_assert_eq!(fast, naive_dft(&scaled));
+    }
+
+    fn coset_roundtrip_all_sizes(log_n in 1usize..=14, seed_vec in arb_fields(1 << 14)) {
+        let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;
+        let v = &seed_vec[..1 << log_n];
+        let mut x = v.to_vec();
+        coset_ntt_nn(&mut x, shift);
+        coset_intt_nn(&mut x, shift);
+        prop_assert_eq!(x.as_slice(), v);
+    }
+
+    fn coset_nr_is_bit_reversed_coset_nn(log_n in 1usize..=12, seed_vec in arb_fields(1 << 12)) {
+        let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;
+        let v = &seed_vec[..1 << log_n];
+        let mut nn = v.to_vec();
+        coset_ntt_nn(&mut nn, shift);
+        let mut nr = v.to_vec();
+        coset_ntt_nr(&mut nr, shift);
+        reverse_index_bits(&mut nr);
+        prop_assert_eq!(nr, nn);
+    }
+
+    // ---- decomposed paths (serial model and parallel route) ----
+
+    fn decomposed_parallel_matches_serial_kernel(
+        log_n in 1usize..=14,
+        split in 0usize..15,
+        seed_vec in arb_fields(1 << 14),
+    ) {
+        let v = &seed_vec[..1 << log_n];
+        let mut mono = v.to_vec();
+        ntt_nn(&mut mono);
+        let mut par = v.to_vec();
+        parallel_decomposed_ntt_nn(&mut par, &dims_for(log_n, split));
+        prop_assert_eq!(par, mono);
+    }
+
+    fn decomposed_parallel_matches_serial_model(
+        log_n in 1usize..=12,
+        split in 0usize..13,
+        seed_vec in arb_fields(1 << 12),
+    ) {
+        let v = &seed_vec[..1 << log_n];
+        let dims = dims_for(log_n, split);
+        let mut serial = v.to_vec();
+        decomposed_ntt_nn(&mut serial, &dims);
+        let mut par = v.to_vec();
+        parallel_decomposed_ntt_nn(&mut par, &dims);
+        prop_assert_eq!(par, serial);
+    }
+}

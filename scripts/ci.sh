@@ -44,4 +44,21 @@ grep -q "cache hits: 4/4" "$SWEEP_TMP/warm.log" \
 diff "$SWEEP_TMP/cold.json" "$SWEEP_TMP/warm.json" \
     || { echo "FAIL: cached sweep artifact differs from cold run"; exit 1; }
 
+echo "==> prover bench determinism (two fresh baselines, identical counters)"
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP" "$BENCH_TMP"' EXIT
+mkdir -p "$BENCH_TMP/a" "$BENCH_TMP/b"
+./target/release/baseline --out-dir "$BENCH_TMP/a" > "$BENCH_TMP/a.log"
+./target/release/baseline --out-dir "$BENCH_TMP/b" > "$BENCH_TMP/b.log"
+# Wall-clock fields differ between runs; the deterministic work counters
+# and proof size must not. `--compare` reports time deltas separately and
+# exits nonzero on any counter drift, so it IS the gate.
+./target/release/baseline --compare \
+    "$BENCH_TMP/a/BENCH_PROVER.json" "$BENCH_TMP/b/BENCH_PROVER.json" \
+    || { echo "FAIL: prover counters differ between identical runs"; exit 1; }
+# The committed baseline must agree with what this tree produces.
+./target/release/baseline --compare \
+    BENCH_PROVER.json "$BENCH_TMP/a/BENCH_PROVER.json" \
+    || { echo "FAIL: counters drifted from committed BENCH_PROVER.json"; exit 1; }
+
 echo "==> OK: tier-1 gate passed"

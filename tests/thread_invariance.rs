@@ -1,0 +1,104 @@
+//! Thread-count invariance for the prover hot paths.
+//!
+//! The parallel NTT stages, the decomposed parallel route, and the chunked
+//! Merkle hashing are all *execution strategies*: they must produce
+//! bit-identical proofs and identical deterministic trace counters under
+//! every [`unizk_field::set_parallelism`] setting. This suite pins the
+//! invariant end-to-end (STARK prove → verify) and on the 2^14 coset LDE
+//! in isolation, with the routing thresholds lowered so the parallel code
+//! actually runs at test sizes instead of silently falling back to the
+//! serial kernels.
+//!
+//! These tests mutate process-global knobs (the parallelism override, the
+//! NTT routing thresholds, the trace store), so everything that touches
+//! them serializes on one lock and restores the defaults before releasing
+//! it. They live in their own integration-test binary for the same reason.
+
+use std::sync::Mutex;
+
+use unizk_field::{set_parallelism, Goldilocks, PrimeField64};
+use unizk_ntt::{
+    lde_of_values, set_decompose_parallel_threshold, set_stage_parallel_threshold,
+};
+use unizk_stark::{prove, verify, FibonacciAir, StarkConfig};
+use unizk_testkit::rng::SplitMix64;
+use unizk_testkit::trace;
+
+static GLOBAL_KNOBS: Mutex<()> = Mutex::new(());
+
+/// Restores every knob this suite touches, even on assertion failure.
+struct KnobGuard;
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        set_parallelism(0);
+        set_stage_parallel_threshold(12);
+        set_decompose_parallel_threshold(16);
+    }
+}
+
+fn counters() -> Vec<(String, u64)> {
+    trace::snapshot().counters
+}
+
+/// One run's observable outcome: the value under test plus the counters.
+type Observed<T> = Option<(T, Vec<(String, u64)>)>;
+
+#[test]
+fn stark_proof_identical_under_every_thread_count() {
+    let _lock = GLOBAL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = KnobGuard;
+    // Engage the parallel stage split and the decomposed route at the small
+    // transform sizes a 256-row STARK produces.
+    set_stage_parallel_threshold(4);
+    set_decompose_parallel_threshold(8);
+
+    let air = FibonacciAir::new(256);
+    let config = StarkConfig::for_testing();
+
+    let mut reference: Observed<Vec<u8>> = None;
+    for threads in [1usize, 2, 3, 0] {
+        set_parallelism(threads);
+        trace::reset();
+        let proof = prove(&air, &config).expect("trace satisfies the AIR");
+        verify(&air, &proof, &config).expect("honest proof verifies");
+        let got = (proof.to_bytes(), counters());
+        match &reference {
+            None => reference = Some(got),
+            Some((bytes, counts)) => {
+                assert_eq!(&got.0, bytes, "proof bytes differ at threads={threads}");
+                assert_eq!(&got.1, counts, "trace counters differ at threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn coset_lde_identical_under_every_thread_count() {
+    let _lock = GLOBAL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = KnobGuard;
+    // The 2^14 output size crosses the default stage threshold already;
+    // lower the decomposed route too so all three kernels (serial,
+    // stage-split, decomposed) are exercised by the thread sweep.
+    set_decompose_parallel_threshold(13);
+
+    let mut rng = SplitMix64::seed_from_u64(0x1DE);
+    let values: Vec<Goldilocks> = (0..1 << 12).map(|_| Goldilocks::random(&mut rng)).collect();
+    let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;
+
+    let mut reference: Observed<Vec<Goldilocks>> = None;
+    for threads in [1usize, 2, 5, 0] {
+        set_parallelism(threads);
+        trace::reset();
+        let extended = lde_of_values(&values, 2, shift);
+        assert_eq!(extended.len(), 1 << 14);
+        let got = (extended, counters());
+        match &reference {
+            None => reference = Some(got),
+            Some((vals, counts)) => {
+                assert_eq!(&got.0, vals, "LDE values differ at threads={threads}");
+                assert_eq!(&got.1, counts, "trace counters differ at threads={threads}");
+            }
+        }
+    }
+}
