@@ -248,23 +248,72 @@ fn compare(old_path: &str, new_path: &str) {
             );
             let classes_old = obj_field(&old, "kernel_classes", old_path);
             let classes_new = obj_field(&new, "kernel_classes", new_path);
-            for class in KernelClass::ALL {
-                let ns = |classes: &[(String, Json)], path: &str| {
-                    let entry = classes
-                        .iter()
-                        .find(|(k, _)| k == class.name())
-                        .unwrap_or_else(|| panic!("{path}: missing class {}", class.name()));
-                    u64_field(&entry.1, "ns", path)
+            // Kernel-class *coverage* is part of the artifact contract: a
+            // class that appears on one side but not the other — or loses
+            // its `ns`/`fraction` fields — means the instrumentation
+            // stopped covering that kernel. That must fail the gate with a
+            // readable diff, not panic halfway through printing it. Diff
+            // the union of class keys (the known classes plus anything
+            // either artifact carries), so vanished *and* newly appeared
+            // classes both surface.
+            let mut names: Vec<&str> = KernelClass::ALL.iter().map(KernelClass::name).collect();
+            for (k, _) in classes_old.iter().chain(classes_new.iter()) {
+                if !names.contains(&k.as_str()) {
+                    names.push(k);
+                }
+            }
+            let mut coverage_drift = false;
+            for name in names {
+                let entry = |classes: &[(String, Json)]| {
+                    classes.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
                 };
-                let a = ns(&classes_old, old_path);
-                let b = ns(&classes_new, new_path);
-                println!(
-                    "  {:<16} {:>10.2} ms -> {:>10.2} ms ({})",
-                    class.name(),
-                    a as f64 / 1e6,
-                    b as f64 / 1e6,
-                    delta(a, b)
-                );
+                match (entry(&classes_old), entry(&classes_new)) {
+                    // Known class measured by neither artifact: coverage
+                    // agrees, nothing to diff.
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        let fields = |v: &Json| {
+                            match (v.get("ns"), v.get("fraction")) {
+                                (Some(&Json::UInt(ns)), Some(f)) if f.as_f64().is_some() => {
+                                    Some(ns)
+                                }
+                                _ => None,
+                            }
+                        };
+                        match (fields(&a), fields(&b)) {
+                            (Some(a_ns), Some(b_ns)) => println!(
+                                "  {:<16} {:>10.2} ms -> {:>10.2} ms ({})",
+                                name,
+                                a_ns as f64 / 1e6,
+                                b_ns as f64 / 1e6,
+                                delta(a_ns, b_ns)
+                            ),
+                            (a_ok, b_ok) => {
+                                let show = |ok: Option<u64>| {
+                                    if ok.is_some() { "ns+fraction" } else { "malformed" }
+                                };
+                                println!(
+                                    "coverage drift: {name} {} -> {}",
+                                    show(a_ok),
+                                    show(b_ok)
+                                );
+                                coverage_drift = true;
+                            }
+                        }
+                    }
+                    (Some(_), None) => {
+                        println!("coverage drift: {name} present -> MISSING (class vanished)");
+                        coverage_drift = true;
+                    }
+                    (None, Some(_)) => {
+                        println!("coverage drift: {name} MISSING -> present (class appeared)");
+                        coverage_drift = true;
+                    }
+                }
+            }
+            if coverage_drift {
+                eprintln!("error: kernel-class coverage drifted (see above)");
+                std::process::exit(1);
             }
             // Deterministic work counters are an *invariant*, not a metric:
             // the time deltas above are informational, counter drift is an

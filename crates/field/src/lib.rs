@@ -53,8 +53,8 @@ pub mod util;
 pub use extension::Ext2;
 pub use goldilocks::Goldilocks;
 pub use par::{
-    current_parallelism, parallel_chunks_mut, parallel_map, parallel_ranges, parallel_zip_mut,
-    set_parallelism,
+    current_parallelism, parallel_chunks_mut, parallel_first_block, parallel_map, parallel_ranges,
+    parallel_zip_mut, set_parallelism,
 };
 pub use poly::Polynomial;
 pub use traits::{ExtensionOf, Field, PrimeField64};

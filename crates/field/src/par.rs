@@ -261,6 +261,57 @@ where
     });
 }
 
+/// Finds the first block index `k` (in ascending order) for which
+/// `f(k)` returns `Some`, evaluating blocks in *waves* of the configured
+/// parallelism, and returns that `Some`.
+///
+/// This is the deterministic search primitive behind the FRI grind: the
+/// result is the answer of the **lowest-indexed** successful block, no
+/// matter how many threads raced within a wave — wave `w` evaluates blocks
+/// `w·t .. (w+1)·t` concurrently (`t` = thread count), then takes the first
+/// `Some` in block order, so every parallelism setting (including the
+/// serial fallback) agrees bit-for-bit. Blocks past the first success
+/// within a wave may still be *evaluated* (speculative overshoot); callers
+/// whose `f` has side effects must make them idempotent or account for the
+/// overshoot themselves.
+///
+/// `f` must return `Some` for some `k` — the search runs unboundedly
+/// upward, mirroring a `loop` over a serial scan.
+///
+/// Workers inherit the caller's trace-span path, exactly as in
+/// [`parallel_map`].
+///
+/// # Examples
+///
+/// ```
+/// use unizk_field::par::parallel_first_block;
+///
+/// // First block whose index squares past 50, regardless of thread count.
+/// let hit = parallel_first_block(|k| if k * k >= 50 { Some(k) } else { None });
+/// assert_eq!(hit, 8);
+/// ```
+pub fn parallel_first_block<U, F>(f: F) -> U
+where
+    U: Send,
+    F: Fn(usize) -> Option<U> + Sync,
+{
+    let threads = current_parallelism();
+    if threads <= 1 {
+        return (0..)
+            .find_map(f)
+            .expect("unbounded search cannot exhaust usize");
+    }
+    let mut wave = 0;
+    loop {
+        let blocks: Vec<usize> = (wave * threads..(wave + 1) * threads).collect();
+        let results = parallel_map(blocks, &f);
+        if let Some(hit) = results.into_iter().flatten().next() {
+            return hit;
+        }
+        wave += 1;
+    }
+}
+
 /// Runs `f(start, end)` over disjoint subranges of `0..n` in parallel.
 ///
 /// Workers inherit the caller's trace-span path, exactly as in
@@ -331,6 +382,28 @@ mod tests {
             hits.fetch_add((e - s) as u64, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 1001);
+    }
+
+    #[test]
+    fn first_block_deterministic_across_parallelism() {
+        // The qualifying predicate has many hits; the lowest block must win
+        // under every thread count.
+        for threads in [1usize, 2, 3, 5, 8] {
+            set_parallelism(threads);
+            let hit = parallel_first_block(|k| if k >= 13 { Some(k) } else { None });
+            assert_eq!(hit, 13, "threads={threads}");
+        }
+        set_parallelism(0);
+        let hit = parallel_first_block(|k| if k >= 13 { Some(k) } else { None });
+        assert_eq!(hit, 13, "default parallelism");
+    }
+
+    #[test]
+    fn first_block_immediate_hit() {
+        set_parallelism(4);
+        let hit = parallel_first_block(|k| Some(k * 10));
+        assert_eq!(hit, 0);
+        set_parallelism(0);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! query phase.
 
 use unizk_field::{
-    batch_inverse, bit_reverse, log2_strict, Ext2, ExtensionOf, Field, Goldilocks, Polynomial,
-    PrimeField64,
+    batch_inverse, bit_reverse, log2_strict, parallel_first_block, Ext2, ExtensionOf, Field,
+    Goldilocks, Polynomial, PrimeField64,
 };
-use unizk_hash::{Challenger, MerkleTree};
+use unizk_hash::{Challenger, MerkleTree, SpeculativeChallenger};
 use unizk_testkit::trace;
 
 use crate::batch::{coset_shift, domain_point, PolynomialBatch};
@@ -315,26 +315,85 @@ fn interpolate_final(values: &[Ext2], domain: FoldDomain, max_len: usize) -> Vec
     out
 }
 
-/// Searches for a grinding witness: the smallest nonce whose speculative
-/// challenge passes [`pow_ok`]. The speculative challenger replays the
-/// clone → observe → challenge sequence on the stack with the transcript's
-/// static first-round work hoisted out of the loop, so each attempt costs
-/// one Poseidon permutation minus the shared prefix (and bumps the
-/// permutation counter once, exactly as the cloning loop did).
-pub(crate) fn grind(challenger: &Challenger, bits: usize) -> Goldilocks {
+/// Nonces scanned per grind block. A multiple of every supported lane
+/// width ([`unizk_hash::MAX_LANES`] divides it), so blocks decompose into
+/// whole lane groups; it is also the unit of the deterministic parallel
+/// search — see [`scan_block`].
+const GRIND_BLOCK: u64 = 512;
+
+/// Searches for a grinding witness: the **smallest** nonce whose
+/// speculative challenge passes [`pow_ok`].
+///
+/// The scan is organised for two axes of parallelism while staying
+/// bit-deterministic:
+///
+/// * **Lanes** — within a block, candidate nonces run through the
+///   lane-packed Poseidon engine ([`unizk_hash::hash_lanes`] nonces per
+///   dispatch), evaluating only the challenge row of the output state.
+/// * **Threads** — blocks of `GRIND_BLOCK` (512) nonces are searched with
+///   [`parallel_first_block`], which returns the lowest-indexed successful
+///   block under every `set_parallelism` setting.
+///
+/// Both axes overshoot: lanes past the winner within a group, blocks past
+/// the winning block within a wave. Nothing is counted per attempt;
+/// instead the *logical* attempt count — `winner + 1`, exactly what the
+/// serial one-bump-per-attempt scan totalled — lands on
+/// `poseidon.permutations` once at the end, keeping the counter
+/// byte-identical for every lane width, block size, and thread count
+/// (count-once discipline, as for the NTT routing knobs).
+pub fn grind(challenger: &Challenger, bits: usize) -> Goldilocks {
     let speculative = challenger.speculative_challenger();
-    let mut nonce = 0u64;
-    loop {
-        let candidate = Goldilocks::from_u64(nonce);
-        if pow_ok(speculative.challenge(candidate), bits) {
-            return candidate;
-        }
-        nonce += 1;
+    let lanes = unizk_hash::hash_lanes();
+    let winner = parallel_first_block(|k| scan_block(&speculative, k as u64 * GRIND_BLOCK, bits, lanes));
+    trace::counter("poseidon.permutations", winner + 1);
+    Goldilocks::from_u64(winner)
+}
+
+/// Scans the block of nonces `[start, start + GRIND_BLOCK)` and returns the
+/// lowest qualifying nonce in it, if any. Dispatches on the configured lane
+/// width; every width returns the identical result (the packed kernels are
+/// bit-identical to scalar and groups are checked in nonce order).
+fn scan_block(
+    speculative: &SpeculativeChallenger,
+    start: u64,
+    bits: usize,
+    lanes: usize,
+) -> Option<u64> {
+    match lanes {
+        2 => scan_lanes::<2>(speculative, start, bits),
+        4 => scan_lanes::<4>(speculative, start, bits),
+        8 => scan_lanes::<8>(speculative, start, bits),
+        _ => scan_lanes::<1>(speculative, start, bits),
     }
 }
 
+/// Lane-width-monomorphised block scan: `LANES` consecutive nonces per
+/// packed dispatch, groups walked in ascending order, lowest hit wins.
+fn scan_lanes<const LANES: usize>(
+    speculative: &SpeculativeChallenger,
+    start: u64,
+    bits: usize,
+) -> Option<u64> {
+    debug_assert_eq!(GRIND_BLOCK % LANES as u64, 0);
+    let mut nonce = start;
+    while nonce < start + GRIND_BLOCK {
+        let mut xs = [Goldilocks::ZERO; LANES];
+        for (l, x) in xs.iter_mut().enumerate() {
+            *x = Goldilocks::from_u64(nonce + l as u64);
+        }
+        let responses = speculative.challenge_batch_uncounted(&xs);
+        for (l, &r) in responses.iter().enumerate() {
+            if pow_ok(r, bits) {
+                return Some(nonce + l as u64);
+            }
+        }
+        nonce += LANES as u64;
+    }
+    None
+}
+
 /// The grinding condition: the response's low `bits` bits are zero.
-pub(crate) fn pow_ok(response: Goldilocks, bits: usize) -> bool {
+pub fn pow_ok(response: Goldilocks, bits: usize) -> bool {
     response.as_u64() & ((1u64 << bits) - 1) == 0
 }
 

@@ -1,0 +1,108 @@
+//! Micro-benchmark: scalar vs lane-packed Poseidon permutation throughput.
+//!
+//! Run with `cargo run --release -p unizk-hash --example packed_bench`.
+//! Prints ns/permutation for the scalar kernel and each supported lane
+//! width, both for the full-state batch kernel and the grind-shaped
+//! single-row nonce kernel.
+
+use std::time::Instant;
+
+use unizk_field::{Field, Goldilocks};
+use unizk_hash::poseidon::poseidon_permute;
+use unizk_hash::{NoncePermutation, PackedPermutation, SPONGE_RATE, WIDTH};
+
+const ITERS: usize = 20_000;
+
+fn seed_state(tag: u64) -> [Goldilocks; WIDTH] {
+    let mut st = [Goldilocks::ZERO; WIDTH];
+    for (i, x) in st.iter_mut().enumerate() {
+        *x = Goldilocks::from_u64(tag.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
+    }
+    st
+}
+
+fn bench_scalar() -> f64 {
+    let mut st = seed_state(1);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        poseidon_permute(&mut st);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    std::hint::black_box(st[0].as_canonical_u64());
+    ns
+}
+
+fn bench_packed<const LANES: usize>() -> f64 {
+    let mut states = [[Goldilocks::ZERO; WIDTH]; LANES];
+    for (l, st) in states.iter_mut().enumerate() {
+        *st = seed_state(l as u64 + 2);
+    }
+    let rounds = ITERS / LANES;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        PackedPermutation::<LANES>::permute(&mut states);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / (rounds * LANES) as f64;
+    std::hint::black_box(states[0][0].as_canonical_u64());
+    ns
+}
+
+fn bench_nonce_scalar() -> f64 {
+    let perm = NoncePermutation::new(&seed_state(7), SPONGE_RATE - 1);
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for n in 0..ITERS as u64 {
+        acc ^= perm.permute_with(Goldilocks::from_u64(n))[SPONGE_RATE - 1].as_canonical_u64();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    std::hint::black_box(acc);
+    ns
+}
+
+fn bench_nonce_packed<const LANES: usize>() -> f64 {
+    let perm = NoncePermutation::new(&seed_state(7), SPONGE_RATE - 1);
+    let rounds = ITERS / LANES;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for r in 0..rounds as u64 {
+        let mut xs = [Goldilocks::ZERO; LANES];
+        for (l, x) in xs.iter_mut().enumerate() {
+            *x = Goldilocks::from_u64(r * LANES as u64 + l as u64);
+        }
+        let out = perm.permute_many_row(&xs, SPONGE_RATE - 1);
+        for v in out {
+            acc ^= v.as_canonical_u64();
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / (rounds * LANES) as f64;
+    std::hint::black_box(acc);
+    ns
+}
+
+fn main() {
+    // Warm up constants and the CPU.
+    let _ = bench_scalar();
+
+    let scalar = bench_scalar();
+    println!("full-state permutation, ns per state:");
+    println!("  scalar : {scalar:8.1}");
+    for (name, ns) in [
+        ("lanes=2", bench_packed::<2>()),
+        ("lanes=4", bench_packed::<4>()),
+        ("lanes=8", bench_packed::<8>()),
+    ] {
+        println!("  {name}: {ns:8.1}  ({:.2}x)", scalar / ns);
+    }
+
+    let _ = bench_nonce_scalar();
+    let nonce_scalar = bench_nonce_scalar();
+    println!("grind-shaped nonce permutation (single output row), ns per nonce:");
+    println!("  scalar : {nonce_scalar:8.1}");
+    for (name, ns) in [
+        ("lanes=2", bench_nonce_packed::<2>()),
+        ("lanes=4", bench_nonce_packed::<4>()),
+        ("lanes=8", bench_nonce_packed::<8>()),
+    ] {
+        println!("  {name}: {ns:8.1}  ({:.2}x)", nonce_scalar / ns);
+    }
+}

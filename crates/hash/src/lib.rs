@@ -33,12 +33,22 @@
 
 pub mod digest;
 pub mod merkle;
+pub mod packed;
 pub mod poseidon;
+pub mod poseidon2;
 pub mod sponge;
 
 pub use digest::Digest;
 pub use merkle::{MerkleProof, MerkleTree};
+pub use packed::{
+    hash_lanes, packed_min_batch, set_hash_lanes, set_packed_min_batch, PackedPermutation,
+    MAX_LANES,
+};
 pub use poseidon::{
     poseidon_permute, NoncePermutation, PoseidonCost, SPONGE_CAPACITY, SPONGE_RATE, WIDTH,
 };
-pub use sponge::{hash_no_pad, two_to_one, Challenger, SpeculativeChallenger};
+pub use poseidon2::{poseidon2_permute, Poseidon2Constants, Poseidon2Sponge};
+pub use sponge::{
+    compress_level, hash_many, hash_no_pad, hash_no_pad_with, two_to_one, two_to_one_with,
+    Challenger, PoseidonSponge, SpeculativeChallenger, SpongeBackend,
+};

@@ -10,7 +10,7 @@
 use unizk_field::{log2_strict, Goldilocks};
 
 use crate::digest::Digest;
-use crate::sponge::{hash_no_pad, two_to_one};
+use crate::sponge::{compress_level, hash_many, hash_no_pad, two_to_one};
 
 /// Leaves (or interior pairs) hashed per parallel work item. Chunking
 /// amortizes worker dispatch over many hashes instead of paying it per
@@ -18,13 +18,16 @@ use crate::sponge::{hash_no_pad, two_to_one};
 /// (any chunk size yields identical digests and counters).
 const HASH_CHUNK: usize = 128;
 
-/// Hashes every leaf with chunked work distribution: workers receive
-/// `chunk_size` leaves at a time and hash them serially, so per-item
+/// Hashes every leaf through the batched sponge dispatcher
+/// ([`hash_many`]), which absorbs runs of equal-length leaves in lockstep
+/// through the lane-packed Poseidon engine. Under multi-threading, workers
+/// receive `chunk_size` leaves at a time and batch-hash them, so per-item
 /// dispatch overhead is paid once per chunk rather than once per leaf.
 ///
 /// Equivalent to `leaves.iter().map(|l| hash_no_pad(l))` for every chunk
-/// size (the per-leaf `poseidon.permutations` accounting is preserved
-/// exactly), which the edge-case suite pins down.
+/// size, lane width, and thread count (the per-leaf
+/// `poseidon.permutations` accounting is preserved exactly), which the
+/// edge-case suite pins down.
 ///
 /// # Panics
 ///
@@ -32,40 +35,39 @@ const HASH_CHUNK: usize = 128;
 pub fn hash_leaves(leaves: &[Vec<Goldilocks>], chunk_size: usize) -> Vec<Digest> {
     assert!(chunk_size > 0, "chunk size must be positive");
     if unizk_field::par::current_parallelism() == 1 || leaves.len() <= chunk_size {
-        return leaves.iter().map(|l| hash_no_pad(l)).collect();
+        let refs: Vec<&[Goldilocks]> = leaves.iter().map(Vec::as_slice).collect();
+        return hash_many(&refs);
     }
     let ranges: Vec<(usize, usize)> = (0..leaves.len())
         .step_by(chunk_size)
         .map(|s| (s, (s + chunk_size).min(leaves.len())))
         .collect();
     unizk_field::parallel_map(ranges, |(s, e)| {
-        leaves[s..e].iter().map(|l| hash_no_pad(l)).collect::<Vec<Digest>>()
+        let refs: Vec<&[Goldilocks]> = leaves[s..e].iter().map(Vec::as_slice).collect();
+        hash_many(&refs)
     })
     .into_iter()
     .flatten()
     .collect()
 }
 
-/// One interior Merkle level: hashes adjacent digest pairs of `prev`,
-/// chunked exactly like [`hash_leaves`].
+/// One interior Merkle level: compresses adjacent digest pairs of `prev`
+/// through the batched dispatcher ([`compress_level`]), chunked across
+/// workers exactly like [`hash_leaves`].
 fn hash_pairs(prev: &[Digest], chunk_size: usize) -> Vec<Digest> {
     debug_assert!(prev.len().is_multiple_of(2));
     let n = prev.len() / 2;
     if unizk_field::par::current_parallelism() == 1 || n <= chunk_size {
-        return (0..n).map(|i| two_to_one(prev[2 * i], prev[2 * i + 1])).collect();
+        return compress_level(prev);
     }
     let ranges: Vec<(usize, usize)> = (0..n)
         .step_by(chunk_size)
         .map(|s| (s, (s + chunk_size).min(n)))
         .collect();
-    unizk_field::parallel_map(ranges, |(s, e)| {
-        (s..e)
-            .map(|i| two_to_one(prev[2 * i], prev[2 * i + 1]))
-            .collect::<Vec<Digest>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    unizk_field::parallel_map(ranges, |(s, e)| compress_level(&prev[2 * s..2 * e]))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// A binary Merkle tree over element-vector leaves.

@@ -29,7 +29,7 @@ pub const PARTIAL_ROUNDS: usize = 22;
 /// Deterministic constant generator (splitmix64). See the crate-level
 /// substitution note: these replace Plonky2's Grain-LFSR constants while
 /// preserving the permutation's structure.
-fn splitmix64(state: &mut u64) -> u64 {
+const fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -37,15 +37,16 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn gen_field(state: &mut u64) -> Goldilocks {
-    Goldilocks::from_u64(splitmix64(state))
+const fn gen_field(state: &mut u64) -> Goldilocks {
+    // Same reduction as `Field::from_u64` (which is not `const`).
+    Goldilocks::new(splitmix64(state) % unizk_field::goldilocks::P)
 }
 
 /// Small nonzero matrix entry (< 2^7), enabling lazy-reduction
 /// matrix–vector products — the structure real optimized Poseidon
 /// instances (including Plonky2's "fast" partial rounds) rely on.
-fn gen_small(state: &mut u64) -> Goldilocks {
-    Goldilocks::from_u64(splitmix64(state) % 96 + 1)
+const fn gen_small(state: &mut u64) -> Goldilocks {
+    Goldilocks::new(splitmix64(state) % 96 + 1)
 }
 
 /// All constants the permutation needs, generated once.
@@ -70,57 +71,85 @@ pub struct PoseidonConstants {
 }
 
 impl PoseidonConstants {
-    fn generate() -> Self {
+    // `const` (index-based `while` loops: `for`/iterators are not usable in
+    // const eval) so the whole table lands in a `static` at compile time and
+    // the hot kernels read matrix entries the optimizer can treat as
+    // immediates rather than opaque `OnceLock` loads.
+    const fn generate() -> Self {
         let mut s: u64 = 0x556E_695A_4B32_3032; // "UniZK2025"-ish seed
 
         let mut round_constants = [[Goldilocks::ZERO; WIDTH]; FULL_ROUNDS];
-        for row in round_constants.iter_mut() {
-            for c in row.iter_mut() {
-                *c = gen_field(&mut s);
+        let mut r = 0;
+        while r < FULL_ROUNDS {
+            let mut i = 0;
+            while i < WIDTH {
+                round_constants[r][i] = gen_field(&mut s);
+                i += 1;
             }
+            r += 1;
         }
 
         let mut partial_round_constants = [Goldilocks::ZERO; PARTIAL_ROUNDS];
-        for c in partial_round_constants.iter_mut() {
-            *c = gen_field(&mut s);
+        let mut r = 0;
+        while r < PARTIAL_ROUNDS {
+            partial_round_constants[r] = gen_field(&mut s);
+            r += 1;
         }
 
         let mut pre_partial_constants = [Goldilocks::ZERO; WIDTH];
-        for c in pre_partial_constants.iter_mut() {
-            *c = gen_field(&mut s);
+        let mut i = 0;
+        while i < WIDTH {
+            pre_partial_constants[i] = gen_field(&mut s);
+            i += 1;
         }
 
         // Circulant MDS from a row of small nonzero entries, mirroring the
         // circulant structure real Poseidon instances use.
         let mut first_row = [Goldilocks::ZERO; WIDTH];
-        for c in first_row.iter_mut() {
-            *c = Goldilocks::from_u64(splitmix64(&mut s) % 61 + 1);
+        let mut i = 0;
+        while i < WIDTH {
+            first_row[i] = Goldilocks::new(splitmix64(&mut s) % 61 + 1);
+            i += 1;
         }
         let mut mds = [[Goldilocks::ZERO; WIDTH]; WIDTH];
-        for (i, row) in mds.iter_mut().enumerate() {
-            for (j, c) in row.iter_mut().enumerate() {
-                *c = first_row[(j + WIDTH - i) % WIDTH];
+        let mut i = 0;
+        while i < WIDTH {
+            let mut j = 0;
+            while j < WIDTH {
+                mds[i][j] = first_row[(j + WIDTH - i) % WIDTH];
+                j += 1;
             }
+            i += 1;
         }
 
         let mut pre_mds = [[Goldilocks::ZERO; WIDTH]; WIDTH];
-        for row in pre_mds.iter_mut() {
-            for c in row.iter_mut() {
-                *c = gen_small(&mut s);
+        let mut i = 0;
+        while i < WIDTH {
+            let mut j = 0;
+            while j < WIDTH {
+                pre_mds[i][j] = gen_small(&mut s);
+                j += 1;
             }
+            i += 1;
         }
 
         let mut sparse_u = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
         let mut sparse_v = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
         let mut sparse_diag = [[Goldilocks::ZERO; WIDTH]; PARTIAL_ROUNDS];
-        for r in 0..PARTIAL_ROUNDS {
-            for u in sparse_u[r].iter_mut() {
-                *u = gen_small(&mut s);
+        let mut r = 0;
+        while r < PARTIAL_ROUNDS {
+            let mut i = 0;
+            while i < WIDTH {
+                sparse_u[r][i] = gen_small(&mut s);
+                i += 1;
             }
-            for i in 1..WIDTH {
+            let mut i = 1;
+            while i < WIDTH {
                 sparse_v[r][i] = gen_small(&mut s);
                 sparse_diag[r][i] = gen_small(&mut s);
+                i += 1;
             }
+            r += 1;
         }
 
         Self {
@@ -136,11 +165,12 @@ impl PoseidonConstants {
     }
 }
 
+/// The process-wide constant set, evaluated at compile time.
+static CONSTANTS: PoseidonConstants = PoseidonConstants::generate();
+
 /// The process-wide constant set.
 pub fn constants() -> &'static PoseidonConstants {
-    use std::sync::OnceLock;
-    static CONSTANTS: OnceLock<PoseidonConstants> = OnceLock::new();
-    CONSTANTS.get_or_init(PoseidonConstants::generate)
+    &CONSTANTS
 }
 
 /// `x^7` over lazy residues (see [`Goldilocks::reduce128_residue`]): the
@@ -148,7 +178,7 @@ pub fn constants() -> &'static PoseidonConstants {
 /// canonicalizing subtraction, which every multiply in the chain would
 /// otherwise pay.
 #[inline]
-fn sbox_residue(x: u64) -> u64 {
+pub(crate) fn sbox_residue(x: u64) -> u64 {
     // x^7 = x^4 · x^2 · x  (3 squarings/multiplies, as in hardware).
     let x2 = Goldilocks::mul_residue(x, x);
     let x4 = Goldilocks::mul_residue(x2, x2);
@@ -281,11 +311,11 @@ pub struct NoncePermutation {
     /// Per-output-row MDS accumulators over the 11 static sboxed lanes.
     /// Bound: 11 terms of `< 2^7 · 2^64`, comfortably below the `2^96`
     /// budget even after the nonce term joins.
-    static_acc: [u128; WIDTH],
+    pub(crate) static_acc: [u128; WIDTH],
     /// `mds[i][lane]` for each output row `i` (canonical, `< 2^7`).
-    nonce_col: [u64; WIDTH],
+    pub(crate) nonce_col: [u64; WIDTH],
     /// Round-0 constant for the nonce lane.
-    nonce_rc: u64,
+    pub(crate) nonce_rc: u64,
 }
 
 impl NoncePermutation {

@@ -1,0 +1,265 @@
+//! The Poseidon2 permutation over 12 Goldilocks elements — an alternative
+//! sponge backend with matrix-based partial-round linear layers.
+//!
+//! Poseidon2 (Grassi–Khovratovich–Schofnegger; the permutation Ziren's
+//! Poseidon2 chip implements) restructures Poseidon's linear algebra:
+//!
+//! * **External (full) rounds** multiply by a block-circulant matrix
+//!   `M_E = circ(2·M4, M4, M4)` built from a fixed 4×4 matrix `M4`, and an
+//!   extra `M_E` is applied to the input before the first round.
+//! * **Internal (partial) rounds** replace the sparse factored matrices
+//!   with one dense-but-cheap layer: `out[i] = Σ_j state[j] + d_i·state[i]`
+//!   — the all-ones matrix plus a diagonal, so a round costs one shared
+//!   12-term sum and one multiply per element.
+//!
+//! The round counts (4 + 4 external, 22 internal) and the `x^7` S-box
+//! match [`crate::poseidon`], so the two backends are cost-model-identical
+//! for the simulator while exercising genuinely different linear layers.
+//!
+//! **Status:** Poseidon2 is *not* wired into the default proof path — the
+//! committed proof-bytes/counter contract is pinned to Poseidon. It plugs
+//! in behind [`SpongeBackend`] for the conformance suite, benchmarks, and
+//! future backend-generic protocol work.
+//!
+//! **Substitution note (see DESIGN.md):** round constants and the internal
+//! diagonal are generated deterministically from a seed, like every other
+//! constant set in this repository; `M4` uses the literal entries from the
+//! Poseidon2 reference instantiation.
+
+use unizk_field::{Field, Goldilocks};
+
+use crate::poseidon::{sbox_residue, FULL_ROUNDS, PARTIAL_ROUNDS, WIDTH};
+use crate::sponge::SpongeBackend;
+
+/// Deterministic constant generator — same splitmix64 core as
+/// [`crate::poseidon`], seeded independently.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fixed 4×4 block of the external matrix (Poseidon2's reference
+/// `M4`); entries are tiny, keeping every external row sum far below the
+/// `reduce96` budget.
+const M4: [[u64; 4]; 4] = [
+    [5, 7, 1, 3],
+    [4, 6, 1, 1],
+    [1, 3, 5, 7],
+    [1, 1, 4, 6],
+];
+
+/// All constants the Poseidon2 permutation needs, generated once.
+#[derive(Clone, Debug)]
+pub struct Poseidon2Constants {
+    /// Per-round constant vectors for the 8 external rounds.
+    pub external_constants: [[Goldilocks; WIDTH]; FULL_ROUNDS],
+    /// Per-round constants (added to element 0) for the 22 internal rounds.
+    pub internal_constants: [Goldilocks; PARTIAL_ROUNDS],
+    /// Dense external matrix `M_E = circ(2·M4, M4, M4)` (row-major; entries
+    /// `< 2^4`).
+    pub external_mat: [[Goldilocks; WIDTH]; WIDTH],
+    /// Internal-layer diagonal `d`: the internal matrix is `J + diag(d)`
+    /// with `J` the all-ones matrix (entries `< 2^7`, nonzero).
+    pub internal_diag: [Goldilocks; WIDTH],
+}
+
+impl Poseidon2Constants {
+    fn generate() -> Self {
+        let mut s: u64 = 0x5053_4432_4B32_3032; // "PD2K2025"-ish seed
+
+        let mut external_constants = [[Goldilocks::ZERO; WIDTH]; FULL_ROUNDS];
+        for row in external_constants.iter_mut() {
+            for c in row.iter_mut() {
+                *c = Goldilocks::from_u64(splitmix64(&mut s));
+            }
+        }
+        let mut internal_constants = [Goldilocks::ZERO; PARTIAL_ROUNDS];
+        for c in internal_constants.iter_mut() {
+            *c = Goldilocks::from_u64(splitmix64(&mut s));
+        }
+
+        let mut external_mat = [[Goldilocks::ZERO; WIDTH]; WIDTH];
+        for (i, row) in external_mat.iter_mut().enumerate() {
+            for (j, c) in row.iter_mut().enumerate() {
+                let block_scale = if i / 4 == j / 4 { 2 } else { 1 };
+                *c = Goldilocks::from_u64(block_scale * M4[i % 4][j % 4]);
+            }
+        }
+
+        let mut internal_diag = [Goldilocks::ZERO; WIDTH];
+        for d in internal_diag.iter_mut() {
+            *d = Goldilocks::from_u64(splitmix64(&mut s) % 96 + 1);
+        }
+
+        Self {
+            external_constants,
+            internal_constants,
+            external_mat,
+            internal_diag,
+        }
+    }
+}
+
+/// The process-wide Poseidon2 constant set.
+pub fn constants2() -> &'static Poseidon2Constants {
+    use std::sync::OnceLock;
+    static CONSTANTS: OnceLock<Poseidon2Constants> = OnceLock::new();
+    CONSTANTS.get_or_init(Poseidon2Constants::generate)
+}
+
+/// External matrix–vector product over residues: 12 terms of a `< 2^4`
+/// constant times a `< 2^64` residue sum below `2^72`, one `reduce96` per
+/// row.
+fn external_matvec(cs: &Poseidon2Constants, state: &[u64; WIDTH]) -> [u64; WIDTH] {
+    let mut out = [0u64; WIDTH];
+    for (o, row) in out.iter_mut().zip(cs.external_mat.iter()) {
+        let mut acc: u128 = 0;
+        for (c, &x) in row.iter().zip(state.iter()) {
+            acc += u128::from(c.as_canonical_u64()) * u128::from(x);
+        }
+        *o = Goldilocks::reduce96_residue(acc);
+    }
+    out
+}
+
+fn external_round(cs: &Poseidon2Constants, state: &mut [u64; WIDTH], r: usize) {
+    for (x, c) in state.iter_mut().zip(cs.external_constants[r].iter()) {
+        *x = sbox_residue(Goldilocks::add_residue(*x, c.as_canonical_u64()));
+    }
+    *state = external_matvec(cs, state);
+}
+
+/// One internal round: S-box on element 0, then the `J + diag(d)` layer —
+/// the 12-term sum is shared across rows, so the matrix-based partial
+/// round costs 12 + 1 multiplies instead of Poseidon's factored sparse
+/// product.
+fn internal_round(cs: &Poseidon2Constants, state: &mut [u64; WIDTH], r: usize) {
+    state[0] = sbox_residue(Goldilocks::add_residue(
+        state[0],
+        cs.internal_constants[r].as_canonical_u64(),
+    ));
+    // Σ_j state[j]: 12 residues < 2^64 sum below 2^68.
+    let mut sum: u128 = 0;
+    for &x in state.iter() {
+        sum += u128::from(x);
+    }
+    for (x, d) in state.iter_mut().zip(cs.internal_diag.iter()) {
+        // sum + d·x < 2^68 + 2^71 — comfortably inside the reduce96 budget.
+        *x = Goldilocks::reduce96_residue(sum + u128::from(d.as_canonical_u64()) * u128::from(*x));
+    }
+}
+
+/// Applies the full Poseidon2 permutation in place.
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::{Field, Goldilocks};
+/// use unizk_hash::poseidon2_permute;
+///
+/// let mut state = [Goldilocks::ZERO; 12];
+/// poseidon2_permute(&mut state);
+/// assert_ne!(state[0], Goldilocks::ZERO);
+/// ```
+pub fn poseidon2_permute(state: &mut [Goldilocks; WIDTH]) {
+    let cs = constants2();
+    let mut lanes = [0u64; WIDTH];
+    for (l, x) in lanes.iter_mut().zip(state.iter()) {
+        *l = x.as_canonical_u64();
+    }
+    // Poseidon2 pre-mixes the input with the external matrix before the
+    // first round.
+    lanes = external_matvec(cs, &lanes);
+    for r in 0..FULL_ROUNDS / 2 {
+        external_round(cs, &mut lanes, r);
+    }
+    for r in 0..PARTIAL_ROUNDS {
+        internal_round(cs, &mut lanes, r);
+    }
+    for r in FULL_ROUNDS / 2..FULL_ROUNDS {
+        external_round(cs, &mut lanes, r);
+    }
+    for (x, l) in state.iter_mut().zip(lanes.iter()) {
+        *x = Goldilocks::from_residue(*l);
+    }
+}
+
+/// The Poseidon2 sponge backend. Not part of the default proof path (see
+/// the module docs); batches use the default scalar loop.
+#[derive(Clone, Copy, Debug)]
+pub struct Poseidon2Sponge;
+
+impl SpongeBackend for Poseidon2Sponge {
+    const NAME: &'static str = "poseidon2";
+    const COUNTER: &'static str = "poseidon2.permutations";
+
+    fn permute(state: &mut [Goldilocks; WIDTH]) {
+        poseidon2_permute(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_deterministic_and_sensitive() {
+        let mut a = [Goldilocks::from_u64(3); WIDTH];
+        let mut b = [Goldilocks::from_u64(3); WIDTH];
+        poseidon2_permute(&mut a);
+        poseidon2_permute(&mut b);
+        assert_eq!(a, b);
+
+        let mut c = [Goldilocks::from_u64(3); WIDTH];
+        c[5] += Goldilocks::ONE;
+        poseidon2_permute(&mut c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn differs_from_poseidon() {
+        let mut p1 = [Goldilocks::from_u64(9); WIDTH];
+        let mut p2 = p1;
+        crate::poseidon::poseidon_permute(&mut p1);
+        poseidon2_permute(&mut p2);
+        assert_ne!(p1, p2, "the two backends must be distinct permutations");
+    }
+
+    #[test]
+    fn full_diffusion() {
+        let mut base = [Goldilocks::from_u64(42); WIDTH];
+        let mut flipped = base;
+        flipped[11] += Goldilocks::ONE;
+        poseidon2_permute(&mut base);
+        poseidon2_permute(&mut flipped);
+        for i in 0..WIDTH {
+            assert_ne!(base[i], flipped[i], "lane {i} did not diffuse");
+        }
+    }
+
+    #[test]
+    fn external_matrix_is_block_circulant_of_m4() {
+        let cs = constants2();
+        for i in 0..WIDTH {
+            for j in 0..WIDTH {
+                let scale = if i / 4 == j / 4 { 2 } else { 1 };
+                assert_eq!(
+                    cs.external_mat[i][j].as_canonical_u64(),
+                    scale * M4[i % 4][j % 4],
+                    "entry ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn internal_diag_entries_small_and_nonzero() {
+        for d in constants2().internal_diag {
+            let v = d.as_canonical_u64();
+            assert!((1..=96).contains(&v));
+        }
+    }
+}

@@ -11,6 +11,74 @@ use unizk_field::{Ext2, Field, Goldilocks};
 use crate::digest::Digest;
 use crate::poseidon::{poseidon_permute, NoncePermutation, SPONGE_RATE, WIDTH};
 
+/// A width-12 permutation a sponge can be built over.
+///
+/// The default proof path always runs [`PoseidonSponge`]; the trait exists
+/// so alternative permutations ([`crate::poseidon2::Poseidon2Sponge`]) plug
+/// into the same absorb/compress dispatchers — including the batched,
+/// lane-packed ones — without touching the protocol code. Implementations
+/// must keep [`SpongeBackend::permute_batch`] bit-identical to a loop of
+/// [`SpongeBackend::permute`]; the conformance suite checks this for every
+/// shipped backend.
+pub trait SpongeBackend {
+    /// Human-readable backend name.
+    const NAME: &'static str;
+    /// Trace-counter key for logical permutation counts.
+    const COUNTER: &'static str;
+
+    /// Applies the permutation to one sponge state in place.
+    fn permute(state: &mut [Goldilocks; WIDTH]);
+
+    /// Applies the permutation to a batch of independent sponge states.
+    ///
+    /// The default runs the scalar permutation per state; backends with a
+    /// packed engine override this with a lane-parallel dispatch. Either
+    /// way the results must be bit-identical to the scalar loop, and trace
+    /// counters are the caller's responsibility (batched dispatchers
+    /// account logical permutations once, not per strategy).
+    fn permute_batch(states: &mut [[Goldilocks; WIDTH]]) {
+        for s in states.iter_mut() {
+            Self::permute(s);
+        }
+    }
+}
+
+/// The default backend: the Poseidon permutation of
+/// [`crate::poseidon`], with batches routed through the lane-packed engine
+/// in [`crate::packed`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoseidonSponge;
+
+impl SpongeBackend for PoseidonSponge {
+    const NAME: &'static str = "poseidon";
+    const COUNTER: &'static str = "poseidon.permutations";
+
+    fn permute(state: &mut [Goldilocks; WIDTH]) {
+        poseidon_permute(state);
+    }
+
+    fn permute_batch(states: &mut [[Goldilocks; WIDTH]]) {
+        crate::packed::permute_batch(states);
+    }
+}
+
+/// Absorbs `input` into a zero state with backend `B`, without touching
+/// trace counters (callers account logical permutations).
+fn absorb_no_pad<B: SpongeBackend>(input: &[Goldilocks]) -> Digest {
+    let mut state = [Goldilocks::ZERO; WIDTH];
+    for chunk in input.chunks(SPONGE_RATE) {
+        state[..chunk.len()].copy_from_slice(chunk);
+        B::permute(&mut state);
+    }
+    Digest([state[0], state[1], state[2], state[3]])
+}
+
+/// [`hash_no_pad`] over an arbitrary sponge backend.
+pub fn hash_no_pad_with<B: SpongeBackend>(input: &[Goldilocks]) -> Digest {
+    unizk_testkit::trace::counter(B::COUNTER, input.len().div_ceil(SPONGE_RATE) as u64);
+    absorb_no_pad::<B>(input)
+}
+
 /// Hashes a slice of field elements to a [`Digest`] with the absorb method,
 /// no padding (lengths are fixed by the protocol, as in Plonky2).
 ///
@@ -25,16 +93,7 @@ use crate::poseidon::{poseidon_permute, NoncePermutation, SPONGE_RATE, WIDTH};
 /// assert_ne!(a, b);
 /// ```
 pub fn hash_no_pad(input: &[Goldilocks]) -> Digest {
-    unizk_testkit::trace::counter(
-        "poseidon.permutations",
-        input.len().div_ceil(SPONGE_RATE) as u64,
-    );
-    let mut state = [Goldilocks::ZERO; WIDTH];
-    for chunk in input.chunks(SPONGE_RATE) {
-        state[..chunk.len()].copy_from_slice(chunk);
-        poseidon_permute(&mut state);
-    }
-    Digest([state[0], state[1], state[2], state[3]])
+    hash_no_pad_with::<PoseidonSponge>(input)
 }
 
 /// Number of Poseidon permutations [`hash_no_pad`] performs for an input of
@@ -43,15 +102,103 @@ pub fn permutation_count(len: usize) -> usize {
     len.div_ceil(SPONGE_RATE).max(1)
 }
 
-/// Hashes two child digests into a parent digest: 4 + 4 elements, zero
-/// padded to a full state (paper §5.3).
-pub fn two_to_one(left: Digest, right: Digest) -> Digest {
-    unizk_testkit::trace::counter("poseidon.permutations", 1);
+/// [`two_to_one`] over an arbitrary sponge backend.
+pub fn two_to_one_with<B: SpongeBackend>(left: Digest, right: Digest) -> Digest {
+    unizk_testkit::trace::counter(B::COUNTER, 1);
     let mut state = [Goldilocks::ZERO; WIDTH];
     state[..4].copy_from_slice(&left.0);
     state[4..8].copy_from_slice(&right.0);
-    poseidon_permute(&mut state);
+    B::permute(&mut state);
     Digest([state[0], state[1], state[2], state[3]])
+}
+
+/// Hashes two child digests into a parent digest: 4 + 4 elements, zero
+/// padded to a full state (paper §5.3).
+pub fn two_to_one(left: Digest, right: Digest) -> Digest {
+    two_to_one_with::<PoseidonSponge>(left, right)
+}
+
+/// Hashes many inputs with backend `B` in one batched dispatch: runs of
+/// equal-length inputs absorb in lockstep through
+/// [`SpongeBackend::permute_batch`], so lane-packed backends permute 4–8
+/// sponges per schedule walk instead of one.
+///
+/// Digest-for-digest identical to mapping [`hash_no_pad_with`] over
+/// `inputs`, with the identical total `B::COUNTER` accounting (counted
+/// once per logical permutation, independent of lane width or batch
+/// grouping).
+pub fn hash_many_with<B: SpongeBackend>(inputs: &[&[Goldilocks]]) -> Vec<Digest> {
+    let total: u64 = inputs
+        .iter()
+        .map(|input| input.len().div_ceil(SPONGE_RATE) as u64)
+        .sum();
+    unizk_testkit::trace::counter(B::COUNTER, total);
+
+    let mut out = Vec::with_capacity(inputs.len());
+    let mut i = 0;
+    while i < inputs.len() {
+        let len = inputs[i].len();
+        let mut j = i + 1;
+        while j < inputs.len() && inputs[j].len() == len {
+            j += 1;
+        }
+        hash_equal_run::<B>(&inputs[i..j], len, &mut out);
+        i = j;
+    }
+    out
+}
+
+/// Absorbs a run of equal-length inputs in lockstep.
+fn hash_equal_run<B: SpongeBackend>(run: &[&[Goldilocks]], len: usize, out: &mut Vec<Digest>) {
+    if run.len() < 2 || len == 0 {
+        out.extend(run.iter().map(|input| absorb_no_pad::<B>(input)));
+        return;
+    }
+    let mut states = vec![[Goldilocks::ZERO; WIDTH]; run.len()];
+    let mut pos = 0;
+    while pos < len {
+        let take = (len - pos).min(SPONGE_RATE);
+        for (state, input) in states.iter_mut().zip(run.iter()) {
+            state[..take].copy_from_slice(&input[pos..pos + take]);
+        }
+        B::permute_batch(&mut states);
+        pos += take;
+    }
+    out.extend(states.iter().map(|s| Digest([s[0], s[1], s[2], s[3]])));
+}
+
+/// [`hash_many_with`] over the default Poseidon backend.
+pub fn hash_many(inputs: &[&[Goldilocks]]) -> Vec<Digest> {
+    hash_many_with::<PoseidonSponge>(inputs)
+}
+
+/// Compresses one interior Merkle level in a single batched dispatch:
+/// digest pairs `(prev[2k], prev[2k+1])` become parents via the same
+/// 4+4+zero-pad rule as [`two_to_one_with`], absorbed in lockstep through
+/// [`SpongeBackend::permute_batch`].
+///
+/// Digest-for-digest and counter-for-counter identical to mapping
+/// [`two_to_one_with`] over the pairs.
+///
+/// # Panics
+///
+/// Panics if `prev.len()` is odd.
+pub fn compress_level_with<B: SpongeBackend>(prev: &[Digest]) -> Vec<Digest> {
+    assert!(prev.len().is_multiple_of(2), "pair compression needs an even level");
+    let n = prev.len() / 2;
+    unizk_testkit::trace::counter(B::COUNTER, n as u64);
+    let mut states = vec![[Goldilocks::ZERO; WIDTH]; n];
+    for (state, pair) in states.iter_mut().zip(prev.chunks_exact(2)) {
+        state[..4].copy_from_slice(&pair[0].0);
+        state[4..8].copy_from_slice(&pair[1].0);
+    }
+    B::permute_batch(&mut states);
+    states.iter().map(|s| Digest([s[0], s[1], s[2], s[3]])).collect()
+}
+
+/// [`compress_level_with`] over the default Poseidon backend.
+pub fn compress_level(prev: &[Digest]) -> Vec<Digest> {
+    compress_level_with::<PoseidonSponge>(prev)
 }
 
 /// A duplex-sponge transcript for the Fiat–Shamir transform.
@@ -224,6 +371,24 @@ impl SpeculativeChallenger {
     pub fn challenge(&self, x: Goldilocks) -> Goldilocks {
         unizk_testkit::trace::counter("poseidon.permutations", 1);
         self.permutation.permute_with(x)[SPONGE_RATE - 1]
+    }
+
+    /// The challenges `LANES` candidates would each produce, permuted in
+    /// lockstep through the lane-packed engine — the per-attempt kernel of
+    /// the parallel grind.
+    ///
+    /// Lane `l` equals [`Self::challenge`]`(xs[l])` bit-for-bit, but **no
+    /// trace counter is bumped**: grind-style callers scan past the winning
+    /// nonce in blocks, so they account the *logical* attempt count
+    /// (`winner + 1`) once at the end — the count-once discipline the NTT
+    /// routing knobs established — keeping `poseidon.permutations`
+    /// byte-identical to the serial scan for every lane width, block size,
+    /// and thread count.
+    pub fn challenge_batch_uncounted<const LANES: usize>(
+        &self,
+        xs: &[Goldilocks; LANES],
+    ) -> [Goldilocks; LANES] {
+        self.permutation.permute_many_row(xs, SPONGE_RATE - 1)
     }
 }
 

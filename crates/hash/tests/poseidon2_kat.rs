@@ -1,0 +1,167 @@
+//! Known-answer tests for the width-12 Poseidon2 permutation (4 + 4
+//! external rounds, 22 internal rounds over Goldilocks).
+//!
+//! Two independent anchors pin the permutation:
+//!
+//! 1. **Committed golden vectors** — outputs recorded from this
+//!    repository's implementation, so any future edit to the round
+//!    constants, the `M_E = circ(2·M4, M4, M4)` external matrix, the
+//!    `J + diag(d)` internal layer, or the round schedule is a loud
+//!    compatibility break.
+//! 2. **A naive in-test reference implementation** — plain canonical
+//!    field arithmetic (no residue-domain tricks, no shared-sum
+//!    factoring), deriving its matrices from the published
+//!    [`Poseidon2Constants`]. The optimized kernel and the transparent
+//!    one must agree on random states, which checks the *lazy-reduction
+//!    budget reasoning*, not just frozen bytes.
+
+use unizk_field::{Field, Goldilocks, PrimeField64};
+use unizk_hash::poseidon::{FULL_ROUNDS, PARTIAL_ROUNDS, WIDTH};
+use unizk_hash::poseidon2::constants2;
+use unizk_hash::poseidon2_permute;
+use unizk_testkit::rng::SplitMix64;
+
+/// (input description, input state, expected permutation output).
+const KAT: [(&str, [u64; WIDTH], [u64; WIDTH]); 3] = [
+    (
+        "all-zero state",
+        [0; WIDTH],
+        [
+            0xf4aaee2c5c6c948b, 0x648275006fee080e, 0xe8c7e6518929d453, 0x97bec0e59d3bc0c5,
+            0x0b49c836e8452bb2, 0xc37a6847020bd3c6, 0x2346624d9b063b04, 0x6b012017b86d0000,
+            0x507bfb232d51f065, 0xb46da5ddc80e0390, 0x6e521066ea3b9fac, 0xa49d9225018cd4ff,
+        ],
+    ),
+    (
+        "counting state 0..11",
+        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        [
+            0xbc4eb2e44246eb8a, 0x51ea2767612e77b0, 0xe44840f4325ee6c4, 0x30e28229b6fc3ceb,
+            0x4e0ebd652e0bd94a, 0xa8030a78ac3147bb, 0xc1cb76f37497be42, 0x9de4337b5a676631,
+            0x874e47f3a8c2d67e, 0xeb80b9c0e1859be1, 0x01099d98b53d8d23, 0xf9f6508f12f17e69,
+        ],
+    ),
+    (
+        "high canonical values u64::MAX - i (reduced mod p)",
+        [
+            u64::MAX,
+            u64::MAX - 1,
+            u64::MAX - 2,
+            u64::MAX - 3,
+            u64::MAX - 4,
+            u64::MAX - 5,
+            u64::MAX - 6,
+            u64::MAX - 7,
+            u64::MAX - 8,
+            u64::MAX - 9,
+            u64::MAX - 10,
+            u64::MAX - 11,
+        ],
+        [
+            0xb042195e618dee51, 0x931f832b3c844334, 0x0409623faf2cc65c, 0x4335df67c6ec5ee8,
+            0xd881cbb95d00081a, 0xd278ef89e2afe65b, 0x5de8484634f55a83, 0x4c3267bbc27454b9,
+            0x765afa8f41498505, 0xc494440a0465b841, 0x332fbc7d51dd70ee, 0x4e811f9796ea4bd7,
+        ],
+    ),
+];
+
+/// Transparent reference: dense matrix–vector products and the `x^7`
+/// S-box in canonical field arithmetic. Mirrors the Poseidon2 round
+/// schedule — initial `M_E` pre-mix, external rounds, internal rounds
+/// with the internal matrix built *densely* as `J + diag(d)` — without
+/// any of the optimized kernel's shared sums or residue laziness.
+fn naive_poseidon2(state: &mut [Goldilocks; WIDTH]) {
+    let cs = constants2();
+
+    let matvec = |m: &[[Goldilocks; WIDTH]; WIDTH], s: &[Goldilocks; WIDTH]| {
+        let mut out = [Goldilocks::ZERO; WIDTH];
+        for (o, row) in out.iter_mut().zip(m.iter()) {
+            for (c, x) in row.iter().zip(s.iter()) {
+                *o += *c * *x;
+            }
+        }
+        out
+    };
+    let sbox = |x: Goldilocks| {
+        let x2 = x * x;
+        let x4 = x2 * x2;
+        x4 * x2 * x
+    };
+
+    // Internal matrix, materialized densely: all-ones plus the diagonal.
+    let mut internal_mat = [[Goldilocks::ONE; WIDTH]; WIDTH];
+    for (i, row) in internal_mat.iter_mut().enumerate() {
+        row[i] += cs.internal_diag[i];
+    }
+
+    *state = matvec(&cs.external_mat, state);
+    for r in 0..FULL_ROUNDS / 2 {
+        for (x, c) in state.iter_mut().zip(cs.external_constants[r].iter()) {
+            *x = sbox(*x + *c);
+        }
+        *state = matvec(&cs.external_mat, state);
+    }
+    for r in 0..PARTIAL_ROUNDS {
+        state[0] = sbox(state[0] + cs.internal_constants[r]);
+        *state = matvec(&internal_mat, state);
+    }
+    for r in FULL_ROUNDS / 2..FULL_ROUNDS {
+        for (x, c) in state.iter_mut().zip(cs.external_constants[r].iter()) {
+            *x = sbox(*x + *c);
+        }
+        *state = matvec(&cs.external_mat, state);
+    }
+}
+
+#[test]
+fn round_structure_matches_poseidon() {
+    // The backends are cost-model-identical: same width, same round counts.
+    assert_eq!(WIDTH, 12);
+    assert_eq!(FULL_ROUNDS, 8);
+    assert_eq!(PARTIAL_ROUNDS, 22);
+}
+
+#[test]
+fn permutation_matches_golden_vectors() {
+    for (desc, input, expected) in KAT {
+        let mut state: [Goldilocks; WIDTH] = input.map(Goldilocks::from_u64);
+        poseidon2_permute(&mut state);
+        let got: [u64; WIDTH] = state.map(|x| x.as_u64());
+        assert_eq!(got, expected, "KAT mismatch for {desc}");
+    }
+}
+
+#[test]
+fn naive_reference_matches_golden_vectors() {
+    for (desc, input, expected) in KAT {
+        let mut state: [Goldilocks; WIDTH] = input.map(Goldilocks::from_u64);
+        naive_poseidon2(&mut state);
+        let got: [u64; WIDTH] = state.map(|x| x.as_u64());
+        assert_eq!(got, expected, "naive reference mismatch for {desc}");
+    }
+}
+
+#[test]
+fn optimized_matches_naive_on_random_states() {
+    let mut rng = SplitMix64::seed_from_u64(0x5053_4432);
+    for case in 0..64 {
+        let mut fast = [Goldilocks::ZERO; WIDTH];
+        for x in fast.iter_mut() {
+            *x = Goldilocks::random(&mut rng);
+        }
+        let mut slow = fast;
+        poseidon2_permute(&mut fast);
+        naive_poseidon2(&mut slow);
+        assert_eq!(fast, slow, "case {case}");
+    }
+}
+
+#[test]
+fn outputs_are_canonical() {
+    const P: u64 = 0xffff_ffff_0000_0001;
+    for (desc, _, expected) in KAT {
+        for limb in expected {
+            assert!(limb < P, "non-canonical golden limb in {desc}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Backend-generic conformance suite for [`SpongeBackend`].
+//!
+//! Every shipped backend — the default Poseidon engine (scalar +
+//! lane-packed batch dispatch) and the non-default Poseidon2 engine —
+//! must satisfy the same sponge contract: batch permutation bit-identical
+//! to the scalar loop, absorb/compress dispatchers equivalent to their
+//! one-at-a-time forms, and the usual hash hygiene (determinism, input
+//! sensitivity, order sensitivity). Running the identical checks over
+//! both backends is what makes [`SpongeBackend`] a real seam rather than
+//! a single-implementation indirection.
+
+use unizk_field::{Field, Goldilocks, PrimeField64};
+use unizk_hash::poseidon::WIDTH;
+use unizk_hash::sponge::{compress_level_with, hash_many_with, hash_no_pad_with, two_to_one_with};
+use unizk_hash::{Digest, Poseidon2Sponge, PoseidonSponge, SpongeBackend};
+use unizk_testkit::rng::SplitMix64;
+
+fn random_elems(rng: &mut SplitMix64, n: usize) -> Vec<Goldilocks> {
+    (0..n).map(|_| Goldilocks::random(rng)).collect()
+}
+
+fn random_state(rng: &mut SplitMix64) -> [Goldilocks; WIDTH] {
+    let mut st = [Goldilocks::ZERO; WIDTH];
+    for x in st.iter_mut() {
+        *x = Goldilocks::random(rng);
+    }
+    st
+}
+
+/// Batch permutation must equal the scalar loop for every batch length,
+/// including lengths that leave partial final lane groups.
+fn batch_matches_scalar_loop<B: SpongeBackend>() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0F0);
+    for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31] {
+        let states: Vec<[Goldilocks; WIDTH]> = (0..len).map(|_| random_state(&mut rng)).collect();
+        let mut batched = states.clone();
+        B::permute_batch(&mut batched);
+        let mut scalar = states;
+        for s in scalar.iter_mut() {
+            B::permute(s);
+        }
+        assert_eq!(batched, scalar, "backend {} batch len {len}", B::NAME);
+    }
+}
+
+/// The grouped dispatcher must hash exactly like one absorb per input —
+/// across equal-length runs (which it batches) and ragged lengths (which
+/// it splits), covering absorb lengths 0..=24.
+fn hash_many_matches_hash_no_pad<B: SpongeBackend>() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0F1);
+    // Ragged lengths 0..=24 plus equal-length runs of each chunk shape.
+    let mut lens: Vec<usize> = (0..=24).collect();
+    lens.extend([8, 8, 8, 5, 5, 16, 16, 16, 16, 0, 0]);
+    let inputs: Vec<Vec<Goldilocks>> = lens.iter().map(|&n| random_elems(&mut rng, n)).collect();
+    let refs: Vec<&[Goldilocks]> = inputs.iter().map(Vec::as_slice).collect();
+    let grouped = hash_many_with::<B>(&refs);
+    for (input, digest) in inputs.iter().zip(grouped.iter()) {
+        assert_eq!(
+            *digest,
+            hash_no_pad_with::<B>(input),
+            "backend {} input length {}",
+            B::NAME,
+            input.len()
+        );
+    }
+}
+
+/// Level compression must equal pairwise two-to-one hashing.
+fn compress_level_matches_two_to_one<B: SpongeBackend>() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0F2);
+    for pairs in [1usize, 2, 3, 4, 8, 13] {
+        let digests: Vec<Digest> = (0..2 * pairs)
+            .map(|_| {
+                let st = random_state(&mut rng);
+                Digest([st[0], st[1], st[2], st[3]])
+            })
+            .collect();
+        let level = compress_level_with::<B>(&digests);
+        assert_eq!(level.len(), pairs);
+        for (i, parent) in level.iter().enumerate() {
+            assert_eq!(
+                *parent,
+                two_to_one_with::<B>(digests[2 * i], digests[2 * i + 1]),
+                "backend {} pair {i}",
+                B::NAME
+            );
+        }
+    }
+}
+
+/// Determinism plus sensitivity to content, length, and child order.
+fn hash_hygiene<B: SpongeBackend>() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0F3);
+    let input = random_elems(&mut rng, 11);
+
+    assert_eq!(
+        hash_no_pad_with::<B>(&input),
+        hash_no_pad_with::<B>(&input),
+        "backend {} must be deterministic",
+        B::NAME
+    );
+
+    let mut tweaked = input.clone();
+    tweaked[3] += Goldilocks::ONE;
+    assert_ne!(
+        hash_no_pad_with::<B>(&input),
+        hash_no_pad_with::<B>(&tweaked),
+        "backend {} must be content-sensitive",
+        B::NAME
+    );
+
+    assert_ne!(
+        hash_no_pad_with::<B>(&input),
+        hash_no_pad_with::<B>(&input[..10]),
+        "backend {} must be length-sensitive",
+        B::NAME
+    );
+
+    let a = hash_no_pad_with::<B>(&input);
+    let b = hash_no_pad_with::<B>(&tweaked);
+    assert_ne!(
+        two_to_one_with::<B>(a, b),
+        two_to_one_with::<B>(b, a),
+        "backend {} two-to-one must be order-sensitive",
+        B::NAME
+    );
+}
+
+fn conformance<B: SpongeBackend>() {
+    batch_matches_scalar_loop::<B>();
+    hash_many_matches_hash_no_pad::<B>();
+    compress_level_matches_two_to_one::<B>();
+    hash_hygiene::<B>();
+}
+
+#[test]
+fn poseidon_backend_conforms() {
+    conformance::<PoseidonSponge>();
+}
+
+#[test]
+fn poseidon2_backend_conforms() {
+    conformance::<Poseidon2Sponge>();
+}
+
+#[test]
+fn backends_are_distinct_permutations() {
+    let input: Vec<Goldilocks> = (0..8u64).map(Goldilocks::from_u64).collect();
+    assert_ne!(
+        hash_no_pad_with::<PoseidonSponge>(&input),
+        hash_no_pad_with::<Poseidon2Sponge>(&input),
+        "the two backends must not collide on trivial inputs"
+    );
+}
+
+#[test]
+fn backend_metadata_is_distinct() {
+    assert_ne!(PoseidonSponge::NAME, Poseidon2Sponge::NAME);
+    assert_ne!(PoseidonSponge::COUNTER, Poseidon2Sponge::COUNTER);
+}

@@ -61,4 +61,17 @@ mkdir -p "$BENCH_TMP/a" "$BENCH_TMP/b"
     BENCH_PROVER.json "$BENCH_TMP/a/BENCH_PROVER.json" \
     || { echo "FAIL: counters drifted from committed BENCH_PROVER.json"; exit 1; }
 
+echo "==> lane-forced proof roundtrip (UNIZK_HASH_LANES=1 vs committed baseline)"
+# The packed Poseidon engine defaults to 8 lanes; forcing the fully scalar
+# path through the env knob must still reproduce the committed artifact
+# bit-for-bit (same proof bytes, same deterministic counters). This pins
+# the packed/scalar equivalence at the release-binary level, not just in
+# the unit-test walls.
+mkdir -p "$BENCH_TMP/lanes"
+UNIZK_HASH_LANES=1 ./target/release/baseline --out-dir "$BENCH_TMP/lanes" \
+    > "$BENCH_TMP/lanes.log"
+./target/release/baseline --compare \
+    BENCH_PROVER.json "$BENCH_TMP/lanes/BENCH_PROVER.json" \
+    || { echo "FAIL: scalar-lane proof drifted from committed BENCH_PROVER.json"; exit 1; }
+
 echo "==> OK: tier-1 gate passed"
