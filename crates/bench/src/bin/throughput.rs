@@ -1,0 +1,473 @@
+//! The proof-serving throughput benchmark: a fixed synthetic job stream
+//! pushed through `unizk_serve::Pipeline` at several worker counts and
+//! pool modes, exported as `BENCH_THROUGHPUT.json`.
+//!
+//! Two self-checks gate the artifact:
+//!
+//! * **identity** — every proof the pipeline produces, in every run, must
+//!   be byte-identical to the one-shot `prove` output for the same spec
+//!   (the pipeline's determinism contract); the artifact records one
+//!   `(bytes, fnv1a64)` digest per distinct spec, and
+//! * **schema** — the emitted JSON must carry every field EXPERIMENTS.md
+//!   Part 3 documents, checked by re-validating the built artifact.
+//!
+//! Throughput and latency figures are *informational* (they move with the
+//! host); the identity digests are the *invariant* that
+//! `throughput --compare OLD NEW` fails on.
+//!
+//! `--smoke` runs the cheap CI workload (16 small jobs, 2 workers, both
+//! pool modes), performs both self-checks, and writes nothing.
+
+// Wall-clock nanoseconds fit u64 for any realistic run length.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::BTreeMap;
+
+use unizk_explore::hash::fnv1a64;
+use unizk_serve::{Job, Pipeline, PipelineConfig, PipelineReport, PoolMode, TrafficSpec};
+use unizk_testkit::json::access::{arr_field, f64_field, obj_field, str_field, u64_field};
+use unizk_testkit::json::{parse, Json};
+
+/// Schema identifier embedded in (and required of) the artifact.
+const THROUGHPUT_SCHEMA: &str = "unizk-bench-throughput/1";
+
+/// The benchmark job count: enough for several jobs per worker at every
+/// tested worker count, small enough to finish in seconds.
+const DEFAULT_JOBS: usize = 16;
+
+/// The `(workers, pool)` grid the benchmark sweeps.
+const BENCH_RUNS: [(usize, PoolMode); 4] = [
+    (1, PoolMode::Off),
+    (1, PoolMode::PerWorker),
+    (2, PoolMode::PerWorker),
+    (4, PoolMode::PerWorker),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        if args.len() != 3 {
+            eprintln!("usage: throughput --compare OLD.json NEW.json");
+            std::process::exit(2);
+        }
+        compare(&args[1], &args[2]);
+        return;
+    }
+
+    let mut out_dir = ".".to_string();
+    let mut smoke = false;
+    let mut jobs = DEFAULT_JOBS;
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => out_dir = expect_value(&mut it, "--out-dir"),
+            "--jobs" => jobs = parse_num(&expect_value(&mut it, "--jobs")),
+            "--seed" => seed = Some(parse_num(&expect_value(&mut it, "--seed"))),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: throughput [--smoke] [--out-dir DIR] [--jobs N] [--seed S] \
+                     | throughput --compare OLD.json NEW.json"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut traffic = if smoke {
+        TrafficSpec::smoke(jobs)
+    } else {
+        TrafficSpec::baseline(jobs)
+    };
+    if let Some(s) = seed {
+        traffic.seed = s;
+    }
+    let runs: &[(usize, PoolMode)] = if smoke {
+        &[(2, PoolMode::Off), (2, PoolMode::PerWorker)]
+    } else {
+        &BENCH_RUNS
+    };
+
+    let artifact = bench_throughput(&traffic, runs, smoke);
+    self_check(&artifact);
+    if smoke {
+        println!("smoke: identity and schema self-checks passed");
+        return;
+    }
+    let path = format!("{out_dir}/BENCH_THROUGHPUT.json");
+    std::fs::write(&path, artifact.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn expect_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Runs the job stream through every `(workers, pool)` cell, verifies the
+/// identity contract against one-shot references, and builds the artifact.
+fn bench_throughput(traffic: &TrafficSpec, runs: &[(usize, PoolMode)], smoke: bool) -> Json {
+    // Jobs are the parallelism axis of this benchmark: each proof runs
+    // single-threaded so worker-count scaling is not confounded by the
+    // intra-proof thread pool.
+    unizk_field::set_parallelism(1);
+    let jobs = traffic.generate();
+
+    // One-shot reference bytes per distinct spec — the identity oracle.
+    let mut references: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for job in &jobs {
+        references
+            .entry(job.spec.key())
+            .or_insert_with(|| job.spec.prove(None).expect("one-shot proves").to_bytes());
+    }
+
+    let mut verified_jobs = 0usize;
+    let mut run_objs = Vec::new();
+    for &(workers, pool) in runs {
+        let config = PipelineConfig {
+            workers,
+            queue_depth: (2 * workers).max(2),
+            pool,
+        };
+        let report = Pipeline::run(jobs.clone(), &config);
+        verified_jobs += verify_identity(&jobs, &report, &references, workers, pool);
+        println!(
+            "workers={workers} pool={}: {:.2} proofs/s, sojourn p50 {:.1} ms p99 {:.1} ms{}",
+            pool_name(pool),
+            report.throughput_per_sec(),
+            report.sojourn_percentile_ns(50) as f64 / 1e6,
+            report.sojourn_percentile_ns(99) as f64 / 1e6,
+            report.pool_stats().map_or(String::new(), |s| {
+                format!(
+                    ", pool hit rate {:.1}%",
+                    s.hit_rate().unwrap_or(0.0) * 100.0
+                )
+            }),
+        );
+        run_objs.push(run_json(&config, &report));
+    }
+    unizk_field::set_parallelism(0);
+
+    let digests = references.iter().map(|(key, bytes)| {
+        (
+            key.clone(),
+            Json::obj([
+                ("bytes", Json::from(bytes.len())),
+                ("fnv1a64", Json::str(format!("{:#018x}", fnv1a64(bytes)))),
+            ]),
+        )
+    });
+    let mix = traffic.mix.iter().map(|m| {
+        Json::obj([
+            ("app", Json::str(m.app.name())),
+            ("rows", Json::from(m.rows)),
+            ("weight", Json::from(m.weight)),
+        ])
+    });
+    Json::obj([
+        ("schema", Json::str(THROUGHPUT_SCHEMA)),
+        (
+            "traffic",
+            Json::obj([
+                (
+                    "profile",
+                    Json::str(if smoke { "smoke" } else { "baseline" }),
+                ),
+                ("jobs", Json::from(traffic.jobs)),
+                ("seed", Json::from(traffic.seed)),
+                ("threads_per_worker", Json::from(1u64)),
+                ("mix", Json::arr(mix)),
+                (
+                    "fri",
+                    Json::obj([
+                        ("rate_bits", Json::from(traffic.config.fri.rate_bits)),
+                        ("num_queries", Json::from(traffic.config.fri.num_queries)),
+                        (
+                            "proof_of_work_bits",
+                            Json::from(traffic.config.fri.proof_of_work_bits),
+                        ),
+                        (
+                            "final_poly_len",
+                            Json::from(traffic.config.fri.final_poly_len),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "identity",
+            Json::obj([
+                ("verified_jobs", Json::from(verified_jobs)),
+                ("distinct_specs", Json::from(references.len())),
+                ("proof_digests", Json::obj(digests)),
+            ]),
+        ),
+        ("runs", Json::arr(run_objs)),
+    ])
+}
+
+/// Asserts every pipeline proof equals its one-shot reference; returns the
+/// number of verified proofs.
+fn verify_identity(
+    jobs: &[Job],
+    report: &PipelineReport,
+    references: &BTreeMap<String, Vec<u8>>,
+    workers: usize,
+    pool: PoolMode,
+) -> usize {
+    assert_eq!(report.results.len(), jobs.len(), "job lost in the pipeline");
+    for (job, result) in jobs.iter().zip(&report.results) {
+        assert_eq!(job.id, result.id, "id mapping broken");
+        let bytes = result.proof_bytes().expect("pipeline job proves");
+        assert_eq!(
+            &bytes,
+            &references[&job.spec.key()],
+            "identity violation: job {} ({}) under workers={workers} pool={}",
+            job.id,
+            job.spec.key(),
+            pool_name(pool),
+        );
+    }
+    jobs.len()
+}
+
+fn run_json(config: &PipelineConfig, report: &PipelineReport) -> Json {
+    let latency = |percentile: &dyn Fn(u32) -> u64| {
+        Json::obj([
+            ("p50_ns", Json::from(percentile(50))),
+            ("p95_ns", Json::from(percentile(95))),
+            ("p99_ns", Json::from(percentile(99))),
+        ])
+    };
+    let pool_json = report.pool_stats().map_or(Json::Null, |s| {
+        let per_pool = [
+            ("gl", s.gl),
+            ("ext", s.ext),
+            ("digests", s.digests),
+            ("gl_tables", s.gl_tables),
+        ]
+        .map(|(name, p)| {
+            (
+                name,
+                Json::obj([
+                    ("hits", Json::from(p.hits)),
+                    ("misses", Json::from(p.misses)),
+                ]),
+            )
+        });
+        Json::obj([
+            ("hits", Json::from(s.total().hits)),
+            ("misses", Json::from(s.total().misses)),
+            ("hit_rate", Json::from(s.hit_rate().unwrap_or(0.0))),
+            ("pools", Json::obj(per_pool)),
+        ])
+    });
+    Json::obj([
+        ("workers", Json::from(config.workers)),
+        ("pool", Json::str(pool_name(config.pool))),
+        ("queue_depth", Json::from(config.queue_depth)),
+        ("wall_ns", Json::from(report.wall_ns)),
+        (
+            "throughput_per_sec",
+            Json::from(report.throughput_per_sec()),
+        ),
+        (
+            "latency_ns",
+            Json::obj([
+                ("sojourn", latency(&|p| report.sojourn_percentile_ns(p))),
+                ("service", latency(&|p| report.service_percentile_ns(p))),
+            ]),
+        ),
+        (
+            "utilization",
+            Json::arr(report.utilization().into_iter().map(Json::from)),
+        ),
+        (
+            "worker_jobs",
+            Json::arr(report.workers.iter().map(|w| Json::from(w.jobs))),
+        ),
+        ("pool_stats", pool_json),
+    ])
+}
+
+fn pool_name(pool: PoolMode) -> &'static str {
+    match pool {
+        PoolMode::Off => "off",
+        PoolMode::PerWorker => "per_worker",
+    }
+}
+
+/// Validates the artifact against the EXPERIMENTS.md Part 3 schema: every
+/// documented field present and well-typed, latency percentiles monotone,
+/// identity digests covering every distinct spec.
+fn self_check(artifact: &Json) {
+    let ctx = "BENCH_THROUGHPUT";
+    assert_eq!(str_field(artifact, "schema", ctx), THROUGHPUT_SCHEMA);
+
+    let traffic = Json::Obj(obj_field(artifact, "traffic", ctx));
+    let jobs = u64_field(&traffic, "jobs", ctx);
+    assert!(jobs > 0, "traffic.jobs must be positive");
+    let _ = u64_field(&traffic, "seed", ctx);
+    assert_eq!(u64_field(&traffic, "threads_per_worker", ctx), 1);
+    let mix = arr_field(&traffic, "mix", ctx);
+    assert!(!mix.is_empty(), "traffic.mix must not be empty");
+    for entry in &mix {
+        let _ = str_field(entry, "app", ctx);
+        assert!(u64_field(entry, "rows", ctx).is_power_of_two());
+        let _ = u64_field(entry, "weight", ctx);
+    }
+
+    let identity = Json::Obj(obj_field(artifact, "identity", ctx));
+    let distinct = u64_field(&identity, "distinct_specs", ctx);
+    let digests = obj_field(&identity, "proof_digests", ctx);
+    assert_eq!(digests.len() as u64, distinct, "digest per distinct spec");
+    for (key, digest) in &digests {
+        assert!(u64_field(digest, "bytes", key) > 0);
+        let fnv = str_field(digest, "fnv1a64", key);
+        assert!(
+            fnv.len() == 18 && fnv.starts_with("0x"),
+            "digest {key}: fnv1a64 must be 0x + 16 hex digits, got {fnv:?}"
+        );
+    }
+
+    let runs = arr_field(artifact, "runs", ctx);
+    assert!(runs.len() >= 2, "need at least two runs to compare scaling");
+    for run in &runs {
+        let workers = u64_field(run, "workers", ctx);
+        let pool = str_field(run, "pool", ctx);
+        assert!(pool == "off" || pool == "per_worker", "bad pool {pool:?}");
+        assert!(u64_field(run, "wall_ns", ctx) > 0);
+        assert!(f64_field(run, "throughput_per_sec", ctx) > 0.0);
+        let latency = Json::Obj(obj_field(run, "latency_ns", ctx));
+        for axis in ["sojourn", "service"] {
+            let l = Json::Obj(obj_field(&latency, axis, ctx));
+            let p50 = u64_field(&l, "p50_ns", ctx);
+            let p95 = u64_field(&l, "p95_ns", ctx);
+            let p99 = u64_field(&l, "p99_ns", ctx);
+            assert!(p50 <= p95 && p95 <= p99, "{axis} percentiles not monotone");
+        }
+        let util = arr_field(run, "utilization", ctx);
+        let worker_jobs = arr_field(run, "worker_jobs", ctx);
+        let lanes = workers.max(1) as usize;
+        assert_eq!(util.len(), lanes);
+        assert_eq!(worker_jobs.len(), lanes);
+        assert_eq!(
+            worker_jobs.iter().filter_map(Json::as_u64).sum::<u64>(),
+            jobs,
+            "worker job counts must sum to the stream length"
+        );
+        let pool_stats = run.get("pool_stats").expect("pool_stats field");
+        match (pool.as_str(), pool_stats) {
+            ("off", Json::Null) => {}
+            ("per_worker", stats) => {
+                let hits = u64_field(stats, "hits", ctx);
+                let misses = u64_field(stats, "misses", ctx);
+                let rate = f64_field(stats, "hit_rate", ctx);
+                assert!(hits + misses > 0, "pooled run recorded no takes");
+                assert!((0.0..=1.0).contains(&rate));
+            }
+            (p, s) => panic!("pool {p:?} inconsistent with pool_stats {s}"),
+        }
+    }
+}
+
+/// Diffs two throughput artifacts: identity digests are the gated
+/// invariant, throughput/latency deltas are informational.
+fn compare(old_path: &str, new_path: &str) {
+    let old = load(old_path);
+    let new = load(new_path);
+    for (artifact, path) in [(&old, old_path), (&new, new_path)] {
+        assert_eq!(
+            str_field(artifact, "schema", path),
+            THROUGHPUT_SCHEMA,
+            "{path}: not a throughput artifact"
+        );
+    }
+    self_check(&new);
+
+    // Invariant: the per-spec proof digests. A changed byte count or hash
+    // means the serving pipeline changed what it proves — gate failure.
+    let digest_map = |artifact: &Json, path: &str| -> BTreeMap<String, (u64, String)> {
+        let identity = Json::Obj(obj_field(artifact, "identity", path));
+        obj_field(&identity, "proof_digests", path)
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    (u64_field(&v, "bytes", &k), str_field(&v, "fnv1a64", &k)),
+                )
+            })
+            .collect()
+    };
+    let olds = digest_map(&old, old_path);
+    let news = digest_map(&new, new_path);
+    let mut drift = false;
+    let mut keys: Vec<&String> = olds.keys().chain(news.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        match (olds.get(key), news.get(key)) {
+            (Some(a), Some(b)) if a == b => {}
+            (a, b) => {
+                let show = |v: Option<&(u64, String)>| {
+                    v.map_or_else(
+                        || "absent".to_string(),
+                        |(bytes, fnv)| format!("{bytes}B {fnv}"),
+                    )
+                };
+                println!("identity drift: {key} {} -> {}", show(a), show(b));
+                drift = true;
+            }
+        }
+    }
+    if drift {
+        eprintln!("error: proof identity drifted (see above)");
+        std::process::exit(1);
+    }
+    println!("identity: {} spec digests identical", news.len());
+
+    // Informational: throughput and latency per matching run.
+    let run_key = |run: &Json, path: &str| {
+        format!(
+            "workers={} pool={}",
+            u64_field(run, "workers", path),
+            str_field(run, "pool", path)
+        )
+    };
+    let old_runs = arr_field(&old, "runs", old_path);
+    let new_runs = arr_field(&new, "runs", new_path);
+    for o in &old_runs {
+        let key = run_key(o, old_path);
+        let Some(n) = new_runs.iter().find(|r| run_key(r, new_path) == key) else {
+            println!("{key}: removed");
+            continue;
+        };
+        let t_old = f64_field(o, "throughput_per_sec", old_path);
+        let t_new = f64_field(n, "throughput_per_sec", new_path);
+        let pct = if t_old == 0.0 {
+            "n/a".to_string()
+        } else {
+            format!("{:+.1}%", (t_new - t_old) / t_old * 100.0)
+        };
+        println!("{key}: {t_old:.2} -> {t_new:.2} proofs/s ({pct})");
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}

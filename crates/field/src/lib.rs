@@ -19,6 +19,11 @@
 //!   Workers inherit the caller's open `unizk_testkit::trace` span, so
 //!   timings recorded inside parallel regions aggregate under the right
 //!   parent instead of double-counting.
+//! * [`Pool`] / [`TablePool`] — recyclable buffer free-lists. The
+//!   proof-serving pipeline bundles them into a `unizk_hash::Workspace`
+//!   and threads that through the prover so concurrent jobs reuse
+//!   polynomial, codeword, and Merkle allocations instead of churning the
+//!   allocator.
 //!
 //! # Invariants
 //!
@@ -47,6 +52,7 @@ pub mod extension;
 pub mod goldilocks;
 pub mod par;
 pub mod poly;
+pub mod pool;
 pub mod traits;
 pub mod util;
 
@@ -57,5 +63,6 @@ pub use par::{
     parallel_zip_mut, set_parallelism,
 };
 pub use poly::Polynomial;
+pub use pool::{Pool, PoolStats, TablePool};
 pub use traits::{ExtensionOf, Field, PrimeField64};
 pub use util::{batch_inverse, bit_reverse, log2_strict, reverse_index_bits};

@@ -1,0 +1,370 @@
+//! Recyclable buffer pools for the proof-serving pipeline.
+//!
+//! A prover job allocates the same large buffers every time it runs: LDE
+//! codewords, Merkle levels, FRI fold layers, leaf tables. When one process
+//! serves many jobs back to back, that allocation churn is pure overhead —
+//! the software analogue of the paper's observation that a unified
+//! accelerator must keep its datapath busy *across* kernels, not optimise
+//! one in isolation. These pools let a job return its buffers when it
+//! finishes so the next job on the same worker reuses the capacity.
+//!
+//! Two shapes are covered:
+//!
+//! * [`Pool`] — flat `Vec<T>` buffers (field elements, digests).
+//! * [`TablePool`] — `Vec<Vec<T>>` tables (Merkle leaf tables), where the
+//!   *inner* capacities are the valuable part and must survive recycling.
+//!
+//! # Contract
+//!
+//! * [`Pool::take`] always returns an **empty** vector (`len == 0`); any
+//!   contents a buffer held when it was shelved are truncated away at take
+//!   time, never observable by the next user. [`Pool::put`] deliberately
+//!   does *not* clear — the stale contents act as a poisoned-buffer canary:
+//!   a consumer that peeks past its own writes (e.g. by resizing without
+//!   clearing first) produces wrong values that the differential test walls
+//!   catch immediately.
+//! * Pooling is **value-invisible**: a computation produces bit-identical
+//!   results whether its buffers come from a pool or from the allocator.
+//!   The pools carry no data across jobs, only capacity.
+//! * All methods are thread-safe; `take`/`put` from concurrent workers only
+//!   contend on a short critical section.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_field::pool::Pool;
+//!
+//! let pool: Pool<u64> = Pool::new();
+//! let mut buf = pool.take(1024);       // miss: nothing shelved yet
+//! buf.extend(0..1024u64);
+//! pool.put(buf);                        // shelve the capacity
+//! let again = pool.take(1024);          // hit: same allocation back
+//! assert!(again.is_empty());            // ...but cleared
+//! assert!(again.capacity() >= 1024);
+//! let s = pool.stats();
+//! assert_eq!((s.hits, s.misses), (1, 1));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum buffers shelved per pool; `put` beyond this drops the incoming
+/// buffer (bounding worst-case idle memory, not correctness).
+const MAX_SHELVES: usize = 64;
+
+/// Hit/miss counters of one pool (or an aggregate over several).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take` calls satisfied from a shelved buffer of sufficient capacity.
+    pub hits: u64,
+    /// `take` calls that fell through to a fresh allocation.
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Fraction of takes served from the shelf, or `None` before any take.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        #[allow(clippy::cast_precision_loss)] // counters stay far below 2^52
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Component-wise sum, for aggregating per-worker pools.
+    #[must_use]
+    pub fn merged(&self, other: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// A thread-safe free list of `Vec<T>` buffers, reused by capacity.
+#[derive(Debug, Default)]
+pub struct Pool<T> {
+    shelves: Mutex<Vec<Vec<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            shelves: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns an empty vector with capacity at least `capacity`.
+    ///
+    /// A shelved buffer with sufficient capacity is a *hit* (its previous
+    /// contents are truncated away before it is handed out); otherwise a
+    /// fresh vector is allocated and counted as a *miss*.
+    pub fn take(&self, capacity: usize) -> Vec<T> {
+        let mut shelves = self
+            .shelves
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Best fit: the smallest shelved buffer that is large enough, so
+        // oversized buffers stay available for the requests that need them.
+        let best = shelves
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= capacity)
+            .min_by_key(|(_, v)| v.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let mut v = shelves.swap_remove(i);
+                drop(shelves);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                v
+            }
+            None => {
+                drop(shelves);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Shelves a buffer for reuse. Contents are kept as-is until the next
+    /// [`take`](Pool::take) clears them (see the module docs for why), so
+    /// `put` is O(1). Buffers beyond the shelf bound are dropped.
+    pub fn put(&self, v: Vec<T>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let mut shelves = self
+            .shelves
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shelves.len() < MAX_SHELVES {
+            shelves.push(v);
+        }
+    }
+
+    /// Number of buffers currently shelved.
+    pub fn shelved(&self) -> usize {
+        self.shelves
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A thread-safe free list of `Vec<Vec<T>>` tables.
+///
+/// The valuable capacity of a leaf table is in its *rows* — thousands of
+/// small inner vectors. Dropping the table frees every row; this pool
+/// shelves the whole table so row capacities survive from job to job.
+///
+/// # Example
+///
+/// ```
+/// use unizk_field::pool::TablePool;
+///
+/// let pool: TablePool<u32> = TablePool::new();
+/// let mut t = pool.take(4);
+/// assert_eq!(t.len(), 4);
+/// t[0].extend([1, 2, 3]);
+/// pool.put(t);
+/// let t2 = pool.take(4);                // same rows back, cleared
+/// assert!(t2.iter().all(Vec::is_empty));
+/// assert!(t2[0].capacity() >= 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct TablePool<T> {
+    shelves: Mutex<Vec<Vec<Vec<T>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> TablePool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            shelves: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns a table with exactly `rows` empty rows (row capacities from
+    /// a shelved table are preserved). A *hit* is a shelved table that
+    /// already had at least `rows` rows; a shorter or absent table counts
+    /// as a *miss* (missing rows are freshly allocated).
+    pub fn take(&self, rows: usize) -> Vec<Vec<T>> {
+        let mut shelves = self
+            .shelves
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let best = shelves
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.len())
+            .map(|(i, _)| i);
+        let mut table = match best {
+            Some(i) => {
+                let t = shelves.swap_remove(i);
+                drop(shelves);
+                if t.len() >= rows {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                t
+            }
+            None => {
+                drop(shelves);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(rows)
+            }
+        };
+        table.truncate(rows);
+        for row in &mut table {
+            row.clear();
+        }
+        table.resize_with(rows, Vec::new);
+        table
+    }
+
+    /// Shelves a table for reuse; row contents are cleared by the next
+    /// [`take`](TablePool::take), not here.
+    pub fn put(&self, table: Vec<Vec<T>>) {
+        if table.is_empty() {
+            return;
+        }
+        let mut shelves = self
+            .shelves
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shelves.len() < MAX_SHELVES {
+            shelves.push(table);
+        }
+    }
+
+    /// Number of tables currently shelved.
+    pub fn shelved(&self) -> usize {
+        self.shelves
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_prefers_best_fit() {
+        let pool: Pool<u8> = Pool::new();
+        pool.put(Vec::with_capacity(100));
+        pool.put(Vec::with_capacity(10));
+        let v = pool.take(8);
+        assert!(
+            v.capacity() >= 8 && v.capacity() < 100,
+            "small shelf should win"
+        );
+        assert_eq!(pool.shelved(), 1);
+    }
+
+    #[test]
+    fn take_clears_poisoned_contents() {
+        let pool: Pool<u64> = Pool::new();
+        pool.put(vec![0xDEAD; 32]);
+        let v = pool.take(16);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 32);
+    }
+
+    #[test]
+    fn miss_when_nothing_fits() {
+        let pool: Pool<u64> = Pool::new();
+        pool.put(Vec::with_capacity(4));
+        let v = pool.take(1000);
+        assert!(v.capacity() >= 1000);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        // The undersized shelf is still there for a smaller request.
+        assert_eq!(pool.shelved(), 1);
+    }
+
+    #[test]
+    fn shelf_bound_is_enforced() {
+        let pool: Pool<u8> = Pool::new();
+        for _ in 0..(MAX_SHELVES + 10) {
+            pool.put(Vec::with_capacity(1));
+        }
+        assert_eq!(pool.shelved(), MAX_SHELVES);
+    }
+
+    #[test]
+    fn table_take_normalises_row_count() {
+        let pool: TablePool<u64> = TablePool::new();
+        let mut t = pool.take(3);
+        assert_eq!(t.len(), 3);
+        for row in &mut t {
+            row.extend([7, 7, 7]);
+        }
+        pool.put(t);
+        // Fewer rows: extra rows dropped, survivors cleared.
+        let t2 = pool.take(2);
+        assert_eq!(t2.len(), 2);
+        assert!(t2.iter().all(|r| r.is_empty() && r.capacity() >= 3));
+        pool.put(t2);
+        // More rows: shelved rows reused, missing ones fresh.
+        let t3 = pool.take(5);
+        assert_eq!(t3.len(), 5);
+        assert!(t3.iter().all(Vec::is_empty));
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 3);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        assert_eq!(PoolStats::default().hit_rate(), None);
+        let s = PoolStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate().unwrap() - 0.75).abs() < 1e-12);
+        let merged = s.merged(&PoolStats { hits: 1, misses: 3 });
+        assert_eq!(merged, PoolStats { hits: 4, misses: 4 });
+    }
+
+    #[test]
+    fn concurrent_take_put() {
+        let pool: Pool<u64> = Pool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let mut v = pool.take(64);
+                        v.push(1);
+                        pool.put(v);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+    }
+}

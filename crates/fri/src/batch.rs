@@ -3,7 +3,8 @@
 //! Merkle tree.
 
 use unizk_field::{bit_reverse, log2_strict, Ext2, Field, Goldilocks, Polynomial, PrimeField64};
-use unizk_ntt::{intt_nn, lde_nr};
+use unizk_ntt::{coset_ntt_nr, intt_nn};
+use unizk_hash::workspace::{put_gl, take_gl, take_gl_table, Workspace};
 use unizk_hash::{Digest, MerkleTree};
 
 use crate::config::FriConfig;
@@ -35,6 +36,23 @@ impl PolynomialBatch {
     /// Panics if the batch is empty or lengths differ / are not powers of
     /// two.
     pub fn from_coeffs(polys: Vec<Polynomial<Goldilocks>>, config: &FriConfig) -> Self {
+        Self::from_coeffs_in(polys, config, None)
+    }
+
+    /// [`PolynomialBatch::from_coeffs`] with an optional [`Workspace`]: the
+    /// LDE codewords, the Merkle leaf table, and the tree's digest levels
+    /// are drawn from (and sized for return to) the workspace pools. The
+    /// commitment is bit-identical with and without a workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or lengths differ / are not powers of
+    /// two.
+    pub fn from_coeffs_in(
+        polys: Vec<Polynomial<Goldilocks>>,
+        config: &FriConfig,
+        ws: Option<&Workspace>,
+    ) -> Self {
         assert!(!polys.is_empty(), "cannot commit to an empty batch");
         let degree = polys[0].len();
         assert!(degree.is_power_of_two(), "degree must be a power of two");
@@ -46,20 +64,41 @@ impl PolynomialBatch {
         // each domain position into Merkle leaves (a layout transform — the
         // index-major view of §5.1), then hash the tree.
         let shift = coset_shift();
+        let lde_size = degree << config.rate_bits;
         let ldes: Vec<Vec<Goldilocks>> = crate::timing::time_kernel(KernelClass::Ntt, || {
             let coeff_refs: Vec<&[Goldilocks]> = polys.iter().map(|p| p.coeffs()).collect();
-            unizk_field::parallel_map(coeff_refs, |c| lde_nr(c, config.rate_bits, shift))
+            unizk_field::parallel_map(coeff_refs, |c| {
+                // `lde_nr` on a pooled buffer: zero-pad, then NTT^NR on the
+                // coset (identical values and transform counters).
+                let mut padded = take_gl(ws, lde_size);
+                padded.extend_from_slice(c);
+                padded.resize(lde_size, Goldilocks::ZERO);
+                coset_ntt_nr(&mut padded, shift);
+                padded
+            })
         });
 
-        let lde_size = degree << config.rate_bits;
         let leaves: Vec<Vec<Goldilocks>> =
             crate::timing::time_kernel(KernelClass::LayoutTransform, || {
-                let indices: Vec<usize> = (0..lde_size).collect();
-                unizk_field::parallel_map(indices, |i| ldes.iter().map(|l| l[i]).collect())
+                let mut table = take_gl_table(ws, lde_size);
+                let chunk = lde_size
+                    .div_ceil(unizk_field::current_parallelism().max(1))
+                    .max(1);
+                unizk_field::parallel_chunks_mut(&mut table, chunk, |offset, rows| {
+                    for (k, row) in rows.iter_mut().enumerate() {
+                        row.extend(ldes.iter().map(|l| l[offset + k]));
+                    }
+                });
+                table
             });
+        // The codewords have been transposed into the leaf table; shelve
+        // them for the next commitment.
+        for lde in ldes {
+            put_gl(ws, lde);
+        }
 
         let tree =
-            crate::timing::time_kernel(KernelClass::MerkleTree, || MerkleTree::new(leaves));
+            crate::timing::time_kernel(KernelClass::MerkleTree, || MerkleTree::new_in(leaves, ws));
         Self {
             polys,
             tree,
@@ -75,13 +114,36 @@ impl PolynomialBatch {
     ///
     /// Panics under the same conditions as [`PolynomialBatch::from_coeffs`].
     pub fn from_values(columns: Vec<Vec<Goldilocks>>, config: &FriConfig) -> Self {
+        Self::from_values_in(columns, config, None)
+    }
+
+    /// [`PolynomialBatch::from_values`] with an optional [`Workspace`] (see
+    /// [`PolynomialBatch::from_coeffs_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PolynomialBatch::from_coeffs`].
+    pub fn from_values_in(
+        columns: Vec<Vec<Goldilocks>>,
+        config: &FriConfig,
+        ws: Option<&Workspace>,
+    ) -> Self {
         let polys = crate::timing::time_kernel(KernelClass::Ntt, || {
             unizk_field::parallel_map(columns, |mut v| {
                 intt_nn(&mut v);
                 Polynomial::from_coeffs(v)
             })
         });
-        Self::from_coeffs(polys, config)
+        Self::from_coeffs_in(polys, config, ws)
+    }
+
+    /// Consumes the batch, shelving its polynomial coefficient buffers and
+    /// the Merkle tree's allocations in `ws` for the next job.
+    pub fn recycle(self, ws: &Workspace) {
+        for p in self.polys {
+            ws.put_gl(p.into_coeffs());
+        }
+        self.tree.recycle(ws);
     }
 
     /// The Merkle root (the commitment).

@@ -5,6 +5,7 @@ use unizk_field::{
     batch_inverse, bit_reverse, log2_strict, parallel_first_block, Ext2, ExtensionOf, Field,
     Goldilocks, Polynomial, PrimeField64,
 };
+use unizk_hash::workspace::{put_ext, put_gl, take_ext, take_gl, take_gl_table, Workspace};
 use unizk_hash::{Challenger, MerkleTree, SpeculativeChallenger};
 use unizk_testkit::trace;
 
@@ -65,6 +66,25 @@ pub fn fri_prove(
     challenger: &mut Challenger,
     config: &FriConfig,
 ) -> FriProof {
+    fri_prove_in(batches, points, challenger, config, None)
+}
+
+/// [`fri_prove`] with an optional [`Workspace`]: the combined witness, the
+/// fold layers, and every fold tree's leaf table and digest levels are
+/// drawn from the workspace pools and shelved back before returning. The
+/// proof is bit-identical with and without a workspace — pooling only
+/// changes where the backing allocations come from.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`fri_prove`].
+pub fn fri_prove_in(
+    batches: &[&PolynomialBatch],
+    points: &[Ext2],
+    challenger: &mut Challenger,
+    config: &FriConfig,
+    ws: Option<&Workspace>,
+) -> FriProof {
     assert!(!batches.is_empty(), "need at least one batch");
     assert!(!points.is_empty(), "need at least one opening point");
     let degree = batches[0].degree();
@@ -104,7 +124,7 @@ pub fn fri_prove(
     //    with S(x) = Σ_j α^j p_j(x) over the global polynomial index.
     let mut values = trace::with_span("fri.combine", || {
         time_kernel(KernelClass::Polynomial, || {
-            combine_initial(batches, points, &openings, alpha, beta, lde_size)
+            combine_initial(batches, points, &openings, alpha, beta, lde_size, ws)
         })
     });
 
@@ -118,14 +138,14 @@ pub fn fri_prove(
     {
         let _commit_span = trace::span("fri.commit_fold");
         for _ in 0..num_rounds {
-            let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer(&values));
+            let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer(&values, ws));
             challenger.observe_digest(tree.root());
             commit_roots.push(tree.root());
             fold_trees.push(tree);
 
             let fold_beta = challenger.challenge_ext();
             let folded = time_kernel(KernelClass::Polynomial, || {
-                fold_layer(&values, domain, fold_beta)
+                fold_layer_in(&values, domain, fold_beta, ws)
             });
             layers.push(std::mem::replace(&mut values, folded));
             domain = domain.fold();
@@ -183,6 +203,19 @@ pub fn fri_prove(
     }
     drop(_query_span);
 
+    // Everything the queries referenced has been copied into the proof;
+    // hand the layer buffers and fold-tree allocations back for the next
+    // job on this worker.
+    if let Some(w) = ws {
+        for layer in layers {
+            w.put_ext(layer);
+        }
+        w.put_ext(values);
+        for tree in fold_trees {
+            tree.recycle(w);
+        }
+    }
+
     FriProof {
         openings,
         commit_roots,
@@ -200,9 +233,11 @@ fn combine_initial(
     alpha: Ext2,
     beta: Ext2,
     lde_size: usize,
+    ws: Option<&Workspace>,
 ) -> Vec<Ext2> {
     // S(x_i) for every domain position i.
-    let mut s_values = vec![Ext2::ZERO; lde_size];
+    let mut s_values = take_ext(ws, lde_size);
+    s_values.resize(lde_size, Ext2::ZERO);
     let mut alpha_pow = Ext2::ONE;
     for batch in batches {
         for j in 0..batch.num_polys() {
@@ -226,33 +261,33 @@ fn combine_initial(
     }
 
     // Denominators (x_i − z_t), batch-inverted per point.
-    let mut values = vec![Ext2::ZERO; lde_size];
+    let mut values = take_ext(ws, lde_size);
+    values.resize(lde_size, Ext2::ZERO);
     let mut beta_pow = Ext2::ONE;
     for (t, &z) in points.iter().enumerate() {
-        let denoms: Vec<Ext2> = (0..lde_size)
-            .map(|i| Ext2::from(domain_point(lde_size, i)) - z)
-            .collect();
+        let mut denoms = take_ext(ws, lde_size);
+        denoms.extend((0..lde_size).map(|i| Ext2::from(domain_point(lde_size, i)) - z));
         let inv = batch_inverse(&denoms);
         for i in 0..lde_size {
             values[i] += beta_pow * (s_values[i] - y_combined[t]) * inv[i];
         }
         beta_pow *= beta;
+        put_ext(ws, denoms);
+        put_ext(ws, inv);
     }
+    put_ext(ws, s_values);
     values
 }
 
 /// Builds the Merkle tree over fold pairs of a layer: leaf `k` holds the
 /// four base limbs of `(v[2k], v[2k+1])`.
-fn commit_fold_layer(values: &[Ext2]) -> MerkleTree {
-    let leaves: Vec<Vec<Goldilocks>> = values
-        .chunks(2)
-        .map(|pair| {
-            let mut leaf = pair[0].to_base_slice();
-            leaf.extend(pair[1].to_base_slice());
-            leaf
-        })
-        .collect();
-    MerkleTree::new(leaves)
+fn commit_fold_layer(values: &[Ext2], ws: Option<&Workspace>) -> MerkleTree {
+    let mut leaves = take_gl_table(ws, values.len() / 2);
+    for (pair, leaf) in values.chunks(2).zip(leaves.iter_mut()) {
+        leaf.extend(pair[0].to_base_slice());
+        leaf.extend(pair[1].to_base_slice());
+    }
+    MerkleTree::new_in(leaves, ws)
 }
 
 /// Performs one arity-2 fold of a bit-reversed layer over `domain`.
@@ -260,21 +295,36 @@ fn commit_fold_layer(values: &[Ext2]) -> MerkleTree {
 /// With `p(x) = p_e(x²) + x·p_o(x²)` and the sibling pair `(v(x), v(−x))`
 /// adjacent in bit-reversed order, the folded value at `y = x²` is
 /// `p_e(y) + β·p_o(y)`.
+#[cfg(test)]
 pub(crate) fn fold_layer(values: &[Ext2], domain: FoldDomain, fold_beta: Ext2) -> Vec<Ext2> {
+    fold_layer_in(values, domain, fold_beta, None)
+}
+
+/// [`fold_layer`] writing into (and scratching from) workspace buffers.
+fn fold_layer_in(
+    values: &[Ext2],
+    domain: FoldDomain,
+    fold_beta: Ext2,
+    ws: Option<&Workspace>,
+) -> Vec<Ext2> {
     debug_assert_eq!(values.len(), domain.size);
+    let half = domain.size / 2;
     let two_inv = Goldilocks::TWO.inverse();
     // Batch-invert the pair points.
-    let xs: Vec<Goldilocks> = (0..domain.size / 2).map(|k| domain.point(2 * k)).collect();
+    let mut xs = take_gl(ws, half);
+    xs.extend((0..half).map(|k| domain.point(2 * k)));
     let x_invs = batch_inverse(&xs);
-    (0..domain.size / 2)
-        .map(|k| {
-            let a = values[2 * k];
-            let b = values[2 * k + 1];
-            let even = (a + b).scale(two_inv);
-            let odd = (a - b).scale(two_inv * x_invs[k]);
-            even + fold_beta * odd
-        })
-        .collect()
+    let mut out = take_ext(ws, half);
+    out.extend((0..half).map(|k| {
+        let a = values[2 * k];
+        let b = values[2 * k + 1];
+        let even = (a + b).scale(two_inv);
+        let odd = (a - b).scale(two_inv * x_invs[k]);
+        even + fold_beta * odd
+    }));
+    put_gl(ws, xs);
+    put_gl(ws, x_invs);
+    out
 }
 
 /// Evaluates the fold-consistency step the verifier performs for a single

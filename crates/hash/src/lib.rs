@@ -12,6 +12,9 @@
 //!   [`sponge::Challenger`] used for Fiat–Shamir transforms.
 //! * [`merkle`] — Merkle tree construction with the paper's leaf-absorb and
 //!   4+4+zero-pad interior-node rule (§5.3), plus opening proofs.
+//! * [`workspace`] — the [`Workspace`] buffer-recycling seam the
+//!   proof-serving pipeline threads through tree construction and the
+//!   prover layers above.
 //!
 //! **Substitution note (see DESIGN.md):** round constants and matrix entries
 //! are generated deterministically from a seed rather than copied from
@@ -37,6 +40,7 @@ pub mod packed;
 pub mod poseidon;
 pub mod poseidon2;
 pub mod sponge;
+pub mod workspace;
 
 pub use digest::Digest;
 pub use merkle::{MerkleProof, MerkleTree};
@@ -52,3 +56,4 @@ pub use sponge::{
     compress_level, hash_many, hash_no_pad, hash_no_pad_with, two_to_one, two_to_one_with,
     Challenger, PoseidonSponge, SpeculativeChallenger, SpongeBackend,
 };
+pub use workspace::{Workspace, WorkspaceStats};

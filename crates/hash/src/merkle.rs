@@ -11,6 +11,7 @@ use unizk_field::{log2_strict, Goldilocks};
 
 use crate::digest::Digest;
 use crate::sponge::{compress_level, hash_many, hash_no_pad, two_to_one};
+use crate::workspace::{take_digests, Workspace};
 
 /// Leaves (or interior pairs) hashed per parallel work item. Chunking
 /// amortizes worker dispatch over many hashes instead of paying it per
@@ -33,41 +34,52 @@ const HASH_CHUNK: usize = 128;
 ///
 /// Panics if `chunk_size` is zero.
 pub fn hash_leaves(leaves: &[Vec<Goldilocks>], chunk_size: usize) -> Vec<Digest> {
+    let mut out = Vec::with_capacity(leaves.len());
+    hash_leaves_into(leaves, chunk_size, &mut out);
+    out
+}
+
+/// [`hash_leaves`] writing into a caller-supplied (typically pooled)
+/// buffer, so the level-0 digest vector — the largest in the tree — can be
+/// recycled across jobs.
+fn hash_leaves_into(leaves: &[Vec<Goldilocks>], chunk_size: usize, out: &mut Vec<Digest>) {
     assert!(chunk_size > 0, "chunk size must be positive");
     if unizk_field::par::current_parallelism() == 1 || leaves.len() <= chunk_size {
         let refs: Vec<&[Goldilocks]> = leaves.iter().map(Vec::as_slice).collect();
-        return hash_many(&refs);
+        out.extend(hash_many(&refs));
+        return;
     }
     let ranges: Vec<(usize, usize)> = (0..leaves.len())
         .step_by(chunk_size)
         .map(|s| (s, (s + chunk_size).min(leaves.len())))
         .collect();
-    unizk_field::parallel_map(ranges, |(s, e)| {
+    let chunks = unizk_field::parallel_map(ranges, |(s, e)| {
         let refs: Vec<&[Goldilocks]> = leaves[s..e].iter().map(Vec::as_slice).collect();
         hash_many(&refs)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    });
+    for c in chunks {
+        out.extend(c);
+    }
 }
 
 /// One interior Merkle level: compresses adjacent digest pairs of `prev`
-/// through the batched dispatcher ([`compress_level`]), chunked across
-/// workers exactly like [`hash_leaves`].
-fn hash_pairs(prev: &[Digest], chunk_size: usize) -> Vec<Digest> {
+/// into `out` through the batched dispatcher ([`compress_level`]), chunked
+/// across workers exactly like [`hash_leaves`].
+fn hash_pairs_into(prev: &[Digest], chunk_size: usize, out: &mut Vec<Digest>) {
     debug_assert!(prev.len().is_multiple_of(2));
     let n = prev.len() / 2;
     if unizk_field::par::current_parallelism() == 1 || n <= chunk_size {
-        return compress_level(prev);
+        out.extend(compress_level(prev));
+        return;
     }
     let ranges: Vec<(usize, usize)> = (0..n)
         .step_by(chunk_size)
         .map(|s| (s, (s + chunk_size).min(n)))
         .collect();
-    unizk_field::parallel_map(ranges, |(s, e)| compress_level(&prev[2 * s..2 * e]))
-        .into_iter()
-        .flatten()
-        .collect()
+    let chunks = unizk_field::parallel_map(ranges, |(s, e)| compress_level(&prev[2 * s..2 * e]));
+    for c in chunks {
+        out.extend(c);
+    }
 }
 
 /// A binary Merkle tree over element-vector leaves.
@@ -115,6 +127,19 @@ impl MerkleTree {
     /// Panics if `leaves.len()` is not a power of two (the protocol always
     /// commits to power-of-two LDE domains).
     pub fn new(leaves: Vec<Vec<Goldilocks>>) -> Self {
+        Self::new_in(leaves, None)
+    }
+
+    /// Builds a tree over `leaves`, drawing each level's digest buffer from
+    /// `ws` when one is supplied (the proof-serving path). Digests are
+    /// bit-identical either way; only the provenance of the backing
+    /// allocations differs. Give the buffers back with
+    /// [`recycle`](MerkleTree::recycle) once the tree is no longer needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len()` is not a power of two.
+    pub fn new_in(leaves: Vec<Vec<Goldilocks>>, ws: Option<&Workspace>) -> Self {
         assert!(
             leaves.len().is_power_of_two(),
             "leaf count must be a power of two, got {}",
@@ -127,12 +152,26 @@ impl MerkleTree {
         // digests and each interior level parallelize trivially; work is
         // distributed in chunks of HASH_CHUNK hashes per worker item.
         let mut levels = Vec::with_capacity(log2_strict(leaves.len()) + 1);
-        levels.push(hash_leaves(&leaves, HASH_CHUNK));
+        let mut first = take_digests(ws, leaves.len());
+        hash_leaves_into(&leaves, HASH_CHUNK, &mut first);
+        levels.push(first);
         while levels.last().expect("nonempty").len() > 1 {
-            let next = hash_pairs(levels.last().expect("nonempty"), HASH_CHUNK);
+            let prev = levels.last().expect("nonempty");
+            let mut next = take_digests(ws, prev.len() / 2);
+            hash_pairs_into(prev, HASH_CHUNK, &mut next);
             levels.push(next);
         }
         Self { leaves, levels }
+    }
+
+    /// Consumes the tree, shelving its leaf table and every level's digest
+    /// buffer in `ws` for the next job on this worker. Call this instead of
+    /// dropping when serving many proofs from one process.
+    pub fn recycle(self, ws: &Workspace) {
+        ws.put_gl_table(self.leaves);
+        for level in self.levels {
+            ws.put_digests(level);
+        }
     }
 
     /// The root digest (the commitment sent to the verifier).
@@ -311,6 +350,29 @@ mod tests {
         // 4 leaves of length 135: 4*17 leaf perms + 3 interior = 71.
         assert_eq!(MerkleTree::permutation_cost(&[135; 4]), 4 * 17 + 3);
         assert_eq!(MerkleTree::permutation_cost(&[8]), 1);
+    }
+
+    #[test]
+    fn pooled_tree_is_bit_identical_and_recycles() {
+        let data = leaves(16, 5);
+        let plain = MerkleTree::new(data.clone());
+        let ws = Workspace::new();
+        // Poison the pools: stale contents must never leak into digests.
+        ws.put_digests(vec![Digest::ZERO; 64]);
+        ws.put_gl_table(vec![vec![Goldilocks::from_u64(u64::MAX); 9]; 16]);
+
+        let pooled = MerkleTree::new_in(data.clone(), Some(&ws));
+        assert_eq!(pooled.root(), plain.root());
+        for i in 0..16 {
+            assert_eq!(pooled.prove(i), plain.prove(i), "leaf {i}");
+        }
+        pooled.recycle(&ws);
+        // Second build reuses the recycled buffers.
+        let before = ws.stats().total();
+        let again = MerkleTree::new_in(data, Some(&ws));
+        assert_eq!(again.root(), plain.root());
+        let after = ws.stats().total();
+        assert!(after.hits > before.hits, "recycled buffers should hit");
     }
 
     #[test]

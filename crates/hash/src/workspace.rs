@@ -1,0 +1,243 @@
+//! The [`Workspace`] — the buffer-recycling seam the proof-serving
+//! pipeline threads through the prover.
+//!
+//! A `Workspace` bundles typed [`Pool`]s for every large buffer shape a
+//! STARK proof allocates:
+//!
+//! | pool        | element           | recycled buffers                       |
+//! |-------------|-------------------|----------------------------------------|
+//! | `gl`        | `Goldilocks`      | coefficients, LDE codewords, quotients |
+//! | `ext`       | `Ext2`            | FRI combined witness and fold layers   |
+//! | `digests`   | `Digest`          | Merkle tree levels                     |
+//! | `gl_tables` | `Vec<Goldilocks>` | Merkle leaf tables (row-major)         |
+//!
+//! The prover entry points (`unizk_stark::prove_in`, `unizk_fri`'s
+//! `fri_prove_in`, [`MerkleTree::new_in`](crate::MerkleTree::new_in))
+//! accept an `Option<&Workspace>`; passing `None` is the one-shot path and
+//! allocates exactly as before. Passing `Some` makes every large buffer a
+//! pool round-trip: taken at the allocation site, given back when the
+//! owning structure is consumed (`recycle`). Pooling is value-invisible —
+//! the proof bytes and every deterministic trace counter are bit-identical
+//! with and without a workspace, which the serve differential suite pins.
+//!
+//! A `Workspace` is `Sync` (pools are internally locked), but the intended
+//! deployment is **one workspace per pipeline worker**: buffers then stay
+//! cache- and thread-local and the locks are uncontended.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_hash::Workspace;
+//!
+//! let ws = Workspace::new();
+//! let mut buf = ws.take_gl(256);   // miss — fresh allocation
+//! buf.resize(256, unizk_field::Field::ZERO);
+//! ws.put_gl(buf);
+//! let again = ws.take_gl(256);     // hit — recycled capacity
+//! assert!(again.is_empty() && again.capacity() >= 256);
+//! assert_eq!(ws.stats().total().hits, 1);
+//! ```
+
+use unizk_field::pool::{Pool, PoolStats, TablePool};
+use unizk_field::{Ext2, Goldilocks};
+
+use crate::digest::Digest;
+
+/// Per-pool hit/miss counters of one [`Workspace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Flat `Goldilocks` buffers.
+    pub gl: PoolStats,
+    /// Flat `Ext2` buffers.
+    pub ext: PoolStats,
+    /// Flat `Digest` buffers.
+    pub digests: PoolStats,
+    /// `Goldilocks` leaf tables.
+    pub gl_tables: PoolStats,
+}
+
+impl WorkspaceStats {
+    /// Sum over all four pools.
+    pub fn total(&self) -> PoolStats {
+        self.gl
+            .merged(&self.ext)
+            .merged(&self.digests)
+            .merged(&self.gl_tables)
+    }
+
+    /// Aggregate hit rate over all pools, or `None` before any take.
+    pub fn hit_rate(&self) -> Option<f64> {
+        self.total().hit_rate()
+    }
+
+    /// Component-wise sum, for aggregating per-worker workspaces.
+    #[must_use]
+    pub fn merged(&self, other: &WorkspaceStats) -> WorkspaceStats {
+        WorkspaceStats {
+            gl: self.gl.merged(&other.gl),
+            ext: self.ext.merged(&other.ext),
+            digests: self.digests.merged(&other.digests),
+            gl_tables: self.gl_tables.merged(&other.gl_tables),
+        }
+    }
+}
+
+/// Recyclable buffer arenas for one prover worker (see the module docs).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    gl: Pool<Goldilocks>,
+    ext: Pool<Ext2>,
+    digests: Pool<Digest>,
+    gl_tables: TablePool<Goldilocks>,
+}
+
+impl Workspace {
+    /// An empty workspace; pools fill as the first job recycles into it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty `Goldilocks` buffer with capacity at least `capacity`.
+    pub fn take_gl(&self, capacity: usize) -> Vec<Goldilocks> {
+        self.gl.take(capacity)
+    }
+
+    /// Recycles a `Goldilocks` buffer.
+    pub fn put_gl(&self, v: Vec<Goldilocks>) {
+        self.gl.put(v);
+    }
+
+    /// Takes an empty `Ext2` buffer with capacity at least `capacity`.
+    pub fn take_ext(&self, capacity: usize) -> Vec<Ext2> {
+        self.ext.take(capacity)
+    }
+
+    /// Recycles an `Ext2` buffer.
+    pub fn put_ext(&self, v: Vec<Ext2>) {
+        self.ext.put(v);
+    }
+
+    /// Takes an empty `Digest` buffer with capacity at least `capacity`.
+    pub fn take_digests(&self, capacity: usize) -> Vec<Digest> {
+        self.digests.take(capacity)
+    }
+
+    /// Recycles a `Digest` buffer.
+    pub fn put_digests(&self, v: Vec<Digest>) {
+        self.digests.put(v);
+    }
+
+    /// Takes a leaf table with exactly `rows` empty rows.
+    pub fn take_gl_table(&self, rows: usize) -> Vec<Vec<Goldilocks>> {
+        self.gl_tables.take(rows)
+    }
+
+    /// Recycles a leaf table (row capacities survive for the next job).
+    pub fn put_gl_table(&self, table: Vec<Vec<Goldilocks>>) {
+        self.gl_tables.put(table);
+    }
+
+    /// Cumulative per-pool hit/miss counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            gl: self.gl.stats(),
+            ext: self.ext.stats(),
+            digests: self.digests.stats(),
+            gl_tables: self.gl_tables.stats(),
+        }
+    }
+}
+
+/// [`Workspace::take_gl`] through an optional workspace: `None` allocates.
+pub fn take_gl(ws: Option<&Workspace>, capacity: usize) -> Vec<Goldilocks> {
+    ws.map_or_else(|| Vec::with_capacity(capacity), |w| w.take_gl(capacity))
+}
+
+/// [`Workspace::put_gl`] through an optional workspace: `None` drops.
+pub fn put_gl(ws: Option<&Workspace>, v: Vec<Goldilocks>) {
+    if let Some(w) = ws {
+        w.put_gl(v);
+    }
+}
+
+/// [`Workspace::take_ext`] through an optional workspace: `None` allocates.
+pub fn take_ext(ws: Option<&Workspace>, capacity: usize) -> Vec<Ext2> {
+    ws.map_or_else(|| Vec::with_capacity(capacity), |w| w.take_ext(capacity))
+}
+
+/// [`Workspace::put_ext`] through an optional workspace: `None` drops.
+pub fn put_ext(ws: Option<&Workspace>, v: Vec<Ext2>) {
+    if let Some(w) = ws {
+        w.put_ext(v);
+    }
+}
+
+/// [`Workspace::take_digests`] through an optional workspace: `None`
+/// allocates.
+pub fn take_digests(ws: Option<&Workspace>, capacity: usize) -> Vec<Digest> {
+    ws.map_or_else(
+        || Vec::with_capacity(capacity),
+        |w| w.take_digests(capacity),
+    )
+}
+
+/// [`Workspace::take_gl_table`] through an optional workspace: `None`
+/// builds a fresh table of `rows` empty rows.
+pub fn take_gl_table(ws: Option<&Workspace>, rows: usize) -> Vec<Vec<Goldilocks>> {
+    ws.map_or_else(
+        || {
+            let mut t = Vec::with_capacity(rows);
+            t.resize_with(rows, Vec::new);
+            t
+        },
+        |w| w.take_gl_table(rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_field::Field;
+
+    #[test]
+    fn round_trip_every_pool() {
+        let ws = Workspace::new();
+        ws.put_gl(vec![Goldilocks::ONE; 8]);
+        ws.put_ext(vec![Ext2::ONE; 8]);
+        ws.put_digests(vec![Digest::ZERO; 8]);
+        ws.put_gl_table(vec![vec![Goldilocks::ONE; 4]; 8]);
+
+        assert!(ws.take_gl(8).is_empty());
+        assert!(ws.take_ext(8).is_empty());
+        assert!(ws.take_digests(8).is_empty());
+        let t = ws.take_gl_table(8);
+        assert_eq!(t.len(), 8);
+        assert!(t.iter().all(|r| r.is_empty() && r.capacity() >= 4));
+
+        let stats = ws.stats();
+        assert_eq!(stats.total(), unizk_field::PoolStats { hits: 4, misses: 0 });
+        assert_eq!(stats.hit_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn optional_helpers_allocate_without_workspace() {
+        let v = take_gl(None, 16);
+        assert!(v.is_empty() && v.capacity() >= 16);
+        put_gl(None, v); // dropped, no panic
+        let t = take_gl_table(None, 3);
+        assert_eq!(t.len(), 3);
+        assert!(take_ext(None, 4).is_empty());
+        assert!(take_digests(None, 4).is_empty());
+        put_ext(None, Vec::new());
+    }
+
+    #[test]
+    fn merged_stats_aggregate() {
+        let a = Workspace::new();
+        let b = Workspace::new();
+        let _ = a.take_gl(4);
+        let _ = b.take_ext(4);
+        let merged = a.stats().merged(&b.stats());
+        assert_eq!(merged.total().misses, 2);
+    }
+}

@@ -1,0 +1,378 @@
+//! The proof-serving pipeline: a bounded job queue feeding a pool of
+//! prover workers, each with an optional per-worker [`Workspace`].
+//!
+//! # Determinism contract
+//!
+//! Scheduling is free-running — which worker proves which job, and in what
+//! order jobs complete, varies run to run. The *outputs* do not: each
+//! proof depends only on its [`JobSpec`](crate::JobSpec), so the report's
+//! id → proof mapping is byte-identical across worker counts, pool modes,
+//! and arrival orders. Latency and utilization figures are measurements,
+//! not deterministic quantities; everything a correctness gate should pin
+//! lives in the proofs.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use unizk_hash::{Workspace, WorkspaceStats};
+use unizk_stark::{StarkError, StarkProof};
+
+use crate::job::Job;
+use crate::queue::JobQueue;
+
+/// Buffer-recycling policy for the worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolMode {
+    /// No workspace: every job allocates from scratch (the one-shot path).
+    Off,
+    /// One [`Workspace`] per worker, reused across that worker's jobs.
+    #[default]
+    PerWorker,
+}
+
+/// Pipeline shape: worker count, queue bound, and pooling policy.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Prover threads. `0` runs every job inline on the calling thread
+    /// (the degenerate single-lane pipeline, useful as a reference).
+    pub workers: usize,
+    /// Bound of the admission queue; producers block when it is full.
+    pub queue_depth: usize,
+    /// Whether workers recycle buffers across jobs.
+    pub pool: PoolMode,
+}
+
+impl PipelineConfig {
+    /// `workers` threads, a `2·workers` queue bound, per-worker pooling.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            queue_depth: (2 * workers).max(2),
+            pool: PoolMode::PerWorker,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::with_workers(1)
+    }
+}
+
+/// The outcome of one job, with its queueing/service timeline.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job's caller-assigned id.
+    pub id: u64,
+    /// The proof, or the prover error for an unsatisfiable spec.
+    pub outcome: Result<StarkProof, StarkError>,
+    /// Index of the worker that proved it (`0` in inline mode).
+    pub worker: usize,
+    /// Submission → completion (queue wait + proving), in nanoseconds.
+    pub sojourn_ns: u64,
+    /// Dequeue → completion (proving only), in nanoseconds.
+    pub service_ns: u64,
+}
+
+impl JobResult {
+    /// Serialized proof bytes, if the job succeeded.
+    pub fn proof_bytes(&self) -> Option<Vec<u8>> {
+        self.outcome.as_ref().ok().map(StarkProof::to_bytes)
+    }
+}
+
+/// Per-worker accounting for one pipeline run.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Worker index in `0..workers`.
+    pub worker: usize,
+    /// Jobs this worker proved.
+    pub jobs: usize,
+    /// Time spent proving (excludes idle waits on the queue).
+    pub busy_ns: u64,
+    /// Final pool counters, when pooling was on.
+    pub pool: Option<WorkspaceStats>,
+}
+
+/// Everything one [`Pipeline::run`] produced.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// One entry per submitted job, **sorted by job id** — the
+    /// deterministic id → proof mapping.
+    pub results: Vec<JobResult>,
+    /// One entry per worker (a single entry in inline mode).
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock time of the whole run (first submit → last completion).
+    pub wall_ns: u64,
+}
+
+impl PipelineReport {
+    /// Completed proofs per second of wall-clock time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Nearest-rank percentile (`p` in 1..=100) of sojourn latency.
+    pub fn sojourn_percentile_ns(&self, p: u32) -> u64 {
+        percentile(self.results.iter().map(|r| r.sojourn_ns), p)
+    }
+
+    /// Nearest-rank percentile (`p` in 1..=100) of service latency.
+    pub fn service_percentile_ns(&self, p: u32) -> u64 {
+        percentile(self.results.iter().map(|r| r.service_ns), p)
+    }
+
+    /// Per-worker busy fraction of the run's wall-clock time.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.workers
+            .iter()
+            .map(|w| {
+                if self.wall_ns == 0 {
+                    0.0
+                } else {
+                    w.busy_ns as f64 / self.wall_ns as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Pool counters aggregated over all workers (`None` with pooling off).
+    pub fn pool_stats(&self) -> Option<WorkspaceStats> {
+        let mut merged: Option<WorkspaceStats> = None;
+        for w in &self.workers {
+            if let Some(s) = &w.pool {
+                merged = Some(merged.map_or(*s, |m| m.merged(s)));
+            }
+        }
+        merged
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sequence; 0 for an empty one.
+fn percentile(values: impl Iterator<Item = u64>, p: u32) -> u64 {
+    assert!((1..=100).contains(&p), "percentile must be in 1..=100");
+    let mut v: Vec<u64> = values.collect();
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    let rank = (v.len() * p as usize).div_ceil(100).max(1);
+    v[rank - 1]
+}
+
+/// The multi-worker proof server. See the module docs for the determinism
+/// contract.
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Proves every job in `jobs` under `config` and returns the report.
+    ///
+    /// Jobs are submitted in slice order through the bounded queue; workers
+    /// race to dequeue. The returned results are sorted by job id, so
+    /// `report.results[i]` is job `jobs[i]` whenever ids are `0..n` in
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two jobs share an id, or if a worker thread panics.
+    pub fn run(jobs: Vec<Job>, config: &PipelineConfig) -> PipelineReport {
+        let n = jobs.len();
+        {
+            let mut ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "job ids must be unique");
+        }
+        let epoch = Instant::now();
+        let mut report = if config.workers == 0 {
+            Self::run_inline(jobs, config, epoch)
+        } else {
+            Self::run_threaded(jobs, config, epoch)
+        };
+        report.results.sort_by_key(|r| r.id);
+        report
+    }
+
+    fn run_inline(jobs: Vec<Job>, config: &PipelineConfig, epoch: Instant) -> PipelineReport {
+        let ws = make_workspace(config.pool);
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut busy_ns = 0u64;
+        let count = jobs.len();
+        for job in jobs {
+            let start = elapsed_ns(epoch);
+            let outcome = job.spec.prove(ws.as_ref());
+            let done = elapsed_ns(epoch);
+            busy_ns += done - start;
+            results.push(JobResult {
+                id: job.id,
+                outcome,
+                worker: 0,
+                sojourn_ns: done - start,
+                service_ns: done - start,
+            });
+        }
+        PipelineReport {
+            results,
+            workers: vec![WorkerReport {
+                worker: 0,
+                jobs: count,
+                busy_ns,
+                pool: ws.map(|w| w.stats()),
+            }],
+            wall_ns: elapsed_ns(epoch),
+        }
+    }
+
+    fn run_threaded(jobs: Vec<Job>, config: &PipelineConfig, epoch: Instant) -> PipelineReport {
+        // Each queue entry carries its submission timestamp for the
+        // sojourn measurement.
+        let queue: JobQueue<(Job, u64)> = JobQueue::new(config.queue_depth);
+        let results: Mutex<Vec<JobResult>> = Mutex::new(Vec::with_capacity(jobs.len()));
+        let worker_reports: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for worker in 0..config.workers {
+                let queue = &queue;
+                let results = &results;
+                let worker_reports = &worker_reports;
+                let pool = config.pool;
+                scope.spawn(move || {
+                    let ws = make_workspace(pool);
+                    let mut busy_ns = 0u64;
+                    let mut proved = 0usize;
+                    while let Some((job, submitted)) = queue.pop() {
+                        let start = elapsed_ns(epoch);
+                        let outcome = job.spec.prove(ws.as_ref());
+                        let done = elapsed_ns(epoch);
+                        busy_ns += done - start;
+                        proved += 1;
+                        results.lock().expect("results poisoned").push(JobResult {
+                            id: job.id,
+                            outcome,
+                            worker,
+                            sojourn_ns: done - submitted,
+                            service_ns: done - start,
+                        });
+                    }
+                    worker_reports
+                        .lock()
+                        .expect("reports poisoned")
+                        .push(WorkerReport {
+                            worker,
+                            jobs: proved,
+                            busy_ns,
+                            pool: ws.map(|w| w.stats()),
+                        });
+                });
+            }
+
+            // The calling thread is the producer; the bounded push provides
+            // back-pressure.
+            for job in jobs {
+                let submitted = elapsed_ns(epoch);
+                assert!(queue.push((job, submitted)), "queue closed during submit");
+            }
+            queue.close();
+        });
+
+        let mut workers = worker_reports.into_inner().expect("reports poisoned");
+        workers.sort_by_key(|w| w.worker);
+        PipelineReport {
+            results: results.into_inner().expect("results poisoned"),
+            workers,
+            wall_ns: elapsed_ns(epoch),
+        }
+    }
+}
+
+fn make_workspace(pool: PoolMode) -> Option<Workspace> {
+    match pool {
+        PoolMode::Off => None,
+        PoolMode::PerWorker => Some(Workspace::new()),
+    }
+}
+
+fn elapsed_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AppKind, JobSpec};
+    use unizk_stark::StarkConfig;
+
+    fn tiny_jobs(n: usize) -> Vec<Job> {
+        (0..n as u64)
+            .map(|id| Job {
+                id,
+                spec: JobSpec {
+                    app: AppKind::Fibonacci,
+                    rows: 64,
+                    config: StarkConfig::for_testing(),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_is_sorted_and_complete() {
+        let report = Pipeline::run(tiny_jobs(5), &PipelineConfig::with_workers(2));
+        assert_eq!(report.results.len(), 5);
+        let ids: Vec<u64> = report.results.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.workers.iter().map(|w| w.jobs).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn inline_mode_matches_threaded() {
+        let threaded = Pipeline::run(tiny_jobs(3), &PipelineConfig::with_workers(2));
+        let inline = Pipeline::run(
+            tiny_jobs(3),
+            &PipelineConfig {
+                workers: 0,
+                queue_depth: 1,
+                pool: PoolMode::Off,
+            },
+        );
+        for (a, b) in threaded.results.iter().zip(&inline.results) {
+            assert_eq!(a.proof_bytes(), b.proof_bytes());
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile([10, 20, 30, 40].into_iter(), 50), 20);
+        assert_eq!(percentile([10, 20, 30, 40].into_iter(), 100), 40);
+        assert_eq!(percentile([10, 20, 30, 40].into_iter(), 1), 10);
+        assert_eq!(percentile(std::iter::empty(), 99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "job ids must be unique")]
+    fn duplicate_ids_rejected() {
+        let mut jobs = tiny_jobs(2);
+        jobs[1].id = 0;
+        let _ = Pipeline::run(jobs, &PipelineConfig::default());
+    }
+
+    #[test]
+    fn pool_stats_present_only_when_pooling() {
+        let on = Pipeline::run(tiny_jobs(2), &PipelineConfig::with_workers(1));
+        assert!(on.pool_stats().is_some());
+        let off = Pipeline::run(
+            tiny_jobs(2),
+            &PipelineConfig {
+                workers: 1,
+                queue_depth: 2,
+                pool: PoolMode::Off,
+            },
+        );
+        assert!(off.pool_stats().is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! A bounded blocking MPMC queue — the admission-control stage of the
+//! pipeline.
+//!
+//! Built on `Mutex` + two `Condvar`s (no lock-free tricks: queue operations
+//! are microseconds against multi-millisecond proving jobs). The bound is
+//! what makes the pipeline well-behaved under load: producers block once
+//! `capacity` jobs are waiting instead of buffering unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking multi-producer multi-consumer queue.
+///
+/// # Example
+///
+/// ```
+/// use unizk_serve::JobQueue;
+///
+/// let q: JobQueue<u32> = JobQueue::new(2);
+/// assert!(q.push(1));
+/// assert!(q.push(2));
+/// q.close();
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None); // closed and drained
+/// assert!(!q.push(3));       // closed: rejected
+/// ```
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` waiting items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity rendezvous queue is
+    /// not supported — every push would deadlock absent a concurrent pop).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed **and** drained — the worker's
+    /// shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes are rejected, and pops return
+    /// `None` once the backlog drains. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        // Wake everyone: blocked producers must observe the rejection,
+        // blocked consumers the shutdown.
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether no items are currently waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = JobQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push(i));
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn push_blocks_until_pop_frees_a_slot() {
+        let q = Arc::new(JobQueue::new(1));
+        assert!(q.push(0u32));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1));
+        // The producer is stuck until we pop; pop twice to drain both.
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_unblocks_idle_consumers() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_drains_backlog_before_none() {
+        let q = JobQueue::new(8);
+        assert!(q.push(7));
+        q.close();
+        assert!(!q.push(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = JobQueue::<u32>::new(0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Differential wall: the proof-serving pipeline against the one-shot
+//! prover.
+//!
+//! The pipeline's whole value rests on one claim — scheduling and pooling
+//! move *when* a proof is computed, never *what* it is. This suite pins
+//! the claim exhaustively over the axes a deployment can vary:
+//!
+//! * worker count: inline (`0`), single (`1`), and oversubscribed (`2`,
+//!   `4` — the host may have fewer cores, which is exactly the contended
+//!   case worth testing);
+//! * pool mode: off (fresh allocations) and per-worker recycling;
+//! * arrival order: in-order, reversed, and interleaved submissions.
+//!
+//! Every cell of that grid must reproduce the one-shot proof bytes for
+//! every job id.
+
+use std::collections::HashMap;
+
+use unizk_serve::{Job, Pipeline, PipelineConfig, PoolMode, TrafficSpec};
+
+/// One-shot reference bytes per distinct spec key in `jobs`.
+fn references(jobs: &[Job]) -> HashMap<String, Vec<u8>> {
+    let mut refs = HashMap::new();
+    for job in jobs {
+        refs.entry(job.spec.key())
+            .or_insert_with(|| job.spec.prove(None).expect("one-shot proves").to_bytes());
+    }
+    refs
+}
+
+/// Asserts every pipeline proof equals its spec's one-shot reference.
+fn assert_identical(jobs: &[Job], config: &PipelineConfig, refs: &HashMap<String, Vec<u8>>) {
+    let report = Pipeline::run(jobs.to_vec(), config);
+    assert_eq!(report.results.len(), jobs.len());
+    let by_id: HashMap<u64, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+    for result in &report.results {
+        let job = by_id[&result.id];
+        let bytes = result.proof_bytes().expect("pipeline job proves");
+        assert_eq!(
+            &bytes,
+            &refs[&job.spec.key()],
+            "job {} ({}) diverged under workers={} pool={:?}",
+            result.id,
+            job.spec.key(),
+            config.workers,
+            config.pool,
+        );
+    }
+}
+
+#[test]
+fn every_worker_count_and_pool_mode_matches_one_shot() {
+    let jobs = TrafficSpec::smoke(8).generate();
+    let refs = references(&jobs);
+    for workers in [0usize, 1, 2, 4] {
+        for pool in [PoolMode::Off, PoolMode::PerWorker] {
+            let config = PipelineConfig {
+                workers,
+                queue_depth: 4,
+                pool,
+            };
+            assert_identical(&jobs, &config, &refs);
+        }
+    }
+}
+
+#[test]
+fn arrival_order_does_not_change_any_proof() {
+    let in_order = TrafficSpec::smoke(8).generate();
+    let refs = references(&in_order);
+
+    let mut reversed = in_order.clone();
+    reversed.reverse();
+
+    // Interleave: evens first, then odds — adjacent submissions land on
+    // different workers than in-order submission would produce.
+    let mut interleaved: Vec<Job> = in_order.iter().step_by(2).cloned().collect();
+    interleaved.extend(in_order.iter().skip(1).step_by(2).cloned());
+
+    let config = PipelineConfig {
+        workers: 2,
+        queue_depth: 2,
+        pool: PoolMode::PerWorker,
+    };
+    for jobs in [&in_order, &reversed, &interleaved] {
+        assert_identical(jobs, &config, &refs);
+    }
+}
+
+#[test]
+fn report_invariants_hold() {
+    let jobs = TrafficSpec::smoke(8).generate();
+    let n = jobs.len();
+    let config = PipelineConfig {
+        workers: 2,
+        queue_depth: 4,
+        pool: PoolMode::PerWorker,
+    };
+    let report = Pipeline::run(jobs, &config);
+
+    // Conservation: every job proved exactly once, by exactly one worker.
+    assert_eq!(report.results.len(), n);
+    assert_eq!(report.workers.len(), 2);
+    assert_eq!(report.workers.iter().map(|w| w.jobs).sum::<usize>(), n);
+    for result in &report.results {
+        assert!(result.worker < 2);
+        // Sojourn includes queue wait, so it can never undercut service.
+        assert!(result.sojourn_ns >= result.service_ns);
+    }
+
+    // Percentiles are monotone in p, and wall time bounds every sojourn.
+    let p50 = report.sojourn_percentile_ns(50);
+    let p95 = report.sojourn_percentile_ns(95);
+    let p99 = report.sojourn_percentile_ns(99);
+    assert!(p50 <= p95 && p95 <= p99);
+    assert!(report
+        .results
+        .iter()
+        .all(|r| r.sojourn_ns <= report.wall_ns));
+
+    // Utilization is a fraction of wall time per worker.
+    let util = report.utilization();
+    assert_eq!(util.len(), 2);
+    assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+
+    // Throughput is consistent with the wall clock.
+    let tput = report.throughput_per_sec();
+    let expect = n as f64 / (report.wall_ns as f64 / 1e9);
+    assert!((tput - expect).abs() < 1e-9);
+}
+
+#[test]
+fn pooled_workers_actually_recycle() {
+    // With several jobs per worker, the second job onward must draw from
+    // the shelves the first job filled.
+    let jobs = TrafficSpec::smoke(6).generate();
+    let report = Pipeline::run(
+        jobs,
+        &PipelineConfig {
+            workers: 1,
+            queue_depth: 2,
+            pool: PoolMode::PerWorker,
+        },
+    );
+    let stats = report.pool_stats().expect("pooling was on");
+    assert!(
+        stats.total().hits > 0,
+        "expected pool hits across jobs, got {:?}",
+        stats
+    );
+    assert!(stats.hit_rate().expect("takes happened") > 0.0);
+}

@@ -1,0 +1,116 @@
+//! Poisoned-buffer canaries for the workspace pools.
+//!
+//! The pools are deliberately dirty: `put` preserves stale contents and
+//! `take` only truncates the length. A prover stage that `resize`s a
+//! pooled buffer without first clearing it — or reads past the length it
+//! wrote — would consume another job's data. These tests feed the pools
+//! adversarial garbage and assert the proofs cannot tell.
+
+use unizk_hash::{Digest, Workspace};
+use unizk_serve::{AppKind, JobSpec, TrafficSpec};
+use unizk_stark::StarkConfig;
+use unizk_testkit::prop::prelude::*;
+use unizk_testkit::rng::TestRng;
+
+use unizk_field::{Ext2, Goldilocks, PrimeField64};
+
+/// Fills every pool of `ws` with `shelves` buffers of seeded garbage in
+/// assorted sizes — stale digests, half-written tables, huge and tiny
+/// vectors.
+fn poison(ws: &Workspace, seed: u64, shelves: usize) {
+    let mut rng = TestRng::seed_from_u64(seed);
+    for i in 0..shelves {
+        let len = 1usize << (3 + (i % 8));
+        ws.put_gl((0..len).map(|_| Goldilocks::random(&mut rng)).collect());
+        ws.put_ext(
+            (0..len)
+                .map(|_| Ext2::new(Goldilocks::random(&mut rng), Goldilocks::random(&mut rng)))
+                .collect(),
+        );
+        ws.put_digests(
+            (0..len)
+                .map(|_| Digest(std::array::from_fn(|_| Goldilocks::random(&mut rng))))
+                .collect(),
+        );
+        ws.put_gl_table(vec![
+            (0..4).map(|_| Goldilocks::random(&mut rng)).collect();
+            len
+        ]);
+    }
+}
+
+prop! {
+    #![cases(8)]
+
+    /// A workspace pre-poisoned with arbitrary garbage yields proofs
+    /// byte-identical to the clean one-shot path, for every app.
+    fn poisoned_workspace_is_value_invisible(seed in any::<u64>(), app_idx in 0usize..3) {
+        let app = [AppKind::Fibonacci, AppKind::Countdown, AppKind::RangeAccumulator][app_idx];
+        let spec = JobSpec {
+            app,
+            rows: 128,
+            config: StarkConfig::for_testing(),
+        };
+        let clean = spec.prove(None).expect("one-shot proves").to_bytes();
+
+        let ws = Workspace::new();
+        poison(&ws, seed, 12);
+        let pooled = spec.prove(Some(&ws)).expect("pooled proves").to_bytes();
+        assert_eq!(clean, pooled, "poisoned pool leaked into the proof");
+    }
+}
+
+#[test]
+fn no_state_leaks_between_jobs_on_one_workspace() {
+    // Prove a stream of different apps back-to-back on one workspace; each
+    // job inherits the previous job's recycled buffers. Every proof must
+    // still match a fresh one-shot run.
+    let ws = Workspace::new();
+    for job in TrafficSpec::smoke(6).generate() {
+        let pooled = job.spec.prove(Some(&ws)).expect("pooled proves").to_bytes();
+        let fresh = job.spec.prove(None).expect("one-shot proves").to_bytes();
+        assert_eq!(
+            pooled,
+            fresh,
+            "job {} ({}) saw leaked state",
+            job.id,
+            job.spec.key()
+        );
+    }
+}
+
+#[test]
+fn recycling_pays_off_within_two_jobs() {
+    // Job 1 fills the shelves; an identical job 2 must then hit on every
+    // major buffer class it takes.
+    let spec = JobSpec {
+        app: AppKind::Fibonacci,
+        rows: 256,
+        config: StarkConfig::for_testing(),
+    };
+    let ws = Workspace::new();
+    spec.prove(Some(&ws)).expect("job 1 proves");
+    let after_first = ws.stats();
+    // A cold pool still hits a little (stages recycle scratch buffers
+    // within one job), but most takes must miss.
+    assert!(after_first.total().misses > after_first.total().hits);
+
+    spec.prove(Some(&ws)).expect("job 2 proves");
+    let after_second = ws.stats();
+    let second_hits = after_second.total().hits - after_first.total().hits;
+    let second_misses = after_second.total().misses - after_first.total().misses;
+    assert!(
+        second_hits > after_first.total().hits,
+        "warm job should hit more than cold"
+    );
+    assert!(
+        second_hits >= second_misses,
+        "warm job should mostly hit: {second_hits} hits vs {second_misses} misses"
+    );
+    // Every pool class participates: the prover takes gl (LDE), ext (FRI),
+    // digests (tree levels), and tables (leaves) on the warm run.
+    assert!(after_second.gl.hits > 0);
+    assert!(after_second.ext.hits > 0);
+    assert!(after_second.digests.hits > 0);
+    assert!(after_second.gl_tables.hits > 0);
+}

@@ -35,5 +35,5 @@ pub use aggregate::{aggregate, aggregate_many, recursive_circuit, AggregatedProo
 pub use airs::{CountdownAir, FibonacciAir, RangeAccumulatorAir};
 pub use config::StarkConfig;
 pub use proof::StarkProof;
-pub use prover::prove;
+pub use prover::{prove, prove_in};
 pub use verifier::{verify, StarkError};

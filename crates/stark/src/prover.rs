@@ -6,8 +6,8 @@ use unizk_field::{
     Goldilocks, Polynomial, PrimeField64,
 };
 use unizk_fri::batch::domain_point;
-use unizk_fri::{fri_prove, time_kernel, KernelClass, PolynomialBatch};
-use unizk_hash::Challenger;
+use unizk_fri::{fri_prove_in, time_kernel, KernelClass, PolynomialBatch};
+use unizk_hash::{Challenger, Workspace};
 use unizk_testkit::trace;
 
 use crate::air::Air;
@@ -22,6 +22,25 @@ use crate::verifier::StarkError;
 /// Returns [`StarkError::UnsatisfiedConstraints`] if the generated trace
 /// does not satisfy the AIR (the quotient fails its degree check).
 pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof, StarkError> {
+    prove_in(air, config, None)
+}
+
+/// [`prove`] with an optional [`Workspace`]: every large intermediate — LDE
+/// codewords, Merkle leaf tables and digest levels, the FRI combined
+/// witness and fold layers — is drawn from the workspace pools and shelved
+/// back before returning, so a long-lived worker reuses one job's
+/// allocations for the next. The proof is bit-identical with and without a
+/// workspace; `prove(air, config)` is exactly `prove_in(air, config, None)`.
+///
+/// # Errors
+///
+/// Returns [`StarkError::UnsatisfiedConstraints`] under the same conditions
+/// as [`prove`].
+pub fn prove_in<A: Air + Sync>(
+    air: &A,
+    config: &StarkConfig,
+    ws: Option<&Workspace>,
+) -> Result<StarkProof, StarkError> {
     let _prove_span = trace::span("stark.prove");
     let n = air.rows();
     assert!(n.is_power_of_two(), "trace height must be a power of two");
@@ -35,7 +54,7 @@ pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof,
     });
     assert_eq!(trace.len(), air.width(), "trace width mismatch");
     let trace_batch = trace::with_span("stark.trace_commit", || {
-        PolynomialBatch::from_values(trace, &config.fri)
+        PolynomialBatch::from_values_in(trace, &config.fri, ws)
     });
     challenger.observe_digest(trace_batch.root());
 
@@ -49,7 +68,7 @@ pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof,
         })
     })?;
     let quotient_batch = trace::with_span("stark.quotient_commit", || {
-        PolynomialBatch::from_coeffs(quotient_polys, &config.fri)
+        PolynomialBatch::from_coeffs_in(quotient_polys, &config.fri, ws)
     });
     challenger.observe_digest(quotient_batch.root());
 
@@ -58,20 +77,28 @@ pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof,
     let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
     let points = [zeta, zeta * Ext2::from(omega)];
     let fri = trace::with_span("stark.fri", || {
-        fri_prove(
+        fri_prove_in(
             &[&trace_batch, &quotient_batch],
             &points,
             &mut challenger,
             &config.fri,
+            ws,
         )
     });
 
-    Ok(StarkProof {
+    let proof = StarkProof {
         trace_root: trace_batch.root(),
         quotient_root: quotient_batch.root(),
         fri,
         rows: n,
-    })
+    };
+    // The proof holds copies of everything it needs; shelve both
+    // commitments' buffers for the worker's next job.
+    if let Some(w) = ws {
+        trace_batch.recycle(w);
+        quotient_batch.recycle(w);
+    }
+    Ok(proof)
 }
 
 fn compute_quotients<A: Air + Sync>(

@@ -27,6 +27,16 @@ echo "== baseline =="
 
 echo "OK: wrote $OUT_DIR/BENCH_PROVER.json and $OUT_DIR/BENCH_SIM.json"
 
+# Optional: BENCH_THROUGHPUT=1 also records the proof-serving throughput
+# baseline (pipeline proofs are identity-checked against the one-shot
+# prover before anything is written).
+if [[ "${BENCH_THROUGHPUT:-0}" == "1" ]]; then
+    echo "== throughput =="
+    cargo build --release --offline -p unizk-bench --bin throughput
+    ./target/release/throughput --out-dir "$OUT_DIR"
+    echo "OK: wrote $OUT_DIR/BENCH_THROUGHPUT.json"
+fi
+
 # Optional: BENCH_SWEEP=1 also records the smoke design-space sweep
 # (deterministic, so the artifact is diffable across PRs like the
 # baselines above).

@@ -61,6 +61,12 @@ mkdir -p "$BENCH_TMP/a" "$BENCH_TMP/b"
     BENCH_PROVER.json "$BENCH_TMP/a/BENCH_PROVER.json" \
     || { echo "FAIL: counters drifted from committed BENCH_PROVER.json"; exit 1; }
 
+echo "==> proof-serving smoke (16 jobs, 2 workers: pipeline vs one-shot identity)"
+# Pushes the CI traffic stream through the worker pipeline with pooling
+# off and on; the binary asserts every pipeline proof is byte-identical
+# to the one-shot prover and self-checks the artifact schema.
+./target/release/throughput --smoke --jobs 16
+
 echo "==> lane-forced proof roundtrip (UNIZK_HASH_LANES=1 vs committed baseline)"
 # The packed Poseidon engine defaults to 8 lanes; forcing the fully scalar
 # path through the env knob must still reproduce the committed artifact
