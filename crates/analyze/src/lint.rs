@@ -7,10 +7,11 @@
 
 use std::path::Path;
 
-use unizk_core::analyze::{check, Diagnostic, Severity};
+use unizk_core::analyze::{check, check_multi, Diagnostic, Severity};
 use unizk_core::compiler::{compile_starky, StarkyInstance};
 use unizk_core::{ChipConfig, Graph};
 use unizk_explore::SweepSpec;
+use unizk_fleet::ShardPlan;
 use unizk_testkit::json::Json;
 use unizk_workloads::{App, Scale};
 
@@ -22,6 +23,9 @@ pub struct LintTarget {
     pub graph: Graph,
     /// The chip it is scheduled for.
     pub chip: ChipConfig,
+    /// Pre-computed diagnostics folded into the report alongside the
+    /// single-graph checks (the multi-chip M-rules of fleet points).
+    pub extra: Vec<Diagnostic>,
 }
 
 /// Every built-in workload: the six Table 3 applications at both the CI
@@ -36,6 +40,7 @@ pub fn workload_targets() -> Vec<LintTarget> {
                 name: format!("workload/{}@{tag}", app.id()),
                 graph: unizk_core::compile_plonky2(&app.plonky2_instance(scale)),
                 chip: chip.clone(),
+                extra: Vec::new(),
             });
         }
     }
@@ -43,29 +48,53 @@ pub fn workload_targets() -> Vec<LintTarget> {
         name: "workload/starky".to_string(),
         graph: compile_starky(&StarkyInstance::new(1 << 12, 16, 8)),
         chip,
+        extra: Vec::new(),
     });
     targets
 }
 
 /// Every enumerated point of one sweep spec file. Each point compiles with
 /// its own chunk-size override and verifies against its own chip axis.
+/// A fleet point contributes its per-shard schedule (with the multi-chip
+/// M-rule diagnostics attached) and, when sharded, its aggregation
+/// schedule as a second target.
 pub fn spec_targets(path: &Path) -> Result<Vec<LintTarget>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let spec = SweepSpec::from_json_text(&text)
         .map_err(|e| format!("{}: {e}", path.display()))?;
     let stem = path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned());
-    Ok(spec
-        .enumerate()
-        .map_err(|e| format!("{}: {e}", path.display()))?
-        .into_iter()
-        .enumerate()
-        .map(|(i, point)| LintTarget {
-            name: format!("spec/{stem}#{i}/{}@2^{}", point.app.id(), point.log_rows),
-            graph: unizk_core::compile_plonky2(&point.instance()),
-            chip: point.chip,
-        })
-        .collect())
+    let points = spec.enumerate().map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut targets = Vec::with_capacity(points.len());
+    for (i, point) in points.into_iter().enumerate() {
+        let base = format!("spec/{stem}#{i}/{}@2^{}", point.app.id(), point.log_rows);
+        let Some(f) = &point.fleet else {
+            targets.push(LintTarget {
+                name: base,
+                graph: unizk_core::compile_plonky2(&point.instance()),
+                chip: point.chip,
+                extra: Vec::new(),
+            });
+            continue;
+        };
+        let plan = ShardPlan::new(point.instance(), f.shards)
+            .map_err(|e| format!("{}: point {i}: {e}", path.display()))?;
+        targets.push(LintTarget {
+            name: format!("{base}/shard(x{})", f.shards),
+            graph: plan.shard_graph().clone(),
+            chip: point.chip.clone(),
+            extra: check_multi(&plan.multi_schedule(), &point.chip),
+        });
+        if let Some(agg) = plan.aggregation_graph() {
+            targets.push(LintTarget {
+                name: format!("{base}/agg"),
+                graph: agg.clone(),
+                chip: point.chip,
+                extra: Vec::new(),
+            });
+        }
+    }
+    Ok(targets)
 }
 
 /// The analyzer's verdict on one target.
@@ -173,10 +202,10 @@ pub fn lint_all(targets: &[LintTarget]) -> LintSummary {
     LintSummary {
         reports: targets
             .iter()
-            .map(|t| TargetReport {
-                name: t.name.clone(),
-                nodes: t.graph.len(),
-                diagnostics: check(&t.graph, &t.chip),
+            .map(|t| {
+                let mut diagnostics = check(&t.graph, &t.chip);
+                diagnostics.extend(t.extra.iter().cloned());
+                TargetReport { name: t.name.clone(), nodes: t.graph.len(), diagnostics }
             })
             .collect(),
     }
@@ -192,6 +221,32 @@ mod tests {
         assert_eq!(targets.len(), App::ALL.len() * 2 + 1);
         assert!(targets.iter().any(|t| t.name == "workload/starky"));
         assert!(targets.iter().any(|t| t.name == "workload/mvm@full"));
+    }
+
+    #[test]
+    fn fleet_spec_points_lint_shard_and_aggregation_schedules() {
+        let dir = std::env::temp_dir()
+            .join(format!("unizk-analyze-fleet-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        std::fs::write(
+            &path,
+            r#"{"schema":"unizk-explore-spec/1","name":"fleet-lint",
+                "fleet":{"chips":[2],"shards":[1,2],"batch":[1]},
+                "workloads":[{"app":"fibonacci","shrink_bits":6}]}"#,
+        )
+        .unwrap();
+
+        let targets = spec_targets(&path).unwrap();
+        // Point 0 is unsharded (shard target only); point 1 adds its
+        // aggregation schedule.
+        assert_eq!(targets.len(), 3);
+        assert!(targets[0].name.contains("/shard(x1)"));
+        assert!(targets[1].name.contains("/shard(x2)"));
+        assert!(targets[2].name.contains("/agg"));
+        let summary = lint_all(&targets);
+        assert!(summary.is_clean(), "{}", summary.render(true));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! The fleet-scale proving benchmark: sharded multi-chip sweeps over the
+//! chips × HBM-bandwidth × batch × shards grid, exported as
+//! `BENCH_FLEET.json`.
+//!
+//! Every number in the artifact is deterministic — fleet simulations run
+//! in integer cycles of the modeled clock and the arrival stream is
+//! seeded — so `fleet --compare OLD NEW` gates on *exact* equality of the
+//! per-point makespans and the single-chip anchor. Three self-checks gate
+//! the artifact before a byte is written:
+//!
+//! * **anchor** — a 1-chip/1-shard/1-job fleet run of the `BENCH_SIM.json`
+//!   reference workload (plonky2 4096×135) must reproduce the single-chip
+//!   simulator's cycle count exactly;
+//! * **verifier** — every per-shard and aggregation schedule at every
+//!   swept point must pass the static verifier (single-graph rules plus
+//!   the multi-chip M-rules) with zero error diagnostics;
+//! * **schema** — the emitted JSON must carry every field EXPERIMENTS.md
+//!   Part 4 documents, checked by re-validating the built artifact.
+//!
+//! `--smoke` runs a tiny grid, performs all self-checks, and writes
+//! nothing.
+
+use std::collections::BTreeMap;
+
+use unizk_core::analyze::{check, check_multi, error_count, render_all};
+use unizk_core::compiler::{compile_plonky2, Plonky2Instance};
+use unizk_core::{ChipConfig, Simulator};
+use unizk_explore::{run_sweep, PointResult, SweepOptions, SweepSpec};
+use unizk_fleet::{FleetConfig, FleetSim, ShardPlan, StreamSpec};
+use unizk_testkit::json::access::{arr_field, f64_field, obj_field, str_field, u64_field};
+use unizk_testkit::json::{parse, Json};
+use unizk_testkit::render::table;
+use unizk_workloads::{App, Scale};
+
+/// Schema identifier embedded in (and required of) the artifact.
+const FLEET_SCHEMA: &str = "unizk-bench-fleet/1";
+
+/// The committed benchmark grid: {1,2,4,8} chips × two HBM bandwidths ×
+/// two batch sizes × two shard counts over the `BENCH_SIM.json` reference
+/// workload (fibonacci shrunk to 2^12 rows).
+fn bench_spec() -> SweepSpec {
+    SweepSpec::new("bench-fleet")
+        .bandwidth_scales([(1, 2), (1, 1)])
+        .fleet_axes([1, 2, 4, 8], [1, 4], [1, 4])
+        .workload(App::Fibonacci, Scale::Shrunk(4))
+}
+
+/// The CI smoke grid: small enough for seconds, still multi-chip,
+/// sharded, and batched.
+fn smoke_spec() -> SweepSpec {
+    SweepSpec::new("bench-fleet-smoke")
+        .fleet_axes([1, 2], [1, 2], [1])
+        .workload(App::Fibonacci, Scale::Shrunk(6))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        if args.len() != 3 {
+            eprintln!("usage: fleet --compare OLD.json NEW.json");
+            std::process::exit(2);
+        }
+        compare(&args[1], &args[2]);
+        return;
+    }
+
+    let mut out_dir = ".".to_string();
+    let mut smoke = false;
+    let mut jobs = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => out_dir = expect_value(&mut it, "--out-dir"),
+            "--jobs" => jobs = parse_num(&expect_value(&mut it, "--jobs")),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: fleet [--smoke] [--out-dir DIR] [--jobs N] \
+                     | fleet --compare OLD.json NEW.json"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = if smoke { smoke_spec() } else { bench_spec() };
+    let artifact = build_artifact(&spec, jobs);
+    self_check(&artifact);
+    print_surface(&artifact);
+    if smoke {
+        println!("smoke: anchor, verifier, and schema self-checks passed");
+        return;
+    }
+    let path = format!("{out_dir}/BENCH_FLEET.json");
+    std::fs::write(&path, artifact.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn expect_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+        .clone()
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Statically verifies every per-shard and aggregation schedule the spec
+/// sweeps; refuses (panics) on any error diagnostic. Returns the number
+/// of schedules checked.
+fn verify_schedules(spec: &SweepSpec) -> usize {
+    let mut verified = 0;
+    for point in spec.enumerate().expect("spec enumerates") {
+        let f = point.fleet.as_ref().expect("fleet benchmark points carry fleet params");
+        let plan = ShardPlan::new(point.instance(), f.shards).expect("shard plan");
+        let mut diags = check(plan.shard_graph(), &point.chip);
+        verified += 1;
+        if let Some(agg) = plan.aggregation_graph() {
+            diags.extend(check(agg, &point.chip));
+            verified += 1;
+        }
+        diags.extend(check_multi(&plan.multi_schedule(), &point.chip));
+        assert_eq!(
+            error_count(&diags),
+            0,
+            "refusing to publish: schedule errors at {}x{}:\n{}",
+            f.chips,
+            f.shards,
+            render_all(&diags)
+        );
+    }
+    verified
+}
+
+/// The 1-chip/1-shard/1-job anchor: the fleet simulator degenerates to
+/// the single-chip simulator on the `BENCH_SIM.json` reference workload.
+/// Returns `(fleet_makespan, simulator_cycles)`; the caller asserts them
+/// equal.
+fn anchor() -> (u64, u64) {
+    let inst = Plonky2Instance::new(1 << 12, 135);
+    let chip = ChipConfig::default_chip();
+    let sim_cycles = Simulator::new(chip).run(&compile_plonky2(&inst)).total_cycles;
+    let plan = ShardPlan::new(inst, 1).expect("anchor plan");
+    let stream = StreamSpec { jobs: 1, batch: 1, interarrival_cycles: 0, seed: 0 };
+    let report = FleetSim::new(FleetConfig::with_chips(1)).run(&plan, &stream);
+    (report.makespan_cycles, sim_cycles)
+}
+
+/// Verifies, sweeps, anchors, and assembles the artifact. Panics (writing
+/// nothing) on any verifier error or anchor mismatch.
+fn build_artifact(spec: &SweepSpec, jobs: usize) -> Json {
+    let verified = verify_schedules(spec);
+    println!("verifier: {verified} schedules clean");
+
+    let (fleet_makespan, sim_cycles) = anchor();
+    assert_eq!(
+        fleet_makespan, sim_cycles,
+        "refusing to publish: 1-chip/1-shard fleet run diverged from the simulator"
+    );
+    println!("anchor: 1-chip/1-shard makespan = simulator cycles = {sim_cycles}");
+
+    let opts = SweepOptions { jobs, cache_dir: None, fresh: false };
+    let result = run_sweep(spec, &opts).expect("fleet sweep runs");
+
+    Json::obj([
+        ("schema", Json::str(FLEET_SCHEMA)),
+        ("spec", spec.to_json()),
+        ("deterministic", Json::Bool(true)),
+        (
+            "anchor",
+            Json::obj([
+                ("workload", Json::str("plonky2_4096x135")),
+                ("fleet_makespan_cycles", Json::from(fleet_makespan)),
+                ("simulator_cycles", Json::from(sim_cycles)),
+            ]),
+        ),
+        ("verified_schedules", Json::from(verified)),
+        ("num_points", Json::from(result.points.len())),
+        ("points", Json::arr(result.points.iter().map(PointResult::to_json))),
+        ("pareto", Json::arr(result.pareto.iter().map(|&i| Json::from(i)))),
+    ])
+}
+
+/// Prints the chips × bandwidth throughput surface (best shards/batch
+/// cell per pair).
+fn print_surface(artifact: &Json) {
+    let points = arr_field(artifact, "points", "BENCH_FLEET");
+    // (chips, channels) -> best proofs/s across the shards × batch cells.
+    let mut best: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for p in &points {
+        let fleet = Json::Obj(obj_field(p, "fleet", "point"));
+        let chip = Json::Obj(obj_field(p, "chip", "point"));
+        let key = (
+            u64_field(&fleet, "chips", "fleet"),
+            u64_field(&chip, "hbm_channels", "chip"),
+        );
+        let tput = f64_field(&fleet, "throughput_proofs_per_sec", "fleet");
+        let cell = best.entry(key).or_insert(0.0);
+        if tput > *cell {
+            *cell = tput;
+        }
+    }
+    let mut channels: Vec<u64> = best.keys().map(|&(_, ch)| ch).collect();
+    channels.sort_unstable();
+    channels.dedup();
+    let mut chips: Vec<u64> = best.keys().map(|&(c, _)| c).collect();
+    chips.sort_unstable();
+    chips.dedup();
+
+    let mut headers = vec!["chips".to_string()];
+    headers.extend(channels.iter().map(|ch| format!("{ch} ch (proofs/s)")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = chips
+        .iter()
+        .map(|&c| {
+            let mut row = vec![c.to_string()];
+            row.extend(channels.iter().map(|&ch| {
+                best.get(&(c, ch)).map_or("-".to_string(), |t| format!("{t:.2}"))
+            }));
+            row
+        })
+        .collect();
+    println!("\nthroughput surface (best shards/batch per cell):");
+    print!("{}", table(&header_refs, &rows));
+}
+
+/// Validates the artifact against the EXPERIMENTS.md Part 4 schema.
+fn self_check(artifact: &Json) {
+    let ctx = "BENCH_FLEET";
+    assert_eq!(str_field(artifact, "schema", ctx), FLEET_SCHEMA);
+    assert_eq!(artifact.get("deterministic"), Some(&Json::Bool(true)));
+
+    let anchor = Json::Obj(obj_field(artifact, "anchor", ctx));
+    assert_eq!(str_field(&anchor, "workload", ctx), "plonky2_4096x135");
+    assert_eq!(
+        u64_field(&anchor, "fleet_makespan_cycles", ctx),
+        u64_field(&anchor, "simulator_cycles", ctx),
+        "anchor: fleet and simulator cycles must be identical"
+    );
+
+    assert!(u64_field(artifact, "verified_schedules", ctx) > 0);
+    let points = arr_field(artifact, "points", ctx);
+    assert_eq!(
+        u64_field(artifact, "num_points", ctx),
+        points.len() as u64,
+        "num_points must count the points array"
+    );
+
+    let mut chips_seen = Vec::new();
+    let mut channels_seen = Vec::new();
+    let mut batches_seen = Vec::new();
+    for p in &points {
+        let chip = Json::Obj(obj_field(p, "chip", ctx));
+        channels_seen.push(u64_field(&chip, "hbm_channels", ctx));
+        let fleet = Json::Obj(obj_field(p, "fleet", ctx));
+        chips_seen.push(u64_field(&fleet, "chips", ctx));
+        batches_seen.push(u64_field(&fleet, "batch", ctx));
+
+        let shard = u64_field(&fleet, "shard_cycles", ctx);
+        let agg = u64_field(&fleet, "agg_cycles", ctx);
+        let transfer = u64_field(&fleet, "transfer_cycles", ctx);
+        let makespan = u64_field(&fleet, "makespan_cycles", ctx);
+        assert!(shard > 0, "shard proofs take cycles");
+        assert!(makespan >= shard + agg + transfer, "makespan bounds one job");
+        assert_eq!(makespan, u64_field(p, "total_cycles", ctx));
+        if u64_field(&fleet, "shards", ctx) > 1 {
+            assert!(transfer > 0, "sharding must charge the interconnect");
+            assert!(u64_field(&fleet, "payload_bytes", ctx) > 0);
+        } else {
+            assert_eq!(transfer, 0);
+            assert_eq!(agg, 0);
+        }
+        assert!(f64_field(&fleet, "throughput_proofs_per_sec", ctx) > 0.0);
+        for axis in ["utilization_mean", "utilization_min", "utilization_max"] {
+            let u = f64_field(&fleet, axis, ctx);
+            assert!((0.0..=1.0).contains(&u), "{axis} out of range: {u}");
+        }
+        for axis in ["sojourn", "service"] {
+            let p50 = u64_field(&fleet, &format!("{axis}_p50_cycles"), ctx);
+            let p95 = u64_field(&fleet, &format!("{axis}_p95_cycles"), ctx);
+            let p99 = u64_field(&fleet, &format!("{axis}_p99_cycles"), ctx);
+            assert!(p50 <= p95 && p95 <= p99, "{axis} percentiles not monotone");
+        }
+    }
+    for seen in [&mut chips_seen, &mut channels_seen, &mut batches_seen] {
+        seen.sort_unstable();
+        seen.dedup();
+    }
+    assert!(chips_seen.len() >= 2, "need at least two chip counts");
+    assert!(!channels_seen.is_empty(), "need a bandwidth axis");
+    assert!(!batches_seen.is_empty(), "need a batch axis");
+}
+
+/// Diffs two fleet artifacts: the anchor and every per-point makespan are
+/// gated on exact equality (the whole artifact is deterministic);
+/// throughput deltas are printed per matching point.
+fn compare(old_path: &str, new_path: &str) {
+    let old = load(old_path);
+    let new = load(new_path);
+    for (artifact, path) in [(&old, old_path), (&new, new_path)] {
+        assert_eq!(
+            str_field(artifact, "schema", path),
+            FLEET_SCHEMA,
+            "{path}: not a fleet artifact"
+        );
+    }
+    self_check(&new);
+
+    let anchor_of = |artifact: &Json, path: &str| {
+        let a = Json::Obj(obj_field(artifact, "anchor", path));
+        u64_field(&a, "simulator_cycles", path)
+    };
+    let (a_old, a_new) = (anchor_of(&old, old_path), anchor_of(&new, new_path));
+    if a_old != a_new {
+        eprintln!("error: anchor drifted: {a_old} -> {a_new} cycles");
+        std::process::exit(1);
+    }
+
+    // Per-point surface, keyed by the fleet axes + bandwidth.
+    let surface = |artifact: &Json, path: &str| -> BTreeMap<String, (u64, f64)> {
+        arr_field(artifact, "points", path)
+            .iter()
+            .map(|p| {
+                let fleet = Json::Obj(obj_field(p, "fleet", path));
+                let chip = Json::Obj(obj_field(p, "chip", path));
+                let key = format!(
+                    "chips={} shards={} batch={} ch={}",
+                    u64_field(&fleet, "chips", path),
+                    u64_field(&fleet, "shards", path),
+                    u64_field(&fleet, "batch", path),
+                    u64_field(&chip, "hbm_channels", path),
+                );
+                let makespan = u64_field(&fleet, "makespan_cycles", path);
+                let tput = f64_field(&fleet, "throughput_proofs_per_sec", path);
+                (key, (makespan, tput))
+            })
+            .collect()
+    };
+    let olds = surface(&old, old_path);
+    let news = surface(&new, new_path);
+    let mut drift = false;
+    let mut keys: Vec<&String> = olds.keys().chain(news.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        match (olds.get(key), news.get(key)) {
+            (Some((m_old, t_old)), Some((m_new, t_new))) => {
+                if m_old != m_new {
+                    println!("makespan drift: {key}: {m_old} -> {m_new} cycles");
+                    drift = true;
+                } else if t_old != t_new {
+                    println!("throughput drift: {key}: {t_old:.3} -> {t_new:.3} proofs/s");
+                    drift = true;
+                }
+            }
+            (a, b) => {
+                println!(
+                    "point set drift: {key}: {} -> {}",
+                    if a.is_some() { "present" } else { "absent" },
+                    if b.is_some() { "present" } else { "absent" },
+                );
+                drift = true;
+            }
+        }
+    }
+    if drift {
+        eprintln!("error: fleet surface drifted (see above)");
+        std::process::exit(1);
+    }
+    println!("fleet surface: {} points identical", news.len());
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}

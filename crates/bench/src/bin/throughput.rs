@@ -27,6 +27,7 @@ use unizk_explore::hash::fnv1a64;
 use unizk_serve::{Job, Pipeline, PipelineConfig, PipelineReport, PoolMode, TrafficSpec};
 use unizk_testkit::json::access::{arr_field, f64_field, obj_field, str_field, u64_field};
 use unizk_testkit::json::{parse, Json};
+use unizk_testkit::stats::PercentileSummary;
 
 /// Schema identifier embedded in (and required of) the artifact.
 const THROUGHPUT_SCHEMA: &str = "unizk-bench-throughput/1";
@@ -246,11 +247,14 @@ fn verify_identity(
 }
 
 fn run_json(config: &PipelineConfig, report: &PipelineReport) -> Json {
-    let latency = |percentile: &dyn Fn(u32) -> u64| {
+    // Both axes go through the shared testkit summary so this artifact,
+    // the serve accessors, and the fleet report agree on the estimator.
+    let latency = |values: &dyn Fn() -> Vec<u64>| {
+        let s = PercentileSummary::from_values(values().into_iter());
         Json::obj([
-            ("p50_ns", Json::from(percentile(50))),
-            ("p95_ns", Json::from(percentile(95))),
-            ("p99_ns", Json::from(percentile(99))),
+            ("p50_ns", Json::from(s.p50)),
+            ("p95_ns", Json::from(s.p95)),
+            ("p99_ns", Json::from(s.p99)),
         ])
     };
     let pool_json = report.pool_stats().map_or(Json::Null, |s| {
@@ -288,8 +292,14 @@ fn run_json(config: &PipelineConfig, report: &PipelineReport) -> Json {
         (
             "latency_ns",
             Json::obj([
-                ("sojourn", latency(&|p| report.sojourn_percentile_ns(p))),
-                ("service", latency(&|p| report.service_percentile_ns(p))),
+                (
+                    "sojourn",
+                    latency(&|| report.results.iter().map(|r| r.sojourn_ns).collect()),
+                ),
+                (
+                    "service",
+                    latency(&|| report.results.iter().map(|r| r.service_ns).collect()),
+                ),
             ]),
         ),
         (

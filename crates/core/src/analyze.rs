@@ -31,11 +31,17 @@
 //! | R03 | `transpose-not-hidden` | warning | §7.1: the zero-cost transpose assumption needs a neighbouring kernel at least as long |
 //! | R04 | `ntt-exceeds-two-adicity` | error | §5.1: the twiddle generator cannot synthesize ω for `2^log_n` beyond the Goldilocks two-adicity (32) |
 //! | L01 | `buffer-held-past-last-read` | warning | a value read ≫ later than it is produced parks an HBM-resident vector across many phases |
+//! | M01 | `shard-schedule-divergent` | error | sharded proving splits one trace into identical sub-problems; shard schedules must be structurally identical |
+//! | M02 | `aggregation-arity-mismatch` | error | the aggregation schedule must absorb exactly one payload per shard (and exist iff there is more than one shard) |
+//! | M03 | `interconnect-payload-missing` | warning | multi-shard plans that declare zero inter-chip payload bytes leave the interconnect unmodeled |
 //!
-//! Entry point: [`check`]. The simulator calls it under
+//! Entry point: [`check`] for a single chip's graph; [`check_multi`] adds
+//! the M-rules over a [`MultiChipSchedule`] (every member graph still goes
+//! through [`check`] individually). The simulator calls [`check`] under
 //! `debug_assertions`, so every test run verifies every graph it executes
 //! for free; the `unizk-analyze` crate wraps it in a `lint` CLI that gates
-//! CI and bench artifacts.
+//! CI and bench artifacts, and the fleet simulator asserts
+//! [`assert_multi_verified`] on every plan it runs in debug builds.
 
 use unizk_dram::MemoryModel;
 
@@ -105,11 +111,20 @@ pub enum Rule {
     NttExceedsTwoAdicity,
     /// L01: a producer's output is held far past the rest of its uses.
     BufferHeldPastLastRead,
+    /// M01: a shard's schedule diverges structurally from shard 0's —
+    /// sharded proving splits one trace into identical sub-problems.
+    ShardScheduleDivergent,
+    /// M02: the aggregation schedule's absorb arity disagrees with the
+    /// shard count (or the stage is present/absent when it must not be).
+    AggregationArityMismatch,
+    /// M03: a multi-shard plan declares zero inter-chip payload bytes, so
+    /// the interconnect model charges nothing for aggregation traffic.
+    InterconnectPayloadMissing,
 }
 
 impl Rule {
     /// Every rule, in catalog (and diagnostic-emission) order.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 19] = [
         Rule::DepOutOfRange,
         Rule::DepNotTopological,
         Rule::DepDuplicate,
@@ -126,6 +141,9 @@ impl Rule {
         Rule::TransposeNotHidden,
         Rule::NttExceedsTwoAdicity,
         Rule::BufferHeldPastLastRead,
+        Rule::ShardScheduleDivergent,
+        Rule::AggregationArityMismatch,
+        Rule::InterconnectPayloadMissing,
     ];
 
     /// Stable short identifier (`S01`, `D03`, …).
@@ -147,6 +165,9 @@ impl Rule {
             Rule::TransposeNotHidden => "R03",
             Rule::NttExceedsTwoAdicity => "R04",
             Rule::BufferHeldPastLastRead => "L01",
+            Rule::ShardScheduleDivergent => "M01",
+            Rule::AggregationArityMismatch => "M02",
+            Rule::InterconnectPayloadMissing => "M03",
         }
     }
 
@@ -169,6 +190,9 @@ impl Rule {
             Rule::TransposeNotHidden => "transpose-not-hidden",
             Rule::NttExceedsTwoAdicity => "ntt-exceeds-two-adicity",
             Rule::BufferHeldPastLastRead => "buffer-held-past-last-read",
+            Rule::ShardScheduleDivergent => "shard-schedule-divergent",
+            Rule::AggregationArityMismatch => "aggregation-arity-mismatch",
+            Rule::InterconnectPayloadMissing => "interconnect-payload-missing",
         }
     }
 
@@ -178,7 +202,8 @@ impl Rule {
             Rule::EmptyKernel
             | Rule::ScratchpadOvercommit
             | Rule::TransposeNotHidden
-            | Rule::BufferHeldPastLastRead => Severity::Warning,
+            | Rule::BufferHeldPastLastRead
+            | Rule::InterconnectPayloadMissing => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -221,6 +246,18 @@ impl Rule {
             }
             Rule::BufferHeldPastLastRead => {
                 "a long producer-to-last-consumer range parks an HBM vector across many phases"
+            }
+            Rule::ShardScheduleDivergent => {
+                "sharded proving splits one trace into identical sub-problems; shard schedules \
+                 must be structurally identical"
+            }
+            Rule::AggregationArityMismatch => {
+                "the aggregation schedule must absorb exactly one payload per shard, and exists \
+                 exactly when there is more than one shard"
+            }
+            Rule::InterconnectPayloadMissing => {
+                "a multi-shard plan with zero declared payload bytes leaves the interconnect \
+                 unmodeled"
             }
         }
     }
@@ -564,6 +601,160 @@ pub fn check(graph: &Graph, chip: &ChipConfig) -> Vec<Diagnostic> {
     diags
 }
 
+/// A multi-chip proving plan: `shards` per-shard schedules (one chip
+/// each) plus the aggregation schedule that absorbs their payloads, as
+/// produced by the fleet simulator's shard planner.
+///
+/// The M-rules verify the *relationship* between the member graphs; each
+/// member graph is still a single-chip schedule that must pass [`check`]
+/// on its own.
+#[derive(Clone, Debug)]
+pub struct MultiChipSchedule<'a> {
+    /// One compiled schedule per shard, in shard order.
+    pub shards: Vec<&'a Graph>,
+    /// The aggregation schedule (absorb every shard payload, prove the
+    /// aggregate). `None` for the degenerate single-shard plan, where the
+    /// shard proof *is* the proof.
+    pub aggregation: Option<&'a Graph>,
+    /// Modeled bytes each shard ships to the aggregating chip (commitment
+    /// caps + opening proof). Charged against the interconnect model.
+    pub payload_bytes_per_shard: u64,
+}
+
+/// Verifies the cross-chip invariants of a [`MultiChipSchedule`] (rules
+/// M01–M03). Member graphs are **not** re-checked here — run [`check`] on
+/// each of them; the fleet simulator and the lint CLI both do.
+///
+/// Returned diagnostics anchor to shard indices (M01) or to no node
+/// (M02/M03, plan-level findings).
+pub fn check_multi(sched: &MultiChipSchedule<'_>, _chip: &ChipConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut push = |rule: Rule, node: Option<NodeId>, message: String| {
+        diags.push(Diagnostic {
+            rule,
+            severity: rule.severity(),
+            node,
+            message,
+        });
+    };
+
+    // M01: every shard proves a same-shape slice of one trace, so the
+    // compiled schedules must be node-for-node identical (kernels and
+    // dependency lists; labels are presentation and may differ).
+    if let Some((first, rest)) = sched.shards.split_first() {
+        for (i, shard) in rest.iter().enumerate() {
+            let idx = i + 1;
+            if shard.len() != first.len() {
+                push(
+                    Rule::ShardScheduleDivergent,
+                    Some(idx),
+                    format!(
+                        "shard {idx} schedules {} nodes but shard 0 schedules {}: shards must \
+                         prove identically-shaped sub-traces",
+                        shard.len(),
+                        first.len()
+                    ),
+                );
+                continue;
+            }
+            let divergent = first
+                .nodes()
+                .iter()
+                .zip(shard.nodes())
+                .position(|(a, b)| a.kernel != b.kernel || a.deps != b.deps);
+            if let Some(n) = divergent {
+                push(
+                    Rule::ShardScheduleDivergent,
+                    Some(idx),
+                    format!(
+                        "shard {idx} diverges from shard 0 at node {n} ({}): shards must prove \
+                         identically-shaped sub-traces",
+                        first.nodes()[n].label
+                    ),
+                );
+            }
+        }
+    }
+
+    // M02: the aggregation stage exists iff the plan actually shards, and
+    // absorbs exactly one payload per shard. Payload absorbs are the
+    // aggregation graph's source nodes (empty dependency lists): each
+    // shard's bytes arrive independently over the interconnect.
+    let shards = sched.shards.len();
+    match sched.aggregation {
+        None if shards > 1 => push(
+            Rule::AggregationArityMismatch,
+            None,
+            format!("{shards} shard proofs but no aggregation schedule to combine them"),
+        ),
+        Some(_) if shards <= 1 => push(
+            Rule::AggregationArityMismatch,
+            None,
+            format!(
+                "aggregation schedule present for a {shards}-shard plan: a single shard's proof \
+                 is already the proof"
+            ),
+        ),
+        Some(agg) => {
+            let absorbs = agg.nodes().iter().filter(|n| n.deps.is_empty()).count();
+            if absorbs != shards {
+                push(
+                    Rule::AggregationArityMismatch,
+                    None,
+                    format!(
+                        "aggregation schedule has {absorbs} payload absorb(s) (source nodes) \
+                         for {shards} shard(s)"
+                    ),
+                );
+            }
+        }
+        None => {}
+    }
+
+    // M03: a multi-shard plan that ships zero bytes per shard makes the
+    // interconnect free — almost certainly an unmodeled cost, not a real
+    // design point.
+    if shards > 1 && sched.payload_bytes_per_shard == 0 {
+        push(
+            Rule::InterconnectPayloadMissing,
+            None,
+            format!(
+                "{shards}-shard plan declares 0 payload bytes per shard: aggregation traffic \
+                 is not charged against the interconnect"
+            ),
+        );
+    }
+
+    diags
+}
+
+/// Panics with the rendered error list if the plan fails [`check_multi`]
+/// or any member graph fails [`check`] against `chip`. The fleet
+/// simulator calls this under `debug_assertions`.
+pub fn assert_multi_verified(sched: &MultiChipSchedule<'_>, chip: &ChipConfig) {
+    for (i, shard) in sched.shards.iter().enumerate() {
+        let diags = check(shard, chip);
+        let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+        assert!(
+            errors.is_empty(),
+            "shard {i} schedule failed static verification with {} error(s):\n{}",
+            errors.len(),
+            errors.iter().map(|d| d.render() + "\n").collect::<String>()
+        );
+    }
+    if let Some(agg) = sched.aggregation {
+        assert_verified(agg, chip);
+    }
+    let diags = check_multi(sched, chip);
+    let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+    assert!(
+        errors.is_empty(),
+        "multi-chip plan failed static verification with {} error(s):\n{}",
+        errors.len(),
+        errors.iter().map(|d| d.render() + "\n").collect::<String>()
+    );
+}
+
 /// Panics with the rendered error list if `graph` fails verification
 /// against `chip`. The simulator calls this under `debug_assertions`.
 pub fn assert_verified(graph: &Graph, chip: &ChipConfig) {
@@ -666,6 +857,124 @@ mod tests {
         assert_verified(&g, &chip()); // D07 is a warning
         assert_eq!(error_count(&check(&g, &chip())), 0);
         assert!(check(&g, &chip()).iter().any(|d| d.rule == Rule::EmptyKernel));
+    }
+
+    fn sponge_graph(absorbs: usize) -> Graph {
+        // `absorbs` source sponges feeding one combining sponge — the
+        // minimal aggregation-shaped graph.
+        let mut g = Graph::new();
+        let roots: Vec<NodeId> = (0..absorbs)
+            .map(|i| {
+                g.push(
+                    Kernel::Sponge { num_perms: 4, parallel: true },
+                    vec![],
+                    format!("absorb {i}"),
+                )
+            })
+            .collect();
+        g.push(Kernel::Sponge { num_perms: 2, parallel: false }, roots, "combine");
+        g
+    }
+
+    #[test]
+    fn identical_shards_pass_multi_check() {
+        let shard = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let agg = sponge_graph(2);
+        let sched = MultiChipSchedule {
+            shards: vec![&shard, &shard],
+            aggregation: Some(&agg),
+            payload_bytes_per_shard: 4096,
+        };
+        let diags = check_multi(&sched, &chip());
+        assert!(diags.is_empty(), "{}", render_all(&diags));
+        assert_multi_verified(&sched, &chip());
+    }
+
+    #[test]
+    fn divergent_shard_fires_m01() {
+        let a = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let b = compile_plonky2(&Plonky2Instance::new(1 << 11, 135));
+        let agg = sponge_graph(2);
+        let sched = MultiChipSchedule {
+            shards: vec![&a, &b],
+            aggregation: Some(&agg),
+            payload_bytes_per_shard: 4096,
+        };
+        let diags = check_multi(&sched, &chip());
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::ShardScheduleDivergent),
+            "{}",
+            render_all(&diags)
+        );
+    }
+
+    #[test]
+    fn aggregation_arity_fires_m02() {
+        let shard = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let chip = chip();
+
+        // Missing aggregation for a 2-shard plan.
+        let sched = MultiChipSchedule {
+            shards: vec![&shard, &shard],
+            aggregation: None,
+            payload_bytes_per_shard: 4096,
+        };
+        assert!(check_multi(&sched, &chip)
+            .iter()
+            .any(|d| d.rule == Rule::AggregationArityMismatch));
+
+        // Wrong absorb arity: 3 sources for 2 shards.
+        let agg = sponge_graph(3);
+        let sched = MultiChipSchedule {
+            shards: vec![&shard, &shard],
+            aggregation: Some(&agg),
+            payload_bytes_per_shard: 4096,
+        };
+        assert!(check_multi(&sched, &chip)
+            .iter()
+            .any(|d| d.rule == Rule::AggregationArityMismatch));
+
+        // Superfluous aggregation for a single-shard plan.
+        let agg1 = sponge_graph(1);
+        let sched = MultiChipSchedule {
+            shards: vec![&shard],
+            aggregation: Some(&agg1),
+            payload_bytes_per_shard: 0,
+        };
+        assert!(check_multi(&sched, &chip)
+            .iter()
+            .any(|d| d.rule == Rule::AggregationArityMismatch));
+    }
+
+    #[test]
+    fn zero_payload_warns_m03_but_verifies() {
+        let shard = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let agg = sponge_graph(2);
+        let sched = MultiChipSchedule {
+            shards: vec![&shard, &shard],
+            aggregation: Some(&agg),
+            payload_bytes_per_shard: 0,
+        };
+        let diags = check_multi(&sched, &chip());
+        let m03: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::InterconnectPayloadMissing)
+            .collect();
+        assert_eq!(m03.len(), 1);
+        assert!(!m03[0].is_error());
+        assert_multi_verified(&sched, &chip()); // warning only
+    }
+
+    #[test]
+    fn single_shard_plan_needs_no_aggregation() {
+        let shard = compile_plonky2(&Plonky2Instance::new(1 << 10, 135));
+        let sched = MultiChipSchedule {
+            shards: vec![&shard],
+            aggregation: None,
+            payload_bytes_per_shard: 0,
+        };
+        assert!(check_multi(&sched, &chip()).is_empty());
+        assert_multi_verified(&sched, &chip());
     }
 
     #[test]

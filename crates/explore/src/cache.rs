@@ -95,6 +95,7 @@ mod tests {
             app: App::Fibonacci,
             log_rows: 9,
             chunk_size: None,
+            fleet: None,
         }
         .run()
     }

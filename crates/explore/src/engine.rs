@@ -138,17 +138,21 @@ impl SweepResult {
 
     fn table_for(&self, indices: impl Iterator<Item = usize>) -> String {
         let headers = [
-            "#", "workload", "vsas", "dim", "spad MiB", "B", "pipe", "ch", "cycles", "time",
-            "area mm^2", "power W", "vs A100",
+            "#", "workload", "fleet", "vsas", "dim", "spad MiB", "B", "pipe", "ch", "cycles",
+            "time", "area mm^2", "power W", "vs A100",
         ];
         let rows: Vec<Vec<String>> = indices
             .map(|i| {
                 let p = &self.points[i];
                 let w = &p.workload;
                 let chunk = w.chunk_size.map_or(String::new(), |c| format!(" c{c}"));
+                let fleet = p.fleet.as_ref().map_or("-".to_string(), |f| {
+                    format!("{}c/{}s/b{}", f.chips, f.shards, f.batch)
+                });
                 vec![
                     i.to_string(),
                     format!("{} 2^{}{}", w.app, w.log_rows, chunk),
+                    fleet,
                     p.chip.num_vsas.to_string(),
                     p.chip.vsa_dim.to_string(),
                     (p.chip.scratchpad_bytes >> 20).to_string(),
@@ -228,6 +232,27 @@ mod tests {
         let r = run_sweep(&spec, &fresh).unwrap();
         assert_eq!(r.cache_hits, 0);
         assert_eq!(r.cache_misses, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_sweeps_cache_and_rank_like_any_other_points() {
+        let dir = tmp_cache("fleet");
+        let opts = SweepOptions { jobs: 2, cache_dir: Some(dir.clone()), fresh: false };
+        let spec = SweepSpec::new("engine-fleet")
+            .fleet_axes([1, 2], [1, 2], [1])
+            .workload(App::Fibonacci, Scale::Shrunk(7));
+
+        let cold = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(cold.points.len(), 4);
+        assert!(cold.points.iter().all(|p| p.fleet.is_some()));
+        let warm = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(warm.cache_hits, 4);
+        assert_eq!(
+            cold.to_json().to_string_pretty(),
+            warm.to_json().to_string_pretty()
+        );
+        assert!(cold.markdown().contains("2c/2s/b1"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

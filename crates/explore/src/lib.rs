@@ -12,7 +12,8 @@
 //!   on-disk [`cache`] keyed by a stable FNV-1a [`hash`] of the
 //!   (config, workload, schema version) triple, and extracts the
 //!   [`pareto`] frontier over (cycles, area, power).
-//! - [`point`] — the unit of work: one (chip, workload) pair, its cache
+//! - [`point`] — the unit of work: one (chip, workload) pair — optionally
+//!   lifted to a multi-chip fleet point via `unizk-fleet` — its cache
 //!   key, its simulation, and its GPU/PipeZK speedup columns.
 //! - The `sweep` binary — `cargo run -p unizk-explore --bin sweep --
 //!   --spec specs/smoke.json --jobs 4` — which writes the JSON artifact
@@ -48,5 +49,5 @@ pub mod spec;
 pub use cache::Cache;
 pub use engine::{run_sweep, SweepOptions, SweepResult, SWEEP_SCHEMA};
 pub use pareto::{dominates, frontier};
-pub use point::{PointResult, SweepPoint, POINT_SCHEMA};
-pub use spec::{SweepSpec, WorkloadSpec, SPEC_SCHEMA};
+pub use point::{FleetParams, FleetRow, PointResult, SweepPoint, POINT_SCHEMA};
+pub use spec::{FleetAxes, SweepSpec, WorkloadSpec, SPEC_SCHEMA};

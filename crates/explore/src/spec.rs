@@ -9,10 +9,11 @@
 
 use unizk_core::ChipConfig;
 use unizk_dram::HbmConfig;
+use unizk_fleet::MIN_SHARD_ROWS;
 use unizk_testkit::json::{parse, Json};
 use unizk_workloads::{App, Scale};
 
-use crate::point::SweepPoint;
+use crate::point::{FleetParams, SweepPoint};
 
 /// Schema identifier embedded in spec files.
 pub const SPEC_SCHEMA: &str = "unizk-explore-spec/1";
@@ -27,6 +28,40 @@ pub struct WorkloadSpec {
     pub scale: Scale,
     /// Optional `Plonky2Instance::chunk_size` override.
     pub chunk_size: Option<usize>,
+}
+
+/// Optional fleet axes: sweeping these turns every grid point into a
+/// multi-chip fleet simulation (`unizk-fleet`) instead of a single-proof
+/// cycle count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetAxes {
+    /// Chip-count axis.
+    pub chips: Vec<usize>,
+    /// Shards-per-job axis (powers of two).
+    pub shards: Vec<usize>,
+    /// Serving batch-size axis (jobs per arrival burst).
+    pub batch: Vec<usize>,
+}
+
+impl FleetAxes {
+    /// Single-chip, unsharded, batch-of-one defaults.
+    pub fn new() -> Self {
+        Self {
+            chips: vec![1],
+            shards: vec![1],
+            batch: vec![1],
+        }
+    }
+
+    fn num_points(&self) -> usize {
+        self.chips.len() * self.shards.len() * self.batch.len()
+    }
+}
+
+impl Default for FleetAxes {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A declarative sweep over chip, DRAM, and workload axes.
@@ -55,6 +90,9 @@ pub struct SweepSpec {
     pub channels: Vec<usize>,
     /// Workload entries (the outermost axis).
     pub workloads: Vec<WorkloadSpec>,
+    /// Optional fleet axes (chips × shards × batch). `None` keeps the
+    /// sweep a classic single-chip grid.
+    pub fleet: Option<FleetAxes>,
 }
 
 impl SweepSpec {
@@ -71,6 +109,7 @@ impl SweepSpec {
             ntt_pipeline_log2: vec![chip.ntt_pipeline_log2],
             channels: vec![chip.hbm.channels],
             workloads: Vec::new(),
+            fleet: None,
         }
     }
 
@@ -120,6 +159,22 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the fleet axes (chip count × shards per job × batch size),
+    /// turning every grid point into a multi-chip fleet simulation.
+    pub fn fleet_axes(
+        mut self,
+        chips: impl IntoIterator<Item = usize>,
+        shards: impl IntoIterator<Item = usize>,
+        batch: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        self.fleet = Some(FleetAxes {
+            chips: chips.into_iter().collect(),
+            shards: shards.into_iter().collect(),
+            batch: batch.into_iter().collect(),
+        });
+        self
+    }
+
     /// Appends a workload entry.
     pub fn workload(mut self, app: App, scale: Scale) -> Self {
         self.workloads.push(WorkloadSpec { app, scale, chunk_size: None });
@@ -135,6 +190,7 @@ impl SweepSpec {
     /// The number of grid points this spec enumerates.
     pub fn num_points(&self) -> usize {
         self.workloads.len()
+            * self.fleet.as_ref().map_or(1, FleetAxes::num_points)
             * self.num_vsas.len()
             * self.vsa_dim.len()
             * self.scratchpad_mb.len()
@@ -150,43 +206,106 @@ impl SweepSpec {
         if self.workloads.is_empty() {
             return Err(format!("spec {:?}: no workloads given", self.name));
         }
+        let fleet_grid = self.fleet_grid()?;
         let mut points = Vec::with_capacity(self.num_points());
         for w in &self.workloads {
-            for &num_vsas in &self.num_vsas {
-                for &vsa_dim in &self.vsa_dim {
-                    for &mb in &self.scratchpad_mb {
-                        for &transpose_b in &self.transpose_b {
-                            for &pipe in &self.ntt_pipeline_log2 {
-                                for &channels in &self.channels {
-                                    let chip = ChipConfig {
-                                        num_vsas,
-                                        vsa_dim,
-                                        scratchpad_bytes: mb << 20,
-                                        transpose_b,
-                                        ntt_pipeline_log2: pipe,
-                                        freq_ghz: 1.0,
-                                        hbm: HbmConfig {
-                                            channels,
-                                            ..HbmConfig::hbm2e_two_stacks()
-                                        },
-                                    };
-                                    chip.validate().map_err(|e| {
-                                        format!("spec {:?}, point {}: {e}", self.name, points.len())
-                                    })?;
-                                    points.push(SweepPoint {
-                                        chip,
-                                        app: w.app,
-                                        log_rows: w.app.log_rows(w.scale),
-                                        chunk_size: w.chunk_size,
-                                    });
-                                }
+            for fleet in &fleet_grid {
+                if let Some(f) = fleet {
+                    let rows = 1usize << w.app.log_rows(w.scale);
+                    if rows / f.shards < MIN_SHARD_ROWS {
+                        return Err(format!(
+                            "spec {:?}: fleet.shards: {rows} rows / {} shards leaves fewer than \
+                             {MIN_SHARD_ROWS} rows per shard",
+                            self.name, f.shards
+                        ));
+                    }
+                }
+                self.enumerate_chip_axes(w, fleet.as_ref(), &mut points)?;
+            }
+        }
+        Ok(points)
+    }
+
+    /// The inner chip/DRAM loops of [`SweepSpec::enumerate`], run once
+    /// per (workload, fleet-combination) pair.
+    fn enumerate_chip_axes(
+        &self,
+        w: &WorkloadSpec,
+        fleet: Option<&FleetParams>,
+        points: &mut Vec<SweepPoint>,
+    ) -> Result<(), String> {
+        for &num_vsas in &self.num_vsas {
+            for &vsa_dim in &self.vsa_dim {
+                for &mb in &self.scratchpad_mb {
+                    for &transpose_b in &self.transpose_b {
+                        for &pipe in &self.ntt_pipeline_log2 {
+                            for &channels in &self.channels {
+                                let chip = ChipConfig {
+                                    num_vsas,
+                                    vsa_dim,
+                                    scratchpad_bytes: mb << 20,
+                                    transpose_b,
+                                    ntt_pipeline_log2: pipe,
+                                    freq_ghz: 1.0,
+                                    hbm: HbmConfig {
+                                        channels,
+                                        ..HbmConfig::hbm2e_two_stacks()
+                                    },
+                                };
+                                chip.validate().map_err(|e| {
+                                    format!("spec {:?}, point {}: {e}", self.name, points.len())
+                                })?;
+                                points.push(SweepPoint {
+                                    chip,
+                                    app: w.app,
+                                    log_rows: w.app.log_rows(w.scale),
+                                    chunk_size: w.chunk_size,
+                                    fleet: fleet.cloned(),
+                                });
                             }
                         }
                     }
                 }
             }
         }
-        Ok(points)
+        Ok(())
+    }
+
+    /// Expands the fleet axes into per-point parameter combinations
+    /// (chips outermost, batch innermost); a fleet-less spec yields the
+    /// single `None` combination. Axis values are validated here so a bad
+    /// fleet axis fails with its name before any simulation starts.
+    fn fleet_grid(&self) -> Result<Vec<Option<FleetParams>>, String> {
+        let Some(f) = &self.fleet else {
+            return Ok(vec![None]);
+        };
+        if f.chips.is_empty() || f.shards.is_empty() || f.batch.is_empty() {
+            return Err(format!("spec {:?}: fleet axes must be non-empty", self.name));
+        }
+        let mut grid = Vec::with_capacity(f.num_points());
+        for &chips in &f.chips {
+            if chips == 0 {
+                return Err(format!("spec {:?}: fleet.chips: need at least one chip", self.name));
+            }
+            for &shards in &f.shards {
+                if !shards.is_power_of_two() {
+                    return Err(format!(
+                        "spec {:?}: fleet.shards: must be a power of two, got {shards}",
+                        self.name
+                    ));
+                }
+                for &batch in &f.batch {
+                    if batch == 0 {
+                        return Err(format!(
+                            "spec {:?}: fleet.batch: need at least one job per burst",
+                            self.name
+                        ));
+                    }
+                    grid.push(Some(FleetParams { chips, shards, batch }));
+                }
+            }
+        }
+        Ok(grid)
     }
 
     /// Canonical JSON form (all axes explicit, bandwidth resolved to
@@ -203,7 +322,7 @@ impl SweepSpec {
             }
             Json::Obj(obj)
         });
-        Json::obj([
+        let mut out = Json::obj([
             ("schema", Json::str(SPEC_SCHEMA)),
             ("name", Json::str(self.name.clone())),
             (
@@ -218,7 +337,19 @@ impl SweepSpec {
             ),
             ("dram", Json::obj([("channels", axis(&self.channels))])),
             ("workloads", Json::arr(workloads)),
-        ])
+        ]);
+        if let Some(f) = &self.fleet {
+            let Json::Obj(pairs) = &mut out else { unreachable!() };
+            pairs.push((
+                "fleet".to_string(),
+                Json::obj([
+                    ("chips", axis(&f.chips)),
+                    ("shards", axis(&f.shards)),
+                    ("batch", axis(&f.batch)),
+                ]),
+            ));
+        }
+        out
     }
 
     /// Parses a spec from its JSON form. Unknown keys are rejected so a
@@ -239,6 +370,7 @@ impl SweepSpec {
                 }
                 "chip" => parse_chip_axes(val, &mut spec)?,
                 "dram" => parse_dram_axes(val, &mut spec)?,
+                "fleet" => parse_fleet_axes(val, &mut spec)?,
                 "workloads" => {
                     let items = val.as_arr().ok_or("spec: workloads must be an array")?;
                     for item in items {
@@ -333,6 +465,21 @@ fn parse_dram_axes(val: &Json, spec: &mut SweepSpec) -> Result<(), String> {
             other => return Err(format!("spec: unknown dram axis {other:?}")),
         }
     }
+    Ok(())
+}
+
+fn parse_fleet_axes(val: &Json, spec: &mut SweepSpec) -> Result<(), String> {
+    let pairs = val.as_obj().ok_or("spec: fleet must be an object")?;
+    let mut axes = FleetAxes::new();
+    for (key, axis) in pairs {
+        match key.as_str() {
+            "chips" => axes.chips = usize_axis(axis, "fleet.chips")?,
+            "shards" => axes.shards = usize_axis(axis, "fleet.shards")?,
+            "batch" => axes.batch = usize_axis(axis, "fleet.batch")?,
+            other => return Err(format!("spec: unknown fleet axis {other:?}")),
+        }
+    }
+    spec.fleet = Some(axes);
     Ok(())
 }
 
@@ -443,6 +590,68 @@ mod tests {
     fn empty_workloads_fail_at_enumeration() {
         let err = SweepSpec::new("empty").enumerate().unwrap_err();
         assert!(err.contains("no workloads"));
+    }
+
+    fn fleet_spec() -> SweepSpec {
+        SweepSpec::new("fleet")
+            .bandwidth_scales([(1, 2), (1, 1)])
+            .fleet_axes([1, 2], [1, 2], [1, 2])
+            .workload(App::Fibonacci, Scale::Shrunk(6))
+    }
+
+    #[test]
+    fn fleet_axes_multiply_the_grid_and_nest_outside_chip_axes() {
+        let spec = fleet_spec();
+        assert_eq!(spec.num_points(), 8 * 2);
+        let points = spec.enumerate().unwrap();
+        assert_eq!(points.len(), 16);
+        // Fleet combos sit between the workload and chip axes: batch is
+        // the innermost fleet axis, channels stays innermost overall.
+        let f = points[0].fleet.clone().unwrap();
+        assert_eq!((f.chips, f.shards, f.batch), (1, 1, 1));
+        assert_eq!(points[0].chip.hbm.channels, 16);
+        assert_eq!(points[1].chip.hbm.channels, 32);
+        let f = points[2].fleet.clone().unwrap();
+        assert_eq!((f.chips, f.shards, f.batch), (1, 1, 2));
+        let f = points[14].fleet.clone().unwrap();
+        assert_eq!((f.chips, f.shards, f.batch), (2, 2, 2));
+    }
+
+    #[test]
+    fn fleet_specs_round_trip_and_reject_unknown_axes() {
+        let spec = fleet_spec();
+        let back = SweepSpec::from_json_text(&spec.to_json().to_string_pretty()).unwrap();
+        assert_eq!(back, spec);
+        assert!(SweepSpec::from_json_text(
+            r#"{"name":"x","fleet":{"chip_count":[1]},"workloads":[{"app":"mvm"}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_axes_validate_at_enumeration() {
+        // Shrunk(6) fibonacci proves 2^10 rows; 8 shards would leave 128
+        // rows per shard, under MIN_SHARD_ROWS.
+        let err = SweepSpec::new("tiny")
+            .fleet_axes([1], [8], [1])
+            .workload(App::Fibonacci, Scale::Shrunk(6))
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("fleet.shards"), "{err}");
+
+        let err = SweepSpec::new("odd")
+            .fleet_axes([1], [3], [1])
+            .workload(App::Fibonacci, Scale::Shrunk(6))
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("power of two"), "{err}");
+
+        let err = SweepSpec::new("none")
+            .fleet_axes([0], [1], [1])
+            .workload(App::Fibonacci, Scale::Shrunk(6))
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("fleet.chips"), "{err}");
     }
 
     #[test]

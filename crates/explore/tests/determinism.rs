@@ -19,6 +19,13 @@ fn grid_spec() -> SweepSpec {
         .workload_with_chunk(App::Fibonacci, Scale::Shrunk(6), 3)
 }
 
+fn fleet_spec() -> SweepSpec {
+    SweepSpec::new("fleet-determinism")
+        .bandwidth_scales([(1, 2), (1, 1)])
+        .fleet_axes([1, 2], [1, 2], [1, 2])
+        .workload(App::Fibonacci, Scale::Shrunk(6))
+}
+
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "unizk-explore-determinism-{tag}-{}",
@@ -58,6 +65,35 @@ fn cached_rerun_is_all_hits_and_byte_identical() {
         cold.to_json().to_string_pretty(),
         warm.to_json().to_string_pretty(),
         "a fully-cached sweep must emit the same bytes as the cold run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fleet points inherit the same contract: the queueing simulation is a
+/// pure function of the spec, so worker count and cache temperature must
+/// not change a byte of a fleet sweep's artifact either.
+#[test]
+fn fleet_artifact_is_independent_of_workers_and_cache_state() {
+    let spec = fleet_spec();
+    let serial = run_sweep(&spec, &SweepOptions { jobs: 1, ..Default::default() }).unwrap();
+    let parallel = run_sweep(&spec, &SweepOptions { jobs: 8, ..Default::default() }).unwrap();
+    let serial_bytes = serial.to_json().to_string_pretty();
+    assert_eq!(
+        serial_bytes,
+        parallel.to_json().to_string_pretty(),
+        "1-thread and 8-thread fleet sweeps must emit byte-identical artifacts"
+    );
+
+    let dir = tmp_dir("fleet-cache");
+    let opts = SweepOptions { jobs: 4, cache_dir: Some(dir.clone()), fresh: false };
+    let cold = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(cold.cache_misses, spec.num_points());
+    let warm = run_sweep(&spec, &opts).unwrap();
+    assert_eq!(warm.cache_hits, spec.num_points(), "every fleet point must hit");
+    assert_eq!(
+        serial_bytes,
+        warm.to_json().to_string_pretty(),
+        "a fully-cached fleet sweep must emit the same bytes as the uncached run"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,138 @@
+//! Fleet-level hardware configuration: how many chips, what each chip
+//! looks like, how deep the dispatch queue is, and what the inter-chip
+//! interconnect can move.
+
+use unizk_core::arch::ChipConfig;
+
+/// The modeled chip-to-chip interconnect used by the aggregation stage.
+///
+/// Shard payloads (commitment caps + opening proofs) travel from the
+/// shard chips to the aggregating chip over a shared serial link. The
+/// model is first-order: a fixed per-transfer latency plus a bandwidth
+/// term, both in cycles of the fleet's common clock. The defaults are in
+/// the NVLink/PCIe-gen5 class relative to a 1 GHz chip clock: 64 B/cycle
+/// (~64 GB/s effective) and a 600-cycle (~0.6 µs) hop latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterconnectConfig {
+    /// Payload bytes the link accepts per chip cycle.
+    pub link_bytes_per_cycle: u64,
+    /// Fixed latency, in cycles, charged once per aggregation transfer.
+    pub link_latency_cycles: u64,
+}
+
+impl InterconnectConfig {
+    /// The default fleet interconnect (see the type-level docs).
+    pub fn default_link() -> Self {
+        Self {
+            link_bytes_per_cycle: 64,
+            link_latency_cycles: 600,
+        }
+    }
+
+    /// Checks the configuration, naming the offending axis in the error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.link_bytes_per_cycle == 0 {
+            return Err("interconnect.link_bytes_per_cycle: must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Cycles to ship `bytes` over the link: latency + serialization.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.link_latency_cycles + bytes.div_ceil(self.link_bytes_per_cycle)
+    }
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        Self::default_link()
+    }
+}
+
+/// A homogeneous fleet of `chips` UniZK chips behind one bounded
+/// dispatch queue, joined by an [`InterconnectConfig`].
+///
+/// Every chip runs the same [`ChipConfig`] at the same clock, so all
+/// fleet times are integer cycles of that common clock and the whole
+/// simulation is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Number of chips.
+    pub chips: usize,
+    /// The per-chip configuration (identical across the fleet).
+    pub chip: ChipConfig,
+    /// Bound of the central dispatch queue; arrived work waits outside
+    /// the queue until a slot frees.
+    pub queue_depth: usize,
+    /// The aggregation interconnect.
+    pub interconnect: InterconnectConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `chips` paper-default chips with a `2·chips` queue and
+    /// the default interconnect.
+    pub fn with_chips(chips: usize) -> Self {
+        Self {
+            chips,
+            chip: ChipConfig::default_chip(),
+            queue_depth: (2 * chips).max(2),
+            interconnect: InterconnectConfig::default_link(),
+        }
+    }
+
+    /// Checks the configuration, naming the offending axis in the error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chips == 0 {
+            return Err("fleet.chips: need at least one chip".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("fleet.queue_depth: need at least one queue slot".into());
+        }
+        self.interconnect.validate()?;
+        self.chip.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(FleetConfig::with_chips(1).validate(), Ok(()));
+        assert_eq!(FleetConfig::with_chips(8).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_the_bad_axis() {
+        let mut f = FleetConfig::with_chips(2);
+        f.chips = 0;
+        assert!(f.validate().unwrap_err().contains("fleet.chips"));
+
+        let mut f = FleetConfig::with_chips(2);
+        f.queue_depth = 0;
+        assert!(f.validate().unwrap_err().contains("fleet.queue_depth"));
+
+        let mut f = FleetConfig::with_chips(2);
+        f.interconnect.link_bytes_per_cycle = 0;
+        assert!(f
+            .validate()
+            .unwrap_err()
+            .contains("interconnect.link_bytes_per_cycle"));
+
+        let mut f = FleetConfig::with_chips(2);
+        f.chip.num_vsas = 0;
+        assert!(f.validate().unwrap_err().contains("chip.num_vsas"));
+    }
+
+    #[test]
+    fn transfer_cycles_charge_latency_plus_bandwidth() {
+        let link = InterconnectConfig {
+            link_bytes_per_cycle: 64,
+            link_latency_cycles: 600,
+        };
+        assert_eq!(link.transfer_cycles(0), 600);
+        assert_eq!(link.transfer_cycles(64), 601);
+        assert_eq!(link.transfer_cycles(65), 602);
+    }
+}

@@ -1,0 +1,54 @@
+//! # unizk-fleet — deterministic multi-chip fleet simulation
+//!
+//! The paper evaluates a single 32-VSA UniZK chip; serving production
+//! traffic takes a *fleet*. This crate layers three things on the
+//! cycle-level simulator in `unizk-core`, following the scaling story of
+//! ZK-Flex (flexible multi-unit scaling) and SZKP (scalable accelerator
+//! architecture):
+//!
+//! * [`shard`] — **sharded proving**: one workload's trace split into
+//!   `s` identical per-shard proofs, plus an aggregation schedule whose
+//!   inter-chip traffic (commitment caps + opening proofs over a modeled
+//!   link) is charged against the [`config::InterconnectConfig`]. Every
+//!   shard schedule and the aggregation schedule pass the single-chip
+//!   static verifier, and the plan as a whole passes the multi-chip
+//!   rules (M01–M03 in `unizk_core::analyze`).
+//! * [`stream`] — **batched-stream arrivals**: a seeded synthetic job
+//!   stream arriving in bursts, deterministic per spec.
+//! * [`sim`] — **the fleet event loop**: a bounded central queue
+//!   dispatching tasks to N identical chips, in integer cycles of the
+//!   common clock, reporting makespan, throughput, per-chip utilization,
+//!   queue occupancy, and sojourn/service percentiles through the shared
+//!   `unizk_testkit::stats` estimators (the same math the software
+//!   serving pipeline reports).
+//!
+//! Determinism is the contract throughout: a report depends only on
+//! `(FleetConfig, ShardPlan, StreamSpec)`, never on host timing, so
+//! fleet sweep artifacts are byte-identical across worker counts and
+//! cache states.
+//!
+//! # Example
+//!
+//! ```
+//! use unizk_core::Plonky2Instance;
+//! use unizk_fleet::{FleetConfig, FleetSim, ShardPlan, StreamSpec};
+//!
+//! let plan = ShardPlan::new(Plonky2Instance::new(1 << 10, 135), 2).unwrap();
+//! let stream = StreamSpec { jobs: 4, batch: 2, interarrival_cycles: 100_000, seed: 1 };
+//! let report = FleetSim::new(FleetConfig::with_chips(2)).run(&plan, &stream);
+//! assert_eq!(report.jobs, 4);
+//! assert!(report.utilization().iter().all(|&u| u <= 1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod shard;
+pub mod sim;
+pub mod stream;
+
+pub use config::{FleetConfig, InterconnectConfig};
+pub use shard::{ShardPlan, MIN_SHARD_ROWS};
+pub use sim::{FleetReport, FleetSim};
+pub use stream::StreamSpec;

@@ -1,0 +1,250 @@
+//! Sharded proving: split one trace into per-shard proofs plus an
+//! aggregation stage, the ZK-Flex/SZKP scaling recipe.
+//!
+//! # Cost model
+//!
+//! A `rows × width` Plonky2 workload sharded `s` ways becomes `s`
+//! independent `rows/s × width` proofs, each compiled with the existing
+//! single-chip compiler — the shard schedule IS a normal schedule, so
+//! every single-chip verifier rule applies unchanged. Each shard then
+//! ships its **payload** (commitment caps + FRI opening proof, sized by
+//! [`ShardPlan::payload_bytes`]) to the aggregating chip, which absorbs
+//! all `s` payloads into sponges and proves a small Starky aggregation
+//! circuit over them (the recursive-verifier stand-in). The per-shard
+//! payload estimate mirrors the proof-size arithmetic of the software
+//! prover:
+//!
+//! ```text
+//! payload = 4 caps · 32 B                    (batch Merkle caps)
+//!         + 8 final-poly coefficients · 8 B
+//!         + 8 B proof-of-work witness
+//!         + queries · (polys · 8 B + 2 sibling paths · 32 B · (log₂ LDE + 1))
+//! ```
+//!
+//! Aggregation exists only for `s > 1`; a single-shard plan's proof is
+//! already the proof.
+
+use unizk_core::analyze::MultiChipSchedule;
+use unizk_core::compiler::{compile_plonky2, compile_starky, StarkyInstance};
+use unizk_core::graph::{Graph, NodeId};
+use unizk_core::kernels::Kernel;
+use unizk_core::Plonky2Instance;
+
+/// Smallest shard the planner accepts. Below this the FRI phase
+/// degenerates (the final polynomial is the whole codeword) and the
+/// shard proof no longer resembles the workload it came from.
+pub const MIN_SHARD_ROWS: usize = 256;
+
+/// Sponge rate in bytes: 8 Goldilocks elements absorbed per duplex call.
+const SPONGE_RATE_BYTES: u64 = 64;
+
+/// Rows of aggregation trace dedicated to each absorbed shard payload.
+const AGG_ROWS_PER_SHARD: usize = 1024;
+
+/// A workload split into `shards` equal per-chip proofs plus (for more
+/// than one shard) an aggregation schedule combining them.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    instance: Plonky2Instance,
+    shards: usize,
+    shard_instance: Plonky2Instance,
+    shard_graph: Graph,
+    aggregation: Option<Graph>,
+    payload_bytes: u64,
+}
+
+impl ShardPlan {
+    /// Plans `instance` across `shards` chips.
+    ///
+    /// `shards` must be a power of two (the trace is halved per split)
+    /// and each shard must keep at least [`MIN_SHARD_ROWS`] rows; errors
+    /// name the offending axis.
+    pub fn new(instance: Plonky2Instance, shards: usize) -> Result<Self, String> {
+        if !shards.is_power_of_two() {
+            return Err(format!(
+                "plan.shards: must be a power of two (the trace is halved per split), got {shards}"
+            ));
+        }
+        if !instance.rows.is_multiple_of(shards) || instance.rows / shards < MIN_SHARD_ROWS {
+            return Err(format!(
+                "plan.shards: {} rows / {shards} shards = {} rows per shard; need at least \
+                 {MIN_SHARD_ROWS}",
+                instance.rows,
+                instance.rows / shards.max(1)
+            ));
+        }
+
+        let mut shard_instance = instance.clone();
+        shard_instance.rows = instance.rows / shards;
+        let payload_bytes = payload_bytes_for(&shard_instance);
+        let shard_graph = compile_plonky2(&shard_instance);
+        let aggregation = (shards > 1).then(|| aggregation_graph(shards, payload_bytes));
+
+        Ok(Self {
+            instance,
+            shards,
+            shard_instance,
+            shard_graph,
+            aggregation,
+            payload_bytes,
+        })
+    }
+
+    /// The unsharded workload.
+    pub fn instance(&self) -> &Plonky2Instance {
+        &self.instance
+    }
+
+    /// Number of shards (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-shard proving instance (`rows / shards` of the original).
+    pub fn shard_instance(&self) -> &Plonky2Instance {
+        &self.shard_instance
+    }
+
+    /// The compiled per-shard schedule (identical for every shard).
+    pub fn shard_graph(&self) -> &Graph {
+        &self.shard_graph
+    }
+
+    /// The aggregation schedule; `None` for a single-shard plan.
+    pub fn aggregation_graph(&self) -> Option<&Graph> {
+        self.aggregation.as_ref()
+    }
+
+    /// Modeled bytes each shard ships to the aggregating chip.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// The plan as a [`MultiChipSchedule`] for the static verifier.
+    pub fn multi_schedule(&self) -> MultiChipSchedule<'_> {
+        MultiChipSchedule {
+            shards: vec![&self.shard_graph; self.shards],
+            aggregation: self.aggregation.as_ref(),
+            // The degenerate single-shard plan ships nothing; M03 only
+            // examines multi-shard plans.
+            payload_bytes_per_shard: if self.shards > 1 {
+                self.payload_bytes
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// The shard proof's wire size, charged per shard against the
+/// interconnect (see the module docs for the formula).
+fn payload_bytes_for(inst: &Plonky2Instance) -> u64 {
+    let caps = 4 * 32;
+    let final_poly = 8 * 8;
+    let pow_witness = 8;
+    let lde_log2 = (inst.rows << inst.rate_bits).trailing_zeros() as u64;
+    let per_query = inst.total_polys() as u64 * 8 + 2 * 32 * (lde_log2 + 1);
+    caps + final_poly + pow_witness + inst.num_queries as u64 * per_query
+}
+
+/// Builds the aggregation schedule: one payload-absorb sponge per shard
+/// (the graph's source nodes — the arity rule M02 counts them), all
+/// feeding a small Starky aggregation proof.
+fn aggregation_graph(shards: usize, payload_bytes: u64) -> Graph {
+    let mut g = Graph::new();
+    let absorb_perms = usize::try_from(payload_bytes.div_ceil(SPONGE_RATE_BYTES))
+        .expect("payload permutation count fits usize")
+        .max(1);
+    let absorbs: Vec<NodeId> = (0..shards)
+        .map(|i| {
+            g.push(
+                Kernel::Sponge {
+                    num_perms: absorb_perms,
+                    parallel: true,
+                },
+                vec![],
+                format!("Aggregation: absorb shard {i} payload"),
+            )
+        })
+        .collect();
+
+    // The aggregation circuit: a narrow Starky trace with a block of
+    // rows per absorbed payload (verifier arithmetic stand-in).
+    let agg_inst = StarkyInstance::new(shards * AGG_ROWS_PER_SHARD, 16, 8);
+    let starky = compile_starky(&agg_inst);
+    let offset = g.len();
+    for (i, node) in starky.nodes().iter().enumerate() {
+        // The Starky front node (trace generation) consumes every
+        // absorbed payload; interior nodes keep their chain, re-indexed.
+        let deps = if i == 0 {
+            absorbs.clone()
+        } else {
+            node.deps.iter().map(|d| d + offset).collect()
+        };
+        g.push(node.kernel.clone(), deps, node.label.clone());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_core::analyze::{assert_multi_verified, check, error_count, render_all};
+    use unizk_core::ChipConfig;
+
+    fn inst() -> Plonky2Instance {
+        Plonky2Instance::new(1 << 12, 135)
+    }
+
+    #[test]
+    fn single_shard_plan_is_the_original_schedule() {
+        let plan = ShardPlan::new(inst(), 1).unwrap();
+        assert_eq!(plan.shard_instance(), &inst());
+        assert!(plan.aggregation_graph().is_none());
+        assert_eq!(plan.shard_graph().len(), compile_plonky2(&inst()).len());
+    }
+
+    #[test]
+    fn sharding_divides_rows() {
+        let plan = ShardPlan::new(inst(), 4).unwrap();
+        assert_eq!(plan.shard_instance().rows, 1 << 10);
+        assert_eq!(plan.shard_instance().width, 135);
+        assert!(plan.aggregation_graph().is_some());
+    }
+
+    #[test]
+    fn bad_shard_counts_name_the_axis() {
+        assert!(ShardPlan::new(inst(), 3).unwrap_err().contains("plan.shards"));
+        assert!(ShardPlan::new(inst(), 0).unwrap_err().contains("plan.shards"));
+        // 2^12 rows / 32 = 128 < MIN_SHARD_ROWS.
+        assert!(ShardPlan::new(inst(), 32).unwrap_err().contains("plan.shards"));
+    }
+
+    #[test]
+    fn payload_grows_with_shard_size() {
+        let small = ShardPlan::new(inst(), 4).unwrap();
+        let large = ShardPlan::new(inst(), 1).unwrap();
+        assert!(small.payload_bytes() > 0);
+        assert!(large.payload_bytes() > small.payload_bytes());
+    }
+
+    #[test]
+    fn every_plan_passes_the_multi_chip_verifier() {
+        let chip = ChipConfig::default_chip();
+        for shards in [1usize, 2, 4, 8] {
+            let plan = ShardPlan::new(inst(), shards).unwrap();
+            assert_multi_verified(&plan.multi_schedule(), &chip);
+        }
+    }
+
+    #[test]
+    fn aggregation_schedule_is_error_free_and_absorbs_per_shard() {
+        let chip = ChipConfig::default_chip();
+        let plan = ShardPlan::new(inst(), 4).unwrap();
+        let agg = plan.aggregation_graph().unwrap();
+        let diags = check(agg, &chip);
+        assert_eq!(error_count(&diags), 0, "{}", render_all(&diags));
+        let sources = agg.nodes().iter().filter(|n| n.deps.is_empty()).count();
+        assert_eq!(sources, 4);
+    }
+}

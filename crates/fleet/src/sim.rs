@@ -1,0 +1,460 @@
+//! The deterministic fleet discrete-event simulator.
+//!
+//! Time is integer cycles of the fleet's common chip clock. Every event
+//! is ordered by `(time, sequence-number)` and every service time comes
+//! from one cycle-level [`Simulator`] run per distinct schedule, so the
+//! whole simulation — and every artifact derived from it — depends only
+//! on `(FleetConfig, ShardPlan, StreamSpec)`.
+//!
+//! # Queueing model
+//!
+//! Jobs arrive per the [`StreamSpec`]; each job expands into `shards`
+//! shard-proof tasks (ready at arrival) and, for sharded plans, one
+//! aggregation task that becomes ready once every shard proof has
+//! finished **and** the shard payloads have crossed the interconnect.
+//! Tasks wait in an unbounded arrival pool, enter the bounded central
+//! queue in `(ready, sequence)` order when a slot frees, and dispatch
+//! FIFO to the lowest-indexed idle chip. Dispatch is greedy and
+//! non-preemptive: a chip runs one task to completion.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use unizk_core::sim::Simulator;
+use unizk_core::ChipConfig;
+use unizk_testkit::stats::{self, PercentileSummary};
+use unizk_testkit::trace;
+
+use crate::config::FleetConfig;
+use crate::shard::ShardPlan;
+use crate::stream::StreamSpec;
+
+/// One schedulable unit: a shard proof or an aggregation proof.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    job: usize,
+    service: u64,
+    is_agg: bool,
+}
+
+/// Per-job bookkeeping during the event loop.
+#[derive(Clone, Copy, Debug)]
+struct JobState {
+    arrival: u64,
+    shards_left: usize,
+    max_shard_end: u64,
+    first_start: Option<u64>,
+    completion: Option<u64>,
+}
+
+/// Everything one fleet run produced. All cycle quantities are integers
+/// of the common chip clock; derived figures (throughput, utilization,
+/// percentiles) are computed on demand via the shared
+/// [`unizk_testkit::stats`] helpers.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Jobs served (= the stream length).
+    pub jobs: usize,
+    /// Chips in the fleet.
+    pub chips: usize,
+    /// Shards per job.
+    pub shards: usize,
+    /// Service cycles of one shard proof (one `Simulator` run).
+    pub shard_cycles: u64,
+    /// Service cycles of the aggregation proof (`0` when unsharded).
+    pub agg_cycles: u64,
+    /// Interconnect cycles charged per job before aggregation starts
+    /// (`0` when unsharded).
+    pub transfer_cycles: u64,
+    /// Modeled payload bytes each shard ships to the aggregator.
+    pub payload_bytes: u64,
+    /// First arrival to last task completion.
+    pub makespan_cycles: u64,
+    /// Busy cycles per chip, indexed by chip.
+    pub chip_busy_cycles: Vec<u64>,
+    /// Per-job arrival cycle, in job order.
+    pub job_arrival_cycles: Vec<u64>,
+    /// Per-job sojourn (arrival → completion), in job order.
+    pub job_sojourn_cycles: Vec<u64>,
+    /// Per-job service (first task start → completion), in job order.
+    pub job_service_cycles: Vec<u64>,
+    /// Peak central-queue occupancy (≤ the configured depth).
+    pub queue_peak: usize,
+    /// Time-averaged central-queue occupancy over the makespan.
+    pub queue_mean: f64,
+}
+
+impl FleetReport {
+    /// Completed proofs per second of simulated time at `chip`'s clock.
+    pub fn throughput_proofs_per_sec(&self, chip: &ChipConfig) -> f64 {
+        let seconds = chip.cycles_to_seconds(self.makespan_cycles);
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.jobs as f64 / seconds
+        }
+    }
+
+    /// Per-chip busy fraction of the makespan.
+    pub fn utilization(&self) -> Vec<f64> {
+        stats::utilizations(&self.chip_busy_cycles, self.makespan_cycles)
+    }
+
+    /// Sojourn-latency percentiles (cycles), via the shared estimator.
+    pub fn sojourn(&self) -> PercentileSummary {
+        PercentileSummary::from_values(self.job_sojourn_cycles.iter().copied())
+    }
+
+    /// Service-latency percentiles (cycles), via the shared estimator.
+    pub fn service(&self) -> PercentileSummary {
+        PercentileSummary::from_values(self.job_service_cycles.iter().copied())
+    }
+}
+
+/// The fleet simulator. Construct once per [`FleetConfig`]; each
+/// [`FleetSim::run`] is independent.
+pub struct FleetSim {
+    config: FleetConfig,
+}
+
+impl FleetSim {
+    /// Builds a simulator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`FleetConfig::validate`].
+    pub fn new(config: FleetConfig) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("{e}"));
+        Self { config }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Serves `stream` of `plan`-sharded jobs on the fleet.
+    ///
+    /// In debug builds the plan is first run through the multi-chip
+    /// static verifier ([`unizk_core::analyze::assert_multi_verified`]),
+    /// mirroring the single-chip simulator's debug-time `assert_verified`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` fails [`StreamSpec::validate`] or (in debug
+    /// builds) the plan fails static verification.
+    pub fn run(&self, plan: &ShardPlan, stream: &StreamSpec) -> FleetReport {
+        stream.validate().unwrap_or_else(|e| panic!("{e}"));
+        #[cfg(debug_assertions)]
+        unizk_core::analyze::assert_multi_verified(&plan.multi_schedule(), &self.config.chip);
+
+        trace::with_span("fleet.run", || self.run_inner(plan, stream))
+    }
+
+    fn run_inner(&self, plan: &ShardPlan, stream: &StreamSpec) -> FleetReport {
+        let shards = plan.shards();
+        let chips = self.config.chips;
+
+        // Service times: one cycle-level simulation per distinct
+        // schedule (every shard task is identical by construction).
+        let (shard_cycles, agg_cycles) = trace::with_span("fleet.services", || {
+            let sim = Simulator::new(self.config.chip.clone());
+            let shard = sim.run(plan.shard_graph()).total_cycles;
+            let agg = plan
+                .aggregation_graph()
+                .map_or(0, |g| sim.run(g).total_cycles);
+            (shard, agg)
+        });
+        // All shard payloads serialize over the shared link to the
+        // aggregating chip: one latency hop plus shards · payload bytes.
+        let transfer_cycles = if shards > 1 {
+            self.config
+                .interconnect
+                .transfer_cycles(shards as u64 * plan.payload_bytes())
+        } else {
+            0
+        };
+
+        let arrivals = stream.arrivals();
+        let mut jobs: Vec<JobState> = arrivals
+            .iter()
+            .map(|&arrival| JobState {
+                arrival,
+                shards_left: shards,
+                max_shard_end: 0,
+                first_start: None,
+                completion: None,
+            })
+            .collect();
+
+        // The arrival pool, ordered by (ready, seq). Shard tasks are
+        // seeded job-major so FIFO ties break by job then shard index;
+        // aggregation tasks take fresh (larger) sequence numbers as
+        // they are created, keeping the order total and deterministic.
+        let mut tasks: Vec<Task> = Vec::with_capacity(jobs.len() * shards + jobs.len());
+        let mut pending: BTreeSet<(u64, usize)> = BTreeSet::new();
+        for (job, state) in jobs.iter().enumerate() {
+            for _ in 0..shards {
+                let seq = tasks.len();
+                tasks.push(Task {
+                    job,
+                    service: shard_cycles,
+                    is_agg: false,
+                });
+                pending.insert((state.arrival, seq));
+            }
+        }
+
+        let mut ready_q: VecDeque<usize> = VecDeque::new();
+        let mut chip_free = vec![0u64; chips];
+        let mut chip_busy = vec![0u64; chips];
+        let mut queue_peak = 0usize;
+        let mut queue_integral = 0u128;
+        let mut now = 0u64;
+
+        loop {
+            // Admit + dispatch to a fixpoint at the current instant:
+            // dispatching frees queue slots, which admits more work,
+            // which may dispatch onto another idle chip.
+            loop {
+                let mut progressed = false;
+                while ready_q.len() < self.config.queue_depth {
+                    match pending.first().copied() {
+                        Some((ready, seq)) if ready <= now => {
+                            pending.remove(&(ready, seq));
+                            ready_q.push_back(seq);
+                            queue_peak = queue_peak.max(ready_q.len());
+                            progressed = true;
+                        }
+                        _ => break,
+                    }
+                }
+                while !ready_q.is_empty() {
+                    let Some(chip) = (0..chips).find(|&c| chip_free[c] <= now) else {
+                        break;
+                    };
+                    let seq = ready_q.pop_front().expect("non-empty queue");
+                    let task = tasks[seq];
+                    let end = now + task.service;
+                    chip_free[chip] = end;
+                    chip_busy[chip] += task.service;
+                    progressed = true;
+
+                    let state = &mut jobs[task.job];
+                    state.first_start.get_or_insert(now);
+                    if task.is_agg {
+                        state.completion = Some(end);
+                    } else {
+                        state.shards_left -= 1;
+                        state.max_shard_end = state.max_shard_end.max(end);
+                        if state.shards_left == 0 {
+                            if shards > 1 {
+                                // Shard payloads cross the interconnect,
+                                // then the aggregation task becomes ready.
+                                let ready = state.max_shard_end + transfer_cycles;
+                                let agg_seq = tasks.len();
+                                tasks.push(Task {
+                                    job: task.job,
+                                    service: agg_cycles,
+                                    is_agg: true,
+                                });
+                                pending.insert((ready, agg_seq));
+                            } else {
+                                state.completion = Some(state.max_shard_end);
+                            }
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            if pending.is_empty() && ready_q.is_empty() {
+                break;
+            }
+
+            // Advance to the next event: a chip freeing up or a pending
+            // task becoming ready. One of the two always exists here —
+            // a stalled queue implies a busy chip.
+            let next_chip = chip_free.iter().copied().filter(|&t| t > now).min();
+            let next_ready = pending
+                .first()
+                .map(|&(ready, _)| ready)
+                .filter(|&ready| ready > now);
+            let next = match (next_chip, next_ready) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => unreachable!("stalled fleet with work outstanding"),
+            };
+            queue_integral += ready_q.len() as u128 * u128::from(next - now);
+            now = next;
+        }
+
+        let makespan_cycles = chip_free.iter().copied().max().unwrap_or(0);
+        let (mut sojourn, mut service, mut arrival_out) =
+            (Vec::new(), Vec::new(), Vec::new());
+        for state in &jobs {
+            let completion = state.completion.expect("every job completes");
+            let first_start = state.first_start.expect("every job starts");
+            arrival_out.push(state.arrival);
+            sojourn.push(completion - state.arrival);
+            service.push(completion - first_start);
+        }
+
+        trace::counter("fleet.jobs", jobs.len() as u64);
+        trace::counter("fleet.tasks", tasks.len() as u64);
+        trace::counter("fleet.transfer_cycles_per_job", transfer_cycles);
+        trace::counter("fleet.makespan_cycles", makespan_cycles);
+
+        FleetReport {
+            jobs: jobs.len(),
+            chips,
+            shards,
+            shard_cycles,
+            agg_cycles,
+            transfer_cycles,
+            payload_bytes: plan.payload_bytes(),
+            makespan_cycles,
+            chip_busy_cycles: chip_busy,
+            job_arrival_cycles: arrival_out,
+            job_sojourn_cycles: sojourn,
+            job_service_cycles: service,
+            queue_peak,
+            queue_mean: if makespan_cycles == 0 {
+                0.0
+            } else {
+                queue_integral as f64 / makespan_cycles as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unizk_core::Plonky2Instance;
+
+    fn plan(shards: usize) -> ShardPlan {
+        ShardPlan::new(Plonky2Instance::new(1 << 10, 135), shards).unwrap()
+    }
+
+    fn one_shot_stream(jobs: usize) -> StreamSpec {
+        StreamSpec {
+            jobs,
+            batch: jobs.max(1),
+            interarrival_cycles: 0,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn single_chip_single_shard_single_job_matches_the_simulator() {
+        let fleet = FleetSim::new(FleetConfig::with_chips(1));
+        let report = fleet.run(&plan(1), &one_shot_stream(1));
+        let expected = Simulator::new(ChipConfig::default_chip())
+            .run(plan(1).shard_graph())
+            .total_cycles;
+        assert_eq!(report.makespan_cycles, expected);
+        assert_eq!(report.shard_cycles, expected);
+        assert_eq!(report.job_sojourn_cycles, vec![expected]);
+        assert_eq!(report.job_service_cycles, vec![expected]);
+        assert_eq!(report.transfer_cycles, 0);
+        assert_eq!(report.agg_cycles, 0);
+    }
+
+    #[test]
+    fn busy_cycles_account_for_every_task() {
+        let fleet = FleetSim::new(FleetConfig::with_chips(4));
+        let p = plan(2);
+        let report = fleet.run(&p, &one_shot_stream(6));
+        let per_job = 2 * report.shard_cycles + report.agg_cycles;
+        assert_eq!(
+            report.chip_busy_cycles.iter().sum::<u64>(),
+            6 * per_job,
+            "work conservation: chips must run exactly the dispatched tasks"
+        );
+    }
+
+    #[test]
+    fn sharding_charges_the_interconnect() {
+        let fleet = FleetSim::new(FleetConfig::with_chips(2));
+        let p = plan(2);
+        let report = fleet.run(&p, &one_shot_stream(1));
+        let link = &fleet.config().interconnect;
+        assert_eq!(
+            report.transfer_cycles,
+            link.transfer_cycles(2 * p.payload_bytes())
+        );
+        // One job, two shards on two chips in parallel, then transfer +
+        // aggregation on the first free chip.
+        assert_eq!(
+            report.makespan_cycles,
+            report.shard_cycles + report.transfer_cycles + report.agg_cycles
+        );
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_queue_respects_depth() {
+        let config = FleetConfig {
+            queue_depth: 3,
+            ..FleetConfig::with_chips(2)
+        };
+        let fleet = FleetSim::new(config);
+        let report = fleet.run(&plan(1), &one_shot_stream(10));
+        assert!(report.utilization().iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(report.queue_peak <= 3);
+        assert!(report.queue_mean >= 0.0);
+    }
+
+    #[test]
+    fn more_chips_never_lengthen_the_makespan() {
+        let p = plan(2);
+        let stream = StreamSpec {
+            jobs: 8,
+            batch: 4,
+            interarrival_cycles: 50_000,
+            seed: 3,
+        };
+        let mut last = u64::MAX;
+        for chips in [1usize, 2, 4, 8] {
+            let report = FleetSim::new(FleetConfig::with_chips(chips)).run(&p, &stream);
+            assert!(
+                report.makespan_cycles <= last,
+                "{chips} chips: {} > {last}",
+                report.makespan_cycles
+            );
+            last = report.makespan_cycles;
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let fleet = FleetSim::new(FleetConfig::with_chips(3));
+        let p = plan(4);
+        let stream = StreamSpec {
+            jobs: 5,
+            batch: 2,
+            interarrival_cycles: 10_000,
+            seed: 9,
+        };
+        let a = fleet.run(&p, &stream);
+        let b = fleet.run(&p, &stream);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.chip_busy_cycles, b.chip_busy_cycles);
+        assert_eq!(a.job_sojourn_cycles, b.job_sojourn_cycles);
+        assert_eq!(a.queue_peak, b.queue_peak);
+    }
+
+    #[test]
+    fn percentiles_use_the_shared_estimator() {
+        let fleet = FleetSim::new(FleetConfig::with_chips(2));
+        let report = fleet.run(&plan(1), &one_shot_stream(7));
+        let s = report.sojourn();
+        assert!(s.is_monotone());
+        assert_eq!(
+            s.p50,
+            stats::percentile(report.job_sojourn_cycles.iter().copied(), 50)
+        );
+    }
+}

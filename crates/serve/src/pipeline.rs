@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use unizk_hash::{Workspace, WorkspaceStats};
 use unizk_stark::{StarkError, StarkProof};
+use unizk_testkit::stats;
 
 use crate::job::Job;
 use crate::queue::JobQueue;
@@ -116,27 +117,23 @@ impl PipelineReport {
     }
 
     /// Nearest-rank percentile (`p` in 1..=100) of sojourn latency.
+    ///
+    /// Delegates to [`unizk_testkit::stats::percentile`] so the serving
+    /// pipeline, the bench binaries, and the fleet simulator all report
+    /// identically-computed figures.
     pub fn sojourn_percentile_ns(&self, p: u32) -> u64 {
-        percentile(self.results.iter().map(|r| r.sojourn_ns), p)
+        stats::percentile(self.results.iter().map(|r| r.sojourn_ns), p)
     }
 
     /// Nearest-rank percentile (`p` in 1..=100) of service latency.
     pub fn service_percentile_ns(&self, p: u32) -> u64 {
-        percentile(self.results.iter().map(|r| r.service_ns), p)
+        stats::percentile(self.results.iter().map(|r| r.service_ns), p)
     }
 
     /// Per-worker busy fraction of the run's wall-clock time.
     pub fn utilization(&self) -> Vec<f64> {
-        self.workers
-            .iter()
-            .map(|w| {
-                if self.wall_ns == 0 {
-                    0.0
-                } else {
-                    w.busy_ns as f64 / self.wall_ns as f64
-                }
-            })
-            .collect()
+        let busy: Vec<u64> = self.workers.iter().map(|w| w.busy_ns).collect();
+        stats::utilizations(&busy, self.wall_ns)
     }
 
     /// Pool counters aggregated over all workers (`None` with pooling off).
@@ -149,18 +146,6 @@ impl PipelineReport {
         }
         merged
     }
-}
-
-/// Nearest-rank percentile over an unsorted sequence; 0 for an empty one.
-fn percentile(values: impl Iterator<Item = u64>, p: u32) -> u64 {
-    assert!((1..=100).contains(&p), "percentile must be in 1..=100");
-    let mut v: Vec<u64> = values.collect();
-    if v.is_empty() {
-        return 0;
-    }
-    v.sort_unstable();
-    let rank = (v.len() * p as usize).div_ceil(100).max(1);
-    v[rank - 1]
 }
 
 /// The multi-worker proof server. See the module docs for the determinism
@@ -346,11 +331,16 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        assert_eq!(percentile([10, 20, 30, 40].into_iter(), 50), 20);
-        assert_eq!(percentile([10, 20, 30, 40].into_iter(), 100), 40);
-        assert_eq!(percentile([10, 20, 30, 40].into_iter(), 1), 10);
-        assert_eq!(percentile(std::iter::empty(), 99), 0);
+    fn percentiles_use_the_shared_nearest_rank_helper() {
+        // The report's accessors must agree with the testkit definition
+        // on a concrete population (4 jobs → p50 is the 2nd sample).
+        let report = Pipeline::run(tiny_jobs(4), &PipelineConfig::with_workers(2));
+        let expected = stats::percentile(report.results.iter().map(|r| r.sojourn_ns), 50);
+        assert_eq!(report.sojourn_percentile_ns(50), expected);
+        assert_eq!(
+            report.service_percentile_ns(99),
+            stats::percentile(report.results.iter().map(|r| r.service_ns), 99)
+        );
     }
 
     #[test]

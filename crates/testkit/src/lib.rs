@@ -22,6 +22,10 @@
 //! * [`mod@bench`] — a wall-clock micro-bench timer with warmup and median
 //!   reporting, mirroring the slice of the Criterion API the bench crate
 //!   uses.
+//! * [`stats`] — the shared nearest-rank percentile and utilization
+//!   math behind every throughput artifact (serving pipeline, bench
+//!   binaries, fleet simulator), so software and hardware reports
+//!   compute latency figures identically.
 //! * [`trace`] — the hierarchical span/counter tracing layer behind the
 //!   prover and simulator perf breakdowns: scoped [`trace::Span`] guards,
 //!   per-thread collectors merged monotonically across fork/join workers,
@@ -40,6 +44,7 @@ pub mod json;
 pub mod prop;
 pub mod render;
 pub mod rng;
+pub mod stats;
 pub mod trace;
 
 pub use json::{Json, ToJson};

@@ -2,12 +2,61 @@
 # Runs the perf-trajectory baseline and writes BENCH_PROVER.json /
 # BENCH_SIM.json at the repo root (or at $1 if given).
 #
-# The binary self-checks the two acceptance invariants: the five kernel
-# classes must cover >= 95% of the measured prove time, and repeated
-# simulator runs must be cycle-identical. See EXPERIMENTS.md for the
-# artifact schema and how to compare runs.
+# Opt-in modes (BENCH_<MODE>=1 in the environment) record more artifacts:
+#   BENCH_THROUGHPUT=1   proof-serving throughput baseline (BENCH_THROUGHPUT.json)
+#   BENCH_SWEEP=1        smoke design-space sweep           (BENCH_SWEEP.json)
+#   BENCH_FLEET=1        multi-chip fleet surface           (BENCH_FLEET.json)
+#
+# Every binary self-checks its acceptance invariants before anything is
+# written (prover class coverage, simulator determinism, pipeline-proof
+# identity, fleet anchor + verifier-clean schedules). See EXPERIMENTS.md
+# for the artifact schemas and how to compare runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODES=(BENCH_THROUGHPUT BENCH_SWEEP BENCH_FLEET)
+
+usage() {
+    {
+        echo "usage: [BENCH_THROUGHPUT=1] [BENCH_SWEEP=1] [BENCH_FLEET=1] scripts/bench.sh [OUT_DIR]"
+        echo "mode flags must be unset, 0, or 1; recognized modes:"
+        printf '  %s\n' "${MODES[@]}"
+    } >&2
+}
+
+# The single validator for every opt-in mode flag: returns success for =1,
+# failure for unset/=0, and fails the whole run (with usage) on anything
+# else, so BENCH_FLEET=yes aborts instead of silently benching nothing.
+mode_enabled() {
+    local var="$1" val="${!1:-0}"
+    case "$val" in
+        1) return 0 ;;
+        0) return 1 ;;
+        *)
+            echo "FAIL: $var must be unset, 0, or 1 (got '$val')" >&2
+            usage
+            exit 2
+            ;;
+    esac
+}
+
+# A misspelled mode variable (BENCH_FLEAT=1) must not silently bench
+# nothing either: reject any exported BENCH_* name we do not recognize.
+for var in $(compgen -A export BENCH_ || true); do
+    known=0
+    for m in "${MODES[@]}"; do
+        [[ "$var" == "$m" ]] && known=1
+    done
+    if [[ "$known" == 0 ]]; then
+        echo "FAIL: unknown mode variable $var" >&2
+        usage
+        exit 2
+    fi
+done
+# Validate every recognized flag's value up front, before the build.
+for m in "${MODES[@]}"; do
+    mode_enabled "$m" || true
+done
 
 OUT_DIR="${1:-.}"
 mkdir -p "$OUT_DIR"
@@ -27,23 +76,32 @@ echo "== baseline =="
 
 echo "OK: wrote $OUT_DIR/BENCH_PROVER.json and $OUT_DIR/BENCH_SIM.json"
 
-# Optional: BENCH_THROUGHPUT=1 also records the proof-serving throughput
-# baseline (pipeline proofs are identity-checked against the one-shot
-# prover before anything is written).
-if [[ "${BENCH_THROUGHPUT:-0}" == "1" ]]; then
+# Optional: the proof-serving throughput baseline (pipeline proofs are
+# identity-checked against the one-shot prover before anything is written).
+if mode_enabled BENCH_THROUGHPUT; then
     echo "== throughput =="
     cargo build --release --offline -p unizk-bench --bin throughput
     ./target/release/throughput --out-dir "$OUT_DIR"
     echo "OK: wrote $OUT_DIR/BENCH_THROUGHPUT.json"
 fi
 
-# Optional: BENCH_SWEEP=1 also records the smoke design-space sweep
-# (deterministic, so the artifact is diffable across PRs like the
-# baselines above).
-if [[ "${BENCH_SWEEP:-0}" == "1" ]]; then
+# Optional: the smoke design-space sweep (deterministic, so the artifact
+# is diffable across PRs like the baselines above).
+if mode_enabled BENCH_SWEEP; then
     echo "== smoke sweep =="
     cargo build --release --offline -p unizk-explore --bin sweep
     ./target/release/sweep --spec crates/explore/specs/smoke.json --jobs 0 \
         --out "$OUT_DIR/BENCH_SWEEP.json"
     echo "OK: wrote $OUT_DIR/BENCH_SWEEP.json"
+fi
+
+# Optional: the fleet surface (chips x bandwidth x batch x shards). The
+# binary statically verifies every swept schedule (including the
+# multi-chip M-rules), anchors the 1-chip/1-shard point against the
+# cycle simulator, and refuses to publish on any error diagnostic.
+if mode_enabled BENCH_FLEET; then
+    echo "== fleet =="
+    cargo build --release --offline -p unizk-bench --bin fleet
+    ./target/release/fleet --out-dir "$OUT_DIR"
+    echo "OK: wrote $OUT_DIR/BENCH_FLEET.json"
 fi

@@ -44,6 +44,30 @@ grep -q "cache hits: 4/4" "$SWEEP_TMP/warm.log" \
 diff "$SWEEP_TMP/cold.json" "$SWEEP_TMP/warm.json" \
     || { echo "FAIL: cached sweep artifact differs from cold run"; exit 1; }
 
+echo "==> fleet smoke sweep (cold, then fully cached)"
+# Fleet points must honor the same caching/determinism contract as chip
+# points: a cold run misses on all 8 points, the re-run hits on all 8,
+# and the two artifacts are byte-identical.
+./target/release/sweep --spec crates/explore/specs/fleet-ci.json --jobs 4 \
+    --cache-dir "$SWEEP_TMP/fleet-cache" --out "$SWEEP_TMP/fleet-cold.json" \
+    | tee "$SWEEP_TMP/fleet-cold.log"
+./target/release/sweep --spec crates/explore/specs/fleet-ci.json --jobs 4 \
+    --cache-dir "$SWEEP_TMP/fleet-cache" --resume --out "$SWEEP_TMP/fleet-warm.json" \
+    | tee "$SWEEP_TMP/fleet-warm.log"
+grep -q "cache hits: 0/8" "$SWEEP_TMP/fleet-cold.log" \
+    || { echo "FAIL: cold fleet sweep should have zero cache hits"; exit 1; }
+grep -q "cache hits: 8/8" "$SWEEP_TMP/fleet-warm.log" \
+    || { echo "FAIL: cached fleet re-run should hit on every point"; exit 1; }
+diff "$SWEEP_TMP/fleet-cold.json" "$SWEEP_TMP/fleet-warm.json" \
+    || { echo "FAIL: cached fleet sweep artifact differs from cold run"; exit 1; }
+
+echo "==> fleet bench smoke (verifier-clean schedules, simulator anchor)"
+# Runs the tiny fleet grid through the full bench pipeline: every swept
+# schedule through the static verifier (M-rules included), the
+# 1-chip/1-shard anchor against the cycle simulator, and the artifact
+# schema self-check. Writes nothing.
+./target/release/fleet --smoke
+
 echo "==> prover bench determinism (two fresh baselines, identical counters)"
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$SWEEP_TMP" "$BENCH_TMP"' EXIT
