@@ -14,28 +14,40 @@
 //!
 //! - `--specs-dir DIR` — sweep-spec directory (default
 //!   `crates/explore/specs`; pass an empty string to skip specs).
-//! - `--json FILE` — also write the machine-readable summary here.
-//! - `--quiet` — only print findings and the totals line.
-//! - `--rules` — print the rule catalog and exit.
+//! - `--json FILE` — also write the machine-readable summary here
+//!   (schema [`unizk_analyze::lint::LINT_SCHEMA`], including each
+//!   target's static cost envelope).
+//! - `--rules LIST` — only report rules matching the comma-separated
+//!   glob list (`C*,P*`, `M01`, ...); the exit code follows the
+//!   retained set.
+//! - `--check-bounds` — additionally simulate every target and verify
+//!   that its static cost envelope brackets the exact cycle counts.
+//! - `--quiet` — print nothing on success; findings still print (and
+//!   the exit code is still nonzero) when errors are found.
+//! - `--list-rules` — print the rule catalog and exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use unizk_analyze::lint::{lint_all, spec_targets, workload_targets, LintTarget};
+use unizk_analyze::lint::{check_bounds, lint_all, spec_targets, workload_targets, LintTarget};
 use unizk_analyze::Rule;
 
 struct Args {
     specs_dir: Option<PathBuf>,
     json: Option<PathBuf>,
     quiet: bool,
-    rules: bool,
+    rules: Option<String>,
+    bounds: bool,
+    list_rules: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut specs_dir = Some(PathBuf::from("crates/explore/specs"));
     let mut json = None;
     let mut quiet = false;
-    let mut rules = false;
+    let mut rules = None;
+    let mut bounds = false;
+    let mut list_rules = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,15 +61,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => json = Some(PathBuf::from(value("--json")?)),
             "--quiet" => quiet = true,
-            "--rules" => rules = true,
+            "--rules" => rules = Some(value("--rules")?),
+            "--check-bounds" => bounds = true,
+            "--list-rules" => list_rules = true,
             "--help" | "-h" => {
-                return Err("usage: lint [--specs-dir DIR] [--json FILE] [--quiet] [--rules]"
+                return Err("usage: lint [--specs-dir DIR] [--json FILE] [--rules LIST] \
+                            [--check-bounds] [--quiet] [--list-rules]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
-    Ok(Args { specs_dir, json, quiet, rules })
+    Ok(Args { specs_dir, json, quiet, rules, bounds, list_rules })
 }
 
 fn print_rule_catalog() {
@@ -95,21 +110,34 @@ fn collect_targets(args: &Args) -> Result<Vec<LintTarget>, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
-    if args.rules {
+    if args.list_rules {
         print_rule_catalog();
         return Ok(true);
     }
 
     let targets = collect_targets(&args)?;
-    let summary = lint_all(&targets);
-    print!("{}", summary.render(!args.quiet));
+    let mut summary = lint_all(&targets);
+    if let Some(patterns) = &args.rules {
+        summary.retain_rules(patterns);
+    }
+    let clean = summary.is_clean();
+    if !args.quiet || !clean {
+        print!("{}", summary.render(!args.quiet));
+    }
+
+    if args.bounds {
+        let checked = check_bounds(&targets)?;
+        if !args.quiet {
+            println!("bounds: {checked} targets inside their static envelope");
+        }
+    }
 
     if let Some(path) = &args.json {
         let text = summary.to_json().to_string_pretty() + "\n";
         std::fs::write(path, text)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
-    Ok(summary.is_clean())
+    Ok(clean)
 }
 
 fn main() -> ExitCode {

@@ -7,11 +7,12 @@
 //! The `tests/mutations.rs` suite asserts every case is caught with its
 //! expected rule and that the unmutated baseline stays error-free.
 
-use unizk_core::analyze::Rule;
+use unizk_core::analyze::{MultiChipSchedule, ProtocolParams, Rule};
 use unizk_core::compiler::{compile_plonky2, Plonky2Instance};
 use unizk_core::graph::{Graph, Node};
-use unizk_core::kernels::{Kernel, NttVariant};
+use unizk_core::kernels::{Kernel, NttVariant, Reuse};
 use unizk_core::ChipConfig;
+use unizk_fleet::ShardPlan;
 
 /// One corrupted schedule plus the rule that must catch it.
 pub struct MutationCase {
@@ -157,11 +158,202 @@ pub fn mutation_corpus() -> Vec<MutationCase> {
     // whose double-buffered stage buffers dwarf a 1 MiB scratchpad. The
     // configuration passes `ChipConfig::validate` (each axis is locally
     // sane); only the cross-axis analysis catches it.
-    let mut small = chip;
+    let mut small = chip.clone();
     small.ntt_pipeline_log2 = 14;
     small.scratchpad_bytes = 1 << 20;
     small.validate().expect("axes are individually valid");
     case("staging-overflow", Rule::InfeasibleStaging, baseline_graph(), small);
+
+    // C01: a single kernel whose modeled traffic (2^60 B) escapes the
+    // domain where f64 bandwidth arithmetic is integer-exact.
+    let mut g = Graph::new();
+    g.push(streaming_poly_op(1 << 60), vec![], "absurd traffic");
+    case("cost-overflow", Rule::CostModelOverflow, g, chip.clone());
+
+    // C02 (warning): a nonempty schedule the cost model prices at zero
+    // cycles — a lone tiny transpose, free under the §7.1 assumption.
+    let mut g = Graph::new();
+    g.push(Kernel::Transpose { rows: 8, cols: 8 }, vec![], "lone transpose");
+    case("zero-cost", Rule::ZeroCostSchedule, g, chip.clone());
+
+    // C03 (warning): four chained kernels, one op but 16 MiB of traffic
+    // each — memory-bound even at peak bandwidth, the VSAs starve.
+    let mut g = Graph::new();
+    let mut prev = g.push(streaming_poly_op(1 << 24), vec![], "starved 0");
+    for i in 1..4 {
+        prev = g.push(streaming_poly_op(1 << 24), vec![prev], format!("starved {i}"));
+    }
+    case("bandwidth-starved", Rule::BandwidthStarvedSchedule, g, chip.clone());
+
+    // C04 (warning): a 16 TiB intermediate held live across the schedule,
+    // thousands of scratchpads deep — every value round-trips HBM.
+    let mut g = Graph::new();
+    let producer = g.push(streaming_poly_op(1 << 44), vec![], "huge producer");
+    g.push(Kernel::Sponge { num_perms: 4, parallel: false }, vec![producer], "consumer");
+    case("liveness-blowout", Rule::LivenessExceedsScratchpad, g, chip);
+
+    cases
+}
+
+/// A pure streaming kernel: one op, `bytes` of irreducible traffic.
+fn streaming_poly_op(bytes: u64) -> Kernel {
+    Kernel::PolyOp {
+        ops: 1,
+        reuse: Reuse {
+            ideal_bytes: bytes,
+            working_set_bytes: 64,
+            streaming_bytes: bytes,
+        },
+    }
+}
+
+/// One corrupted multi-chip plan plus the M-rule that must catch it.
+/// Owns its graphs; [`Self::schedule`] borrows them in the shape
+/// [`unizk_core::analyze::check_multi`] takes.
+pub struct MultiMutationCase {
+    /// Short corruption name (used in test output).
+    pub name: &'static str,
+    /// The rule id the analyzer must report.
+    pub expected: Rule,
+    /// Per-shard schedules.
+    pub shards: Vec<Graph>,
+    /// The aggregation schedule, if the (possibly corrupted) plan has one.
+    pub aggregation: Option<Graph>,
+    /// Declared interconnect payload per shard.
+    pub payload_bytes_per_shard: u64,
+}
+
+impl MultiMutationCase {
+    /// The case as a borrowed [`MultiChipSchedule`].
+    pub fn schedule(&self) -> MultiChipSchedule<'_> {
+        MultiChipSchedule {
+            shards: self.shards.iter().collect(),
+            aggregation: self.aggregation.as_ref(),
+            payload_bytes_per_shard: self.payload_bytes_per_shard,
+        }
+    }
+}
+
+/// The clean two-shard plan every multi-chip mutation starts from.
+pub fn baseline_plan() -> ShardPlan {
+    ShardPlan::new(Plonky2Instance::new(1 << 10, 135), 2).expect("baseline plan is valid")
+}
+
+/// Builds the multi-chip corpus (rules M01–M03).
+pub fn multi_mutation_corpus() -> Vec<MultiMutationCase> {
+    let plan = baseline_plan();
+    let shard = plan.shard_graph().clone();
+    let agg = plan.aggregation_graph().expect("two-shard plan aggregates").clone();
+    let payload = plan.payload_bytes();
+
+    // M01: shard 1 was compiled for a different sub-trace than shard 0 —
+    // the "identical sub-problems" contract of sharded proving is broken.
+    let skewed = ShardPlan::new(Plonky2Instance::new(1 << 10, 135), 4)
+        .expect("skew plan is valid")
+        .shard_graph()
+        .clone();
+
+    // M02 (arity flavour): an aggregation stage built to absorb four
+    // payloads grafted onto a two-shard plan.
+    let wide_agg = ShardPlan::new(Plonky2Instance::new(1 << 10, 135), 4)
+        .expect("wide plan is valid")
+        .aggregation_graph()
+        .expect("four-shard plan aggregates")
+        .clone();
+
+    vec![
+        MultiMutationCase {
+            name: "shard-skew",
+            expected: Rule::ShardScheduleDivergent,
+            shards: vec![shard.clone(), skewed],
+            aggregation: Some(agg.clone()),
+            payload_bytes_per_shard: payload,
+        },
+        MultiMutationCase {
+            name: "missing-aggregation",
+            expected: Rule::AggregationArityMismatch,
+            shards: vec![shard.clone(), shard.clone()],
+            aggregation: None,
+            payload_bytes_per_shard: payload,
+        },
+        MultiMutationCase {
+            name: "arity-skew",
+            expected: Rule::AggregationArityMismatch,
+            shards: vec![shard.clone(), shard.clone()],
+            aggregation: Some(wide_agg),
+            payload_bytes_per_shard: payload,
+        },
+        MultiMutationCase {
+            name: "free-interconnect",
+            expected: Rule::InterconnectPayloadMissing,
+            shards: vec![shard.clone(), shard],
+            aggregation: Some(agg),
+            payload_bytes_per_shard: 0,
+        },
+    ]
+}
+
+/// One corrupted protocol-parameter block plus the P-rule that must
+/// catch it.
+pub struct ParamMutationCase {
+    /// Short corruption name (used in test output).
+    pub name: &'static str,
+    /// The rule id the analyzer must report.
+    pub expected: Rule,
+    /// The corrupted parameters.
+    pub params: ProtocolParams,
+}
+
+/// The sound parameter block every P-rule mutation starts from:
+/// Plonky2's standard configuration at 2^12 rows, exactly at the
+/// 100-bit conjectured-security target (`28·3 + 16`).
+pub fn baseline_params() -> ProtocolParams {
+    ProtocolParams {
+        log_rows: 12,
+        rate_bits: 3,
+        num_queries: 28,
+        proof_of_work_bits: 16,
+        final_poly_len: 16,
+        num_challenges: 2,
+        target_security_bits: 100,
+        shards: 1,
+        aggregation_arity: 0,
+    }
+}
+
+/// Builds the parameter corpus (rules P01–P05).
+pub fn param_mutation_corpus() -> Vec<ParamMutationCase> {
+    let mut cases = Vec::new();
+    let mut case = |name: &'static str, expected: Rule, f: &dyn Fn(&mut ProtocolParams)| {
+        let mut params = baseline_params();
+        f(&mut params);
+        cases.push(ParamMutationCase { name, expected, params });
+    };
+
+    // P01: one query dropped — 27·3 + 16 = 97 < 100 conjectured bits.
+    case("query-starved", Rule::InsufficientSecurityBits, &|p| p.num_queries = 27);
+    // P01 (soundness flavour): no challenge rounds at all.
+    case("no-challenges", Rule::InsufficientSecurityBits, &|p| p.num_challenges = 0);
+    // P02: 2^(30+3) LDE domain exceeds Goldilocks' two-adicity of 32.
+    case("lde-overflow", Rule::LdeExceedsTwoAdicity, &|p| p.log_rows = 30);
+    // P03: a final polynomial that is not a power of two.
+    case("final-poly-ragged", Rule::FinalPolyInconsistent, &|p| p.final_poly_len = 10);
+    // P03 (size flavour): the "final" polynomial is the whole trace.
+    case("final-poly-whole-trace", Rule::FinalPolyInconsistent, &|p| {
+        p.final_poly_len = 1 << 12;
+    });
+    // P04: a 64-bit grind can never terminate against a 64-bit hash.
+    case("grind-overflow", Rule::ExcessiveGrind, &|p| p.proof_of_work_bits = 64);
+    // P05: three shards cannot come from halving a power-of-two trace.
+    case("shards-not-pow2", Rule::ShardAggregationIncompatible, &|p| {
+        p.shards = 3;
+        p.aggregation_arity = 3;
+    });
+    // P05 (arity flavour): four shards feeding a two-way aggregator.
+    case("aggregation-arity-skew", Rule::ShardAggregationIncompatible, &|p| {
+        p.shards = 4;
+        p.aggregation_arity = 2;
+    });
 
     cases
 }

@@ -36,5 +36,7 @@ pub mod corpus;
 pub mod lint;
 
 pub use unizk_core::analyze::{
-    check, error_count, render_all, Diagnostic, Rule, Severity, LIVENESS_WINDOW, MAX_NTT_LOG2,
+    check, check_multi, check_params, cost_envelope, error_count, render_all, CostEnvelope,
+    Diagnostic, MultiChipSchedule, ProtocolParams, Rule, Severity, CLASS_ORDER, LIVENESS_WINDOW,
+    MAX_NTT_LOG2,
 };

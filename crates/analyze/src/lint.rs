@@ -7,13 +7,26 @@
 
 use std::path::Path;
 
-use unizk_core::analyze::{check, check_multi, Diagnostic, Severity};
-use unizk_core::compiler::{compile_starky, StarkyInstance};
-use unizk_core::{ChipConfig, Graph};
+use unizk_core::analyze::{
+    check, check_multi, check_params, cost_envelope, CostEnvelope, Diagnostic, ProtocolParams,
+    Severity, CLASS_ORDER,
+};
+use unizk_core::compiler::{compile_starky, Plonky2Instance, StarkyInstance};
+use unizk_core::{ChipConfig, Graph, Simulator};
 use unizk_explore::SweepSpec;
 use unizk_fleet::ShardPlan;
 use unizk_testkit::json::Json;
 use unizk_workloads::{App, Scale};
+
+/// FRI final-polynomial length the lint targets assume. Matches the
+/// repo's FRI presets; every lint target proves at least
+/// [`unizk_fleet::MIN_SHARD_ROWS`] rows, so this never trips P03.
+const LINT_FINAL_POLY_LEN: usize = 16;
+
+/// Conjectured security the lint targets are held to — the paper's
+/// production setting (both the Plonky2 and Starky presets meet it
+/// exactly: `28·3 + 16 = 84·1 + 16 = 100`).
+const LINT_TARGET_SECURITY_BITS: usize = 100;
 
 /// One schedule to verify.
 pub struct LintTarget {
@@ -26,6 +39,41 @@ pub struct LintTarget {
     /// Pre-computed diagnostics folded into the report alongside the
     /// single-graph checks (the multi-chip M-rules of fleet points).
     pub extra: Vec<Diagnostic>,
+    /// Protocol parameters to run the P-rules over (None for targets
+    /// that are not themselves a proof, e.g. aggregation stages whose
+    /// parameters are covered by their parent plan's target).
+    pub params: Option<ProtocolParams>,
+}
+
+/// The P-rule parameter block of a Plonky2 instance proved as `shards`
+/// shards (1 = unsharded, which also means no aggregation stage).
+fn plonky2_params(inst: &Plonky2Instance, shards: usize) -> ProtocolParams {
+    ProtocolParams {
+        log_rows: inst.rows.trailing_zeros() as usize,
+        rate_bits: inst.rate_bits,
+        num_queries: inst.num_queries,
+        proof_of_work_bits: inst.pow_bits,
+        final_poly_len: LINT_FINAL_POLY_LEN,
+        num_challenges: inst.num_challenges,
+        target_security_bits: LINT_TARGET_SECURITY_BITS,
+        shards,
+        aggregation_arity: if shards > 1 { shards } else { 0 },
+    }
+}
+
+/// The P-rule parameter block of a Starky instance.
+fn starky_params(inst: &StarkyInstance) -> ProtocolParams {
+    ProtocolParams {
+        log_rows: inst.rows.trailing_zeros() as usize,
+        rate_bits: inst.rate_bits,
+        num_queries: inst.num_queries,
+        proof_of_work_bits: inst.pow_bits,
+        final_poly_len: LINT_FINAL_POLY_LEN,
+        num_challenges: inst.num_challenges,
+        target_security_bits: LINT_TARGET_SECURITY_BITS,
+        shards: 1,
+        aggregation_arity: 0,
+    }
 }
 
 /// Every built-in workload: the six Table 3 applications at both the CI
@@ -36,19 +84,23 @@ pub fn workload_targets() -> Vec<LintTarget> {
     let mut targets = Vec::new();
     for app in App::ALL {
         for (tag, scale) in [("ci", Scale::default()), ("full", Scale::Full)] {
+            let inst = app.plonky2_instance(scale);
             targets.push(LintTarget {
                 name: format!("workload/{}@{tag}", app.id()),
-                graph: unizk_core::compile_plonky2(&app.plonky2_instance(scale)),
+                graph: unizk_core::compile_plonky2(&inst),
                 chip: chip.clone(),
                 extra: Vec::new(),
+                params: Some(plonky2_params(&inst, 1)),
             });
         }
     }
+    let starky = StarkyInstance::new(1 << 12, 16, 8);
     targets.push(LintTarget {
         name: "workload/starky".to_string(),
-        graph: compile_starky(&StarkyInstance::new(1 << 12, 16, 8)),
+        graph: compile_starky(&starky),
         chip,
         extra: Vec::new(),
+        params: Some(starky_params(&starky)),
     });
     targets
 }
@@ -69,11 +121,13 @@ pub fn spec_targets(path: &Path) -> Result<Vec<LintTarget>, String> {
     for (i, point) in points.into_iter().enumerate() {
         let base = format!("spec/{stem}#{i}/{}@2^{}", point.app.id(), point.log_rows);
         let Some(f) = &point.fleet else {
+            let inst = point.instance();
             targets.push(LintTarget {
                 name: base,
-                graph: unizk_core::compile_plonky2(&point.instance()),
+                graph: unizk_core::compile_plonky2(&inst),
                 chip: point.chip,
                 extra: Vec::new(),
+                params: Some(plonky2_params(&inst, 1)),
             });
             continue;
         };
@@ -84,6 +138,7 @@ pub fn spec_targets(path: &Path) -> Result<Vec<LintTarget>, String> {
             graph: plan.shard_graph().clone(),
             chip: point.chip.clone(),
             extra: check_multi(&plan.multi_schedule(), &point.chip),
+            params: Some(plonky2_params(&point.instance(), f.shards)),
         });
         if let Some(agg) = plan.aggregation_graph() {
             targets.push(LintTarget {
@@ -91,6 +146,7 @@ pub fn spec_targets(path: &Path) -> Result<Vec<LintTarget>, String> {
                 graph: agg.clone(),
                 chip: point.chip,
                 extra: Vec::new(),
+                params: None,
             });
         }
     }
@@ -105,6 +161,8 @@ pub struct TargetReport {
     pub nodes: usize,
     /// Every diagnostic the analyzer produced.
     pub diagnostics: Vec<Diagnostic>,
+    /// The target's static cost envelope (C-rule roofline bounds).
+    pub envelope: CostEnvelope,
 }
 
 impl TargetReport {
@@ -139,6 +197,18 @@ impl LintSummary {
     /// Whether the run gates green (no errors; warnings allowed).
     pub fn is_clean(&self) -> bool {
         self.errors() == 0
+    }
+
+    /// Keeps only diagnostics whose rule id matches one of the comma-
+    /// separated glob patterns (e.g. `"C*,P*"`, `"M01"`, `"*"`). Totals,
+    /// `is_clean`, and therefore the CLI exit code are recomputed over
+    /// the retained set: `--rules C*` asks "do the C-rules pass?".
+    pub fn retain_rules(&mut self, patterns: &str) {
+        let pats: Vec<&str> =
+            patterns.split(',').map(str::trim).filter(|p| !p.is_empty()).collect();
+        for r in &mut self.reports {
+            r.diagnostics.retain(|d| pats.iter().any(|p| rule_matches(d.rule.id(), p)));
+        }
     }
 
     /// Human-readable report: one line per finding plus a totals line.
@@ -182,19 +252,104 @@ impl LintSummary {
                     ("message", Json::str(d.message.clone())),
                 ])
             });
+            let classes = CLASS_ORDER.into_iter().map(|tag| {
+                let c = r.envelope.class(tag);
+                (
+                    tag.name().to_string(),
+                    Json::obj([
+                        ("cycles_lower", Json::from(c.cycles_lower)),
+                        ("cycles_upper", Json::from(c.cycles_upper)),
+                        ("traffic_bytes", Json::from(c.traffic_bytes)),
+                        ("nodes", Json::from(c.nodes)),
+                    ]),
+                )
+            });
             Json::obj([
                 ("target", Json::str(r.name.clone())),
                 ("nodes", Json::from(r.nodes)),
                 ("diagnostics", Json::arr(diags)),
+                (
+                    "envelope",
+                    Json::obj([
+                        ("cycles_lower", Json::from(r.envelope.total_lower())),
+                        ("cycles_upper", Json::from(r.envelope.total_upper())),
+                        ("traffic_bytes", Json::from(r.envelope.total_traffic_bytes())),
+                        ("peak_live_bytes", Json::from(r.envelope.peak_live_bytes)),
+                        ("classes", Json::obj(classes)),
+                    ]),
+                ),
             ])
         });
         Json::obj([
-            ("schema", Json::str("unizk-lint/1")),
+            ("schema", Json::str(LINT_SCHEMA)),
             ("errors", Json::from(self.errors())),
             ("warnings", Json::from(self.warnings())),
             ("targets", Json::arr(targets)),
         ])
     }
+}
+
+/// Schema identifier of `lint --json` output. v2 added the per-target
+/// cost envelope.
+pub const LINT_SCHEMA: &str = "unizk-lint/2";
+
+/// Whether a rule id matches one glob pattern: either an exact id
+/// (`"M01"`) or a family prefix ending in `*` (`"C*"`, `"*"`).
+pub fn rule_matches(id: &str, pattern: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => id.starts_with(prefix),
+        None => id == pattern,
+    }
+}
+
+/// Simulates every target and verifies that the static cost envelope
+/// brackets the exact result, class by class — the release-mode analogue
+/// of the debug assertions inside `Simulator::run`. Returns the number
+/// of targets checked; the first violation aborts with a description.
+///
+/// # Errors
+///
+/// Returns a message naming the target and the violated bound if any
+/// simulated cycle count escapes its envelope or any class's traffic
+/// differs from the static prediction.
+pub fn check_bounds(targets: &[LintTarget]) -> Result<usize, String> {
+    for t in targets {
+        let report = Simulator::new(t.chip.clone()).run(&t.graph);
+        let env = cost_envelope(&t.graph, &t.chip);
+        if report.total_cycles < env.total_lower() || report.total_cycles > env.total_upper() {
+            return Err(format!(
+                "{}: simulated {} cycles outside static bounds [{}, {}]",
+                t.name,
+                report.total_cycles,
+                env.total_lower(),
+                env.total_upper()
+            ));
+        }
+        for tag in CLASS_ORDER {
+            let class = report.class(tag);
+            let bounds = env.class(tag);
+            if class.cycles < bounds.cycles_lower || class.cycles > bounds.cycles_upper {
+                return Err(format!(
+                    "{}: class {} simulated {} cycles outside [{}, {}]",
+                    t.name,
+                    tag.name(),
+                    class.cycles,
+                    bounds.cycles_lower,
+                    bounds.cycles_upper
+                ));
+            }
+            if class.bytes != bounds.traffic_bytes {
+                return Err(format!(
+                    "{}: class {} moved {} bytes, statically predicted {}",
+                    t.name,
+                    tag.name(),
+                    class.bytes,
+                    bounds.traffic_bytes
+                ));
+            }
+        }
+    }
+    Ok(targets.len())
 }
 
 /// Runs the analyzer over a batch of targets.
@@ -205,7 +360,15 @@ pub fn lint_all(targets: &[LintTarget]) -> LintSummary {
             .map(|t| {
                 let mut diagnostics = check(&t.graph, &t.chip);
                 diagnostics.extend(t.extra.iter().cloned());
-                TargetReport { name: t.name.clone(), nodes: t.graph.len(), diagnostics }
+                if let Some(p) = &t.params {
+                    diagnostics.extend(check_params(p));
+                }
+                TargetReport {
+                    name: t.name.clone(),
+                    nodes: t.graph.len(),
+                    diagnostics,
+                    envelope: cost_envelope(&t.graph, &t.chip),
+                }
             })
             .collect(),
     }
@@ -250,11 +413,70 @@ mod tests {
     }
 
     #[test]
-    fn summary_json_has_totals() {
+    fn summary_json_has_totals_and_envelopes() {
         let targets = workload_targets();
         let summary = lint_all(&targets[..2]);
         let v = summary.to_json();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(LINT_SCHEMA));
         assert_eq!(v.get("errors").and_then(Json::as_u64), Some(0));
         assert!(summary.render(true).contains("2 targets"));
+
+        let target = &v.get("targets").and_then(Json::as_arr).unwrap()[0];
+        let env = target.get("envelope").expect("v2 reports carry an envelope");
+        let lower = env.get("cycles_lower").and_then(Json::as_u64).unwrap();
+        let upper = env.get("cycles_upper").and_then(Json::as_u64).unwrap();
+        assert!(0 < lower && lower <= upper);
+        for tag in CLASS_ORDER {
+            assert!(env.get("classes").unwrap().get(tag.name()).is_some());
+        }
+    }
+
+    #[test]
+    fn rule_globs_match_families_and_exact_ids() {
+        assert!(rule_matches("C01", "C*"));
+        assert!(rule_matches("P05", "*"));
+        assert!(rule_matches("M01", "M01"));
+        assert!(!rule_matches("C01", "P*"));
+        assert!(!rule_matches("M01", "M02"));
+        assert!(!rule_matches("M01", "M"));
+    }
+
+    #[test]
+    fn retain_rules_filters_diagnostics_and_recomputes_totals() {
+        // An insecure parameter block plants a P01 error alongside the
+        // (clean) graph diagnostics.
+        let inst = App::Fibonacci.plonky2_instance(Scale::default());
+        let mut params = plonky2_params(&inst, 1);
+        params.num_queries = 1;
+        let target = LintTarget {
+            name: "retain/insecure".to_string(),
+            graph: unizk_core::compile_plonky2(&inst),
+            chip: ChipConfig::default_chip(),
+            extra: Vec::new(),
+            params: Some(params),
+        };
+
+        let mut summary = lint_all(std::slice::from_ref(&target));
+        assert!(!summary.is_clean());
+        let mut scoped = lint_all(std::slice::from_ref(&target));
+        scoped.retain_rules("P*");
+        assert_eq!(scoped.errors(), summary.errors());
+        assert!(scoped
+            .reports[0]
+            .diagnostics
+            .iter()
+            .all(|d| d.rule.id().starts_with('P')));
+
+        // Scoping to an unrelated family makes the run clean.
+        summary.retain_rules("S*, D01");
+        assert!(summary.is_clean());
+        assert_eq!(summary.warnings(), 0);
+    }
+
+    #[test]
+    fn check_bounds_passes_on_builtin_targets() {
+        let targets = workload_targets();
+        let checked = check_bounds(&targets[..3]).unwrap();
+        assert_eq!(checked, 3);
     }
 }

@@ -1,10 +1,14 @@
 //! Property tests: the analyzer accepts every structurally valid random
-//! DAG and rejects every schedule with a forward (cyclic) dependency.
+//! DAG and rejects every schedule with a forward (cyclic) dependency;
+//! the static cost envelope brackets the simulator on random (DAG, chip)
+//! pairs and responds monotonically to bandwidth; the P-rules flip at
+//! exactly the security-bit boundary.
 
-use unizk_analyze::{check, error_count, render_all};
+use unizk_analyze::{check, check_params, cost_envelope, error_count, render_all, Rule, CLASS_ORDER};
+use unizk_core::analyze::ProtocolParams;
 use unizk_core::graph::Graph;
 use unizk_core::kernels::{Kernel, Reuse};
-use unizk_core::ChipConfig;
+use unizk_core::{ChipConfig, Simulator};
 use unizk_testkit::prop::prelude::*;
 use unizk_testkit::rng::TestRng;
 
@@ -104,6 +108,121 @@ prop! {
         prop_assert!(
             error_count(&check(&g, &ChipConfig::default_chip())) >= 1,
             "duplicate dep at node {victim} passed (seed {seed}, len {len})"
+        );
+    }
+}
+
+/// A random valid chip: every axis drawn from the sweepable grid, always
+/// passing `ChipConfig::validate`.
+fn random_valid_chip(seed: u64) -> ChipConfig {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut chip = ChipConfig::default_chip();
+    chip.num_vsas = 8 << rng.gen_range(0u32..4);
+    chip.scratchpad_bytes = (1 << 20) << rng.gen_range(0u32..5);
+    chip.transpose_b = 16 << rng.gen_range(0u32..2);
+    chip.ntt_pipeline_log2 = rng.gen_range(4usize..7);
+    chip = chip.with_bandwidth_scale(1, 1 << rng.gen_range(0u32..3));
+    chip.validate().expect("grid chips are valid");
+    chip
+}
+
+prop! {
+    #![cases(24)]
+
+    fn envelope_brackets_the_simulator_on_random_pairs(
+        graph_seed in any::<u64>(),
+        chip_seed in any::<u64>(),
+        len in 2usize..16,
+    ) {
+        let g = random_valid_graph(graph_seed, len);
+        let chip = random_valid_chip(chip_seed);
+        let env = cost_envelope(&g, &chip);
+        let report = Simulator::new(chip).run(&g);
+        prop_assert!(
+            env.total_lower() <= report.total_cycles && report.total_cycles <= env.total_upper(),
+            "sim {} outside [{}, {}] (graph {graph_seed}, chip {chip_seed})",
+            report.total_cycles,
+            env.total_lower(),
+            env.total_upper()
+        );
+        for tag in CLASS_ORDER {
+            let sim = report.class(tag);
+            let bounds = env.class(tag);
+            prop_assert!(
+                bounds.cycles_lower <= sim.cycles && sim.cycles <= bounds.cycles_upper,
+                "class {} sim {} outside [{}, {}]",
+                tag.name(),
+                sim.cycles,
+                bounds.cycles_lower,
+                bounds.cycles_upper
+            );
+            prop_assert!(sim.bytes == bounds.traffic_bytes, "class {} traffic", tag.name());
+        }
+    }
+
+    fn envelope_is_monotone_in_bandwidth(
+        graph_seed in any::<u64>(),
+        chip_seed in any::<u64>(),
+        len in 2usize..16,
+        halvings in 1u32..4,
+    ) {
+        let g = random_valid_graph(graph_seed, len);
+        let fast = random_valid_chip(chip_seed);
+        let slow = fast.clone().with_bandwidth_scale(
+            fast.hbm.channels,
+            32 << halvings, // relative to the 32-channel base config
+        );
+        let fast_env = cost_envelope(&g, &fast);
+        let slow_env = cost_envelope(&g, &slow);
+        prop_assert!(
+            fast_env.total_lower() <= slow_env.total_lower(),
+            "lower bound grew with bandwidth: {} > {}",
+            fast_env.total_lower(),
+            slow_env.total_lower()
+        );
+        prop_assert!(
+            fast_env.total_upper() <= slow_env.total_upper(),
+            "upper bound grew with bandwidth: {} > {}",
+            fast_env.total_upper(),
+            slow_env.total_upper()
+        );
+        // Traffic is a property of the schedule, not the memory system.
+        prop_assert!(fast_env.total_traffic_bytes() == slow_env.total_traffic_bytes());
+        prop_assert!(fast_env.peak_live_bytes == slow_env.peak_live_bytes);
+    }
+
+    fn p_rules_flip_exactly_at_the_security_boundary(
+        rate_bits in 1usize..5,
+        pow in 0usize..21,
+        log_rows in 9usize..15,
+    ) {
+        let target = 100usize;
+        let queries = (target - pow).div_ceil(rate_bits);
+        let sound = ProtocolParams {
+            log_rows,
+            rate_bits,
+            num_queries: queries,
+            proof_of_work_bits: pow,
+            final_poly_len: 16,
+            num_challenges: 2,
+            target_security_bits: target,
+            shards: 1,
+            aggregation_arity: 0,
+        };
+        let diags = check_params(&sound);
+        prop_assert!(
+            error_count(&diags) == 0,
+            "params at the boundary rejected:\n{}",
+            render_all(&diags)
+        );
+
+        let mut starved = sound;
+        starved.num_queries -= 1;
+        let diags = check_params(&starved);
+        prop_assert!(
+            diags.iter().any(|d| d.rule == Rule::InsufficientSecurityBits),
+            "one query below the boundary accepted ({} queries, rate {rate_bits}, pow {pow})",
+            starved.num_queries
         );
     }
 }

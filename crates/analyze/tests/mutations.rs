@@ -1,54 +1,107 @@
 //! Mutation testing of the analyzer: every corpus corruption must be
-//! caught with its expected rule id, at error severity, while the
-//! unmutated baseline stays error-free.
+//! caught with its expected rule id at that rule's catalog severity,
+//! while the unmutated baselines stay error-free. Three corpora:
+//! single-graph corruptions (S/D/R/C rules), multi-chip plan corruptions
+//! (M rules), and protocol-parameter corruptions (P rules).
 
-use unizk_analyze::corpus::{baseline_chip, baseline_graph, mutation_corpus};
-use unizk_analyze::{check, error_count, render_all, Severity};
+use unizk_analyze::corpus::{
+    baseline_chip, baseline_graph, baseline_params, baseline_plan, multi_mutation_corpus,
+    mutation_corpus, param_mutation_corpus,
+};
+use unizk_analyze::{
+    check, check_multi, check_params, error_count, render_all, Diagnostic, Rule, Severity,
+};
 
-#[test]
-fn baseline_is_error_free() {
-    let diags = check(&baseline_graph(), &baseline_chip());
-    assert_eq!(error_count(&diags), 0, "baseline:\n{}", render_all(&diags));
+fn assert_caught(name: &str, expected: Rule, diags: &[Diagnostic]) {
+    let hit = diags.iter().find(|d| d.rule == expected).unwrap_or_else(|| {
+        panic!(
+            "case {name:?}: expected {} {} to fire, got:\n{}",
+            expected.id(),
+            expected.name(),
+            render_all(diags)
+        )
+    });
+    assert_eq!(
+        hit.severity,
+        expected.severity(),
+        "case {name:?}: {} must report at its catalog severity",
+        expected.id()
+    );
 }
 
 #[test]
-fn every_mutation_is_caught_with_its_expected_rule() {
+fn baselines_are_error_free() {
+    let diags = check(&baseline_graph(), &baseline_chip());
+    assert_eq!(error_count(&diags), 0, "graph baseline:\n{}", render_all(&diags));
+
+    let plan = baseline_plan();
+    let diags = check_multi(&plan.multi_schedule(), &baseline_chip());
+    assert_eq!(error_count(&diags), 0, "plan baseline:\n{}", render_all(&diags));
+
+    let diags = check_params(&baseline_params());
+    assert!(diags.is_empty(), "param baseline:\n{}", render_all(&diags));
+}
+
+#[test]
+fn every_graph_mutation_is_caught_with_its_expected_rule() {
     for case in mutation_corpus() {
         let diags = check(&case.graph, &case.chip);
-        let hit = diags.iter().find(|d| d.rule == case.expected);
-        let hit = hit.unwrap_or_else(|| {
-            panic!(
-                "case {:?}: expected {} {} to fire, got:\n{}",
-                case.name,
-                case.expected.id(),
-                case.expected.name(),
-                render_all(&diags)
-            )
-        });
-        assert_eq!(
-            hit.severity,
-            Severity::Error,
-            "case {:?}: {} must report at error severity",
-            case.name,
-            case.expected.id()
-        );
+        assert_caught(case.name, case.expected, &diags);
+        if case.expected.severity() == Severity::Error {
+            assert!(error_count(&diags) >= 1, "case {:?} must fail the gate", case.name);
+        }
+    }
+}
+
+#[test]
+fn every_multi_chip_mutation_is_caught_with_its_expected_rule() {
+    let chip = baseline_chip();
+    for case in multi_mutation_corpus() {
+        let diags = check_multi(&case.schedule(), &chip);
+        assert_caught(case.name, case.expected, &diags);
+    }
+}
+
+#[test]
+fn every_param_mutation_is_caught_with_its_expected_rule() {
+    for case in param_mutation_corpus() {
+        let diags = check_params(&case.params);
+        assert_caught(case.name, case.expected, &diags);
         assert!(error_count(&diags) >= 1, "case {:?} must fail the gate", case.name);
     }
 }
 
 #[test]
-fn corpus_spans_at_least_eight_rules() {
+fn corpora_span_every_rule_family() {
     let mut ids: Vec<&str> = mutation_corpus().iter().map(|c| c.expected.id()).collect();
+    ids.extend(multi_mutation_corpus().iter().map(|c| c.expected.id()));
+    ids.extend(param_mutation_corpus().iter().map(|c| c.expected.id()));
     ids.sort_unstable();
     ids.dedup();
-    assert!(ids.len() >= 8, "only {} distinct rules covered: {ids:?}", ids.len());
+    assert!(ids.len() >= 15, "only {} distinct rules covered: {ids:?}", ids.len());
+    for family in ["S", "D", "R", "M", "C", "P"] {
+        assert!(
+            ids.iter().any(|id| id.starts_with(family)),
+            "no corpus case covers the {family}-rule family: {ids:?}"
+        );
+    }
 }
 
 #[test]
-fn no_false_negatives_hide_behind_warnings() {
-    // A mutated graph must not pass `is_error`-based gating: the expected
-    // rule is an error in the catalog for every corpus case.
+fn error_rules_never_hide_behind_warnings() {
+    // A case whose expected rule is a warning must not be able to flip
+    // the gate by itself; a case expecting an error must always flip it.
+    // The catalog severity is the single source of truth for both.
     for case in mutation_corpus() {
-        assert_eq!(case.expected.severity(), Severity::Error, "case {:?}", case.name);
+        let expected_severity = case.expected.severity();
+        let diags = check(&case.graph, &case.chip);
+        let expected_errors = diags
+            .iter()
+            .filter(|d| d.rule == case.expected && d.is_error())
+            .count();
+        match expected_severity {
+            Severity::Error => assert!(expected_errors >= 1, "case {:?}", case.name),
+            Severity::Warning => assert_eq!(expected_errors, 0, "case {:?}", case.name),
+        }
     }
 }

@@ -168,7 +168,7 @@ fn build_artifact(spec: &SweepSpec, jobs: usize) -> Json {
     );
     println!("anchor: 1-chip/1-shard makespan = simulator cycles = {sim_cycles}");
 
-    let opts = SweepOptions { jobs, cache_dir: None, fresh: false };
+    let opts = SweepOptions { jobs, cache_dir: None, fresh: false, prune: false };
     let result = run_sweep(spec, &opts).expect("fleet sweep runs");
 
     Json::obj([

@@ -34,20 +34,52 @@
 //! | M01 | `shard-schedule-divergent` | error | sharded proving splits one trace into identical sub-problems; shard schedules must be structurally identical |
 //! | M02 | `aggregation-arity-mismatch` | error | the aggregation schedule must absorb exactly one payload per shard (and exist iff there is more than one shard) |
 //! | M03 | `interconnect-payload-missing` | warning | multi-shard plans that declare zero inter-chip payload bytes leave the interconnect unmodeled |
+//! | C01 | `cost-model-overflow` | error | a node's modeled cycles or traffic exceed 2^53, past which the model's f64 bandwidth arithmetic loses integer exactness |
+//! | C02 | `zero-cost-schedule` | warning | a nonempty schedule whose static cycle upper bound is zero simulates as free |
+//! | C03 | `bandwidth-starved-schedule` | warning | §7.1: nearly every costed kernel is memory-bound even at *peak* bandwidth — the mapping cannot feed the VSAs |
+//! | C04 | `liveness-exceeds-scratchpad` | warning | §5.4: peak live bytes far beyond the scratchpad pin every inter-kernel value to HBM |
+//! | P01 | `insufficient-security-bits` | error | conjectured security `queries·rate_bits + pow_bits` must reach the target, over nonzero challenge rounds |
+//! | P02 | `lde-exceeds-two-adicity` | error | `log_rows + rate_bits` must fit the Goldilocks two-adicity (32): the LDE domain needs a root of unity |
+//! | P03 | `final-poly-inconsistent` | error | FRI folding must terminate on a nonempty power-of-two final polynomial smaller than the trace |
+//! | P04 | `excessive-grind` | error | a 64-bit grinding challenge cannot show ≥ 64 leading zero bits |
+//! | P05 | `shard-aggregation-incompatible` | error | shard count (a power of two) and aggregation arity must describe the same plan |
 //!
 //! Entry point: [`check`] for a single chip's graph; [`check_multi`] adds
 //! the M-rules over a [`MultiChipSchedule`] (every member graph still goes
-//! through [`check`] individually). The simulator calls [`check`] under
+//! through [`check`] individually); [`check_params`] runs the P-rules over
+//! a protocol's [`ProtocolParams`]. The simulator calls [`check`] under
 //! `debug_assertions`, so every test run verifies every graph it executes
 //! for free; the `unizk-analyze` crate wraps it in a `lint` CLI that gates
 //! CI and bench artifacts, and the fleet simulator asserts
 //! [`assert_multi_verified`] on every plan it runs in debug builds.
+//!
+//! # Cost envelope (C-rules)
+//!
+//! [`cost_envelope`] derives a static roofline over the mapping (paper §5):
+//! for every node the simulator will charge
+//! `max(compute_cycles, stream_cycles(bytes)) + fill_cycles`, where
+//! `stream_cycles = ceil(bytes / (peak · efficiency))` and the measured
+//! efficiency is clamped to `[0, 1]`. Two bounds follow without running the
+//! channel model:
+//!
+//! * **lower** — `max(compute_cycles, ceil(bytes / peak)) + fill_cycles`:
+//!   memory can never beat peak bandwidth, so this floor is sound;
+//! * **upper** — `compute_cycles + stream_cycles(bytes) + fill_cycles`:
+//!   `max(a, b) ≤ a + b`, so dropping the compute/memory overlap is a
+//!   sound ceiling.
+//!
+//! HBM traffic is exact (the byte counts are static), and peak scratchpad
+//! liveness is the maximum over schedule positions of the bytes written by
+//! producers still awaiting their last consumer. The simulator
+//! debug-asserts `lower ≤ simulated ≤ upper` per kernel class on every run,
+//! and `crates/explore` uses the envelope to prune Pareto-dominated sweep
+//! points before simulating them.
 
 use unizk_dram::MemoryModel;
 
 use crate::arch::ChipConfig;
 use crate::graph::{Graph, NodeId};
-use crate::kernels::{Kernel, NttVariant};
+use crate::kernels::{Kernel, KernelClassTag, NttVariant};
 use crate::mapping::map_kernel;
 
 /// Goldilocks two-adicity: the largest `log_n` for which a primitive
@@ -61,6 +93,30 @@ pub const MAX_NTT_LOG2: usize = 32;
 /// producer: its output must stay resident across that many intervening
 /// kernel phases before its final read.
 pub const LIVENESS_WINDOW: usize = 16;
+
+/// Largest magnitude (`2^53`) a node's modeled cycles or traffic may reach
+/// before rule C01 fires: past this, `f64` bandwidth arithmetic (the memory
+/// model divides byte counts by bytes/cycle) no longer represents every
+/// integer exactly, so neither simulated results nor the static envelope
+/// can be trusted.
+pub const MAX_EXACT_COST: u64 = 1 << 53;
+
+/// Minimum costed-node count before rule C03 considers a schedule; tiny
+/// graphs (a lone absorb, a unit test fixture) are all noise.
+pub const BANDWIDTH_STARVED_MIN_NODES: usize = 4;
+
+/// Percentage of costed nodes that must be memory-bound *at peak
+/// bandwidth* for rule C03 to fire. Real proof schedules are dominated by
+/// compute-bound hash kernels; only a pathological mapping starves.
+pub const BANDWIDTH_STARVED_PERCENT: usize = 95;
+
+/// Multiple of the scratchpad that peak live bytes may reach before rule
+/// C04 fires. Proof schedules stream far more than one pad (that is the
+/// design: HBM holds the vectors — full-scale workloads peak around
+/// 3500x), so the warning triggers only when the resident set would
+/// overflow even HBM: 4096 x the default 8 MiB pad is 32 GiB, about the
+/// capacity of the paper's two HBM2e stacks.
+pub const LIVENESS_SCRATCHPAD_FACTOR: u64 = 4096;
 
 /// How serious a diagnostic is.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -120,11 +176,36 @@ pub enum Rule {
     /// M03: a multi-shard plan declares zero inter-chip payload bytes, so
     /// the interconnect model charges nothing for aggregation traffic.
     InterconnectPayloadMissing,
+    /// C01: a node's modeled cycles or traffic exceed [`MAX_EXACT_COST`],
+    /// past which the model's `f64` arithmetic loses integer exactness.
+    CostModelOverflow,
+    /// C02: a nonempty schedule's static cycle upper bound is zero.
+    ZeroCostSchedule,
+    /// C03: nearly every costed kernel is memory-bound even at peak
+    /// bandwidth — the mapping cannot feed the VSAs.
+    BandwidthStarvedSchedule,
+    /// C04: peak scratchpad liveness exceeds the pad by
+    /// [`LIVENESS_SCRATCHPAD_FACTOR`], pinning inter-kernel values to HBM.
+    LivenessExceedsScratchpad,
+    /// P01: conjectured security bits fall short of the target (or there
+    /// are zero constraint-combination challenge rounds).
+    InsufficientSecurityBits,
+    /// P02: the LDE domain `2^(log_rows + rate_bits)` has no root of unity
+    /// within the Goldilocks two-adicity.
+    LdeExceedsTwoAdicity,
+    /// P03: the FRI final polynomial is empty, not a power of two, or at
+    /// least as large as the trace itself.
+    FinalPolyInconsistent,
+    /// P04: the proof-of-work grind demands ≥ 64 leading zero bits of a
+    /// 64-bit challenge.
+    ExcessiveGrind,
+    /// P05: shard count and aggregation arity describe different plans.
+    ShardAggregationIncompatible,
 }
 
 impl Rule {
     /// Every rule, in catalog (and diagnostic-emission) order.
-    pub const ALL: [Rule; 19] = [
+    pub const ALL: [Rule; 28] = [
         Rule::DepOutOfRange,
         Rule::DepNotTopological,
         Rule::DepDuplicate,
@@ -144,6 +225,15 @@ impl Rule {
         Rule::ShardScheduleDivergent,
         Rule::AggregationArityMismatch,
         Rule::InterconnectPayloadMissing,
+        Rule::CostModelOverflow,
+        Rule::ZeroCostSchedule,
+        Rule::BandwidthStarvedSchedule,
+        Rule::LivenessExceedsScratchpad,
+        Rule::InsufficientSecurityBits,
+        Rule::LdeExceedsTwoAdicity,
+        Rule::FinalPolyInconsistent,
+        Rule::ExcessiveGrind,
+        Rule::ShardAggregationIncompatible,
     ];
 
     /// Stable short identifier (`S01`, `D03`, …).
@@ -168,6 +258,15 @@ impl Rule {
             Rule::ShardScheduleDivergent => "M01",
             Rule::AggregationArityMismatch => "M02",
             Rule::InterconnectPayloadMissing => "M03",
+            Rule::CostModelOverflow => "C01",
+            Rule::ZeroCostSchedule => "C02",
+            Rule::BandwidthStarvedSchedule => "C03",
+            Rule::LivenessExceedsScratchpad => "C04",
+            Rule::InsufficientSecurityBits => "P01",
+            Rule::LdeExceedsTwoAdicity => "P02",
+            Rule::FinalPolyInconsistent => "P03",
+            Rule::ExcessiveGrind => "P04",
+            Rule::ShardAggregationIncompatible => "P05",
         }
     }
 
@@ -193,6 +292,15 @@ impl Rule {
             Rule::ShardScheduleDivergent => "shard-schedule-divergent",
             Rule::AggregationArityMismatch => "aggregation-arity-mismatch",
             Rule::InterconnectPayloadMissing => "interconnect-payload-missing",
+            Rule::CostModelOverflow => "cost-model-overflow",
+            Rule::ZeroCostSchedule => "zero-cost-schedule",
+            Rule::BandwidthStarvedSchedule => "bandwidth-starved-schedule",
+            Rule::LivenessExceedsScratchpad => "liveness-exceeds-scratchpad",
+            Rule::InsufficientSecurityBits => "insufficient-security-bits",
+            Rule::LdeExceedsTwoAdicity => "lde-exceeds-two-adicity",
+            Rule::FinalPolyInconsistent => "final-poly-inconsistent",
+            Rule::ExcessiveGrind => "excessive-grind",
+            Rule::ShardAggregationIncompatible => "shard-aggregation-incompatible",
         }
     }
 
@@ -203,7 +311,10 @@ impl Rule {
             | Rule::ScratchpadOvercommit
             | Rule::TransposeNotHidden
             | Rule::BufferHeldPastLastRead
-            | Rule::InterconnectPayloadMissing => Severity::Warning,
+            | Rule::InterconnectPayloadMissing
+            | Rule::ZeroCostSchedule
+            | Rule::BandwidthStarvedSchedule
+            | Rule::LivenessExceedsScratchpad => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -259,6 +370,38 @@ impl Rule {
                 "a multi-shard plan with zero declared payload bytes leaves the interconnect \
                  unmodeled"
             }
+            Rule::CostModelOverflow => {
+                "modeled cycles and traffic must stay below 2^53, where f64 bandwidth \
+                 arithmetic is still integer-exact"
+            }
+            Rule::ZeroCostSchedule => {
+                "a nonempty schedule with a zero static cycle upper bound simulates as free"
+            }
+            Rule::BandwidthStarvedSchedule => {
+                "nearly every costed kernel is memory-bound even at peak bandwidth: the \
+                 mapping cannot feed the VSAs"
+            }
+            Rule::LivenessExceedsScratchpad => {
+                "peak live bytes far beyond the scratchpad pin every inter-kernel value to HBM"
+            }
+            Rule::InsufficientSecurityBits => {
+                "conjectured security (queries x rate_bits + pow_bits) must reach the target \
+                 over nonzero challenge rounds"
+            }
+            Rule::LdeExceedsTwoAdicity => {
+                "the LDE domain 2^(log_rows + rate_bits) needs a root of unity within the \
+                 field's two-adicity"
+            }
+            Rule::FinalPolyInconsistent => {
+                "FRI folding must terminate on a nonempty power-of-two final polynomial \
+                 smaller than the trace"
+            }
+            Rule::ExcessiveGrind => {
+                "a 64-bit grinding challenge cannot show 64 or more leading zero bits"
+            }
+            Rule::ShardAggregationIncompatible => {
+                "shard count (a power of two) and aggregation arity must describe the same plan"
+            }
         }
     }
 }
@@ -302,6 +445,134 @@ pub fn render_all(diags: &[Diagnostic]) -> String {
     diags.iter().map(|d| d.render() + "\n").collect()
 }
 
+/// Kernel classes in the fixed order [`CostEnvelope`] stores them.
+pub const CLASS_ORDER: [KernelClassTag; 4] = [
+    KernelClassTag::Ntt,
+    KernelClassTag::Hash,
+    KernelClassTag::Poly,
+    KernelClassTag::Transpose,
+];
+
+fn class_index(tag: KernelClassTag) -> usize {
+    match tag {
+        KernelClassTag::Ntt => 0,
+        KernelClassTag::Hash => 1,
+        KernelClassTag::Poly => 2,
+        KernelClassTag::Transpose => 3,
+    }
+}
+
+/// Static cycle and traffic bounds for one kernel class.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassEnvelope {
+    /// Roofline floor on the class's simulated cycles: memory time at
+    /// *peak* bandwidth, compute time at full issue.
+    pub cycles_lower: u64,
+    /// Ceiling on the class's simulated cycles: compute plus
+    /// measured-efficiency memory time with no overlap.
+    pub cycles_upper: u64,
+    /// HBM traffic in bytes. Exact, not a bound — byte counts are static.
+    pub traffic_bytes: u64,
+    /// Nodes of this class in the schedule.
+    pub nodes: usize,
+}
+
+/// A machine-readable static roofline over a compiled schedule: per-class
+/// cycle lower/upper bounds, exact HBM traffic, and peak scratchpad
+/// liveness. See the module docs for the derivation; the simulator
+/// debug-asserts `lower ≤ simulated ≤ upper` against this on every run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostEnvelope {
+    /// Per-class bounds, in [`CLASS_ORDER`].
+    pub classes: [ClassEnvelope; 4],
+    /// Maximum over schedule positions of the bytes written by producers
+    /// whose output is still awaiting its last consumer.
+    pub peak_live_bytes: u64,
+}
+
+impl CostEnvelope {
+    /// The bounds for one kernel class.
+    pub fn class(&self, tag: KernelClassTag) -> &ClassEnvelope {
+        &self.classes[class_index(tag)]
+    }
+
+    /// Lower bound on total simulated cycles (sum of class floors — the
+    /// simulator runs nodes serially, so per-node bounds add).
+    pub fn total_lower(&self) -> u64 {
+        self.classes.iter().map(|c| c.cycles_lower).sum()
+    }
+
+    /// Upper bound on total simulated cycles.
+    pub fn total_upper(&self) -> u64 {
+        self.classes.iter().map(|c| c.cycles_upper).sum()
+    }
+
+    /// Total HBM traffic in bytes (exact).
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.traffic_bytes).sum()
+    }
+}
+
+/// Derives the [`CostEnvelope`] of a compiled schedule on `chip`.
+///
+/// Purely static: maps every kernel, never runs the cycle-accurate channel
+/// model probe beyond the memory model's own deterministic efficiency
+/// measurement (identical to what the simulator uses).
+pub fn cost_envelope(graph: &Graph, chip: &ChipConfig) -> CostEnvelope {
+    cost_envelope_with(graph, chip, &MemoryModel::new(chip.hbm.clone()))
+}
+
+/// [`cost_envelope`] against a caller-provided memory model, so the
+/// simulator can reuse its own (memoized efficiencies and all) and the
+/// bounds brackets exactly the arithmetic the simulation performs.
+pub fn cost_envelope_with(graph: &Graph, chip: &ChipConfig, memory: &MemoryModel) -> CostEnvelope {
+    let nodes = graph.nodes();
+    let len = nodes.len();
+
+    // Live ranges for peak liveness: a producer's output occupies memory
+    // from its own position through its last consumer's.
+    let mut last_consumer: Vec<Option<NodeId>> = vec![None; len];
+    for (id, node) in nodes.iter().enumerate() {
+        for &d in &node.deps {
+            if d < id {
+                last_consumer[d] = Some(id);
+            }
+        }
+    }
+
+    let peak = chip.hbm.peak_bytes_per_cycle();
+    let mut env = CostEnvelope::default();
+    let mut live_delta = vec![0i128; len + 1];
+    for (id, node) in nodes.iter().enumerate() {
+        let cost = map_kernel(&node.kernel, chip);
+        let bytes = cost.total_bytes();
+        // The floor assumes 100% bandwidth efficiency; the measured
+        // efficiency is clamped to [0, 1], so the simulator's
+        // `stream_cycles` can only be at least this.
+        #[allow(clippy::cast_possible_truncation)] // C01 bounds the domain
+        let mem_floor = if bytes == 0 { 0 } else { ((bytes as f64) / peak).ceil() as u64 };
+        let mem_ceiling = memory.stream_cycles(bytes, cost.pattern);
+        let slot = &mut env.classes[class_index(node.kernel.class())];
+        slot.cycles_lower += cost.compute_cycles.max(mem_floor) + cost.fill_cycles;
+        slot.cycles_upper += cost.compute_cycles + mem_ceiling + cost.fill_cycles;
+        slot.traffic_bytes += bytes;
+        slot.nodes += 1;
+
+        let end = last_consumer[id].unwrap_or(id);
+        live_delta[id] += i128::from(cost.write_bytes);
+        live_delta[end + 1] -= i128::from(cost.write_bytes);
+    }
+
+    let mut live = 0i128;
+    let mut peak_live = 0i128;
+    for d in &live_delta {
+        live += d;
+        peak_live = peak_live.max(live);
+    }
+    env.peak_live_bytes = u64::try_from(peak_live).expect("live bytes are a sum of u64 writes");
+    env
+}
+
 /// Verifies a compiled kernel graph against a chip configuration.
 ///
 /// Returns every finding, errors and warnings, in deterministic order
@@ -340,6 +611,22 @@ pub fn check(graph: &Graph, chip: &ChipConfig) -> Vec<Diagnostic> {
                 message,
             });
         };
+
+        // ---- cost-model domain ------------------------------------------
+        let cost = map_kernel(&node.kernel, chip);
+        if cost.compute_cycles > MAX_EXACT_COST || cost.total_bytes() > MAX_EXACT_COST {
+            push(
+                Rule::CostModelOverflow,
+                id,
+                format!(
+                    "({label}) models {} compute cycles and {} traffic bytes; past 2^53 the \
+                     f64 bandwidth arithmetic loses integer exactness and neither simulation \
+                     nor the static envelope can be trusted",
+                    cost.compute_cycles,
+                    cost.total_bytes()
+                ),
+            );
+        }
 
         // ---- structural -------------------------------------------------
         for (i, &d) in node.deps.iter().enumerate() {
@@ -598,6 +885,63 @@ pub fn check(graph: &Graph, chip: &ChipConfig) -> Vec<Diagnostic> {
         }
     }
 
+    // ---- graph-level cost rules (C02–C04) -------------------------------
+    let env = cost_envelope_with(graph, chip, &memory);
+    let mut push_graph = |rule: Rule, message: String| {
+        diags.push(Diagnostic { rule, severity: rule.severity(), node: None, message });
+    };
+
+    if len > 0 && env.total_upper() == 0 {
+        push_graph(
+            Rule::ZeroCostSchedule,
+            format!(
+                "{len} node(s) but a zero static cycle upper bound: the whole schedule \
+                 simulates as free"
+            ),
+        );
+    }
+
+    // C03: count the costed nodes (nonzero modeled time) that are
+    // memory-bound even if HBM ran at 100% efficiency.
+    let peak = chip.hbm.peak_bytes_per_cycle();
+    let (mut costed, mut starved) = (0usize, 0usize);
+    for node in nodes {
+        let cost = map_kernel(&node.kernel, chip);
+        let bytes = cost.total_bytes();
+        if cost.compute_cycles + cost.fill_cycles == 0 && bytes == 0 {
+            continue;
+        }
+        costed += 1;
+        #[allow(clippy::cast_possible_truncation)] // C01 bounds the domain
+        let mem_floor = if bytes == 0 { 0 } else { ((bytes as f64) / peak).ceil() as u64 };
+        if mem_floor > cost.compute_cycles {
+            starved += 1;
+        }
+    }
+    if costed >= BANDWIDTH_STARVED_MIN_NODES
+        && starved * 100 >= costed * BANDWIDTH_STARVED_PERCENT
+    {
+        push_graph(
+            Rule::BandwidthStarvedSchedule,
+            format!(
+                "{starved} of {costed} costed kernels are memory-bound even at peak \
+                 bandwidth: the mapping cannot feed the VSAs"
+            ),
+        );
+    }
+
+    let live_budget = LIVENESS_SCRATCHPAD_FACTOR * chip.scratchpad_bytes as u64;
+    if env.peak_live_bytes > live_budget {
+        push_graph(
+            Rule::LivenessExceedsScratchpad,
+            format!(
+                "peak live bytes {} exceed {LIVENESS_SCRATCHPAD_FACTOR}x the scratchpad \
+                 ({live_budget} B): every inter-kernel value streams through HBM",
+                env.peak_live_bytes
+            ),
+        );
+    }
+
     diags
 }
 
@@ -763,6 +1107,154 @@ pub fn assert_verified(graph: &Graph, chip: &ChipConfig) {
     assert!(
         errors.is_empty(),
         "schedule failed static verification with {} error(s):\n{}",
+        errors.len(),
+        errors.iter().map(|d| d.render() + "\n").collect::<String>()
+    );
+}
+
+/// Cryptographic protocol parameters for the P-rule checker: one flat
+/// record a caller assembles from its `FriConfig`/`StarkConfig`/shard plan
+/// (this crate models hardware, not protocols, so it cannot depend on
+/// those crates — the fields mirror them instead, the same way
+/// [`MultiChipSchedule`] mirrors the fleet planner's output).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolParams {
+    /// `log2` of the trace height.
+    pub log_rows: usize,
+    /// `log2` of the LDE blowup factor.
+    pub rate_bits: usize,
+    /// FRI query rounds.
+    pub num_queries: usize,
+    /// Leading-zero bits demanded of the 64-bit grinding challenge.
+    pub proof_of_work_bits: usize,
+    /// Coefficients at which FRI folding stops.
+    pub final_poly_len: usize,
+    /// Independent constraint-combination challenge rounds.
+    pub num_challenges: usize,
+    /// Conjectured security bits the deployment demands.
+    pub target_security_bits: usize,
+    /// Shards the workload is split across (1 = unsharded).
+    pub shards: usize,
+    /// Payloads the aggregation stage absorbs (0 = no aggregation stage).
+    pub aggregation_arity: usize,
+}
+
+impl ProtocolParams {
+    /// The Plonky2 heuristic: one `rate_bits` of security per query plus
+    /// the grinding bits.
+    pub fn conjectured_security_bits(&self) -> usize {
+        self.num_queries * self.rate_bits + self.proof_of_work_bits
+    }
+}
+
+/// Runs the P-rules over one protocol's parameters. Diagnostics are
+/// plan-level (no node anchor); an empty result means the parameters are
+/// sound under the conjectured-security heuristic.
+pub fn check_params(p: &ProtocolParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut push = |rule: Rule, message: String| {
+        diags.push(Diagnostic { rule, severity: rule.severity(), node: None, message });
+    };
+
+    // P01: the conjectured-security ledger must balance.
+    if p.num_challenges == 0 {
+        push(
+            Rule::InsufficientSecurityBits,
+            "zero constraint-combination challenge rounds: the quotient identity is never \
+             bound to the trace"
+                .into(),
+        );
+    }
+    let bits = p.conjectured_security_bits();
+    if bits < p.target_security_bits {
+        push(
+            Rule::InsufficientSecurityBits,
+            format!(
+                "{} queries x {} rate bits + {} pow bits = {bits} conjectured security bits, \
+                 short of the {}-bit target",
+                p.num_queries, p.rate_bits, p.proof_of_work_bits, p.target_security_bits
+            ),
+        );
+    }
+
+    // P02: the LDE domain must have a root of unity.
+    if p.log_rows + p.rate_bits > MAX_NTT_LOG2 {
+        push(
+            Rule::LdeExceedsTwoAdicity,
+            format!(
+                "LDE domain 2^{} (log_rows {} + rate_bits {}) exceeds the Goldilocks \
+                 two-adicity 2^{MAX_NTT_LOG2}: no root of unity exists for the blowup",
+                p.log_rows + p.rate_bits,
+                p.log_rows,
+                p.rate_bits
+            ),
+        );
+    }
+
+    // P03: folding must terminate on a sensible final polynomial.
+    let trace_len = 1usize << p.log_rows.min(63);
+    if p.final_poly_len == 0 || !p.final_poly_len.is_power_of_two() || p.final_poly_len >= trace_len
+    {
+        push(
+            Rule::FinalPolyInconsistent,
+            format!(
+                "final_poly_len {} against a 2^{}-row trace: folding must stop on a nonempty \
+                 power-of-two polynomial smaller than the trace",
+                p.final_poly_len, p.log_rows
+            ),
+        );
+    }
+
+    // P04: the grind must be satisfiable.
+    if p.proof_of_work_bits >= 64 {
+        push(
+            Rule::ExcessiveGrind,
+            format!(
+                "{} proof-of-work bits: a 64-bit grinding challenge cannot show that many \
+                 leading zeros",
+                p.proof_of_work_bits
+            ),
+        );
+    }
+
+    // P05: the shard plan and the aggregation stage must agree.
+    if p.shards == 0 || !p.shards.is_power_of_two() {
+        push(
+            Rule::ShardAggregationIncompatible,
+            format!("shards = {}: the trace is halved per split, so shard counts are nonzero \
+                     powers of two", p.shards),
+        );
+    } else if p.shards > 1 && p.aggregation_arity != p.shards {
+        push(
+            Rule::ShardAggregationIncompatible,
+            format!(
+                "{} shards but an aggregation stage absorbing {} payload(s): every shard \
+                 proof must be absorbed exactly once",
+                p.shards, p.aggregation_arity
+            ),
+        );
+    } else if p.shards == 1 && p.aggregation_arity != 0 {
+        push(
+            Rule::ShardAggregationIncompatible,
+            format!(
+                "single-shard plan with an aggregation stage absorbing {} payload(s): the \
+                 shard proof is already the proof",
+                p.aggregation_arity
+            ),
+        );
+    }
+
+    diags
+}
+
+/// Panics with the rendered error list if `params` fail [`check_params`].
+/// `stark::prove` and the serving pipeline gate on this.
+pub fn assert_params_valid(params: &ProtocolParams) {
+    let diags = check_params(params);
+    let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+    assert!(
+        errors.is_empty(),
+        "protocol parameters failed static verification with {} error(s):\n{}",
         errors.len(),
         errors.iter().map(|d| d.render() + "\n").collect::<String>()
     );
@@ -992,5 +1484,193 @@ mod tests {
         );
         let diags = check(&g, &chip());
         assert!(diags.iter().any(|d| d.rule == Rule::NttExceedsTwoAdicity));
+    }
+
+    // ---- cost envelope & C-rules ----------------------------------------
+
+    use crate::kernels::Reuse;
+
+    #[test]
+    fn envelope_brackets_are_ordered_and_traffic_positive() {
+        let g = compile_plonky2(&Plonky2Instance::new(1 << 12, 135));
+        let env = cost_envelope(&g, &chip());
+        assert!(env.total_lower() > 0);
+        assert!(env.total_lower() <= env.total_upper());
+        for tag in CLASS_ORDER {
+            let c = env.class(tag);
+            assert!(c.cycles_lower <= c.cycles_upper, "{}", tag.name());
+        }
+        assert!(env.total_traffic_bytes() > 0);
+        assert!(env.peak_live_bytes > 0);
+        let nodes: usize = env.classes.iter().map(|c| c.nodes).sum();
+        assert_eq!(nodes, g.len());
+    }
+
+    #[test]
+    fn envelope_matches_between_fresh_and_shared_memory_models() {
+        let g = compile_starky(&StarkyInstance::new(1 << 12, 16, 8));
+        let chip = chip();
+        let memory = MemoryModel::new(chip.hbm.clone());
+        assert_eq!(cost_envelope(&g, &chip), cost_envelope_with(&g, &chip, &memory));
+    }
+
+    fn traffic_poly_op(bytes: u64) -> Kernel {
+        Kernel::PolyOp {
+            ops: 1,
+            reuse: Reuse {
+                ideal_bytes: bytes,
+                working_set_bytes: 64,
+                streaming_bytes: bytes,
+            },
+        }
+    }
+
+    #[test]
+    fn cost_model_overflow_fires_c01() {
+        let mut g = Graph::new();
+        g.push(traffic_poly_op(1 << 60), vec![], "absurd traffic");
+        let diags = check(&g, &chip());
+        let hit = diags.iter().find(|d| d.rule == Rule::CostModelOverflow).unwrap();
+        assert!(hit.is_error());
+    }
+
+    #[test]
+    fn zero_cost_schedule_fires_c02() {
+        let mut g = Graph::new();
+        g.push(Kernel::Transpose { rows: 8, cols: 8 }, vec![], "lone transpose");
+        let diags = check(&g, &chip());
+        let hit = diags.iter().find(|d| d.rule == Rule::ZeroCostSchedule).unwrap();
+        assert!(!hit.is_error());
+        assert!(hit.node.is_none());
+    }
+
+    #[test]
+    fn bandwidth_starved_schedule_fires_c03() {
+        // Four kernels, each one op but megabytes of traffic: every node
+        // is memory-bound even at peak bandwidth.
+        let mut g = Graph::new();
+        let mut prev = g.push(traffic_poly_op(1 << 24), vec![], "starved 0");
+        for i in 1..4 {
+            prev = g.push(traffic_poly_op(1 << 24), vec![prev], format!("starved {i}"));
+        }
+        let diags = check(&g, &chip());
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::BandwidthStarvedSchedule),
+            "{}",
+            render_all(&diags)
+        );
+        // Real schedules are hash-compute dominated and must stay clean.
+        let real = compile_plonky2(&Plonky2Instance::new(1 << 12, 135));
+        assert!(!check(&real, &chip())
+            .iter()
+            .any(|d| d.rule == Rule::BandwidthStarvedSchedule));
+    }
+
+    #[test]
+    fn liveness_exceeding_hbm_fires_c04() {
+        // One producer writing ~16 TiB (beyond 4096 pads), read much later.
+        let mut g = Graph::new();
+        let producer = g.push(traffic_poly_op(1 << 44), vec![], "huge producer");
+        g.push(Kernel::Sponge { num_perms: 4, parallel: false }, vec![producer], "consumer");
+        let diags = check(&g, &chip());
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::LivenessExceedsScratchpad),
+            "{}",
+            render_all(&diags)
+        );
+    }
+
+    // ---- P-rules ---------------------------------------------------------
+
+    fn sound_params() -> ProtocolParams {
+        // Plonky2's standard configuration at 2^12 rows.
+        ProtocolParams {
+            log_rows: 12,
+            rate_bits: 3,
+            num_queries: 28,
+            proof_of_work_bits: 16,
+            final_poly_len: 8,
+            num_challenges: 2,
+            target_security_bits: 100,
+            shards: 1,
+            aggregation_arity: 0,
+        }
+    }
+
+    #[test]
+    fn sound_params_are_clean() {
+        assert!(check_params(&sound_params()).is_empty());
+        assert_params_valid(&sound_params());
+
+        let sharded = ProtocolParams { shards: 4, aggregation_arity: 4, ..sound_params() };
+        assert!(check_params(&sharded).is_empty());
+    }
+
+    #[test]
+    fn security_shortfall_fires_p01_exactly_at_the_boundary() {
+        // 28·3 + 16 = 100: exactly on target passes; one query fewer fails.
+        let at = sound_params();
+        assert_eq!(at.conjectured_security_bits(), 100);
+        assert!(check_params(&at).is_empty());
+
+        let short = ProtocolParams { num_queries: 27, ..sound_params() };
+        let diags = check_params(&short);
+        assert!(diags.iter().any(|d| d.rule == Rule::InsufficientSecurityBits));
+        assert!(diags.iter().all(Diagnostic::is_error));
+
+        let unchallenged = ProtocolParams { num_challenges: 0, ..sound_params() };
+        assert!(check_params(&unchallenged)
+            .iter()
+            .any(|d| d.rule == Rule::InsufficientSecurityBits));
+    }
+
+    #[test]
+    fn lde_overflow_fires_p02() {
+        let p = ProtocolParams { log_rows: 30, rate_bits: 3, ..sound_params() };
+        assert!(check_params(&p).iter().any(|d| d.rule == Rule::LdeExceedsTwoAdicity));
+        let fits = ProtocolParams { log_rows: 29, rate_bits: 3, ..sound_params() };
+        assert!(!check_params(&fits)
+            .iter()
+            .any(|d| d.rule == Rule::LdeExceedsTwoAdicity));
+    }
+
+    #[test]
+    fn final_poly_shapes_fire_p03() {
+        for (final_poly_len, log_rows) in [(0usize, 12usize), (6, 12), (1 << 12, 12), (8, 2)] {
+            let p = ProtocolParams { final_poly_len, log_rows, ..sound_params() };
+            assert!(
+                check_params(&p).iter().any(|d| d.rule == Rule::FinalPolyInconsistent),
+                "final_poly_len={final_poly_len} log_rows={log_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_grind_fires_p04() {
+        let p = ProtocolParams {
+            proof_of_work_bits: 64,
+            num_queries: 100,
+            ..sound_params()
+        };
+        assert!(check_params(&p).iter().any(|d| d.rule == Rule::ExcessiveGrind));
+    }
+
+    #[test]
+    fn shard_plan_mismatches_fire_p05() {
+        for (shards, arity) in [(0usize, 0usize), (3, 3), (4, 3), (1, 1)] {
+            let p = ProtocolParams { shards, aggregation_arity: arity, ..sound_params() };
+            assert!(
+                check_params(&p).iter().any(|d| d.rule == Rule::ShardAggregationIncompatible),
+                "shards={shards} arity={arity}"
+            );
+        }
+    }
+
+    #[test]
+    fn assert_params_valid_panics_with_rule_id() {
+        let p = ProtocolParams { num_queries: 1, ..sound_params() };
+        let result = std::panic::catch_unwind(|| assert_params_valid(&p));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("P01"), "{msg}");
     }
 }

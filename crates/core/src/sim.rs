@@ -268,6 +268,42 @@ impl Simulator {
                 );
             }
         }
+
+        // Debug builds bracket every run against the static cost envelope:
+        // per class and in total, `lower ≤ simulated ≤ upper`, and the
+        // static traffic count is exact. Release CI covers the same
+        // invariant through `lint --check-bounds`.
+        #[cfg(debug_assertions)]
+        {
+            let env = crate::analyze::cost_envelope_with(graph, &self.chip, &self.memory);
+            for tag in crate::analyze::CLASS_ORDER {
+                let class = report.class(tag);
+                let bounds = env.class(tag);
+                assert!(
+                    bounds.cycles_lower <= class.cycles && class.cycles <= bounds.cycles_upper,
+                    "class {} simulated {} cycles outside its static envelope [{}, {}]",
+                    tag.name(),
+                    class.cycles,
+                    bounds.cycles_lower,
+                    bounds.cycles_upper
+                );
+                assert_eq!(
+                    bounds.traffic_bytes,
+                    class.bytes,
+                    "class {} static traffic diverges from simulated traffic",
+                    tag.name()
+                );
+            }
+            assert!(
+                env.total_lower() <= report.total_cycles
+                    && report.total_cycles <= env.total_upper(),
+                "simulated {} cycles outside the static envelope [{}, {}]",
+                report.total_cycles,
+                env.total_lower(),
+                env.total_upper()
+            );
+        }
+
         (report, trace)
     }
 }

@@ -17,6 +17,10 @@
 //!   for scripts that want to state their intent.
 //! - `--fresh` — ignore existing cache entries (recompute everything;
 //!   still refills the cache).
+//! - `--prune` — skip points whose static cost envelope (the C-rule
+//!   roofline bounds) is Pareto-dominated by a kept point's envelope.
+//!   Sound: executed numbers are exact and the frontier is unchanged;
+//!   pruned points are counted on stdout and recorded in the artifact.
 //! - `--out FILE` — JSON artifact path (default `SWEEP.json`).
 //! - `--markdown FILE` — also write the markdown report here.
 
@@ -30,6 +34,7 @@ struct Args {
     jobs: usize,
     cache_dir: Option<PathBuf>,
     fresh: bool,
+    prune: bool,
     out: PathBuf,
     markdown: Option<PathBuf>,
 }
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = 0usize;
     let mut cache_dir = Some(PathBuf::from("target/sweep-cache"));
     let mut fresh = false;
+    let mut prune = false;
     let mut out = PathBuf::from("SWEEP.json");
     let mut markdown = None;
 
@@ -58,11 +64,13 @@ fn parse_args() -> Result<Args, String> {
             "--no-cache" => cache_dir = None,
             "--resume" => fresh = false,
             "--fresh" => fresh = true,
+            "--prune" => prune = true,
             "--out" => out = PathBuf::from(value("--out")?),
             "--markdown" => markdown = Some(PathBuf::from(value("--markdown")?)),
             "--help" | "-h" => {
                 return Err("usage: sweep --spec FILE [--jobs N] [--cache-dir DIR] \
-                            [--resume | --fresh] [--no-cache] [--out FILE] [--markdown FILE]"
+                            [--resume | --fresh] [--no-cache] [--prune] [--out FILE] \
+                            [--markdown FILE]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -73,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         jobs,
         cache_dir,
         fresh,
+        prune,
         out,
         markdown,
     })
@@ -87,6 +96,7 @@ fn run() -> Result<(), String> {
         jobs: args.jobs,
         cache_dir: args.cache_dir,
         fresh: args.fresh,
+        prune: args.prune,
     };
 
     eprintln!(
@@ -105,6 +115,17 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("cannot write {}: {e}", md_path.display()))?;
     }
 
+    if args.prune {
+        // Pruned counts are always reported — a sweep must never look
+        // more exhaustive than it was.
+        let exempt = result.points.iter().filter(|p| p.fleet.is_some()).count();
+        println!(
+            "pruned: {} of {} points statically dominated ({} fleet points exempt)",
+            result.pruned.len(),
+            result.points.len() + result.pruned.len(),
+            exempt
+        );
+    }
     println!(
         "cache hits: {}/{}",
         result.cache_hits,

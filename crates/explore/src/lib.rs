@@ -47,7 +47,7 @@ pub mod pool;
 pub mod spec;
 
 pub use cache::Cache;
-pub use engine::{run_sweep, SweepOptions, SweepResult, SWEEP_SCHEMA};
+pub use engine::{run_sweep, PrunedPoint, SweepOptions, SweepResult, SWEEP_SCHEMA};
 pub use pareto::{dominates, frontier};
-pub use point::{FleetParams, FleetRow, PointResult, SweepPoint, POINT_SCHEMA};
+pub use point::{FleetParams, FleetRow, PointResult, StaticBounds, SweepPoint, POINT_SCHEMA};
 pub use spec::{FleetAxes, SweepSpec, WorkloadSpec, SPEC_SCHEMA};

@@ -147,7 +147,44 @@ impl FleetSim {
         #[cfg(debug_assertions)]
         unizk_core::analyze::assert_multi_verified(&plan.multi_schedule(), &self.config.chip);
 
-        trace::with_span("fleet.run", || self.run_inner(plan, stream))
+        let report = trace::with_span("fleet.run", || self.run_inner(plan, stream));
+
+        // Debug builds bracket the makespan with static queueing bounds,
+        // the fleet-level analogue of the simulator's cost envelope:
+        //
+        // * floor — work conservation (total service spread over every
+        //   chip) and the last arrival's critical path (its final shard,
+        //   then transfer + aggregation when sharded);
+        // * ceiling — fully serialized execution after the last arrival,
+        //   plus one interconnect gap per job. The event loop only idles
+        //   a fully drained fleet before an arrival or inside a transfer
+        //   window, so no other dead time exists.
+        #[cfg(debug_assertions)]
+        {
+            let jobs = report.jobs as u64;
+            let per_job = report.shards as u64 * report.shard_cycles + report.agg_cycles;
+            let total_service = jobs * per_job;
+            let last_arrival = report.job_arrival_cycles.iter().copied().max().unwrap_or(0);
+            let tail = if report.shards > 1 {
+                report.shard_cycles + report.transfer_cycles + report.agg_cycles
+            } else {
+                report.shard_cycles
+            };
+            let lower = total_service
+                .div_ceil(report.chips as u64)
+                .max(last_arrival + tail);
+            let upper = last_arrival + total_service + jobs * report.transfer_cycles;
+            assert!(
+                lower <= report.makespan_cycles && report.makespan_cycles <= upper,
+                "fleet makespan {} outside its static envelope [{lower}, {upper}] \
+                 (jobs={jobs}, chips={}, shards={})",
+                report.makespan_cycles,
+                report.chips,
+                report.shards
+            );
+        }
+
+        report
     }
 
     fn run_inner(&self, plan: &ShardPlan, stream: &StreamSpec) -> FleetReport {

@@ -392,6 +392,9 @@ const GRIND_BLOCK: u64 = 512;
 /// byte-identical for every lane width, block size, and thread count
 /// (count-once discipline, as for the NTT routing knobs).
 pub fn grind(challenger: &Challenger, bits: usize) -> Goldilocks {
+    // Rule P04 upstream: a 64-bit challenge cannot show 64 leading zeros,
+    // so the scan below would walk the whole nonce space and never return.
+    assert!(bits < 64, "grind demands {bits} leading zero bits of a 64-bit challenge");
     let speculative = challenger.speculative_challenger();
     let lanes = unizk_hash::hash_lanes();
     let winner = parallel_first_block(|k| scan_block(&speculative, k as u64 * GRIND_BLOCK, bits, lanes));

@@ -162,7 +162,9 @@ impl Pipeline {
     ///
     /// # Panics
     ///
-    /// Panics if two jobs share an id, or if a worker thread panics.
+    /// Panics if two jobs share an id, if any job's protocol parameters
+    /// fail the static P-rule checker ([`unizk_stark::check_protocol`]),
+    /// or if a worker thread panics.
     pub fn run(jobs: Vec<Job>, config: &PipelineConfig) -> PipelineReport {
         let n = jobs.len();
         {
@@ -170,6 +172,22 @@ impl Pipeline {
             ids.sort_unstable();
             ids.dedup();
             assert_eq!(ids.len(), n, "job ids must be unique");
+        }
+        // P-rule gate: reject the batch up front rather than burn worker
+        // time discovering that the prover refuses a job's parameters.
+        for job in &jobs {
+            let errors: Vec<String> =
+                unizk_stark::check_protocol(job.spec.rows, &job.spec.config)
+                    .iter()
+                    .filter(|d| d.is_error())
+                    .map(|d| d.render())
+                    .collect();
+            assert!(
+                errors.is_empty(),
+                "job {} has insecure protocol parameters:\n{}",
+                job.id,
+                errors.join("\n")
+            );
         }
         let epoch = Instant::now();
         let mut report = if config.workers == 0 {
@@ -341,6 +359,15 @@ mod tests {
             report.service_percentile_ns(99),
             stats::percentile(report.results.iter().map(|r| r.service_ns), 99)
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "insecure protocol parameters")]
+    fn insecure_job_parameters_rejected_at_admission() {
+        let mut jobs = tiny_jobs(2);
+        // 1 query · 1 rate bit + 4 pow bits = 5 < the 8-bit test target.
+        jobs[1].spec.config.fri.num_queries = 1;
+        let _ = Pipeline::run(jobs, &PipelineConfig::default());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Stark proving configuration.
 
+use unizk_core::analyze::{check_params, Diagnostic, ProtocolParams};
 use unizk_fri::FriConfig;
 
 /// Parameters of a Starky-style proof.
@@ -10,6 +11,9 @@ pub struct StarkConfig {
     pub num_challenges: usize,
     /// FRI parameters; Starky uses blowup 2 (`rate_bits = 1`).
     pub fri: FriConfig,
+    /// Conjectured security bits the configuration must deliver; the
+    /// P-rule gate in `prove` refuses parameters falling short of it.
+    pub target_security_bits: usize,
 }
 
 impl StarkConfig {
@@ -19,10 +23,12 @@ impl StarkConfig {
         Self {
             num_challenges: 2,
             fri: FriConfig::starky(),
+            target_security_bits: 100,
         }
     }
 
-    /// Cheap parameters for unit tests.
+    /// Cheap parameters for unit tests. The security target drops with
+    /// the parameters — tests exercise the protocol, not its hardness.
     pub fn for_testing() -> Self {
         Self {
             num_challenges: 2,
@@ -32,16 +38,64 @@ impl StarkConfig {
                 proof_of_work_bits: 4,
                 final_poly_len: 4,
             },
+            target_security_bits: 8,
         }
     }
+
+    /// This configuration at a `2^log_rows`-row trace as a flat
+    /// [`ProtocolParams`] record for the static P-rule checker
+    /// (`unizk_core::analyze::check_params`). A one-proof configuration
+    /// has no shards and no aggregation stage.
+    pub fn protocol_params(&self, log_rows: usize) -> ProtocolParams {
+        ProtocolParams {
+            log_rows,
+            rate_bits: self.fri.rate_bits,
+            num_queries: self.fri.num_queries,
+            proof_of_work_bits: self.fri.proof_of_work_bits,
+            final_poly_len: self.fri.final_poly_len,
+            num_challenges: self.num_challenges,
+            target_security_bits: self.target_security_bits,
+            shards: 1,
+            aggregation_arity: 0,
+        }
+    }
+}
+
+/// Runs the static P-rules over `config` at a `rows`-row trace (`rows`
+/// must be a power of two, as everywhere in the prover). An empty result
+/// means `prove` will accept the parameters; `serve::Pipeline` gates every
+/// job on this before enqueueing it.
+///
+/// # Panics
+///
+/// Panics if `rows` is not a power of two.
+pub fn check_protocol(rows: usize, config: &StarkConfig) -> Vec<Diagnostic> {
+    assert!(rows.is_power_of_two(), "trace height must be a power of two");
+    check_params(&config.protocol_params(rows.trailing_zeros() as usize))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unizk_core::analyze::error_count;
 
     #[test]
     fn standard_is_blowup_two() {
         assert_eq!(1 << StarkConfig::standard().fri.rate_bits, 2);
+    }
+
+    #[test]
+    fn shipped_configs_pass_the_p_rules() {
+        for rows in [1 << 10, 1 << 12, 1 << 14] {
+            assert_eq!(error_count(&check_protocol(rows, &StarkConfig::standard())), 0);
+            assert_eq!(error_count(&check_protocol(rows, &StarkConfig::for_testing())), 0);
+        }
+    }
+
+    #[test]
+    fn starved_queries_fail_the_p_rules() {
+        let mut config = StarkConfig::standard();
+        config.fri.num_queries = 10; // 10·1 + 16 = 26 « 100
+        assert!(error_count(&check_protocol(1 << 12, &config)) > 0);
     }
 }

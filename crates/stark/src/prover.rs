@@ -35,7 +35,10 @@ pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof,
 /// # Errors
 ///
 /// Returns [`StarkError::UnsatisfiedConstraints`] under the same conditions
-/// as [`prove`].
+/// as [`prove`], and [`StarkError::InsecureParameters`] if the
+/// configuration fails the static P-rule checker (conjectured security
+/// short of `config.target_security_bits`, an LDE past the field's
+/// two-adicity, a malformed final polynomial, or an unsatisfiable grind).
 pub fn prove_in<A: Air + Sync>(
     air: &A,
     config: &StarkConfig,
@@ -44,6 +47,15 @@ pub fn prove_in<A: Air + Sync>(
     let _prove_span = trace::span("stark.prove");
     let n = air.rows();
     assert!(n.is_power_of_two(), "trace height must be a power of two");
+
+    // P-rule gate: never burn cycles on — or hand out — a proof whose
+    // parameters the static checker rejects.
+    let param_diags = crate::config::check_protocol(n, config);
+    if unizk_core::analyze::error_count(&param_diags) > 0 {
+        return Err(StarkError::InsecureParameters(
+            unizk_core::analyze::render_all(&param_diags),
+        ));
+    }
     trace::counter("stark.rows", n as u64);
     trace::counter("stark.columns", air.width() as u64);
     let mut challenger = Challenger::new();

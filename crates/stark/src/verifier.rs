@@ -21,6 +21,11 @@ pub enum StarkError {
     QuotientMismatch { challenge_round: usize },
     /// FRI rejected the openings.
     Fri(FriError),
+    /// The configuration failed the static P-rule checker
+    /// (`unizk_core::analyze::check_params`); the payload is the rendered
+    /// diagnostic list. The prover refuses to run at all — an unsound
+    /// proof is worse than no proof.
+    InsecureParameters(String),
 }
 
 impl fmt::Display for StarkError {
@@ -32,6 +37,9 @@ impl fmt::Display for StarkError {
                 write!(f, "quotient identity failed in round {challenge_round}")
             }
             Self::Fri(e) => write!(f, "fri: {e}"),
+            Self::InsecureParameters(diags) => {
+                write!(f, "insecure protocol parameters:\n{diags}")
+            }
         }
     }
 }

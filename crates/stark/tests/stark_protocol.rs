@@ -24,6 +24,31 @@ fn fibonacci_expected_output_is_correct() {
 }
 
 #[test]
+fn insecure_parameters_are_refused_before_proving() {
+    let air = FibonacciAir::new(128);
+
+    // Security shortfall: 2 queries · 1 rate bit + 4 pow bits = 6 < 8.
+    let mut starved = StarkConfig::for_testing();
+    starved.fri.num_queries = 2;
+    match prove(&air, &starved) {
+        Err(StarkError::InsecureParameters(diags)) => {
+            assert!(diags.contains("P01"), "{diags}");
+        }
+        other => panic!("expected InsecureParameters, got {other:?}"),
+    }
+
+    // Unsatisfiable grind: 64 leading zero bits of a 64-bit challenge.
+    let mut grindy = StarkConfig::for_testing();
+    grindy.fri.proof_of_work_bits = 64;
+    match prove(&air, &grindy) {
+        Err(StarkError::InsecureParameters(diags)) => {
+            assert!(diags.contains("P04"), "{diags}");
+        }
+        other => panic!("expected InsecureParameters, got {other:?}"),
+    }
+}
+
+#[test]
 fn countdown_proves_and_verifies() {
     let air = CountdownAir::new(64);
     let config = StarkConfig::for_testing();

@@ -67,9 +67,11 @@ cargo build --release --offline -p unizk-analyze --bin lint
 
 # Never record a perf artifact for a schedule the static verifier rejects:
 # a broken mapping would produce numbers that look comparable but aren't.
-echo "== schedule lint gate =="
+# The lint pass includes the protocol P-rules (security bits, LDE domain,
+# grind, shard/aggregation shape), so insecure parameters also refuse here.
+echo "== schedule + protocol lint gate =="
 ./target/release/lint --quiet \
-    || { echo "FAIL: schedule lint found errors; refusing to write BENCH_*.json"; exit 1; }
+    || { echo "FAIL: schedule/protocol lint found errors; refusing to write BENCH_*.json"; exit 1; }
 
 echo "== baseline =="
 ./target/release/baseline --out-dir "$OUT_DIR"

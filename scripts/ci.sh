@@ -28,6 +28,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "==> schedule lint (all workloads + explore specs)"
 ./target/release/lint --quiet
 
+echo "==> cost/protocol rule pass + static-bound check (C*/P* over every target)"
+# Scope the gate to the C (cost-envelope) and P (protocol-soundness)
+# families, then simulate every target and require its cycle count to
+# land inside the static envelope — the release-mode version of the
+# debug assertion in Simulator::run.
+./target/release/lint --quiet --rules 'C*,P*' --check-bounds
+
 echo "==> smoke sweep (cold, then fully cached)"
 SWEEP_TMP="$(mktemp -d)"
 trap 'rm -rf "$SWEEP_TMP"' EXIT
@@ -43,6 +50,24 @@ grep -q "cache hits: 4/4" "$SWEEP_TMP/warm.log" \
     || { echo "FAIL: cached re-run should hit on every point"; exit 1; }
 diff "$SWEEP_TMP/cold.json" "$SWEEP_TMP/warm.json" \
     || { echo "FAIL: cached sweep artifact differs from cold run"; exit 1; }
+
+echo "==> pruned sweep (static domination drops a point, frontier unchanged)"
+# The prune-ci spec is built so exactly one of its four points is
+# statically dominated (envelope + area + power). The pruned run must say
+# so on stdout, and both runs must report the same frontier size; the
+# byte-level frontier identity is pinned by tests/determinism.rs.
+./target/release/sweep --spec crates/explore/specs/prune-ci.json --jobs 4 \
+    --no-cache --out "$SWEEP_TMP/prune-off.json" \
+    | tee "$SWEEP_TMP/prune-off.log"
+./target/release/sweep --spec crates/explore/specs/prune-ci.json --jobs 4 \
+    --no-cache --prune --out "$SWEEP_TMP/prune-on.json" \
+    | tee "$SWEEP_TMP/prune-on.log"
+grep -q "pruned: 1 of 4 points statically dominated" "$SWEEP_TMP/prune-on.log" \
+    || { echo "FAIL: prune-ci should statically drop exactly one point"; exit 1; }
+grep -q "pareto frontier: 3 of 4" "$SWEEP_TMP/prune-off.log" \
+    || { echo "FAIL: unexpected full-sweep frontier for prune-ci"; exit 1; }
+grep -q "pareto frontier: 3 of 3" "$SWEEP_TMP/prune-on.log" \
+    || { echo "FAIL: pruning changed the prune-ci Pareto frontier"; exit 1; }
 
 echo "==> fleet smoke sweep (cold, then fully cached)"
 # Fleet points must honor the same caching/determinism contract as chip
