@@ -318,6 +318,9 @@ pub fn baseline_params() -> ProtocolParams {
         target_security_bits: 100,
         shards: 1,
         aggregation_arity: 0,
+        field_bits: 64,
+        extension_degree: 2,
+        two_adicity: 32,
     }
 }
 

@@ -58,6 +58,9 @@ fn plonky2_params(inst: &Plonky2Instance, shards: usize) -> ProtocolParams {
         target_security_bits: LINT_TARGET_SECURITY_BITS,
         shards,
         aggregation_arity: if shards > 1 { shards } else { 0 },
+        field_bits: 64,
+        extension_degree: 2,
+        two_adicity: 32,
     }
 }
 
@@ -73,6 +76,9 @@ fn starky_params(inst: &StarkyInstance) -> ProtocolParams {
         target_security_bits: LINT_TARGET_SECURITY_BITS,
         shards: 1,
         aggregation_arity: 0,
+        field_bits: 64,
+        extension_degree: 2,
+        two_adicity: 32,
     }
 }
 

@@ -208,6 +208,9 @@ prop! {
             target_security_bits: target,
             shards: 1,
             aggregation_arity: 0,
+            field_bits: 64,
+            extension_degree: 2,
+            two_adicity: 32,
         };
         let diags = check_params(&sound);
         prop_assert!(

@@ -23,7 +23,9 @@ use unizk_core::kernels::KernelClassTag;
 use unizk_core::sim::SimReport;
 use unizk_core::{ChipConfig, Simulator};
 use unizk_fri::{kernel_totals_from, KernelClass};
-use unizk_stark::{prove, verify, Air, FibonacciAir, StarkConfig};
+use unizk_hash::sponge::HashField;
+use unizk_hash::SpongeBackend;
+use unizk_stark::{prove, verify, FibonacciAir, KbStarkConfig, StarkConfig};
 use unizk_testkit::json::access::{arr_field, obj_field, str_field, u64_field};
 use unizk_testkit::json::{parse, Json, ToJson};
 use unizk_testkit::trace;
@@ -47,43 +49,91 @@ fn main() {
         return;
     }
 
-    let out_dir = match args.as_slice() {
-        [] => ".".to_string(),
-        [flag, dir] if flag == "--out-dir" => dir.clone(),
-        _ => {
-            eprintln!("usage: baseline [--out-dir DIR] | baseline --compare OLD.json NEW.json");
-            std::process::exit(2);
-        }
+    let usage = || -> ! {
+        eprintln!(
+            "usage: baseline [--out-dir DIR] [--field goldilocks|koalabear] \
+             | baseline --compare OLD.json NEW.json"
+        );
+        std::process::exit(2);
     };
+    let mut out_dir = ".".to_string();
+    let mut field = "goldilocks".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--out-dir" => out_dir = value.clone(),
+            "--field" => field = value.clone(),
+            _ => usage(),
+        }
+    }
 
-    let prover = bench_prover();
-    let prover_path = format!("{out_dir}/BENCH_PROVER.json");
-    std::fs::write(&prover_path, prover.to_string_pretty() + "\n")
-        .unwrap_or_else(|e| panic!("writing {prover_path}: {e}"));
-    println!("wrote {prover_path}");
+    match field.as_str() {
+        "goldilocks" => {
+            let prover = bench_prover();
+            let prover_path = format!("{out_dir}/BENCH_PROVER.json");
+            std::fs::write(&prover_path, prover.to_string_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("writing {prover_path}: {e}"));
+            println!("wrote {prover_path}");
 
-    let sim = bench_sim();
-    let sim_path = format!("{out_dir}/BENCH_SIM.json");
-    std::fs::write(&sim_path, sim.to_string_pretty() + "\n")
-        .unwrap_or_else(|e| panic!("writing {sim_path}: {e}"));
-    println!("wrote {sim_path}");
+            let sim = bench_sim();
+            let sim_path = format!("{out_dir}/BENCH_SIM.json");
+            std::fs::write(&sim_path, sim.to_string_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("writing {sim_path}: {e}"));
+            println!("wrote {sim_path}");
+        }
+        // KoalaBear runs the same prover workload over the 31-bit stack.
+        // Its artifact is a *separate* trajectory (BENCH_PROVER_KB.json),
+        // never compared against the Goldilocks baseline: counters differ
+        // by design (4 challenge rounds, degree-4 openings, Poseidon2).
+        // The chip simulator models the Goldilocks datapath, so no
+        // BENCH_SIM.json is written in this mode.
+        "koalabear" => {
+            let prover = bench_prover_kb();
+            let prover_path = format!("{out_dir}/BENCH_PROVER_KB.json");
+            std::fs::write(&prover_path, prover.to_string_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("writing {prover_path}: {e}"));
+            println!("wrote {prover_path}");
+        }
+        _ => usage(),
+    }
 }
 
-/// Proves the fixed Starky instance single-threaded and reports the
-/// Table 1 kernel breakdown plus the full span tree.
+/// Proves the fixed Starky instance single-threaded over Goldilocks and
+/// reports the Table 1 kernel breakdown plus the full span tree.
 fn bench_prover() -> Json {
+    bench_prover_over("fibonacci_starky", "goldilocks", &StarkConfig::standard())
+}
+
+/// The same workload over the 31-bit KoalaBear stack (Poseidon2 sponge,
+/// degree-4 extension openings).
+fn bench_prover_kb() -> Json {
+    bench_prover_over(
+        "fibonacci_starky",
+        "koalabear",
+        &KbStarkConfig::standard_over(),
+    )
+}
+
+/// Proves the fixed Starky instance single-threaded over the given
+/// `(field, hasher)` stack and reports the Table 1 kernel breakdown plus
+/// the full span tree.
+fn bench_prover_over<F: HashField, H: SpongeBackend<F = F>>(
+    app: &str,
+    field: &str,
+    config: &StarkConfig<F, H>,
+) -> Json {
     let rows = 1 << LOG_ROWS;
     let air = FibonacciAir::new(rows);
-    let config = StarkConfig::standard();
 
     unizk_field::set_parallelism(1);
     trace::reset();
     let start = Instant::now();
-    let proof = prove(&air, &config).expect("baseline trace satisfies the AIR");
+    let proof = prove(&air, config).expect("baseline trace satisfies the AIR");
     let total_ns = start.elapsed().as_nanos() as u64;
     let report = trace::snapshot();
     unizk_field::set_parallelism(0);
-    verify(&air, &proof, &config).expect("baseline proof verifies");
+    verify(&air, &proof, config).expect("baseline proof verifies");
 
     let totals = kernel_totals_from(&report);
     let covered_ns: u64 = totals.iter().map(|(_, d)| d.as_nanos() as u64).sum();
@@ -123,7 +173,8 @@ fn bench_prover() -> Json {
         (
             "workload",
             Json::obj([
-                ("app", Json::str("fibonacci_starky")),
+                ("app", Json::str(app)),
+                ("field", Json::str(field)),
                 ("rows", Json::from(rows)),
                 ("width", Json::from(air.width())),
                 ("threads", Json::from(1u64)),

@@ -38,10 +38,10 @@
 //! | C02 | `zero-cost-schedule` | warning | a nonempty schedule whose static cycle upper bound is zero simulates as free |
 //! | C03 | `bandwidth-starved-schedule` | warning | §7.1: nearly every costed kernel is memory-bound even at *peak* bandwidth — the mapping cannot feed the VSAs |
 //! | C04 | `liveness-exceeds-scratchpad` | warning | §5.4: peak live bytes far beyond the scratchpad pin every inter-kernel value to HBM |
-//! | P01 | `insufficient-security-bits` | error | conjectured security `queries·rate_bits + pow_bits` must reach the target, over nonzero challenge rounds |
-//! | P02 | `lde-exceeds-two-adicity` | error | `log_rows + rate_bits` must fit the Goldilocks two-adicity (32): the LDE domain needs a root of unity |
+//! | P01 | `insufficient-security-bits` | error | conjectured security `min(queries·rate_bits + pow_bits, field_bits·extension_degree, field_bits·num_challenges)` must reach the target, over nonzero challenge rounds |
+//! | P02 | `lde-exceeds-two-adicity` | error | `log_rows + rate_bits` must fit the base field's two-adicity (32 for Goldilocks, 24 for KoalaBear): the LDE domain needs a root of unity |
 //! | P03 | `final-poly-inconsistent` | error | FRI folding must terminate on a nonempty power-of-two final polynomial smaller than the trace |
-//! | P04 | `excessive-grind` | error | a 64-bit grinding challenge cannot show ≥ 64 leading zero bits |
+//! | P04 | `excessive-grind` | error | a `field_bits`-bit grinding challenge cannot show ≥ `field_bits` leading zero bits |
 //! | P05 | `shard-aggregation-incompatible` | error | shard count (a power of two) and aggregation arity must describe the same plan |
 //!
 //! Entry point: [`check`] for a single chip's graph; [`check_multi`] adds
@@ -1137,13 +1137,36 @@ pub struct ProtocolParams {
     pub shards: usize,
     /// Payloads the aggregation stage absorbs (0 = no aggregation stage).
     pub aggregation_arity: usize,
+    /// Bits of entropy one base-field element carries (64 for Goldilocks,
+    /// 31 for KoalaBear). Caps challenge-derived soundness and the grind.
+    pub field_bits: usize,
+    /// Degree of the challenge extension field (2 for Goldilocks/`Ext2`,
+    /// 4 for KoalaBear/`KbExt4`).
+    pub extension_degree: usize,
+    /// The base field's two-adicity: the largest power-of-two subgroup,
+    /// and hence the largest possible LDE domain (32 for Goldilocks, 24
+    /// for KoalaBear).
+    pub two_adicity: usize,
 }
 
 impl ProtocolParams {
-    /// The Plonky2 heuristic: one `rate_bits` of security per query plus
-    /// the grinding bits.
-    pub fn conjectured_security_bits(&self) -> usize {
+    /// The query-path heuristic: one `rate_bits` of security per query
+    /// plus the grinding bits.
+    pub fn query_security_bits(&self) -> usize {
         self.num_queries * self.rate_bits + self.proof_of_work_bits
+    }
+
+    /// The extension-aware conjectured security: the query-path bits
+    /// capped by the Schwartz–Zippel entropy of the challenge extension
+    /// (`field_bits · extension_degree`) and of the combination rounds
+    /// (`field_bits · num_challenges`). Over Goldilocks both caps sit at
+    /// 128 bits and the query path binds, as in the original heuristic; a
+    /// 31-bit field needs a quartic extension and 4 challenge rounds to
+    /// keep a 100-bit target reachable.
+    pub fn conjectured_security_bits(&self) -> usize {
+        self.query_security_bits()
+            .min(self.field_bits * self.extension_degree)
+            .min(self.field_bits * self.num_challenges)
     }
 }
 
@@ -1165,28 +1188,52 @@ pub fn check_params(p: &ProtocolParams) -> Vec<Diagnostic> {
                 .into(),
         );
     }
+    let query_bits = p.query_security_bits();
+    let ext_bits = p.field_bits * p.extension_degree;
+    let chal_bits = p.field_bits * p.num_challenges;
     let bits = p.conjectured_security_bits();
     if bits < p.target_security_bits {
-        push(
-            Rule::InsufficientSecurityBits,
-            format!(
-                "{} queries x {} rate bits + {} pow bits = {bits} conjectured security bits, \
-                 short of the {}-bit target",
-                p.num_queries, p.rate_bits, p.proof_of_work_bits, p.target_security_bits
-            ),
-        );
+        if query_bits <= ext_bits && query_bits <= chal_bits {
+            push(
+                Rule::InsufficientSecurityBits,
+                format!(
+                    "{} queries x {} rate bits + {} pow bits = {bits} conjectured security bits, \
+                     short of the {}-bit target",
+                    p.num_queries, p.rate_bits, p.proof_of_work_bits, p.target_security_bits
+                ),
+            );
+        } else if ext_bits <= chal_bits {
+            push(
+                Rule::InsufficientSecurityBits,
+                format!(
+                    "degree-{} extension of a {}-bit field caps challenge entropy at \
+                     {ext_bits} bits, short of the {}-bit target",
+                    p.extension_degree, p.field_bits, p.target_security_bits
+                ),
+            );
+        } else {
+            push(
+                Rule::InsufficientSecurityBits,
+                format!(
+                    "{} combination rounds of {}-bit challenges cap soundness at {chal_bits} \
+                     bits, short of the {}-bit target",
+                    p.num_challenges, p.field_bits, p.target_security_bits
+                ),
+            );
+        }
     }
 
-    // P02: the LDE domain must have a root of unity.
-    if p.log_rows + p.rate_bits > MAX_NTT_LOG2 {
+    // P02: the LDE domain must have a root of unity in the base field.
+    if p.log_rows + p.rate_bits > p.two_adicity {
         push(
             Rule::LdeExceedsTwoAdicity,
             format!(
-                "LDE domain 2^{} (log_rows {} + rate_bits {}) exceeds the Goldilocks \
-                 two-adicity 2^{MAX_NTT_LOG2}: no root of unity exists for the blowup",
+                "LDE domain 2^{} (log_rows {} + rate_bits {}) exceeds the field's \
+                 two-adicity 2^{}: no root of unity exists for the blowup",
                 p.log_rows + p.rate_bits,
                 p.log_rows,
-                p.rate_bits
+                p.rate_bits,
+                p.two_adicity
             ),
         );
     }
@@ -1206,13 +1253,13 @@ pub fn check_params(p: &ProtocolParams) -> Vec<Diagnostic> {
     }
 
     // P04: the grind must be satisfiable.
-    if p.proof_of_work_bits >= 64 {
+    if p.proof_of_work_bits >= p.field_bits {
         push(
             Rule::ExcessiveGrind,
             format!(
-                "{} proof-of-work bits: a 64-bit grinding challenge cannot show that many \
+                "{} proof-of-work bits: a {}-bit grinding challenge cannot show that many \
                  leading zeros",
-                p.proof_of_work_bits
+                p.proof_of_work_bits, p.field_bits
             ),
         );
     }
@@ -1594,6 +1641,9 @@ mod tests {
             target_security_bits: 100,
             shards: 1,
             aggregation_arity: 0,
+            field_bits: 64,
+            extension_degree: 2,
+            two_adicity: 32,
         }
     }
 

@@ -44,7 +44,7 @@ pub fn map_merkle(num_leaves: usize, leaf_len: usize, chip: &ChipConfig) -> Kern
     // re-read children (level-order streaming keeps them on chip when a
     // subtree fits — approximate with write-once + leaf read).
     let read_bytes = num_leaves as u64 * leaf_len as u64 * 8;
-    let write_bytes = (2 * num_leaves as u64 - 1) * Digest::BYTES as u64;
+    let write_bytes = (2 * num_leaves as u64 - 1) * Digest::<unizk_field::Goldilocks>::BYTES as u64;
 
     KernelCost {
         compute_cycles,

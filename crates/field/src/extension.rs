@@ -14,7 +14,11 @@ use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 
 use crate::goldilocks::Goldilocks;
-use crate::traits::{ExtensionOf, Field, PrimeField64};
+use crate::traits::{ExtensionOf, Field, PrimeField64, ProtocolField};
+
+impl ProtocolField for Goldilocks {
+    type Ext = Ext2;
+}
 
 /// The non-residue `W` defining the extension `x^2 = W`.
 pub const W: Goldilocks = Goldilocks::new(7);

@@ -233,6 +233,8 @@ impl PrimeField64 for Goldilocks {
     const ORDER: u64 = P;
     const TWO_ADICITY: usize = 32;
     const MULTIPLICATIVE_GENERATOR: Self = Self(7);
+    const BITS: usize = 64;
+    const BYTES: usize = 8;
 
     fn primitive_root_of_unity(bits: usize) -> Self {
         assert!(

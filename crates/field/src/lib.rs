@@ -8,6 +8,11 @@
 //!   64-bit Goldilocks elements (§4 of the paper).
 //! * [`Ext2`] — the quadratic extension field (`D = 2`) used for soundness
 //!   in the protocol's random challenges.
+//! * [`KoalaBear`] — the 31-bit prime field `p = 2^31 - 2^24 + 1` the
+//!   Plonky3-style zkVM stacks run on, with [`KbExt4`] as its degree-4
+//!   challenge extension (a 31-bit field needs `D = 4` for ~124 bits of
+//!   Schwartz–Zippel room). [`ProtocolField`] is the seam that lets the
+//!   FRI/STARK layers stay generic over the `(base, extension)` pair.
 //! * [`Polynomial`] — a dense univariate polynomial over any [`Field`].
 //! * [`batch_inverse`] — Montgomery's batch-inversion trick, used heavily by
 //!   the quotient computation in the Plonk phase.
@@ -48,21 +53,25 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ext4;
 pub mod extension;
 pub mod goldilocks;
+pub mod koalabear;
 pub mod par;
 pub mod poly;
 pub mod pool;
 pub mod traits;
 pub mod util;
 
+pub use ext4::KbExt4;
 pub use extension::Ext2;
 pub use goldilocks::Goldilocks;
+pub use koalabear::KoalaBear;
 pub use par::{
     current_parallelism, parallel_chunks_mut, parallel_first_block, parallel_map, parallel_ranges,
     parallel_zip_mut, set_parallelism,
 };
 pub use poly::Polynomial;
 pub use pool::{Pool, PoolStats, TablePool};
-pub use traits::{ExtensionOf, Field, PrimeField64};
+pub use traits::{ExtensionOf, Field, PrimeField64, ProtocolField};
 pub use util::{batch_inverse, bit_reverse, log2_strict, reverse_index_bits};

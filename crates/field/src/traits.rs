@@ -117,6 +117,13 @@ pub trait PrimeField64: Field + Ord + PartialOrd {
     const TWO_ADICITY: usize;
     /// A generator of the full multiplicative group.
     const MULTIPLICATIVE_GENERATOR: Self;
+    /// Bits in `p - 1`: the entropy one uniformly random element carries.
+    /// Drives challenge-bit budgeting (grind targets, the analyzer's
+    /// extension-aware `P01` rule) — 64 for Goldilocks, 31 for KoalaBear.
+    const BITS: usize;
+    /// Bytes one canonical element occupies on the wire (8 for Goldilocks,
+    /// 4 for KoalaBear). Proof serialization is sized by this.
+    const BYTES: usize;
 
     /// A primitive `2^bits`-th root of unity.
     ///
@@ -127,6 +134,18 @@ pub trait PrimeField64: Field + Ord + PartialOrd {
 
     /// Samples a uniform field element.
     fn random<R: unizk_testkit::rng::Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A base field paired with the extension its protocol challenges are
+/// drawn from. This is the seam that lets the FRI and STARK layers stay
+/// generic over the `(base, extension)` pair: Goldilocks carries the
+/// quadratic [`crate::Ext2`] (2 × 64 bits), KoalaBear the quartic
+/// [`crate::KbExt4`] (4 × 31 bits) — both clear the ~100-bit
+/// Schwartz–Zippel budget the analyzer's extension-aware `P01` rule
+/// demands, where a degree-1 "extension" of a 31-bit field would not.
+pub trait ProtocolField: PrimeField64 {
+    /// The challenge extension field.
+    type Ext: ExtensionOf<Self>;
 }
 
 /// An extension field over a [`PrimeField64`] base.

@@ -1,18 +1,25 @@
 //! Batched polynomial commitments — the "Wires Commitment"-style nodes in
 //! the paper's computation graph (Fig. 7): `iNTT` → `LDE` → `NTT^NR` →
 //! Merkle tree.
+//!
+//! The batch is generic over the sponge backend (and hence the base
+//! field): [`PolynomialBatch`] is the Goldilocks/Poseidon alias of
+//! [`GenericPolynomialBatch`]; the KoalaBear path instantiates the same
+//! code over `Poseidon2KbSponge`.
 
-use unizk_field::{bit_reverse, log2_strict, Ext2, Field, Goldilocks, Polynomial, PrimeField64};
+use unizk_field::{bit_reverse, log2_strict, Field, Polynomial, PrimeField64, ProtocolField};
+use unizk_hash::sponge::HashField;
+use unizk_hash::workspace::Workspace;
+use unizk_hash::{Digest, GenericMerkleTree, PoseidonSponge, SpongeBackend};
 use unizk_ntt::{coset_ntt_nr, intt_nn};
-use unizk_hash::workspace::{put_gl, take_gl, take_gl_table, Workspace};
-use unizk_hash::{Digest, MerkleTree};
 
 use crate::config::FriConfig;
 use crate::timing::KernelClass;
 
-/// The coset shift `g` every LDE in the protocol uses.
-pub fn coset_shift() -> Goldilocks {
-    Goldilocks::MULTIPLICATIVE_GENERATOR
+/// The coset shift `g` every LDE in the protocol uses: the field's
+/// multiplicative generator.
+pub fn coset_shift<F: PrimeField64>() -> F {
+    F::MULTIPLICATIVE_GENERATOR
 }
 
 /// A batch of equal-length polynomials committed in one Merkle tree.
@@ -21,35 +28,39 @@ pub fn coset_shift() -> Goldilocks {
 /// point `i` (bit-reversed order) — "taking values from the same position
 /// of all the polynomials and concatenating them" (paper Fig. 1 step ③).
 #[derive(Clone, Debug)]
-pub struct PolynomialBatch {
-    polys: Vec<Polynomial<Goldilocks>>,
-    tree: MerkleTree,
+pub struct GenericPolynomialBatch<B: SpongeBackend> {
+    polys: Vec<Polynomial<B::F>>,
+    tree: GenericMerkleTree<B>,
     degree: usize,
     rate_bits: usize,
 }
 
-impl PolynomialBatch {
+/// The default (Goldilocks, Poseidon) batch.
+pub type PolynomialBatch = GenericPolynomialBatch<PoseidonSponge>;
+
+impl<B: SpongeBackend> GenericPolynomialBatch<B> {
     /// Commits to polynomials given in coefficient form.
     ///
     /// # Panics
     ///
     /// Panics if the batch is empty or lengths differ / are not powers of
     /// two.
-    pub fn from_coeffs(polys: Vec<Polynomial<Goldilocks>>, config: &FriConfig) -> Self {
+    pub fn from_coeffs(polys: Vec<Polynomial<B::F>>, config: &FriConfig) -> Self {
         Self::from_coeffs_in(polys, config, None)
     }
 
-    /// [`PolynomialBatch::from_coeffs`] with an optional [`Workspace`]: the
-    /// LDE codewords, the Merkle leaf table, and the tree's digest levels
-    /// are drawn from (and sized for return to) the workspace pools. The
-    /// commitment is bit-identical with and without a workspace.
+    /// [`GenericPolynomialBatch::from_coeffs`] with an optional
+    /// [`Workspace`]: the LDE codewords, the Merkle leaf table, and the
+    /// tree's digest levels are drawn from (and sized for return to) the
+    /// workspace pools. The commitment is bit-identical with and without a
+    /// workspace.
     ///
     /// # Panics
     ///
     /// Panics if the batch is empty or lengths differ / are not powers of
     /// two.
     pub fn from_coeffs_in(
-        polys: Vec<Polynomial<Goldilocks>>,
+        polys: Vec<Polynomial<B::F>>,
         config: &FriConfig,
         ws: Option<&Workspace>,
     ) -> Self {
@@ -63,24 +74,24 @@ impl PolynomialBatch {
         // LDE of every polynomial (NTT kernel), then gather the values at
         // each domain position into Merkle leaves (a layout transform — the
         // index-major view of §5.1), then hash the tree.
-        let shift = coset_shift();
+        let shift = coset_shift::<B::F>();
         let lde_size = degree << config.rate_bits;
-        let ldes: Vec<Vec<Goldilocks>> = crate::timing::time_kernel(KernelClass::Ntt, || {
-            let coeff_refs: Vec<&[Goldilocks]> = polys.iter().map(|p| p.coeffs()).collect();
+        let ldes: Vec<Vec<B::F>> = crate::timing::time_kernel(KernelClass::Ntt, || {
+            let coeff_refs: Vec<&[B::F]> = polys.iter().map(|p| p.coeffs()).collect();
             unizk_field::parallel_map(coeff_refs, |c| {
                 // `lde_nr` on a pooled buffer: zero-pad, then NTT^NR on the
                 // coset (identical values and transform counters).
-                let mut padded = take_gl(ws, lde_size);
+                let mut padded = B::F::take_elems(ws, lde_size);
                 padded.extend_from_slice(c);
-                padded.resize(lde_size, Goldilocks::ZERO);
+                padded.resize(lde_size, B::F::ZERO);
                 coset_ntt_nr(&mut padded, shift);
                 padded
             })
         });
 
-        let leaves: Vec<Vec<Goldilocks>> =
+        let leaves: Vec<Vec<B::F>> =
             crate::timing::time_kernel(KernelClass::LayoutTransform, || {
-                let mut table = take_gl_table(ws, lde_size);
+                let mut table = B::F::take_table(ws, lde_size);
                 let chunk = lde_size
                     .div_ceil(unizk_field::current_parallelism().max(1))
                     .max(1);
@@ -94,11 +105,12 @@ impl PolynomialBatch {
         // The codewords have been transposed into the leaf table; shelve
         // them for the next commitment.
         for lde in ldes {
-            put_gl(ws, lde);
+            B::F::put_elems(ws, lde);
         }
 
-        let tree =
-            crate::timing::time_kernel(KernelClass::MerkleTree, || MerkleTree::new_in(leaves, ws));
+        let tree = crate::timing::time_kernel(KernelClass::MerkleTree, || {
+            GenericMerkleTree::<B>::new_in(leaves, ws)
+        });
         Self {
             polys,
             tree,
@@ -112,19 +124,21 @@ impl PolynomialBatch {
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`PolynomialBatch::from_coeffs`].
-    pub fn from_values(columns: Vec<Vec<Goldilocks>>, config: &FriConfig) -> Self {
+    /// Panics under the same conditions as
+    /// [`GenericPolynomialBatch::from_coeffs`].
+    pub fn from_values(columns: Vec<Vec<B::F>>, config: &FriConfig) -> Self {
         Self::from_values_in(columns, config, None)
     }
 
-    /// [`PolynomialBatch::from_values`] with an optional [`Workspace`] (see
-    /// [`PolynomialBatch::from_coeffs_in`]).
+    /// [`GenericPolynomialBatch::from_values`] with an optional
+    /// [`Workspace`] (see [`GenericPolynomialBatch::from_coeffs_in`]).
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`PolynomialBatch::from_coeffs`].
+    /// Panics under the same conditions as
+    /// [`GenericPolynomialBatch::from_coeffs`].
     pub fn from_values_in(
-        columns: Vec<Vec<Goldilocks>>,
+        columns: Vec<Vec<B::F>>,
         config: &FriConfig,
         ws: Option<&Workspace>,
     ) -> Self {
@@ -141,13 +155,13 @@ impl PolynomialBatch {
     /// the Merkle tree's allocations in `ws` for the next job.
     pub fn recycle(self, ws: &Workspace) {
         for p in self.polys {
-            ws.put_gl(p.into_coeffs());
+            B::F::put_elems(Some(ws), p.into_coeffs());
         }
         self.tree.recycle(ws);
     }
 
     /// The Merkle root (the commitment).
-    pub fn root(&self) -> Digest {
+    pub fn root(&self) -> Digest<B::F> {
         self.tree.root()
     }
 
@@ -167,44 +181,45 @@ impl PolynomialBatch {
     }
 
     /// The committed polynomials (coefficient form).
-    pub fn polys(&self) -> &[Polynomial<Goldilocks>] {
+    pub fn polys(&self) -> &[Polynomial<B::F>] {
         &self.polys
     }
 
     /// The values of all polynomials at LDE position `index` (bit-reversed
     /// order), i.e. the contents of leaf `index`.
-    pub fn leaf(&self, index: usize) -> &[Goldilocks] {
+    pub fn leaf(&self, index: usize) -> &[B::F] {
         self.tree.leaf(index)
     }
 
     /// Merkle authentication path for leaf `index`.
-    pub fn prove_leaf(&self, index: usize) -> unizk_hash::MerkleProof {
+    pub fn prove_leaf(&self, index: usize) -> unizk_hash::MerkleProof<B::F> {
         self.tree.prove(index)
     }
 
     /// Evaluates every polynomial at an out-of-domain extension point.
-    pub fn eval_all_ext(&self, zeta: Ext2) -> Vec<Ext2> {
+    pub fn eval_all_ext(&self, zeta: <B::F as ProtocolField>::Ext) -> Vec<<B::F as ProtocolField>::Ext> {
         self.polys.iter().map(|p| p.eval_ext(zeta)).collect()
     }
 
     /// The LDE domain point (in the base field) at bit-reversed position
     /// `index`: `g · ω^{rev(index)}`.
-    pub fn domain_point(&self, index: usize) -> Goldilocks {
+    pub fn domain_point(&self, index: usize) -> B::F {
         domain_point(self.lde_size(), index)
     }
 }
 
 /// The point of the standard coset LDE domain of size `lde_size` stored at
 /// bit-reversed position `index`.
-pub fn domain_point(lde_size: usize, index: usize) -> Goldilocks {
+pub fn domain_point<F: PrimeField64>(lde_size: usize, index: usize) -> F {
     let bits = log2_strict(lde_size);
-    let omega = Goldilocks::primitive_root_of_unity(bits);
-    coset_shift() * omega.exp_u64(bit_reverse(index, bits) as u64)
+    let omega = F::primitive_root_of_unity(bits);
+    coset_shift::<F>() * omega.exp_u64(bit_reverse(index, bits) as u64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unizk_field::{Ext2, Goldilocks};
     use unizk_testkit::rng::TestRng as StdRng;
 
     fn random_polys(rng: &mut StdRng, count: usize, degree: usize) -> Vec<Polynomial<Goldilocks>> {
@@ -297,5 +312,31 @@ mod tests {
         let batch = PolynomialBatch::from_coeffs(polys, &config);
         assert_eq!(batch.lde_size(), 16 * 8);
         assert_eq!(batch.degree(), 16);
+    }
+
+    #[test]
+    fn koalabear_batch_commits_and_evaluates() {
+        use unizk_field::{KbExt4, KoalaBear};
+        use unizk_hash::Poseidon2KbSponge;
+
+        type KbBatch = GenericPolynomialBatch<Poseidon2KbSponge>;
+        let mut rng = StdRng::seed_from_u64(404);
+        let config = FriConfig::for_testing();
+        let polys: Vec<Polynomial<KoalaBear>> = (0..3)
+            .map(|_| {
+                Polynomial::from_coeffs((0..8).map(|_| KoalaBear::random(&mut rng)).collect())
+            })
+            .collect();
+        let batch = KbBatch::from_coeffs(polys.clone(), &config);
+        for index in [0usize, 1, 17, 63] {
+            let x = batch.domain_point(index);
+            let leaf = batch.leaf(index);
+            for (j, p) in polys.iter().enumerate() {
+                assert_eq!(leaf[j], p.eval(x), "poly {j} at index {index}");
+            }
+        }
+        let z = KbExt4::from(KoalaBear::from_u64(31337));
+        let evals = batch.eval_all_ext(z);
+        assert_eq!(evals.len(), 3);
     }
 }

@@ -50,7 +50,7 @@ pub mod serialization;
 pub mod timing;
 pub mod verifier;
 
-pub use batch::PolynomialBatch;
+pub use batch::{GenericPolynomialBatch, PolynomialBatch};
 pub use config::FriConfig;
 pub use proof::{FriProof, FriQueryRound};
 pub use prover::{fri_prove, fri_prove_in, grind, pow_ok};

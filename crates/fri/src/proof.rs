@@ -3,67 +3,73 @@
 //! Proof size matters in the evaluation: Table 5 reports Starky base proofs
 //! of hundreds of kB compressed to ~155 kB by a recursive Plonky2 proof;
 //! [`FriProof::size_bytes`] reproduces that accounting.
+//!
+//! All structures are generic over the base field (`F: ProtocolField`,
+//! defaulting to Goldilocks) — extension elements are `F::Ext`, and the
+//! per-element wire widths follow `F::BYTES`.
 
-use unizk_field::{Ext2, Goldilocks};
+use unizk_field::{ExtensionOf, Goldilocks, ProtocolField};
 use unizk_hash::{Digest, MerkleProof};
 
 /// One batch opening at one query position: the leaf contents plus the
 /// authentication path.
 #[derive(Clone, Debug)]
-pub struct FriInitialOpening {
+pub struct FriInitialOpening<F: ProtocolField = Goldilocks> {
     /// Values of every polynomial in the batch at the queried LDE point.
-    pub leaf: Vec<Goldilocks>,
+    pub leaf: Vec<F>,
     /// Merkle path in the batch's commitment tree.
-    pub proof: MerkleProof,
+    pub proof: MerkleProof<F>,
 }
 
 /// One commit-phase opening at one query position: the fold pair plus path.
 #[derive(Clone, Debug)]
-pub struct FriFoldOpening {
+pub struct FriFoldOpening<F: ProtocolField = Goldilocks> {
     /// The two sibling values `v(x)`, `v(-x)` that fold together.
-    pub pair: [Ext2; 2],
+    pub pair: [F::Ext; 2],
     /// Merkle path in this round's tree.
-    pub proof: MerkleProof,
+    pub proof: MerkleProof<F>,
 }
 
 /// All openings for a single query index.
 #[derive(Clone, Debug)]
-pub struct FriQueryRound {
+pub struct FriQueryRound<F: ProtocolField = Goldilocks> {
     /// One opening per committed batch.
-    pub initial: Vec<FriInitialOpening>,
+    pub initial: Vec<FriInitialOpening<F>>,
     /// One opening per folding round.
-    pub folds: Vec<FriFoldOpening>,
+    pub folds: Vec<FriFoldOpening<F>>,
 }
 
 /// A complete FRI opening proof.
 #[derive(Clone, Debug)]
-pub struct FriProof {
+pub struct FriProof<F: ProtocolField = Goldilocks> {
     /// Claimed evaluations: `openings[t][b][j]` is polynomial `j` of batch
     /// `b` evaluated at out-of-domain point `t`.
-    pub openings: Vec<Vec<Vec<Ext2>>>,
+    pub openings: Vec<Vec<Vec<F::Ext>>>,
     /// Merkle roots of the commit-phase (fold) trees.
-    pub commit_roots: Vec<Digest>,
+    pub commit_roots: Vec<Digest<F>>,
     /// Coefficients of the final low-degree polynomial.
-    pub final_poly: Vec<Ext2>,
+    pub final_poly: Vec<F::Ext>,
     /// The grinding witness nonce.
-    pub pow_witness: Goldilocks,
+    pub pow_witness: F,
     /// Per-query openings.
-    pub queries: Vec<FriQueryRound>,
+    pub queries: Vec<FriQueryRound<F>>,
 }
 
-impl FriProof {
-    /// Serialized proof size in bytes (8 bytes per base element, 16 per
-    /// extension element, 32 per digest).
+impl<F: ProtocolField> FriProof<F> {
+    /// Serialized proof size in bytes. Per-element widths follow the
+    /// field: `F::BYTES` per base element (8 over Goldilocks, 4 over
+    /// KoalaBear), `DEGREE × F::BYTES` per extension element, and
+    /// `4 × F::BYTES` per digest.
     pub fn size_bytes(&self) -> usize {
-        let ext = 16;
-        let base = 8;
+        let ext = <F::Ext as ExtensionOf<F>>::DEGREE * F::BYTES;
+        let base = F::BYTES;
         let mut total = 0;
         for per_point in &self.openings {
             for per_batch in per_point {
                 total += per_batch.len() * ext;
             }
         }
-        total += self.commit_roots.len() * Digest::BYTES;
+        total += self.commit_roots.len() * Digest::<F>::BYTES;
         total += self.final_poly.len() * ext;
         total += base; // pow witness
         for q in &self.queries {
@@ -81,7 +87,7 @@ impl FriProof {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unizk_field::Field;
+    use unizk_field::{Ext2, Field};
 
     #[test]
     fn size_accounting() {
@@ -102,6 +108,30 @@ mod tests {
             }],
         };
         let expect = 3 * 16 + 2 * 32 + 4 * 16 + 8 + (5 * 8 + 3 * 32) + (2 * 16 + 2 * 32);
+        assert_eq!(proof.size_bytes(), expect);
+    }
+
+    #[test]
+    fn koalabear_size_accounting_uses_narrow_widths() {
+        use unizk_field::{KbExt4, KoalaBear};
+        let proof: FriProof<KoalaBear> = FriProof {
+            openings: vec![vec![vec![KbExt4::ONE; 3]]],
+            commit_roots: vec![Digest::ZERO; 2],
+            final_poly: vec![KbExt4::ONE; 4],
+            pow_witness: KoalaBear::ZERO,
+            queries: vec![FriQueryRound {
+                initial: vec![FriInitialOpening {
+                    leaf: vec![KoalaBear::ONE; 5],
+                    proof: MerkleProof { siblings: vec![Digest::ZERO; 3] },
+                }],
+                folds: vec![FriFoldOpening {
+                    pair: [KbExt4::ONE; 2],
+                    proof: MerkleProof { siblings: vec![Digest::ZERO; 2] },
+                }],
+            }],
+        };
+        // ext = 4 limbs × 4 bytes = 16, base = 4, digest = 16.
+        let expect = 3 * 16 + 2 * 16 + 4 * 16 + 4 + (5 * 4 + 3 * 16) + (2 * 16 + 2 * 16);
         assert_eq!(proof.size_bytes(), expect);
     }
 }

@@ -1,15 +1,21 @@
 //! The FRI prover: batch combination, commit phase (folding), grinding, and
 //! query phase.
+//!
+//! Every function is generic over the sponge backend `B` (and hence the
+//! base field `B::F` and its extension `<B::F as ProtocolField>::Ext`);
+//! the Goldilocks/Poseidon aliases make existing call sites infer
+//! `B = PoseidonSponge` with no changes.
 
 use unizk_field::{
-    batch_inverse, bit_reverse, log2_strict, parallel_first_block, Ext2, ExtensionOf, Field,
-    Goldilocks, Polynomial, PrimeField64,
+    batch_inverse, bit_reverse, log2_strict, parallel_first_block, ExtensionOf, Field, Goldilocks,
+    Polynomial, PrimeField64, ProtocolField,
 };
-use unizk_hash::workspace::{put_ext, put_gl, take_ext, take_gl, take_gl_table, Workspace};
-use unizk_hash::{Challenger, MerkleTree, SpeculativeChallenger};
+use unizk_hash::sponge::HashField;
+use unizk_hash::workspace::Workspace;
+use unizk_hash::{GenericChallenger, GenericMerkleTree, GenericSpeculativeChallenger, SpongeBackend};
 use unizk_testkit::trace;
 
-use crate::batch::{coset_shift, domain_point, PolynomialBatch};
+use crate::batch::{coset_shift, domain_point, GenericPolynomialBatch};
 use crate::config::FriConfig;
 use crate::proof::{FriFoldOpening, FriInitialOpening, FriProof, FriQueryRound};
 use crate::timing::{time_kernel, KernelClass};
@@ -18,24 +24,24 @@ use crate::timing::{time_kernel, KernelClass};
 /// `size`, with values stored in bit-reversed order. Folding squares the
 /// domain: `shift → shift²`, `size → size/2`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct FoldDomain {
+pub(crate) struct FoldDomain<F: PrimeField64 = Goldilocks> {
     pub size: usize,
-    pub shift: Goldilocks,
+    pub shift: F,
 }
 
-impl FoldDomain {
+impl<F: PrimeField64> FoldDomain<F> {
     /// The initial LDE domain of size `lde_size`.
     pub fn initial(lde_size: usize) -> Self {
         Self {
             size: lde_size,
-            shift: coset_shift(),
+            shift: coset_shift::<F>(),
         }
     }
 
     /// The point stored at bit-reversed position `pos`.
-    pub fn point(&self, pos: usize) -> Goldilocks {
+    pub fn point(&self, pos: usize) -> F {
         let bits = log2_strict(self.size);
-        let omega = Goldilocks::primitive_root_of_unity(bits);
+        let omega = F::primitive_root_of_unity(bits);
         self.shift * omega.exp_u64(bit_reverse(pos, bits) as u64)
     }
 
@@ -60,12 +66,12 @@ impl FoldDomain {
 ///
 /// Panics if the batches have differing degrees or LDE sizes, or if
 /// `points` is empty.
-pub fn fri_prove(
-    batches: &[&PolynomialBatch],
-    points: &[Ext2],
-    challenger: &mut Challenger,
+pub fn fri_prove<B: SpongeBackend>(
+    batches: &[&GenericPolynomialBatch<B>],
+    points: &[<B::F as ProtocolField>::Ext],
+    challenger: &mut GenericChallenger<B>,
     config: &FriConfig,
-) -> FriProof {
+) -> FriProof<B::F> {
     fri_prove_in(batches, points, challenger, config, None)
 }
 
@@ -78,13 +84,13 @@ pub fn fri_prove(
 /// # Panics
 ///
 /// Panics under the same conditions as [`fri_prove`].
-pub fn fri_prove_in(
-    batches: &[&PolynomialBatch],
-    points: &[Ext2],
-    challenger: &mut Challenger,
+pub fn fri_prove_in<B: SpongeBackend>(
+    batches: &[&GenericPolynomialBatch<B>],
+    points: &[<B::F as ProtocolField>::Ext],
+    challenger: &mut GenericChallenger<B>,
     config: &FriConfig,
     ws: Option<&Workspace>,
-) -> FriProof {
+) -> FriProof<B::F> {
     assert!(!batches.is_empty(), "need at least one batch");
     assert!(!points.is_empty(), "need at least one opening point");
     let degree = batches[0].degree();
@@ -97,7 +103,7 @@ pub fn fri_prove_in(
     // 1. Open every polynomial at every point; observing the claimed values
     //    binds them into the transcript.
     let _fri_span = trace::span("fri.prove");
-    let openings: Vec<Vec<Vec<Ext2>>> = trace::with_span("fri.open", || {
+    let openings: Vec<Vec<Vec<<B::F as ProtocolField>::Ext>>> = trace::with_span("fri.open", || {
         time_kernel(KernelClass::Polynomial, || {
             points
                 .iter()
@@ -131,14 +137,14 @@ pub fn fri_prove_in(
     // 4. Commit phase: arity-2 folds, one Merkle tree per round.
     let num_rounds = config.num_reduction_rounds(degree);
     trace::counter("fri.reduction_rounds", num_rounds as u64);
-    let mut fold_trees: Vec<MerkleTree> = Vec::with_capacity(num_rounds);
+    let mut fold_trees: Vec<GenericMerkleTree<B>> = Vec::with_capacity(num_rounds);
     let mut commit_roots = Vec::with_capacity(num_rounds);
-    let mut layers: Vec<Vec<Ext2>> = Vec::with_capacity(num_rounds);
-    let mut domain = FoldDomain::initial(lde_size);
+    let mut layers: Vec<Vec<<B::F as ProtocolField>::Ext>> = Vec::with_capacity(num_rounds);
+    let mut domain = FoldDomain::<B::F>::initial(lde_size);
     {
         let _commit_span = trace::span("fri.commit_fold");
         for _ in 0..num_rounds {
-            let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer(&values, ws));
+            let tree = time_kernel(KernelClass::MerkleTree, || commit_fold_layer::<B>(&values, ws));
             challenger.observe_digest(tree.root());
             commit_roots.push(tree.root());
             fold_trees.push(tree);
@@ -208,9 +214,9 @@ pub fn fri_prove_in(
     // job on this worker.
     if let Some(w) = ws {
         for layer in layers {
-            w.put_ext(layer);
+            B::F::put_ext_elems(Some(w), layer);
         }
-        w.put_ext(values);
+        B::F::put_ext_elems(Some(w), values);
         for tree in fold_trees {
             tree.recycle(w);
         }
@@ -226,19 +232,20 @@ pub fn fri_prove_in(
 }
 
 /// Evaluates the combined witness over the whole LDE domain.
-fn combine_initial(
-    batches: &[&PolynomialBatch],
-    points: &[Ext2],
-    openings: &[Vec<Vec<Ext2>>],
-    alpha: Ext2,
-    beta: Ext2,
+fn combine_initial<B: SpongeBackend>(
+    batches: &[&GenericPolynomialBatch<B>],
+    points: &[<B::F as ProtocolField>::Ext],
+    openings: &[Vec<Vec<<B::F as ProtocolField>::Ext>>],
+    alpha: <B::F as ProtocolField>::Ext,
+    beta: <B::F as ProtocolField>::Ext,
     lde_size: usize,
     ws: Option<&Workspace>,
-) -> Vec<Ext2> {
+) -> Vec<<B::F as ProtocolField>::Ext> {
+    type E<B> = <<B as SpongeBackend>::F as ProtocolField>::Ext;
     // S(x_i) for every domain position i.
-    let mut s_values = take_ext(ws, lde_size);
-    s_values.resize(lde_size, Ext2::ZERO);
-    let mut alpha_pow = Ext2::ONE;
+    let mut s_values = B::F::take_ext_elems(ws, lde_size);
+    s_values.resize(lde_size, E::<B>::ZERO);
+    let mut alpha_pow = E::<B>::ONE;
     for batch in batches {
         for j in 0..batch.num_polys() {
             for (i, s) in s_values.iter_mut().enumerate() {
@@ -249,9 +256,9 @@ fn combine_initial(
     }
 
     // Y_t = Σ_j α^j y_{j,t} with the same global α powers.
-    let mut y_combined = vec![Ext2::ZERO; points.len()];
+    let mut y_combined = vec![E::<B>::ZERO; points.len()];
     for (t, per_point) in openings.iter().enumerate() {
-        let mut alpha_pow = Ext2::ONE;
+        let mut alpha_pow = E::<B>::ONE;
         for per_batch in per_point {
             for &y in per_batch {
                 y_combined[t] += alpha_pow * y;
@@ -261,33 +268,36 @@ fn combine_initial(
     }
 
     // Denominators (x_i − z_t), batch-inverted per point.
-    let mut values = take_ext(ws, lde_size);
-    values.resize(lde_size, Ext2::ZERO);
-    let mut beta_pow = Ext2::ONE;
+    let mut values = B::F::take_ext_elems(ws, lde_size);
+    values.resize(lde_size, E::<B>::ZERO);
+    let mut beta_pow = E::<B>::ONE;
     for (t, &z) in points.iter().enumerate() {
-        let mut denoms = take_ext(ws, lde_size);
-        denoms.extend((0..lde_size).map(|i| Ext2::from(domain_point(lde_size, i)) - z));
+        let mut denoms = B::F::take_ext_elems(ws, lde_size);
+        denoms.extend((0..lde_size).map(|i| E::<B>::from(domain_point::<B::F>(lde_size, i)) - z));
         let inv = batch_inverse(&denoms);
         for i in 0..lde_size {
             values[i] += beta_pow * (s_values[i] - y_combined[t]) * inv[i];
         }
         beta_pow *= beta;
-        put_ext(ws, denoms);
-        put_ext(ws, inv);
+        B::F::put_ext_elems(ws, denoms);
+        B::F::put_ext_elems(ws, inv);
     }
-    put_ext(ws, s_values);
+    B::F::put_ext_elems(ws, s_values);
     values
 }
 
 /// Builds the Merkle tree over fold pairs of a layer: leaf `k` holds the
-/// four base limbs of `(v[2k], v[2k+1])`.
-fn commit_fold_layer(values: &[Ext2], ws: Option<&Workspace>) -> MerkleTree {
-    let mut leaves = take_gl_table(ws, values.len() / 2);
+/// base limbs of `(v[2k], v[2k+1])`.
+fn commit_fold_layer<B: SpongeBackend>(
+    values: &[<B::F as ProtocolField>::Ext],
+    ws: Option<&Workspace>,
+) -> GenericMerkleTree<B> {
+    let mut leaves = B::F::take_table(ws, values.len() / 2);
     for (pair, leaf) in values.chunks(2).zip(leaves.iter_mut()) {
         leaf.extend(pair[0].to_base_slice());
         leaf.extend(pair[1].to_base_slice());
     }
-    MerkleTree::new_in(leaves, ws)
+    GenericMerkleTree::<B>::new_in(leaves, ws)
 }
 
 /// Performs one arity-2 fold of a bit-reversed layer over `domain`.
@@ -296,25 +306,29 @@ fn commit_fold_layer(values: &[Ext2], ws: Option<&Workspace>) -> MerkleTree {
 /// adjacent in bit-reversed order, the folded value at `y = x²` is
 /// `p_e(y) + β·p_o(y)`.
 #[cfg(test)]
-pub(crate) fn fold_layer(values: &[Ext2], domain: FoldDomain, fold_beta: Ext2) -> Vec<Ext2> {
-    fold_layer_in(values, domain, fold_beta, None)
+pub(crate) fn fold_layer<F: ProtocolField + HashField>(
+    values: &[F::Ext],
+    domain: FoldDomain<F>,
+    fold_beta: F::Ext,
+) -> Vec<F::Ext> {
+    fold_layer_in::<F>(values, domain, fold_beta, None)
 }
 
 /// [`fold_layer`] writing into (and scratching from) workspace buffers.
-fn fold_layer_in(
-    values: &[Ext2],
-    domain: FoldDomain,
-    fold_beta: Ext2,
+fn fold_layer_in<F: ProtocolField + HashField>(
+    values: &[F::Ext],
+    domain: FoldDomain<F>,
+    fold_beta: F::Ext,
     ws: Option<&Workspace>,
-) -> Vec<Ext2> {
+) -> Vec<F::Ext> {
     debug_assert_eq!(values.len(), domain.size);
     let half = domain.size / 2;
-    let two_inv = Goldilocks::TWO.inverse();
+    let two_inv = F::TWO.inverse();
     // Batch-invert the pair points.
-    let mut xs = take_gl(ws, half);
+    let mut xs = F::take_elems(ws, half);
     xs.extend((0..half).map(|k| domain.point(2 * k)));
     let x_invs = batch_inverse(&xs);
-    let mut out = take_ext(ws, half);
+    let mut out = F::take_ext_elems(ws, half);
     out.extend((0..half).map(|k| {
         let a = values[2 * k];
         let b = values[2 * k + 1];
@@ -322,19 +336,15 @@ fn fold_layer_in(
         let odd = (a - b).scale(two_inv * x_invs[k]);
         even + fold_beta * odd
     }));
-    put_gl(ws, xs);
-    put_gl(ws, x_invs);
+    F::put_elems(ws, xs);
+    F::put_elems(ws, x_invs);
     out
 }
 
 /// Evaluates the fold-consistency step the verifier performs for a single
 /// pair, shared with [`crate::verifier`].
-pub(crate) fn fold_pair(
-    pair: [Ext2; 2],
-    x: Goldilocks,
-    fold_beta: Ext2,
-) -> Ext2 {
-    let two_inv = Goldilocks::TWO.inverse();
+pub(crate) fn fold_pair<F: ProtocolField>(pair: [F::Ext; 2], x: F, fold_beta: F::Ext) -> F::Ext {
+    let two_inv = F::TWO.inverse();
     let even = (pair[0] + pair[1]).scale(two_inv);
     let odd = (pair[0] - pair[1]).scale(two_inv * x.inverse());
     even + fold_beta * odd
@@ -347,10 +357,14 @@ pub(crate) fn fold_pair(
 ///
 /// Panics if the layer does not actually have degree `< max_len` — an
 /// honest prover never hits this.
-fn interpolate_final(values: &[Ext2], domain: FoldDomain, max_len: usize) -> Vec<Ext2> {
+fn interpolate_final<F: ProtocolField>(
+    values: &[F::Ext],
+    domain: FoldDomain<F>,
+    max_len: usize,
+) -> Vec<F::Ext> {
     debug_assert_eq!(values.len(), domain.size);
-    let xs: Vec<Ext2> = (0..domain.size)
-        .map(|i| Ext2::from(domain.point(i)))
+    let xs: Vec<F::Ext> = (0..domain.size)
+        .map(|i| F::Ext::from(domain.point(i)))
         .collect();
     let poly = Polynomial::interpolate(&xs, values);
     let coeffs = poly.into_coeffs();
@@ -360,8 +374,8 @@ fn interpolate_final(values: &[Ext2], domain: FoldDomain, max_len: usize) -> Vec
             "final polynomial exceeds the degree bound (prover bug)"
         );
     }
-    let mut out: Vec<Ext2> = coeffs.into_iter().take(max_len).collect();
-    out.resize(max_len, Ext2::ZERO);
+    let mut out: Vec<F::Ext> = coeffs.into_iter().take(max_len).collect();
+    out.resize(max_len, F::Ext::ZERO);
     out
 }
 
@@ -378,7 +392,7 @@ const GRIND_BLOCK: u64 = 512;
 /// bit-deterministic:
 ///
 /// * **Lanes** — within a block, candidate nonces run through the
-///   lane-packed Poseidon engine ([`unizk_hash::hash_lanes`] nonces per
+///   backend's lane-packed engine ([`unizk_hash::hash_lanes`] nonces per
 ///   dispatch), evaluating only the challenge row of the output state.
 /// * **Threads** — blocks of `GRIND_BLOCK` (512) nonces are searched with
 ///   [`parallel_first_block`], which returns the lowest-indexed successful
@@ -387,52 +401,57 @@ const GRIND_BLOCK: u64 = 512;
 /// Both axes overshoot: lanes past the winner within a group, blocks past
 /// the winning block within a wave. Nothing is counted per attempt;
 /// instead the *logical* attempt count — `winner + 1`, exactly what the
-/// serial one-bump-per-attempt scan totalled — lands on
-/// `poseidon.permutations` once at the end, keeping the counter
-/// byte-identical for every lane width, block size, and thread count
-/// (count-once discipline, as for the NTT routing knobs).
-pub fn grind(challenger: &Challenger, bits: usize) -> Goldilocks {
-    // Rule P04 upstream: a 64-bit challenge cannot show 64 leading zeros,
-    // so the scan below would walk the whole nonce space and never return.
-    assert!(bits < 64, "grind demands {bits} leading zero bits of a 64-bit challenge");
+/// serial one-bump-per-attempt scan totalled — lands on the backend's
+/// permutation counter once at the end, keeping the counter byte-identical
+/// for every lane width, block size, and thread count (count-once
+/// discipline, as for the NTT routing knobs).
+pub fn grind<B: SpongeBackend>(challenger: &GenericChallenger<B>, bits: usize) -> B::F {
+    // Rule P04 upstream: a `BITS`-bit challenge cannot show `BITS` leading
+    // zeros, so the scan below would walk the whole nonce space and never
+    // return.
+    assert!(
+        bits < B::F::BITS,
+        "grind demands {bits} leading zero bits of a {}-bit challenge",
+        B::F::BITS
+    );
     let speculative = challenger.speculative_challenger();
     let lanes = unizk_hash::hash_lanes();
     let winner = parallel_first_block(|k| scan_block(&speculative, k as u64 * GRIND_BLOCK, bits, lanes));
-    trace::counter("poseidon.permutations", winner + 1);
-    Goldilocks::from_u64(winner)
+    trace::counter(B::COUNTER, winner + 1);
+    B::F::from_u64(winner)
 }
 
 /// Scans the block of nonces `[start, start + GRIND_BLOCK)` and returns the
 /// lowest qualifying nonce in it, if any. Dispatches on the configured lane
 /// width; every width returns the identical result (the packed kernels are
 /// bit-identical to scalar and groups are checked in nonce order).
-fn scan_block(
-    speculative: &SpeculativeChallenger,
+fn scan_block<B: SpongeBackend>(
+    speculative: &GenericSpeculativeChallenger<B>,
     start: u64,
     bits: usize,
     lanes: usize,
 ) -> Option<u64> {
     match lanes {
-        2 => scan_lanes::<2>(speculative, start, bits),
-        4 => scan_lanes::<4>(speculative, start, bits),
-        8 => scan_lanes::<8>(speculative, start, bits),
-        _ => scan_lanes::<1>(speculative, start, bits),
+        2 => scan_lanes::<B, 2>(speculative, start, bits),
+        4 => scan_lanes::<B, 4>(speculative, start, bits),
+        8 => scan_lanes::<B, 8>(speculative, start, bits),
+        _ => scan_lanes::<B, 1>(speculative, start, bits),
     }
 }
 
 /// Lane-width-monomorphised block scan: `LANES` consecutive nonces per
 /// packed dispatch, groups walked in ascending order, lowest hit wins.
-fn scan_lanes<const LANES: usize>(
-    speculative: &SpeculativeChallenger,
+fn scan_lanes<B: SpongeBackend, const LANES: usize>(
+    speculative: &GenericSpeculativeChallenger<B>,
     start: u64,
     bits: usize,
 ) -> Option<u64> {
     debug_assert_eq!(GRIND_BLOCK % LANES as u64, 0);
     let mut nonce = start;
     while nonce < start + GRIND_BLOCK {
-        let mut xs = [Goldilocks::ZERO; LANES];
+        let mut xs = [B::F::ZERO; LANES];
         for (l, x) in xs.iter_mut().enumerate() {
-            *x = Goldilocks::from_u64(nonce + l as u64);
+            *x = B::F::from_u64(nonce + l as u64);
         }
         let responses = speculative.challenge_batch_uncounted(&xs);
         for (l, &r) in responses.iter().enumerate() {
@@ -446,20 +465,22 @@ fn scan_lanes<const LANES: usize>(
 }
 
 /// The grinding condition: the response's low `bits` bits are zero.
-pub fn pow_ok(response: Goldilocks, bits: usize) -> bool {
+pub fn pow_ok<F: PrimeField64>(response: F, bits: usize) -> bool {
     response.as_u64() & ((1u64 << bits) - 1) == 0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unizk_field::Ext2;
+    use unizk_hash::Challenger;
 
     #[test]
     fn fold_domain_squares() {
-        let d = FoldDomain::initial(64);
+        let d = FoldDomain::<Goldilocks>::initial(64);
         let f = d.fold();
         assert_eq!(f.size, 32);
-        assert_eq!(f.shift, coset_shift().square());
+        assert_eq!(f.shift, coset_shift::<Goldilocks>().square());
         // The folded point at position k is the square of the parent pair's
         // point.
         for k in 0..32 {
@@ -469,9 +490,19 @@ mod tests {
 
     #[test]
     fn pair_points_are_negatives() {
-        let d = FoldDomain::initial(64);
+        let d = FoldDomain::<Goldilocks>::initial(64);
         for k in 0..32 {
             assert_eq!(d.point(2 * k + 1), -d.point(2 * k));
+        }
+    }
+
+    #[test]
+    fn koalabear_pair_points_are_negatives() {
+        use unizk_field::KoalaBear;
+        let d = FoldDomain::<KoalaBear>::initial(64);
+        for k in 0..32 {
+            assert_eq!(d.point(2 * k + 1), -d.point(2 * k));
+            assert_eq!(d.fold().point(k), d.point(2 * k).square());
         }
     }
 
@@ -486,7 +517,7 @@ mod tests {
             .map(|_| Ext2::from(Goldilocks::random(&mut rng)))
             .collect();
         let poly = Polynomial::from_coeffs(coeffs.clone());
-        let domain = FoldDomain::initial(64);
+        let domain = FoldDomain::<Goldilocks>::initial(64);
         let values: Vec<Ext2> = (0..64)
             .map(|i| poly.eval(Ext2::from(domain.point(i))))
             .collect();
@@ -503,8 +534,44 @@ mod tests {
     }
 
     #[test]
+    fn koalabear_fold_layer_preserves_low_degree() {
+        use unizk_field::{KbExt4, KoalaBear};
+        use unizk_testkit::rng::TestRng as StdRng;
+        let mut rng = StdRng::seed_from_u64(501);
+        let coeffs: Vec<KbExt4> = (0..16)
+            .map(|_| KbExt4::from(KoalaBear::random(&mut rng)))
+            .collect();
+        let poly = Polynomial::from_coeffs(coeffs.clone());
+        let domain = FoldDomain::<KoalaBear>::initial(64);
+        let values: Vec<KbExt4> = (0..64)
+            .map(|i| poly.eval(KbExt4::from(domain.point(i))))
+            .collect();
+        let beta = KbExt4::from(KoalaBear::from_u64(7)) + KbExt4::X;
+        let folded = fold_layer(&values, domain, beta);
+
+        let even = Polynomial::from_coeffs(coeffs.iter().copied().step_by(2).collect::<Vec<_>>());
+        let odd =
+            Polynomial::from_coeffs(coeffs.iter().copied().skip(1).step_by(2).collect::<Vec<_>>());
+        let next = domain.fold();
+        for (k, f) in folded.iter().enumerate().take(32) {
+            let y = KbExt4::from(next.point(k));
+            assert_eq!(*f, even.eval(y) + beta * odd.eval(y), "k={k}");
+        }
+    }
+
+    #[test]
     fn grinding_finds_valid_witness() {
         let challenger = Challenger::new();
+        let w = grind(&challenger, 6);
+        let mut c = challenger;
+        c.observe(w);
+        assert!(pow_ok(c.challenge(), 6));
+    }
+
+    #[test]
+    fn koalabear_grinding_finds_valid_witness() {
+        use unizk_hash::Poseidon2KbSponge;
+        let challenger = GenericChallenger::<Poseidon2KbSponge>::new();
         let w = grind(&challenger, 6);
         let mut c = challenger;
         c.observe(w);

@@ -7,7 +7,7 @@
 //! [`crate::FriProof::size_bytes`] equals the encoded length exactly —
 //! tested for every proof the test suite generates.
 
-use unizk_field::{Ext2, Field, Goldilocks};
+use unizk_field::{ExtensionOf, PrimeField64, ProtocolField};
 use unizk_hash::{Digest, MerkleProof};
 
 use crate::proof::{FriFoldOpening, FriInitialOpening, FriProof, FriQueryRound};
@@ -71,19 +71,24 @@ impl Writer {
         self.buf.extend_from_slice(&n.to_le_bytes());
     }
 
-    /// Writes a field element (8 bytes).
-    pub fn field(&mut self, v: Goldilocks) {
-        self.u64(v.as_canonical_u64());
+    /// Writes a field element: the canonical representative's low
+    /// `F::BYTES` little-endian bytes (8 over Goldilocks, 4 over
+    /// KoalaBear).
+    pub fn field<F: PrimeField64>(&mut self, v: F) {
+        self.buf
+            .extend_from_slice(&v.as_u64().to_le_bytes()[..F::BYTES]);
     }
 
-    /// Writes an extension element (16 bytes).
-    pub fn ext(&mut self, v: Ext2) {
-        self.field(v.real());
-        self.field(v.imag());
+    /// Writes an extension element as its `DEGREE` base limbs, lowest
+    /// degree first (16 bytes over either shipped field).
+    pub fn ext<F: ProtocolField>(&mut self, v: F::Ext) {
+        for limb in v.to_base_slice() {
+            self.field(limb);
+        }
     }
 
-    /// Writes a digest (32 bytes).
-    pub fn digest(&mut self, d: Digest) {
+    /// Writes a digest (`4 × F::BYTES` bytes).
+    pub fn digest<F: PrimeField64>(&mut self, d: Digest<F>) {
         for e in d.elements() {
             self.field(e);
         }
@@ -127,18 +132,27 @@ impl<'a> Reader<'a> {
         Ok(usize::try_from(n).expect("bounded length fits usize"))
     }
 
-    /// Reads a field element.
-    pub fn field(&mut self) -> Result<Goldilocks, WireError> {
-        Ok(Goldilocks::from_u64(self.u64()?))
+    /// Reads a field element (`F::BYTES` bytes, zero-extended).
+    pub fn field<F: PrimeField64>(&mut self) -> Result<F, WireError> {
+        let end = self.pos.checked_add(F::BYTES).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        let mut wide = [0u8; 8];
+        wide[..F::BYTES].copy_from_slice(bytes);
+        Ok(F::from_u64(u64::from_le_bytes(wide)))
     }
 
-    /// Reads an extension element.
-    pub fn ext(&mut self) -> Result<Ext2, WireError> {
-        Ok(Ext2::new(self.field()?, self.field()?))
+    /// Reads an extension element (`DEGREE` base limbs).
+    pub fn ext<F: ProtocolField>(&mut self) -> Result<F::Ext, WireError> {
+        let mut limbs = Vec::with_capacity(<F::Ext as ExtensionOf<F>>::DEGREE);
+        for _ in 0..<F::Ext as ExtensionOf<F>>::DEGREE {
+            limbs.push(self.field::<F>()?);
+        }
+        Ok(F::Ext::from_base_slice(&limbs))
     }
 
     /// Reads a digest.
-    pub fn digest(&mut self) -> Result<Digest, WireError> {
+    pub fn digest<F: PrimeField64>(&mut self) -> Result<Digest<F>, WireError> {
         Ok(Digest([
             self.field()?,
             self.field()?,
@@ -148,14 +162,14 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn write_merkle_proof(w: &mut Writer, p: &MerkleProof) {
+fn write_merkle_proof<F: PrimeField64>(w: &mut Writer, p: &MerkleProof<F>) {
     w.len_prefix(p.siblings.len());
     for &s in &p.siblings {
         w.digest(s);
     }
 }
 
-fn read_merkle_proof(r: &mut Reader<'_>) -> Result<MerkleProof, WireError> {
+fn read_merkle_proof<F: PrimeField64>(r: &mut Reader<'_>) -> Result<MerkleProof<F>, WireError> {
     let n = r.len_prefix()?;
     let mut siblings = Vec::with_capacity(n);
     for _ in 0..n {
@@ -164,7 +178,7 @@ fn read_merkle_proof(r: &mut Reader<'_>) -> Result<MerkleProof, WireError> {
     Ok(MerkleProof { siblings })
 }
 
-impl FriProof {
+impl<F: ProtocolField> FriProof<F> {
     /// Encodes the proof to bytes. The payload (excluding the 4-byte
     /// length prefixes, which a fixed-shape instance doesn't need) is
     /// exactly [`FriProof::size_bytes`] long.
@@ -176,7 +190,7 @@ impl FriProof {
             for per_batch in per_point {
                 w.len_prefix(per_batch.len());
                 for &y in per_batch {
-                    w.ext(y);
+                    w.ext::<F>(y);
                 }
             }
         }
@@ -186,7 +200,7 @@ impl FriProof {
         }
         w.len_prefix(self.final_poly.len());
         for &c in &self.final_poly {
-            w.ext(c);
+            w.ext::<F>(c);
         }
         w.field(self.pow_witness);
         w.len_prefix(self.queries.len());
@@ -201,8 +215,8 @@ impl FriProof {
             }
             w.len_prefix(q.folds.len());
             for fold in &q.folds {
-                w.ext(fold.pair[0]);
-                w.ext(fold.pair[1]);
+                w.ext::<F>(fold.pair[0]);
+                w.ext::<F>(fold.pair[1]);
                 write_merkle_proof(&mut w, &fold.proof);
             }
         }
@@ -225,7 +239,7 @@ impl FriProof {
                 let num_polys = r.len_prefix()?;
                 let mut per_batch = Vec::with_capacity(num_polys);
                 for _ in 0..num_polys {
-                    per_batch.push(r.ext()?);
+                    per_batch.push(r.ext::<F>()?);
                 }
                 per_point.push(per_batch);
             }
@@ -239,7 +253,7 @@ impl FriProof {
         let final_len = r.len_prefix()?;
         let mut final_poly = Vec::with_capacity(final_len);
         for _ in 0..final_len {
-            final_poly.push(r.ext()?);
+            final_poly.push(r.ext::<F>()?);
         }
         let pow_witness = r.field()?;
         let num_queries = r.len_prefix()?;
@@ -259,7 +273,7 @@ impl FriProof {
             let num_folds = r.len_prefix()?;
             let mut folds = Vec::with_capacity(num_folds);
             for _ in 0..num_folds {
-                let pair = [r.ext()?, r.ext()?];
+                let pair = [r.ext::<F>()?, r.ext::<F>()?];
                 let proof = read_merkle_proof(&mut r)?;
                 folds.push(FriFoldOpening { pair, proof });
             }
@@ -293,7 +307,7 @@ impl FriProof {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use unizk_field::{Polynomial, PrimeField64};
+    use unizk_field::{Ext2, Goldilocks, Polynomial};
     use unizk_hash::Challenger;
 
     fn sample_proof() -> FriProof {
@@ -320,7 +334,7 @@ mod tests {
     fn roundtrip_preserves_the_proof() {
         let proof = sample_proof();
         let bytes = proof.to_bytes();
-        let back = FriProof::from_bytes(&bytes).expect("decodes");
+        let back = FriProof::<Goldilocks>::from_bytes(&bytes).expect("decodes");
         assert_eq!(back.to_bytes(), bytes);
         assert_eq!(back.commit_roots, proof.commit_roots);
         assert_eq!(back.final_poly, proof.final_poly);
@@ -341,7 +355,7 @@ mod tests {
     fn truncated_bytes_rejected() {
         let bytes = sample_proof().to_bytes();
         for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
-            assert!(FriProof::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(FriProof::<Goldilocks>::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
     }
 
@@ -353,7 +367,7 @@ mod tests {
         bytes[2] = 0xFF;
         bytes[3] = 0x7F;
         assert!(matches!(
-            FriProof::from_bytes(&bytes),
+            FriProof::<Goldilocks>::from_bytes(&bytes),
             Err(WireError::LengthOutOfRange(_)) | Err(WireError::Truncated)
         ));
     }

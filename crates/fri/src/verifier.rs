@@ -3,8 +3,8 @@
 
 use core::fmt;
 
-use unizk_field::{log2_strict, Ext2, ExtensionOf, Field, Polynomial};
-use unizk_hash::{Challenger, Digest, MerkleTree};
+use unizk_field::{log2_strict, ExtensionOf, Field, Polynomial, ProtocolField};
+use unizk_hash::{Digest, GenericChallenger, GenericMerkleTree, SpongeBackend};
 
 use crate::config::FriConfig;
 use crate::proof::FriProof;
@@ -56,15 +56,16 @@ impl std::error::Error for FriError {}
 /// # Errors
 ///
 /// Returns a [`FriError`] describing the first check that failed.
-pub fn fri_verify(
-    batch_roots: &[Digest],
+pub fn fri_verify<B: SpongeBackend>(
+    batch_roots: &[Digest<B::F>],
     batch_num_polys: &[usize],
     degree: usize,
-    points: &[Ext2],
-    proof: &FriProof,
-    challenger: &mut Challenger,
+    points: &[<B::F as ProtocolField>::Ext],
+    proof: &FriProof<B::F>,
+    challenger: &mut GenericChallenger<B>,
     config: &FriConfig,
 ) -> Result<(), FriError> {
+    type E<B> = <<B as SpongeBackend>::F as ProtocolField>::Ext;
     if batch_roots.len() != batch_num_polys.len() {
         return Err(FriError::Malformed("batch descriptor length mismatch"));
     }
@@ -117,9 +118,9 @@ pub fn fri_verify(
     }
 
     // Precompute Y_t = Σ_j α^j y_{j,t}.
-    let mut y_combined = vec![Ext2::ZERO; points.len()];
+    let mut y_combined = vec![E::<B>::ZERO; points.len()];
     for (t, per_point) in proof.openings.iter().enumerate() {
-        let mut alpha_pow = Ext2::ONE;
+        let mut alpha_pow = E::<B>::ONE;
         for per_batch in per_point {
             for &y in per_batch {
                 y_combined[t] += alpha_pow * y;
@@ -130,7 +131,7 @@ pub fn fri_verify(
 
     let final_poly = Polynomial::from_coeffs(proof.final_poly.clone());
     let index_bits = log2_strict(lde_size);
-    let initial_domain = FoldDomain::initial(lde_size);
+    let initial_domain = FoldDomain::<B::F>::initial(lde_size);
 
     for (qi, query) in proof.queries.iter().enumerate() {
         let mut idx = challenger.challenge_bits(index_bits);
@@ -143,13 +144,13 @@ pub fn fri_verify(
 
         // Check batch openings and recompute S(x_idx).
         let x = initial_domain.point(idx);
-        let mut s_value = Ext2::ZERO;
-        let mut alpha_pow = Ext2::ONE;
+        let mut s_value = E::<B>::ZERO;
+        let mut alpha_pow = E::<B>::ONE;
         for (b, opening) in query.initial.iter().enumerate() {
             if opening.leaf.len() != batch_num_polys[b] {
                 return Err(FriError::Malformed("query leaf width mismatch"));
             }
-            if !MerkleTree::verify(batch_roots[b], idx, &opening.leaf, &opening.proof) {
+            if !GenericMerkleTree::<B>::verify(batch_roots[b], idx, &opening.leaf, &opening.proof) {
                 return Err(FriError::BadMerkleProof {
                     query: qi,
                     what: "initial batch",
@@ -162,10 +163,10 @@ pub fn fri_verify(
         }
 
         // Combined witness value at x.
-        let mut value = Ext2::ZERO;
-        let mut beta_pow = Ext2::ONE;
+        let mut value = E::<B>::ZERO;
+        let mut beta_pow = E::<B>::ONE;
         for (t, &z) in points.iter().enumerate() {
-            let denom = Ext2::from(x) - z;
+            let denom = E::<B>::from(x) - z;
             let inv = denom
                 .try_inverse()
                 .ok_or(FriError::Malformed("opening point lies on the domain"))?;
@@ -179,7 +180,7 @@ pub fn fri_verify(
             let pair_index = idx >> 1;
             let mut leaf = fold.pair[0].to_base_slice();
             leaf.extend(fold.pair[1].to_base_slice());
-            if !MerkleTree::verify(proof.commit_roots[round], pair_index, &leaf, &fold.proof) {
+            if !GenericMerkleTree::<B>::verify(proof.commit_roots[round], pair_index, &leaf, &fold.proof) {
                 return Err(FriError::BadMerkleProof {
                     query: qi,
                     what: "fold layer",
@@ -194,7 +195,7 @@ pub fn fri_verify(
         }
 
         // Final check against the in-the-clear polynomial.
-        let y = Ext2::from(domain.point(idx));
+        let y = E::<B>::from(domain.point(idx));
         if final_poly.eval(y) != value {
             return Err(FriError::FinalPolyMismatch { query: qi });
         }

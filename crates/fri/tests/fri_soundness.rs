@@ -1,35 +1,58 @@
 //! End-to-end FRI tests: honest proofs verify across configurations, and
-//! every class of tampering is rejected.
+//! every class of tampering is rejected — over **both** proving stacks.
+//!
+//! The whole suite is one field-generic harness over the sponge backend
+//! `B`, stamped out for `(Goldilocks, Poseidon)` and
+//! `(KoalaBear, Poseidon2)` by the `field_suite!` macro at the bottom: the
+//! honest-prover paths and all the corruption cases run identically over
+//! the 64-bit degree-2 stack and the 31-bit degree-4 stack.
 
+use unizk_field::{ExtensionOf, Field, Polynomial, ProtocolField};
+use unizk_fri::{fri_prove, fri_verify, FriConfig, FriError, GenericPolynomialBatch};
+use unizk_hash::sponge::HashField;
+use unizk_hash::{Digest, GenericChallenger, Poseidon2KbSponge, PoseidonSponge, SpongeBackend};
 use unizk_testkit::rng::TestRng as StdRng;
-use unizk_field::{Ext2, Field, Goldilocks, Polynomial, PrimeField64};
-use unizk_fri::{fri_prove, fri_verify, FriConfig, FriError, PolynomialBatch};
-use unizk_hash::{Challenger, Digest};
 
-fn random_polys(rng: &mut StdRng, count: usize, degree: usize) -> Vec<Polynomial<Goldilocks>> {
+type E<B> = <<B as SpongeBackend>::F as ProtocolField>::Ext;
+
+/// What one honest proving run hands the verifier: the proof, the batch
+/// commitment roots, and the per-batch polynomial counts.
+type Proven<B> = (
+    unizk_fri::FriProof<<B as SpongeBackend>::F>,
+    Vec<Digest<<B as SpongeBackend>::F>>,
+    Vec<usize>,
+);
+
+fn random_polys<F: HashField>(rng: &mut StdRng, count: usize, degree: usize) -> Vec<Polynomial<F>> {
     (0..count)
-        .map(|_| Polynomial::from_coeffs((0..degree).map(|_| Goldilocks::random(rng)).collect()))
+        .map(|_| Polynomial::from_coeffs((0..degree).map(|_| F::random(rng)).collect()))
         .collect()
 }
 
-struct Instance {
-    batches: Vec<PolynomialBatch>,
-    points: Vec<Ext2>,
+fn random_ext<F: ProtocolField>(rng: &mut StdRng) -> F::Ext {
+    let limbs: Vec<F> = (0..<F::Ext as ExtensionOf<F>>::DEGREE)
+        .map(|_| F::random(rng))
+        .collect();
+    <F::Ext as ExtensionOf<F>>::from_base_slice(&limbs)
+}
+
+struct Instance<B: SpongeBackend> {
+    batches: Vec<GenericPolynomialBatch<B>>,
+    points: Vec<E<B>>,
     config: FriConfig,
     degree: usize,
 }
 
-impl Instance {
+impl<B: SpongeBackend> Instance<B> {
     fn new(seed: u64, config: FriConfig, batch_sizes: &[usize], degree: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let batches: Vec<PolynomialBatch> = batch_sizes
+        let batches: Vec<GenericPolynomialBatch<B>> = batch_sizes
             .iter()
-            .map(|&m| PolynomialBatch::from_coeffs(random_polys(&mut rng, m, degree), &config))
+            .map(|&m| {
+                GenericPolynomialBatch::from_coeffs(random_polys(&mut rng, m, degree), &config)
+            })
             .collect();
-        let points = vec![
-            Ext2::random(&mut rng),
-            Ext2::random(&mut rng),
-        ];
+        let points = vec![random_ext::<B::F>(&mut rng), random_ext::<B::F>(&mut rng)];
         Self {
             batches,
             points,
@@ -38,13 +61,13 @@ impl Instance {
         }
     }
 
-    fn prove(&self) -> (unizk_fri::FriProof, Vec<Digest>, Vec<usize>) {
-        let mut challenger = Challenger::new();
-        let roots: Vec<Digest> = self.batches.iter().map(|b| b.root()).collect();
+    fn prove(&self) -> Proven<B> {
+        let mut challenger = GenericChallenger::<B>::new();
+        let roots: Vec<Digest<B::F>> = self.batches.iter().map(|b| b.root()).collect();
         for &r in &roots {
             challenger.observe_digest(r);
         }
-        let refs: Vec<&PolynomialBatch> = self.batches.iter().collect();
+        let refs: Vec<&GenericPolynomialBatch<B>> = self.batches.iter().collect();
         let proof = fri_prove(&refs, &self.points, &mut challenger, &self.config);
         let sizes = self.batches.iter().map(|b| b.num_polys()).collect();
         (proof, roots, sizes)
@@ -52,11 +75,11 @@ impl Instance {
 
     fn verify(
         &self,
-        proof: &unizk_fri::FriProof,
-        roots: &[Digest],
+        proof: &unizk_fri::FriProof<B::F>,
+        roots: &[Digest<B::F>],
         sizes: &[usize],
     ) -> Result<(), FriError> {
-        let mut challenger = Challenger::new();
+        let mut challenger = GenericChallenger::<B>::new();
         for &r in roots {
             challenger.observe_digest(r);
         }
@@ -72,84 +95,76 @@ impl Instance {
     }
 }
 
-#[test]
-fn honest_proof_verifies_single_batch() {
-    let inst = Instance::new(1, FriConfig::for_testing(), &[4], 32);
+// ---- the generic test bodies, one per property ----
+
+fn honest_proof_verifies_single_batch<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(1, FriConfig::for_testing(), &[4], 32);
     let (proof, roots, sizes) = inst.prove();
     inst.verify(&proof, &roots, &sizes).expect("should verify");
 }
 
-#[test]
-fn honest_proof_verifies_multiple_batches() {
-    let inst = Instance::new(2, FriConfig::for_testing(), &[3, 5, 2], 64);
+fn honest_proof_verifies_multiple_batches<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(2, FriConfig::for_testing(), &[3, 5, 2], 64);
     let (proof, roots, sizes) = inst.prove();
     inst.verify(&proof, &roots, &sizes).expect("should verify");
 }
 
-#[test]
-fn honest_proof_verifies_starky_rate() {
+fn honest_proof_verifies_starky_rate<B: SpongeBackend>() {
     let mut config = FriConfig::starky();
     config.num_queries = 8; // keep the test fast
     config.proof_of_work_bits = 4;
-    let inst = Instance::new(3, config, &[4], 64);
+    let inst = Instance::<B>::new(3, config, &[4], 64);
     let (proof, roots, sizes) = inst.prove();
     inst.verify(&proof, &roots, &sizes).expect("should verify");
 }
 
-#[test]
-fn honest_proof_verifies_no_fold_rounds() {
+fn honest_proof_verifies_no_fold_rounds<B: SpongeBackend>() {
     // Degree equal to final_poly_len: zero reduction rounds.
     let config = FriConfig::for_testing(); // final_poly_len = 4
-    let inst = Instance::new(4, config, &[2], 4);
+    let inst = Instance::<B>::new(4, config, &[2], 4);
     let (proof, roots, sizes) = inst.prove();
     assert!(proof.commit_roots.is_empty());
     inst.verify(&proof, &roots, &sizes).expect("should verify");
 }
 
-#[test]
-fn tampered_opening_value_rejected() {
-    let inst = Instance::new(5, FriConfig::for_testing(), &[3], 32);
+fn tampered_opening_value_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(5, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
-    proof.openings[0][0][1] += Ext2::ONE;
+    proof.openings[0][0][1] += E::<B>::ONE;
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn tampered_final_poly_rejected() {
-    let inst = Instance::new(6, FriConfig::for_testing(), &[3], 32);
+fn tampered_final_poly_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(6, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
-    proof.final_poly[0] += Ext2::ONE;
+    proof.final_poly[0] += E::<B>::ONE;
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn tampered_query_leaf_rejected() {
-    let inst = Instance::new(7, FriConfig::for_testing(), &[3], 32);
+fn tampered_query_leaf_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(7, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
-    proof.queries[0].initial[0].leaf[0] += Goldilocks::ONE;
+    proof.queries[0].initial[0].leaf[0] += B::F::ONE;
     let err = inst.verify(&proof, &roots, &sizes).unwrap_err();
     assert!(matches!(err, FriError::BadMerkleProof { .. }), "{err:?}");
 }
 
-#[test]
-fn tampered_fold_pair_rejected() {
-    let inst = Instance::new(8, FriConfig::for_testing(), &[3], 32);
+fn tampered_fold_pair_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(8, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
-    proof.queries[2].folds[0].pair[0] += Ext2::ONE;
+    proof.queries[2].folds[0].pair[0] += E::<B>::ONE;
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn tampered_commit_root_rejected() {
-    let inst = Instance::new(9, FriConfig::for_testing(), &[3], 32);
+fn tampered_commit_root_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(9, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
     proof.commit_roots[0] = Digest::ZERO;
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn wrong_batch_root_rejected() {
-    let inst = Instance::new(10, FriConfig::for_testing(), &[3], 32);
+fn wrong_batch_root_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(10, FriConfig::for_testing(), &[3], 32);
     let (proof, mut roots, sizes) = inst.prove();
     roots[0] = Digest::ZERO;
     // The wrong root diverges the transcript before the Merkle checks, so
@@ -157,19 +172,17 @@ fn wrong_batch_root_rejected() {
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn bad_pow_witness_rejected() {
-    let inst = Instance::new(11, FriConfig::for_testing(), &[3], 32);
+fn bad_pow_witness_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(11, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
-    proof.pow_witness += Goldilocks::ONE;
+    proof.pow_witness += B::F::ONE;
     // Either the PoW check fires, or (with tiny probability for 4 bits) the
     // transcript diverges and a later check fires.
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn truncated_queries_rejected() {
-    let inst = Instance::new(12, FriConfig::for_testing(), &[3], 32);
+fn truncated_queries_rejected<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(12, FriConfig::for_testing(), &[3], 32);
     let (mut proof, roots, sizes) = inst.prove();
     proof.queries.pop();
     assert_eq!(
@@ -178,35 +191,32 @@ fn truncated_queries_rejected() {
     );
 }
 
-#[test]
-fn proof_for_different_points_rejected() {
-    let mut inst = Instance::new(13, FriConfig::for_testing(), &[3], 32);
+fn proof_for_different_points_rejected<B: SpongeBackend>() {
+    let mut inst = Instance::<B>::new(13, FriConfig::for_testing(), &[3], 32);
     let (proof, roots, sizes) = inst.prove();
-    inst.points[0] += Ext2::ONE;
+    inst.points[0] += E::<B>::ONE;
     assert!(inst.verify(&proof, &roots, &sizes).is_err());
 }
 
-#[test]
-fn proof_sizes_scale_with_queries() {
-    let small = Instance::new(14, FriConfig::for_testing(), &[3], 32);
+fn proof_sizes_scale_with_queries<B: SpongeBackend>() {
+    let small = Instance::<B>::new(14, FriConfig::for_testing(), &[3], 32);
     let (proof_small, ..) = small.prove();
     let mut big_config = FriConfig::for_testing();
     big_config.num_queries *= 2;
-    let big = Instance::new(14, big_config, &[3], 32);
+    let big = Instance::<B>::new(14, big_config, &[3], 32);
     let (proof_big, ..) = big.prove();
     assert!(proof_big.size_bytes() > proof_small.size_bytes());
 }
 
-#[test]
-fn high_degree_witness_cannot_be_proven() {
+fn high_degree_witness_cannot_be_proven<B: SpongeBackend>() {
     // A cheating "batch" would need to survive folding; here we check the
     // honest prover asserts if handed a polynomial over the degree bound
     // relative to its own final layer — i.e. the degree check is real. We
     // emulate by committing degree-64 polys but claiming degree 32 at
     // verification: shapes no longer match.
-    let inst = Instance::new(15, FriConfig::for_testing(), &[2], 64);
+    let inst = Instance::<B>::new(15, FriConfig::for_testing(), &[2], 64);
     let (proof, roots, sizes) = inst.prove();
-    let mut challenger = Challenger::new();
+    let mut challenger = GenericChallenger::<B>::new();
     for &r in &roots {
         challenger.observe_digest(r);
     }
@@ -222,11 +232,10 @@ fn high_degree_witness_cannot_be_proven() {
     assert!(result.is_err());
 }
 
-#[test]
-fn malformed_shapes_rejected() {
+fn malformed_shapes_rejected<B: SpongeBackend>() {
     // Table-driven shape checks: every structural field of the proof is
     // validated before any cryptography runs.
-    let inst = Instance::new(20, FriConfig::for_testing(), &[3], 32);
+    let inst = Instance::<B>::new(20, FriConfig::for_testing(), &[3], 32);
     let (proof, roots, sizes) = inst.prove();
 
     // Wrong number of fold commitments.
@@ -236,7 +245,7 @@ fn malformed_shapes_rejected() {
 
     // Wrong final polynomial length.
     let mut p = proof.clone();
-    p.final_poly.push(Ext2::ZERO);
+    p.final_poly.push(E::<B>::ZERO);
     assert!(matches!(inst.verify(&p, &roots, &sizes), Err(FriError::Malformed(_))));
 
     // Openings for the wrong number of points.
@@ -251,11 +260,11 @@ fn malformed_shapes_rejected() {
 
     // A query leaf with the wrong width.
     let mut p = proof.clone();
-    p.queries[0].initial[0].leaf.push(Goldilocks::ZERO);
+    p.queries[0].initial[0].leaf.push(B::F::ZERO);
     assert!(inst.verify(&p, &roots, &sizes).is_err());
 
     // Batch descriptor length mismatch at the API boundary.
-    let mut challenger = Challenger::new();
+    let mut challenger = GenericChallenger::<B>::new();
     for &r in &roots {
         challenger.observe_digest(r);
     }
@@ -265,11 +274,92 @@ fn malformed_shapes_rejected() {
     );
 }
 
-#[test]
-fn serialized_proof_verifies_after_roundtrip() {
-    let inst = Instance::new(21, FriConfig::for_testing(), &[2, 3], 64);
+fn serialized_proof_verifies_after_roundtrip<B: SpongeBackend>() {
+    let inst = Instance::<B>::new(21, FriConfig::for_testing(), &[2, 3], 64);
     let (proof, roots, sizes) = inst.prove();
     let bytes = proof.to_bytes();
-    let back = unizk_fri::FriProof::from_bytes(&bytes).expect("decodes");
+    let back = unizk_fri::FriProof::<B::F>::from_bytes(&bytes).expect("decodes");
     inst.verify(&back, &roots, &sizes).expect("verifies after roundtrip");
 }
+
+// ---- stamp the suite out per backend ----
+
+macro_rules! field_suite {
+    ($modname:ident, $backend:ty) => {
+        mod $modname {
+            use super::*;
+
+            #[test]
+            fn honest_proof_verifies_single_batch() {
+                super::honest_proof_verifies_single_batch::<$backend>();
+            }
+            #[test]
+            fn honest_proof_verifies_multiple_batches() {
+                super::honest_proof_verifies_multiple_batches::<$backend>();
+            }
+            #[test]
+            fn honest_proof_verifies_starky_rate() {
+                super::honest_proof_verifies_starky_rate::<$backend>();
+            }
+            #[test]
+            fn honest_proof_verifies_no_fold_rounds() {
+                super::honest_proof_verifies_no_fold_rounds::<$backend>();
+            }
+            #[test]
+            fn tampered_opening_value_rejected() {
+                super::tampered_opening_value_rejected::<$backend>();
+            }
+            #[test]
+            fn tampered_final_poly_rejected() {
+                super::tampered_final_poly_rejected::<$backend>();
+            }
+            #[test]
+            fn tampered_query_leaf_rejected() {
+                super::tampered_query_leaf_rejected::<$backend>();
+            }
+            #[test]
+            fn tampered_fold_pair_rejected() {
+                super::tampered_fold_pair_rejected::<$backend>();
+            }
+            #[test]
+            fn tampered_commit_root_rejected() {
+                super::tampered_commit_root_rejected::<$backend>();
+            }
+            #[test]
+            fn wrong_batch_root_rejected() {
+                super::wrong_batch_root_rejected::<$backend>();
+            }
+            #[test]
+            fn bad_pow_witness_rejected() {
+                super::bad_pow_witness_rejected::<$backend>();
+            }
+            #[test]
+            fn truncated_queries_rejected() {
+                super::truncated_queries_rejected::<$backend>();
+            }
+            #[test]
+            fn proof_for_different_points_rejected() {
+                super::proof_for_different_points_rejected::<$backend>();
+            }
+            #[test]
+            fn proof_sizes_scale_with_queries() {
+                super::proof_sizes_scale_with_queries::<$backend>();
+            }
+            #[test]
+            fn high_degree_witness_cannot_be_proven() {
+                super::high_degree_witness_cannot_be_proven::<$backend>();
+            }
+            #[test]
+            fn malformed_shapes_rejected() {
+                super::malformed_shapes_rejected::<$backend>();
+            }
+            #[test]
+            fn serialized_proof_verifies_after_roundtrip() {
+                super::serialized_proof_verifies_after_roundtrip::<$backend>();
+            }
+        }
+    };
+}
+
+field_suite!(goldilocks_poseidon, PoseidonSponge);
+field_suite!(koalabear_poseidon2, Poseidon2KbSponge);

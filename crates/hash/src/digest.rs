@@ -1,38 +1,46 @@
-//! The 4-element hash digest type (256 bits of Goldilocks elements).
+//! The 4-element hash digest type, generic over the base field.
 
 use core::fmt;
 
-use unizk_field::{Field, Goldilocks};
+use unizk_field::{Goldilocks, PrimeField64};
 
-/// A hash output: four Goldilocks elements (~256 bits), the digest width
-/// Plonky2 uses for Merkle nodes and Fiat–Shamir observations.
+/// A hash output: four base-field elements, the digest width Plonky2 uses
+/// for Merkle nodes and Fiat–Shamir observations.
+///
+/// The limb count is four for *every* field: the 4+4 `two_to_one` packing
+/// then fits the rate of both the width-12 Goldilocks sponge and the
+/// width-16 KoalaBear sponge, and the wire layout stays uniform. Over
+/// Goldilocks that is ~256 bits; over KoalaBear it is 4 × 31 = 124 bits —
+/// a deliberate modeling simplification (production small-field stacks
+/// widen the digest to 8 limbs; see ARCHITECTURE.md §generic stack).
 #[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
-pub struct Digest(pub [Goldilocks; 4]);
+pub struct Digest<F: PrimeField64 = Goldilocks>(pub [F; 4]);
 
-impl Digest {
+impl<F: PrimeField64> Digest<F> {
     /// The all-zero digest (used as padding, never produced by hashing).
-    pub const ZERO: Self = Self([Goldilocks::new(0); 4]);
+    pub const ZERO: Self = Self([F::ZERO; 4]);
+
+    /// Serialized size in bytes (4 × the field's wire width: 32 over
+    /// Goldilocks, 16 over KoalaBear).
+    pub const BYTES: usize = 4 * F::BYTES;
 
     /// Builds a digest from exactly four elements.
     ///
     /// # Panics
     ///
     /// Panics if `elems.len() != 4`.
-    pub fn from_slice(elems: &[Goldilocks]) -> Self {
+    pub fn from_slice(elems: &[F]) -> Self {
         assert_eq!(elems.len(), 4, "digest needs exactly 4 elements");
         Self([elems[0], elems[1], elems[2], elems[3]])
     }
 
     /// The digest's elements.
-    pub fn elements(&self) -> [Goldilocks; 4] {
+    pub fn elements(&self) -> [F; 4] {
         self.0
     }
-
-    /// Serialized size in bytes (4 × 8).
-    pub const BYTES: usize = 32;
 }
 
-impl fmt::Debug for Digest {
+impl<F: PrimeField64> fmt::Debug for Digest<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -45,7 +53,7 @@ impl fmt::Debug for Digest {
     }
 }
 
-impl fmt::Display for Digest {
+impl<F: PrimeField64> fmt::Display for Digest<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
     }
@@ -54,6 +62,7 @@ impl fmt::Display for Digest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unizk_field::{Field, KoalaBear};
 
     #[test]
     fn from_slice_roundtrip() {
@@ -70,6 +79,12 @@ mod tests {
 
     #[test]
     fn debug_is_nonempty() {
-        assert!(!format!("{:?}", Digest::ZERO).is_empty());
+        assert!(!format!("{:?}", Digest::<Goldilocks>::ZERO).is_empty());
+    }
+
+    #[test]
+    fn per_field_wire_widths() {
+        assert_eq!(Digest::<Goldilocks>::BYTES, 32);
+        assert_eq!(Digest::<KoalaBear>::BYTES, 16);
     }
 }

@@ -39,11 +39,12 @@ pub mod merkle;
 pub mod packed;
 pub mod poseidon;
 pub mod poseidon2;
+pub mod poseidon2_kb;
 pub mod sponge;
 pub mod workspace;
 
 pub use digest::Digest;
-pub use merkle::{MerkleProof, MerkleTree};
+pub use merkle::{GenericMerkleTree, MerkleProof, MerkleTree};
 pub use packed::{
     hash_lanes, packed_min_batch, set_hash_lanes, set_packed_min_batch, PackedPermutation,
     MAX_LANES,
@@ -52,8 +53,10 @@ pub use poseidon::{
     poseidon_permute, NoncePermutation, PoseidonCost, SPONGE_CAPACITY, SPONGE_RATE, WIDTH,
 };
 pub use poseidon2::{poseidon2_permute, Poseidon2Constants, Poseidon2Sponge};
+pub use poseidon2_kb::{poseidon2_kb_permute, Poseidon2KbConstants, Poseidon2KbSponge};
 pub use sponge::{
-    compress_level, hash_many, hash_no_pad, hash_no_pad_with, two_to_one, two_to_one_with,
-    Challenger, PoseidonSponge, SpeculativeChallenger, SpongeBackend,
+    compress_level, compress_level_with, hash_many, hash_many_with, hash_no_pad, hash_no_pad_with,
+    two_to_one, two_to_one_with, Challenger, GenericChallenger, GenericSpeculativeChallenger,
+    HashField, PoseidonSponge, SpeculativeChallenger, SpongeBackend,
 };
 pub use workspace::{Workspace, WorkspaceStats};

@@ -6,12 +6,20 @@
 //! elements, zero padded). Nodes are stored in level order — the layout the
 //! paper chooses so that tree construction streams sequentially through
 //! memory and subtrees can be processed scratchpad-resident.
+//!
+//! The tree is generic over the sponge backend (and hence the field):
+//! [`MerkleTree`] is the Goldilocks/Poseidon alias of
+//! [`GenericMerkleTree`], and the KoalaBear proof path instantiates the
+//! same code with [`crate::poseidon2_kb::Poseidon2KbSponge`].
 
-use unizk_field::{log2_strict, Goldilocks};
+use unizk_field::{log2_strict, Goldilocks, PrimeField64};
 
 use crate::digest::Digest;
-use crate::sponge::{compress_level, hash_many, hash_no_pad, two_to_one};
-use crate::workspace::{take_digests, Workspace};
+use crate::sponge::{
+    compress_level_with, hash_many_with, hash_no_pad_with, two_to_one_with, HashField,
+    PoseidonSponge, SpongeBackend,
+};
+use crate::workspace::Workspace;
 
 /// Leaves (or interior pairs) hashed per parallel work item. Chunking
 /// amortizes worker dispatch over many hashes instead of paying it per
@@ -20,33 +28,46 @@ use crate::workspace::{take_digests, Workspace};
 const HASH_CHUNK: usize = 128;
 
 /// Hashes every leaf through the batched sponge dispatcher
-/// ([`hash_many`]), which absorbs runs of equal-length leaves in lockstep
-/// through the lane-packed Poseidon engine. Under multi-threading, workers
-/// receive `chunk_size` leaves at a time and batch-hash them, so per-item
-/// dispatch overhead is paid once per chunk rather than once per leaf.
+/// ([`hash_many_with`]), which absorbs runs of equal-length leaves in
+/// lockstep through the backend's packed engine. Under multi-threading,
+/// workers receive `chunk_size` leaves at a time and batch-hash them, so
+/// per-item dispatch overhead is paid once per chunk rather than once per
+/// leaf.
 ///
-/// Equivalent to `leaves.iter().map(|l| hash_no_pad(l))` for every chunk
-/// size, lane width, and thread count (the per-leaf
-/// `poseidon.permutations` accounting is preserved exactly), which the
-/// edge-case suite pins down.
+/// Equivalent to `leaves.iter().map(|l| hash_no_pad_with::<B>(l))` for
+/// every chunk size, lane width, and thread count (the per-leaf
+/// `B::COUNTER` accounting is preserved exactly), which the edge-case
+/// suite pins down.
 ///
 /// # Panics
 ///
 /// Panics if `chunk_size` is zero.
-pub fn hash_leaves(leaves: &[Vec<Goldilocks>], chunk_size: usize) -> Vec<Digest> {
+pub fn hash_leaves_with<B: SpongeBackend>(
+    leaves: &[Vec<B::F>],
+    chunk_size: usize,
+) -> Vec<Digest<B::F>> {
     let mut out = Vec::with_capacity(leaves.len());
-    hash_leaves_into(leaves, chunk_size, &mut out);
+    hash_leaves_into::<B>(leaves, chunk_size, &mut out);
     out
 }
 
-/// [`hash_leaves`] writing into a caller-supplied (typically pooled)
+/// [`hash_leaves_with`] over the default Poseidon backend.
+pub fn hash_leaves(leaves: &[Vec<Goldilocks>], chunk_size: usize) -> Vec<Digest> {
+    hash_leaves_with::<PoseidonSponge>(leaves, chunk_size)
+}
+
+/// [`hash_leaves_with`] writing into a caller-supplied (typically pooled)
 /// buffer, so the level-0 digest vector — the largest in the tree — can be
 /// recycled across jobs.
-fn hash_leaves_into(leaves: &[Vec<Goldilocks>], chunk_size: usize, out: &mut Vec<Digest>) {
+fn hash_leaves_into<B: SpongeBackend>(
+    leaves: &[Vec<B::F>],
+    chunk_size: usize,
+    out: &mut Vec<Digest<B::F>>,
+) {
     assert!(chunk_size > 0, "chunk size must be positive");
     if unizk_field::par::current_parallelism() == 1 || leaves.len() <= chunk_size {
-        let refs: Vec<&[Goldilocks]> = leaves.iter().map(Vec::as_slice).collect();
-        out.extend(hash_many(&refs));
+        let refs: Vec<&[B::F]> = leaves.iter().map(Vec::as_slice).collect();
+        out.extend(hash_many_with::<B>(&refs));
         return;
     }
     let ranges: Vec<(usize, usize)> = (0..leaves.len())
@@ -54,8 +75,8 @@ fn hash_leaves_into(leaves: &[Vec<Goldilocks>], chunk_size: usize, out: &mut Vec
         .map(|s| (s, (s + chunk_size).min(leaves.len())))
         .collect();
     let chunks = unizk_field::parallel_map(ranges, |(s, e)| {
-        let refs: Vec<&[Goldilocks]> = leaves[s..e].iter().map(Vec::as_slice).collect();
-        hash_many(&refs)
+        let refs: Vec<&[B::F]> = leaves[s..e].iter().map(Vec::as_slice).collect();
+        hash_many_with::<B>(&refs)
     });
     for c in chunks {
         out.extend(c);
@@ -63,26 +84,32 @@ fn hash_leaves_into(leaves: &[Vec<Goldilocks>], chunk_size: usize, out: &mut Vec
 }
 
 /// One interior Merkle level: compresses adjacent digest pairs of `prev`
-/// into `out` through the batched dispatcher ([`compress_level`]), chunked
-/// across workers exactly like [`hash_leaves`].
-fn hash_pairs_into(prev: &[Digest], chunk_size: usize, out: &mut Vec<Digest>) {
+/// into `out` through the batched dispatcher ([`compress_level_with`]),
+/// chunked across workers exactly like [`hash_leaves_with`].
+fn hash_pairs_into<B: SpongeBackend>(
+    prev: &[Digest<B::F>],
+    chunk_size: usize,
+    out: &mut Vec<Digest<B::F>>,
+) {
     debug_assert!(prev.len().is_multiple_of(2));
     let n = prev.len() / 2;
     if unizk_field::par::current_parallelism() == 1 || n <= chunk_size {
-        out.extend(compress_level(prev));
+        out.extend(compress_level_with::<B>(prev));
         return;
     }
     let ranges: Vec<(usize, usize)> = (0..n)
         .step_by(chunk_size)
         .map(|s| (s, (s + chunk_size).min(n)))
         .collect();
-    let chunks = unizk_field::parallel_map(ranges, |(s, e)| compress_level(&prev[2 * s..2 * e]));
+    let chunks =
+        unizk_field::parallel_map(ranges, |(s, e)| compress_level_with::<B>(&prev[2 * s..2 * e]));
     for c in chunks {
         out.extend(c);
     }
 }
 
-/// A binary Merkle tree over element-vector leaves.
+/// A binary Merkle tree over element-vector leaves, generic over the
+/// sponge backend.
 ///
 /// # Example
 ///
@@ -98,35 +125,39 @@ fn hash_pairs_into(prev: &[Digest], chunk_size: usize, out: &mut Vec<Digest>) {
 /// assert!(MerkleTree::verify(tree.root(), 3, &leaves[3], &proof));
 /// ```
 #[derive(Clone, Debug)]
-pub struct MerkleTree {
+pub struct GenericMerkleTree<B: SpongeBackend> {
     /// The original leaf data, kept so openings can return leaf contents.
-    leaves: Vec<Vec<Goldilocks>>,
+    leaves: Vec<Vec<B::F>>,
     /// `levels[0]` = leaf digests, `levels.last()` = `[root]`.
-    levels: Vec<Vec<Digest>>,
+    levels: Vec<Vec<Digest<B::F>>>,
 }
+
+/// The default (Goldilocks, Poseidon) Merkle tree.
+pub type MerkleTree = GenericMerkleTree<PoseidonSponge>;
 
 /// An authentication path from a leaf to the root.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct MerkleProof {
+pub struct MerkleProof<F: PrimeField64 = Goldilocks> {
     /// Sibling digests, leaf level first.
-    pub siblings: Vec<Digest>,
+    pub siblings: Vec<Digest<F>>,
 }
 
-impl MerkleProof {
-    /// Serialized size in bytes (each digest is 32 bytes).
+impl<F: PrimeField64> MerkleProof<F> {
+    /// Serialized size in bytes (each digest is [`Digest::BYTES`] bytes:
+    /// 32 over Goldilocks, 16 over KoalaBear).
     pub fn size_bytes(&self) -> usize {
-        self.siblings.len() * Digest::BYTES
+        self.siblings.len() * Digest::<F>::BYTES
     }
 }
 
-impl MerkleTree {
+impl<B: SpongeBackend> GenericMerkleTree<B> {
     /// Builds a tree over `leaves`.
     ///
     /// # Panics
     ///
     /// Panics if `leaves.len()` is not a power of two (the protocol always
     /// commits to power-of-two LDE domains).
-    pub fn new(leaves: Vec<Vec<Goldilocks>>) -> Self {
+    pub fn new(leaves: Vec<Vec<B::F>>) -> Self {
         Self::new_in(leaves, None)
     }
 
@@ -134,12 +165,13 @@ impl MerkleTree {
     /// `ws` when one is supplied (the proof-serving path). Digests are
     /// bit-identical either way; only the provenance of the backing
     /// allocations differs. Give the buffers back with
-    /// [`recycle`](MerkleTree::recycle) once the tree is no longer needed.
+    /// [`recycle`](GenericMerkleTree::recycle) once the tree is no longer
+    /// needed.
     ///
     /// # Panics
     ///
     /// Panics if `leaves.len()` is not a power of two.
-    pub fn new_in(leaves: Vec<Vec<Goldilocks>>, ws: Option<&Workspace>) -> Self {
+    pub fn new_in(leaves: Vec<Vec<B::F>>, ws: Option<&Workspace>) -> Self {
         assert!(
             leaves.len().is_power_of_two(),
             "leaf count must be a power of two, got {}",
@@ -152,13 +184,13 @@ impl MerkleTree {
         // digests and each interior level parallelize trivially; work is
         // distributed in chunks of HASH_CHUNK hashes per worker item.
         let mut levels = Vec::with_capacity(log2_strict(leaves.len()) + 1);
-        let mut first = take_digests(ws, leaves.len());
-        hash_leaves_into(&leaves, HASH_CHUNK, &mut first);
+        let mut first = B::F::take_digests(ws, leaves.len());
+        hash_leaves_into::<B>(&leaves, HASH_CHUNK, &mut first);
         levels.push(first);
         while levels.last().expect("nonempty").len() > 1 {
             let prev = levels.last().expect("nonempty");
-            let mut next = take_digests(ws, prev.len() / 2);
-            hash_pairs_into(prev, HASH_CHUNK, &mut next);
+            let mut next = B::F::take_digests(ws, prev.len() / 2);
+            hash_pairs_into::<B>(prev, HASH_CHUNK, &mut next);
             levels.push(next);
         }
         Self { leaves, levels }
@@ -168,14 +200,14 @@ impl MerkleTree {
     /// buffer in `ws` for the next job on this worker. Call this instead of
     /// dropping when serving many proofs from one process.
     pub fn recycle(self, ws: &Workspace) {
-        ws.put_gl_table(self.leaves);
+        B::F::put_table(Some(ws), self.leaves);
         for level in self.levels {
-            ws.put_digests(level);
+            B::F::put_digests(Some(ws), level);
         }
     }
 
     /// The root digest (the commitment sent to the verifier).
-    pub fn root(&self) -> Digest {
+    pub fn root(&self) -> Digest<B::F> {
         self.levels.last().expect("nonempty")[0]
     }
 
@@ -194,7 +226,7 @@ impl MerkleTree {
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
-    pub fn leaf(&self, index: usize) -> &[Goldilocks] {
+    pub fn leaf(&self, index: usize) -> &[B::F] {
         &self.leaves[index]
     }
 
@@ -203,7 +235,7 @@ impl MerkleTree {
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
-    pub fn prove(&self, index: usize) -> MerkleProof {
+    pub fn prove(&self, index: usize) -> MerkleProof<B::F> {
         assert!(index < self.leaves.len(), "leaf index out of bounds");
         let mut siblings = Vec::with_capacity(self.height());
         let mut idx = index;
@@ -216,22 +248,28 @@ impl MerkleTree {
 
     /// Verifies that `leaf_data` is the content of leaf `index` under
     /// `root`.
-    pub fn verify(root: Digest, index: usize, leaf_data: &[Goldilocks], proof: &MerkleProof) -> bool {
-        let mut digest = hash_no_pad(leaf_data);
+    pub fn verify(
+        root: Digest<B::F>,
+        index: usize,
+        leaf_data: &[B::F],
+        proof: &MerkleProof<B::F>,
+    ) -> bool {
+        let mut digest = hash_no_pad_with::<B>(leaf_data);
         let mut idx = index;
         for &sibling in &proof.siblings {
             digest = if idx & 1 == 0 {
-                two_to_one(digest, sibling)
+                two_to_one_with::<B>(digest, sibling)
             } else {
-                two_to_one(sibling, digest)
+                two_to_one_with::<B>(sibling, digest)
             };
             idx >>= 1;
         }
         idx == 0 && digest == root
     }
 
-    /// Total Poseidon permutations needed to build a tree with these leaf
-    /// lengths — the simulator's hash-kernel work unit (§5.3).
+    /// Total sponge permutations needed to build a tree with these leaf
+    /// lengths — the simulator's hash-kernel work unit (§5.3). Both shipped
+    /// backends share `RATE = 8`, so the count is field-independent.
     pub fn permutation_cost(leaf_lens: &[usize]) -> usize {
         let leaf_perms: usize = leaf_lens
             .iter()
@@ -380,5 +418,25 @@ mod tests {
         let data = leaves(16, 1);
         let tree = MerkleTree::new(data);
         assert_eq!(tree.prove(0).size_bytes(), 4 * 32);
+    }
+
+    #[test]
+    fn koalabear_tree_proves_and_verifies() {
+        use crate::poseidon2_kb::Poseidon2KbSponge;
+        use unizk_field::KoalaBear;
+
+        type KbTree = GenericMerkleTree<Poseidon2KbSponge>;
+        let data: Vec<Vec<KoalaBear>> = (0..16u64)
+            .map(|i| (0..5u64).map(|j| KoalaBear::from_u64(i * 5 + j)).collect())
+            .collect();
+        let tree = KbTree::new(data.clone());
+        for (i, leaf) in data.iter().enumerate() {
+            let proof = tree.prove(i);
+            assert!(KbTree::verify(tree.root(), i, leaf, &proof), "leaf {i}");
+            assert_eq!(proof.size_bytes(), 4 * 16);
+        }
+        let mut bad = data[3].clone();
+        bad[0] += KoalaBear::ONE;
+        assert!(!KbTree::verify(tree.root(), 3, &bad, &tree.prove(3)));
     }
 }

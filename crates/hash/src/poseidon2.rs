@@ -28,7 +28,7 @@
 
 use unizk_field::{Field, Goldilocks};
 
-use crate::poseidon::{sbox_residue, FULL_ROUNDS, PARTIAL_ROUNDS, WIDTH};
+use crate::poseidon::{sbox_residue, FULL_ROUNDS, PARTIAL_ROUNDS, SPONGE_RATE, WIDTH};
 use crate::sponge::SpongeBackend;
 
 /// Deterministic constant generator — same splitmix64 core as
@@ -193,11 +193,34 @@ pub fn poseidon2_permute(state: &mut [Goldilocks; WIDTH]) {
 pub struct Poseidon2Sponge;
 
 impl SpongeBackend for Poseidon2Sponge {
+    type F = Goldilocks;
+    type State = [Goldilocks; WIDTH];
+    const WIDTH: usize = WIDTH;
+    const RATE: usize = SPONGE_RATE;
     const NAME: &'static str = "poseidon2";
     const COUNTER: &'static str = "poseidon2.permutations";
 
-    fn permute(state: &mut [Goldilocks; WIDTH]) {
+    fn zeroed() -> Self::State {
+        [Goldilocks::ZERO; WIDTH]
+    }
+
+    fn permute(state: &mut Self::State) {
         poseidon2_permute(state);
+    }
+
+    // No hoisted grind kernel: the snapshot is the raw state + pending lane
+    // and each speculative squeeze runs a full permutation.
+    type Speculative = ([Goldilocks; WIDTH], usize);
+
+    fn speculative(state: &Self::State, pending: usize) -> Self::Speculative {
+        (*state, pending)
+    }
+
+    fn speculative_one(spec: &Self::Speculative, x: Goldilocks) -> Goldilocks {
+        let mut s = spec.0;
+        s[spec.1] = x;
+        poseidon2_permute(&mut s);
+        s[SPONGE_RATE - 1]
     }
 }
 

@@ -1,33 +1,57 @@
 //! Sponge hashing and the duplex challenger for Fiat–Shamir transforms.
 //!
 //! Plonky2 hashes arbitrary-length inputs with the "absorb" method (paper
-//! §5.3): chunks of `SPONGE_RATE = 8` elements overwrite the state prefix,
-//! followed by a permutation. The challenger is a duplex construction that
+//! §5.3): chunks of `RATE` elements overwrite the state prefix, followed
+//! by a permutation. The challenger is a duplex construction that
 //! alternately absorbs protocol messages and squeezes verifier randomness —
 //! the "Get Challenges" nodes in the paper's Fig. 7 computation graph.
+//!
+//! Everything here is generic over a [`SpongeBackend`]: the permutation,
+//! its width/rate, and — through the backend's associated field type — the
+//! base field itself. The Goldilocks proof path runs [`PoseidonSponge`]
+//! (width 12, rate 8); the KoalaBear path runs
+//! [`crate::poseidon2_kb::Poseidon2KbSponge`] (width 16, rate 8). The
+//! concrete [`Challenger`] / [`hash_no_pad`] names are aliases and
+//! wrappers over the Goldilocks instantiation, so the pre-generic API (and
+//! its exact trace-counter accounting) is unchanged.
 
-use unizk_field::{Ext2, Field, Goldilocks};
+use unizk_field::{ExtensionOf, Field, Goldilocks, PrimeField64, ProtocolField};
 
 use crate::digest::Digest;
 use crate::poseidon::{poseidon_permute, NoncePermutation, SPONGE_RATE, WIDTH};
+use crate::workspace::Workspace;
 
-/// A width-12 permutation a sponge can be built over.
+/// A cryptographic permutation a sponge can be built over, together with
+/// the base field it permutes.
 ///
 /// The default proof path always runs [`PoseidonSponge`]; the trait exists
-/// so alternative permutations ([`crate::poseidon2::Poseidon2Sponge`]) plug
+/// so alternative permutations ([`crate::poseidon2::Poseidon2Sponge`],
+/// the KoalaBear-field [`crate::poseidon2_kb::Poseidon2KbSponge`]) plug
 /// into the same absorb/compress dispatchers — including the batched,
 /// lane-packed ones — without touching the protocol code. Implementations
 /// must keep [`SpongeBackend::permute_batch`] bit-identical to a loop of
 /// [`SpongeBackend::permute`]; the conformance suite checks this for every
 /// shipped backend.
 pub trait SpongeBackend {
+    /// The base field the permutation operates on.
+    type F: HashField;
+    /// The permutation state: `[Self::F; WIDTH]` in practice, abstracted
+    /// so backends of different widths share the dispatchers.
+    type State: Copy + Clone + Send + Sync + core::fmt::Debug + AsRef<[Self::F]> + AsMut<[Self::F]>;
+    /// Sponge state width in field elements.
+    const WIDTH: usize;
+    /// Absorption rate in field elements (the capacity is `WIDTH - RATE`).
+    const RATE: usize;
     /// Human-readable backend name.
     const NAME: &'static str;
     /// Trace-counter key for logical permutation counts.
     const COUNTER: &'static str;
 
+    /// The all-zero state.
+    fn zeroed() -> Self::State;
+
     /// Applies the permutation to one sponge state in place.
-    fn permute(state: &mut [Goldilocks; WIDTH]);
+    fn permute(state: &mut Self::State);
 
     /// Applies the permutation to a batch of independent sponge states.
     ///
@@ -36,11 +60,144 @@ pub trait SpongeBackend {
     /// way the results must be bit-identical to the scalar loop, and trace
     /// counters are the caller's responsibility (batched dispatchers
     /// account logical permutations once, not per strategy).
-    fn permute_batch(states: &mut [[Goldilocks; WIDTH]]) {
+    fn permute_batch(states: &mut [Self::State]) {
         for s in states.iter_mut() {
             Self::permute(s);
         }
     }
+
+    /// A frozen "state + pending-lane" snapshot for speculative squeezes —
+    /// the per-candidate kernel of the proof-of-work grind. Backends with
+    /// hoistable round structure (Poseidon's [`NoncePermutation`]) cache
+    /// the static lanes' first-round work here; others store the raw state.
+    type Speculative: Clone + Send + Sync + core::fmt::Debug;
+
+    /// Freezes `state` (with any pending transcript elements already
+    /// written into its prefix) for candidates injected at lane `pending`.
+    fn speculative(state: &Self::State, pending: usize) -> Self::Speculative;
+
+    /// One speculative squeeze: the value of `state[RATE - 1]` after a
+    /// permutation with candidate `x` at the pending lane. Must be
+    /// bit-identical to writing `x` and running [`SpongeBackend::permute`].
+    /// No trace counter is bumped — callers account logical attempts.
+    fn speculative_one(spec: &Self::Speculative, x: Self::F) -> Self::F;
+
+    /// [`SpongeBackend::speculative_one`] over `LANES` candidates in
+    /// lockstep. The default loops the scalar kernel; lane-packed backends
+    /// override it. Lane `l` must equal `speculative_one(spec, xs[l])`
+    /// bit-for-bit.
+    fn speculative_rows<const LANES: usize>(
+        spec: &Self::Speculative,
+        xs: &[Self::F; LANES],
+    ) -> [Self::F; LANES] {
+        let mut out = [Self::F::ZERO; LANES];
+        for (o, &x) in out.iter_mut().zip(xs.iter()) {
+            *o = Self::speculative_one(spec, x);
+        }
+        out
+    }
+}
+
+/// A base field wired into the hashing layer: knows its default sponge
+/// and how to route its buffer shapes through a [`Workspace`].
+///
+/// This is the type-level switch that picks the whole `(field, hasher)`
+/// stack: `StarkConfig<Goldilocks>` resolves to Poseidon over Goldilocks,
+/// `StarkConfig<KoalaBear>` to Poseidon2 over KoalaBear. The pooling hooks
+/// exist because [`Workspace`] holds *concrete* Goldilocks-shaped pools —
+/// the Goldilocks impl routes through them (bit-identical to the
+/// pre-generic helpers), while small-field impls fall back to the default
+/// bodies below, which allocate fresh and drop (`None`-workspace
+/// semantics).
+pub trait HashField: ProtocolField {
+    /// The field's default sponge backend.
+    type Sponge: SpongeBackend<F = Self>;
+
+    /// Takes an empty base-element buffer (pool hit or fresh allocation).
+    fn take_elems(ws: Option<&Workspace>, capacity: usize) -> Vec<Self> {
+        let _ = ws;
+        Vec::with_capacity(capacity)
+    }
+
+    /// Recycles a base-element buffer (or drops it).
+    fn put_elems(ws: Option<&Workspace>, v: Vec<Self>) {
+        let _ = (ws, v);
+    }
+
+    /// Takes an empty extension-element buffer.
+    fn take_ext_elems(ws: Option<&Workspace>, capacity: usize) -> Vec<Self::Ext> {
+        let _ = ws;
+        Vec::with_capacity(capacity)
+    }
+
+    /// Recycles an extension-element buffer.
+    fn put_ext_elems(ws: Option<&Workspace>, v: Vec<Self::Ext>) {
+        let _ = (ws, v);
+    }
+
+    /// Takes an empty digest buffer.
+    fn take_digests(ws: Option<&Workspace>, capacity: usize) -> Vec<Digest<Self>> {
+        let _ = ws;
+        Vec::with_capacity(capacity)
+    }
+
+    /// Recycles a digest buffer.
+    fn put_digests(ws: Option<&Workspace>, v: Vec<Digest<Self>>) {
+        let _ = (ws, v);
+    }
+
+    /// Takes a leaf table with exactly `rows` empty rows.
+    fn take_table(ws: Option<&Workspace>, rows: usize) -> Vec<Vec<Self>> {
+        let _ = ws;
+        let mut t = Vec::with_capacity(rows);
+        t.resize_with(rows, Vec::new);
+        t
+    }
+
+    /// Recycles a leaf table.
+    fn put_table(ws: Option<&Workspace>, t: Vec<Vec<Self>>) {
+        let _ = (ws, t);
+    }
+}
+
+impl HashField for Goldilocks {
+    type Sponge = PoseidonSponge;
+
+    fn take_elems(ws: Option<&Workspace>, capacity: usize) -> Vec<Self> {
+        crate::workspace::take_gl(ws, capacity)
+    }
+    fn put_elems(ws: Option<&Workspace>, v: Vec<Self>) {
+        crate::workspace::put_gl(ws, v);
+    }
+    fn take_ext_elems(ws: Option<&Workspace>, capacity: usize) -> Vec<Self::Ext> {
+        crate::workspace::take_ext(ws, capacity)
+    }
+    fn put_ext_elems(ws: Option<&Workspace>, v: Vec<Self::Ext>) {
+        crate::workspace::put_ext(ws, v);
+    }
+    fn take_digests(ws: Option<&Workspace>, capacity: usize) -> Vec<Digest<Self>> {
+        crate::workspace::take_digests(ws, capacity)
+    }
+    fn put_digests(ws: Option<&Workspace>, v: Vec<Digest<Self>>) {
+        if let Some(w) = ws {
+            w.put_digests(v);
+        }
+    }
+    fn take_table(ws: Option<&Workspace>, rows: usize) -> Vec<Vec<Self>> {
+        crate::workspace::take_gl_table(ws, rows)
+    }
+    fn put_table(ws: Option<&Workspace>, t: Vec<Vec<Self>>) {
+        if let Some(w) = ws {
+            w.put_gl_table(t);
+        }
+    }
+}
+
+impl HashField for unizk_field::KoalaBear {
+    // Small-field buffers use the default fresh-alloc bodies: the
+    // Workspace's pools are Goldilocks-shaped, and the serve pipeline
+    // (the pooling customer) is a Goldilocks deployment.
+    type Sponge = crate::poseidon2_kb::Poseidon2KbSponge;
 }
 
 /// The default backend: the Poseidon permutation of
@@ -50,32 +207,59 @@ pub trait SpongeBackend {
 pub struct PoseidonSponge;
 
 impl SpongeBackend for PoseidonSponge {
+    type F = Goldilocks;
+    type State = [Goldilocks; WIDTH];
+    const WIDTH: usize = WIDTH;
+    const RATE: usize = SPONGE_RATE;
     const NAME: &'static str = "poseidon";
     const COUNTER: &'static str = "poseidon.permutations";
 
-    fn permute(state: &mut [Goldilocks; WIDTH]) {
+    fn zeroed() -> Self::State {
+        [Goldilocks::ZERO; WIDTH]
+    }
+
+    fn permute(state: &mut Self::State) {
         poseidon_permute(state);
     }
 
-    fn permute_batch(states: &mut [[Goldilocks; WIDTH]]) {
+    fn permute_batch(states: &mut [Self::State]) {
         crate::packed::permute_batch(states);
+    }
+
+    type Speculative = NoncePermutation;
+
+    fn speculative(state: &Self::State, pending: usize) -> NoncePermutation {
+        NoncePermutation::new(state, pending)
+    }
+
+    fn speculative_one(spec: &NoncePermutation, x: Goldilocks) -> Goldilocks {
+        spec.permute_with(x)[SPONGE_RATE - 1]
+    }
+
+    fn speculative_rows<const LANES: usize>(
+        spec: &NoncePermutation,
+        xs: &[Goldilocks; LANES],
+    ) -> [Goldilocks; LANES] {
+        spec.permute_many_row(xs, SPONGE_RATE - 1)
     }
 }
 
 /// Absorbs `input` into a zero state with backend `B`, without touching
 /// trace counters (callers account logical permutations).
-fn absorb_no_pad<B: SpongeBackend>(input: &[Goldilocks]) -> Digest {
-    let mut state = [Goldilocks::ZERO; WIDTH];
-    for chunk in input.chunks(SPONGE_RATE) {
-        state[..chunk.len()].copy_from_slice(chunk);
+fn absorb_no_pad<B: SpongeBackend>(input: &[B::F]) -> Digest<B::F> {
+    let mut state = B::zeroed();
+    for chunk in input.chunks(B::RATE) {
+        state.as_mut()[..chunk.len()].copy_from_slice(chunk);
         B::permute(&mut state);
     }
-    Digest([state[0], state[1], state[2], state[3]])
+    let s = state.as_ref();
+    Digest([s[0], s[1], s[2], s[3]])
 }
 
-/// [`hash_no_pad`] over an arbitrary sponge backend.
-pub fn hash_no_pad_with<B: SpongeBackend>(input: &[Goldilocks]) -> Digest {
-    unizk_testkit::trace::counter(B::COUNTER, input.len().div_ceil(SPONGE_RATE) as u64);
+/// [`hash_no_pad`] over an arbitrary sponge backend (and hence an
+/// arbitrary base field).
+pub fn hash_no_pad_with<B: SpongeBackend>(input: &[B::F]) -> Digest<B::F> {
+    unizk_testkit::trace::counter(B::COUNTER, input.len().div_ceil(B::RATE) as u64);
     absorb_no_pad::<B>(input)
 }
 
@@ -98,18 +282,21 @@ pub fn hash_no_pad(input: &[Goldilocks]) -> Digest {
 
 /// Number of Poseidon permutations [`hash_no_pad`] performs for an input of
 /// `len` elements — the unit the simulator's Merkle cost model charges.
+/// (Both shipped sponge widths share `RATE = 8`, so the count is
+/// field-independent.)
 pub fn permutation_count(len: usize) -> usize {
     len.div_ceil(SPONGE_RATE).max(1)
 }
 
 /// [`two_to_one`] over an arbitrary sponge backend.
-pub fn two_to_one_with<B: SpongeBackend>(left: Digest, right: Digest) -> Digest {
+pub fn two_to_one_with<B: SpongeBackend>(left: Digest<B::F>, right: Digest<B::F>) -> Digest<B::F> {
     unizk_testkit::trace::counter(B::COUNTER, 1);
-    let mut state = [Goldilocks::ZERO; WIDTH];
-    state[..4].copy_from_slice(&left.0);
-    state[4..8].copy_from_slice(&right.0);
+    let mut state = B::zeroed();
+    state.as_mut()[..4].copy_from_slice(&left.0);
+    state.as_mut()[4..8].copy_from_slice(&right.0);
     B::permute(&mut state);
-    Digest([state[0], state[1], state[2], state[3]])
+    let s = state.as_ref();
+    Digest([s[0], s[1], s[2], s[3]])
 }
 
 /// Hashes two child digests into a parent digest: 4 + 4 elements, zero
@@ -127,10 +314,10 @@ pub fn two_to_one(left: Digest, right: Digest) -> Digest {
 /// `inputs`, with the identical total `B::COUNTER` accounting (counted
 /// once per logical permutation, independent of lane width or batch
 /// grouping).
-pub fn hash_many_with<B: SpongeBackend>(inputs: &[&[Goldilocks]]) -> Vec<Digest> {
+pub fn hash_many_with<B: SpongeBackend>(inputs: &[&[B::F]]) -> Vec<Digest<B::F>> {
     let total: u64 = inputs
         .iter()
-        .map(|input| input.len().div_ceil(SPONGE_RATE) as u64)
+        .map(|input| input.len().div_ceil(B::RATE) as u64)
         .sum();
     unizk_testkit::trace::counter(B::COUNTER, total);
 
@@ -149,22 +336,25 @@ pub fn hash_many_with<B: SpongeBackend>(inputs: &[&[Goldilocks]]) -> Vec<Digest>
 }
 
 /// Absorbs a run of equal-length inputs in lockstep.
-fn hash_equal_run<B: SpongeBackend>(run: &[&[Goldilocks]], len: usize, out: &mut Vec<Digest>) {
+fn hash_equal_run<B: SpongeBackend>(run: &[&[B::F]], len: usize, out: &mut Vec<Digest<B::F>>) {
     if run.len() < 2 || len == 0 {
         out.extend(run.iter().map(|input| absorb_no_pad::<B>(input)));
         return;
     }
-    let mut states = vec![[Goldilocks::ZERO; WIDTH]; run.len()];
+    let mut states = vec![B::zeroed(); run.len()];
     let mut pos = 0;
     while pos < len {
-        let take = (len - pos).min(SPONGE_RATE);
+        let take = (len - pos).min(B::RATE);
         for (state, input) in states.iter_mut().zip(run.iter()) {
-            state[..take].copy_from_slice(&input[pos..pos + take]);
+            state.as_mut()[..take].copy_from_slice(&input[pos..pos + take]);
         }
         B::permute_batch(&mut states);
         pos += take;
     }
-    out.extend(states.iter().map(|s| Digest([s[0], s[1], s[2], s[3]])));
+    out.extend(states.iter().map(|s| {
+        let s = s.as_ref();
+        Digest([s[0], s[1], s[2], s[3]])
+    }));
 }
 
 /// [`hash_many_with`] over the default Poseidon backend.
@@ -183,17 +373,23 @@ pub fn hash_many(inputs: &[&[Goldilocks]]) -> Vec<Digest> {
 /// # Panics
 ///
 /// Panics if `prev.len()` is odd.
-pub fn compress_level_with<B: SpongeBackend>(prev: &[Digest]) -> Vec<Digest> {
+pub fn compress_level_with<B: SpongeBackend>(prev: &[Digest<B::F>]) -> Vec<Digest<B::F>> {
     assert!(prev.len().is_multiple_of(2), "pair compression needs an even level");
     let n = prev.len() / 2;
     unizk_testkit::trace::counter(B::COUNTER, n as u64);
-    let mut states = vec![[Goldilocks::ZERO; WIDTH]; n];
+    let mut states = vec![B::zeroed(); n];
     for (state, pair) in states.iter_mut().zip(prev.chunks_exact(2)) {
-        state[..4].copy_from_slice(&pair[0].0);
-        state[4..8].copy_from_slice(&pair[1].0);
+        state.as_mut()[..4].copy_from_slice(&pair[0].0);
+        state.as_mut()[4..8].copy_from_slice(&pair[1].0);
     }
     B::permute_batch(&mut states);
-    states.iter().map(|s| Digest([s[0], s[1], s[2], s[3]])).collect()
+    states
+        .iter()
+        .map(|s| {
+            let s = s.as_ref();
+            Digest([s[0], s[1], s[2], s[3]])
+        })
+        .collect()
 }
 
 /// [`compress_level_with`] over the default Poseidon backend.
@@ -201,11 +397,13 @@ pub fn compress_level(prev: &[Digest]) -> Vec<Digest> {
     compress_level_with::<PoseidonSponge>(prev)
 }
 
-/// A duplex-sponge transcript for the Fiat–Shamir transform.
+/// A duplex-sponge transcript for the Fiat–Shamir transform, generic over
+/// the sponge backend (and hence the field).
 ///
-/// Both prover and verifier drive an identical `Challenger` with the same
+/// Both prover and verifier drive an identical challenger with the same
 /// observations; the squeezed challenges then agree, making the protocol
-/// non-interactive.
+/// non-interactive. The Goldilocks instantiation is aliased as
+/// [`Challenger`].
 ///
 /// # Example
 ///
@@ -222,58 +420,62 @@ pub fn compress_level(prev: &[Digest]) -> Vec<Digest> {
 /// assert_eq!(c1, verifier.challenge());
 /// ```
 #[derive(Clone, Debug)]
-pub struct Challenger {
-    state: [Goldilocks; WIDTH],
-    input_buffer: Vec<Goldilocks>,
-    output_buffer: Vec<Goldilocks>,
+pub struct GenericChallenger<B: SpongeBackend> {
+    state: B::State,
+    input_buffer: Vec<B::F>,
+    output_buffer: Vec<B::F>,
 }
 
-impl Default for Challenger {
+/// The default (Goldilocks, Poseidon) transcript.
+pub type Challenger = GenericChallenger<PoseidonSponge>;
+
+impl<B: SpongeBackend> Default for GenericChallenger<B> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Challenger {
+impl<B: SpongeBackend> GenericChallenger<B> {
     /// A fresh transcript with zero state.
     pub fn new() -> Self {
         Self {
-            state: [Goldilocks::ZERO; WIDTH],
+            state: B::zeroed(),
             input_buffer: Vec::new(),
             output_buffer: Vec::new(),
         }
     }
 
     /// Absorbs one field element.
-    pub fn observe(&mut self, x: Goldilocks) {
+    pub fn observe(&mut self, x: B::F) {
         // New inputs invalidate any cached outputs.
         self.output_buffer.clear();
         self.input_buffer.push(x);
-        if self.input_buffer.len() == SPONGE_RATE {
+        if self.input_buffer.len() == B::RATE {
             self.duplex();
         }
     }
 
     /// Absorbs a slice of elements.
-    pub fn observe_slice(&mut self, xs: &[Goldilocks]) {
+    pub fn observe_slice(&mut self, xs: &[B::F]) {
         for &x in xs {
             self.observe(x);
         }
     }
 
     /// Absorbs a digest (e.g. a Merkle cap entry).
-    pub fn observe_digest(&mut self, d: Digest) {
+    pub fn observe_digest(&mut self, d: Digest<B::F>) {
         self.observe_slice(&d.0);
     }
 
-    /// Absorbs an extension-field element limb by limb.
-    pub fn observe_ext(&mut self, x: Ext2) {
-        self.observe(x.real());
-        self.observe(x.imag());
+    /// Absorbs an extension-field element limb by limb, lowest first.
+    pub fn observe_ext(&mut self, x: <B::F as ProtocolField>::Ext) {
+        for limb in x.to_base_slice() {
+            self.observe(limb);
+        }
     }
 
     /// Squeezes one base-field challenge.
-    pub fn challenge(&mut self) -> Goldilocks {
+    pub fn challenge(&mut self) -> B::F {
         if !self.input_buffer.is_empty() || self.output_buffer.is_empty() {
             self.duplex();
         }
@@ -283,21 +485,26 @@ impl Challenger {
     }
 
     /// Squeezes `n` base-field challenges.
-    pub fn challenges(&mut self, n: usize) -> Vec<Goldilocks> {
+    pub fn challenges(&mut self, n: usize) -> Vec<B::F> {
         (0..n).map(|_| self.challenge()).collect()
     }
 
-    /// Squeezes one extension-field challenge (two base challenges).
-    pub fn challenge_ext(&mut self) -> Ext2 {
-        let a = self.challenge();
-        let b = self.challenge();
-        Ext2::new(a, b)
+    /// Squeezes one extension-field challenge (`DEGREE` base challenges,
+    /// lowest limb first).
+    pub fn challenge_ext(&mut self) -> <B::F as ProtocolField>::Ext {
+        let limbs = self.challenges(<B::F as ProtocolField>::Ext::DEGREE);
+        <B::F as ProtocolField>::Ext::from_base_slice(&limbs)
     }
 
     /// Squeezes challenge bits for query-index sampling: a base challenge
     /// reduced to `bits` low bits.
     pub fn challenge_bits(&mut self, bits: usize) -> usize {
-        assert!(bits < 64, "at most 63 challenge bits");
+        assert!(
+            bits < B::F::BITS,
+            "at most {} challenge bits from one {} element",
+            B::F::BITS - 1,
+            B::NAME
+        );
         usize::try_from(self.challenge().as_u64() & ((1 << bits) - 1))
             .expect("query-index bits fit usize")
     }
@@ -309,92 +516,97 @@ impl Challenger {
     /// The proof-of-work grind evaluates this once per candidate nonce, so
     /// the per-attempt cost must be one permutation and nothing else.
     /// Correctness: after any public-API call the input buffer holds
-    /// `k <= 7` pending elements, so observing one more element followed by
-    /// a squeeze performs exactly one duplex — either inside `observe`
-    /// (`k == 7` fills the rate) or inside `challenge` (`k < 7` leaves the
-    /// input buffer non-empty) — absorbing `pending ++ [x]` over the state
-    /// prefix and popping the last rate element. Counter parity matches:
-    /// one `poseidon.permutations` bump per call.
-    pub fn speculative_challenge(&self, x: Goldilocks) -> Goldilocks {
-        unizk_testkit::trace::counter("poseidon.permutations", 1);
+    /// `k <= RATE - 1` pending elements, so observing one more element
+    /// followed by a squeeze performs exactly one duplex — either inside
+    /// `observe` (`k == RATE - 1` fills the rate) or inside `challenge`
+    /// (`k < RATE - 1` leaves the input buffer non-empty) — absorbing
+    /// `pending ++ [x]` over the state prefix and popping the last rate
+    /// element. Counter parity matches: one `B::COUNTER` bump per call.
+    pub fn speculative_challenge(&self, x: B::F) -> B::F {
+        unizk_testkit::trace::counter(B::COUNTER, 1);
         let mut state = self.state;
-        state[..self.input_buffer.len()].copy_from_slice(&self.input_buffer);
-        state[self.input_buffer.len()] = x;
-        poseidon_permute(&mut state);
-        state[SPONGE_RATE - 1]
+        state.as_mut()[..self.input_buffer.len()].copy_from_slice(&self.input_buffer);
+        state.as_mut()[self.input_buffer.len()] = x;
+        B::permute(&mut state);
+        state.as_ref()[B::RATE - 1]
     }
 
     /// A reusable form of [`Self::speculative_challenge`] for loops that
     /// probe many candidates against one transcript state — the FRI grind.
     ///
     /// Every candidate sees the identical permutation input except the one
-    /// lane holding the candidate itself, so the static lanes' first-round
-    /// work is hoisted once into a [`NoncePermutation`]; each
-    /// [`SpeculativeChallenger::challenge`] then costs one (logical)
-    /// permutation, bit-identical to `speculative_challenge` and with the
-    /// same one-bump counter parity.
-    pub fn speculative_challenger(&self) -> SpeculativeChallenger {
+    /// lane holding the candidate itself, so backends may hoist the static
+    /// lanes' first-round work once into their
+    /// [`SpongeBackend::Speculative`] snapshot (Poseidon's
+    /// [`NoncePermutation`]); each
+    /// [`GenericSpeculativeChallenger::challenge`] then costs one
+    /// (logical) permutation, bit-identical to `speculative_challenge` and
+    /// with the same one-bump counter parity.
+    pub fn speculative_challenger(&self) -> GenericSpeculativeChallenger<B> {
         let mut state = self.state;
-        state[..self.input_buffer.len()].copy_from_slice(&self.input_buffer);
-        SpeculativeChallenger {
-            permutation: NoncePermutation::new(&state, self.input_buffer.len()),
+        state.as_mut()[..self.input_buffer.len()].copy_from_slice(&self.input_buffer);
+        GenericSpeculativeChallenger {
+            spec: B::speculative(&state, self.input_buffer.len()),
         }
     }
 
     fn duplex(&mut self) {
-        unizk_testkit::trace::counter("poseidon.permutations", 1);
+        unizk_testkit::trace::counter(B::COUNTER, 1);
         for (i, x) in self.input_buffer.drain(..).enumerate() {
-            debug_assert!(i < SPONGE_RATE);
-            self.state[i] = x;
+            debug_assert!(i < B::RATE);
+            self.state.as_mut()[i] = x;
         }
-        poseidon_permute(&mut self.state);
+        B::permute(&mut self.state);
         self.output_buffer.clear();
-        self.output_buffer.extend_from_slice(&self.state[..SPONGE_RATE]);
+        self.output_buffer.extend_from_slice(&self.state.as_ref()[..B::RATE]);
     }
 }
 
 /// A frozen transcript state that can answer "what challenge would `x`
 /// produce?" for many candidate `x` — see
-/// [`Challenger::speculative_challenger`]. Holds no reference to the
-/// challenger it came from; it captures the transcript state by value.
+/// [`GenericChallenger::speculative_challenger`]. Holds no reference to
+/// the challenger it came from; it captures the transcript state by value.
 #[derive(Clone, Debug)]
-pub struct SpeculativeChallenger {
-    permutation: NoncePermutation,
+pub struct GenericSpeculativeChallenger<B: SpongeBackend> {
+    spec: B::Speculative,
 }
 
-impl SpeculativeChallenger {
+/// The default (Goldilocks, Poseidon) speculative challenger.
+pub type SpeculativeChallenger = GenericSpeculativeChallenger<PoseidonSponge>;
+
+impl<B: SpongeBackend> GenericSpeculativeChallenger<B> {
     /// The challenge the source transcript would emit after observing `x`.
     ///
-    /// Equals `Challenger::speculative_challenge(x)` bit-for-bit, at the
-    /// cost of one logical permutation (minus the hoisted static round-0
-    /// work), with the same single `poseidon.permutations` bump.
-    pub fn challenge(&self, x: Goldilocks) -> Goldilocks {
-        unizk_testkit::trace::counter("poseidon.permutations", 1);
-        self.permutation.permute_with(x)[SPONGE_RATE - 1]
+    /// Equals `GenericChallenger::speculative_challenge(x)` bit-for-bit,
+    /// at the cost of one logical permutation (minus any hoisted static
+    /// round work), with the same single `B::COUNTER` bump.
+    pub fn challenge(&self, x: B::F) -> B::F {
+        unizk_testkit::trace::counter(B::COUNTER, 1);
+        B::speculative_one(&self.spec, x)
     }
 
     /// The challenges `LANES` candidates would each produce, permuted in
-    /// lockstep through the lane-packed engine — the per-attempt kernel of
-    /// the parallel grind.
+    /// lockstep through the backend's packed engine — the per-attempt
+    /// kernel of the parallel grind.
     ///
     /// Lane `l` equals [`Self::challenge`]`(xs[l])` bit-for-bit, but **no
     /// trace counter is bumped**: grind-style callers scan past the winning
     /// nonce in blocks, so they account the *logical* attempt count
     /// (`winner + 1`) once at the end — the count-once discipline the NTT
-    /// routing knobs established — keeping `poseidon.permutations`
-    /// byte-identical to the serial scan for every lane width, block size,
-    /// and thread count.
+    /// routing knobs established — keeping `B::COUNTER` byte-identical to
+    /// the serial scan for every lane width, block size, and thread count.
     pub fn challenge_batch_uncounted<const LANES: usize>(
         &self,
-        xs: &[Goldilocks; LANES],
-    ) -> [Goldilocks; LANES] {
-        self.permutation.permute_many_row(xs, SPONGE_RATE - 1)
+        xs: &[B::F; LANES],
+    ) -> [B::F; LANES] {
+        B::speculative_rows(&self.spec, xs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unizk_field::Ext2;
 
     fn g(n: u64) -> Goldilocks {
         Goldilocks::from_u64(n)
@@ -548,6 +760,61 @@ mod tests {
                     "pending={pending} x={x}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn koalabear_challenger_duplexes() {
+        use crate::poseidon2_kb::Poseidon2KbSponge;
+        use unizk_field::{KbExt4, KoalaBear};
+
+        let k = KoalaBear::from_u64;
+        let mut c1 = GenericChallenger::<Poseidon2KbSponge>::new();
+        let mut c2 = GenericChallenger::<Poseidon2KbSponge>::new();
+        for i in 0..20u64 {
+            c1.observe(k(i));
+            c2.observe(k(i));
+        }
+        assert_eq!(c1.challenges(5), c2.challenges(5));
+        // Extension challenges consume four base squeezes, lowest first.
+        c1.observe(k(5));
+        c2.observe(k(5));
+        let e = c1.challenge_ext();
+        let limbs = [c2.challenge(), c2.challenge(), c2.challenge(), c2.challenge()];
+        assert_eq!(e, KbExt4::new(limbs));
+    }
+
+    #[test]
+    fn koalabear_speculative_matches_reference() {
+        use crate::poseidon2_kb::Poseidon2KbSponge;
+        use unizk_field::KoalaBear;
+
+        let k = KoalaBear::from_u64;
+        for pending in 0..8u64 {
+            let mut c = GenericChallenger::<Poseidon2KbSponge>::new();
+            for i in 0..pending {
+                c.observe(k(1000 + i));
+            }
+            let spec = c.speculative_challenger();
+            for x in [0u64, 5, 12345, 1 << 30] {
+                let mut reference = c.clone();
+                reference.observe(k(x));
+                let expect = reference.challenge();
+                assert_eq!(c.speculative_challenge(k(x)), expect, "pending={pending} x={x}");
+                assert_eq!(spec.challenge(k(x)), expect, "spec pending={pending} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn koalabear_challenge_bits_cap_below_field_bits() {
+        use crate::poseidon2_kb::Poseidon2KbSponge;
+        use unizk_field::KoalaBear;
+
+        let mut c = GenericChallenger::<Poseidon2KbSponge>::new();
+        c.observe(KoalaBear::from_u64(3));
+        for bits in 1..25 {
+            assert!(c.challenge_bits(bits) < (1 << bits));
         }
     }
 }

@@ -1,0 +1,179 @@
+//! Known-answer tests for the width-16 Poseidon2 permutation over
+//! KoalaBear (4 + 4 external rounds, 20 internal rounds) — the 31-bit
+//! mirror of `poseidon2_kat.rs`.
+//!
+//! Two independent anchors pin the permutation:
+//!
+//! 1. **Committed golden vectors** — outputs recorded from this
+//!    repository's implementation, so any future edit to the round
+//!    constants, the `M_E = circ(2·M4, M4, M4, M4)` external matrix, the
+//!    `J + diag(d)` internal layer, or the round schedule is a loud
+//!    compatibility break.
+//! 2. **A naive in-test reference implementation** — plain canonical
+//!    `u64 % p` arithmetic (no Montgomery form, no shared-sum factoring),
+//!    deriving its matrices from the published [`Poseidon2KbConstants`].
+//!    The optimized kernel and the transparent one must agree on random
+//!    states, which checks the Montgomery arithmetic end to end, not just
+//!    frozen bytes.
+
+use unizk_field::{Field, KoalaBear, PrimeField64};
+use unizk_hash::poseidon2_kb::{constants_kb, KB_FULL_ROUNDS, KB_PARTIAL_ROUNDS, KB_WIDTH};
+use unizk_hash::poseidon2_kb_permute;
+use unizk_testkit::rng::SplitMix64;
+
+/// (input description, input state, expected permutation output).
+const KAT: [(&str, [u64; KB_WIDTH], [u64; KB_WIDTH]); 3] = [
+    (
+        "all-zero state",
+        [0; KB_WIDTH],
+        [
+            0x27ff519c, 0x429b62f1, 0x5ea27edb, 0x51684d82, 0x3015f569, 0x2c848535, 0x0b32a263,
+            0x6c3ecdf0, 0x38dad0dc, 0x0eafac0f, 0x78931227, 0x3c6ff442, 0x730f7f31, 0x32274691,
+            0x7b6e2426, 0x79b71ccd,
+        ],
+    ),
+    (
+        "counting state 0..15",
+        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+        [
+            0x070ec9af, 0x4b15880a, 0x04781ce6, 0x4338887b, 0x0f06cfaa, 0x67ad1b76, 0x1121e578,
+            0x06777e2b, 0x64f14732, 0x4ee4ce30, 0x356f39ce, 0x0f3dbd48, 0x6925f437, 0x106a92d8,
+            0x53e23a5b, 0x4cf5da40,
+        ],
+    ),
+    (
+        "near-modulus descending state",
+        [
+            0x7f000000, 0x7effffff, 0x7efffffe, 0x7efffffd, 0x7efffffc, 0x7efffffb, 0x7efffffa,
+            0x7efffff9, 0x7efffff8, 0x7efffff7, 0x7efffff6, 0x7efffff5, 0x7efffff4, 0x7efffff3,
+            0x7efffff2, 0x7efffff1,
+        ],
+        [
+            0x1f85124c, 0x548d4265, 0x11ab0666, 0x770f4cac, 0x71728dd1, 0x4935c91a, 0x4f274a52,
+            0x2f0d3a87, 0x072d6f4e, 0x2f998143, 0x7969ab52, 0x70d0afcc, 0x2f0c795b, 0x1410a011,
+            0x011aeb85, 0x26bee0dd,
+        ],
+    ),
+];
+
+#[test]
+fn committed_golden_vectors() {
+    for (what, input, expected) in KAT {
+        let mut state: [KoalaBear; KB_WIDTH] =
+            core::array::from_fn(|i| KoalaBear::from_u64(input[i]));
+        poseidon2_kb_permute(&mut state);
+        for (i, (got, want)) in state.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(got.as_u64(), *want, "{what}: lane {i}");
+        }
+    }
+}
+
+// ---- naive reference: canonical u64 arithmetic mod p ----
+
+const P: u64 = 0x7f00_0001;
+
+fn add(a: u64, b: u64) -> u64 {
+    (a + b) % P
+}
+
+fn mul(a: u64, b: u64) -> u64 {
+    a * b % P
+}
+
+fn cube(x: u64) -> u64 {
+    mul(mul(x, x), x)
+}
+
+/// The published constants rendered to canonical integers.
+struct NaiveConstants {
+    external_constants: Vec<[u64; KB_WIDTH]>,
+    internal_constants: Vec<u64>,
+    external_mat: Vec<[u64; KB_WIDTH]>,
+    internal_diag: [u64; KB_WIDTH],
+}
+
+fn naive_constants() -> NaiveConstants {
+    let cs = constants_kb();
+    NaiveConstants {
+        external_constants: cs
+            .external_constants
+            .iter()
+            .map(|row| core::array::from_fn(|i| row[i].as_u64()))
+            .collect(),
+        internal_constants: cs.internal_constants.iter().map(|c| c.as_u64()).collect(),
+        external_mat: cs
+            .external_mat
+            .iter()
+            .map(|row| core::array::from_fn(|i| row[i].as_u64()))
+            .collect(),
+        internal_diag: core::array::from_fn(|i| cs.internal_diag[i].as_u64()),
+    }
+}
+
+fn naive_external_matvec(cs: &NaiveConstants, state: &[u64; KB_WIDTH]) -> [u64; KB_WIDTH] {
+    core::array::from_fn(|i| {
+        let mut acc = 0;
+        for (c, &x) in cs.external_mat[i].iter().zip(state.iter()) {
+            acc = add(acc, mul(*c, x));
+        }
+        acc
+    })
+}
+
+fn naive_permute(state: &mut [u64; KB_WIDTH]) {
+    let cs = naive_constants();
+    *state = naive_external_matvec(&cs, state);
+    let half = KB_FULL_ROUNDS / 2;
+    for r in 0..KB_FULL_ROUNDS {
+        if r == half {
+            // The internal run sits between the two external halves.
+            for ir in 0..KB_PARTIAL_ROUNDS {
+                state[0] = cube(add(state[0], cs.internal_constants[ir]));
+                let sum = state.iter().fold(0, |a, &b| add(a, b));
+                // J + diag(d): every output is the full sum plus d_i·x_i.
+                *state = core::array::from_fn(|i| add(sum, mul(cs.internal_diag[i], state[i])));
+            }
+        }
+        for (x, c) in state.iter_mut().zip(cs.external_constants[r].iter()) {
+            *x = cube(add(*x, *c));
+        }
+        *state = naive_external_matvec(&cs, state);
+    }
+}
+
+#[test]
+fn naive_reference_matches_golden_vectors() {
+    for (what, input, expected) in KAT {
+        let mut state = input;
+        naive_permute(&mut state);
+        assert_eq!(state, expected, "{what}");
+    }
+}
+
+#[test]
+fn optimized_matches_naive_on_random_states() {
+    let mut rng = SplitMix64::seed_from_u64(0x4B41_5431);
+    for case in 0..50 {
+        let fast_in: [KoalaBear; KB_WIDTH] =
+            core::array::from_fn(|_| KoalaBear::random(&mut rng));
+        let mut naive: [u64; KB_WIDTH] = core::array::from_fn(|i| fast_in[i].as_u64());
+        let mut fast = fast_in;
+        poseidon2_kb_permute(&mut fast);
+        naive_permute(&mut naive);
+        for i in 0..KB_WIDTH {
+            assert_eq!(fast[i].as_u64(), naive[i], "case {case}, lane {i}");
+        }
+    }
+}
+
+#[test]
+fn outputs_are_canonical() {
+    for (what, input, _) in KAT {
+        let mut state: [KoalaBear; KB_WIDTH] =
+            core::array::from_fn(|i| KoalaBear::from_u64(input[i]));
+        poseidon2_kb_permute(&mut state);
+        for (i, x) in state.iter().enumerate() {
+            assert!(x.as_u64() < P, "{what}: lane {i} not canonical");
+        }
+    }
+}

@@ -1,28 +1,28 @@
 //! Backend-generic conformance suite for [`SpongeBackend`].
 //!
 //! Every shipped backend — the default Poseidon engine (scalar +
-//! lane-packed batch dispatch) and the non-default Poseidon2 engine —
-//! must satisfy the same sponge contract: batch permutation bit-identical
-//! to the scalar loop, absorb/compress dispatchers equivalent to their
-//! one-at-a-time forms, and the usual hash hygiene (determinism, input
-//! sensitivity, order sensitivity). Running the identical checks over
-//! both backends is what makes [`SpongeBackend`] a real seam rather than
-//! a single-implementation indirection.
+//! lane-packed batch dispatch), the non-default Poseidon2 engine, and the
+//! KoalaBear-field Poseidon2 engine — must satisfy the same sponge
+//! contract: batch permutation bit-identical to the scalar loop,
+//! absorb/compress dispatchers equivalent to their one-at-a-time forms,
+//! and the usual hash hygiene (determinism, input sensitivity, order
+//! sensitivity). Running the identical checks over all backends — across
+//! two different base fields — is what makes [`SpongeBackend`] a real
+//! seam rather than a single-implementation indirection.
 
 use unizk_field::{Field, Goldilocks, PrimeField64};
-use unizk_hash::poseidon::WIDTH;
 use unizk_hash::sponge::{compress_level_with, hash_many_with, hash_no_pad_with, two_to_one_with};
-use unizk_hash::{Digest, Poseidon2Sponge, PoseidonSponge, SpongeBackend};
+use unizk_hash::{Digest, Poseidon2KbSponge, Poseidon2Sponge, PoseidonSponge, SpongeBackend};
 use unizk_testkit::rng::SplitMix64;
 
-fn random_elems(rng: &mut SplitMix64, n: usize) -> Vec<Goldilocks> {
-    (0..n).map(|_| Goldilocks::random(rng)).collect()
+fn random_elems<B: SpongeBackend>(rng: &mut SplitMix64, n: usize) -> Vec<B::F> {
+    (0..n).map(|_| B::F::random(rng)).collect()
 }
 
-fn random_state(rng: &mut SplitMix64) -> [Goldilocks; WIDTH] {
-    let mut st = [Goldilocks::ZERO; WIDTH];
-    for x in st.iter_mut() {
-        *x = Goldilocks::random(rng);
+fn random_state<B: SpongeBackend>(rng: &mut SplitMix64) -> B::State {
+    let mut st = B::zeroed();
+    for x in st.as_mut().iter_mut() {
+        *x = B::F::random(rng);
     }
     st
 }
@@ -32,14 +32,21 @@ fn random_state(rng: &mut SplitMix64) -> [Goldilocks; WIDTH] {
 fn batch_matches_scalar_loop<B: SpongeBackend>() {
     let mut rng = SplitMix64::seed_from_u64(0xC0F0);
     for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31] {
-        let states: Vec<[Goldilocks; WIDTH]> = (0..len).map(|_| random_state(&mut rng)).collect();
+        let states: Vec<B::State> = (0..len).map(|_| random_state::<B>(&mut rng)).collect();
         let mut batched = states.clone();
         B::permute_batch(&mut batched);
         let mut scalar = states;
         for s in scalar.iter_mut() {
             B::permute(s);
         }
-        assert_eq!(batched, scalar, "backend {} batch len {len}", B::NAME);
+        for (i, (b, s)) in batched.iter().zip(scalar.iter()).enumerate() {
+            assert_eq!(
+                b.as_ref(),
+                s.as_ref(),
+                "backend {} batch len {len} state {i}",
+                B::NAME
+            );
+        }
     }
 }
 
@@ -51,8 +58,11 @@ fn hash_many_matches_hash_no_pad<B: SpongeBackend>() {
     // Ragged lengths 0..=24 plus equal-length runs of each chunk shape.
     let mut lens: Vec<usize> = (0..=24).collect();
     lens.extend([8, 8, 8, 5, 5, 16, 16, 16, 16, 0, 0]);
-    let inputs: Vec<Vec<Goldilocks>> = lens.iter().map(|&n| random_elems(&mut rng, n)).collect();
-    let refs: Vec<&[Goldilocks]> = inputs.iter().map(Vec::as_slice).collect();
+    let inputs: Vec<Vec<B::F>> = lens
+        .iter()
+        .map(|&n| random_elems::<B>(&mut rng, n))
+        .collect();
+    let refs: Vec<&[B::F]> = inputs.iter().map(Vec::as_slice).collect();
     let grouped = hash_many_with::<B>(&refs);
     for (input, digest) in inputs.iter().zip(grouped.iter()) {
         assert_eq!(
@@ -69,10 +79,11 @@ fn hash_many_matches_hash_no_pad<B: SpongeBackend>() {
 fn compress_level_matches_two_to_one<B: SpongeBackend>() {
     let mut rng = SplitMix64::seed_from_u64(0xC0F2);
     for pairs in [1usize, 2, 3, 4, 8, 13] {
-        let digests: Vec<Digest> = (0..2 * pairs)
+        let digests: Vec<Digest<B::F>> = (0..2 * pairs)
             .map(|_| {
-                let st = random_state(&mut rng);
-                Digest([st[0], st[1], st[2], st[3]])
+                let st = random_state::<B>(&mut rng);
+                let s = st.as_ref();
+                Digest([s[0], s[1], s[2], s[3]])
             })
             .collect();
         let level = compress_level_with::<B>(&digests);
@@ -91,7 +102,7 @@ fn compress_level_matches_two_to_one<B: SpongeBackend>() {
 /// Determinism plus sensitivity to content, length, and child order.
 fn hash_hygiene<B: SpongeBackend>() {
     let mut rng = SplitMix64::seed_from_u64(0xC0F3);
-    let input = random_elems(&mut rng, 11);
+    let input = random_elems::<B>(&mut rng, 11);
 
     assert_eq!(
         hash_no_pad_with::<B>(&input),
@@ -101,7 +112,7 @@ fn hash_hygiene<B: SpongeBackend>() {
     );
 
     let mut tweaked = input.clone();
-    tweaked[3] += Goldilocks::ONE;
+    tweaked[3] += B::F::ONE;
     assert_ne!(
         hash_no_pad_with::<B>(&input),
         hash_no_pad_with::<B>(&tweaked),
@@ -126,7 +137,16 @@ fn hash_hygiene<B: SpongeBackend>() {
     );
 }
 
+/// Sanity on the geometry the dispatchers assume: the 4+4 digest packing
+/// must fit inside the rate, and the rate inside the width.
+fn geometry_sane<B: SpongeBackend>() {
+    assert!(B::RATE >= 8, "backend {} rate too small for 4+4 packing", B::NAME);
+    assert!(B::RATE < B::WIDTH, "backend {} needs nonzero capacity", B::NAME);
+    assert_eq!(B::zeroed().as_ref().len(), B::WIDTH);
+}
+
 fn conformance<B: SpongeBackend>() {
+    geometry_sane::<B>();
     batch_matches_scalar_loop::<B>();
     hash_many_matches_hash_no_pad::<B>();
     compress_level_matches_two_to_one::<B>();
@@ -144,6 +164,11 @@ fn poseidon2_backend_conforms() {
 }
 
 #[test]
+fn poseidon2_kb_backend_conforms() {
+    conformance::<Poseidon2KbSponge>();
+}
+
+#[test]
 fn backends_are_distinct_permutations() {
     let input: Vec<Goldilocks> = (0..8u64).map(Goldilocks::from_u64).collect();
     assert_ne!(
@@ -157,4 +182,7 @@ fn backends_are_distinct_permutations() {
 fn backend_metadata_is_distinct() {
     assert_ne!(PoseidonSponge::NAME, Poseidon2Sponge::NAME);
     assert_ne!(PoseidonSponge::COUNTER, Poseidon2Sponge::COUNTER);
+    assert_ne!(PoseidonSponge::NAME, Poseidon2KbSponge::NAME);
+    assert_ne!(PoseidonSponge::COUNTER, Poseidon2KbSponge::COUNTER);
+    assert_ne!(Poseidon2Sponge::NAME, Poseidon2KbSponge::NAME);
 }

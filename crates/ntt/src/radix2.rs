@@ -256,7 +256,9 @@ fn scale_by_n_inv<F: PrimeField64>(values: &mut [F]) {
 ///
 /// # Panics
 ///
-/// Panics if the length is not a power of two or exceeds `2^32`.
+/// Panics if the length is not a power of two or exceeds the field's
+/// two-adic subgroup order `2^TWO_ADICITY` (`2^32` for Goldilocks, `2^24`
+/// for KoalaBear).
 pub fn ntt_nr<F: PrimeField64>(values: &mut [F]) {
     let n = values.len();
     if n > 1 && wants_decompose(n, unizk_field::current_parallelism()) {

@@ -171,6 +171,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds two-adicity 24")]
+    fn koalabear_tables_past_two_adicity_panic_with_field_limit() {
+        // The cache must surface the *field's* two-adic limit, not an
+        // implicit Goldilocks 2^32: a 2^25 KoalaBear table request dies in
+        // the root-of-unity assert before anything is built or cached.
+        let _ = stage_tables::<unizk_field::KoalaBear>(1 << 25, false);
+    }
+
+    #[test]
+    fn tables_at_each_fields_two_adicity_frontier_build() {
+        // 2^12 is comfortably inside both fields' two-adic subgroups; the
+        // cache keys by (field, log_n, dir) so the entries are distinct.
+        let gl = stage_tables::<Goldilocks>(1 << 12, false);
+        let kb = stage_tables::<unizk_field::KoalaBear>(1 << 12, false);
+        assert_eq!(gl.len(), 12);
+        assert_eq!(kb.len(), 12);
+    }
+
+    #[test]
     fn coset_powers_are_the_geometric_series() {
         use unizk_field::PrimeField64;
         let shift = Goldilocks::MULTIPLICATIVE_GENERATOR;

@@ -1,0 +1,93 @@
+//! Golden-vector regression tests for the size-2^10 KoalaBear NTT:
+//! forward transform spot values, exact iNTT roundtrip, and the blowup-2
+//! coset LDE — the 31-bit mirror of `ntt_golden.rs`.
+//!
+//! The input vector is reproduced deterministically from a SplitMix64
+//! stream (seed `0xD1CE`, the same stream the Goldilocks suite uses), and
+//! the expected outputs were derived from the quadratic-time `naive_dft`
+//! reference — *not* the fast kernel — then committed as constants. They
+//! pin the 24-bit-two-adicity twiddle schedule, the bit-reversal
+//! convention, and the coset shift (the KoalaBear multiplicative
+//! generator, 3) against accidental change, and anchor the fast kernel to
+//! an independent implementation.
+
+use unizk_field::{Field, KoalaBear, PrimeField64};
+use unizk_ntt::{intt_nn, lde_nr, ntt_nn};
+use unizk_testkit::rng::SplitMix64;
+
+const LOG_N: usize = 10;
+const N: usize = 1 << LOG_N;
+const SEED: u64 = 0xD1CE;
+
+/// Spot values of `ntt_nn(input)` at fixed indices (derived via
+/// `naive_dft`).
+const NTT_SPOTS: [(usize, u64); 10] = [
+    (0, 0x256b71b4),
+    (1, 0x55ad8b0e),
+    (2, 0x079a62b5),
+    (31, 0x26528d70),
+    (257, 0x7a2463e9),
+    (511, 0x708a304a),
+    (512, 0x22cc2fcf),
+    (777, 0x299b4a0c),
+    (1022, 0x215de1eb),
+    (1023, 0x7e9aaa6c),
+];
+
+/// Field sum of all 2^10 forward-transform outputs.
+const NTT_SUM: u64 = 0x1547eacd;
+
+/// Spot values of `lde_nr(input, 1, g)` (blowup 2, coset shift g = 3).
+const LDE_SPOTS: [(usize, u64); 6] = [
+    (0, 0x4c6085a4),
+    (1, 0x5541961c),
+    (513, 0x6f75c871),
+    (1024, 0x0d45d96c),
+    (1777, 0x12c8dc77),
+    (2047, 0x7e5813c2),
+];
+
+/// Field sum of all 2^11 LDE outputs.
+const LDE_SUM: u64 = 0x2a8fd59a;
+
+fn golden_input() -> Vec<KoalaBear> {
+    let mut rng = SplitMix64::seed_from_u64(SEED);
+    (0..N).map(|_| KoalaBear::random(&mut rng)).collect()
+}
+
+#[test]
+fn coset_shift_is_the_multiplicative_generator() {
+    assert_eq!(KoalaBear::MULTIPLICATIVE_GENERATOR.as_u64(), 3);
+}
+
+#[test]
+fn forward_ntt_matches_golden_spots() {
+    let mut v = golden_input();
+    ntt_nn(&mut v);
+    for (i, expected) in NTT_SPOTS {
+        assert_eq!(v[i].as_u64(), expected, "ntt output at index {i}");
+    }
+    let sum = v.iter().fold(KoalaBear::ZERO, |a, &b| a + b);
+    assert_eq!(sum.as_u64(), NTT_SUM);
+}
+
+#[test]
+fn inverse_ntt_roundtrips_golden_input() {
+    let original = golden_input();
+    let mut v = original.clone();
+    ntt_nn(&mut v);
+    intt_nn(&mut v);
+    assert_eq!(v, original);
+}
+
+#[test]
+fn coset_lde_matches_golden_spots() {
+    let v = golden_input();
+    let lde = lde_nr(&v, 1, KoalaBear::MULTIPLICATIVE_GENERATOR);
+    assert_eq!(lde.len(), 2 * N);
+    for (i, expected) in LDE_SPOTS {
+        assert_eq!(lde[i].as_u64(), expected, "lde output at index {i}");
+    }
+    let sum = lde.iter().fold(KoalaBear::ZERO, |a, &b| a + b);
+    assert_eq!(sum.as_u64(), LDE_SUM);
+}

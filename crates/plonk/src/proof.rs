@@ -23,7 +23,7 @@ pub struct Proof {
 impl Proof {
     /// Serialized size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.public_inputs.len() * 8 + 3 * Digest::BYTES + self.fri.size_bytes()
+        self.public_inputs.len() * 8 + 3 * Digest::<Goldilocks>::BYTES + self.fri.size_bytes()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Example AIRs, including the paper's Fig. 2 Fibonacci trace.
 
-use unizk_field::{Field, Goldilocks};
+use unizk_field::{Field, ProtocolField};
 
 use crate::air::{Air, Boundary};
 
@@ -23,10 +23,28 @@ impl FibonacciAir {
         Self { rows }
     }
 
-    /// The expected final value `fib(rows)`.
-    pub fn expected_output(&self) -> Goldilocks {
-        let mut a = Goldilocks::ZERO;
-        let mut b = Goldilocks::ONE;
+    /// Number of trace columns (the two Fibonacci registers). Inherent so
+    /// concrete call sites stay unambiguous despite the blanket
+    /// `Air<F>` impl.
+    pub fn width(&self) -> usize {
+        2
+    }
+
+    /// Number of trace rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of transition constraints.
+    pub fn num_transition_constraints(&self) -> usize {
+        2
+    }
+
+    /// The expected final value `fib(rows)`, in whichever base field the
+    /// proof runs over.
+    pub fn expected_output<F: Field>(&self) -> F {
+        let mut a = F::ZERO;
+        let mut b = F::ONE;
         for _ in 0..self.rows {
             let next = a + b;
             a = b;
@@ -36,7 +54,7 @@ impl FibonacciAir {
     }
 }
 
-impl Air for FibonacciAir {
+impl<F: ProtocolField> Air<F> for FibonacciAir {
     fn width(&self) -> usize {
         2
     }
@@ -45,11 +63,11 @@ impl Air for FibonacciAir {
         self.rows
     }
 
-    fn generate_trace(&self) -> Vec<Vec<Goldilocks>> {
+    fn generate_trace(&self) -> Vec<Vec<F>> {
         let mut x0 = Vec::with_capacity(self.rows);
         let mut x1 = Vec::with_capacity(self.rows);
-        let mut a = Goldilocks::ZERO;
-        let mut b = Goldilocks::ONE;
+        let mut a = F::ZERO;
+        let mut b = F::ONE;
         for _ in 0..self.rows {
             x0.push(a);
             x1.push(b);
@@ -60,7 +78,7 @@ impl Air for FibonacciAir {
         vec![x0, x1]
     }
 
-    fn eval_transition<E: Field + From<Goldilocks>>(&self, local: &[E], next: &[E]) -> Vec<E> {
+    fn eval_transition<E: Field + From<F>>(&self, local: &[E], next: &[E]) -> Vec<E> {
         vec![next[0] - local[1], next[1] - local[0] - local[1]]
     }
 
@@ -68,10 +86,10 @@ impl Air for FibonacciAir {
         2
     }
 
-    fn boundaries(&self) -> Vec<Boundary> {
+    fn boundaries(&self) -> Vec<Boundary<F>> {
         vec![
-            Boundary { row: 0, col: 0, value: Goldilocks::ZERO },
-            Boundary { row: 0, col: 1, value: Goldilocks::ONE },
+            Boundary { row: 0, col: 0, value: F::ZERO },
+            Boundary { row: 0, col: 1, value: F::ONE },
             Boundary {
                 row: self.rows - 1,
                 col: 1,
@@ -98,9 +116,24 @@ impl CountdownAir {
         assert!(rows.is_power_of_two(), "rows must be a power of two");
         Self { rows }
     }
+
+    /// Number of trace columns.
+    pub fn width(&self) -> usize {
+        1
+    }
+
+    /// Number of trace rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of transition constraints.
+    pub fn num_transition_constraints(&self) -> usize {
+        1
+    }
 }
 
-impl Air for CountdownAir {
+impl<F: ProtocolField> Air<F> for CountdownAir {
     fn width(&self) -> usize {
         1
     }
@@ -109,14 +142,14 @@ impl Air for CountdownAir {
         self.rows
     }
 
-    fn generate_trace(&self) -> Vec<Vec<Goldilocks>> {
+    fn generate_trace(&self) -> Vec<Vec<F>> {
         vec![(0..self.rows)
             .rev()
-            .map(|v| Goldilocks::from_u64(v as u64))
+            .map(|v| F::from_u64(v as u64))
             .collect()]
     }
 
-    fn eval_transition<E: Field + From<Goldilocks>>(&self, local: &[E], next: &[E]) -> Vec<E> {
+    fn eval_transition<E: Field + From<F>>(&self, local: &[E], next: &[E]) -> Vec<E> {
         vec![local[0] - next[0] - E::ONE]
     }
 
@@ -124,17 +157,17 @@ impl Air for CountdownAir {
         1
     }
 
-    fn boundaries(&self) -> Vec<Boundary> {
+    fn boundaries(&self) -> Vec<Boundary<F>> {
         vec![
             Boundary {
                 row: 0,
                 col: 0,
-                value: Goldilocks::from_u64((self.rows - 1) as u64),
+                value: F::from_u64((self.rows - 1) as u64),
             },
             Boundary {
                 row: self.rows - 1,
                 col: 0,
-                value: Goldilocks::ZERO,
+                value: F::ZERO,
             },
         ]
     }
@@ -159,17 +192,32 @@ impl RangeAccumulatorAir {
         Self { rows }
     }
 
+    /// Number of trace columns.
+    pub fn width(&self) -> usize {
+        2
+    }
+
+    /// Number of trace rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of transition constraints.
+    pub fn num_transition_constraints(&self) -> usize {
+        2
+    }
+
     /// The final accumulator value `Σ_{k=0}^{rows-1} k²`.
-    pub fn expected_output(&self) -> Goldilocks {
-        let mut acc = Goldilocks::ZERO;
+    pub fn expected_output<F: Field>(&self) -> F {
+        let mut acc = F::ZERO;
         for k in 0..self.rows as u64 {
-            acc += Goldilocks::from_u64(k) * Goldilocks::from_u64(k);
+            acc += F::from_u64(k) * F::from_u64(k);
         }
         acc
     }
 }
 
-impl Air for RangeAccumulatorAir {
+impl<F: ProtocolField> Air<F> for RangeAccumulatorAir {
     fn width(&self) -> usize {
         2
     }
@@ -178,12 +226,12 @@ impl Air for RangeAccumulatorAir {
         self.rows
     }
 
-    fn generate_trace(&self) -> Vec<Vec<Goldilocks>> {
+    fn generate_trace(&self) -> Vec<Vec<F>> {
         let mut idx = Vec::with_capacity(self.rows);
         let mut acc_col = Vec::with_capacity(self.rows);
-        let mut acc = Goldilocks::ZERO;
+        let mut acc = F::ZERO;
         for k in 0..self.rows as u64 {
-            let kk = Goldilocks::from_u64(k);
+            let kk = F::from_u64(k);
             acc += kk * kk;
             idx.push(kk);
             acc_col.push(acc);
@@ -191,7 +239,7 @@ impl Air for RangeAccumulatorAir {
         vec![idx, acc_col]
     }
 
-    fn eval_transition<E: Field + From<Goldilocks>>(&self, local: &[E], next: &[E]) -> Vec<E> {
+    fn eval_transition<E: Field + From<F>>(&self, local: &[E], next: &[E]) -> Vec<E> {
         // i' = i + 1; acc' = acc + i'².
         vec![
             next[0] - local[0] - E::ONE,
@@ -203,10 +251,10 @@ impl Air for RangeAccumulatorAir {
         2
     }
 
-    fn boundaries(&self) -> Vec<Boundary> {
+    fn boundaries(&self) -> Vec<Boundary<F>> {
         vec![
-            Boundary { row: 0, col: 0, value: Goldilocks::ZERO },
-            Boundary { row: 0, col: 1, value: Goldilocks::ZERO },
+            Boundary { row: 0, col: 0, value: F::ZERO },
+            Boundary { row: 0, col: 1, value: F::ZERO },
             Boundary {
                 row: self.rows - 1,
                 col: 1,

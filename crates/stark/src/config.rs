@@ -1,35 +1,94 @@
-//! Stark proving configuration.
+//! Stark proving configuration, generic over the `(field, hasher)` pair.
+
+use core::marker::PhantomData;
 
 use unizk_core::analyze::{check_params, Diagnostic, ProtocolParams};
+use unizk_field::{ExtensionOf, Goldilocks, KoalaBear};
 use unizk_fri::FriConfig;
+use unizk_hash::sponge::HashField;
+use unizk_hash::{Poseidon2KbSponge, SpongeBackend};
 
-/// Parameters of a Starky-style proof.
-#[derive(Clone, Debug)]
-pub struct StarkConfig {
-    /// Independent constraint-combination challenge rounds (2 lifts the
-    /// 64-bit base challenges to ~100-bit soundness, as in Plonky2).
+/// Parameters of a Starky-style proof over base field `F` hashed with
+/// sponge backend `H`. The defaults are the paper's Goldilocks/Poseidon
+/// pair; `StarkConfig::<KoalaBear, Poseidon2KbSponge>::standard()` (or the
+/// [`KbStarkConfig`] alias) selects the 31-bit stack.
+pub struct StarkConfig<F: HashField = Goldilocks, H: SpongeBackend<F = F> = <F as HashField>::Sponge>
+{
+    /// Independent constraint-combination challenge rounds. Each round
+    /// contributes `F::BITS` bits of Schwartz–Zippel entropy: 2 rounds
+    /// lift 64-bit Goldilocks challenges to ~100-bit soundness (as in
+    /// Plonky2), while 31-bit KoalaBear needs 4.
     pub num_challenges: usize,
     /// FRI parameters; Starky uses blowup 2 (`rate_bits = 1`).
     pub fri: FriConfig,
     /// Conjectured security bits the configuration must deliver; the
     /// P-rule gate in `prove` refuses parameters falling short of it.
     pub target_security_bits: usize,
+    #[doc(hidden)]
+    pub _marker: PhantomData<fn() -> (F, H)>,
+}
+
+/// The KoalaBear/Poseidon2 configuration.
+pub type KbStarkConfig = StarkConfig<KoalaBear, Poseidon2KbSponge>;
+
+impl<F: HashField, H: SpongeBackend<F = F>> Clone for StarkConfig<F, H> {
+    fn clone(&self) -> Self {
+        Self {
+            num_challenges: self.num_challenges,
+            fri: self.fri.clone(),
+            target_security_bits: self.target_security_bits,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<F: HashField, H: SpongeBackend<F = F>> core::fmt::Debug for StarkConfig<F, H> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StarkConfig")
+            .field("num_challenges", &self.num_challenges)
+            .field("fri", &self.fri)
+            .field("target_security_bits", &self.target_security_bits)
+            .field("field", &core::any::type_name::<F>())
+            .field("hasher", &H::NAME)
+            .finish()
+    }
 }
 
 impl StarkConfig {
-    /// The paper's Starky configuration: blowup 2, ~100-bit conjectured
-    /// security.
+    /// [`StarkConfig::standard_over`] for the default Goldilocks/Poseidon
+    /// pair. A concrete inherent impl so that plain
+    /// `StarkConfig::standard()` call sites infer the field without
+    /// annotation (type-parameter defaults don't drive expression-path
+    /// inference).
     pub fn standard() -> Self {
+        Self::standard_over()
+    }
+
+    /// [`StarkConfig::for_testing_over`] for the Goldilocks/Poseidon pair.
+    pub fn for_testing() -> Self {
+        Self::for_testing_over()
+    }
+}
+
+impl<F: HashField, H: SpongeBackend<F = F>> StarkConfig<F, H> {
+    /// The paper's Starky configuration over this field: blowup 2,
+    /// ~100-bit conjectured security, with enough challenge rounds that
+    /// `F::BITS · num_challenges` clears the target (2 over Goldilocks, 4
+    /// over KoalaBear). Spell the pair in the type —
+    /// `KbStarkConfig::standard_over()` — or use plain
+    /// `StarkConfig::standard()` for Goldilocks.
+    pub fn standard_over() -> Self {
         Self {
-            num_challenges: 2,
+            num_challenges: 100usize.div_ceil(F::BITS),
             fri: FriConfig::starky(),
             target_security_bits: 100,
+            _marker: PhantomData,
         }
     }
 
     /// Cheap parameters for unit tests. The security target drops with
     /// the parameters — tests exercise the protocol, not its hardness.
-    pub fn for_testing() -> Self {
+    pub fn for_testing_over() -> Self {
         Self {
             num_challenges: 2,
             fri: FriConfig {
@@ -39,13 +98,16 @@ impl StarkConfig {
                 final_poly_len: 4,
             },
             target_security_bits: 8,
+            _marker: PhantomData,
         }
     }
 
     /// This configuration at a `2^log_rows`-row trace as a flat
     /// [`ProtocolParams`] record for the static P-rule checker
-    /// (`unizk_core::analyze::check_params`). A one-proof configuration
-    /// has no shards and no aggregation stage.
+    /// (`unizk_core::analyze::check_params`), carrying the field's bit
+    /// width, extension degree, and two-adicity so the extension-aware
+    /// P01/P02/P04 rules see the real entropy budget. A one-proof
+    /// configuration has no shards and no aggregation stage.
     pub fn protocol_params(&self, log_rows: usize) -> ProtocolParams {
         ProtocolParams {
             log_rows,
@@ -57,6 +119,9 @@ impl StarkConfig {
             target_security_bits: self.target_security_bits,
             shards: 1,
             aggregation_arity: 0,
+            field_bits: F::BITS,
+            extension_degree: <F::Ext as ExtensionOf<F>>::DEGREE,
+            two_adicity: F::TWO_ADICITY,
         }
     }
 }
@@ -69,7 +134,10 @@ impl StarkConfig {
 /// # Panics
 ///
 /// Panics if `rows` is not a power of two.
-pub fn check_protocol(rows: usize, config: &StarkConfig) -> Vec<Diagnostic> {
+pub fn check_protocol<F: HashField, H: SpongeBackend<F = F>>(
+    rows: usize,
+    config: &StarkConfig<F, H>,
+) -> Vec<Diagnostic> {
     assert!(rows.is_power_of_two(), "trace height must be a power of two");
     check_params(&config.protocol_params(rows.trailing_zeros() as usize))
 }
@@ -97,5 +165,36 @@ mod tests {
         let mut config = StarkConfig::standard();
         config.fri.num_queries = 10; // 10·1 + 16 = 26 « 100
         assert!(error_count(&check_protocol(1 << 12, &config)) > 0);
+    }
+
+    #[test]
+    fn koalabear_standard_needs_four_challenge_rounds() {
+        let config = KbStarkConfig::standard_over();
+        assert_eq!(config.num_challenges, 4);
+        for rows in [1 << 10, 1 << 12] {
+            assert_eq!(error_count(&check_protocol(rows, &config)), 0, "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn koalabear_with_goldilocks_challenge_count_fails_p01() {
+        let mut config = KbStarkConfig::standard_over();
+        config.num_challenges = 2; // 2 × 31 = 62 < 100
+        let diags = check_protocol(1 << 10, &config);
+        assert!(error_count(&diags) > 0);
+        assert!(unizk_core::analyze::render_all(&diags).contains("P01"));
+    }
+
+    #[test]
+    fn koalabear_lde_past_24_bit_two_adicity_fails_p02_cleanly() {
+        // log_rows 24 + rate_bits 1 = 25 > 24: a clean diagnostic, not a
+        // twiddle-table panic.
+        let config = KbStarkConfig::standard_over();
+        let diags = check_protocol(1 << 24, &config);
+        let rendered = unizk_core::analyze::render_all(&diags);
+        assert!(rendered.contains("P02"), "{rendered}");
+        // The same geometry over Goldilocks (two-adicity 32) is fine.
+        let gl: StarkConfig = StarkConfig::standard();
+        assert!(!unizk_core::analyze::render_all(&check_protocol(1 << 24, &gl)).contains("P02"));
     }
 }

@@ -33,7 +33,7 @@ pub mod verifier;
 pub use air::{Air, Boundary};
 pub use aggregate::{aggregate, aggregate_many, recursive_circuit, AggregatedProof};
 pub use airs::{CountdownAir, FibonacciAir, RangeAccumulatorAir};
-pub use config::{check_protocol, StarkConfig};
+pub use config::{check_protocol, KbStarkConfig, StarkConfig};
 pub use proof::StarkProof;
 pub use prover::{prove, prove_in};
 pub use verifier::{verify, StarkError};

@@ -1,31 +1,33 @@
 //! Stark proof object.
 
+use unizk_field::{Goldilocks, ProtocolField};
 use unizk_fri::FriProof;
 use unizk_hash::Digest;
 
 /// A Starky-style proof: trace and quotient commitments plus the FRI
 /// opening proof. Base proofs with blowup 2 are large — several hundred kB
 /// at paper scale (Table 5) — which is why they get recursively compressed.
+///
+/// Generic over the base field, defaulting to Goldilocks; all wire widths
+/// (digests, base and extension elements) follow `F::BYTES`.
 #[derive(Clone, Debug)]
-pub struct StarkProof {
+pub struct StarkProof<F: ProtocolField = Goldilocks> {
     /// Commitment to the execution trace columns.
-    pub trace_root: Digest,
+    pub trace_root: Digest<F>,
     /// Commitment to the quotient polynomials.
-    pub quotient_root: Digest,
+    pub quotient_root: Digest<F>,
     /// FRI opening proof (carries openings at `ζ` and `ζ·ω`).
-    pub fri: FriProof,
+    pub fri: FriProof<F>,
     /// Trace height, needed by the verifier for domain sizing.
     pub rows: usize,
 }
 
-impl StarkProof {
+impl<F: ProtocolField> StarkProof<F> {
     /// Serialized size in bytes.
     pub fn size_bytes(&self) -> usize {
-        2 * Digest::BYTES + 8 + self.fri.size_bytes()
+        2 * Digest::<F>::BYTES + 8 + self.fri.size_bytes()
     }
-}
 
-impl StarkProof {
     /// Encodes the proof to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = unizk_fri::Writer::new();
@@ -44,10 +46,10 @@ impl StarkProof {
     /// Returns [`unizk_fri::WireError`] on truncation or corruption.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, unizk_fri::WireError> {
         let mut r = unizk_fri::Reader::new(bytes);
-        let trace_root = r.digest()?;
-        let quotient_root = r.digest()?;
+        let trace_root: Digest<F> = r.digest()?;
+        let quotient_root: Digest<F> = r.digest()?;
         let rows = usize::try_from(r.u64()?).expect("row count fits usize");
-        let fri = FriProof::from_bytes(&bytes[2 * 32 + 8..])?;
+        let fri = FriProof::<F>::from_bytes(&bytes[2 * Digest::<F>::BYTES + 8..])?;
         Ok(Self {
             trace_root,
             quotient_root,

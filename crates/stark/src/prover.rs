@@ -1,13 +1,15 @@
 //! The Stark prover: trace commitment, quotient computation over the
-//! blowup-2 LDE, and FRI openings.
+//! blowup-2 LDE, and FRI openings. Generic over the `(field, hasher)`
+//! pair; the `StarkConfig` argument pins both, so Goldilocks call sites
+//! are unchanged and `KbStarkConfig` selects the KoalaBear stack.
 
 use unizk_field::{
-    batch_inverse, bit_reverse, log2_strict, parallel_map, reverse_index_bits, Ext2, Field,
-    Goldilocks, Polynomial, PrimeField64,
+    batch_inverse, bit_reverse, log2_strict, parallel_map, reverse_index_bits, Polynomial,
 };
 use unizk_fri::batch::domain_point;
-use unizk_fri::{fri_prove_in, time_kernel, KernelClass, PolynomialBatch};
-use unizk_hash::{Challenger, Workspace};
+use unizk_fri::{fri_prove_in, time_kernel, GenericPolynomialBatch, KernelClass};
+use unizk_hash::sponge::HashField;
+use unizk_hash::{GenericChallenger, SpongeBackend, Workspace};
 use unizk_testkit::trace;
 
 use crate::air::Air;
@@ -21,7 +23,12 @@ use crate::verifier::StarkError;
 ///
 /// Returns [`StarkError::UnsatisfiedConstraints`] if the generated trace
 /// does not satisfy the AIR (the quotient fails its degree check).
-pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof, StarkError> {
+pub fn prove<F, H, A>(air: &A, config: &StarkConfig<F, H>) -> Result<StarkProof<F>, StarkError>
+where
+    F: HashField,
+    H: SpongeBackend<F = F>,
+    A: Air<F> + Sync,
+{
     prove_in(air, config, None)
 }
 
@@ -39,11 +46,16 @@ pub fn prove<A: Air + Sync>(air: &A, config: &StarkConfig) -> Result<StarkProof,
 /// configuration fails the static P-rule checker (conjectured security
 /// short of `config.target_security_bits`, an LDE past the field's
 /// two-adicity, a malformed final polynomial, or an unsatisfiable grind).
-pub fn prove_in<A: Air + Sync>(
+pub fn prove_in<F, H, A>(
     air: &A,
-    config: &StarkConfig,
+    config: &StarkConfig<F, H>,
     ws: Option<&Workspace>,
-) -> Result<StarkProof, StarkError> {
+) -> Result<StarkProof<F>, StarkError>
+where
+    F: HashField,
+    H: SpongeBackend<F = F>,
+    A: Air<F> + Sync,
+{
     let _prove_span = trace::span("stark.prove");
     let n = air.rows();
     assert!(n.is_power_of_two(), "trace height must be a power of two");
@@ -58,7 +70,7 @@ pub fn prove_in<A: Air + Sync>(
     }
     trace::counter("stark.rows", n as u64);
     trace::counter("stark.columns", air.width() as u64);
-    let mut challenger = Challenger::new();
+    let mut challenger = GenericChallenger::<H>::new();
 
     // 1. Trace generation and commitment.
     let trace = trace::with_span("stark.trace_gen", || {
@@ -66,12 +78,12 @@ pub fn prove_in<A: Air + Sync>(
     });
     assert_eq!(trace.len(), air.width(), "trace width mismatch");
     let trace_batch = trace::with_span("stark.trace_commit", || {
-        PolynomialBatch::from_values_in(trace, &config.fri, ws)
+        GenericPolynomialBatch::<H>::from_values_in(trace, &config.fri, ws)
     });
     challenger.observe_digest(trace_batch.root());
 
     // 2. Constraint-combination challenges.
-    let alphas: Vec<Goldilocks> = challenger.challenges(config.num_challenges);
+    let alphas: Vec<F> = challenger.challenges(config.num_challenges);
 
     // 3. Quotient per challenge round.
     let quotient_polys = trace::with_span("stark.quotient", || {
@@ -80,14 +92,14 @@ pub fn prove_in<A: Air + Sync>(
         })
     })?;
     let quotient_batch = trace::with_span("stark.quotient_commit", || {
-        PolynomialBatch::from_coeffs_in(quotient_polys, &config.fri, ws)
+        GenericPolynomialBatch::<H>::from_coeffs_in(quotient_polys, &config.fri, ws)
     });
     challenger.observe_digest(quotient_batch.root());
 
     // 4. Openings.
     let zeta = challenger.challenge_ext();
-    let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
-    let points = [zeta, zeta * Ext2::from(omega)];
+    let omega = F::primitive_root_of_unity(log2_strict(n));
+    let points = [zeta, zeta * F::Ext::from(omega)];
     let fri = trace::with_span("stark.fri", || {
         fri_prove_in(
             &[&trace_batch, &quotient_batch],
@@ -113,25 +125,27 @@ pub fn prove_in<A: Air + Sync>(
     Ok(proof)
 }
 
-fn compute_quotients<A: Air + Sync>(
+fn compute_quotients<F, H, A>(
     air: &A,
-    trace: &PolynomialBatch,
-    alphas: &[Goldilocks],
+    trace: &GenericPolynomialBatch<H>,
+    alphas: &[F],
     n: usize,
-) -> Result<Vec<Polynomial<Goldilocks>>, StarkError> {
+) -> Result<Vec<Polynomial<F>>, StarkError>
+where
+    F: HashField,
+    H: SpongeBackend<F = F>,
+    A: Air<F> + Sync,
+{
     let lde_size = trace.lde_size();
     let bits = log2_strict(lde_size);
     let blowup = lde_size / n;
-    let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
+    let omega = F::primitive_root_of_unity(log2_strict(n));
     let last = omega.exp_u64((n - 1) as u64);
     let boundaries = air.boundaries();
 
     // Shared per-position quantities.
-    let xs: Vec<Goldilocks> = (0..lde_size).map(|i| domain_point(lde_size, i)).collect();
-    let zh: Vec<Goldilocks> = xs
-        .iter()
-        .map(|&x| x.exp_u64(n as u64) - Goldilocks::ONE)
-        .collect();
+    let xs: Vec<F> = (0..lde_size).map(|i| domain_point(lde_size, i)).collect();
+    let zh: Vec<F> = xs.iter().map(|&x| x.exp_u64(n as u64) - F::ONE).collect();
     let zh_inv = batch_inverse(&zh);
     // (x − ω^row_b) denominators for each boundary, flattened.
     let mut boundary_denoms = Vec::with_capacity(lde_size * boundaries.len());
@@ -150,7 +164,7 @@ fn compute_quotients<A: Air + Sync>(
         .collect();
 
     let s_rounds = alphas.len();
-    let per_range: Vec<Vec<Vec<Goldilocks>>> = parallel_map(ranges, |(start, end)| {
+    let per_range: Vec<Vec<Vec<F>>> = parallel_map(ranges, |(start, end)| {
         let mut out = vec![Vec::with_capacity(end - start); s_rounds];
         for i in start..end {
             let local = trace.leaf(i);
@@ -164,8 +178,8 @@ fn compute_quotients<A: Air + Sync>(
             let trans_factor = (xs[i] - last) * zh_inv[i];
 
             for (s, alpha) in alphas.iter().enumerate() {
-                let mut acc = Goldilocks::ZERO;
-                let mut alpha_pow = Goldilocks::ONE;
+                let mut acc = F::ZERO;
+                let mut alpha_pow = F::ONE;
                 for &c in &transitions {
                     acc += alpha_pow * c * trans_factor;
                     alpha_pow *= *alpha;

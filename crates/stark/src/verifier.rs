@@ -2,9 +2,10 @@
 
 use core::fmt;
 
-use unizk_field::{log2_strict, Ext2, Field, Goldilocks, PrimeField64};
+use unizk_field::{log2_strict, Field, ProtocolField};
 use unizk_fri::{fri_verify, FriError};
-use unizk_hash::Challenger;
+use unizk_hash::sponge::HashField;
+use unizk_hash::{GenericChallenger, SpongeBackend};
 
 use crate::air::Air;
 use crate::config::StarkConfig;
@@ -57,18 +58,28 @@ impl From<FriError> for StarkError {
 /// # Errors
 ///
 /// Returns [`StarkError`] describing the first failed check.
-pub fn verify<A: Air>(air: &A, proof: &StarkProof, config: &StarkConfig) -> Result<(), StarkError> {
+pub fn verify<F, H, A>(
+    air: &A,
+    proof: &StarkProof<F>,
+    config: &StarkConfig<F, H>,
+) -> Result<(), StarkError>
+where
+    F: HashField,
+    H: SpongeBackend<F = F>,
+    A: Air<F>,
+{
+    type E<F> = <F as ProtocolField>::Ext;
     let n = proof.rows;
     if n != air.rows() || !n.is_power_of_two() {
         return Err(StarkError::Malformed("row count mismatch"));
     }
-    let mut challenger = Challenger::new();
+    let mut challenger = GenericChallenger::<H>::new();
     challenger.observe_digest(proof.trace_root);
-    let alphas: Vec<Goldilocks> = challenger.challenges(config.num_challenges);
+    let alphas: Vec<F> = challenger.challenges(config.num_challenges);
     challenger.observe_digest(proof.quotient_root);
     let zeta = challenger.challenge_ext();
-    let omega = Goldilocks::primitive_root_of_unity(log2_strict(n));
-    let points = [zeta, zeta * Ext2::from(omega)];
+    let omega = F::primitive_root_of_unity(log2_strict(n));
+    let points = [zeta, zeta * E::<F>::from(omega)];
 
     fri_verify(
         &[proof.trace_root, proof.quotient_root],
@@ -88,29 +99,29 @@ pub fn verify<A: Air>(air: &A, proof: &StarkProof, config: &StarkConfig) -> Resu
         return Err(StarkError::Malformed("opening widths"));
     }
 
-    let zh = zeta.exp_u64(n as u64) - Ext2::ONE;
+    let zh = zeta.exp_u64(n as u64) - E::<F>::ONE;
     let zh_inv = zh
         .try_inverse()
         .ok_or(StarkError::Malformed("zeta on domain"))?;
     let last = omega.exp_u64((n - 1) as u64);
-    let trans_factor = (zeta - Ext2::from(last)) * zh_inv;
+    let trans_factor = (zeta - E::<F>::from(last)) * zh_inv;
     let transitions = air.eval_transition(local, next);
     let boundaries = air.boundaries();
 
     for (s, alpha) in alphas.iter().enumerate() {
-        let alpha_e = Ext2::from(*alpha);
-        let mut acc = Ext2::ZERO;
-        let mut alpha_pow = Ext2::ONE;
+        let alpha_e = E::<F>::from(*alpha);
+        let mut acc = E::<F>::ZERO;
+        let mut alpha_pow = E::<F>::ONE;
         for &c in &transitions {
             acc += alpha_pow * c * trans_factor;
             alpha_pow *= alpha_e;
         }
         for b in &boundaries {
-            let denom = zeta - Ext2::from(omega.exp_u64(b.row as u64));
+            let denom = zeta - E::<F>::from(omega.exp_u64(b.row as u64));
             let inv = denom
                 .try_inverse()
                 .ok_or(StarkError::Malformed("zeta hits a boundary row"))?;
-            acc += alpha_pow * (local[b.col] - Ext2::from(b.value)) * inv;
+            acc += alpha_pow * (local[b.col] - E::<F>::from(b.value)) * inv;
             alpha_pow *= alpha_e;
         }
         if acc != quotient_at_zeta[s] {

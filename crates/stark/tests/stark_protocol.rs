@@ -20,7 +20,7 @@ fn fibonacci_proves_and_verifies() {
 fn fibonacci_expected_output_is_correct() {
     let air = FibonacciAir::new(8);
     // fib: 0 1 1 2 3 5 8 13 21 -> fib(8) = 21.
-    assert_eq!(air.expected_output(), Goldilocks::from_u64(21));
+    assert_eq!(air.expected_output::<Goldilocks>(), Goldilocks::from_u64(21));
 }
 
 #[test]
@@ -211,7 +211,7 @@ fn stark_proof_bytes_roundtrip() {
     let back = unizk_stark::StarkProof::from_bytes(&bytes).expect("decodes");
     assert_eq!(back.to_bytes(), bytes);
     verify(&air, &back, &config).expect("verifies after roundtrip");
-    assert!(unizk_stark::StarkProof::from_bytes(&bytes[..10]).is_err());
+    assert!(unizk_stark::StarkProof::<Goldilocks>::from_bytes(&bytes[..10]).is_err());
 }
 
 #[test]
@@ -228,4 +228,79 @@ fn aggregate_many_amortizes_one_recursion() {
     let agg = unizk_stark::aggregate_many(&bases, rec_config).expect("aggregates");
     let bases_bytes: usize = bases.iter().map(|b| b.size_bytes()).sum();
     assert!(agg.size_bytes() < bases_bytes);
+}
+
+mod koalabear_stack {
+    //! The 31-bit stack end-to-end: `StarkConfig<KoalaBear, Poseidon2>`
+    //! proving and verifying the same AIRs as the Goldilocks tests above,
+    //! with the degree-4 extension carrying the FRI openings.
+
+    use unizk_field::{Field, KoalaBear};
+    use unizk_stark::{
+        prove, verify, FibonacciAir, KbStarkConfig, RangeAccumulatorAir, StarkError,
+    };
+
+    #[test]
+    fn fibonacci_proves_and_verifies_over_koalabear() {
+        let air = FibonacciAir::new(128);
+        let config = KbStarkConfig::for_testing_over();
+        let proof = prove(&air, &config).expect("satisfiable");
+        verify(&air, &proof, &config).expect("verifies");
+    }
+
+    #[test]
+    fn range_accumulator_proves_and_verifies_over_koalabear() {
+        let air = RangeAccumulatorAir::new(256);
+        let config = KbStarkConfig::for_testing_over();
+        let proof = prove(&air, &config).expect("satisfiable");
+        verify(&air, &proof, &config).expect("verifies");
+    }
+
+    #[test]
+    fn standard_koalabear_config_proves_with_four_challenges() {
+        let air = FibonacciAir::new(64);
+        let config = KbStarkConfig::standard_over();
+        assert_eq!(config.num_challenges, 4);
+        let proof = prove(&air, &config).expect("satisfiable");
+        verify(&air, &proof, &config).expect("verifies");
+    }
+
+    #[test]
+    fn koalabear_proof_bytes_roundtrip_uses_narrow_widths() {
+        let air = FibonacciAir::new(64);
+        let config = KbStarkConfig::for_testing_over();
+        let proof = prove(&air, &config).expect("ok");
+        let bytes = proof.to_bytes();
+        let back = unizk_stark::StarkProof::<KoalaBear>::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back.to_bytes(), bytes);
+        verify(&air, &back, &config).expect("verifies after roundtrip");
+        // Narrow wire widths: digests are 16 bytes, base elements 4; the
+        // wire adds a 4-byte length prefix per variable-length vector.
+        let prefixes = proof.fri.num_length_prefixes() * 4;
+        assert_eq!(proof.size_bytes() + prefixes, bytes.len());
+    }
+
+    #[test]
+    fn koalabear_tampered_proof_rejected() {
+        let air = FibonacciAir::new(64);
+        let config = KbStarkConfig::for_testing_over();
+        let mut proof = prove(&air, &config).expect("ok");
+        proof.fri.openings[0][0][0] += unizk_field::KbExt4::ONE;
+        assert!(verify(&air, &proof, &config).is_err());
+    }
+
+    #[test]
+    fn insecure_koalabear_parameters_refused_with_extension_aware_p01() {
+        // 2 challenge rounds of 31-bit challenges cap soundness at 62 bits,
+        // short of the 100-bit target: the prover must refuse up front.
+        let air = FibonacciAir::new(128);
+        let mut config = KbStarkConfig::standard_over();
+        config.num_challenges = 2;
+        match prove(&air, &config) {
+            Err(StarkError::InsecureParameters(diags)) => {
+                assert!(diags.contains("P01"), "{diags}");
+            }
+            other => panic!("expected InsecureParameters, got {other:?}"),
+        }
+    }
 }

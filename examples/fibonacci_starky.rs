@@ -18,7 +18,7 @@ fn main() {
         "Fibonacci AET: {} rows x {} columns; claimed output fib(2^{log_rows}) = {}",
         1 << log_rows,
         2,
-        air.expected_output()
+        air.expected_output::<unizk_field::Goldilocks>()
     );
 
     // 1. Starky base proof (cheap to make, large on the wire).

@@ -7,6 +7,13 @@
 #   BENCH_SWEEP=1        smoke design-space sweep           (BENCH_SWEEP.json)
 #   BENCH_FLEET=1        multi-chip fleet surface           (BENCH_FLEET.json)
 #
+# BENCH_FIELD selects the prover baseline's field (a value, not a 0/1
+# flag): unset or "goldilocks" writes BENCH_PROVER.json + BENCH_SIM.json
+# as always; "koalabear" writes BENCH_PROVER_KB.json instead — a separate
+# trajectory, never compared against the Goldilocks baseline (counters
+# differ by design), and with no BENCH_SIM.json (the chip simulator
+# models the Goldilocks datapath).
+#
 # Every binary self-checks its acceptance invariants before anything is
 # written (prover class coverage, simulator determinism, pipeline-proof
 # identity, fleet anchor + verifier-clean schedules). See EXPERIMENTS.md
@@ -18,9 +25,11 @@ MODES=(BENCH_THROUGHPUT BENCH_SWEEP BENCH_FLEET)
 
 usage() {
     {
-        echo "usage: [BENCH_THROUGHPUT=1] [BENCH_SWEEP=1] [BENCH_FLEET=1] scripts/bench.sh [OUT_DIR]"
+        echo "usage: [BENCH_THROUGHPUT=1] [BENCH_SWEEP=1] [BENCH_FLEET=1]" \
+             "[BENCH_FIELD=goldilocks|koalabear] scripts/bench.sh [OUT_DIR]"
         echo "mode flags must be unset, 0, or 1; recognized modes:"
         printf '  %s\n' "${MODES[@]}"
+        echo "BENCH_FIELD must be unset, goldilocks, or koalabear"
     } >&2
 }
 
@@ -42,9 +51,10 @@ mode_enabled() {
 
 # A misspelled mode variable (BENCH_FLEAT=1) must not silently bench
 # nothing either: reject any exported BENCH_* name we do not recognize.
+# BENCH_FIELD is the one value-typed knob and is validated separately.
 for var in $(compgen -A export BENCH_ || true); do
     known=0
-    for m in "${MODES[@]}"; do
+    for m in "${MODES[@]}" BENCH_FIELD; do
         [[ "$var" == "$m" ]] && known=1
     done
     if [[ "$known" == 0 ]]; then
@@ -57,6 +67,15 @@ done
 for m in "${MODES[@]}"; do
     mode_enabled "$m" || true
 done
+FIELD="${BENCH_FIELD:-goldilocks}"
+case "$FIELD" in
+    goldilocks|koalabear) ;;
+    *)
+        echo "FAIL: BENCH_FIELD must be unset, goldilocks, or koalabear (got '$FIELD')" >&2
+        usage
+        exit 2
+        ;;
+esac
 
 OUT_DIR="${1:-.}"
 mkdir -p "$OUT_DIR"
@@ -73,10 +92,14 @@ echo "== schedule + protocol lint gate =="
 ./target/release/lint --quiet \
     || { echo "FAIL: schedule/protocol lint found errors; refusing to write BENCH_*.json"; exit 1; }
 
-echo "== baseline =="
-./target/release/baseline --out-dir "$OUT_DIR"
+echo "== baseline ($FIELD) =="
+./target/release/baseline --field "$FIELD" --out-dir "$OUT_DIR"
 
-echo "OK: wrote $OUT_DIR/BENCH_PROVER.json and $OUT_DIR/BENCH_SIM.json"
+if [[ "$FIELD" == "koalabear" ]]; then
+    echo "OK: wrote $OUT_DIR/BENCH_PROVER_KB.json"
+else
+    echo "OK: wrote $OUT_DIR/BENCH_PROVER.json and $OUT_DIR/BENCH_SIM.json"
+fi
 
 # Optional: the proof-serving throughput baseline (pipeline proofs are
 # identity-checked against the one-shot prover before anything is written).

@@ -110,6 +110,23 @@ mkdir -p "$BENCH_TMP/a" "$BENCH_TMP/b"
     BENCH_PROVER.json "$BENCH_TMP/a/BENCH_PROVER.json" \
     || { echo "FAIL: counters drifted from committed BENCH_PROVER.json"; exit 1; }
 
+echo "==> koalabear smoke (31-bit stack prove->verify + cross-field differential wall)"
+# The second-field gate: the release baseline binary proves and verifies
+# the fibonacci workload over (KoalaBear, Poseidon2) — bench_prover_over
+# verifies the proof before writing — and the cross-field NTT wall plus
+# the KoalaBear stark end-to-end tests run as named steps so a regression
+# is attributed to this block, not buried in the workspace test pass.
+# Nothing here is compared against the Goldilocks baseline: the committed
+# BENCH_PROVER.json counters/proof-bytes contract is re-asserted by the
+# prover-bench-determinism block above.
+mkdir -p "$BENCH_TMP/kb"
+./target/release/baseline --field koalabear --out-dir "$BENCH_TMP/kb" \
+    > "$BENCH_TMP/kb.log"
+grep -q "wrote $BENCH_TMP/kb/BENCH_PROVER_KB.json" "$BENCH_TMP/kb.log" \
+    || { echo "FAIL: koalabear baseline did not write BENCH_PROVER_KB.json"; exit 1; }
+cargo test -q --offline -p unizk-ntt --test ntt_kernel_equivalence
+cargo test -q --offline -p unizk-stark --test stark_protocol koalabear_stack
+
 echo "==> proof-serving smoke (16 jobs, 2 workers: pipeline vs one-shot identity)"
 # Pushes the CI traffic stream through the worker pipeline with pooling
 # off and on; the binary asserts every pipeline proof is byte-identical

@@ -33,7 +33,7 @@ fn fibonacci_proof_verifies() {
         a = b;
         b = next;
     }
-    assert_eq!(air.expected_output(), a);
+    assert_eq!(air.expected_output::<Goldilocks>(), a);
 }
 
 #[test]
@@ -110,7 +110,7 @@ fn truncated_encoding_rejected() {
     let bytes = proof.to_bytes();
     for cut in [0, 1, 32, bytes.len() / 2, bytes.len() - 1] {
         assert!(
-            unizk_stark::StarkProof::from_bytes(&bytes[..cut]).is_err(),
+            unizk_stark::StarkProof::<Goldilocks>::from_bytes(&bytes[..cut]).is_err(),
             "truncation to {cut} bytes must not decode"
         );
     }

@@ -16,12 +16,12 @@
 
 use std::sync::Mutex;
 
-use unizk_field::{set_parallelism, Goldilocks, PrimeField64};
+use unizk_field::{set_parallelism, Goldilocks, KoalaBear, PrimeField64};
 use unizk_hash::{set_hash_lanes, set_packed_min_batch};
 use unizk_ntt::{
     lde_of_values, set_decompose_parallel_threshold, set_stage_parallel_threshold,
 };
-use unizk_stark::{prove, verify, FibonacciAir, StarkConfig};
+use unizk_stark::{prove, verify, FibonacciAir, KbStarkConfig, StarkConfig};
 use unizk_testkit::rng::SplitMix64;
 use unizk_testkit::trace;
 
@@ -152,6 +152,65 @@ fn coset_lde_identical_under_every_thread_count() {
             Some((vals, counts)) => {
                 assert_eq!(&got.0, vals, "LDE values differ at threads={threads}");
                 assert_eq!(&got.1, counts, "trace counters differ at threads={threads}");
+            }
+        }
+    }
+}
+
+/// The 31-bit stack obeys the same invariant: `(KoalaBear, Poseidon2)`
+/// proofs are bit-identical under every thread count, with the same
+/// lowered routing thresholds engaging the parallel NTT paths.
+#[test]
+fn koalabear_stark_proof_identical_under_every_thread_count() {
+    let _lock = GLOBAL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = KnobGuard;
+    set_stage_parallel_threshold(4);
+    set_decompose_parallel_threshold(8);
+
+    let air = FibonacciAir::new(256);
+    let config = KbStarkConfig::for_testing_over();
+
+    let mut reference: Observed<Vec<u8>> = None;
+    for threads in [1usize, 2, 3, 0] {
+        set_parallelism(threads);
+        trace::reset();
+        let proof = prove(&air, &config).expect("trace satisfies the AIR");
+        verify(&air, &proof, &config).expect("honest proof verifies");
+        let got = (proof.to_bytes(), counters());
+        match &reference {
+            None => reference = Some(got),
+            Some((bytes, counts)) => {
+                assert_eq!(&got.0, bytes, "KB proof bytes differ at threads={threads}");
+                assert_eq!(&got.1, counts, "KB trace counters differ at threads={threads}");
+            }
+        }
+    }
+}
+
+/// KoalaBear coset LDE under the thread sweep — the transform that feeds
+/// every 31-bit commitment must be an execution-strategy-only parallelism.
+#[test]
+fn koalabear_coset_lde_identical_under_every_thread_count() {
+    let _lock = GLOBAL_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = KnobGuard;
+    set_decompose_parallel_threshold(13);
+
+    let mut rng = SplitMix64::seed_from_u64(0x1DE);
+    let values: Vec<KoalaBear> = (0..1 << 12).map(|_| KoalaBear::random(&mut rng)).collect();
+    let shift = KoalaBear::MULTIPLICATIVE_GENERATOR;
+
+    let mut reference: Observed<Vec<KoalaBear>> = None;
+    for threads in [1usize, 2, 5, 0] {
+        set_parallelism(threads);
+        trace::reset();
+        let extended = lde_of_values(&values, 2, shift);
+        assert_eq!(extended.len(), 1 << 14);
+        let got = (extended, counters());
+        match &reference {
+            None => reference = Some(got),
+            Some((vals, counts)) => {
+                assert_eq!(&got.0, vals, "KB LDE values differ at threads={threads}");
+                assert_eq!(&got.1, counts, "KB trace counters differ at threads={threads}");
             }
         }
     }
